@@ -1,0 +1,107 @@
+// Ablation: time-slot structure for the historical means.
+//
+// The paper's offline training discovers slots from the seasonal index
+// (Section IV / V-A3); the evaluation then uses a 5-slot weekday. This
+// bench compares prediction accuracy across slot structures trained on
+// identical history:
+//   one slot       — a single all-day mean (no time-of-day structure)
+//   hourly (24)    — maximal structure, thin per-cell samples
+//   paper 5 slots  — the hand-set division of Section V-B2
+//   discovered     — seasonal-index merging (train_from_history)
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/training.hpp"
+
+int main() {
+  using namespace wiloc;
+  print_banner(std::cout, "Ablation: time-slot structure (rush hours)");
+
+  const sim::City city = sim::build_paper_city();
+  const sim::TrafficModel traffic(2016);
+  const sim::FleetPlan plan = sim::default_fleet_plan(city);
+
+  // Ground-truth history observations (shared by all slot structures).
+  Rng rng(29);
+  std::vector<core::TravelObservation> history;
+  {
+    const auto trips = sim::simulate_service_days(city, traffic, plan, 0,
+                                                  6, rng);
+    for (const auto& trip : trips) {
+      const auto& route = city.routes[trip.route.index()];
+      for (const auto& seg : trip.segments)
+        if (seg.travel_time() > 0.0)
+          history.push_back({route.edges()[seg.edge_index], trip.route,
+                             seg.exit, seg.travel_time()});
+    }
+  }
+
+  // A live test day through one server (slot structure only affects the
+  // predictor side; tracking is identical), to fill the recent stores.
+  core::WiLocatorServer server(city.route_pointers(), city.ap_snapshot(),
+                               *city.rf_model,
+                               DaySlots::paper_five_slots());
+  for (const auto& obs : history) server.load_history(obs);
+  server.finalize_history();
+  const auto day = bench::simulate_live_day(city, traffic, plan, 8, 0, rng);
+  bench::ingest_live_day(server, day);
+
+  // Harvest the test day's recents once; re-feed them into each store.
+  std::vector<core::TravelObservation> recents;
+  for (const auto& trip : day) {
+    for (const auto& obs :
+         server.tracker(trip.record.id).completed_segments())
+      recents.push_back(obs);
+  }
+
+  struct Variant {
+    std::string name;
+    std::unique_ptr<core::TravelTimeStore> store;
+  };
+  std::vector<Variant> variants;
+  const auto make_store = [&](DaySlots slots) {
+    auto store = std::make_unique<core::TravelTimeStore>(std::move(slots));
+    for (const auto& obs : history) store->add_history(obs);
+    store->finalize_history();
+    for (const auto& obs : recents) store->add_recent(obs);
+    return store;
+  };
+  variants.push_back({"one slot", make_store(DaySlots::uniform(1))});
+  variants.push_back({"hourly (24)", make_store(DaySlots::uniform(24))});
+  variants.push_back(
+      {"paper 5 slots", make_store(DaySlots::paper_five_slots())});
+  {
+    const auto trained = core::train_from_history(history);
+    std::cout << "discovered " << trained.slots.count()
+              << " slots (periodic on " << trained.segments_with_periodicity
+              << " segments)\n";
+    auto store = make_store(trained.slots);
+    variants.push_back({"discovered (SI merge)", std::move(store)});
+  }
+
+  TablePrinter table({"slot structure", "mean err (s)", "median (s)",
+                      "p90 (s)"});
+  for (const Variant& variant : variants) {
+    const core::ArrivalPredictor predictor(*variant.store);
+    const auto samples = bench::prediction_samples(
+        day, city,
+        [&](const roadnet::BusRoute& route, double offset, SimTime now,
+            std::size_t stop) {
+          return predictor.predict_arrival(route, offset, now, stop);
+        });
+    std::vector<double> rush;
+    for (const auto& s : samples)
+      if (s.rush_hour) rush.push_back(s.error_s);
+    if (rush.empty()) continue;
+    table.add_row({variant.name, TablePrinter::num(mean_of(rush), 1),
+                   TablePrinter::num(quantile_of(rush, 0.5), 1),
+                   TablePrinter::num(quantile_of(rush, 0.9), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected: any time-of-day structure beats the single "
+               "slot in rush hours; the discovered slots match or beat "
+               "the hand-set 5-slot division.\n";
+  return 0;
+}

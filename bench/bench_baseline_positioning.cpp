@@ -1,0 +1,127 @@
+// Baseline comparison: every localization approach the paper discusses,
+// on the same scan/observation streams.
+//
+//   SVD (WiLocator)      — rank-based tiles + mobility filter
+//   SVD (crowd survey)   — same, diagram built from scans, no model
+//   RSS fingerprinting   — RADAR-style kNN over a calibration survey
+//   Propagation model    — EZ-style lateration with an assumed model
+//   Cell-ID matching     — serving-tower sequence matching
+//   GPS (urban)          — canyon-degraded fixes projected on-route
+//
+// Reproduces the paper's Section II/VI positioning taxonomy as one table.
+
+#include <iostream>
+
+#include "baselines/cellid.hpp"
+#include "baselines/fingerprint.hpp"
+#include "baselines/gps_tracker.hpp"
+#include "baselines/propagation_loc.hpp"
+#include "common.hpp"
+#include "core/tracker.hpp"
+#include "sim/gps.hpp"
+#include "svd/route_svd.hpp"
+#include "svd/survey.hpp"
+
+int main() {
+  using namespace wiloc;
+  print_banner(std::cout,
+               "Baseline comparison: bus positioning approaches");
+
+  const sim::City city = sim::build_paper_city();
+  const sim::TrafficModel traffic(2016);
+  const auto& route = city.route_by_name("Rapid");
+  const rf::Scanner scanner;
+  const sim::GpsSimulator gps;
+
+  // Offline artifacts, all built before the test trips.
+  const svd::RouteSvd svd_index(route, city.ap_snapshot(), *city.rf_model,
+                                {});
+  Rng survey_rng(3);
+  const baselines::FingerprintLocalizer fingerprint(
+      route, city.aps, *city.rf_model, 0.0, survey_rng);
+  const baselines::PropagationLocalizer lateration(city.aps);
+  const baselines::CellIdTracker cell_template(route, city.towers);
+
+  // Crowd-survey diagram: scans from three instrumented passes.
+  svd::SurveyBuilder survey_builder(route);
+  {
+    Rng rng(5);
+    for (int pass = 0; pass < 3; ++pass)
+      for (double offset = 2.0; offset <= route.length(); offset += 8.0)
+        survey_builder.add_scan(
+            offset, scanner.scan(city.aps, *city.rf_model,
+                                 route.point_at(offset), 0.0, rng));
+  }
+  const auto survey_index = survey_builder.build();
+
+  struct Row {
+    const char* name;
+    std::vector<double> err;
+  };
+  Row rows[] = {{"SVD (WiLocator)", {}},   {"SVD (crowd survey)", {}},
+                {"RSS fingerprint", {}},   {"Propagation model", {}},
+                {"Cell-ID matching", {}},  {"GPS (urban)", {}}};
+
+  Rng rng(99);
+  for (int trial = 0; trial < 2; ++trial) {
+    const auto trip = sim::simulate_trip(
+        roadnet::TripId(static_cast<std::uint32_t>(trial)), route,
+        city.profile_of(route.id()), traffic,
+        at_day_time(0, hms(9 + 3 * trial, 21 * trial)), rng);
+
+    const core::SvdPositioner svd_pos(svd_index);
+    core::BusTracker svd_tracker(route, svd_pos);
+    const core::SvdPositioner survey_pos(*survey_index);
+    core::BusTracker survey_tracker(route, survey_pos);
+    const core::SvdPositioner fp_pos(fingerprint);
+    core::BusTracker fp_tracker(route, fp_pos);
+    baselines::CellIdTracker cell = cell_template;
+    cell.reset();
+    baselines::GpsTracker gps_tracker(route);
+
+    for (SimTime t = trip.start_time; t <= trip.end_time; t += 10.0) {
+      const double truth = trip.offset_at(t);
+      const geo::Point p = route.point_at(truth);
+      const auto scan = scanner.scan(city.aps, *city.rf_model, p, t, rng);
+
+      const auto score = [&](Row& row, std::optional<double> estimate) {
+        if (estimate.has_value())
+          row.err.push_back(std::abs(*estimate - truth));
+      };
+      const auto fix_of = [](const std::optional<core::Fix>& fix)
+          -> std::optional<double> {
+        if (!fix.has_value()) return std::nullopt;
+        return fix->route_offset;
+      };
+
+      score(rows[0], fix_of(svd_tracker.ingest(scan)));
+      score(rows[1], fix_of(survey_tracker.ingest(scan)));
+      score(rows[2], fix_of(fp_tracker.ingest(scan)));
+      score(rows[3], lateration.locate_on_route(scan, route));
+      if (const auto obs = city.towers.observe(p, t, rng); obs.has_value())
+        score(rows[4], cell.ingest(*obs));
+      score(rows[5], fix_of(gps_tracker.ingest(t, gps.sample(p, rng))));
+    }
+  }
+
+  TablePrinter table({"approach", "mean (m)", "median (m)", "p90 (m)",
+                      "max (m)", "fixes"});
+  for (Row& row : rows) {
+    if (row.err.empty()) continue;
+    table.add_row({row.name, TablePrinter::num(mean_of(row.err), 1),
+                   TablePrinter::num(quantile_of(row.err, 0.5), 1),
+                   TablePrinter::num(quantile_of(row.err, 0.9), 1),
+                   TablePrinter::num(quantile_of(row.err, 1.0), 0),
+                   TablePrinter::num(row.err.size())});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected (paper Sections II & VI): the SVD variants and "
+               "a *freshly calibrated* fingerprint DB are comparable — the "
+               "fingerprint's weaknesses are the calibration labor and AP "
+               "churn (see ap_failure / the AP-dynamics tests), not "
+               "steady-state accuracy. The propagation model trails, urban "
+               "GPS is erratic, and Cell-ID is an order of magnitude "
+               "coarser.\n";
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Fig. 11: rush-hour traffic maps on the main street — WiLocator vs the
+// Transit Agency style vs a velocity-based (Google-Maps-like) map.
+//
+// Paper: the agency map has *unconfirmed* segments; the Google map
+// leaves some segments unmarked after zooming; WiLocator marks every
+// segment (temporal-constancy inference) and detects the anomalies.
+// We inject an incident on the corridor during the PM rush and compare
+// the three maps' coverage and detections, plus the anomaly-site report.
+
+#include <algorithm>
+#include <iostream>
+
+#include "baselines/schedule.hpp"
+#include "common.hpp"
+
+namespace {
+
+// A velocity-based classifier (the Google-style map): classifies only
+// segments with a recent pass, by speed vs speed limit; no statistics,
+// so rapid buses mask jams and some segments stay unmarked.
+wiloc::core::TrafficState velocity_state(double mean_speed,
+                                         double speed_limit) {
+  const double ratio = mean_speed / speed_limit;
+  if (ratio < 0.18) return wiloc::core::TrafficState::VerySlow;
+  if (ratio < 0.32) return wiloc::core::TrafficState::Slow;
+  return wiloc::core::TrafficState::Normal;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wiloc;
+  print_banner(std::cout, "Fig. 11: traffic maps during the PM rush");
+
+  const sim::City city = sim::build_paper_city();
+  sim::TrafficModel traffic(2016);
+  const sim::FleetPlan plan = sim::default_fleet_plan(city);
+
+  core::WiLocatorServer server(city.route_pointers(), city.ap_snapshot(),
+                               *city.rf_model,
+                               DaySlots::paper_five_slots());
+  Rng rng(17);
+  bench::train_server(server, city, traffic, plan, 0, 5, rng);
+
+  // Inject a construction-site incident on a mid-corridor segment of the
+  // main street during the evening.
+  const int test_day = 7;
+  const auto& rapid = city.route_by_name("Rapid");
+  const roadnet::EdgeId incident_edge = rapid.edges()[16];
+  traffic.add_incident({incident_edge, 80.0, 320.0,
+                        at_day_time(test_day, hms(17)),
+                        at_day_time(test_day, hms(20)), 1.0});
+
+  const auto day =
+      bench::simulate_live_day(city, traffic, plan, test_day, 0, rng);
+  bench::ingest_live_day(server, day);
+
+  const SimTime now = at_day_time(test_day, hms(18, 30));
+
+  // All corridor edges (union of route edges).
+  std::vector<roadnet::EdgeId> edges;
+  for (const auto& route : city.routes)
+    edges.insert(edges.end(), route.edges().begin(), route.edges().end());
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  // (a) WiLocator map.
+  const core::TrafficMap wiloc_map = server.traffic_map(now);
+  // (b) Agency map: same-route recents only, no inference.
+  const baselines::AgencyTrafficMap agency(server.store(),
+                                           server.predictor());
+  const core::TrafficMap agency_map = agency.build(edges, now);
+  // (c) Velocity map from raw recent traversal speeds.
+  core::TrafficMap velocity_map;
+  velocity_map.time = now;
+  for (const roadnet::EdgeId edge : edges) {
+    core::SegmentTraffic seg;
+    const auto recents = server.store().recent(edge, now, 35.0 * 60.0, 8);
+    if (!recents.empty()) {
+      double speed_sum = 0.0;
+      for (const auto& r : recents)
+        speed_sum += city.network->edge(edge).length() / r.travel_time;
+      seg.state = velocity_state(
+          speed_sum / static_cast<double>(recents.size()),
+          city.network->edge(edge).speed_limit());
+      seg.recent_count = recents.size();
+    }
+    velocity_map.segments.emplace(edge, seg);
+  }
+
+  const auto summarize = [&](const char* name,
+                             const core::TrafficMap& map) {
+    TablePrinter table({"map", "normal", "slow", "very-slow",
+                        "unknown/unconfirmed"});
+    table.add_row({name,
+                   TablePrinter::num(map.count(core::TrafficState::Normal)),
+                   TablePrinter::num(map.count(core::TrafficState::Slow)),
+                   TablePrinter::num(map.count(core::TrafficState::VerySlow)),
+                   TablePrinter::num(map.unknown_count())});
+    table.print(std::cout);
+    const auto it = map.segments.find(incident_edge);
+    std::cout << "  incident segment state: "
+              << (it == map.segments.end() ? "?"
+                                           : to_string(it->second.state))
+              << "\n\n";
+  };
+
+  summarize("WiLocator", wiloc_map);
+  summarize("Transit Agency", agency_map);
+  summarize("Velocity (Google-style)", velocity_map);
+
+  // Anomaly-site detection on the buses that crossed the incident.
+  print_banner(std::cout, "Anomaly sites (paper Section V-B4)");
+  std::size_t reported = 0;
+  for (const auto& trip : day) {
+    if (!(trip.record.route == rapid.id())) continue;
+    for (const auto& anomaly : server.anomalies(trip.record.id)) {
+      if (reported < 5) {
+        std::cout << "  trip " << trip.record.id.value() << ": stall ["
+                  << anomaly.begin_offset << ", " << anomaly.end_offset
+                  << "] m, " << anomaly.duration() << " s\n";
+      }
+      ++reported;
+    }
+  }
+  std::cout << "  total anomaly windows on Rapid trips: " << reported
+            << "\n";
+  const double incident_begin = rapid.edge_start_offset(16) + 80.0;
+  const double incident_end = rapid.edge_start_offset(16) + 320.0;
+  std::cout << "  injected incident spans route offsets ["
+            << incident_begin << ", " << incident_end << "]\n";
+
+  std::cout << "\nPaper reference: WiLocator leaves no segment unmarked; "
+               "the agency map has unconfirmed segments; the velocity map "
+               "misses/mislabels segments. Anomalies localize the injected "
+               "site.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 8(a): CDF of positioning errors per route.
+//
+// Paper: all four routes' CDFs concentrated in 2-5 m with median < 3 m.
+// Protocol: track every trip of a test day live; error = road distance
+// between the estimated and true position at each fix.
+
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+
+int main() {
+  using namespace wiloc;
+  print_banner(std::cout, "Fig. 8(a): CDF of positioning errors per route");
+
+  const sim::City city = sim::build_paper_city();
+  const sim::TrafficModel traffic(2016);
+  const sim::FleetPlan plan = sim::default_fleet_plan(city);
+
+  core::WiLocatorServer server(city.route_pointers(), city.ap_snapshot(),
+                               *city.rf_model,
+                               DaySlots::paper_five_slots());
+  Rng rng(7);
+  bench::train_server(server, city, traffic, plan, /*first_day=*/0,
+                      /*day_count=*/2, rng);
+
+  const auto day =
+      bench::simulate_live_day(city, traffic, plan, /*day=*/3, 0, rng);
+  bench::ingest_live_day(server, day);
+
+  std::map<std::string, std::vector<double>> per_route;
+  for (const auto& trip : day) {
+    const auto& name = city.routes[trip.record.route.index()].name();
+    const auto errors = bench::positioning_errors(server, trip);
+    auto& bucket = per_route[name];
+    bucket.insert(bucket.end(), errors.begin(), errors.end());
+  }
+
+  for (const auto& [name, errors] : per_route) {
+    std::cout << "\nRoute " << name << ":\n";
+    bench::print_cdf(std::cout, "error (m)", errors);
+  }
+
+  std::cout << "\nPaper reference: median < 3 m on every route; our "
+               "simulated substrate lands in the same order of magnitude "
+               "(meters to low tens of meters) with the same shape.\n";
+  return 0;
+}

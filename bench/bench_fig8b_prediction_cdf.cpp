@@ -1,0 +1,63 @@
+// Fig. 8(b): CDF of arrival-time prediction errors, WiLocator vs the
+// Transit Agency (schedule) baseline.
+//
+// Paper: the two CDFs are comparable in the body, but the agency's tail
+// reaches ~800 s during rush hours while WiLocator's stays ~500 s.
+// Protocol: train on history days, replay a test day live (so the recent
+// store fills from *tracked* buses), and sample arrival predictions at
+// stop departures for all downstream stops during rush hours.
+
+#include <iostream>
+
+#include "baselines/schedule.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace wiloc;
+  print_banner(std::cout,
+               "Fig. 8(b): arrival prediction error CDF (rush hours)");
+
+  const sim::City city = sim::build_paper_city();
+  const sim::TrafficModel traffic(2016);
+  const sim::FleetPlan plan = sim::default_fleet_plan(city);
+
+  core::WiLocatorServer server(city.route_pointers(), city.ap_snapshot(),
+                               *city.rf_model,
+                               DaySlots::paper_five_slots());
+  Rng rng(11);
+  bench::train_server(server, city, traffic, plan, 0, 6, rng);
+
+  const auto day = bench::simulate_live_day(city, traffic, plan, 8, 0, rng);
+  bench::ingest_live_day(server, day);
+
+  const auto wiloc_samples = bench::prediction_samples(
+      day, city,
+      [&](const roadnet::BusRoute& route, double offset, SimTime now,
+          std::size_t stop) {
+        return server.predictor().predict_arrival(route, offset, now, stop);
+      });
+  const baselines::SchedulePredictor schedule(server.store());
+  const auto agency_samples = bench::prediction_samples(
+      day, city,
+      [&](const roadnet::BusRoute& route, double offset, SimTime now,
+          std::size_t stop) {
+        return schedule.predict_arrival(route, offset, now, stop);
+      });
+
+  const auto rush_only = [](const std::vector<bench::PredictionSample>& in) {
+    std::vector<double> out;
+    for (const auto& s : in)
+      if (s.rush_hour) out.push_back(s.error_s);
+    return out;
+  };
+
+  std::cout << "\nWiLocator:\n";
+  bench::print_cdf(std::cout, "error (s)", rush_only(wiloc_samples));
+  std::cout << "\nTransit Agency (schedule baseline):\n";
+  bench::print_cdf(std::cout, "error (s)", rush_only(agency_samples));
+
+  std::cout << "\nPaper reference: comparable CDF bodies; agency max ~800 s "
+               "vs WiLocator max ~500 s in rush hours. Expect the same "
+               "ordering of the tails here.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 9(a): mean positioning error vs the number of WiFi APs.
+//
+// Paper: error decreases slowly from 3.15 m to 2.8 m as APs increase —
+// i.e. not many APs are needed. We sweep the AP density of the corridor
+// and track the Rapid Line.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/tracker.hpp"
+#include "svd/route_svd.hpp"
+
+namespace {
+
+double mean_tracking_error(const wiloc::sim::City& city,
+                           const wiloc::sim::TrafficModel& traffic,
+                           std::uint64_t seed) {
+  using namespace wiloc;
+  const auto& route = city.route_by_name("Rapid");
+  const svd::RouteSvd index(route, city.ap_snapshot(), *city.rf_model, {});
+  const core::SvdPositioner positioner(index);
+  Rng rng(seed);
+  RunningStats errors;
+  const rf::Scanner scanner;
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto trip = sim::simulate_trip(
+        roadnet::TripId(static_cast<std::uint32_t>(trial)), route,
+        city.profile_of(route.id()), traffic,
+        at_day_time(0, hms(8 + 2 * trial, 13 * trial)), rng);
+    const auto reports = sim::sense_trip(trip, route, city.aps,
+                                         *city.rf_model, scanner, rng);
+    core::BusTracker tracker(route, positioner);
+    for (const auto& report : reports) {
+      const auto fix = tracker.ingest(report.scan);
+      if (!fix.has_value()) continue;
+      errors.add(std::abs(fix->route_offset - trip.offset_at(fix->time)));
+    }
+  }
+  return errors.empty() ? 0.0 : errors.mean();
+}
+
+}  // namespace
+
+int main() {
+  using namespace wiloc;
+  print_banner(std::cout, "Fig. 9(a): positioning error vs number of APs");
+
+  const sim::TrafficModel traffic(2016);
+  TablePrinter table({"AP density (/km)", "#APs", "mean error (m)",
+                      "median tile (m)"});
+  for (const double density : {6.0, 10.0, 14.0, 18.0, 24.0, 32.0}) {
+    sim::CityParams params;
+    params.ap_density_per_km = density;
+    const sim::City city = sim::build_paper_city(params);
+    const auto& route = city.route_by_name("Rapid");
+    const svd::RouteSvd index(route, city.ap_snapshot(), *city.rf_model,
+                              {});
+    const double err = mean_tracking_error(city, traffic, 99);
+    table.add_row({TablePrinter::num(density, 0),
+                   TablePrinter::num(city.aps.count()),
+                   TablePrinter::num(err, 2),
+                   TablePrinter::num(index.mean_interval_length(), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper reference: slow decrease (3.15 m -> 2.8 m) with "
+               "more APs; the trend (more APs -> smaller tiles -> smaller "
+               "error, flattening) is the reproduced shape.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 9(b): positioning error vs the order of the SVD.
+//
+// Paper: the error "does not change significantly when the order of SVD
+// increases, and 2-order SVD is often enough".
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/tracker.hpp"
+#include "svd/route_svd.hpp"
+
+int main() {
+  using namespace wiloc;
+  print_banner(std::cout, "Fig. 9(b): positioning error vs SVD order");
+
+  const sim::City city = sim::build_paper_city();
+  const sim::TrafficModel traffic(2016);
+  const auto& route = city.route_by_name("Rapid");
+  const rf::Scanner scanner;
+
+  TablePrinter table(
+      {"SVD order", "#tiles", "mean tile (m)", "mean error (m)",
+       "median error (m)"});
+  for (const std::size_t order : {1u, 2u, 3u, 4u, 5u}) {
+    svd::RouteSvdParams params;
+    params.order = order;
+    const svd::RouteSvd index(route, city.ap_snapshot(), *city.rf_model,
+                              params);
+    const core::SvdPositioner positioner(index);
+    Rng rng(7);
+    std::vector<double> errors;
+    for (int trial = 0; trial < 3; ++trial) {
+      const auto trip = sim::simulate_trip(
+          roadnet::TripId(static_cast<std::uint32_t>(trial)), route,
+          city.profile_of(route.id()), traffic,
+          at_day_time(0, hms(9 + 2 * trial, 7 * trial)), rng);
+      const auto reports = sim::sense_trip(trip, route, city.aps,
+                                           *city.rf_model, scanner, rng);
+      core::BusTracker tracker(route, positioner);
+      for (const auto& report : reports) {
+        const auto fix = tracker.ingest(report.scan);
+        if (!fix.has_value()) continue;
+        errors.push_back(
+            std::abs(fix->route_offset - trip.offset_at(fix->time)));
+      }
+    }
+    table.add_row({TablePrinter::num(order),
+                   TablePrinter::num(index.intervals().size()),
+                   TablePrinter::num(index.mean_interval_length(), 1),
+                   TablePrinter::num(mean_of(errors), 2),
+                   TablePrinter::num(quantile_of(errors, 0.5), 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper reference: flat beyond order 2 — higher orders "
+               "shrink tiles but rank noise dominates, so accuracy "
+               "saturates.\n";
+  return 0;
+}

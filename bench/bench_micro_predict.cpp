@@ -1,0 +1,81 @@
+// Microbenchmarks (google-benchmark): travel-time store and arrival
+// prediction throughput — per-query server cost.
+
+#include <benchmark/benchmark.h>
+
+#include "core/predictor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wiloc;
+using core::TravelObservation;
+using core::TravelTimeStore;
+using roadnet::EdgeId;
+using roadnet::RouteId;
+
+/// A trained store over a synthetic 60-edge network with 4 routes and
+/// 20 days of history.
+const TravelTimeStore& shared_store() {
+  static const TravelTimeStore store = [] {
+    TravelTimeStore s(DaySlots::paper_five_slots());
+    Rng rng(5);
+    for (int day = 0; day < 20; ++day) {
+      for (unsigned route = 0; route < 4; ++route) {
+        for (unsigned edge = 0; edge < 60; ++edge) {
+          for (const double tod :
+               {hms(7, 30), hms(9), hms(12), hms(15), hms(18, 30),
+                hms(21)}) {
+            s.add_history({EdgeId(edge), RouteId(route),
+                           at_day_time(day, tod),
+                           60.0 + rng.uniform(0.0, 40.0)});
+          }
+        }
+      }
+    }
+    s.finalize_history();
+    return s;
+  }();
+  return store;
+}
+
+void BM_HistoricalMeanLookup(benchmark::State& state) {
+  const TravelTimeStore& store = shared_store();
+  unsigned i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.historical_mean(EdgeId(i % 60), RouteId(i % 4), i % 5));
+    ++i;
+  }
+}
+BENCHMARK(BM_HistoricalMeanLookup);
+
+void BM_AddRecentAndQuery(benchmark::State& state) {
+  TravelTimeStore store(DaySlots::paper_five_slots());
+  store.finalize_history();
+  Rng rng(7);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 30.0;
+    store.add_recent({EdgeId(static_cast<std::uint32_t>(rng.uniform_int(0, 59))),
+                      RouteId(0), t, 80.0});
+    benchmark::DoNotOptimize(store.recent(EdgeId(7), t, 1800.0, 8));
+  }
+}
+BENCHMARK(BM_AddRecentAndQuery);
+
+void BM_PredictSegmentTime(benchmark::State& state) {
+  const TravelTimeStore& store = shared_store();
+  const core::ArrivalPredictor predictor(store);
+  unsigned i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.predict_segment_time(
+        EdgeId(i % 60), RouteId(i % 4), at_day_time(25, hms(9))));
+    ++i;
+  }
+}
+BENCHMARK(BM_PredictSegmentTime);
+
+}  // namespace
+
+BENCHMARK_MAIN();

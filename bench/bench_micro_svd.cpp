@@ -1,0 +1,97 @@
+// Microbenchmarks (google-benchmark): SVD construction and locate
+// throughput — the back-end server's hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include "core/positioner.hpp"
+#include "sim/city.hpp"
+#include "sim/crowd.hpp"
+#include "sim/traffic_model.hpp"
+#include "svd/grid_svd.hpp"
+#include "svd/route_svd.hpp"
+
+namespace {
+
+using namespace wiloc;
+
+const sim::City& shared_city() {
+  static const sim::City city = sim::build_paper_city();
+  return city;
+}
+
+void BM_RouteSvdConstruction(benchmark::State& state) {
+  const sim::City& city = shared_city();
+  const auto& route = city.route_by_name("Rapid");
+  svd::RouteSvdParams params;
+  params.order = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const svd::RouteSvd index(route, city.ap_snapshot(), *city.rf_model,
+                              params);
+    benchmark::DoNotOptimize(index.intervals().size());
+  }
+  state.counters["tiles"] = static_cast<double>(
+      svd::RouteSvd(route, city.ap_snapshot(), *city.rf_model, params)
+          .intervals()
+          .size());
+}
+BENCHMARK(BM_RouteSvdConstruction)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_GridSvdConstruction(benchmark::State& state) {
+  const sim::City& city = shared_city();
+  const auto& route = city.route_by_name("Rapid");
+  geo::Aabb ribbon;
+  for (double offset = 0.0; offset <= route.length(); offset += 200.0)
+    ribbon.expand(route.point_at(offset));
+  ribbon.inflate(100.0);
+  const svd::GridSpec spec{ribbon, static_cast<double>(state.range(0))};
+  for (auto _ : state) {
+    const svd::SvdGrid grid(city.ap_snapshot(), *city.rf_model, spec);
+    benchmark::DoNotOptimize(grid.region_count());
+  }
+}
+BENCHMARK(BM_GridSvdConstruction)->Arg(8)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LocateExact(benchmark::State& state) {
+  const sim::City& city = shared_city();
+  const auto& route = city.route_by_name("Rapid");
+  const svd::RouteSvd index(route, city.ap_snapshot(), *city.rf_model, {});
+  // Clean observed rankings (exact-signature fast path).
+  std::vector<std::vector<rf::ApId>> observations;
+  for (const auto& interval : index.intervals())
+    if (interval.signature.order() >= 2)
+      observations.push_back(interval.signature.aps());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.locate(observations[i]));
+    i = (i + 1) % observations.size();
+  }
+}
+BENCHMARK(BM_LocateExact);
+
+void BM_LocateNoisyScan(benchmark::State& state) {
+  const sim::City& city = shared_city();
+  const auto& route = city.route_by_name("Rapid");
+  const svd::RouteSvd index(route, city.ap_snapshot(), *city.rf_model, {});
+  const core::SvdPositioner positioner(index);
+  // Real noisy scans from a simulated trip.
+  const sim::TrafficModel traffic(1);
+  Rng rng(3);
+  const auto trip =
+      sim::simulate_trip(roadnet::TripId(0), route,
+                         city.profile_of(route.id()), traffic,
+                         at_day_time(0, hms(9)), rng);
+  const rf::Scanner scanner;
+  const auto reports = sim::sense_trip(trip, route, city.aps,
+                                       *city.rf_model, scanner, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(positioner.locate(reports[i].scan));
+    i = (i + 1) % reports.size();
+  }
+}
+BENCHMARK(BM_LocateNoisyScan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Table I: information of the four investigated bus routes.
+//
+// Paper values: Rapid 19 stops / 13.7 km / 13 km overlapped;
+//               9     65 / 16.3 / 13;  14  74 / 20.6 / 16.2;
+//               16    91 / 18.3 / 9.5.
+// We print the synthetic city's measured values side by side.
+
+#include <iostream>
+
+#include "roadnet/overlap.hpp"
+#include "sim/city.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wiloc;
+  print_banner(std::cout, "Table I: route information (paper vs built)");
+
+  const sim::City city = sim::build_paper_city();
+  const roadnet::OverlapIndex overlap(city.route_pointers());
+
+  struct PaperRow {
+    const char* name;
+    int stops;
+    double length_km;
+    double overlap_km;
+  };
+  const PaperRow paper[] = {{"Rapid", 19, 13.7, 13.0},
+                            {"9", 65, 16.3, 13.0},
+                            {"14", 74, 20.6, 16.2},
+                            {"16", 91, 18.3, 9.5}};
+
+  TablePrinter table({"Route", "#Stops", "Length(km)", "Overlap(km)",
+                      "paper:#Stops", "paper:Len", "paper:Ovl"});
+  for (const PaperRow& row : paper) {
+    const auto& route = city.route_by_name(row.name);
+    table.add_row({route.name(), TablePrinter::num(route.stop_count()),
+                   TablePrinter::num(route.length() / 1000.0, 1),
+                   TablePrinter::num(
+                       overlap.overlapped_length(route.id()) / 1000.0, 1),
+                   TablePrinter::num(row.stops),
+                   TablePrinter::num(row.length_km, 1),
+                   TablePrinter::num(row.overlap_km, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCity: " << city.network->node_count() << " nodes, "
+            << city.network->edge_count() << " road segments, "
+            << city.aps.count() << " geo-tagged APs, " << city.towers.count()
+            << " cell towers\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace wiloc::bench {
+
+void train_server(core::WiLocatorServer& server, const sim::City& city,
+                  const sim::TrafficModel& traffic,
+                  const sim::FleetPlan& plan, int first_day, int day_count,
+                  Rng& rng) {
+  const auto history = sim::simulate_service_days(
+      city, traffic, plan, first_day, day_count, rng,
+      /*keep_trajectories=*/false);
+  for (const auto& trip : history) {
+    const auto& route = city.routes[trip.route.index()];
+    for (const auto& seg : trip.segments) {
+      if (seg.travel_time() <= 0.0) continue;
+      server.load_history({route.edges()[seg.edge_index], trip.route,
+                           seg.exit, seg.travel_time()});
+    }
+  }
+  server.finalize_history();
+}
+
+std::vector<LiveTrip> simulate_live_day(const sim::City& city,
+                                        const sim::TrafficModel& traffic,
+                                        const sim::FleetPlan& plan, int day,
+                                        std::uint32_t first_trip_id,
+                                        Rng& rng) {
+  std::uint32_t next_id = first_trip_id;
+  auto records = sim::simulate_service_day(city, traffic, plan, day, rng,
+                                           &next_id,
+                                           /*keep_trajectories=*/true);
+  std::vector<LiveTrip> out;
+  out.reserve(records.size());
+  const rf::Scanner scanner;
+  for (auto& record : records) {
+    const auto& route = city.routes[record.route.index()];
+    auto reports = sim::sense_trip(record, route, city.aps,
+                                   *city.rf_model, scanner, rng);
+    out.push_back({std::move(record), std::move(reports)});
+  }
+  return out;
+}
+
+void ingest_live_day(core::WiLocatorServer& server,
+                     const std::vector<LiveTrip>& day) {
+  struct Event {
+    SimTime time;
+    const sim::ScanReport* report;
+  };
+  std::vector<Event> events;
+  for (const LiveTrip& trip : day) {
+    server.begin_trip(trip.record.id, trip.record.route);
+    for (const auto& report : trip.reports)
+      events.push_back({report.scan.time, &report});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.time < b.time; });
+  for (const Event& event : events)
+    server.ingest(event.report->trip, event.report->scan);
+}
+
+std::vector<double> positioning_errors(const core::WiLocatorServer& server,
+                                       const LiveTrip& trip) {
+  std::vector<double> errors;
+  const auto& fixes = server.tracker(trip.record.id).fixes();
+  errors.reserve(fixes.size());
+  for (const auto& fix : fixes)
+    errors.push_back(
+        std::abs(fix.route_offset - trip.record.offset_at(fix.time)));
+  return errors;
+}
+
+void print_cdf(std::ostream& os, const std::string& label,
+               const std::vector<double>& samples, std::size_t points) {
+  if (samples.empty()) {
+    os << label << ": (no samples)\n";
+    return;
+  }
+  const EmpiricalCdf cdf(samples);
+  TablePrinter table({label, "P[err <= x]"});
+  for (const auto& point : cdf.series(points)) {
+    table.add_row(
+        {TablePrinter::num(point.x, 1), TablePrinter::num(point.fraction, 3)});
+  }
+  table.print(os);
+  os << "  n=" << cdf.count() << "  median=" << cdf.quantile(0.5)
+     << "  p90=" << cdf.quantile(0.9) << "  max=" << cdf.max() << "\n";
+}
+
+}  // namespace wiloc::bench

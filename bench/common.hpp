@@ -1,0 +1,95 @@
+// Shared experiment driver for the bench harness.
+//
+// Every figure/table bench follows the paper's protocol: build the
+// corridor city, collect weeks of history, replay a test day live
+// through the WiLocator server (all concurrent trips' scans in global
+// time order, so the recent store sees exactly what a real server
+// would), and measure against the simulator's ground truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/server.hpp"
+#include "sim/city.hpp"
+#include "sim/crowd.hpp"
+#include "sim/fleet.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace wiloc::bench {
+
+/// Ground truth + scan stream of one live trip.
+struct LiveTrip {
+  sim::TripRecord record;
+  std::vector<sim::ScanReport> reports;
+};
+
+/// Simulates `day_count` history days and loads the ground-truth segment
+/// times into the server (offline training). Finalizes the history.
+void train_server(core::WiLocatorServer& server, const sim::City& city,
+                  const sim::TrafficModel& traffic,
+                  const sim::FleetPlan& plan, int first_day, int day_count,
+                  Rng& rng);
+
+/// Simulates the test day's full service with trajectories and crowd
+/// scans. Trip ids start at `first_trip_id`.
+std::vector<LiveTrip> simulate_live_day(const sim::City& city,
+                                        const sim::TrafficModel& traffic,
+                                        const sim::FleetPlan& plan, int day,
+                                        std::uint32_t first_trip_id,
+                                        Rng& rng);
+
+/// Registers every live trip and feeds all scans to the server in global
+/// time order (interleaving concurrent buses).
+void ingest_live_day(core::WiLocatorServer& server,
+                     const std::vector<LiveTrip>& day);
+
+/// Per-fix positioning errors (|estimate - truth| in meters of road)
+/// for one tracked trip. Requires the trip to have been ingested.
+std::vector<double> positioning_errors(const core::WiLocatorServer& server,
+                                       const LiveTrip& trip);
+
+/// One arrival-prediction sample: queried at `query_time` for
+/// `stops_ahead` stops downstream; error = |predicted - actual| seconds.
+struct PredictionSample {
+  roadnet::RouteId route;
+  std::size_t stops_ahead;
+  double error_s;
+  bool rush_hour;
+};
+
+/// Prediction-error samples for a predictor callback
+/// (SimTime f(route, offset, now, stop_index)).
+template <typename PredictFn>
+std::vector<PredictionSample> prediction_samples(
+    const std::vector<LiveTrip>& day, const sim::City& city,
+    PredictFn&& predict) {
+  std::vector<PredictionSample> out;
+  const DaySlots slots = DaySlots::paper_five_slots();
+  for (const LiveTrip& trip : day) {
+    const auto& route = city.routes[trip.record.route.index()];
+    // Query at every second stop departure for all downstream stops.
+    for (std::size_t s = 0; s + 1 < trip.record.stops.size(); s += 2) {
+      const auto& st = trip.record.stops[s];
+      const SimTime now = st.depart;
+      const double offset = route.stop_offset(st.stop_index);
+      const std::size_t slot = slots.slot_of(now);
+      const bool rush = (slot == 1 || slot == 3);
+      for (std::size_t target = st.stop_index + 1;
+           target < route.stop_count(); ++target) {
+        const SimTime truth = trip.record.arrival_at_stop(target);
+        const SimTime predicted = predict(route, offset, now, target);
+        out.push_back({route.id(), target - st.stop_index,
+                       std::abs(predicted - truth), rush});
+      }
+    }
+  }
+  return out;
+}
+
+/// Prints a CDF as rows of (x, fraction) with the given label column.
+void print_cdf(std::ostream& os, const std::string& label,
+               const std::vector<double>& samples, std::size_t points = 12);
+
+}  // namespace wiloc::bench

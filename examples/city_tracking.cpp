@@ -1,0 +1,111 @@
+// City tracking: a morning of live service on the four-route corridor.
+//
+// Builds the paper-city, trains the server on two history days, then
+// replays the test morning live and prints a tracking console: per-trip
+// position estimates vs ground truth, and per-route accuracy summaries.
+//
+// Run:  ./city_tracking
+
+#include <iostream>
+#include <map>
+
+#include "core/wilocator.hpp"
+#include "sim/city.hpp"
+#include "sim/crowd.hpp"
+#include "sim/fleet.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wiloc;
+
+  const sim::City city = sim::build_paper_city();
+  const sim::TrafficModel traffic(404);
+  sim::FleetPlan plan = sim::default_fleet_plan(city);
+  // A short morning of service keeps the example fast.
+  for (auto& sp : plan.per_route) {
+    sp.first_departure_tod = hms(7, 30);
+    sp.last_departure_tod = hms(9, 30);
+  }
+
+  core::WiLocatorServer server(city.route_pointers(), city.ap_snapshot(),
+                               *city.rf_model,
+                               DaySlots::paper_five_slots());
+
+  std::cout << "Training on 2 history days..." << std::endl;
+  Rng rng(5);
+  {
+    const auto history = sim::simulate_service_days(
+        city, traffic, plan, /*first_day=*/0, /*day_count=*/2, rng);
+    for (const auto& trip : history) {
+      const auto& route = city.routes[trip.route.index()];
+      for (const auto& seg : trip.segments)
+        if (seg.travel_time() > 0.0)
+          server.load_history({route.edges()[seg.edge_index], trip.route,
+                               seg.exit, seg.travel_time()});
+    }
+    server.finalize_history();
+  }
+
+  std::cout << "Simulating the test morning..." << std::endl;
+  std::uint32_t next_id = 0;
+  const auto trips = sim::simulate_service_day(city, traffic, plan,
+                                               /*day=*/3, rng, &next_id);
+  const rf::Scanner scanner;
+
+  // Live console: follow the first Rapid trip scan by scan.
+  const auto& rapid = city.route_by_name("Rapid");
+  bool followed = false;
+  std::map<std::string, RunningStats> per_route_error;
+
+  for (const auto& trip : trips) {
+    const auto& route = city.routes[trip.route.index()];
+    const auto reports = sim::sense_trip(trip, route, city.aps,
+                                         *city.rf_model, scanner, rng);
+    server.begin_trip(trip.id, trip.route);
+    const bool follow = !followed && trip.route == rapid.id();
+    if (follow) {
+      std::cout << "\nFollowing trip " << trip.id.value()
+                << " (Rapid, departs " << format_time(trip.start_time)
+                << "):\n";
+      std::cout << "  time        est (m)   true (m)  err (m)  next stop "
+                   "ETA err (s)\n";
+    }
+    std::size_t shown = 0;
+    for (const auto& report : reports) {
+      const auto fix = server.ingest(trip.id, report.scan);
+      if (!fix.has_value()) continue;
+      const double truth = trip.offset_at(fix->time);
+      per_route_error[route.name()].add(
+          std::abs(fix->route_offset - truth));
+      if (follow && shown++ % 12 == 0) {
+        // ETA error at the next downstream stop.
+        std::string eta_err = "-";
+        if (const auto next =
+                route.next_stop_at_or_after(fix->route_offset + 1.0);
+            next.has_value()) {
+          if (const auto eta = server.eta(trip.id, *next, fix->time);
+              eta.has_value()) {
+            const double actual = trip.arrival_at_stop(*next);
+            eta_err = TablePrinter::num(std::abs(*eta - actual), 0);
+          }
+        }
+        std::printf("  %s  %8.0f  %8.0f  %7.1f  %s\n",
+                    format_time(fix->time).c_str(), fix->route_offset,
+                    truth, std::abs(fix->route_offset - truth),
+                    eta_err.c_str());
+      }
+    }
+    if (follow) followed = true;
+    server.end_trip(trip.id);
+  }
+
+  print_banner(std::cout, "Per-route tracking accuracy (test morning)");
+  TablePrinter table({"route", "fixes", "mean err (m)", "max err (m)"});
+  for (const auto& [name, stats] : per_route_error) {
+    table.add_row({name, TablePrinter::num(stats.count()),
+                   TablePrinter::num(stats.mean(), 1),
+                   TablePrinter::num(stats.max(), 0)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Quickstart: the WiLocator pipeline end to end on a small scenario.
+//
+//  1. build a synthetic corridor city (road network, routes, APs);
+//  2. construct the route-restricted Signal Voronoi Diagram;
+//  3. simulate one bus trip and the riders' WiFi scans;
+//  4. track the bus scan by scan and measure positioning error;
+//  5. train the predictor on a few days of history and ask for an ETA.
+//
+// Run:  ./quickstart
+
+#include <iostream>
+
+#include "core/wilocator.hpp"
+#include "sim/city.hpp"
+#include "sim/crowd.hpp"
+#include "sim/fleet.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace wiloc;
+
+  // 1. A four-route corridor city with default AP density.
+  const sim::City city = sim::build_paper_city();
+  const roadnet::BusRoute& route = city.route_by_name("Rapid");
+  std::cout << "City: " << city.network->edge_count() << " road segments, "
+            << city.aps.count() << " APs, " << city.routes.size()
+            << " routes\n";
+
+  // 2. The SVD along the Rapid Line (order 2: the paper's Signal Tiles).
+  const svd::RouteSvd index(route, city.ap_snapshot(), *city.rf_model, {});
+  std::cout << "RouteSvd: " << index.intervals().size()
+            << " signal tiles along " << route.length() / 1000.0
+            << " km (mean tile " << index.mean_interval_length()
+            << " m)\n";
+
+  // 3. One morning trip plus its crowd-sensed scans.
+  Rng rng(7);
+  const sim::TrafficModel traffic(/*seed=*/99);
+  const sim::TripRecord trip =
+      sim::simulate_trip(roadnet::TripId(0), route,
+                         city.profile_of(route.id()), traffic,
+                         at_day_time(0, hms(8, 30)), rng);
+  const rf::Scanner scanner;
+  const auto reports = sim::sense_trip(trip, route, city.aps,
+                                       *city.rf_model, scanner, rng);
+  std::cout << "Trip: " << (trip.end_time - trip.start_time) / 60.0
+            << " min, " << reports.size() << " scans\n";
+
+  // 4. Track and measure error against ground truth.
+  const core::SvdPositioner positioner(index);
+  core::BusTracker tracker(route, positioner);
+  RunningStats error;
+  for (const auto& report : reports) {
+    const auto fix = tracker.ingest(report.scan);
+    if (!fix.has_value()) continue;
+    const double truth = trip.offset_at(fix->time);
+    error.add(std::abs(fix->route_offset - truth));
+  }
+  std::cout << "Tracking: " << error.count() << " fixes, mean error "
+            << error.mean() << " m, max " << error.max() << " m\n";
+
+  // 5. Train on three history days, then predict arrival at the last
+  //    stop from the bus's mid-trip position.
+  core::TravelTimeStore store(DaySlots::paper_five_slots());
+  const sim::FleetPlan plan = sim::default_fleet_plan(city);
+  Rng fleet_rng(11);
+  for (const auto& hist : sim::simulate_service_days(
+           city, traffic, plan, /*first_day=*/1, /*day_count=*/3,
+           fleet_rng)) {
+    const auto& hist_route = city.routes[hist.route.index()];
+    for (const auto& seg : hist.segments) {
+      if (seg.travel_time() <= 0.0) continue;
+      store.add_history({hist_route.edges()[seg.edge_index], hist.route,
+                         seg.exit, seg.travel_time()});
+    }
+  }
+  store.finalize_history();
+  const core::ArrivalPredictor predictor(store);
+
+  const SimTime query_time = trip.start_time + 600.0;
+  const double bus_at = trip.offset_at(query_time);
+  const std::size_t last_stop = route.stop_count() - 1;
+  const SimTime eta =
+      predictor.predict_arrival(route, bus_at, query_time, last_stop);
+  const SimTime truth = trip.arrival_at_stop(last_stop);
+  std::cout << "ETA at '" << route.stop(last_stop).name
+            << "': predicted " << format_time(eta) << ", actual "
+            << format_time(truth) << " (error "
+            << std::abs(eta - truth) << " s)\n";
+  return 0;
+}

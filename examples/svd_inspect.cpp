@@ -1,0 +1,133 @@
+// SVD inspector: the paper's Fig. 2, rendered in ASCII.
+//
+// Builds a small scene — a road segment with five APs (a..e, as in the
+// paper's figure) — and prints:
+//   * the first-order diagram (Signal Cells, one letter per cell),
+//   * the second-order refinement (Signal Tiles) with joint points,
+//   * the Tile Mapping of each tile (its road sub-segment, or the
+//     neighbour it falls back through),
+//   * the same scene after AP 'b' fails (the paper's dynamics story).
+//
+// Run:  ./svd_inspect
+
+#include <iostream>
+#include <memory>
+
+#include "svd/grid_svd.hpp"
+#include "svd/tile_mapper.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wiloc;
+
+void render(const svd::SvdGrid& grid, const roadnet::BusRoute& route,
+            bool first_order) {
+  // One character per 8x8 m block; letter = strongest AP ('a' + id) for
+  // first order, or a region glyph for second order; '=' marks the road.
+  const auto& domain = grid.spec().domain;
+  const double step = 8.0;
+  for (double y = domain.max().y - step / 2; y > domain.min().y;
+       y -= step) {
+    std::string row;
+    for (double x = domain.min().x + step / 2; x < domain.max().x;
+         x += step) {
+      const geo::Point p{x, y};
+      const auto region = grid.region_at(p);
+      const auto& sig = grid.region(region).signature;
+      char c = '.';
+      if (!sig.empty()) {
+        c = first_order
+                ? static_cast<char>('a' + sig.strongest().value() % 26)
+                : static_cast<char>('A' + region % 26);
+      }
+      if (std::abs(route.project(p).distance) < step / 2) c = '=';
+      row.push_back(c);
+    }
+    std::cout << "  " << row << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  // The Fig. 2 scene: road along y = 0, APs a..e scattered around it.
+  auto net = std::make_unique<roadnet::RoadNetwork>();
+  const auto n0 = net->add_node({0, 0}, "ei.start");
+  const auto n1 = net->add_node({400, 0}, "ei.end");
+  const auto edge = net->add_straight_edge(n0, n1, 12.5, "ei");
+  const roadnet::BusRoute route(
+      roadnet::RouteId(0), "ei", *net, {edge},
+      {{"start", 0.0}, {"end", 400.0}});
+
+  std::vector<rf::AccessPoint> aps = {
+      {rf::ApId(0), "", {60, 45}, -30.0, 3.0},    // a
+      {rf::ApId(1), "", {180, 25}, -28.0, 2.9},   // b
+      {rf::ApId(2), "", {300, 50}, -32.0, 3.1},   // c
+      {rf::ApId(3), "", {150, -55}, -30.0, 3.0},  // d
+      {rf::ApId(4), "", {330, -40}, -31.0, 3.2},  // e
+  };
+  rf::LogDistanceParams rf_params;
+  rf_params.shadowing_sigma_db = 2.0;
+  const rf::LogDistanceModel model(rf_params);
+  const svd::GridSpec spec{geo::Aabb({0, -120}, {400, 120}), 2.0};
+
+  const auto inspect = [&](const std::vector<rf::AccessPoint>& ap_set,
+                           const char* title) {
+    print_banner(std::cout, title);
+    svd::SvdGridParams first;
+    first.order = 1;
+    const svd::SvdGrid cells(ap_set, model, spec, first);
+    std::cout << "Signal Cells (order 1): " << cells.region_count()
+              << " cells, " << cells.joint_points().size()
+              << " joint points\n";
+    render(cells, route, /*first_order=*/true);
+
+    const svd::SvdGrid tiles(ap_set, model, spec);  // order 2
+    std::cout << "\nSignal Tiles (order 2): " << tiles.region_count()
+              << " tiles, " << tiles.bisector_joints().size()
+              << " bisector joints\n";
+    render(tiles, route, /*first_order=*/false);
+
+    // Tile Mapping per tile (Definition 5 + fallback).
+    const svd::TileMapper mapper(tiles, route);
+    TablePrinter table({"tile (signature)", "area (m^2)", "mapping"});
+    for (svd::SvdGrid::RegionIndex r = 0; r < tiles.region_count(); ++r) {
+      const auto& region = tiles.region(r);
+      if (region.signature.empty()) continue;
+      std::string mapping;
+      const auto& runs = mapper.runs_of(r);
+      if (!runs.empty()) {
+        for (const auto& run : runs) {
+          if (!mapping.empty()) mapping += ", ";
+          mapping += "[" + TablePrinter::num(run.begin, 0) + ", " +
+                     TablePrinter::num(run.end, 0) + "] m";
+        }
+      } else if (const auto target = mapper.mapping_target(r);
+                 target.has_value()) {
+        mapping = "via tile " +
+                  tiles.region(*target).signature.to_string() +
+                  " (longest-boundary fallback)";
+      } else {
+        mapping = "unreachable";
+      }
+      table.add_row({region.signature.to_string(),
+                     TablePrinter::num(region.area, 0), mapping});
+    }
+    table.print(std::cout);
+  };
+
+  inspect(aps, "Fig. 2 scene: APs a(0) b(1) c(2) d(3) e(4)");
+
+  // The paper's dynamics story: AP b goes out of function.
+  std::vector<rf::AccessPoint> without_b;
+  for (const auto& ap : aps)
+    if (ap.id.value() != 1) without_b.push_back(ap);
+  inspect(without_b, "After AP b fails (recomputed diagram)");
+
+  std::cout << "\nNote how b's former cell is absorbed by its neighbours "
+               "and the new joint points appear where the old tile "
+               "boundaries met — the paper's Section III-B argument that "
+               "the SVD survives AP dynamics.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Trip planner: the rider-facing component (paper Fig. 4, component 3).
+//
+// A rider stands at a stop and asks for the next buses to their
+// destination. The planner queries the live fleet's tracked positions
+// and Eq.-9 ETAs and prints a departures board.
+//
+// Run:  ./trip_planner
+
+#include <iostream>
+
+#include "core/wilocator.hpp"
+#include "sim/city.hpp"
+#include "sim/crowd.hpp"
+#include "sim/fleet.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wiloc;
+
+  const sim::City city = sim::build_paper_city();
+  const sim::TrafficModel traffic(707);
+  sim::FleetPlan plan = sim::default_fleet_plan(city);
+  for (auto& sp : plan.per_route) {
+    sp.first_departure_tod = hms(8, 0);
+    sp.last_departure_tod = hms(9, 0);
+  }
+
+  core::WiLocatorServer server(city.route_pointers(), city.ap_snapshot(),
+                               *city.rf_model,
+                               DaySlots::paper_five_slots());
+  Rng rng(8);
+  {
+    const auto history =
+        sim::simulate_service_days(city, traffic, plan, 0, 2, rng);
+    for (const auto& trip : history) {
+      const auto& route = city.routes[trip.route.index()];
+      for (const auto& seg : trip.segments)
+        if (seg.travel_time() > 0.0)
+          server.load_history({route.edges()[seg.edge_index], trip.route,
+                               seg.exit, seg.travel_time()});
+    }
+    server.finalize_history();
+  }
+
+  // The morning fleet, tracked live until the query instant.
+  const int day = 3;
+  std::uint32_t next_id = 0;
+  const auto trips =
+      sim::simulate_service_day(city, traffic, plan, day, rng, &next_id);
+  const SimTime now = at_day_time(day, hms(8, 40));
+  const rf::Scanner scanner;
+  std::vector<roadnet::TripId> rapid_trips;
+  const auto& rapid = city.route_by_name("Rapid");
+  for (const auto& trip : trips) {
+    const auto& route = city.routes[trip.route.index()];
+    const auto reports = sim::sense_trip(trip, route, city.aps,
+                                         *city.rf_model, scanner, rng);
+    server.begin_trip(trip.id, trip.route);
+    for (const auto& report : reports) {
+      if (report.scan.time > now) break;  // the future hasn't happened
+      server.ingest(trip.id, report.scan);
+    }
+    if (trip.route == rapid.id()) rapid_trips.push_back(trip.id);
+  }
+
+  // Rider: at the 6th Rapid stop, going to the 15th.
+  const std::size_t origin = 5;
+  const std::size_t destination = 14;
+  std::cout << "It is " << format_time(now) << ". Rider at '"
+            << rapid.stop(origin).name << "' going to '"
+            << rapid.stop(destination).name << "'.\n";
+
+  const core::TripPlanner planner(server);
+  const auto options =
+      planner.plan(rapid, origin, destination, now, rapid_trips);
+
+  print_banner(std::cout, "Departures board");
+  if (options.empty()) {
+    std::cout << "No live buses upstream — check the schedule.\n";
+    return 0;
+  }
+  TablePrinter table(
+      {"route", "trip", "arrives here", "wait", "reaches destination"});
+  for (const auto& option : options) {
+    table.add_row({option.route_name,
+                   std::to_string(option.trip.value()),
+                   format_tod(time_of_day(option.eta_origin)),
+                   TablePrinter::num(option.wait_s / 60.0, 1) + " min",
+                   format_tod(time_of_day(option.eta_destination))});
+  }
+  table.print(std::cout);
+
+  // Sanity: compare the first option with ground truth.
+  for (const auto& trip : trips) {
+    if (!(trip.id == options.front().trip)) continue;
+    std::cout << "\nGround truth for trip " << trip.id.value()
+              << ": arrives here "
+              << format_tod(time_of_day(trip.arrival_at_stop(origin)))
+              << ", destination "
+              << format_tod(time_of_day(trip.arrival_at_stop(destination)))
+              << "\n";
+  }
+  return 0;
+}

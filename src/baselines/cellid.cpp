@@ -1,0 +1,105 @@
+#include "baselines/cellid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::baselines {
+
+CellIdTracker::CellIdTracker(const roadnet::BusRoute& route,
+                             const rf::TowerRegistry& towers,
+                             CellIdParams params)
+    : params_(params) {
+  WILOC_EXPECTS(params_.sample_step_m > 0.0);
+  WILOC_EXPECTS(params_.max_suffix >= 1);
+  WILOC_EXPECTS(towers.count() > 0);
+
+  const double length = route.length();
+  const auto steps = static_cast<std::size_t>(
+      std::ceil(length / params_.sample_step_m));
+  const auto serving = [&](double offset) {
+    const geo::Point p = route.point_at(offset);
+    rf::TowerId best;
+    double best_rss = -1e300;
+    for (const rf::CellTower& tower : towers.towers()) {
+      const double rss = towers.mean_rss(tower, p);
+      if (rss > best_rss) {
+        best_rss = rss;
+        best = tower.id;
+      }
+    }
+    return best;
+  };
+
+  rf::TowerId current = serving(0.0);
+  double run_begin = 0.0;
+  for (std::size_t i = 1; i <= steps; ++i) {
+    const double offset =
+        length * static_cast<double>(i) / static_cast<double>(steps);
+    const rf::TowerId tower = serving(offset);
+    if (!(tower == current)) {
+      intervals_.push_back({current, run_begin, offset});
+      current = tower;
+      run_begin = offset;
+    }
+  }
+  intervals_.push_back({current, run_begin, length});
+}
+
+void CellIdTracker::reset() {
+  sequence_.clear();
+  last_estimate_.reset();
+}
+
+std::vector<double> CellIdTracker::match_suffix(
+    std::size_t suffix_len) const {
+  std::vector<double> out;
+  if (suffix_len == 0 || sequence_.size() < suffix_len) return out;
+  const auto* suffix = &sequence_[sequence_.size() - suffix_len];
+  // Find every position in the interval sequence where the suffix ends.
+  for (std::size_t end = suffix_len - 1; end < intervals_.size(); ++end) {
+    bool match = true;
+    for (std::size_t k = 0; k < suffix_len; ++k) {
+      if (!(intervals_[end - (suffix_len - 1) + k].tower == suffix[k])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(intervals_[end].mid());
+  }
+  return out;
+}
+
+std::vector<double> CellIdTracker::candidates() const {
+  const std::size_t len =
+      std::min(params_.max_suffix, sequence_.size());
+  return match_suffix(len);
+}
+
+std::optional<double> CellIdTracker::ingest(const rf::CellObservation& obs) {
+  if (sequence_.empty() || !(sequence_.back() == obs.tower))
+    sequence_.push_back(obs.tower);
+  // Bound the memory: only the matched suffix matters.
+  if (sequence_.size() > params_.max_suffix * 4) {
+    sequence_.erase(sequence_.begin(),
+                    sequence_.end() -
+                        static_cast<std::ptrdiff_t>(params_.max_suffix * 2));
+  }
+
+  // Use the longest suffix that yields a unique match; fall back to the
+  // last estimate when ambiguous.
+  for (std::size_t len = std::min(params_.max_suffix, sequence_.size());
+       len >= 1; --len) {
+    const auto matches = match_suffix(len);
+    if (matches.size() == 1) {
+      last_estimate_ = matches.front();
+      return last_estimate_;
+    }
+    if (matches.empty()) continue;  // noise tower: try a shorter suffix
+    break;  // ambiguous at this length; longer is stricter, so stop
+  }
+  return last_estimate_;
+}
+
+}  // namespace wiloc::baselines

@@ -1,0 +1,68 @@
+// Cell-ID sequence matching baseline ([15], [27]-[29] in the paper).
+//
+// Offline, each route is fingerprinted as the sequence of serving-tower
+// intervals along it. Online, the tracker accumulates the distinct
+// tower ids it has observed and matches that suffix against the route's
+// interval sequence. The paper's criticisms fall straight out of the
+// construction: towers are ~800 m cells (coarse positions), a stable
+// multi-tower sequence takes minutes to accumulate, and overlapped road
+// segments produce identical sequences across routes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "rf/cellular.hpp"
+#include "roadnet/route.hpp"
+
+namespace wiloc::baselines {
+
+struct CellIdParams {
+  double sample_step_m = 25.0;    ///< route fingerprint resolution
+  std::size_t max_suffix = 4;     ///< matched tower-sequence length
+};
+
+/// Per-route Cell-ID positioning index + online tracker.
+class CellIdTracker {
+ public:
+  /// An interval of the route served by one tower.
+  struct TowerInterval {
+    rf::TowerId tower;
+    double begin;
+    double end;
+    double mid() const { return (begin + end) / 2.0; }
+  };
+
+  /// Fingerprints the route against the tower registry (noise-free
+  /// expected serving tower).
+  CellIdTracker(const roadnet::BusRoute& route,
+                const rf::TowerRegistry& towers, CellIdParams params = {});
+
+  const std::vector<TowerInterval>& intervals() const { return intervals_; }
+
+  /// Feeds one observation; returns the current position estimate (the
+  /// midpoint of the last interval of the best suffix match), or nullopt
+  /// while the sequence is ambiguous or unseen.
+  std::optional<double> ingest(const rf::CellObservation& obs);
+
+  /// Distinct-tower sequence observed so far (most recent last).
+  const std::vector<rf::TowerId>& observed_sequence() const {
+    return sequence_;
+  }
+
+  /// Candidate end positions of the current suffix (diagnostic: >1 means
+  /// the sequence is still ambiguous).
+  std::vector<double> candidates() const;
+
+  void reset();
+
+ private:
+  std::vector<double> match_suffix(std::size_t suffix_len) const;
+
+  CellIdParams params_;
+  std::vector<TowerInterval> intervals_;
+  std::vector<rf::TowerId> sequence_;
+  std::optional<double> last_estimate_;
+};
+
+}  // namespace wiloc::baselines

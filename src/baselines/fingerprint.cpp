@@ -1,0 +1,146 @@
+#include "baselines/fingerprint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "svd/signature.hpp"
+
+#include "util/contracts.hpp"
+
+namespace wiloc::baselines {
+
+FingerprintLocalizer::FingerprintLocalizer(const roadnet::BusRoute& route,
+                                           const rf::ApRegistry& registry,
+                                           const rf::PropagationModel& model,
+                                           SimTime survey_time, Rng& rng,
+                                           FingerprintParams params)
+    : params_(params), length_(route.length()) {
+  WILOC_EXPECTS(params_.survey_step_m > 0.0);
+  WILOC_EXPECTS(params_.survey_scans >= 1);
+  WILOC_EXPECTS(params_.k_neighbors >= 1);
+
+  const rf::Scanner scanner;  // default phone characteristics
+  const auto steps = static_cast<std::size_t>(
+      std::ceil(length_ / params_.survey_step_m));
+  points_.reserve(steps + 1);
+  for (std::size_t i = 0; i <= steps; ++i) {
+    const double offset =
+        length_ * static_cast<double>(i) / static_cast<double>(steps);
+    const geo::Point p = route.point_at(offset);
+    std::vector<rf::WifiScan> scans;
+    scans.reserve(params_.survey_scans);
+    for (std::size_t s = 0; s < params_.survey_scans; ++s) {
+      rf::WifiScan scan = scanner.scan(registry, model, p, survey_time, rng);
+      if (!scan.empty()) scans.push_back(std::move(scan));
+    }
+    if (scans.empty()) continue;  // radio-dead reference point: skip
+    rf::WifiScan merged = rf::merge_scans(scans);
+    std::sort(merged.readings.begin(), merged.readings.end(),
+              [](const rf::ApReading& a, const rf::ApReading& b) {
+                return a.ap < b.ap;
+              });
+    points_.push_back({offset, std::move(merged.readings)});
+  }
+}
+
+double FingerprintLocalizer::signal_distance(
+    const std::vector<rf::ApReading>& a,
+    const std::vector<rf::ApReading>& b) const {
+  // Euclidean distance over the union of APs; an AP heard on only one
+  // side contributes the fixed missing-AP penalty.
+  double sum = 0.0;
+  std::size_t dims = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const double miss = params_.missing_penalty_db;
+  while (i < a.size() || j < b.size()) {
+    ++dims;
+    if (j >= b.size() || (i < a.size() && a[i].ap < b[j].ap)) {
+      sum += miss * miss;
+      ++i;
+    } else if (i >= a.size() || b[j].ap < a[i].ap) {
+      sum += miss * miss;
+      ++j;
+    } else {
+      const double d = a[i].rssi_dbm - b[j].rssi_dbm;
+      sum += d * d;
+      ++i;
+      ++j;
+    }
+  }
+  if (dims == 0) return 1e9;
+  return std::sqrt(sum / static_cast<double>(dims));
+}
+
+std::vector<svd::Candidate> FingerprintLocalizer::locate_scan(
+    const rf::WifiScan& scan) const {
+  if (scan.empty() || points_.empty()) return {};
+  std::vector<rf::ApReading> readings = scan.readings;
+  std::sort(readings.begin(), readings.end(),
+            [](const rf::ApReading& a, const rf::ApReading& b) {
+              return a.ap < b.ap;
+            });
+
+  std::vector<std::pair<double, std::size_t>> distances;
+  distances.reserve(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    distances.emplace_back(signal_distance(readings, points_[i].mean_rss),
+                           i);
+  const std::size_t k = std::min(params_.k_neighbors, distances.size());
+  std::partial_sort(distances.begin(),
+                    distances.begin() + static_cast<std::ptrdiff_t>(k),
+                    distances.end());
+
+  // Weighted centroid of the k nearest reference points.
+  double weight_sum = 0.0;
+  double weighted_offset = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (1.0 + distances[i].first);
+    weight_sum += w;
+    weighted_offset += w * points_[distances[i].second].offset;
+  }
+  const double score = 1.0 / (1.0 + distances.front().first / 6.0);
+  return {{weighted_offset / weight_sum, std::clamp(score, 0.0, 1.0)}};
+}
+
+std::vector<svd::Candidate> FingerprintLocalizer::locate(
+    const std::vector<rf::ApId>& observed) const {
+  // Rank-only entry point so the common tracking pipeline can drive this
+  // baseline: match the observed ranking against each reference point's
+  // own RSS ranking (the values themselves are not comparable to an
+  // external ranking, but their order is).
+  if (observed.empty() || points_.empty()) return {};
+  double best_score = -1.0;
+  double weighted_offset = 0.0;
+  double weight_sum = 0.0;
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    auto readings = points_[i].mean_rss;
+    std::sort(readings.begin(), readings.end(),
+              [](const rf::ApReading& a, const rf::ApReading& b) {
+                if (a.rssi_dbm != b.rssi_dbm) return a.rssi_dbm > b.rssi_dbm;
+                return a.ap < b.ap;
+              });
+    std::vector<rf::ApId> ranked;
+    ranked.reserve(std::min<std::size_t>(readings.size(), 4));
+    for (std::size_t r = 0; r < readings.size() && r < 4; ++r)
+      ranked.push_back(readings[r].ap);
+    const double score =
+        svd::rank_consistency(observed, svd::RankSignature(ranked));
+    scored.emplace_back(score, i);
+    best_score = std::max(best_score, score);
+  }
+  if (best_score <= 0.0) return {};
+  // Weighted centroid of the near-best reference points.
+  for (const auto& [score, i] : scored) {
+    if (score >= best_score - 0.05) {
+      weighted_offset += score * points_[i].offset;
+      weight_sum += score;
+    }
+  }
+  return {{weighted_offset / weight_sum, best_score}};
+}
+
+}  // namespace wiloc::baselines

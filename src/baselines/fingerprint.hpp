@@ -1,0 +1,69 @@
+// RSS fingerprinting baseline (RADAR/Horus family — paper Section VI-A).
+//
+// Offline, an expert survey records the mean RSS vector at reference
+// points along the route (the labor-intensive calibration the paper
+// criticizes). Online, a scan is matched to the k nearest reference
+// points in signal space. The baseline exposes the family's two
+// weaknesses on purpose: calibration cost (survey density / scans per
+// point are explicit knobs) and fragility to AP dynamics (a dead AP
+// skews the signal distance; there is no rank abstraction to absorb it).
+#pragma once
+
+#include <vector>
+
+#include "rf/registry.hpp"
+#include "rf/scan.hpp"
+#include "roadnet/route.hpp"
+#include "svd/positioning_index.hpp"
+
+namespace wiloc::baselines {
+
+struct FingerprintParams {
+  double survey_step_m = 15.0;     ///< reference point spacing
+  std::size_t survey_scans = 8;    ///< scans averaged per reference point
+  std::size_t k_neighbors = 3;     ///< kNN size
+  double missing_penalty_db = 12.0;  ///< distance for an AP heard on one
+                                     ///< side only
+};
+
+/// Offline-calibrated kNN localizer; implements PositioningIndex so it
+/// can be dropped into the same tracking pipeline as WiLocator.
+class FingerprintLocalizer final : public svd::PositioningIndex {
+ public:
+  /// Runs the calibration survey along the route with the given
+  /// registry/model at time `survey_time` (APs in outage then are
+  /// absent from the database — the dynamics hazard).
+  FingerprintLocalizer(const roadnet::BusRoute& route,
+                       const rf::ApRegistry& registry,
+                       const rf::PropagationModel& model,
+                       SimTime survey_time, Rng& rng,
+                       FingerprintParams params = {});
+
+  /// Signal-space kNN over the reference database; scores are a
+  /// monotone transform of signal distance.
+  std::vector<svd::Candidate> locate(
+      const std::vector<rf::ApId>& observed) const override;
+
+  /// kNN over a full scan (uses the RSS values, which the rank-based
+  /// interface above cannot); preferred entry point for this baseline.
+  std::vector<svd::Candidate> locate_scan(const rf::WifiScan& scan) const;
+
+  double route_length() const override { return length_; }
+
+  std::size_t reference_count() const { return points_.size(); }
+
+ private:
+  struct ReferencePoint {
+    double offset;
+    std::vector<rf::ApReading> mean_rss;  ///< sorted by AP id
+  };
+
+  double signal_distance(const std::vector<rf::ApReading>& a,
+                         const std::vector<rf::ApReading>& b) const;
+
+  FingerprintParams params_;
+  double length_ = 0.0;
+  std::vector<ReferencePoint> points_;
+};
+
+}  // namespace wiloc::baselines

@@ -1,0 +1,28 @@
+#include "baselines/gps_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wiloc::baselines {
+
+GpsTracker::GpsTracker(const roadnet::BusRoute& route,
+                       core::MobilityFilterParams params)
+    : route_(&route), filter_(params) {}
+
+std::optional<core::Fix> GpsTracker::ingest(
+    SimTime t, std::optional<geo::Point> gps_fix) {
+  std::vector<svd::Candidate> candidates;
+  if (gps_fix.has_value()) {
+    const auto proj = route_->project(*gps_fix);
+    // Confidence decays with off-route distance: a fix projected from
+    // far away (canyon multipath) is worth little.
+    const double score =
+        std::clamp(1.0 / (1.0 + proj.distance / 25.0), 0.0, 1.0);
+    candidates.push_back({proj.route_offset, score});
+  }
+  const auto fix = filter_.update(t, candidates);
+  if (fix.has_value()) fixes_.push_back(*fix);
+  return fix;
+}
+
+}  // namespace wiloc::baselines

@@ -1,0 +1,39 @@
+// GPS tracking baseline (EasyTracker-style — paper Section II).
+//
+// Consumes (noisy, gappy) GPS fixes, projects them onto the route, and
+// applies the same no-reverse mobility clamp WiLocator uses — so the
+// comparison isolates the *sensing* difference. In urban canyons the
+// projection error balloons and outages leave gaps; that is the paper's
+// argument against GPS in cities, and the Fig. 10 scenario ("the noisy
+// reading by GPS is mapped to the true location") in reverse.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/mobility_filter.hpp"
+#include "roadnet/route.hpp"
+
+namespace wiloc::baselines {
+
+/// Online GPS-to-route tracker.
+class GpsTracker {
+ public:
+  /// `route` must outlive the tracker.
+  explicit GpsTracker(const roadnet::BusRoute& route,
+                      core::MobilityFilterParams params = {});
+
+  /// Feeds one GPS fix (nullopt = outage at that sample time). Returns
+  /// the filtered route position when available.
+  std::optional<core::Fix> ingest(SimTime t,
+                                  std::optional<geo::Point> gps_fix);
+
+  const std::vector<core::Fix>& fixes() const { return fixes_; }
+
+ private:
+  const roadnet::BusRoute* route_;
+  core::MobilityFilter filter_;
+  std::vector<core::Fix> fixes_;
+};
+
+}  // namespace wiloc::baselines

@@ -1,0 +1,77 @@
+#include "baselines/propagation_loc.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::baselines {
+
+PropagationLocalizer::PropagationLocalizer(const rf::ApRegistry& registry,
+                                           PropagationLocParams params)
+    : registry_(&registry), params_(params) {
+  WILOC_EXPECTS(params_.assumed_exponent > 0.0);
+  WILOC_EXPECTS(params_.min_aps >= 3);
+}
+
+double PropagationLocalizer::distance_from_rss(double rssi_dbm) const {
+  // Invert P0 - 10 n log10(d) = rss.
+  const double exponent = (params_.assumed_tx_power_dbm - rssi_dbm) /
+                          (10.0 * params_.assumed_exponent);
+  return std::pow(10.0, exponent);
+}
+
+std::optional<geo::Point> PropagationLocalizer::locate_point(
+    const rf::WifiScan& scan) const {
+  if (scan.readings.size() < params_.min_aps) return std::nullopt;
+
+  struct Anchor {
+    geo::Point position;
+    double range;
+    double weight;
+  };
+  std::vector<Anchor> anchors;
+  anchors.reserve(scan.readings.size());
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double w_sum = 0.0;
+  for (const rf::ApReading& r : scan.readings) {
+    const rf::AccessPoint& ap = registry_->ap(r.ap);
+    const double range = distance_from_rss(r.rssi_dbm);
+    // Stronger readings are shorter ranges and more trustworthy.
+    const double weight = 1.0 / (1.0 + range / 40.0);
+    anchors.push_back({ap.position, range, weight});
+    x0 += weight * ap.position.x;
+    y0 += weight * ap.position.y;
+    w_sum += weight;
+  }
+  geo::Point p{x0 / w_sum, y0 / w_sum};  // warm start: weighted centroid
+
+  // Gauss-Newton on sum_i w_i (|p - a_i| - r_i)^2.
+  for (std::size_t iter = 0; iter < params_.max_iterations; ++iter) {
+    double gx = 0.0;
+    double gy = 0.0;
+    double h = 0.0;  // scalar Gauss-Newton step scale (diagonal approx)
+    for (const Anchor& a : anchors) {
+      const geo::Vec d = p - a.position;
+      const double dist = std::max(d.norm(), 1e-3);
+      const double err = dist - a.range;
+      gx += a.weight * err * d.x / dist;
+      gy += a.weight * err * d.y / dist;
+      h += a.weight;
+    }
+    if (h <= 0.0) break;
+    const geo::Vec step{-gx / h, -gy / h};
+    p = p + step;
+    if (step.norm() < 0.05) break;
+  }
+  return p;
+}
+
+std::optional<double> PropagationLocalizer::locate_on_route(
+    const rf::WifiScan& scan, const roadnet::BusRoute& route) const {
+  const auto point = locate_point(scan);
+  if (!point.has_value()) return std::nullopt;
+  return route.project(*point).route_offset;
+}
+
+}  // namespace wiloc::baselines

@@ -1,0 +1,49 @@
+// Propagation-model baseline (EZ-style — paper Section VI-A).
+//
+// Inverts an *assumed* global log-distance model to turn each RSS
+// reading into a distance estimate, then solves weighted least-squares
+// lateration by Gauss-Newton. The assumed global parameters necessarily
+// mismatch the per-AP truth (that mismatch is the family's documented
+// weakness: "solutions of this line suffer from low accuracy").
+#pragma once
+
+#include <optional>
+
+#include "rf/registry.hpp"
+#include "rf/scan.hpp"
+#include "roadnet/route.hpp"
+
+namespace wiloc::baselines {
+
+struct PropagationLocParams {
+  double assumed_tx_power_dbm = -33.0;  ///< global P0 guess
+  double assumed_exponent = 3.0;        ///< global n guess
+  std::size_t max_iterations = 12;      ///< Gauss-Newton iterations
+  std::size_t min_aps = 3;              ///< lateration needs >= 3 anchors
+};
+
+/// Least-squares lateration localizer over geo-tagged APs.
+class PropagationLocalizer {
+ public:
+  /// `registry` supplies AP geo-tags; must outlive the localizer.
+  explicit PropagationLocalizer(const rf::ApRegistry& registry,
+                                PropagationLocParams params = {});
+
+  /// Ranging: assumed-model distance (m) for an RSS reading.
+  double distance_from_rss(double rssi_dbm) const;
+
+  /// 2D position estimate from one scan; nullopt with < min_aps
+  /// readings.
+  std::optional<geo::Point> locate_point(const rf::WifiScan& scan) const;
+
+  /// Position projected onto a route (mobility constraint applied
+  /// post-hoc); nullopt when locate_point fails.
+  std::optional<double> locate_on_route(const rf::WifiScan& scan,
+                                        const roadnet::BusRoute& route) const;
+
+ private:
+  const rf::ApRegistry* registry_;
+  PropagationLocParams params_;
+};
+
+}  // namespace wiloc::baselines

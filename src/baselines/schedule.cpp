@@ -1,0 +1,44 @@
+#include "baselines/schedule.hpp"
+
+namespace wiloc::baselines {
+
+namespace {
+core::PredictorOptions schedule_options() {
+  core::PredictorOptions opts;
+  opts.use_recent = false;  // the whole point of the baseline
+  return opts;
+}
+
+core::TrafficMapParams agency_traffic_params() {
+  core::TrafficMapParams params;
+  params.infer_unknowns = false;  // silent segments stay unconfirmed
+  return params;
+}
+}  // namespace
+
+SchedulePredictor::SchedulePredictor(const core::TravelTimeStore& store)
+    : predictor_(store, schedule_options()) {}
+
+SimTime SchedulePredictor::predict_arrival(const roadnet::BusRoute& route,
+                                           double current_offset,
+                                           SimTime now,
+                                           std::size_t stop_index) const {
+  return predictor_.predict_arrival(route, current_offset, now, stop_index);
+}
+
+double SchedulePredictor::predict_travel_time(const roadnet::BusRoute& route,
+                                              double from, double to,
+                                              SimTime t) const {
+  return predictor_.predict_travel_time(route, from, to, t);
+}
+
+AgencyTrafficMap::AgencyTrafficMap(const core::TravelTimeStore& store,
+                                   const core::ArrivalPredictor& predictor)
+    : builder_(store, predictor, agency_traffic_params()) {}
+
+core::TrafficMap AgencyTrafficMap::build(
+    const std::vector<roadnet::EdgeId>& edges, SimTime now) const {
+  return builder_.build(edges, now);
+}
+
+}  // namespace wiloc::baselines

@@ -1,0 +1,52 @@
+// "Transit Agency" baseline (the comparison curve of Fig. 8b).
+//
+// An AVL-less agency publishes arrival estimates from historical
+// schedules: per-route per-slot mean travel times with *no* live
+// correction. This is exactly WiLocator's Eq. 9 with the Eq.-8 recent
+// term switched off — so the baseline shares the store and diverges from
+// WiLocator precisely by the paper's claimed contribution (temporal
+// consistency across routes). Its traffic map only marks segments whose
+// own route has fresh data, leaving others *unconfirmed* — the gap the
+// paper points out in Fig. 11(b).
+#pragma once
+
+#include "core/predictor.hpp"
+#include "core/traffic_map.hpp"
+
+namespace wiloc::baselines {
+
+/// Schedule-based arrival prediction over the shared TravelTimeStore.
+class SchedulePredictor {
+ public:
+  /// `store` must outlive the predictor.
+  explicit SchedulePredictor(const core::TravelTimeStore& store);
+
+  /// Historical-mean arrival estimate (no recent correction).
+  SimTime predict_arrival(const roadnet::BusRoute& route,
+                          double current_offset, SimTime now,
+                          std::size_t stop_index) const;
+
+  double predict_travel_time(const roadnet::BusRoute& route, double from,
+                             double to, SimTime t) const;
+
+  const core::ArrivalPredictor& inner() const { return predictor_; }
+
+ private:
+  core::ArrivalPredictor predictor_;
+};
+
+/// Agency-style traffic map: same-route recents only, no inference for
+/// silent segments (they stay Unknown/"unconfirmed").
+class AgencyTrafficMap {
+ public:
+  AgencyTrafficMap(const core::TravelTimeStore& store,
+                   const core::ArrivalPredictor& predictor);
+
+  core::TrafficMap build(const std::vector<roadnet::EdgeId>& edges,
+                         SimTime now) const;
+
+ private:
+  core::TrafficMapBuilder builder_;
+};
+
+}  // namespace wiloc::baselines

@@ -1,0 +1,80 @@
+#include "core/anomaly.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::core {
+
+AnomalyDetector::AnomalyDetector(const roadnet::BusRoute& route,
+                                 double typical_scan_distance_m,
+                                 AnomalyDetectorParams params)
+    : route_(&route),
+      params_(params),
+      delta_m_(params.delta_fraction * typical_scan_distance_m) {
+  WILOC_EXPECTS(typical_scan_distance_m > 0.0);
+  WILOC_EXPECTS(params_.delta_fraction > 0.0 && params_.delta_fraction < 1.0);
+}
+
+bool AnomalyDetector::is_excusable(double begin_offset,
+                                   double end_offset) const {
+  for (const roadnet::Stop& stop : route_->stops()) {
+    if (stop.route_offset >= begin_offset - params_.stop_exclusion_m &&
+        stop.route_offset <= end_offset + params_.stop_exclusion_m)
+      return true;
+  }
+  for (std::size_t e = 0; e < route_->edges().size(); ++e) {
+    const double boundary = route_->edge_end_offset(e);
+    if (boundary >= begin_offset - params_.node_exclusion_m &&
+        boundary <= end_offset + params_.node_exclusion_m &&
+        boundary < route_->length() - 1e-6)
+      return true;
+  }
+  return false;
+}
+
+std::vector<Anomaly> AnomalyDetector::detect(
+    const std::vector<Fix>& fixes) const {
+  std::vector<Anomaly> out;
+  const std::size_t w = std::max<std::size_t>(1, params_.smoothing_window);
+  if (fixes.size() <= w) return out;
+
+  std::size_t window_start = 0;
+  bool in_window = false;
+
+  const auto close_window = [&](std::size_t last) {
+    if (!in_window) return;
+    in_window = false;
+    const std::size_t points = last - window_start + 1;
+    if (points < params_.min_points) return;
+    const Fix& a = fixes[window_start];
+    const Fix& b = fixes[last];
+    if (b.time - a.time < params_.min_duration_s) return;
+    if (is_excusable(a.route_offset, b.route_offset)) return;
+    out.push_back({a.route_offset, b.route_offset, a.time, b.time});
+  };
+
+  // Windowed stall test: SVD fixes advance in tile-sized bursts, so the
+  // dr(p_{i-1}, p_i) < delta test of Fig. 6 is applied to the average
+  // distance over the last `w` scan periods.
+  for (std::size_t i = w; i < fixes.size(); ++i) {
+    const double dr =
+        std::abs(fixes[i].route_offset - fixes[i - w].route_offset) /
+        static_cast<double>(w);
+    if (dr < delta_m_) {
+      if (!in_window) {
+        in_window = true;
+        // The stall began at the previous fix, not `w` fixes back — a
+        // window anchored in earlier free flow would graze stops or
+        // intersections and be wrongly excused.
+        window_start = i - 1;
+      }
+    } else {
+      close_window(i - 1);
+    }
+  }
+  close_window(fixes.size() - 1);
+  return out;
+}
+
+}  // namespace wiloc::core

@@ -1,0 +1,66 @@
+// Anomaly-site detection (paper Section V-B4, Fig. 6).
+//
+// When a segment is classified slow/very-slow, WiLocator localizes the
+// root cause: a maximal window of a trip's trajectory where the road
+// distance covered per scan period stays below delta — the bus is
+// crawling. delta is learned from the segment's historical per-period
+// distance (mean minus c * std). Windows that coincide with a bus stop
+// or an intersection (boarding / red light) are excluded as false
+// anomalies.
+#pragma once
+
+#include <vector>
+
+#include "core/mobility_filter.hpp"
+#include "roadnet/route.hpp"
+
+namespace wiloc::core {
+
+/// A localized anomaly: the bus crawled between these route offsets.
+struct Anomaly {
+  double begin_offset;
+  double end_offset;
+  SimTime begin_time;
+  SimTime end_time;
+  double duration() const { return end_time - begin_time; }
+  double extent() const { return end_offset - begin_offset; }
+};
+
+struct AnomalyDetectorParams {
+  double delta_fraction = 0.35;   ///< delta = fraction * typical distance
+  double stop_exclusion_m = 45.0; ///< window near a stop is boarding
+  double node_exclusion_m = 30.0; ///< window near an intersection is a light
+  double min_duration_s = 45.0;   ///< shorter stalls are noise
+  std::size_t min_points = 3;     ///< minimum stalled fixes in a window
+  std::size_t smoothing_window = 3;  ///< fixes averaged per stall test:
+                                     ///< SVD fixes advance in tile-sized
+                                     ///< bursts, so the per-scan distance
+                                     ///< is compared over a short window
+};
+
+/// Detects anomalies in one trip's fix trajectory.
+class AnomalyDetector {
+ public:
+  /// `typical_scan_distance_m` is the historical mean road distance a bus
+  /// covers per scan period on this corridor (learned from history);
+  /// delta = delta_fraction * that.
+  AnomalyDetector(const roadnet::BusRoute& route,
+                  double typical_scan_distance_m,
+                  AnomalyDetectorParams params = {});
+
+  /// Scans the fix sequence (time-ordered) for crawl windows, excluding
+  /// stops and intersections.
+  std::vector<Anomaly> detect(const std::vector<Fix>& fixes) const;
+
+  double delta() const { return delta_m_; }
+
+ private:
+  /// True when the offset window overlaps a stop or intersection zone.
+  bool is_excusable(double begin_offset, double end_offset) const;
+
+  const roadnet::BusRoute* route_;
+  AnomalyDetectorParams params_;
+  double delta_m_;
+};
+
+}  // namespace wiloc::core

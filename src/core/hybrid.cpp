@@ -1,0 +1,62 @@
+#include "core/hybrid.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::core {
+
+HybridTracker::HybridTracker(const roadnet::BusRoute& route,
+                             const svd::PositioningIndex& index,
+                             HybridTrackerParams params)
+    : route_(&route),
+      positioner_(index, params.positioner),
+      filter_(params.filter),
+      params_(params) {
+  WILOC_EXPECTS(params_.gps_after_misses >= 1);
+}
+
+std::optional<Fix> HybridTracker::ingest_wifi(const rf::WifiScan& scan) {
+  ++ledger_.wifi_scans;
+  ledger_.total_mj += params_.energy.wifi_scan_mj;
+
+  const auto candidates = positioner_.locate(scan);
+  if (candidates.empty()) {
+    ++wifi_miss_streak_;
+    // Let the filter coast (it needs the time update), but a coasted
+    // fix does not clear the miss streak.
+    const auto fix = filter_.update(scan.time, candidates);
+    if (fix.has_value()) fixes_.push_back(*fix);
+    return std::nullopt;
+  }
+  wifi_miss_streak_ = 0;
+  const auto fix = filter_.update(scan.time, candidates);
+  if (fix.has_value()) fixes_.push_back(*fix);
+  return fix;
+}
+
+bool HybridTracker::gps_wanted() const {
+  return wifi_miss_streak_ >= params_.gps_after_misses;
+}
+
+std::optional<Fix> HybridTracker::ingest_gps(
+    SimTime t, std::optional<geo::Point> position) {
+  ++ledger_.gps_fixes;
+  ledger_.total_mj += params_.energy.gps_fix_mj;
+
+  std::vector<svd::Candidate> candidates;
+  if (position.has_value()) {
+    const auto proj = route_->project(*position);
+    const double score =
+        std::clamp(1.0 / (1.0 + proj.distance / 25.0), 0.0, 1.0);
+    candidates.push_back({proj.route_offset, score});
+    // A usable GPS fix stands in for WiFi: stop waking the receiver
+    // once the filter is fed again.
+    wifi_miss_streak_ = 0;
+  }
+  const auto fix = filter_.update(t, candidates);
+  if (fix.has_value()) fixes_.push_back(*fix);
+  return fix;
+}
+
+}  // namespace wiloc::core

@@ -1,0 +1,79 @@
+// Hybrid WiFi/GPS tracking with an energy ledger.
+//
+// The paper's future work: "when a smartphone scans no WiFi information
+// for a while, the GPS module is activated so that the system can
+// adaptively work from WiFi-coverage areas to GPS viable environments."
+// This tracker runs the normal SVD pipeline on WiFi scans, counts the
+// scans that produced no usable candidates, and — past a threshold —
+// requests GPS fixes until WiFi recovers. An energy ledger charges each
+// sensor action (GPS is an order of magnitude costlier per fix than a
+// WiFi scan), reproducing the energy-accuracy tradeoff the paper's
+// Section II surveys (EnLoc [7], rate-adaptive GPS [14]).
+#pragma once
+
+#include <optional>
+
+#include "core/mobility_filter.hpp"
+#include "core/positioner.hpp"
+#include "roadnet/route.hpp"
+
+namespace wiloc::core {
+
+/// Per-action sensing cost in millijoules (smartphone-scale figures).
+struct EnergyModel {
+  double wifi_scan_mj = 12.0;
+  double gps_fix_mj = 165.0;
+};
+
+/// Sensing totals for a trip.
+struct EnergyLedger {
+  std::size_t wifi_scans = 0;
+  std::size_t gps_fixes = 0;
+  double total_mj = 0.0;
+};
+
+struct HybridTrackerParams {
+  std::size_t gps_after_misses = 2;  ///< dead WiFi scans before GPS wakes
+  MobilityFilterParams filter;
+  PositionerParams positioner;
+  EnergyModel energy;
+};
+
+/// Adaptive WiFi-first tracker. Drive it per scan period:
+///   1. ingest_wifi(scan)          — always (phones scan regardless);
+///   2. if gps_wanted(), obtain a GPS sample and call ingest_gps(...).
+class HybridTracker {
+ public:
+  /// `route` and `index` must outlive the tracker.
+  HybridTracker(const roadnet::BusRoute& route,
+                const svd::PositioningIndex& index,
+                HybridTrackerParams params = {});
+
+  /// Processes one WiFi scan (charges the scan energy). Returns the fix
+  /// when WiFi evidence sufficed.
+  std::optional<Fix> ingest_wifi(const rf::WifiScan& scan);
+
+  /// True when WiFi has been silent/unusable long enough that the GPS
+  /// module should be powered for the next sample.
+  bool gps_wanted() const;
+
+  /// Feeds a GPS fix (nullopt = GPS outage; energy is charged either
+  /// way, the receiver was on). Returns the filtered fix if any.
+  std::optional<Fix> ingest_gps(SimTime t,
+                                std::optional<geo::Point> position);
+
+  const EnergyLedger& energy() const { return ledger_; }
+  const std::vector<Fix>& fixes() const { return fixes_; }
+  std::optional<Fix> last_fix() const { return filter_.last_fix(); }
+
+ private:
+  const roadnet::BusRoute* route_;
+  SvdPositioner positioner_;
+  MobilityFilter filter_;
+  HybridTrackerParams params_;
+  EnergyLedger ledger_;
+  std::vector<Fix> fixes_;
+  std::size_t wifi_miss_streak_ = 0;
+};
+
+}  // namespace wiloc::core

@@ -1,0 +1,113 @@
+#include "core/mobility_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::core {
+
+MobilityFilter::MobilityFilter(MobilityFilterParams params)
+    : params_(params) {
+  WILOC_EXPECTS(params_.max_speed_mps > 0.0);
+  WILOC_EXPECTS(params_.distance_scale_m > 0.0);
+  WILOC_EXPECTS(params_.speed_smoothing > 0.0 &&
+                params_.speed_smoothing <= 1.0);
+}
+
+std::optional<Fix> MobilityFilter::last_fix() const {
+  if (!has_fix_) return std::nullopt;
+  return last_;
+}
+
+void MobilityFilter::reset() {
+  has_fix_ = false;
+  last_ = {};
+  speed_mps_ = 0.0;
+  coast_streak_ = 0;
+}
+
+std::optional<Fix> MobilityFilter::update(
+    SimTime t, const std::vector<svd::Candidate>& candidates) {
+  if (!has_fix_) {
+    // Acquisition: trust the best-matching candidate outright.
+    if (candidates.empty()) return std::nullopt;
+    last_ = {t, candidates.front().route_offset,
+             candidates.front().score};
+    has_fix_ = true;
+    coast_streak_ = 0;
+    return last_;
+  }
+
+  const double dt = std::max(t - last_.time, 0.0);
+  const double predicted = last_.route_offset + speed_mps_ * dt;
+  // The backward gate widens with every coasted scan: a coast means the
+  // estimate may have dead-reckoned ahead of the bus, so admissible
+  // candidates must be allowed further behind it.
+  const double back_slack =
+      params_.backward_slack_m *
+      (1.0 + 2.0 * static_cast<double>(coast_streak_));
+  const double reach_lo = last_.route_offset - back_slack;
+  const double reach_hi =
+      last_.route_offset + params_.max_speed_mps * dt +
+      params_.backward_slack_m;
+
+  const svd::Candidate* best = nullptr;
+  double best_score = -1.0;
+  for (const svd::Candidate& c : candidates) {
+    if (c.route_offset < reach_lo || c.route_offset > reach_hi) continue;
+    const double dist_penalty =
+        std::abs(c.route_offset - predicted) / params_.distance_scale_m;
+    const double score =
+        c.score - params_.prediction_weight * dist_penalty;
+    if (score > best_score) {
+      best_score = score;
+      best = &c;
+    }
+  }
+
+  if (best == nullptr) {
+    ++coast_streak_;
+    if (coast_streak_ > params_.max_coast_scans && !candidates.empty()) {
+      // Lost: re-acquire from the strongest unconstrained candidate.
+      last_ = {t, candidates.front().route_offset,
+               candidates.front().score * 0.5};
+      speed_mps_ = 0.0;
+      coast_streak_ = 0;
+      return last_;
+    }
+    // Coast on the dead-reckoned position with decaying confidence and
+    // decaying speed (a silent bus is more likely stopped than cruising).
+    last_ = {t, predicted, last_.confidence * 0.6};
+    speed_mps_ *= 0.6;
+    return last_;
+  }
+
+  // Accept: fuse the measurement with the dead-reckoned prediction.
+  // Tile-quantized measurements carry tens of meters of noise; the blend
+  // (a fixed-gain 1D Kalman) suppresses it once speed is being tracked.
+  // The mobility constraint acts through the admissibility gate above;
+  // the estimate itself may step back a little (the *estimate* can be
+  // ahead of the bus, e.g. after dead-reckoning through a dwell).
+  // Adaptive gain: an exact-signature candidate (score 1) is trusted
+  // almost outright; weak fallback matches lean on dead reckoning.
+  const double gain =
+      speed_mps_ > 0.0
+          ? std::clamp(params_.measurement_gain * (0.55 + 0.45 * best->score),
+                       0.0, 0.95)
+          : 1.0;
+  const double fused = std::clamp(
+      predicted + gain * (best->route_offset - predicted), reach_lo,
+      reach_hi);
+  if (dt > 0.0) {
+    const double inst_speed = std::clamp(
+        (fused - last_.route_offset) / dt, 0.0, params_.max_speed_mps);
+    speed_mps_ = speed_mps_ +
+                 params_.speed_smoothing * (inst_speed - speed_mps_);
+  }
+  last_ = {t, fused, std::clamp(best->score, 0.0, 1.0)};
+  coast_streak_ = 0;
+  return last_;
+}
+
+}  // namespace wiloc::core

@@ -1,0 +1,67 @@
+// The mobility constraint as an online filter.
+//
+// A bus follows its route and cannot jump backwards or teleport: among
+// the positioner's candidates, only those reachable from the last fix at
+// a plausible bus speed are admissible (paper Section III-B — "the bus
+// must travel on the road segment", narrowing the SVD estimate). The
+// filter blends candidate match scores with kinematic plausibility,
+// coasts through scans with no admissible candidate, and re-acquires
+// after a losing streak.
+#pragma once
+
+#include <optional>
+
+#include "svd/positioning_index.hpp"
+#include "util/time.hpp"
+
+namespace wiloc::core {
+
+/// One filtered position estimate.
+struct Fix {
+  SimTime time = 0.0;
+  double route_offset = 0.0;
+  double confidence = 0.0;  ///< [0, 1]; coasted fixes decay
+};
+
+struct MobilityFilterParams {
+  double max_speed_mps = 22.0;       ///< admissibility gate
+  double backward_slack_m = 30.0;    ///< tolerated backward jitter
+  double prediction_weight = 0.35;   ///< pull toward the dead-reckoned
+                                     ///< position when scoring candidates
+  double distance_scale_m = 120.0;   ///< normalizes the distance penalty
+  std::size_t max_coast_scans = 4;   ///< misses before re-acquisition
+  double speed_smoothing = 0.30;     ///< EWMA factor for speed tracking
+  double measurement_gain = 0.90;    ///< Kalman-style blend: how far the
+                                     ///< fix moves from the dead-reckoned
+                                     ///< position toward the measurement
+};
+
+/// Stateful per-trip filter. Feed it every scan's candidates in time
+/// order; it emits at most one fix per update.
+class MobilityFilter {
+ public:
+  explicit MobilityFilter(MobilityFilterParams params = {});
+
+  /// Processes one scan's candidates. Returns the fix, or nullopt when
+  /// the scan was empty and there is nothing to coast from.
+  std::optional<Fix> update(SimTime t,
+                            const std::vector<svd::Candidate>& candidates);
+
+  /// The last emitted fix, if any.
+  std::optional<Fix> last_fix() const;
+
+  /// Smoothed along-route speed estimate (m/s); 0 before two fixes.
+  double speed_estimate() const { return speed_mps_; }
+
+  /// Drops all state (new trip).
+  void reset();
+
+ private:
+  MobilityFilterParams params_;
+  bool has_fix_ = false;
+  Fix last_{};
+  double speed_mps_ = 0.0;
+  std::size_t coast_streak_ = 0;
+};
+
+}  // namespace wiloc::core

@@ -1,0 +1,66 @@
+#include "core/positioner.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::core {
+
+SvdPositioner::SvdPositioner(const svd::PositioningIndex& index,
+                             PositionerParams params)
+    : index_(&index), params_(params) {
+  WILOC_EXPECTS(params_.max_candidates >= 1);
+  WILOC_EXPECTS(params_.merge_radius_m >= 0.0);
+}
+
+std::vector<svd::Candidate> SvdPositioner::locate(
+    const rf::WifiScan& scan) const {
+  const auto rankings = svd::expand_tied_rankings(
+      scan, params_.tie_depth, params_.max_tie_rankings);
+  if (rankings.empty()) return {};
+
+  // Collect candidates from every tied ordering.
+  std::vector<svd::Candidate> pool;
+  for (const auto& ranking : rankings) {
+    const auto candidates = index_->locate(ranking);
+    pool.insert(pool.end(), candidates.begin(), candidates.end());
+  }
+  if (pool.empty()) return {};
+
+  // Merge candidates that agree spatially: score-weighted mean offset —
+  // for a genuine tie this lands the estimate on the tile boundary.
+  std::sort(pool.begin(), pool.end(),
+            [](const svd::Candidate& a, const svd::Candidate& b) {
+              return a.route_offset < b.route_offset;
+            });
+  std::vector<svd::Candidate> merged;
+  std::size_t i = 0;
+  while (i < pool.size()) {
+    double weight_sum = pool[i].score;
+    double weighted_offset = pool[i].route_offset * pool[i].score;
+    double best_score = pool[i].score;
+    std::size_t j = i + 1;
+    while (j < pool.size() &&
+           pool[j].route_offset - pool[j - 1].route_offset <=
+               params_.merge_radius_m) {
+      weight_sum += pool[j].score;
+      weighted_offset += pool[j].route_offset * pool[j].score;
+      best_score = std::max(best_score, pool[j].score);
+      ++j;
+    }
+    if (weight_sum > 0.0)
+      merged.push_back({weighted_offset / weight_sum, best_score});
+    i = j;
+  }
+
+  std::sort(merged.begin(), merged.end(),
+            [](const svd::Candidate& a, const svd::Candidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.route_offset < b.route_offset;
+            });
+  if (merged.size() > params_.max_candidates)
+    merged.resize(params_.max_candidates);
+  return merged;
+}
+
+}  // namespace wiloc::core

@@ -1,0 +1,42 @@
+// Scan -> position candidates, with tie handling.
+//
+// Wraps a PositioningIndex backend (planar TileMapper or route-restricted
+// RouteSvd) and adds the paper's equal-rank treatment: when the scan's
+// top readings tie in quantized RSS, the bus is near a tile boundary /
+// joint point, so the candidates of the tied orderings are merged and the
+// estimate lands on the boundary (Section III-B: points o, p, and the
+// projected junction point l).
+#pragma once
+
+#include <memory>
+
+#include "svd/positioning_index.hpp"
+
+namespace wiloc::core {
+
+struct PositionerParams {
+  std::size_t tie_depth = 3;         ///< ranks where ties are expanded
+  std::size_t max_tie_rankings = 6;  ///< expansion budget
+  double merge_radius_m = 40.0;      ///< candidates this close coalesce
+  std::size_t max_candidates = 8;
+};
+
+/// Stateless per-scan positioning front end.
+class SvdPositioner {
+ public:
+  /// `index` must outlive the positioner.
+  explicit SvdPositioner(const svd::PositioningIndex& index,
+                         PositionerParams params = {});
+
+  /// Candidate route offsets for one scan, sorted by descending score.
+  /// Empty for an empty/unmatchable scan.
+  std::vector<svd::Candidate> locate(const rf::WifiScan& scan) const;
+
+  double route_length() const { return index_->route_length(); }
+
+ private:
+  const svd::PositioningIndex* index_;
+  PositionerParams params_;
+};
+
+}  // namespace wiloc::core

@@ -1,0 +1,112 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::core {
+
+ArrivalPredictor::ArrivalPredictor(const TravelTimeStore& store,
+                                   PredictorOptions options)
+    : store_(&store), options_(options) {
+  WILOC_EXPECTS(options_.recent_window_s > 0.0);
+  WILOC_EXPECTS(options_.max_recent >= 1);
+  WILOC_EXPECTS(options_.correction_clamp_frac >= 0.0);
+  WILOC_EXPECTS(options_.fallback_speed_frac > 0.0 &&
+                options_.fallback_speed_frac <= 1.0);
+}
+
+std::optional<double> ArrivalPredictor::predict_segment_time(
+    roadnet::EdgeId edge, roadnet::RouteId route, SimTime t) const {
+  const DaySlots& slots = store_->slots();
+  const std::size_t slot = slots.slot_of(t);
+
+  // Th(i, j, l), falling back to the cross-route mean for this slot when
+  // this particular route has no history here.
+  std::optional<double> th = store_->historical_mean(edge, route, slot);
+  if (!th.has_value()) th = store_->historical_mean_any_route(edge, slot);
+  if (!th.has_value()) return std::nullopt;
+
+  double prediction = *th;
+
+  if (options_.use_recent) {
+    const auto recents = store_->recent(edge, t, options_.recent_window_s,
+                                        options_.max_recent);
+    double residual_sum = 0.0;
+    std::size_t used = 0;
+    for (const TravelObservation& r : recents) {
+      if (!options_.cross_route && !(r.route == route)) continue;
+      const std::size_t r_slot = slots.slot_of(r.exit_time);
+      std::optional<double> r_th =
+          store_->historical_mean(r.edge, r.route, r_slot);
+      if (!r_th.has_value())
+        r_th = store_->historical_mean_any_route(r.edge, r_slot);
+      if (!r_th.has_value()) continue;
+      residual_sum += r.travel_time - *r_th;
+      ++used;
+    }
+    if (used > 0) {
+      double correction = residual_sum / static_cast<double>(used);
+      // Shrink thin evidence toward zero: one noisy tracked bus should
+      // not swing the estimate as much as a consistent platoon.
+      const double n = static_cast<double>(used);
+      correction *= n / (n + options_.correction_shrinkage);
+      const double clamp = options_.correction_clamp_frac * *th;
+      correction = std::clamp(correction, -clamp, clamp);
+      prediction += correction;
+    }
+  }
+
+  return std::max(prediction, options_.min_segment_time_s);
+}
+
+double ArrivalPredictor::segment_time_or_fallback(
+    const roadnet::BusRoute& route, std::size_t edge_index, SimTime t) const {
+  const roadnet::EdgeId edge_id = route.edges()[edge_index];
+  if (const auto tp = predict_segment_time(edge_id, route.id(), t);
+      tp.has_value())
+    return *tp;
+  const roadnet::RoadSegment& edge = route.network().edge(edge_id);
+  return edge.length() /
+         (edge.speed_limit() * options_.fallback_speed_frac);
+}
+
+double ArrivalPredictor::predict_travel_time(const roadnet::BusRoute& route,
+                                             double from, double to,
+                                             SimTime t) const {
+  WILOC_EXPECTS(from <= to);
+  from = std::clamp(from, 0.0, route.length());
+  to = std::clamp(to, 0.0, route.length());
+  if (to <= from) return 0.0;
+
+  const auto start = route.position_at(from);
+  const auto finish = route.position_at(to);
+
+  double elapsed = 0.0;
+  for (std::size_t e = start.edge_index; e <= finish.edge_index; ++e) {
+    const double edge_begin = route.edge_start_offset(e);
+    const double edge_end = route.edge_end_offset(e);
+    const double edge_len = edge_end - edge_begin;
+    if (edge_len <= 0.0) continue;
+    const double span_begin = std::max(from, edge_begin);
+    const double span_end = std::min(to, edge_end);
+    if (span_end <= span_begin) continue;
+    // Eq. 9's dr(...)/dr(start, end) fraction terms.
+    const double fraction = (span_end - span_begin) / edge_len;
+    const double seg_time =
+        segment_time_or_fallback(route, e, t + elapsed) * fraction;
+    elapsed += seg_time;
+  }
+  return elapsed;
+}
+
+SimTime ArrivalPredictor::predict_arrival(const roadnet::BusRoute& route,
+                                          double current_offset, SimTime now,
+                                          std::size_t stop_index) const {
+  const double stop_offset = route.stop_offset(stop_index);
+  if (stop_offset <= current_offset) return now;
+  return now + predict_travel_time(route, current_offset, stop_offset, now);
+}
+
+}  // namespace wiloc::core

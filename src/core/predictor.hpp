@@ -1,0 +1,70 @@
+// Arrival-time prediction (paper Eqs. 5, 8, 9).
+//
+// Per segment:   Tp(i,j,t) = Th(i,j,l) + mean_k [ Tr(i,k,l) - Th(i,k,l) ]
+// where the correction averages the residuals of the buses (of *any*
+// route sharing the segment, unless configured otherwise) that most
+// recently traversed it — the temporal-consistency lever that
+// distinguishes WiLocator from same-route-only predictors [28, 29].
+//
+// Arrival at a downstream stop (Eq. 9) chains the fractional remainder
+// of the current segment, the full intermediate segments, and the
+// fraction of the stop's segment — advancing the clock as it goes so
+// that a horizon crossing a slot boundary uses the next slot's
+// statistics ("the computation will be separated slot-by-slot").
+#pragma once
+
+#include "core/travel_time.hpp"
+
+namespace wiloc::core {
+
+struct PredictorOptions {
+  bool use_recent = true;    ///< Eq.-8 correction; false = schedule-style
+  bool cross_route = true;   ///< use recents of other routes too
+  double recent_window_s = 35.0 * 60.0;  ///< recency horizon
+  std::size_t max_recent = 8;            ///< J in Eq. 5
+  double correction_clamp_frac = 0.8;    ///< |corr| <= frac * Th
+  double correction_shrinkage = 1.5;     ///< corr *= n/(n + this): thin
+                                         ///< evidence is trusted less
+  double min_segment_time_s = 5.0;
+  double fallback_speed_frac = 0.55;     ///< of the limit, for cold edges
+};
+
+/// Stateless prediction over a TravelTimeStore (which must outlive the
+/// predictor and be finalized before querying).
+class ArrivalPredictor {
+ public:
+  explicit ArrivalPredictor(const TravelTimeStore& store,
+                            PredictorOptions options = {});
+
+  /// Eq. 8: expected travel time of `route` across `edge` around time t.
+  /// nullopt when no historical data exists for any route on the edge.
+  std::optional<double> predict_segment_time(roadnet::EdgeId edge,
+                                             roadnet::RouteId route,
+                                             SimTime t) const;
+
+  /// Travel time from route offset `from` to `to` (from <= to) starting
+  /// at `t`, slot-by-slot. Segments with no history fall back to a
+  /// speed-limit estimate, so a value is always produced.
+  double predict_travel_time(const roadnet::BusRoute& route, double from,
+                             double to, SimTime t) const;
+
+  /// Eq. 9: absolute arrival time at the stop for a bus currently at
+  /// `current_offset`. Requires a valid stop index; returns `now` when
+  /// the stop is behind the bus.
+  SimTime predict_arrival(const roadnet::BusRoute& route,
+                          double current_offset, SimTime now,
+                          std::size_t stop_index) const;
+
+  const PredictorOptions& options() const { return options_; }
+  const TravelTimeStore& store() const { return *store_; }
+
+ private:
+  /// Segment time with the cold-start fallback applied.
+  double segment_time_or_fallback(const roadnet::BusRoute& route,
+                                  std::size_t edge_index, SimTime t) const;
+
+  const TravelTimeStore* store_;
+  PredictorOptions options_;
+};
+
+}  // namespace wiloc::core

@@ -1,0 +1,71 @@
+#include "core/rider_matcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::core {
+
+RiderMatcher::RiderMatcher(const WiLocatorServer& server,
+                           std::vector<roadnet::TripId> candidates,
+                           RiderMatcherParams params)
+    : server_(&server),
+      candidates_(std::move(candidates)),
+      params_(params) {
+  WILOC_EXPECTS(!candidates_.empty());
+  WILOC_EXPECTS(params_.agree_distance_m > 0.0);
+  score_sums_.assign(candidates_.size(), 0.0);
+}
+
+void RiderMatcher::ingest(const rf::WifiScan& scan) {
+  ++scans_;
+  if (scan.empty()) return;
+  const auto ranked = scan.ranked_aps();
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    const roadnet::TripId trip = candidates_[i];
+    if (!server_->has_trip(trip)) continue;
+    const auto bus_offset = server_->position(trip);
+    if (!bus_offset.has_value()) continue;
+    // Locate the rider's scan on this candidate's route.
+    const auto& tracker = server_->tracker(trip);
+    const auto& route = tracker.route();
+    const auto& index = server_->index_for(route.id());
+    const auto located = index.locate(ranked);
+    if (located.empty()) continue;
+    // Best agreement over the candidates the scan could mean.
+    double best = 0.0;
+    for (const auto& candidate : located) {
+      const double gap = std::abs(candidate.route_offset - *bus_offset);
+      if (gap <= params_.agree_distance_m) {
+        const double proximity = 1.0 - gap / params_.agree_distance_m;
+        best = std::max(best, candidate.score * (0.5 + 0.5 * proximity));
+      }
+    }
+    score_sums_[i] += best;
+  }
+}
+
+std::vector<double> RiderMatcher::scores() const {
+  std::vector<double> out(candidates_.size(), 0.0);
+  if (scans_ == 0) return out;
+  for (std::size_t i = 0; i < candidates_.size(); ++i)
+    out[i] = score_sums_[i] / static_cast<double>(scans_);
+  return out;
+}
+
+std::optional<roadnet::TripId> RiderMatcher::decision() const {
+  if (scans_ < params_.min_scans) return std::nullopt;
+  const auto s = scores();
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < s.size(); ++i)
+    if (s[i] > s[best]) best = i;
+  if (s[best] <= 0.0) return std::nullopt;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i == best) continue;
+    if (s[best] - s[i] < params_.decisive_margin) return std::nullopt;
+  }
+  return candidates_[best];
+}
+
+}  // namespace wiloc::core

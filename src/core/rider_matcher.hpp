@@ -1,0 +1,62 @@
+// Rider-to-bus assignment (paper Section V-A1).
+//
+// "The bus riders, close to the driver by proximity, have approximately
+// the same trajectory, therefore we can easily determine which bus the
+// riders are on." A rider's phone reports anonymous scans; the server
+// must decide which tracked bus the rider is riding before their scans
+// can strengthen that bus's track. The matcher locates each rider scan
+// on every candidate bus's route and scores agreement with the bus's
+// tracked position at the same instant; consistent agreement over a few
+// scans is decisive.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/server.hpp"
+
+namespace wiloc::core {
+
+struct RiderMatcherParams {
+  double agree_distance_m = 120.0;  ///< rider fix within this of the bus
+                                    ///< counts as agreement
+  std::size_t min_scans = 3;        ///< evidence needed to decide
+  double decisive_margin = 0.25;    ///< mean-score lead over the runner-up
+};
+
+/// Online matcher for one anonymous rider against the live fleet.
+class RiderMatcher {
+ public:
+  /// `server` must outlive the matcher. `candidates` are the trips the
+  /// rider could plausibly be on (e.g. every active trip); they must be
+  /// registered with the server.
+  RiderMatcher(const WiLocatorServer& server,
+               std::vector<roadnet::TripId> candidates,
+               RiderMatcherParams params = {});
+
+  /// Feeds one rider scan (time-ordered). Scores each candidate by
+  /// whether the scan, located on that candidate's route, lands near the
+  /// candidate's tracked position at scan time.
+  void ingest(const rf::WifiScan& scan);
+
+  /// Mean agreement score per candidate (aligned with candidates()).
+  std::vector<double> scores() const;
+
+  const std::vector<roadnet::TripId>& candidates() const {
+    return candidates_;
+  }
+
+  /// The matched trip, or nullopt while ambiguous.
+  std::optional<roadnet::TripId> decision() const;
+
+  std::size_t scans_seen() const { return scans_; }
+
+ private:
+  const WiLocatorServer* server_;
+  std::vector<roadnet::TripId> candidates_;
+  RiderMatcherParams params_;
+  std::vector<double> score_sums_;
+  std::size_t scans_ = 0;
+};
+
+}  // namespace wiloc::core

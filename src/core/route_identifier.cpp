@@ -1,0 +1,59 @@
+#include "core/route_identifier.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::core {
+
+RouteIdentifier::RouteIdentifier(std::vector<Hypothesis> hypotheses,
+                                 RouteIdentifierParams params)
+    : hypotheses_(std::move(hypotheses)), params_(params) {
+  WILOC_EXPECTS(!hypotheses_.empty());
+  tracks_.reserve(hypotheses_.size());
+  for (const Hypothesis& h : hypotheses_) {
+    WILOC_EXPECTS(h.route != nullptr);
+    WILOC_EXPECTS(h.index != nullptr);
+    tracks_.push_back(
+        {SvdPositioner(*h.index, params_.positioner),
+         MobilityFilter(params_.filter), 0.0});
+  }
+}
+
+void RouteIdentifier::ingest(const rf::WifiScan& scan) {
+  ++scans_;
+  for (Track& track : tracks_) {
+    const auto candidates = track.positioner.locate(scan);
+    const auto fix = track.filter.update(scan.time, candidates);
+    // Evidence: the confidence of the filtered fix. A wrong route either
+    // fails to match signatures (low candidate scores) or matches them
+    // in kinematically impossible places (filter coasts, confidence
+    // decays).
+    track.score_sum += fix.has_value() ? fix->confidence : 0.0;
+  }
+}
+
+std::vector<double> RouteIdentifier::scores() const {
+  std::vector<double> out;
+  out.reserve(tracks_.size());
+  for (const Track& track : tracks_)
+    out.push_back(scans_ == 0 ? 0.0
+                              : track.score_sum /
+                                    static_cast<double>(scans_));
+  return out;
+}
+
+std::optional<roadnet::RouteId> RouteIdentifier::decision() const {
+  if (scans_ < params_.min_scans) return std::nullopt;
+  const auto s = scores();
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < s.size(); ++i)
+    if (s[i] > s[best]) best = i;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i == best) continue;
+    if (s[best] - s[i] < params_.decisive_margin) return std::nullopt;
+  }
+  return hypotheses_[best].route->id();
+}
+
+}  // namespace wiloc::core

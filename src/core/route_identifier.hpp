@@ -1,0 +1,71 @@
+// Bus route identification from the scan stream.
+//
+// The paper assumes the route is known (announcement voice capture or
+// driver input — Section V-A1) and notes that Cell-ID matching fails on
+// the overlapped first segments. This component goes further: it
+// identifies the route from WiFi evidence alone by scoring each
+// candidate route's positioning index against the scan stream — match
+// quality plus forward-motion consistency. On overlapped stretches the
+// scores tie (correctly: the evidence is ambiguous); the routes separate
+// as soon as the bus reaches an unshared segment.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mobility_filter.hpp"
+#include "core/positioner.hpp"
+#include "roadnet/route.hpp"
+
+namespace wiloc::core {
+
+struct RouteIdentifierParams {
+  PositionerParams positioner;
+  MobilityFilterParams filter;
+  double decisive_margin = 0.12;  ///< mean-score lead needed to decide
+  std::size_t min_scans = 5;      ///< evidence needed before deciding
+};
+
+/// Online multi-hypothesis route matcher.
+class RouteIdentifier {
+ public:
+  /// One hypothesis: a route and its positioning index. Both must
+  /// outlive the identifier.
+  struct Hypothesis {
+    const roadnet::BusRoute* route;
+    const svd::PositioningIndex* index;
+  };
+
+  RouteIdentifier(std::vector<Hypothesis> hypotheses,
+                  RouteIdentifierParams params = {});
+
+  /// Feeds one scan (time-ordered).
+  void ingest(const rf::WifiScan& scan);
+
+  /// Per-route mean evidence score so far (aligned with hypotheses()).
+  std::vector<double> scores() const;
+
+  const std::vector<Hypothesis>& hypotheses() const { return hypotheses_; }
+
+  /// The identified route, or nullopt while the evidence is ambiguous
+  /// (fewer than min_scans scans, or the top two scores within
+  /// decisive_margin).
+  std::optional<roadnet::RouteId> decision() const;
+
+  std::size_t scans_seen() const { return scans_; }
+
+ private:
+  struct Track {
+    SvdPositioner positioner;
+    MobilityFilter filter;
+    double score_sum = 0.0;
+  };
+
+  std::vector<Hypothesis> hypotheses_;
+  RouteIdentifierParams params_;
+  std::vector<Track> tracks_;
+  std::size_t scans_ = 0;
+};
+
+}  // namespace wiloc::core

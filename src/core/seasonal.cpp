@@ -1,0 +1,119 @@
+#include "core/seasonal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::core {
+
+SeasonalIndexAnalyzer::SeasonalIndexAnalyzer(std::size_t slots_per_day)
+    : slots_per_day_(slots_per_day) {
+  WILOC_EXPECTS(slots_per_day >= 1);
+}
+
+void SeasonalIndexAnalyzer::add(roadnet::EdgeId edge, double tod,
+                                double travel_time) {
+  WILOC_EXPECTS(tod >= 0.0 && tod < kSecondsPerDay);
+  WILOC_EXPECTS(travel_time > 0.0);
+  auto& slots = per_edge_[edge];
+  if (slots.empty()) slots.resize(slots_per_day_);
+  const auto slot = std::min(
+      static_cast<std::size_t>(tod / kSecondsPerDay *
+                               static_cast<double>(slots_per_day_)),
+      slots_per_day_ - 1);
+  slots[slot].add(travel_time);
+}
+
+std::optional<double> SeasonalIndexAnalyzer::seasonal_index(
+    roadnet::EdgeId edge, std::size_t slot) const {
+  WILOC_EXPECTS(slot < slots_per_day_);
+  const auto it = per_edge_.find(edge);
+  if (it == per_edge_.end() || it->second[slot].empty())
+    return std::nullopt;
+
+  double sum_of_means = 0.0;
+  std::size_t slots_with_data = 0;
+  for (const RunningStats& s : it->second) {
+    if (!s.empty()) {
+      sum_of_means += s.mean();
+      ++slots_with_data;
+    }
+  }
+  if (slots_with_data == 0) return std::nullopt;
+  const double overall = sum_of_means / static_cast<double>(slots_with_data);
+  if (overall <= 0.0) return std::nullopt;
+  return it->second[slot].mean() / overall;
+}
+
+std::vector<double> SeasonalIndexAnalyzer::profile(
+    roadnet::EdgeId edge) const {
+  std::vector<double> out(slots_per_day_, 1.0);
+  for (std::size_t l = 0; l < slots_per_day_; ++l) {
+    if (const auto si = seasonal_index(edge, l); si.has_value())
+      out[l] = *si;
+  }
+  return out;
+}
+
+bool SeasonalIndexAnalyzer::has_periodicity(roadnet::EdgeId edge,
+                                            double threshold) const {
+  const auto prof = profile(edge);
+  return std::any_of(prof.begin(), prof.end(),
+                     [&](double si) { return si >= threshold; });
+}
+
+DaySlots SeasonalIndexAnalyzer::merge_profile(const std::vector<double>& si,
+                                              double tolerance) const {
+  WILOC_EXPECTS(tolerance >= 0.0);
+  std::vector<double> bounds{0.0};
+  double group_sum = si.front();
+  std::size_t group_n = 1;
+  for (std::size_t l = 1; l < si.size(); ++l) {
+    const double group_mean = group_sum / static_cast<double>(group_n);
+    if (std::abs(si[l] - group_mean) > tolerance) {
+      bounds.push_back(kSecondsPerDay * static_cast<double>(l) /
+                       static_cast<double>(si.size()));
+      group_sum = si[l];
+      group_n = 1;
+    } else {
+      group_sum += si[l];
+      ++group_n;
+    }
+  }
+  bounds.push_back(kSecondsPerDay);
+  return DaySlots::from_boundaries(bounds);
+}
+
+DaySlots SeasonalIndexAnalyzer::merged_slots(roadnet::EdgeId edge,
+                                             double tolerance) const {
+  return merge_profile(profile(edge), tolerance);
+}
+
+DaySlots SeasonalIndexAnalyzer::merged_slots_network(double tolerance) const {
+  std::vector<double> averaged(slots_per_day_, 0.0);
+  std::vector<std::size_t> counts(slots_per_day_, 0);
+  for (const auto& [edge, slots] : per_edge_) {
+    for (std::size_t l = 0; l < slots_per_day_; ++l) {
+      if (const auto si = seasonal_index(edge, l); si.has_value()) {
+        averaged[l] += *si;
+        ++counts[l];
+      }
+    }
+  }
+  for (std::size_t l = 0; l < slots_per_day_; ++l)
+    averaged[l] = counts[l] > 0
+                      ? averaged[l] / static_cast<double>(counts[l])
+                      : 1.0;
+  return merge_profile(averaged, tolerance);
+}
+
+std::vector<roadnet::EdgeId> SeasonalIndexAnalyzer::observed_edges() const {
+  std::vector<roadnet::EdgeId> out;
+  out.reserve(per_edge_.size());
+  for (const auto& [edge, slots] : per_edge_) out.push_back(edge);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace wiloc::core

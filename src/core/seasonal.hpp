@@ -1,0 +1,64 @@
+// Seasonal index analysis (paper Eq. 6-7).
+//
+// For each road segment, SI(i, l) = T-bar(i,.,.,l) / T-bar(i,.,.,.) asks
+// whether travel times in time-slot l are systematically longer than the
+// segment's all-day average: SI around 1 everywhere means no periodicity,
+// SI >> 1 (the paper uses >= 1.6) marks a rush hour. Consecutive hourly
+// slots with similar SI are merged into bigger slots so each slot keeps
+// enough samples (Section IV).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "roadnet/network.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace wiloc::core {
+
+class SeasonalIndexAnalyzer {
+ public:
+  /// `slots_per_day` is L in Eq. 6 (default: hourly).
+  explicit SeasonalIndexAnalyzer(std::size_t slots_per_day = 24);
+
+  /// Adds one observation: travel time of any route over the edge at
+  /// time-of-day `tod` (seconds since midnight).
+  void add(roadnet::EdgeId edge, double tod, double travel_time);
+
+  std::size_t slots_per_day() const { return slots_per_day_; }
+
+  /// SI(i, l); nullopt when slot l of the edge has no data. The
+  /// normalizer is the unweighted mean of the per-slot means, so that
+  /// sum_l SI(i, l) == L when every slot has data (Eq. 7).
+  std::optional<double> seasonal_index(roadnet::EdgeId edge,
+                                       std::size_t slot) const;
+
+  /// The full SI profile of an edge; slots without data read as 1.0.
+  std::vector<double> profile(roadnet::EdgeId edge) const;
+
+  /// True when some slot's SI reaches `threshold` (the paper's
+  /// periodicity test; it cites SI >= 1.6 for rush hours).
+  bool has_periodicity(roadnet::EdgeId edge, double threshold = 1.3) const;
+
+  /// Greedily merges consecutive slots whose SI differs from the running
+  /// group mean by at most `tolerance` into one larger slot
+  /// ("group consecutive time slots with similar seasonal index").
+  DaySlots merged_slots(roadnet::EdgeId edge, double tolerance = 0.15) const;
+
+  /// Network-level merged slots from the edge-averaged SI profile.
+  DaySlots merged_slots_network(double tolerance = 0.15) const;
+
+  /// Edges with at least one observation.
+  std::vector<roadnet::EdgeId> observed_edges() const;
+
+ private:
+  DaySlots merge_profile(const std::vector<double>& si,
+                         double tolerance) const;
+
+  std::size_t slots_per_day_;
+  std::unordered_map<roadnet::EdgeId, std::vector<RunningStats>> per_edge_;
+};
+
+}  // namespace wiloc::core

@@ -1,0 +1,152 @@
+#include "core/server.hpp"
+
+#include "util/contracts.hpp"
+
+namespace wiloc::core {
+
+WiLocatorServer::WiLocatorServer(
+    std::vector<const roadnet::BusRoute*> routes,
+    std::vector<rf::AccessPoint> aps, const rf::LogDistanceModel& model,
+    DaySlots slots, ServerConfig config)
+    : config_(config),
+      store_(std::move(slots)),
+      predictor_(store_, config.predictor),
+      traffic_builder_(store_, predictor_, config.traffic) {
+  WILOC_EXPECTS(!routes.empty());
+  for (const roadnet::BusRoute* route : routes) {
+    WILOC_EXPECTS(route != nullptr);
+    adopt_route(*route, std::make_unique<svd::RouteSvd>(*route, aps, model,
+                                                        config_.svd));
+  }
+}
+
+WiLocatorServer::WiLocatorServer(std::vector<RouteIndex> bindings,
+                                 DaySlots slots, ServerConfig config)
+    : config_(config),
+      store_(std::move(slots)),
+      predictor_(store_, config.predictor),
+      traffic_builder_(store_, predictor_, config.traffic) {
+  WILOC_EXPECTS(!bindings.empty());
+  for (RouteIndex& binding : bindings) {
+    WILOC_EXPECTS(binding.route != nullptr);
+    WILOC_EXPECTS(binding.index != nullptr);
+    adopt_route(*binding.route, std::move(binding.index));
+  }
+}
+
+void WiLocatorServer::adopt_route(
+    const roadnet::BusRoute& route,
+    std::unique_ptr<svd::PositioningIndex> index) {
+  RouteRuntime rt;
+  rt.route = &route;
+  rt.index = std::move(index);
+  rt.positioner =
+      std::make_unique<SvdPositioner>(*rt.index, config_.positioner);
+  routes_.emplace(route.id(), std::move(rt));
+}
+
+void WiLocatorServer::load_history(const TravelObservation& obs) {
+  store_.add_history(obs);
+}
+
+void WiLocatorServer::finalize_history() { store_.finalize_history(); }
+
+void WiLocatorServer::begin_trip(roadnet::TripId trip,
+                                 roadnet::RouteId route) {
+  const RouteRuntime& rt = runtime_for(route);
+  if (trips_.count(trip) != 0)
+    throw StateError("trip " + std::to_string(trip.value()) +
+                     " already registered");
+  TripRuntime tr;
+  tr.route = route;
+  tr.tracker = std::make_unique<BusTracker>(*rt.route, *rt.positioner,
+                                            config_.filter);
+  trips_.emplace(trip, std::move(tr));
+}
+
+bool WiLocatorServer::has_trip(roadnet::TripId trip) const {
+  return trips_.count(trip) != 0;
+}
+
+std::optional<Fix> WiLocatorServer::ingest(roadnet::TripId trip,
+                                           const rf::WifiScan& scan) {
+  const auto it = trips_.find(trip);
+  if (it == trips_.end())
+    throw NotFound("unknown trip " + std::to_string(trip.value()));
+  if (!it->second.active)
+    throw StateError("trip " + std::to_string(trip.value()) + " is closed");
+  const auto fix = it->second.tracker->ingest(scan);
+  for (const TravelObservation& obs : it->second.tracker->drain_segments())
+    store_.add_recent(obs);
+  return fix;
+}
+
+void WiLocatorServer::end_trip(roadnet::TripId trip) {
+  const auto it = trips_.find(trip);
+  if (it == trips_.end())
+    throw NotFound("unknown trip " + std::to_string(trip.value()));
+  it->second.active = false;
+}
+
+std::optional<double> WiLocatorServer::position(
+    roadnet::TripId trip) const {
+  return tracker(trip).current_offset();
+}
+
+std::optional<SimTime> WiLocatorServer::eta(roadnet::TripId trip,
+                                            std::size_t stop_index,
+                                            SimTime now) const {
+  const auto it = trips_.find(trip);
+  if (it == trips_.end())
+    throw NotFound("unknown trip " + std::to_string(trip.value()));
+  const auto offset = it->second.tracker->current_offset();
+  if (!offset.has_value()) return std::nullopt;
+  const roadnet::BusRoute& route = *runtime_for(it->second.route).route;
+  return predictor_.predict_arrival(route, *offset, now, stop_index);
+}
+
+TrafficMap WiLocatorServer::traffic_map(SimTime now) const {
+  std::vector<roadnet::EdgeId> edges;
+  for (const auto& [id, rt] : routes_)
+    edges.insert(edges.end(), rt.route->edges().begin(),
+                 rt.route->edges().end());
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return traffic_builder_.build(edges, now);
+}
+
+std::vector<Anomaly> WiLocatorServer::anomalies(
+    roadnet::TripId trip) const {
+  const auto it = trips_.find(trip);
+  if (it == trips_.end())
+    throw NotFound("unknown trip " + std::to_string(trip.value()));
+  const roadnet::BusRoute& route = *runtime_for(it->second.route).route;
+  const AnomalyDetector detector(route, config_.typical_scan_distance_m);
+  return detector.detect(it->second.tracker->fixes());
+}
+
+const svd::PositioningIndex& WiLocatorServer::index_for(
+    roadnet::RouteId route) const {
+  return *runtime_for(route).index;
+}
+
+const BusTracker& WiLocatorServer::tracker(roadnet::TripId trip) const {
+  const auto it = trips_.find(trip);
+  if (it == trips_.end())
+    throw NotFound("unknown trip " + std::to_string(trip.value()));
+  return *it->second.tracker;
+}
+
+const roadnet::BusRoute& WiLocatorServer::route(roadnet::RouteId id) const {
+  return *runtime_for(id).route;
+}
+
+const WiLocatorServer::RouteRuntime& WiLocatorServer::runtime_for(
+    roadnet::RouteId route) const {
+  const auto it = routes_.find(route);
+  if (it == routes_.end())
+    throw NotFound("unknown route " + std::to_string(route.value()));
+  return it->second;
+}
+
+}  // namespace wiloc::core

@@ -1,0 +1,126 @@
+// The WiLocator back-end server.
+//
+// The paper's architecture (Fig. 4) shifts all computation to a server:
+// phones only report scans. This facade wires the whole pipeline:
+//   scans -> SVD positioning -> mobility filter -> trackers
+//         -> segment travel-time observations -> recent store
+//   queries: live position, ETA at a stop, traffic map, anomalies.
+//
+// Offline phase: load historical travel times (weeks of data), finalize.
+// Online phase: begin trips, ingest scan reports in time order, query.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/anomaly.hpp"
+#include "core/predictor.hpp"
+#include "core/tracker.hpp"
+#include "core/traffic_map.hpp"
+#include "svd/route_svd.hpp"
+
+namespace wiloc::core {
+
+struct ServerConfig {
+  svd::RouteSvdParams svd;
+  PositionerParams positioner;
+  MobilityFilterParams filter;
+  PredictorOptions predictor;
+  TrafficMapParams traffic;
+  double typical_scan_distance_m = 70.0;  ///< anomaly delta basis
+};
+
+class WiLocatorServer {
+ public:
+  /// Builds one RouteSvd index per route from the AP snapshot. The
+  /// routes and model must outlive the server; APs are copied.
+  WiLocatorServer(std::vector<const roadnet::BusRoute*> routes,
+                  std::vector<rf::AccessPoint> aps,
+                  const rf::LogDistanceModel& model, DaySlots slots,
+                  ServerConfig config = {});
+
+  /// A route with a caller-supplied positioning index (e.g. built by
+  /// svd::SurveyBuilder from crowd scans — no propagation model needed).
+  struct RouteIndex {
+    const roadnet::BusRoute* route;
+    std::unique_ptr<svd::PositioningIndex> index;
+  };
+
+  /// Runs on injected indexes; the routes must outlive the server.
+  WiLocatorServer(std::vector<RouteIndex> bindings, DaySlots slots,
+                  ServerConfig config = {});
+
+  // -- offline training --------------------------------------------------
+
+  /// Feeds one historical observation (ground truth or tracked).
+  void load_history(const TravelObservation& obs);
+  /// Freezes history and computes residual statistics.
+  void finalize_history();
+
+  // -- online operation --------------------------------------------------
+
+  /// Registers a bus trip on a route (route identification is assumed
+  /// done — by announcement capture, driver input, or RouteIdentifier).
+  void begin_trip(roadnet::TripId trip, roadnet::RouteId route);
+
+  /// True when the trip is registered.
+  bool has_trip(roadnet::TripId trip) const;
+
+  /// Processes one scan of a registered trip; updates the tracker and
+  /// harvests any completed segment observations into the recent store.
+  std::optional<Fix> ingest(roadnet::TripId trip,
+                            const rf::WifiScan& scan);
+
+  /// Closes a trip (its tracker is kept for post-hoc queries).
+  void end_trip(roadnet::TripId trip);
+
+  // -- queries -----------------------------------------------------------
+
+  /// Current route offset of a trip, if tracking has a fix.
+  std::optional<double> position(roadnet::TripId trip) const;
+
+  /// Predicted arrival time at the stop (Eq. 9). nullopt without a fix.
+  std::optional<SimTime> eta(roadnet::TripId trip, std::size_t stop_index,
+                             SimTime now) const;
+
+  /// Traffic map over every edge used by any registered route.
+  TrafficMap traffic_map(SimTime now) const;
+
+  /// Anomaly windows detected on the trip's trajectory so far.
+  std::vector<Anomaly> anomalies(roadnet::TripId trip) const;
+
+  // -- component access (benches, tests) ---------------------------------
+
+  const svd::PositioningIndex& index_for(roadnet::RouteId route) const;
+  const BusTracker& tracker(roadnet::TripId trip) const;
+  TravelTimeStore& store() { return store_; }
+  const TravelTimeStore& store() const { return store_; }
+  const ArrivalPredictor& predictor() const { return predictor_; }
+  const roadnet::BusRoute& route(roadnet::RouteId id) const;
+
+ private:
+  struct RouteRuntime {
+    const roadnet::BusRoute* route;
+    std::unique_ptr<svd::PositioningIndex> index;
+    std::unique_ptr<SvdPositioner> positioner;
+  };
+
+  void adopt_route(const roadnet::BusRoute& route,
+                   std::unique_ptr<svd::PositioningIndex> index);
+  struct TripRuntime {
+    roadnet::RouteId route;
+    std::unique_ptr<BusTracker> tracker;
+    bool active = true;
+  };
+
+  const RouteRuntime& runtime_for(roadnet::RouteId route) const;
+
+  ServerConfig config_;
+  std::unordered_map<roadnet::RouteId, RouteRuntime> routes_;
+  std::unordered_map<roadnet::TripId, TripRuntime> trips_;
+  TravelTimeStore store_;
+  ArrivalPredictor predictor_;
+  TrafficMapBuilder traffic_builder_;
+};
+
+}  // namespace wiloc::core

@@ -1,0 +1,35 @@
+#include "core/training.hpp"
+
+#include "util/contracts.hpp"
+
+namespace wiloc::core {
+
+TrainingResult train_from_history(
+    const std::vector<TravelObservation>& observations,
+    TrainingParams params) {
+  WILOC_EXPECTS(!observations.empty());
+  WILOC_EXPECTS(params.analysis_slots >= 1);
+
+  SeasonalIndexAnalyzer analyzer(params.analysis_slots);
+  for (const TravelObservation& obs : observations)
+    analyzer.add(obs.edge, time_of_day(obs.exit_time), obs.travel_time);
+
+  TrainingResult result;
+  for (const roadnet::EdgeId edge : analyzer.observed_edges()) {
+    if (analyzer.has_periodicity(edge, params.periodicity_threshold))
+      ++result.segments_with_periodicity;
+  }
+  result.periodic = result.segments_with_periodicity > 0;
+
+  result.slots = result.periodic
+                     ? analyzer.merged_slots_network(params.merge_tolerance)
+                     : DaySlots::uniform(1);
+
+  result.store = std::make_unique<TravelTimeStore>(result.slots);
+  for (const TravelObservation& obs : observations)
+    result.store->add_history(obs);
+  result.store->finalize_history();
+  return result;
+}
+
+}  // namespace wiloc::core

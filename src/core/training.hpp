@@ -1,0 +1,41 @@
+// Offline training (paper Section V-A3).
+//
+// "For each road segment, the server computes the seasonal index based
+// on the historical travel time, and determines whether there is a
+// periodicity. If so, the server will divide the day into time-slots."
+// This module runs that pipeline: feed it the historical observations,
+// it discovers the slot structure via the network-wide seasonal index
+// and returns a TravelTimeStore trained on the discovered slots.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/seasonal.hpp"
+#include "core/travel_time.hpp"
+
+namespace wiloc::core {
+
+struct TrainingParams {
+  std::size_t analysis_slots = 24;   ///< L in Eq. 6 (hourly)
+  double merge_tolerance = 0.12;     ///< SI similarity for slot merging
+  double periodicity_threshold = 1.2;  ///< SI above this = rush exists
+};
+
+/// The result of offline training: the discovered slot structure plus a
+/// finalized store ready for the predictor.
+struct TrainingResult {
+  DaySlots slots = DaySlots::uniform(1);
+  std::unique_ptr<TravelTimeStore> store;
+  bool periodic = false;   ///< any segment showed rush-hour periodicity
+  std::size_t segments_with_periodicity = 0;
+};
+
+/// Discovers time-of-day slots from the observations' seasonal indices
+/// (falls back to a single all-day slot when nothing is periodic), then
+/// loads and finalizes a store on those slots. Requires non-empty input.
+TrainingResult train_from_history(
+    const std::vector<TravelObservation>& observations,
+    TrainingParams params = {});
+
+}  // namespace wiloc::core

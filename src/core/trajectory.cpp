@@ -1,0 +1,56 @@
+#include "core/trajectory.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::core {
+
+std::vector<GeoFix> to_geo_trajectory(const std::vector<Fix>& fixes,
+                                      const roadnet::BusRoute& route,
+                                      const geo::LatLonAnchor& anchor) {
+  std::vector<GeoFix> out;
+  out.reserve(fixes.size());
+  for (const Fix& fix : fixes) {
+    const geo::Point p = route.point_at(fix.route_offset);
+    out.push_back({anchor.to_latlon(p), fix.time, fix.confidence});
+  }
+  return out;
+}
+
+void write_trajectory_csv(std::ostream& os,
+                          const std::vector<GeoFix>& trajectory) {
+  os << "latitude,longitude,time_s,confidence\n";
+  os.precision(12);
+  for (const GeoFix& fix : trajectory) {
+    os << fix.position.latitude << ',' << fix.position.longitude << ','
+       << fix.time << ',' << fix.confidence << '\n';
+  }
+}
+
+std::vector<GeoFix> read_trajectory_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) ||
+      line != "latitude,longitude,time_s,confidence")
+    throw InvalidArgument("trajectory CSV: bad header");
+  std::vector<GeoFix> out;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    GeoFix fix;
+    char c1 = 0;
+    char c2 = 0;
+    char c3 = 0;
+    if (!(row >> fix.position.latitude >> c1 >> fix.position.longitude >>
+          c2 >> fix.time >> c3 >> fix.confidence) ||
+        c1 != ',' || c2 != ',' || c3 != ',')
+      throw InvalidArgument("trajectory CSV: bad row '" + line + "'");
+    out.push_back(fix);
+  }
+  return out;
+}
+
+}  // namespace wiloc::core

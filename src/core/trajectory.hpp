@@ -1,0 +1,38 @@
+// Geodetic trajectories (paper Definition 6).
+//
+// "A bus trajectory is a sequence of tuples <lat, long, t>." Internally
+// WiLocator works in route offsets; this module converts a tracker's fix
+// sequence to geodetic tuples through a LatLonAnchor and serializes them
+// as CSV for downstream consumers (the paper's user-interface component).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/mobility_filter.hpp"
+#include "geo/latlon.hpp"
+#include "roadnet/route.hpp"
+
+namespace wiloc::core {
+
+/// One geodetic trajectory point: the paper's <lat, long, t> tuple.
+struct GeoFix {
+  geo::LatLon position;
+  SimTime time = 0.0;
+  double confidence = 0.0;
+};
+
+/// Converts route-offset fixes into geodetic tuples.
+std::vector<GeoFix> to_geo_trajectory(const std::vector<Fix>& fixes,
+                                      const roadnet::BusRoute& route,
+                                      const geo::LatLonAnchor& anchor);
+
+/// Writes "latitude,longitude,time_s,confidence" CSV rows (with header).
+void write_trajectory_csv(std::ostream& os,
+                          const std::vector<GeoFix>& trajectory);
+
+/// Parses a CSV written by write_trajectory_csv. Throws
+/// wiloc::InvalidArgument on malformed input.
+std::vector<GeoFix> read_trajectory_csv(std::istream& is);
+
+}  // namespace wiloc::core

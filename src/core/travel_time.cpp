@@ -1,0 +1,121 @@
+#include "core/travel_time.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::core {
+
+TravelTimeStore::TravelTimeStore(DaySlots slots) : slots_(std::move(slots)) {}
+
+std::uint64_t TravelTimeStore::cell_key(roadnet::EdgeId edge,
+                                        roadnet::RouteId route,
+                                        std::size_t slot) {
+  return (static_cast<std::uint64_t>(edge.value()) << 32) |
+         (static_cast<std::uint64_t>(route.value()) << 8) |
+         static_cast<std::uint64_t>(slot);
+}
+
+std::uint64_t TravelTimeStore::edge_slot_key(roadnet::EdgeId edge,
+                                             std::size_t slot) {
+  return (static_cast<std::uint64_t>(edge.value()) << 32) |
+         static_cast<std::uint64_t>(slot);
+}
+
+void TravelTimeStore::add_history(const TravelObservation& obs) {
+  if (finalized_)
+    throw StateError("TravelTimeStore: add_history after finalize_history");
+  WILOC_EXPECTS(obs.travel_time > 0.0);
+  const std::size_t slot = slots_.slot_of(obs.exit_time);
+  history_[cell_key(obs.edge, obs.route, slot)].add(obs.travel_time);
+  edge_slot_[edge_slot_key(obs.edge, slot)].add(obs.travel_time);
+  raw_history_.push_back(obs);
+}
+
+void TravelTimeStore::finalize_history() {
+  if (finalized_)
+    throw StateError("TravelTimeStore: finalize_history called twice");
+  for (const TravelObservation& obs : raw_history_) {
+    const std::size_t slot = slots_.slot_of(obs.exit_time);
+    const auto th = historical_mean(obs.edge, obs.route, slot);
+    if (!th.has_value()) continue;
+    residuals_[edge_slot_key(obs.edge, slot)].add(obs.travel_time - *th);
+  }
+  raw_history_.clear();
+  raw_history_.shrink_to_fit();
+  finalized_ = true;
+}
+
+std::optional<double> TravelTimeStore::historical_mean(
+    roadnet::EdgeId edge, roadnet::RouteId route, std::size_t slot) const {
+  const auto it = history_.find(cell_key(edge, route, slot));
+  if (it == history_.end() || it->second.empty()) return std::nullopt;
+  return it->second.mean();
+}
+
+std::optional<double> TravelTimeStore::historical_mean_any_route(
+    roadnet::EdgeId edge, std::size_t slot) const {
+  const auto it = edge_slot_.find(edge_slot_key(edge, slot));
+  if (it == edge_slot_.end() || it->second.empty()) return std::nullopt;
+  return it->second.mean();
+}
+
+std::optional<double> TravelTimeStore::residual_mean(roadnet::EdgeId edge,
+                                                     std::size_t slot) const {
+  const auto it = residuals_.find(edge_slot_key(edge, slot));
+  if (it == residuals_.end() || it->second.count() < 2) return std::nullopt;
+  return it->second.mean();
+}
+
+std::optional<double> TravelTimeStore::residual_stddev(
+    roadnet::EdgeId edge, std::size_t slot) const {
+  const auto it = residuals_.find(edge_slot_key(edge, slot));
+  if (it == residuals_.end() || it->second.count() < 2) return std::nullopt;
+  return it->second.stddev();
+}
+
+std::size_t TravelTimeStore::history_count(roadnet::EdgeId edge) const {
+  std::size_t n = 0;
+  for (std::size_t slot = 0; slot < slots_.count(); ++slot) {
+    const auto it = edge_slot_.find(edge_slot_key(edge, slot));
+    if (it != edge_slot_.end()) n += it->second.count();
+  }
+  return n;
+}
+
+void TravelTimeStore::add_recent(const TravelObservation& obs) {
+  WILOC_EXPECTS(obs.travel_time > 0.0);
+  auto& ring = recent_[obs.edge];
+  // Keep the ring ordered by exit time (observations arrive in order in
+  // practice; tolerate slight disorder by insertion).
+  auto it = ring.end();
+  while (it != ring.begin() && (it - 1)->exit_time > obs.exit_time) --it;
+  ring.insert(it, obs);
+  constexpr std::size_t kMaxRing = 1024;
+  if (ring.size() > kMaxRing) ring.pop_front();
+}
+
+std::vector<TravelObservation> TravelTimeStore::recent(
+    roadnet::EdgeId edge, SimTime now, double window_s,
+    std::size_t max_count) const {
+  WILOC_EXPECTS(window_s >= 0.0);
+  std::vector<TravelObservation> out;
+  const auto it = recent_.find(edge);
+  if (it == recent_.end()) return out;
+  for (auto r = it->second.rbegin(); r != it->second.rend(); ++r) {
+    if (r->exit_time > now) continue;      // future data is invisible
+    if (now - r->exit_time > window_s) break;
+    out.push_back(*r);
+    if (out.size() >= max_count) break;
+  }
+  return out;
+}
+
+void TravelTimeStore::prune_recent(SimTime now, double window_s) {
+  for (auto& [edge, ring] : recent_) {
+    while (!ring.empty() && now - ring.front().exit_time > window_s)
+      ring.pop_front();
+  }
+}
+
+}  // namespace wiloc::core

@@ -1,0 +1,101 @@
+// Travel-time bookkeeping: the data layer of the predictor.
+//
+// The paper splits travel-time knowledge into two kinds:
+//  - *historical*: per (segment, route, time-slot) means Th(i, j, l),
+//    gathered offline over weeks (Section V-A3, offline training);
+//  - *recent*: the travel times of the J buses (of any route) that most
+//    recently traversed each segment, Tr(i, k) — the timely signal that
+//    corrects the historical mean (Eq. 5/8).
+//
+// The store also keeps per-(segment, slot) residual statistics
+// (Tr - Th), which the traffic-map classifier standardizes into z-scores
+// (Section V-B3).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "roadnet/route.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace wiloc::core {
+
+/// One completed segment traversal.
+struct TravelObservation {
+  roadnet::EdgeId edge;
+  roadnet::RouteId route;
+  SimTime exit_time;   ///< when the bus left the segment
+  double travel_time;  ///< seconds spent on the segment
+};
+
+class TravelTimeStore {
+ public:
+  /// `slots` defines the time-of-day partition used for all historical
+  /// aggregation (the paper's 5 weekday slots, or the slots produced by
+  /// the seasonal-index analysis).
+  explicit TravelTimeStore(DaySlots slots);
+
+  // -- offline history --------------------------------------------------
+
+  /// Adds one training observation. Must precede finalize_history().
+  void add_history(const TravelObservation& obs);
+
+  /// Computes per-(edge, slot) residual statistics from the accumulated
+  /// history. Call once after loading; add_history afterwards throws.
+  void finalize_history();
+  bool finalized() const { return finalized_; }
+
+  /// Historical mean Th(i, j, l); nullopt when the (edge, route, slot)
+  /// cell has no data.
+  std::optional<double> historical_mean(roadnet::EdgeId edge,
+                                        roadnet::RouteId route,
+                                        std::size_t slot) const;
+
+  /// Historical mean across all routes on the edge in the slot.
+  std::optional<double> historical_mean_any_route(roadnet::EdgeId edge,
+                                                  std::size_t slot) const;
+
+  /// Residual (Tr - Th) mean / stddev per (edge, slot). Requires
+  /// finalize_history(). nullopt when fewer than 2 residuals exist.
+  std::optional<double> residual_mean(roadnet::EdgeId edge,
+                                      std::size_t slot) const;
+  std::optional<double> residual_stddev(roadnet::EdgeId edge,
+                                        std::size_t slot) const;
+
+  /// Number of history observations for the edge (all routes/slots).
+  std::size_t history_count(roadnet::EdgeId edge) const;
+
+  const DaySlots& slots() const { return slots_; }
+
+  // -- online recents ----------------------------------------------------
+
+  /// Records a just-completed traversal (from live tracking).
+  void add_recent(const TravelObservation& obs);
+
+  /// The most recent traversals of the edge within `window_s` of `now`,
+  /// newest first, at most `max_count`.
+  std::vector<TravelObservation> recent(roadnet::EdgeId edge, SimTime now,
+                                        double window_s,
+                                        std::size_t max_count) const;
+
+  /// Drops recents older than `now - window_s` (ring hygiene).
+  void prune_recent(SimTime now, double window_s);
+
+ private:
+  static std::uint64_t cell_key(roadnet::EdgeId edge, roadnet::RouteId route,
+                                std::size_t slot);
+  static std::uint64_t edge_slot_key(roadnet::EdgeId edge, std::size_t slot);
+
+  DaySlots slots_;
+  bool finalized_ = false;
+  std::unordered_map<std::uint64_t, RunningStats> history_;   // per cell
+  std::unordered_map<std::uint64_t, RunningStats> edge_slot_; // across routes
+  std::vector<TravelObservation> raw_history_;
+  std::unordered_map<std::uint64_t, RunningStats> residuals_; // per edge+slot
+  std::unordered_map<roadnet::EdgeId, std::deque<TravelObservation>> recent_;
+};
+
+}  // namespace wiloc::core

@@ -1,0 +1,45 @@
+#include "core/trip_planner.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::core {
+
+TripPlanner::TripPlanner(const WiLocatorServer& server) : server_(&server) {}
+
+std::vector<TripOption> TripPlanner::plan(
+    const roadnet::BusRoute& route, std::size_t origin,
+    std::size_t destination, SimTime now,
+    const std::vector<roadnet::TripId>& trips) const {
+  WILOC_EXPECTS(origin < destination);
+  WILOC_EXPECTS(destination < route.stop_count());
+
+  const double origin_offset = route.stop_offset(origin);
+  std::vector<TripOption> options;
+  for (const roadnet::TripId trip : trips) {
+    if (!server_->has_trip(trip)) continue;
+    const auto position = server_->position(trip);
+    if (!position.has_value()) continue;       // no fix yet
+    if (*position > origin_offset) continue;   // already passed the rider
+    const auto eta_origin = server_->eta(trip, origin, now);
+    const auto eta_dest = server_->eta(trip, destination, now);
+    if (!eta_origin.has_value() || !eta_dest.has_value()) continue;
+    TripOption option;
+    option.trip = trip;
+    option.route = route.id();
+    option.route_name = route.name();
+    option.eta_origin = *eta_origin;
+    option.eta_destination = *eta_dest;
+    option.wait_s = std::max(0.0, *eta_origin - now);
+    option.ride_s = std::max(0.0, *eta_dest - *eta_origin);
+    options.push_back(std::move(option));
+  }
+  std::sort(options.begin(), options.end(),
+            [](const TripOption& a, const TripOption& b) {
+              return a.eta_destination < b.eta_destination;
+            });
+  return options;
+}
+
+}  // namespace wiloc::core

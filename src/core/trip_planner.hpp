@@ -1,0 +1,59 @@
+// Trip planning — the paper's third component: "a user interface for
+// trip plan, such that the real-time bus track and schedule, and the
+// traffic map, can be readily available for intended bus riders."
+//
+// A rider at a stop asks: which buses will take me to my destination,
+// and when do they get here? The planner enumerates the routes that
+// serve the origin before the destination, the active trips on them
+// that have not yet passed the origin, and their Eq.-9 ETAs at both
+// stops. Scheduled (not-yet-departed) service can be merged in by the
+// caller via headways; the planner covers the live fleet.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/server.hpp"
+
+namespace wiloc::core {
+
+/// One candidate connection for the rider.
+struct TripOption {
+  roadnet::TripId trip;
+  roadnet::RouteId route;
+  std::string route_name;
+  SimTime eta_origin = 0.0;       ///< when the bus reaches the rider
+  SimTime eta_destination = 0.0;  ///< when it reaches the destination
+  double wait_s = 0.0;            ///< eta_origin - now
+  double ride_s = 0.0;            ///< eta_destination - eta_origin
+};
+
+/// A stop request: a named stop on a route, identified by indices so
+/// ambiguity ("Broadway & Main" on several routes) is the caller's
+/// concern.
+struct StopRef {
+  roadnet::RouteId route;
+  std::size_t stop_index;
+};
+
+/// Plans over the live trips of a WiLocatorServer.
+class TripPlanner {
+ public:
+  /// `server` must outlive the planner.
+  explicit TripPlanner(const WiLocatorServer& server);
+
+  /// Options for riding `route` from stop `origin` to stop `destination`
+  /// (origin must precede destination on the route), sorted by arrival
+  /// at the destination. `trips` lists the active trips on the route
+  /// (the server tracks them; the caller knows which are open).
+  std::vector<TripOption> plan(
+      const roadnet::BusRoute& route, std::size_t origin,
+      std::size_t destination, SimTime now,
+      const std::vector<roadnet::TripId>& trips) const;
+
+ private:
+  const WiLocatorServer* server_;
+};
+
+}  // namespace wiloc::core

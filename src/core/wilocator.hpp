@@ -1,0 +1,26 @@
+// Umbrella header: the WiLocator public API.
+//
+// #include "core/wilocator.hpp" pulls in the full framework — SVD
+// construction, positioning, tracking, prediction, traffic maps — plus
+// the substrates (road network, RF, simulation is separate in sim/).
+#pragma once
+
+#include "core/anomaly.hpp"             // IWYU pragma: export
+#include "core/hybrid.hpp"              // IWYU pragma: export
+#include "core/mobility_filter.hpp"     // IWYU pragma: export
+#include "core/positioner.hpp"          // IWYU pragma: export
+#include "core/predictor.hpp"           // IWYU pragma: export
+#include "core/rider_matcher.hpp"      // IWYU pragma: export
+#include "core/route_identifier.hpp"    // IWYU pragma: export
+#include "core/seasonal.hpp"            // IWYU pragma: export
+#include "core/server.hpp"              // IWYU pragma: export
+#include "core/tracker.hpp"             // IWYU pragma: export
+#include "core/traffic_map.hpp"         // IWYU pragma: export
+#include "core/training.hpp"            // IWYU pragma: export
+#include "core/trajectory.hpp"          // IWYU pragma: export
+#include "core/travel_time.hpp"         // IWYU pragma: export
+#include "core/trip_planner.hpp"        // IWYU pragma: export
+#include "svd/grid_svd.hpp"             // IWYU pragma: export
+#include "svd/route_svd.hpp"            // IWYU pragma: export
+#include "svd/survey.hpp"               // IWYU pragma: export
+#include "svd/tile_mapper.hpp"          // IWYU pragma: export

@@ -1,0 +1,47 @@
+#include "geo/geometry.hpp"
+
+#include <algorithm>
+
+namespace wiloc::geo {
+
+double project_parameter(Point p, Point a, Point b) {
+  const Vec ab = b - a;
+  const double len2 = ab.norm2();
+  if (len2 == 0.0) return 0.0;
+  return std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+}
+
+Point project_on_segment(Point p, Point a, Point b) {
+  return lerp(a, b, project_parameter(p, a, b));
+}
+
+double distance_to_segment(Point p, Point a, Point b) {
+  return distance(p, project_on_segment(p, a, b));
+}
+
+Aabb::Aabb(Point min, Point max) : min_(min), max_(max), empty_(false) {
+  WILOC_EXPECTS(min.x <= max.x && min.y <= max.y);
+}
+
+void Aabb::expand(Point p) {
+  if (empty_) {
+    min_ = max_ = p;
+    empty_ = false;
+    return;
+  }
+  min_.x = std::min(min_.x, p.x);
+  min_.y = std::min(min_.y, p.y);
+  max_.x = std::max(max_.x, p.x);
+  max_.y = std::max(max_.y, p.y);
+}
+
+void Aabb::inflate(double margin) {
+  WILOC_EXPECTS(margin >= 0.0);
+  if (empty_) return;
+  min_.x -= margin;
+  min_.y -= margin;
+  max_.x += margin;
+  max_.y += margin;
+}
+
+}  // namespace wiloc::geo

@@ -1,0 +1,115 @@
+// Planar geometry primitives.
+//
+// The library works in a local metric frame: x east, y north, both in
+// meters, anchored to a lat/long origin (see geo/latlon.hpp). Points and
+// vectors are kept distinct (Core Guidelines P.1: express ideas in code).
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::geo {
+
+/// Displacement in meters.
+struct Vec {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec operator+(Vec o) const { return {x + o.x, y + o.y}; }
+  Vec operator-(Vec o) const { return {x - o.x, y - o.y}; }
+  Vec operator*(double s) const { return {x * s, y * s}; }
+  Vec operator/(double s) const { return {x / s, y / s}; }
+  Vec operator-() const { return {-x, -y}; }
+
+  double dot(Vec o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3D cross product; >0 when `o` is CCW from *this.
+  double cross(Vec o) const { return x * o.y - y * o.x; }
+  double norm2() const { return x * x + y * y; }
+  double norm() const { return std::sqrt(norm2()); }
+
+  /// Unit vector in the same direction. Requires non-zero length.
+  Vec normalized() const {
+    const double n = norm();
+    WILOC_EXPECTS(n > 0.0);
+    return {x / n, y / n};
+  }
+
+  /// 90-degree counter-clockwise rotation.
+  Vec perp() const { return {-y, x}; }
+
+  friend bool operator==(Vec a, Vec b) { return a.x == b.x && a.y == b.y; }
+};
+
+/// Position in meters in the local frame.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec operator-(Point o) const { return {x - o.x, y - o.y}; }
+  Point operator+(Vec v) const { return {x + v.x, y + v.y}; }
+  Point operator-(Vec v) const { return {x - v.x, y - v.y}; }
+
+  friend bool operator==(Point a, Point b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+/// Euclidean distance between two points.
+inline double distance(Point a, Point b) { return (b - a).norm(); }
+
+/// Squared Euclidean distance (avoids the sqrt in hot loops).
+inline double distance2(Point a, Point b) { return (b - a).norm2(); }
+
+/// Linear interpolation: a at t=0, b at t=1.
+inline Point lerp(Point a, Point b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+/// Closest point on segment [a, b] to p.
+Point project_on_segment(Point p, Point a, Point b);
+
+/// Distance from p to segment [a, b].
+double distance_to_segment(Point p, Point a, Point b);
+
+/// Parameter t in [0, 1] of the closest point on [a, b] to p
+/// (0 when a == b).
+double project_parameter(Point p, Point a, Point b);
+
+/// Axis-aligned bounding box.
+class Aabb {
+ public:
+  Aabb() = default;
+  /// Requires min.x <= max.x and min.y <= max.y.
+  Aabb(Point min, Point max);
+
+  /// Smallest box containing both the box and the point.
+  void expand(Point p);
+  /// Grows the box by `margin` meters on every side.
+  void inflate(double margin);
+
+  bool contains(Point p) const {
+    return !empty_ && p.x >= min_.x && p.x <= max_.x && p.y >= min_.y &&
+           p.y <= max_.y;
+  }
+  bool empty() const { return empty_; }
+  Point min() const { return min_; }
+  Point max() const { return max_; }
+  double width() const { return empty_ ? 0.0 : max_.x - min_.x; }
+  double height() const { return empty_ ? 0.0 : max_.y - min_.y; }
+  Point center() const {
+    return {(min_.x + max_.x) / 2, (min_.y + max_.y) / 2};
+  }
+
+ private:
+  Point min_{0, 0};
+  Point max_{0, 0};
+  bool empty_ = true;
+};
+
+}  // namespace wiloc::geo

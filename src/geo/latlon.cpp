@@ -1,0 +1,31 @@
+#include "geo/latlon.hpp"
+
+#include <cmath>
+
+namespace wiloc::geo {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+// WGS-84 derived mean radii; adequate for corridor-scale extents.
+constexpr double kMetersPerDegLat = 111132.954;
+constexpr double kEquatorMetersPerDegLon = 111319.488;
+}  // namespace
+
+LatLonAnchor::LatLonAnchor(LatLon origin) : origin_(origin) {
+  WILOC_EXPECTS(std::abs(origin.latitude) < 89.0);
+  meters_per_deg_lat_ = kMetersPerDegLat;
+  meters_per_deg_lon_ =
+      kEquatorMetersPerDegLon * std::cos(origin.latitude * kDegToRad);
+}
+
+Point LatLonAnchor::to_local(LatLon ll) const {
+  return {(ll.longitude - origin_.longitude) * meters_per_deg_lon_,
+          (ll.latitude - origin_.latitude) * meters_per_deg_lat_};
+}
+
+LatLon LatLonAnchor::to_latlon(Point p) const {
+  return {origin_.latitude + p.y / meters_per_deg_lat_,
+          origin_.longitude + p.x / meters_per_deg_lon_};
+}
+
+}  // namespace wiloc::geo

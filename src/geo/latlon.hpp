@@ -1,0 +1,42 @@
+// Geodetic anchoring.
+//
+// The paper reports bus trajectories as <lat, long, t> tuples
+// (Definition 6). Internally everything is metric; a LatLonAnchor converts
+// between WGS-84 degrees and the local east/north frame with an
+// equirectangular approximation — accurate to centimeters over the few
+// kilometers a bus corridor spans.
+#pragma once
+
+#include "geo/geometry.hpp"
+
+namespace wiloc::geo {
+
+/// A WGS-84 coordinate in degrees.
+struct LatLon {
+  double latitude = 0.0;
+  double longitude = 0.0;
+};
+
+/// Converts between LatLon and the local metric frame centered at an
+/// origin coordinate.
+class LatLonAnchor {
+ public:
+  /// Requires |latitude| < 89 degrees (the equirectangular scale
+  /// degenerates at the poles).
+  explicit LatLonAnchor(LatLon origin);
+
+  LatLon origin() const { return origin_; }
+
+  /// Local metric position of a geodetic coordinate.
+  Point to_local(LatLon ll) const;
+
+  /// Geodetic coordinate of a local metric position.
+  LatLon to_latlon(Point p) const;
+
+ private:
+  LatLon origin_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lon_;
+};
+
+}  // namespace wiloc::geo

@@ -1,0 +1,89 @@
+#include "geo/polyline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wiloc::geo {
+
+Polyline::Polyline(std::vector<Point> vertices)
+    : vertices_(std::move(vertices)) {
+  WILOC_EXPECTS(vertices_.size() >= 2);
+  cumulative_.reserve(vertices_.size());
+  cumulative_.push_back(0.0);
+  for (std::size_t i = 1; i < vertices_.size(); ++i) {
+    const double d = distance(vertices_[i - 1], vertices_[i]);
+    WILOC_EXPECTS(d > 0.0);
+    cumulative_.push_back(cumulative_.back() + d);
+  }
+}
+
+double Polyline::clamp_offset(double s) const {
+  return std::clamp(s, 0.0, length());
+}
+
+Point Polyline::point_at(double s) const {
+  s = clamp_offset(s);
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  std::size_t i = static_cast<std::size_t>(it - cumulative_.begin());
+  if (i == 0) return vertices_.front();
+  if (i >= vertices_.size()) return vertices_.back();
+  const double seg_len = cumulative_[i] - cumulative_[i - 1];
+  const double t = (s - cumulative_[i - 1]) / seg_len;
+  return lerp(vertices_[i - 1], vertices_[i], t);
+}
+
+Vec Polyline::tangent_at(double s) const {
+  s = clamp_offset(s);
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  std::size_t i = static_cast<std::size_t>(it - cumulative_.begin());
+  i = std::clamp<std::size_t>(i, 1, vertices_.size() - 1);
+  return (vertices_[i] - vertices_[i - 1]).normalized();
+}
+
+Polyline::Projection Polyline::project(Point p) const {
+  Projection best{vertices_.front(), 0.0,
+                  distance(p, vertices_.front())};
+  for (std::size_t i = 0; i + 1 < vertices_.size(); ++i) {
+    const double t = project_parameter(p, vertices_[i], vertices_[i + 1]);
+    const Point q = lerp(vertices_[i], vertices_[i + 1], t);
+    const double d = distance(p, q);
+    if (d < best.distance) {
+      best.point = q;
+      best.distance = d;
+      best.offset =
+          cumulative_[i] + t * (cumulative_[i + 1] - cumulative_[i]);
+    }
+  }
+  return best;
+}
+
+double Polyline::arc_distance(double a, double b) const {
+  return std::abs(clamp_offset(b) - clamp_offset(a));
+}
+
+std::vector<double> Polyline::sample_offsets(double step) const {
+  WILOC_EXPECTS(step > 0.0);
+  const double len = length();
+  const auto pieces =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(len / step)));
+  std::vector<double> out;
+  out.reserve(pieces + 1);
+  for (std::size_t i = 0; i <= pieces; ++i)
+    out.push_back(len * static_cast<double>(i) /
+                  static_cast<double>(pieces));
+  return out;
+}
+
+Polyline Polyline::concatenate(const std::vector<Polyline>& pieces) {
+  WILOC_EXPECTS(!pieces.empty());
+  std::vector<Point> verts = pieces.front().vertices();
+  for (std::size_t i = 1; i < pieces.size(); ++i) {
+    const auto& next = pieces[i].vertices();
+    WILOC_EXPECTS(distance(verts.back(), next.front()) < 1e-6);
+    verts.insert(verts.end(), next.begin() + 1, next.end());
+  }
+  return Polyline(std::move(verts));
+}
+
+}  // namespace wiloc::geo

@@ -1,0 +1,63 @@
+// Arc-length parameterized polylines.
+//
+// Road segments and bus routes are polylines; positions along them are
+// expressed as arc-length offsets in meters ("route distance" in the
+// paper's Eq. 9: dr(x, y) is the road length between x and y).
+#pragma once
+
+#include <vector>
+
+#include "geo/geometry.hpp"
+
+namespace wiloc::geo {
+
+/// An immutable open polyline with at least two vertices, offering
+/// O(log n) arc-length <-> point conversions.
+class Polyline {
+ public:
+  /// Requires >= 2 vertices and no two consecutive duplicates.
+  explicit Polyline(std::vector<Point> vertices);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  std::size_t segment_count() const { return vertices_.size() - 1; }
+
+  /// Total arc length in meters (> 0).
+  double length() const { return cumulative_.back(); }
+
+  Point front() const { return vertices_.front(); }
+  Point back() const { return vertices_.back(); }
+
+  /// Point at arc-length offset s; s is clamped into [0, length()].
+  Point point_at(double s) const;
+
+  /// Unit tangent of the polyline piece containing offset s.
+  Vec tangent_at(double s) const;
+
+  /// Projection of p onto the polyline.
+  struct Projection {
+    Point point;      ///< closest point on the polyline
+    double offset;    ///< arc-length of that point
+    double distance;  ///< |p - point|
+  };
+  Projection project(Point p) const;
+
+  /// Arc length from offset a to offset b (non-negative; |b' - a'| after
+  /// clamping both into [0, length()]).
+  double arc_distance(double a, double b) const;
+
+  /// Evenly spaced sample offsets with spacing <= step, always including
+  /// both endpoints. Requires step > 0.
+  std::vector<double> sample_offsets(double step) const;
+
+  /// Concatenates polylines end-to-start into one. Requires each piece's
+  /// end to coincide (within 1e-6 m) with the next piece's start.
+  static Polyline concatenate(const std::vector<Polyline>& pieces);
+
+ private:
+  double clamp_offset(double s) const;
+
+  std::vector<Point> vertices_;
+  std::vector<double> cumulative_;  // cumulative_[i] = arc length to vertex i
+};
+
+}  // namespace wiloc::geo

@@ -1,0 +1,29 @@
+// WiFi access points.
+//
+// The paper's substrate: geo-tagged APs (latitude/longitude known from
+// Google Maps / Shaw Go WiFi) densely distributed along urban corridors.
+// Each AP has its own transmit power and path-loss exponent — the spread
+// in these parameters is exactly why the Signal Voronoi Diagram differs
+// from the Euclidean Voronoi diagram (paper Section III-A).
+#pragma once
+
+#include <string>
+
+#include "geo/geometry.hpp"
+#include "util/ids.hpp"
+
+namespace wiloc::rf {
+
+struct ApTag {};
+using ApId = StrongId<ApTag>;
+
+/// A geo-tagged WiFi access point.
+struct AccessPoint {
+  ApId id;
+  std::string bssid;      ///< "aa:bb:cc:dd:ee:ff"-style identifier
+  geo::Point position;    ///< geo-tag in the local metric frame
+  double tx_power_dbm;    ///< RSS at the 1 m reference distance
+  double path_loss_exponent;  ///< log-distance exponent (urban: 2.7-4.0)
+};
+
+}  // namespace wiloc::rf

@@ -1,0 +1,42 @@
+#include "rf/cellular.hpp"
+
+#include <cmath>
+
+namespace wiloc::rf {
+
+TowerId TowerRegistry::add(geo::Point position, double tx_power_dbm,
+                           double path_loss_exponent) {
+  WILOC_EXPECTS(path_loss_exponent > 0.0);
+  const TowerId id(static_cast<TowerId::underlying>(towers_.size()));
+  towers_.push_back({id, position, tx_power_dbm, path_loss_exponent});
+  return id;
+}
+
+const CellTower& TowerRegistry::tower(TowerId id) const {
+  WILOC_EXPECTS(id.index() < towers_.size());
+  return towers_[id.index()];
+}
+
+double TowerRegistry::mean_rss(const CellTower& tower, geo::Point x) const {
+  const double d = std::max(geo::distance(tower.position, x), 1.0);
+  return tower.tx_power_dbm - 10.0 * tower.path_loss_exponent * std::log10(d);
+}
+
+std::optional<CellObservation> TowerRegistry::observe(geo::Point x, SimTime t,
+                                                      Rng& rng,
+                                                      double sigma_db) const {
+  if (towers_.empty()) return std::nullopt;
+  CellObservation obs;
+  obs.time = t;
+  double best = -1e300;
+  for (const CellTower& tower : towers_) {
+    const double rss = mean_rss(tower, x) + rng.normal(0.0, sigma_db);
+    if (rss > best) {
+      best = rss;
+      obs.tower = tower.id;
+    }
+  }
+  return obs;
+}
+
+}  // namespace wiloc::rf

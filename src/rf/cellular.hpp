@@ -1,0 +1,60 @@
+// Cellular substrate for the Cell-ID baseline.
+//
+// The paper contrasts WiLocator with Cell-ID sequence matching
+// ([15], [27]-[29]): towers are sparse (coverage ~800 m in cities), so a
+// stable Cell-ID sequence takes minutes to capture and cannot separate
+// overlapped road segments. We model towers with the same log-distance
+// physics but far higher power and spacing; the observation is simply the
+// strongest tower's id.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/geometry.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace wiloc::rf {
+
+struct TowerTag {};
+using TowerId = StrongId<TowerTag>;
+
+/// A cell tower.
+struct CellTower {
+  TowerId id;
+  geo::Point position;
+  double tx_power_dbm;        ///< reference power at 1 m (large)
+  double path_loss_exponent;  ///< macro-cell exponent (~3.5)
+};
+
+/// One Cell-ID observation: the serving (strongest) tower at a time.
+struct CellObservation {
+  SimTime time = 0.0;
+  TowerId tower;
+};
+
+/// Owning container of towers + the serving-tower observation model.
+class TowerRegistry {
+ public:
+  TowerId add(geo::Point position, double tx_power_dbm = 30.0,
+              double path_loss_exponent = 3.5);
+
+  std::size_t count() const { return towers_.size(); }
+  const CellTower& tower(TowerId id) const;
+  const std::vector<CellTower>& towers() const { return towers_; }
+
+  /// Expected RSS of a tower at x (log-distance, no noise).
+  double mean_rss(const CellTower& tower, geo::Point x) const;
+
+  /// Serving tower at x with `sigma_db` of handover noise; nullopt when
+  /// the registry is empty.
+  std::optional<CellObservation> observe(geo::Point x, SimTime t, Rng& rng,
+                                         double sigma_db = 3.0) const;
+
+ private:
+  std::vector<CellTower> towers_;
+};
+
+}  // namespace wiloc::rf

@@ -1,0 +1,111 @@
+#include "rf/io.hpp"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::rf {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw InvalidArgument("AP database: " + what);
+}
+
+std::string read_token(std::istream& is, const char* what) {
+  std::string tok;
+  if (!(is >> tok)) malformed(std::string("missing ") + what);
+  return tok;
+}
+
+double read_double(std::istream& is, const char* what) {
+  const std::string tok = read_token(is, what);
+  if (tok == "inf") return std::numeric_limits<double>::infinity();
+  try {
+    return std::stod(tok);
+  } catch (const std::exception&) {
+    malformed(std::string("bad number for ") + what + ": '" + tok + "'");
+  }
+}
+
+std::size_t read_count(std::istream& is, const char* what) {
+  long long v;
+  if (!(is >> v) || v < 0) malformed(std::string("missing count: ") + what);
+  return static_cast<std::size_t>(v);
+}
+
+void expect_keyword(std::istream& is, const std::string& keyword) {
+  const std::string tok = read_token(is, keyword.c_str());
+  if (tok != keyword)
+    malformed("expected '" + keyword + "', got '" + tok + "'");
+}
+
+}  // namespace
+
+void write_ap_database(std::ostream& os, const ApRegistry& registry) {
+  os.precision(17);
+  os << "wiloc-apdb 1\n";
+  os << "aps " << registry.count() << "\n";
+  for (const AccessPoint& ap : registry.aps()) {
+    os << ap.position.x << ' ' << ap.position.y << ' ' << ap.tx_power_dbm
+       << ' ' << ap.path_loss_exponent << ' ' << ap.bssid << "\n";
+  }
+  std::size_t outage_count = 0;
+  std::vector<std::string> lines;
+  for (const AccessPoint& ap : registry.aps()) {
+    for (const auto& window : registry.outages_of(ap.id)) {
+      ++outage_count;
+      std::string line = std::to_string(ap.id.value()) + " ";
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", window.first);
+      line += buf;
+      line += ' ';
+      if (std::isinf(window.second)) {
+        line += "inf";
+      } else {
+        std::snprintf(buf, sizeof buf, "%.17g", window.second);
+        line += buf;
+      }
+      lines.push_back(std::move(line));
+    }
+  }
+  os << "outages " << outage_count << "\n";
+  for (const std::string& line : lines) os << line << "\n";
+}
+
+ApRegistry read_ap_database(std::istream& is) {
+  expect_keyword(is, "wiloc-apdb");
+  const std::string version = read_token(is, "version");
+  if (version != "1") malformed("unsupported version " + version);
+
+  ApRegistry registry;
+  expect_keyword(is, "aps");
+  const std::size_t count = read_count(is, "ap count");
+  for (std::size_t i = 0; i < count; ++i) {
+    const double x = read_double(is, "x");
+    const double y = read_double(is, "y");
+    const double power = read_double(is, "tx power");
+    const double exponent = read_double(is, "exponent");
+    (void)read_token(is, "bssid");  // synthetic; regenerated
+    if (exponent <= 0.0) malformed("non-positive path-loss exponent");
+    registry.add({x, y}, power, exponent);
+  }
+
+  expect_keyword(is, "outages");
+  const std::size_t outages = read_count(is, "outage count");
+  for (std::size_t i = 0; i < outages; ++i) {
+    const std::size_t ap = read_count(is, "outage ap index");
+    if (ap >= registry.count()) malformed("outage AP index out of range");
+    const double from = read_double(is, "outage from");
+    const double to = read_double(is, "outage to");
+    if (!(from < to)) malformed("outage window must satisfy from < to");
+    registry.add_outage(ApId(static_cast<ApId::underlying>(ap)), from, to);
+  }
+  return registry;
+}
+
+}  // namespace wiloc::rf

@@ -1,0 +1,83 @@
+#include "rf/propagation.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+namespace wiloc::rf {
+
+namespace {
+
+// SplitMix64-style avalanche used as a position/AP hash for the value
+// noise lattice.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Deterministic standard-normal-ish value (actually uniform mapped to
+// [-1, 1]; adequate for a bounded shadowing texture) at a lattice corner.
+double lattice_value(std::uint64_t seed, std::uint32_t ap,
+                     std::int64_t ix, std::int64_t iy) {
+  std::uint64_t h = seed;
+  h = mix(h ^ (0x9e3779b97f4a7c15ULL + ap));
+  h = mix(h ^ static_cast<std::uint64_t>(ix) * 0xff51afd7ed558ccdULL);
+  h = mix(h ^ static_cast<std::uint64_t>(iy) * 0xc4ceb9fe1a85ec53ULL);
+  // Map to [-1, 1].
+  return static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+}
+
+double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+}  // namespace
+
+LogDistanceModel::LogDistanceModel(LogDistanceParams params)
+    : params_(params) {
+  WILOC_EXPECTS(params_.reference_distance_m > 0.0);
+  WILOC_EXPECTS(params_.shadowing_sigma_db >= 0.0);
+  WILOC_EXPECTS(params_.shadowing_cell_m > 0.0);
+  WILOC_EXPECTS(params_.fading_sigma_db >= 0.0);
+}
+
+double LogDistanceModel::path_loss_rss(const AccessPoint& ap,
+                                       geo::Point x) const {
+  const double d =
+      std::max(geo::distance(ap.position, x), params_.reference_distance_m);
+  return ap.tx_power_dbm -
+         10.0 * ap.path_loss_exponent *
+             std::log10(d / params_.reference_distance_m);
+}
+
+double LogDistanceModel::shadowing_db(const AccessPoint& ap,
+                                      geo::Point x) const {
+  if (params_.shadowing_sigma_db == 0.0) return 0.0;
+  const double cell = params_.shadowing_cell_m;
+  const double gx = x.x / cell;
+  const double gy = x.y / cell;
+  const auto ix = static_cast<std::int64_t>(std::floor(gx));
+  const auto iy = static_cast<std::int64_t>(std::floor(gy));
+  const double tx = smoothstep(gx - static_cast<double>(ix));
+  const double ty = smoothstep(gy - static_cast<double>(iy));
+  const std::uint32_t ap_key = ap.id.value();
+  const double v00 = lattice_value(params_.shadowing_seed, ap_key, ix, iy);
+  const double v10 =
+      lattice_value(params_.shadowing_seed, ap_key, ix + 1, iy);
+  const double v01 =
+      lattice_value(params_.shadowing_seed, ap_key, ix, iy + 1);
+  const double v11 =
+      lattice_value(params_.shadowing_seed, ap_key, ix + 1, iy + 1);
+  const double v0 = v00 + (v10 - v00) * tx;
+  const double v1 = v01 + (v11 - v01) * tx;
+  return params_.shadowing_sigma_db * (v0 + (v1 - v0) * ty);
+}
+
+double LogDistanceModel::mean_rss(const AccessPoint& ap, geo::Point x) const {
+  return path_loss_rss(ap, x) + shadowing_db(ap, x);
+}
+
+double LogDistanceModel::sample_rss(const AccessPoint& ap, geo::Point x,
+                                    Rng& rng) const {
+  return mean_rss(ap, x) + rng.normal(0.0, params_.fading_sigma_db);
+}
+
+}  // namespace wiloc::rf

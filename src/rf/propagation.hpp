@@ -1,0 +1,70 @@
+// RF signal propagation.
+//
+// The paper deliberately avoids fitting a propagation model for
+// *positioning* — WiLocator only uses RSS ranks. The simulator, however,
+// needs a generative model to stand in for the physical world:
+//
+//   RSS(x, ap) = P0(ap) - 10 n(ap) log10(max(d, d0)/d0)   (log-distance)
+//              + S_ap(x)                                  (static shadowing)
+//              + F                                        (fast fading)
+//
+// S_ap is a spatially correlated, time-invariant field (buildings, street
+// furniture): it is part of the *expected* signal at a point and therefore
+// part of what long-run crowd averaging observes. F is zero-mean per-scan
+// noise — the ">10 dB swings at a static point" the paper cites — and is
+// what rank averaging defeats.
+#pragma once
+
+#include "geo/geometry.hpp"
+#include "rf/access_point.hpp"
+#include "util/rng.hpp"
+
+namespace wiloc::rf {
+
+/// Interface: expected and sampled RSS of an AP at a point.
+class PropagationModel {
+ public:
+  virtual ~PropagationModel() = default;
+
+  /// Expected (long-run average) RSS in dBm at point x. Deterministic.
+  virtual double mean_rss(const AccessPoint& ap, geo::Point x) const = 0;
+
+  /// One noisy scan observation in dBm.
+  virtual double sample_rss(const AccessPoint& ap, geo::Point x,
+                            Rng& rng) const = 0;
+};
+
+/// Parameters of the log-distance + shadowing model.
+struct LogDistanceParams {
+  double reference_distance_m = 1.0;  ///< d0
+  double shadowing_sigma_db = 4.0;    ///< amplitude of the static field
+  double shadowing_cell_m = 25.0;     ///< spatial decorrelation length
+  double fading_sigma_db = 3.0;       ///< per-scan fast fading
+  std::uint64_t shadowing_seed = 17;  ///< seeds the static field
+};
+
+/// Log-distance path loss with a deterministic, spatially correlated
+/// shadowing field (value noise, bilinear interpolation) and Gaussian
+/// fast fading.
+class LogDistanceModel final : public PropagationModel {
+ public:
+  explicit LogDistanceModel(LogDistanceParams params = {});
+
+  double mean_rss(const AccessPoint& ap, geo::Point x) const override;
+  double sample_rss(const AccessPoint& ap, geo::Point x,
+                    Rng& rng) const override;
+
+  /// The path-loss term alone (no shadowing), exposed for tests and for
+  /// the EZ-style trilateration baseline which inverts it.
+  double path_loss_rss(const AccessPoint& ap, geo::Point x) const;
+
+  /// The static shadowing field value for an AP at a point.
+  double shadowing_db(const AccessPoint& ap, geo::Point x) const;
+
+  const LogDistanceParams& params() const { return params_; }
+
+ private:
+  LogDistanceParams params_;
+};
+
+}  // namespace wiloc::rf

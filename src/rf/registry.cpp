@@ -1,0 +1,74 @@
+#include "rf/registry.hpp"
+
+#include <cstdio>
+#include <limits>
+
+namespace wiloc::rf {
+
+namespace {
+std::string synth_bssid(std::size_t index) {
+  // Locally administered MAC prefix 02:, remaining bytes from the index.
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "02:00:%02zx:%02zx:%02zx:%02zx",
+                (index >> 24) & 0xff, (index >> 16) & 0xff,
+                (index >> 8) & 0xff, index & 0xff);
+  return buf;
+}
+}  // namespace
+
+ApId ApRegistry::add(geo::Point position, double tx_power_dbm,
+                     double path_loss_exponent) {
+  WILOC_EXPECTS(path_loss_exponent > 0.0);
+  const ApId id(static_cast<ApId::underlying>(aps_.size()));
+  aps_.push_back({id, synth_bssid(aps_.size()), position, tx_power_dbm,
+                  path_loss_exponent});
+  outages_.emplace_back();
+  return id;
+}
+
+const AccessPoint& ApRegistry::ap(ApId id) const {
+  WILOC_EXPECTS(id.index() < aps_.size());
+  return aps_[id.index()];
+}
+
+void ApRegistry::add_outage(ApId id, SimTime from, SimTime to) {
+  WILOC_EXPECTS(id.index() < aps_.size());
+  WILOC_EXPECTS(from < to);
+  outages_[id.index()].push_back({from, to});
+}
+
+void ApRegistry::retire(ApId id, SimTime from) {
+  add_outage(id, from, std::numeric_limits<double>::infinity());
+}
+
+bool ApRegistry::is_active(ApId id, SimTime t) const {
+  WILOC_EXPECTS(id.index() < aps_.size());
+  for (const Outage& o : outages_[id.index()]) {
+    if (t >= o.from && t < o.to) return false;
+  }
+  return true;
+}
+
+std::vector<ApId> ApRegistry::active_at(SimTime t) const {
+  std::vector<ApId> out;
+  out.reserve(aps_.size());
+  for (const AccessPoint& ap : aps_)
+    if (is_active(ap.id, t)) out.push_back(ap.id);
+  return out;
+}
+
+std::optional<ApId> ApRegistry::find_bssid(const std::string& bssid) const {
+  for (const AccessPoint& ap : aps_)
+    if (ap.bssid == bssid) return ap.id;
+  return std::nullopt;
+}
+
+std::vector<std::pair<SimTime, SimTime>> ApRegistry::outages_of(
+    ApId id) const {
+  WILOC_EXPECTS(id.index() < aps_.size());
+  std::vector<std::pair<SimTime, SimTime>> out;
+  for (const Outage& o : outages_[id.index()]) out.emplace_back(o.from, o.to);
+  return out;
+}
+
+}  // namespace wiloc::rf

@@ -1,0 +1,62 @@
+// AP registry with availability dynamics.
+//
+// APs come and go (reconfiguration, replacement, failure — paper
+// Section III-B discusses losing AP `b`). The registry owns the AP set
+// and tracks per-AP outage windows so both the simulator and the
+// positioning stack agree on which APs exist at a given time.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rf/access_point.hpp"
+#include "util/time.hpp"
+
+namespace wiloc::rf {
+
+/// Owning, append-only container of APs with outage schedules.
+class ApRegistry {
+ public:
+  /// Adds an AP; the id and a synthetic BSSID are assigned by the
+  /// registry. Requires tx_power_dbm < 0 is NOT required (reference
+  /// powers are typically in [-45, -25] dBm at 1 m) but the exponent
+  /// must be positive.
+  ApId add(geo::Point position, double tx_power_dbm,
+           double path_loss_exponent);
+
+  std::size_t count() const { return aps_.size(); }
+  const AccessPoint& ap(ApId id) const;
+  const std::vector<AccessPoint>& aps() const { return aps_; }
+
+  /// Marks the AP as down during [from, to). Multiple windows may be
+  /// registered per AP. Requires from < to.
+  void add_outage(ApId id, SimTime from, SimTime to);
+
+  /// Marks the AP as permanently down starting at `from`.
+  void retire(ApId id, SimTime from);
+
+  /// True when the AP is transmitting at time t.
+  bool is_active(ApId id, SimTime t) const;
+
+  /// Ids of all APs transmitting at time t.
+  std::vector<ApId> active_at(SimTime t) const;
+
+  /// Resolves a BSSID back to an id, if known.
+  std::optional<ApId> find_bssid(const std::string& bssid) const;
+
+  /// The AP's outage windows as (from, to) pairs (to may be +infinity
+  /// for a retired AP), in registration order.
+  std::vector<std::pair<SimTime, SimTime>> outages_of(ApId id) const;
+
+ private:
+  struct Outage {
+    SimTime from;
+    SimTime to;  ///< exclusive; +infinity when retired
+  };
+
+  std::vector<AccessPoint> aps_;
+  std::vector<std::vector<Outage>> outages_;
+};
+
+}  // namespace wiloc::rf

@@ -1,0 +1,69 @@
+#include "rf/scan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace wiloc::rf {
+
+std::vector<ApId> WifiScan::ranked_aps() const {
+  std::vector<ApId> out;
+  out.reserve(readings.size());
+  for (const ApReading& r : readings) out.push_back(r.ap);
+  return out;
+}
+
+Scanner::Scanner(ScannerParams params) : params_(params) {
+  WILOC_EXPECTS(params_.max_aps >= 1);
+  WILOC_EXPECTS(params_.miss_probability >= 0.0 &&
+                params_.miss_probability < 1.0);
+}
+
+WifiScan Scanner::scan(const ApRegistry& registry,
+                       const PropagationModel& model, geo::Point x, SimTime t,
+                       Rng& rng) const {
+  WifiScan result;
+  result.time = t;
+  for (const AccessPoint& ap : registry.aps()) {
+    if (!registry.is_active(ap.id, t)) continue;
+    const double rss = model.sample_rss(ap, x, rng);
+    if (rss < params_.sensitivity_dbm) continue;
+    if (rng.bernoulli(params_.miss_probability)) continue;
+    result.readings.push_back({ap.id, std::round(rss)});
+  }
+  std::sort(result.readings.begin(), result.readings.end(),
+            [](const ApReading& a, const ApReading& b) {
+              if (a.rssi_dbm != b.rssi_dbm) return a.rssi_dbm > b.rssi_dbm;
+              return a.ap < b.ap;
+            });
+  if (result.readings.size() > params_.max_aps)
+    result.readings.resize(params_.max_aps);
+  return result;
+}
+
+WifiScan merge_scans(const std::vector<WifiScan>& scans) {
+  WILOC_EXPECTS(!scans.empty());
+  std::map<ApId, std::pair<double, std::size_t>> acc;  // sum, count
+  for (const WifiScan& scan : scans) {
+    for (const ApReading& r : scan.readings) {
+      auto& slot = acc[r.ap];
+      slot.first += r.rssi_dbm;
+      slot.second += 1;
+    }
+  }
+  WifiScan merged;
+  merged.time = scans.front().time;
+  merged.readings.reserve(acc.size());
+  for (const auto& [ap, sum_count] : acc) {
+    merged.readings.push_back(
+        {ap, sum_count.first / static_cast<double>(sum_count.second)});
+  }
+  std::sort(merged.readings.begin(), merged.readings.end(),
+            [](const ApReading& a, const ApReading& b) {
+              if (a.rssi_dbm != b.rssi_dbm) return a.rssi_dbm > b.rssi_dbm;
+              return a.ap < b.ap;
+            });
+  return merged;
+}
+
+}  // namespace wiloc::rf

@@ -1,0 +1,64 @@
+// WiFi scanning — what a rider's phone reports to the server.
+//
+// A scan lists the APs heard above the sensitivity floor with quantized
+// RSS readings, strongest first. The paper sets the scan period to 10 s;
+// the period itself is owned by the crowd-sensing simulator — the Scanner
+// here models a single scan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rf/propagation.hpp"
+#include "rf/registry.hpp"
+#include "util/time.hpp"
+
+namespace wiloc::rf {
+
+/// One AP heard in a scan.
+struct ApReading {
+  ApId ap;
+  double rssi_dbm;  ///< quantized to integer dBm, like Android reports
+};
+
+/// The result of one WiFi scan: readings sorted by descending RSSI,
+/// ties broken by ascending AP id (deterministic).
+struct WifiScan {
+  SimTime time = 0.0;
+  std::vector<ApReading> readings;
+
+  bool empty() const { return readings.empty(); }
+
+  /// AP ids in rank order (strongest first).
+  std::vector<ApId> ranked_aps() const;
+};
+
+/// Phone scanning characteristics.
+struct ScannerParams {
+  double sensitivity_dbm = -90.0;  ///< readings below this are not heard
+  std::size_t max_aps = 16;        ///< chipsets report a bounded list
+  double miss_probability = 0.02;  ///< chance a hearable AP is missed
+};
+
+/// Produces WifiScans from the AP registry + propagation model.
+class Scanner {
+ public:
+  explicit Scanner(ScannerParams params = {});
+
+  /// Scans at position x and time t. APs in outage at t are silent.
+  WifiScan scan(const ApRegistry& registry, const PropagationModel& model,
+                geo::Point x, SimTime t, Rng& rng) const;
+
+  const ScannerParams& params() const { return params_; }
+
+ private:
+  ScannerParams params_;
+};
+
+/// Averages several scans (e.g. from multiple riders on the same bus)
+/// into one: per-AP mean RSS over the scans that heard it, re-ranked.
+/// Scans must share the same timestamp semantics; the first scan's time
+/// is used. Requires a non-empty input.
+WifiScan merge_scans(const std::vector<WifiScan>& scans);
+
+}  // namespace wiloc::rf

@@ -1,0 +1,147 @@
+#include "roadnet/io.hpp"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+
+namespace wiloc::roadnet {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw InvalidArgument("roadnet document: " + what);
+}
+
+std::string read_token(std::istream& is, const char* what) {
+  std::string tok;
+  if (!(is >> tok)) malformed(std::string("missing ") + what);
+  return tok;
+}
+
+double read_double(std::istream& is, const char* what) {
+  double v;
+  if (!(is >> v)) malformed(std::string("missing number: ") + what);
+  return v;
+}
+
+std::size_t read_count(std::istream& is, const char* what) {
+  long long v;
+  if (!(is >> v) || v < 0)
+    malformed(std::string("missing count: ") + what);
+  return static_cast<std::size_t>(v);
+}
+
+void expect_keyword(std::istream& is, const std::string& keyword) {
+  const std::string tok = read_token(is, keyword.c_str());
+  if (tok != keyword)
+    malformed("expected '" + keyword + "', got '" + tok + "'");
+}
+
+std::string sanitized(const std::string& name) {
+  std::string out = name.empty() ? std::string("_") : name;
+  for (char& c : out)
+    if (std::isspace(static_cast<unsigned char>(c))) c = '_';
+  return out;
+}
+
+}  // namespace
+
+void write_city(std::ostream& os, const RoadNetwork& network,
+                const std::vector<const BusRoute*>& routes) {
+  // max_digits10: doubles survive the text round trip exactly, so
+  // reloaded route lengths match stop offsets bit-for-bit.
+  os.precision(17);
+  os << "wiloc-roadnet 1\n";
+  os << "nodes " << network.node_count() << "\n";
+  for (const Node& n : network.nodes())
+    os << n.position.x << ' ' << n.position.y << ' ' << sanitized(n.name)
+       << "\n";
+  os << "edges " << network.edge_count() << "\n";
+  for (const RoadSegment& e : network.edges()) {
+    os << e.from().value() << ' ' << e.to().value() << ' ' << e.speed_limit()
+       << ' ' << sanitized(e.name()) << ' '
+       << e.geometry().vertices().size();
+    for (const geo::Point v : e.geometry().vertices())
+      os << ' ' << v.x << ' ' << v.y;
+    os << "\n";
+  }
+  os << "routes " << routes.size() << "\n";
+  for (const BusRoute* r : routes) {
+    WILOC_EXPECTS(r != nullptr);
+    os << "route " << sanitized(r->name()) << ' ' << r->edges().size();
+    for (const EdgeId e : r->edges()) os << ' ' << e.value();
+    os << ' ' << r->stops().size() << "\n";
+    for (const Stop& s : r->stops())
+      os << "stop " << sanitized(s.name) << ' ' << s.route_offset << "\n";
+  }
+}
+
+CityDocument read_city(std::istream& is) {
+  expect_keyword(is, "wiloc-roadnet");
+  const std::string version = read_token(is, "version");
+  if (version != "1") malformed("unsupported version " + version);
+
+  CityDocument doc;
+  doc.network = std::make_unique<RoadNetwork>();
+
+  expect_keyword(is, "nodes");
+  const std::size_t node_count = read_count(is, "node count");
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const double x = read_double(is, "node x");
+    const double y = read_double(is, "node y");
+    const std::string name = read_token(is, "node name");
+    doc.network->add_node({x, y}, name);
+  }
+
+  expect_keyword(is, "edges");
+  const std::size_t edge_count = read_count(is, "edge count");
+  for (std::size_t i = 0; i < edge_count; ++i) {
+    const auto from = static_cast<NodeId::underlying>(
+        read_count(is, "edge from"));
+    const auto to = static_cast<NodeId::underlying>(read_count(is, "edge to"));
+    const double speed = read_double(is, "edge speed");
+    const std::string name = read_token(is, "edge name");
+    const std::size_t nverts = read_count(is, "vertex count");
+    if (nverts < 2) malformed("edge with fewer than 2 vertices");
+    std::vector<geo::Point> verts;
+    verts.reserve(nverts);
+    for (std::size_t v = 0; v < nverts; ++v) {
+      const double x = read_double(is, "vertex x");
+      const double y = read_double(is, "vertex y");
+      verts.push_back({x, y});
+    }
+    doc.network->add_edge(NodeId(from), NodeId(to),
+                          geo::Polyline(std::move(verts)), speed, name);
+  }
+
+  expect_keyword(is, "routes");
+  const std::size_t route_count = read_count(is, "route count");
+  for (std::size_t r = 0; r < route_count; ++r) {
+    expect_keyword(is, "route");
+    const std::string name = read_token(is, "route name");
+    const std::size_t nedges = read_count(is, "route edge count");
+    std::vector<EdgeId> edges;
+    edges.reserve(nedges);
+    for (std::size_t e = 0; e < nedges; ++e) {
+      const auto id =
+          static_cast<EdgeId::underlying>(read_count(is, "route edge id"));
+      if (id >= doc.network->edge_count()) malformed("edge id out of range");
+      edges.push_back(EdgeId(id));
+    }
+    const std::size_t nstops = read_count(is, "route stop count");
+    std::vector<Stop> stops;
+    stops.reserve(nstops);
+    for (std::size_t s = 0; s < nstops; ++s) {
+      expect_keyword(is, "stop");
+      const std::string stop_name = read_token(is, "stop name");
+      const double offset = read_double(is, "stop offset");
+      stops.push_back({stop_name, offset});
+    }
+    doc.routes.emplace_back(RouteId(static_cast<RouteId::underlying>(r)),
+                            name, *doc.network, std::move(edges),
+                            std::move(stops));
+  }
+  return doc;
+}
+
+}  // namespace wiloc::roadnet

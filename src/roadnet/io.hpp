@@ -1,0 +1,44 @@
+// GTFS-lite text serialization for road networks and routes.
+//
+// The paper downloads routes "from the website of the transit agency" and
+// the road map from Google Maps; this module plays that role for the
+// simulator: a human-readable, diffable text format that round-trips a
+// RoadNetwork plus its BusRoutes.
+//
+// Format (whitespace-separated; names must not contain whitespace):
+//   wiloc-roadnet 1
+//   nodes <N>
+//     <x> <y> <name>            # one per line, id = line order
+//   edges <M>
+//     <from> <to> <speed_mps> <name> <V> <x1> <y1> ... <xV> <yV>
+//   routes <K>
+//     route <name> <E> <edge ids...> <S>
+//       stop <name> <route_offset>   # S lines
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "roadnet/route.hpp"
+
+namespace wiloc::roadnet {
+
+/// A deserialized city: the network plus routes referencing it. The
+/// network is heap-allocated so that the route -> network pointers remain
+/// stable when the bundle is moved.
+struct CityDocument {
+  std::unique_ptr<RoadNetwork> network;
+  std::vector<BusRoute> routes;
+};
+
+/// Writes the network and routes in the text format above.
+void write_city(std::ostream& os, const RoadNetwork& network,
+                const std::vector<const BusRoute*>& routes);
+
+/// Parses a document written by write_city. Throws wiloc::InvalidArgument
+/// on malformed input.
+CityDocument read_city(std::istream& is);
+
+}  // namespace wiloc::roadnet

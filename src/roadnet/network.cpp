@@ -1,0 +1,96 @@
+#include "roadnet/network.hpp"
+
+#include <limits>
+
+namespace wiloc::roadnet {
+
+RoadSegment::RoadSegment(EdgeId id, NodeId from, NodeId to,
+                         geo::Polyline geometry, double speed_limit_mps,
+                         std::string name)
+    : id_(id),
+      from_(from),
+      to_(to),
+      geometry_(std::move(geometry)),
+      speed_limit_mps_(speed_limit_mps),
+      name_(std::move(name)) {
+  WILOC_EXPECTS(speed_limit_mps > 0.0);
+}
+
+NodeId RoadNetwork::add_node(geo::Point position, std::string name) {
+  const NodeId id(static_cast<NodeId::underlying>(nodes_.size()));
+  nodes_.push_back({id, position, std::move(name)});
+  out_edges_.emplace_back();
+  return id;
+}
+
+EdgeId RoadNetwork::add_edge(NodeId from, NodeId to, geo::Polyline geometry,
+                             double speed_limit_mps, std::string name) {
+  WILOC_EXPECTS(from.index() < nodes_.size());
+  WILOC_EXPECTS(to.index() < nodes_.size());
+  WILOC_EXPECTS(geo::distance(geometry.front(),
+                              nodes_[from.index()].position) < 1e-6);
+  WILOC_EXPECTS(geo::distance(geometry.back(), nodes_[to.index()].position) <
+                1e-6);
+  const EdgeId id(static_cast<EdgeId::underlying>(edges_.size()));
+  edges_.emplace_back(id, from, to, std::move(geometry), speed_limit_mps,
+                      std::move(name));
+  out_edges_[from.index()].push_back(id);
+  return id;
+}
+
+EdgeId RoadNetwork::add_straight_edge(NodeId from, NodeId to,
+                                      double speed_limit_mps,
+                                      std::string name) {
+  WILOC_EXPECTS(from.index() < nodes_.size());
+  WILOC_EXPECTS(to.index() < nodes_.size());
+  geo::Polyline line(
+      {nodes_[from.index()].position, nodes_[to.index()].position});
+  return add_edge(from, to, std::move(line), speed_limit_mps,
+                  std::move(name));
+}
+
+const Node& RoadNetwork::node(NodeId id) const {
+  WILOC_EXPECTS(id.index() < nodes_.size());
+  return nodes_[id.index()];
+}
+
+const RoadSegment& RoadNetwork::edge(EdgeId id) const {
+  WILOC_EXPECTS(id.index() < edges_.size());
+  return edges_[id.index()];
+}
+
+const std::vector<EdgeId>& RoadNetwork::out_edges(NodeId from) const {
+  WILOC_EXPECTS(from.index() < out_edges_.size());
+  return out_edges_[from.index()];
+}
+
+std::optional<EdgeId> RoadNetwork::find_edge(NodeId from, NodeId to) const {
+  WILOC_EXPECTS(from.index() < out_edges_.size());
+  for (const EdgeId e : out_edges_[from.index()]) {
+    if (edges_[e.index()].to() == to) return e;
+  }
+  return std::nullopt;
+}
+
+geo::Aabb RoadNetwork::bounds() const {
+  geo::Aabb box;
+  for (const auto& edge : edges_)
+    for (const auto& v : edge.geometry().vertices()) box.expand(v);
+  for (const auto& node : nodes_) box.expand(node.position);
+  return box;
+}
+
+RoadNetwork::NetworkProjection RoadNetwork::project(geo::Point p) const {
+  WILOC_EXPECTS(!edges_.empty());
+  NetworkProjection best{};
+  best.distance = std::numeric_limits<double>::infinity();
+  for (const auto& edge : edges_) {
+    const auto proj = edge.geometry().project(p);
+    if (proj.distance < best.distance) {
+      best = {edge.id(), proj.offset, proj.point, proj.distance};
+    }
+  }
+  return best;
+}
+
+}  // namespace wiloc::roadnet

@@ -1,0 +1,108 @@
+// The road network (paper Definition 3).
+//
+// A directed graph whose vertices are intersections/terminals and whose
+// edges are directed road segments with polyline geometry and a speed
+// limit. Bus routes (roadnet/route.hpp) are edge sequences over this
+// graph.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geometry.hpp"
+#include "geo/polyline.hpp"
+#include "util/ids.hpp"
+
+namespace wiloc::roadnet {
+
+struct NodeTag {};
+struct EdgeTag {};
+using NodeId = StrongId<NodeTag>;
+using EdgeId = StrongId<EdgeTag>;
+
+/// An intersection or route terminal.
+struct Node {
+  NodeId id;
+  geo::Point position;
+  std::string name;
+};
+
+/// A directed road segment e with e.start -> e.end (Definition 3).
+class RoadSegment {
+ public:
+  /// `geometry` must begin at the `from` node's position and end at the
+  /// `to` node's position (within 1e-6 m); validated by RoadNetwork.
+  RoadSegment(EdgeId id, NodeId from, NodeId to, geo::Polyline geometry,
+              double speed_limit_mps, std::string name);
+
+  EdgeId id() const { return id_; }
+  NodeId from() const { return from_; }
+  NodeId to() const { return to_; }
+  const geo::Polyline& geometry() const { return geometry_; }
+  double length() const { return geometry_.length(); }
+  /// Legal speed limit in m/s (> 0).
+  double speed_limit() const { return speed_limit_mps_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  EdgeId id_;
+  NodeId from_;
+  NodeId to_;
+  geo::Polyline geometry_;
+  double speed_limit_mps_;
+  std::string name_;
+};
+
+/// Owning container for nodes and segments with index-based lookup.
+class RoadNetwork {
+ public:
+  /// Adds a node and returns its id.
+  NodeId add_node(geo::Point position, std::string name = "");
+
+  /// Adds a directed segment between existing nodes. The polyline must
+  /// start/end at the node positions. Returns the new edge id.
+  EdgeId add_edge(NodeId from, NodeId to, geo::Polyline geometry,
+                  double speed_limit_mps, std::string name = "");
+
+  /// Convenience: straight-line segment between the two node positions.
+  EdgeId add_straight_edge(NodeId from, NodeId to, double speed_limit_mps,
+                           std::string name = "");
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  const Node& node(NodeId id) const;
+  const RoadSegment& edge(EdgeId id) const;
+
+  /// Edges leaving `from`.
+  const std::vector<EdgeId>& out_edges(NodeId from) const;
+
+  /// The edge from `from` to `to`, if present (first match).
+  std::optional<EdgeId> find_edge(NodeId from, NodeId to) const;
+
+  /// All edges, in id order.
+  const std::vector<RoadSegment>& edges() const { return edges_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Bounding box of all geometry.
+  geo::Aabb bounds() const;
+
+  /// Closest point over all segment geometries.
+  struct NetworkProjection {
+    EdgeId edge;
+    double edge_offset;  ///< arc length along the edge geometry
+    geo::Point point;
+    double distance;
+  };
+  /// Requires a non-empty network.
+  NetworkProjection project(geo::Point p) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<RoadSegment> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+};
+
+}  // namespace wiloc::roadnet

@@ -1,0 +1,57 @@
+#include "roadnet/overlap.hpp"
+
+#include <algorithm>
+
+namespace wiloc::roadnet {
+
+OverlapIndex::OverlapIndex(std::vector<const BusRoute*> routes)
+    : routes_(std::move(routes)) {
+  WILOC_EXPECTS(!routes_.empty());
+  for (const BusRoute* route : routes_) {
+    WILOC_EXPECTS(route != nullptr);
+    WILOC_EXPECTS(by_id_.find(route->id()) == by_id_.end());
+    by_id_[route->id()] = route;
+    for (const EdgeId e : route->edges()) {
+      auto& list = edge_routes_[e];
+      if (std::find(list.begin(), list.end(), route->id()) == list.end())
+        list.push_back(route->id());
+    }
+  }
+  for (const BusRoute* route : routes_) {
+    double shared = 0.0;
+    for (const EdgeId e : route->edges()) {
+      if (edge_routes_[e].size() >= 2)
+        shared += route->network().edge(e).length();
+    }
+    overlapped_length_[route->id()] = shared;
+  }
+}
+
+const std::vector<RouteId>& OverlapIndex::routes_on_edge(EdgeId edge) const {
+  const auto it = edge_routes_.find(edge);
+  return it == edge_routes_.end() ? empty_ : it->second;
+}
+
+bool OverlapIndex::is_shared(EdgeId edge) const {
+  return routes_on_edge(edge).size() >= 2;
+}
+
+double OverlapIndex::overlapped_length(RouteId route) const {
+  const auto it = overlapped_length_.find(route);
+  WILOC_EXPECTS(it != overlapped_length_.end());
+  return it->second;
+}
+
+double OverlapIndex::route_length(RouteId route) const {
+  return this->route(route).length();
+}
+
+const BusRoute& OverlapIndex::route(RouteId id) const {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end())
+    throw NotFound("route id " + std::to_string(id.value()) +
+                   " not in overlap index");
+  return *it->second;
+}
+
+}  // namespace wiloc::roadnet

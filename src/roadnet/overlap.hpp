@@ -1,0 +1,53 @@
+// Route overlap analysis.
+//
+// The predictor's key lever (paper Section IV) is that different routes
+// share road segments: the recent travel times of *any* route through a
+// segment inform the next bus of *every* route through it. This module
+// computes which routes traverse each edge and the per-route overlapped
+// length reported in Table I.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "roadnet/route.hpp"
+
+namespace wiloc::roadnet {
+
+/// Immutable index of route/edge sharing over a fixed route set.
+class OverlapIndex {
+ public:
+  /// Builds the index over non-owning route pointers; the routes must
+  /// outlive the index and be non-empty.
+  explicit OverlapIndex(std::vector<const BusRoute*> routes);
+
+  /// Routes traversing the given edge (possibly empty).
+  const std::vector<RouteId>& routes_on_edge(EdgeId edge) const;
+
+  /// True when two or more distinct routes traverse the edge.
+  bool is_shared(EdgeId edge) const;
+
+  /// Total length (m) of the route's edges shared with >= 1 other route
+  /// (the "Overlapped Length" column of Table I).
+  double overlapped_length(RouteId route) const;
+
+  /// Total length of the route.
+  double route_length(RouteId route) const;
+
+  /// Number of distinct edges used by at least one route.
+  std::size_t covered_edge_count() const { return edge_routes_.size(); }
+
+  const std::vector<const BusRoute*>& routes() const { return routes_; }
+
+  /// The route object for an id. Requires the id to be in the set.
+  const BusRoute& route(RouteId id) const;
+
+ private:
+  std::vector<const BusRoute*> routes_;
+  std::unordered_map<EdgeId, std::vector<RouteId>> edge_routes_;
+  std::unordered_map<RouteId, double> overlapped_length_;
+  std::unordered_map<RouteId, const BusRoute*> by_id_;
+  std::vector<RouteId> empty_;
+};
+
+}  // namespace wiloc::roadnet

@@ -1,0 +1,96 @@
+#include "roadnet/route.hpp"
+
+#include <algorithm>
+
+namespace wiloc::roadnet {
+
+BusRoute::BusRoute(RouteId id, std::string name, const RoadNetwork& network,
+                   std::vector<EdgeId> edges, std::vector<Stop> stops)
+    : id_(id),
+      name_(std::move(name)),
+      network_(&network),
+      edges_(std::move(edges)),
+      stops_(std::move(stops)) {
+  WILOC_EXPECTS(!edges_.empty());
+  cumulative_.reserve(edges_.size() + 1);
+  cumulative_.push_back(0.0);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const RoadSegment& seg = network_->edge(edges_[i]);
+    if (i + 1 < edges_.size()) {
+      const RoadSegment& next = network_->edge(edges_[i + 1]);
+      WILOC_EXPECTS(seg.to() == next.from());
+    }
+    cumulative_.push_back(cumulative_.back() + seg.length());
+  }
+  WILOC_EXPECTS(!stops_.empty());
+  for (std::size_t i = 0; i < stops_.size(); ++i) {
+    WILOC_EXPECTS(stops_[i].route_offset >= 0.0 &&
+                  stops_[i].route_offset <= length());
+    if (i > 0)
+      WILOC_EXPECTS(stops_[i - 1].route_offset < stops_[i].route_offset);
+  }
+}
+
+const Stop& BusRoute::stop(std::size_t index) const {
+  WILOC_EXPECTS(index < stops_.size());
+  return stops_[index];
+}
+
+double BusRoute::edge_start_offset(std::size_t edge_index) const {
+  WILOC_EXPECTS(edge_index < edges_.size());
+  return cumulative_[edge_index];
+}
+
+double BusRoute::edge_end_offset(std::size_t edge_index) const {
+  WILOC_EXPECTS(edge_index < edges_.size());
+  return cumulative_[edge_index + 1];
+}
+
+RoutePosition BusRoute::position_at(double route_offset) const {
+  route_offset = std::clamp(route_offset, 0.0, length());
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), route_offset);
+  std::size_t i = static_cast<std::size_t>(it - cumulative_.begin());
+  i = (i == 0) ? 0 : i - 1;
+  i = std::min(i, edges_.size() - 1);
+  return {i, route_offset - cumulative_[i]};
+}
+
+geo::Point BusRoute::point_at(double route_offset) const {
+  const RoutePosition pos = position_at(route_offset);
+  return network_->edge(edges_[pos.edge_index])
+      .geometry()
+      .point_at(pos.edge_offset);
+}
+
+double BusRoute::stop_offset(std::size_t index) const {
+  WILOC_EXPECTS(index < stops_.size());
+  return stops_[index].route_offset;
+}
+
+std::optional<std::size_t> BusRoute::next_stop_at_or_after(
+    double route_offset) const {
+  for (std::size_t i = 0; i < stops_.size(); ++i) {
+    if (stops_[i].route_offset >= route_offset) return i;
+  }
+  return std::nullopt;
+}
+
+BusRoute::RouteProjection BusRoute::project(geo::Point p) const {
+  RouteProjection best{0.0, point_at(0.0), geo::distance(p, point_at(0.0))};
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const auto proj = network_->edge(edges_[i]).geometry().project(p);
+    if (proj.distance < best.distance) {
+      best = {cumulative_[i] + proj.offset, proj.point, proj.distance};
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> BusRoute::index_of_edge(EdgeId edge) const {
+  const auto it = std::find(edges_.begin(), edges_.end(), edge);
+  if (it == edges_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - edges_.begin());
+}
+
+}  // namespace wiloc::roadnet

@@ -1,0 +1,96 @@
+// Bus routes (paper Definition 4).
+//
+// A route R is a sequence of connected, directed road segments
+// e1 -> e2 -> ... -> en with stops at arc-length offsets along the route.
+// Positions on a route are "route offsets": meters of road from the
+// route's start.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "roadnet/network.hpp"
+
+namespace wiloc::roadnet {
+
+struct RouteTag {};
+using RouteId = StrongId<RouteTag>;
+
+struct TripTag {};
+/// One run of a vehicle along a route (a "trip" in GTFS terms).
+using TripId = StrongId<TripTag>;
+
+/// A bus stop pinned to a route offset.
+struct Stop {
+  std::string name;
+  double route_offset = 0.0;  ///< meters from the route start
+};
+
+/// Where a route offset falls inside the edge sequence.
+struct RoutePosition {
+  std::size_t edge_index;  ///< index into BusRoute::edges()
+  double edge_offset;      ///< arc length along that edge's geometry
+};
+
+/// An immutable bus route over a RoadNetwork. The route keeps a
+/// non-owning pointer to the network, which must outlive it.
+class BusRoute {
+ public:
+  /// Requires a connected edge sequence (edge[i].to == edge[i+1].from)
+  /// and stops sorted by strictly increasing route_offset within
+  /// [0, length()]. The first stop is the start stop s1, the last the
+  /// final stop sn (Definition 4).
+  BusRoute(RouteId id, std::string name, const RoadNetwork& network,
+           std::vector<EdgeId> edges, std::vector<Stop> stops);
+
+  RouteId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const RoadNetwork& network() const { return *network_; }
+  const std::vector<EdgeId>& edges() const { return edges_; }
+  const std::vector<Stop>& stops() const { return stops_; }
+  std::size_t stop_count() const { return stops_.size(); }
+  const Stop& stop(std::size_t index) const;
+
+  /// Total route length in meters.
+  double length() const { return cumulative_.back(); }
+
+  /// Route offset at which edge `edge_index` begins.
+  double edge_start_offset(std::size_t edge_index) const;
+  /// Route offset at which edge `edge_index` ends.
+  double edge_end_offset(std::size_t edge_index) const;
+
+  /// Maps a route offset (clamped to [0, length()]) to an edge + offset.
+  RoutePosition position_at(double route_offset) const;
+
+  /// World point at a route offset.
+  geo::Point point_at(double route_offset) const;
+
+  /// Route offset of the stop. Requires a valid index.
+  double stop_offset(std::size_t index) const;
+
+  /// Index of the first stop with offset >= route_offset, if any.
+  std::optional<std::size_t> next_stop_at_or_after(double route_offset) const;
+
+  /// Closest route offset to a world point (scans all route edges).
+  struct RouteProjection {
+    double route_offset;
+    geo::Point point;
+    double distance;
+  };
+  RouteProjection project(geo::Point p) const;
+
+  /// Whether the given network edge is part of this route, and at which
+  /// position in the sequence.
+  std::optional<std::size_t> index_of_edge(EdgeId edge) const;
+
+ private:
+  RouteId id_;
+  std::string name_;
+  const RoadNetwork* network_;
+  std::vector<EdgeId> edges_;
+  std::vector<Stop> stops_;
+  std::vector<double> cumulative_;  // cumulative_[i] = offset of edge i start
+};
+
+}  // namespace wiloc::roadnet

@@ -1,0 +1,151 @@
+#include "sim/bus_trip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::sim {
+
+double TripRecord::offset_at(SimTime t) const {
+  WILOC_EXPECTS(!trajectory.empty());
+  if (t <= trajectory.front().time) return trajectory.front().route_offset;
+  if (t >= trajectory.back().time) return trajectory.back().route_offset;
+  const auto it = std::lower_bound(
+      trajectory.begin(), trajectory.end(), t,
+      [](const TrajectorySample& s, SimTime v) { return s.time < v; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  if (hi.time == lo.time) return lo.route_offset;
+  const double f = (t - lo.time) / (hi.time - lo.time);
+  return lo.route_offset + f * (hi.route_offset - lo.route_offset);
+}
+
+SimTime TripRecord::arrival_at_stop(std::size_t stop_index) const {
+  for (const StopTiming& st : stops)
+    if (st.stop_index == stop_index) return st.arrive;
+  throw NotFound("stop index " + std::to_string(stop_index) +
+                 " not serviced by trip");
+}
+
+TripRecord simulate_trip(TripId trip_id, const roadnet::BusRoute& route,
+                         const RouteProfile& profile,
+                         const TrafficModel& traffic, SimTime start_time,
+                         Rng& rng, BusTripParams params) {
+  WILOC_EXPECTS(params.integration_dt_s > 0.0);
+  WILOC_EXPECTS(params.sample_period_s > 0.0);
+  WILOC_EXPECTS(profile.cruise_factor > 0.0 && profile.cruise_factor <= 1.0);
+
+  TripRecord record;
+  record.id = trip_id;
+  record.route = route.id();
+  record.start_time = start_time;
+
+  const roadnet::RoadNetwork& network = route.network();
+  const double length = route.length();
+
+  double offset = 0.0;
+  SimTime t = start_time;
+  SimTime next_sample = start_time;
+
+  std::size_t next_stop = 0;
+  // Skip stops at offset 0 (the origin stop: the trip departs from it).
+  while (next_stop < route.stop_count() &&
+         route.stop_offset(next_stop) <= 0.0) {
+    record.stops.push_back({next_stop, t, t});
+    ++next_stop;
+  }
+
+  std::size_t edge_index = 0;
+  record.segments.push_back({0, t, t});
+
+  const auto record_sample = [&]() {
+    record.trajectory.push_back({t, offset});
+  };
+  record_sample();
+  next_sample = t + params.sample_period_s;
+
+  const auto dwell_at_stop = [&]() {
+    const double dwell = std::max(
+        2.0, rng.normal(profile.dwell_mean_s, profile.dwell_sigma_s));
+    return dwell;
+  };
+
+  // Hard bound on runaway loops: a trip can never exceed 12 hours.
+  const SimTime deadline = start_time + 12.0 * 3600.0;
+
+  while (offset < length && t < deadline) {
+    const roadnet::RoutePosition pos = route.position_at(offset);
+    if (pos.edge_index != edge_index) {
+      // Crossed into a new edge: close the previous timing.
+      record.segments.back().exit = t;
+      edge_index = pos.edge_index;
+      record.segments.push_back({edge_index, t, t});
+    }
+    const roadnet::EdgeId edge_id = route.edges()[edge_index];
+    const roadnet::RoadSegment& edge = network.edge(edge_id);
+
+    double speed = edge.speed_limit() * profile.cruise_factor /
+                   traffic.slowdown(edge_id, t);
+    speed = std::min(speed,
+                     traffic.incident_cap(edge_id, pos.edge_offset, t));
+    speed = std::max(speed, params.min_speed_mps);
+
+    double step = speed * params.integration_dt_s;
+    double dt = params.integration_dt_s;
+
+    // Clip the step at the next stop so we service it exactly.
+    if (next_stop < route.stop_count()) {
+      const double stop_offset = route.stop_offset(next_stop);
+      if (offset < stop_offset && offset + step >= stop_offset) {
+        dt *= (stop_offset - offset) / step;
+        step = stop_offset - offset;
+      }
+    }
+    // Clip at the edge end so intersections are handled exactly.
+    const double edge_end = route.edge_end_offset(edge_index);
+    if (offset < edge_end && offset + step > edge_end) {
+      dt *= (edge_end - offset) / step;
+      step = edge_end - offset;
+    }
+
+    offset += step;
+    t += dt;
+
+    while (next_sample <= t) {
+      record.trajectory.push_back({next_sample, offset});
+      next_sample += params.sample_period_s;
+    }
+
+    // Service a stop we just reached.
+    if (next_stop < route.stop_count() &&
+        offset >= route.stop_offset(next_stop) - 1e-9) {
+      const SimTime arrive = t;
+      t += dwell_at_stop();
+      record.stops.push_back({next_stop, arrive, t});
+      ++next_stop;
+      while (next_sample <= t) {
+        record.trajectory.push_back({next_sample, offset});
+        next_sample += params.sample_period_s;
+      }
+    }
+
+    // Traffic light at an intersection (not at the route's end).
+    if (offset >= edge_end - 1e-9 && offset < length - 1e-9 &&
+        rng.bernoulli(profile.light_stop_probability)) {
+      t += rng.exponential(profile.light_wait_mean_s);
+      while (next_sample <= t) {
+        record.trajectory.push_back({next_sample, offset});
+        next_sample += params.sample_period_s;
+      }
+    }
+  }
+
+  record.segments.back().exit = t;
+  record.end_time = t;
+  record.trajectory.push_back({t, offset});
+  WILOC_ENSURES(!record.trajectory.empty());
+  return record;
+}
+
+}  // namespace wiloc::sim

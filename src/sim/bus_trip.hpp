@@ -1,0 +1,80 @@
+// Single bus trip kinematics.
+//
+// Integrates a bus along its route under the traffic model, dwelling at
+// stops and occasionally waiting at intersections (traffic lights). The
+// result is the ground truth everything else is measured against: a
+// dense trajectory plus exact segment entry/exit and stop arrival times.
+#pragma once
+
+#include <vector>
+
+#include "roadnet/route.hpp"
+#include "sim/traffic_model.hpp"
+#include "util/rng.hpp"
+
+namespace wiloc::sim {
+
+using roadnet::TripId;
+
+/// Per-route driving characteristics. A rapid line cruises faster and
+/// dwells less; this is the mu_ij route-dependent factor of Eq. 3.
+struct RouteProfile {
+  double cruise_factor = 0.75;     ///< fraction of the speed limit held
+  double dwell_mean_s = 18.0;      ///< mean stop dwell
+  double dwell_sigma_s = 6.0;      ///< dwell noise (truncated at >= 2 s)
+  double light_stop_probability = 0.35;  ///< chance of a red light
+  double light_wait_mean_s = 25.0;       ///< mean red-light wait
+};
+
+/// Ground-truth position sample.
+struct TrajectorySample {
+  SimTime time;
+  double route_offset;
+};
+
+/// Exact segment traversal times (edge index within the route).
+struct SegmentTiming {
+  std::size_t edge_index;
+  SimTime enter;
+  SimTime exit;
+  double travel_time() const { return exit - enter; }
+};
+
+/// Exact stop service times.
+struct StopTiming {
+  std::size_t stop_index;
+  SimTime arrive;
+  SimTime depart;
+};
+
+/// The full ground truth of one simulated trip.
+struct TripRecord {
+  TripId id;
+  roadnet::RouteId route;
+  SimTime start_time = 0.0;
+  SimTime end_time = 0.0;
+  std::vector<TrajectorySample> trajectory;  ///< ~1 Hz, offset monotone
+  std::vector<SegmentTiming> segments;       ///< one per route edge
+  std::vector<StopTiming> stops;             ///< one per route stop
+
+  /// Ground-truth route offset at time t (clamped to the trip's span).
+  double offset_at(SimTime t) const;
+
+  /// Ground-truth arrival time at the stop. Requires a valid index.
+  SimTime arrival_at_stop(std::size_t stop_index) const;
+};
+
+struct BusTripParams {
+  double integration_dt_s = 0.5;   ///< kinematic step
+  double sample_period_s = 1.0;    ///< trajectory recording period
+  double min_speed_mps = 0.5;      ///< traffic never fully stops (jam crawl)
+};
+
+/// Simulates one trip of `route` starting at `start_time`.
+/// `trip_id` labels the record; `rng` supplies dwell/light noise.
+TripRecord simulate_trip(TripId trip_id, const roadnet::BusRoute& route,
+                         const RouteProfile& profile,
+                         const TrafficModel& traffic, SimTime start_time,
+                         Rng& rng, BusTripParams params = {});
+
+}  // namespace wiloc::sim

@@ -1,0 +1,299 @@
+#include "sim/city.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace wiloc::sim {
+
+namespace {
+
+using roadnet::EdgeId;
+using roadnet::NodeId;
+using roadnet::RoadNetwork;
+using roadnet::RouteId;
+using roadnet::Stop;
+
+/// Evenly spaced stops (first at offset 0, last at route end).
+std::vector<Stop> even_stops(double route_length, std::size_t count,
+                             const std::string& prefix) {
+  WILOC_EXPECTS(count >= 2);
+  std::vector<Stop> stops;
+  stops.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double offset = route_length * static_cast<double>(i) /
+                          static_cast<double>(count - 1);
+    stops.push_back({prefix + "_s" + std::to_string(i), offset});
+  }
+  return stops;
+}
+
+double route_edges_length(const RoadNetwork& net,
+                          const std::vector<EdgeId>& edges) {
+  double len = 0.0;
+  for (const EdgeId e : edges) len += net.edge(e).length();
+  return len;
+}
+
+/// Places storefront APs along the given edges: both street sides,
+/// jittered along and across.
+void place_aps(rf::ApRegistry& aps, const RoadNetwork& net,
+               const std::vector<EdgeId>& edges, double density_per_km,
+               Rng& rng) {
+  for (const EdgeId e : edges) {
+    const auto& geom = net.edge(e).geometry();
+    const double len = geom.length();
+    const auto count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::round(density_per_km * len / 1000.0)));
+    for (std::size_t i = 0; i < count; ++i) {
+      // Stratified placement along the edge with jitter, so coverage has
+      // no long gaps even at low density.
+      const double base = len * (static_cast<double>(i) + 0.5) /
+                          static_cast<double>(count);
+      const double along =
+          std::clamp(base + rng.normal(0.0, len / (4.0 * count + 1)), 0.0,
+                     len);
+      const geo::Point on_road = geom.point_at(along);
+      const geo::Vec lateral = geom.tangent_at(along).perp();
+      const double side = (i % 2 == 0) ? 1.0 : -1.0;
+      const double setback = rng.uniform(12.0, 28.0);
+      const geo::Point pos = on_road + lateral * (side * setback);
+      aps.add(pos, rng.uniform(-38.0, -28.0), rng.uniform(2.6, 3.4));
+    }
+  }
+}
+
+}  // namespace
+
+const roadnet::BusRoute& City::route_by_name(const std::string& name) const {
+  for (const auto& r : routes)
+    if (r.name() == name) return r;
+  throw NotFound("no route named '" + name + "'");
+}
+
+const RouteProfile& City::profile_of(roadnet::RouteId id) const {
+  for (std::size_t i = 0; i < routes.size(); ++i)
+    if (routes[i].id() == id) return profiles[i];
+  throw NotFound("no profile for route id " + std::to_string(id.value()));
+}
+
+std::vector<const roadnet::BusRoute*> City::route_pointers() const {
+  std::vector<const roadnet::BusRoute*> out;
+  out.reserve(routes.size());
+  for (const auto& r : routes) out.push_back(&r);
+  return out;
+}
+
+std::vector<rf::AccessPoint> City::ap_snapshot(SimTime t) const {
+  std::vector<rf::AccessPoint> out;
+  out.reserve(aps.count());
+  for (const auto& ap : aps.aps())
+    if (aps.is_active(ap.id, t)) out.push_back(ap);
+  return out;
+}
+
+City build_paper_city(const CityParams& params) {
+  WILOC_EXPECTS(params.ap_density_per_km > 0.0);
+  WILOC_EXPECTS(params.edge_length_m > 0.0);
+
+  City city;
+  city.network = std::make_unique<RoadNetwork>();
+  RoadNetwork& net = *city.network;
+  Rng rng(params.seed);
+
+  const double L = params.edge_length_m;
+  constexpr std::size_t kCorridorEdges = 40;  // 16 km main street
+
+  // Main corridor ("the main street") along the x axis, with a gentle
+  // procedural wobble so edges are not collinear.
+  std::vector<NodeId> corridor;
+  corridor.reserve(kCorridorEdges + 1);
+  for (std::size_t i = 0; i <= kCorridorEdges; ++i) {
+    const double x = static_cast<double>(i) * L;
+    const double y = 30.0 * std::sin(static_cast<double>(i) * 0.35);
+    corridor.push_back(net.add_node({x, y}, "bdwy" + std::to_string(i)));
+  }
+  std::vector<EdgeId> corridor_edges;  // edge k: corridor[k] -> corridor[k+1]
+  corridor_edges.reserve(kCorridorEdges);
+  for (std::size_t k = 0; k < kCorridorEdges; ++k) {
+    corridor_edges.push_back(net.add_straight_edge(
+        corridor[k], corridor[k + 1], 13.9, "bdwy_e" + std::to_string(k)));
+  }
+
+  // Branch helper: a straight street leaving `from` along direction
+  // (dx, dy), `count` edges long. Returns the edges in travel order.
+  const auto branch = [&](NodeId from, double dx, double dy,
+                          std::size_t count, const std::string& name,
+                          double speed) {
+    std::vector<EdgeId> edges;
+    NodeId prev = from;
+    const geo::Point base = net.node(from).position;
+    for (std::size_t i = 1; i <= count; ++i) {
+      const NodeId next = net.add_node(
+          {base.x + dx * static_cast<double>(i) * L,
+           base.y + dy * static_cast<double>(i) * L},
+          name + std::to_string(i));
+      edges.push_back(
+          net.add_straight_edge(prev, next, speed,
+                                name + "_e" + std::to_string(i)));
+      prev = next;
+    }
+    return edges;
+  };
+  // Reversed branch: edges *toward* `to` (an approach leg).
+  const auto approach = [&](NodeId to, double dx, double dy,
+                            std::size_t count, const std::string& name,
+                            double speed) {
+    std::vector<NodeId> nodes;
+    const geo::Point base = net.node(to).position;
+    for (std::size_t i = count; i >= 1; --i) {
+      nodes.push_back(net.add_node(
+          {base.x + dx * static_cast<double>(i) * L,
+           base.y + dy * static_cast<double>(i) * L},
+          name + std::to_string(i)));
+    }
+    nodes.push_back(to);
+    std::vector<EdgeId> edges;
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+      edges.push_back(
+          net.add_straight_edge(nodes[i], nodes[i + 1], speed,
+                                name + "_e" + std::to_string(i)));
+    }
+    return edges;
+  };
+
+  const auto corridor_span = [&](std::size_t first_edge,
+                                 std::size_t last_edge) {
+    std::vector<EdgeId> out(corridor_edges.begin() +
+                                static_cast<std::ptrdiff_t>(first_edge),
+                            corridor_edges.begin() +
+                                static_cast<std::ptrdiff_t>(last_edge) + 1);
+    return out;
+  };
+  const auto concat = [](std::vector<EdgeId> a,
+                         const std::vector<EdgeId>& b) {
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+  };
+
+  // --- Rapid Line: corridor edges 1..34 (13.6 km), 19 stops. ---
+  {
+    std::vector<EdgeId> edges = corridor_span(1, 34);
+    const double len = route_edges_length(net, edges);
+    city.routes.emplace_back(RouteId(0), "Rapid", net, edges,
+                             even_stops(len, 19, "Rapid"));
+    city.profiles.push_back({0.86, 12.0, 2.5, 0.12, 18.0});
+  }
+  // --- Route 9: corridor edges 0..35 (14.4 km) + 2 km north tail. ---
+  {
+    const auto tail = branch(corridor[36], 0.0, 1.0, 5, "r9n", 12.5);
+    std::vector<EdgeId> edges = concat(corridor_span(0, 35), tail);
+    const double len = route_edges_length(net, edges);
+    city.routes.emplace_back(RouteId(1), "9", net, edges,
+                             even_stops(len, 65, "9"));
+    city.profiles.push_back({0.72, 19.0, 8.0, 0.45, 30.0});
+  }
+  // --- Route 14: 2.4 km south approach + full corridor + 2 km north. ---
+  {
+    const auto west = approach(corridor[0], 0.0, -1.0, 6, "r14s", 12.5);
+    const auto east = branch(corridor[40], 0.0, 1.0, 5, "r14n", 12.5);
+    std::vector<EdgeId> edges =
+        concat(concat(west, corridor_span(0, 39)), east);
+    const double len = route_edges_length(net, edges);
+    city.routes.emplace_back(RouteId(2), "14", net, edges,
+                             even_stops(len, 74, "14"));
+    city.profiles.push_back({0.70, 20.0, 8.0, 0.48, 30.0});
+  }
+  // --- Route 16: 2 km south approach at x=4 km + corridor edges 10..33
+  // (9.6 km) + 6.8 km north exit at x=13.6 km. ---
+  {
+    const auto south = approach(corridor[10], 0.0, -1.0, 5, "r16s", 12.5);
+    const auto north = branch(corridor[34], 0.0, 1.0, 17, "r16n", 12.5);
+    std::vector<EdgeId> edges =
+        concat(concat(south, corridor_span(10, 33)), north);
+    const double len = route_edges_length(net, edges);
+    city.routes.emplace_back(RouteId(3), "16", net, edges,
+                             even_stops(len, 91, "16"));
+    city.profiles.push_back({0.74, 18.0, 8.0, 0.42, 28.0});
+  }
+
+  // APs along every edge that any route uses (dedup edges first).
+  std::vector<EdgeId> used;
+  for (const auto& r : city.routes)
+    used.insert(used.end(), r.edges().begin(), r.edges().end());
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  Rng ap_rng = rng.fork();
+  place_aps(city.aps, net, used, params.ap_density_per_km, ap_rng);
+
+  city.rf_model = std::make_unique<rf::LogDistanceModel>(params.rf);
+
+  // Sparse cell towers: along the corridor, alternating sides, far off
+  // the road.
+  Rng tower_rng = rng.fork();
+  const double corridor_len = static_cast<double>(kCorridorEdges) * L;
+  int side = 1;
+  for (double x = params.tower_spacing_m / 2; x < corridor_len;
+       x += params.tower_spacing_m) {
+    city.towers.add({x + tower_rng.uniform(-120.0, 120.0),
+                     side * tower_rng.uniform(220.0, 380.0)});
+    side = -side;
+  }
+
+  WILOC_ENSURES(city.routes.size() == 4);
+  return city;
+}
+
+CampusScenario build_campus(std::uint64_t seed) {
+  CampusScenario campus;
+  campus.network = std::make_unique<RoadNetwork>();
+  RoadNetwork& net = *campus.network;
+  Rng rng(seed);
+
+  // A 420 m one-way campus road, two edges.
+  const NodeId a = net.add_node({0, 0}, "gate");
+  const NodeId b = net.add_node({220, 12}, "mid");
+  const NodeId c = net.add_node({420, 0}, "hall");
+  const EdgeId e1 = net.add_straight_edge(a, b, 8.3, "campus_e1");
+  const EdgeId e2 = net.add_straight_edge(b, c, 8.3, "campus_e2");
+
+  std::vector<Stop> stops = {{"gate", 0.0}, {"hall", 440.0}};
+  // Total length = |ab| + |bc|; clamp the final stop to it.
+  const double len = net.edge(e1).length() + net.edge(e2).length();
+  stops.back().route_offset = len;
+  campus.routes.emplace_back(RouteId(0), "campus", net,
+                             std::vector<EdgeId>{e1, e2}, std::move(stops));
+
+  // Eleven APs (AP1..AP11 in Table II), buildings on both sides.
+  const roadnet::BusRoute& route = campus.routes.front();
+  struct Placement {
+    double along;
+    double lateral;
+  };
+  const Placement placements[11] = {
+      {385, 18},  {362, -22}, {40, 25},   {330, 15},  {300, -18},
+      {35, -30},  {90, 20},   {140, -24}, {205, 17},  {120, -15},
+      {70, 30}};
+  for (const Placement& p : placements) {
+    const geo::Point on_road = route.point_at(p.along);
+    const geo::Vec lateral =
+        net.edge(route.edges()[route.position_at(p.along).edge_index])
+            .geometry()
+            .tangent_at(route.position_at(p.along).edge_offset)
+            .perp();
+    campus.aps.add(on_road + lateral * p.lateral,
+                   rng.uniform(-36.0, -30.0), rng.uniform(2.7, 3.2));
+  }
+
+  rf::LogDistanceParams rf_params;
+  rf_params.shadowing_sigma_db = 3.0;  // campus: lighter clutter
+  rf_params.fading_sigma_db = 3.0;
+  campus.rf_model = std::make_unique<rf::LogDistanceModel>(rf_params);
+
+  campus.probe_offsets = {120.0, 230.0, 340.0};  // locations A, B, C
+  return campus;
+}
+
+}  // namespace wiloc::sim

@@ -1,0 +1,74 @@
+// Scenario construction.
+//
+// The paper evaluates on four TransLink routes (the Rapid Line and routes
+// 9, 14, 16) sharing a main-street corridor in Metro-Vancouver (Fig. 7,
+// Table I), with geo-tagged APs dense along the roads, plus a campus
+// road experiment (Table II, Fig. 10). Neither the real corridor nor the
+// AP geo-tags are available, so CityBuilder synthesizes a corridor with
+// the same *structure*: four routes with Table-I-like lengths, stop
+// counts and overlap pattern, storefront APs on both road sides, and a
+// sparse cell-tower grid for the Cell-ID baseline.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rf/cellular.hpp"
+#include "rf/propagation.hpp"
+#include "rf/registry.hpp"
+#include "roadnet/overlap.hpp"
+#include "roadnet/route.hpp"
+#include "sim/bus_trip.hpp"
+
+namespace wiloc::sim {
+
+/// A fully built scenario. The network and RF model are heap-allocated
+/// so routes/pointers stay valid when the City moves.
+struct City {
+  std::unique_ptr<roadnet::RoadNetwork> network;
+  std::vector<roadnet::BusRoute> routes;
+  std::vector<RouteProfile> profiles;  ///< aligned with routes
+  rf::ApRegistry aps;
+  std::unique_ptr<rf::LogDistanceModel> rf_model;
+  rf::TowerRegistry towers;
+
+  /// Route lookup by display name ("Rapid", "9", "14", "16").
+  const roadnet::BusRoute& route_by_name(const std::string& name) const;
+
+  /// Driving profile of a route.
+  const RouteProfile& profile_of(roadnet::RouteId id) const;
+
+  /// All routes as overlap-index input.
+  std::vector<const roadnet::BusRoute*> route_pointers() const;
+
+  /// The active APs at time 0 as a value vector (SVD construction input).
+  std::vector<rf::AccessPoint> ap_snapshot(SimTime t = 0.0) const;
+};
+
+struct CityParams {
+  std::uint64_t seed = 2016;
+  double ap_density_per_km = 24.0;   ///< APs per km of road (Fig. 9a knob)
+  double edge_length_m = 400.0;      ///< intersection spacing
+  double tower_spacing_m = 1400.0;   ///< cell-tower spacing (sparse)
+  rf::LogDistanceParams rf;          ///< propagation parameters
+};
+
+/// Builds the four-route corridor city. Route order: Rapid, 9, 14, 16.
+City build_paper_city(const CityParams& params = {});
+
+/// The campus experiment of Table II / Fig. 10: a one-way road with 11
+/// numbered APs and three probe locations A, B, C.
+struct CampusScenario {
+  std::unique_ptr<roadnet::RoadNetwork> network;
+  std::vector<roadnet::BusRoute> routes;  ///< exactly one route
+  rf::ApRegistry aps;
+  std::unique_ptr<rf::LogDistanceModel> rf_model;
+  std::vector<double> probe_offsets;  ///< route offsets of A, B, C
+
+  const roadnet::BusRoute& route() const { return routes.front(); }
+};
+
+CampusScenario build_campus(std::uint64_t seed = 7);
+
+}  // namespace wiloc::sim

@@ -1,0 +1,37 @@
+#include "sim/crowd.hpp"
+
+#include "util/contracts.hpp"
+
+namespace wiloc::sim {
+
+std::vector<ScanReport> sense_trip(const TripRecord& trip,
+                                   const roadnet::BusRoute& route,
+                                   const rf::ApRegistry& registry,
+                                   const rf::PropagationModel& model,
+                                   const rf::Scanner& scanner, Rng& rng,
+                                   CrowdParams params) {
+  WILOC_EXPECTS(params.scan_period_s > 0.0);
+  WILOC_EXPECTS(params.riders >= 1);
+  WILOC_EXPECTS(trip.route == route.id());
+
+  std::vector<ScanReport> reports;
+  for (SimTime t = trip.start_time; t <= trip.end_time;
+       t += params.scan_period_s) {
+    const double offset = trip.offset_at(t);
+    const geo::Point bus = route.point_at(offset);
+    std::vector<rf::WifiScan> scans;
+    scans.reserve(params.riders);
+    for (std::size_t r = 0; r < params.riders; ++r) {
+      const geo::Point phone{
+          bus.x + rng.normal(0.0, params.lateral_jitter_m),
+          bus.y + rng.normal(0.0, params.lateral_jitter_m)};
+      rf::WifiScan scan = scanner.scan(registry, model, phone, t, rng);
+      if (!scan.empty()) scans.push_back(std::move(scan));
+    }
+    if (scans.empty()) continue;  // radio-dead stretch: nothing reported
+    reports.push_back({trip.id, trip.route, rf::merge_scans(scans)});
+  }
+  return reports;
+}
+
+}  // namespace wiloc::sim

@@ -1,0 +1,42 @@
+// Crowd sensing — riders' phones scanning WiFi on a moving bus.
+//
+// The paper's data source: COTS smartphones carried by the driver and
+// riders scan every 10 s and report {SSID, BSSID, RSS, timestamp} to the
+// server with zero rider effort. Multiple riders on the same bus are
+// merged into one averaged scan (the "average RSS rank ... sensed by
+// multiple devices remains relatively stable" observation).
+#pragma once
+
+#include <vector>
+
+#include "rf/scan.hpp"
+#include "sim/bus_trip.hpp"
+
+namespace wiloc::sim {
+
+/// One report delivered to the server: which trip produced which scan.
+/// (In the real system the trip is identified by route announcement
+/// voice capture / driver input — Section V-A1; the simulator knows it.)
+struct ScanReport {
+  TripId trip;
+  roadnet::RouteId route;
+  rf::WifiScan scan;
+};
+
+struct CrowdParams {
+  double scan_period_s = 10.0;  ///< the paper's scanning period
+  std::size_t riders = 3;       ///< phones scanning on the bus
+  double lateral_jitter_m = 1.2;  ///< rider positions inside the bus
+};
+
+/// Generates the scan reports of one trip: every scan_period_s, each
+/// rider scans at the bus's ground-truth position (with a little
+/// in-vehicle jitter) and the scans are merged.
+std::vector<ScanReport> sense_trip(const TripRecord& trip,
+                                   const roadnet::BusRoute& route,
+                                   const rf::ApRegistry& registry,
+                                   const rf::PropagationModel& model,
+                                   const rf::Scanner& scanner, Rng& rng,
+                                   CrowdParams params = {});
+
+}  // namespace wiloc::sim

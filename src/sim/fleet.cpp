@@ -1,0 +1,62 @@
+#include "sim/fleet.hpp"
+
+#include "util/contracts.hpp"
+
+namespace wiloc::sim {
+
+FleetPlan default_fleet_plan(const City& city) {
+  FleetPlan plan;
+  plan.per_route.reserve(city.routes.size());
+  for (const auto& route : city.routes) {
+    ServicePlan sp{hms(6, 30), hms(22, 0), 720.0};
+    if (route.name() == "Rapid") sp.headway_s = 480.0;
+    if (route.name() == "16") sp.headway_s = 900.0;
+    plan.per_route.push_back(sp);
+  }
+  return plan;
+}
+
+std::vector<TripRecord> simulate_service_day(
+    const City& city, const TrafficModel& traffic, const FleetPlan& plan,
+    int day, Rng& rng, std::uint32_t* next_trip_id,
+    bool keep_trajectories) {
+  WILOC_EXPECTS(plan.per_route.size() == city.routes.size());
+  WILOC_EXPECTS(next_trip_id != nullptr);
+
+  std::vector<TripRecord> trips;
+  for (std::size_t r = 0; r < city.routes.size(); ++r) {
+    const ServicePlan& sp = plan.per_route[r];
+    WILOC_EXPECTS(sp.headway_s > 0.0);
+    WILOC_EXPECTS(sp.first_departure_tod <= sp.last_departure_tod);
+    for (double tod = sp.first_departure_tod; tod <= sp.last_departure_tod;
+         tod += sp.headway_s) {
+      const SimTime depart = at_day_time(day, tod);
+      TripRecord trip =
+          simulate_trip(TripId((*next_trip_id)++), city.routes[r],
+                        city.profiles[r], traffic, depart, rng);
+      if (!keep_trajectories) {
+        trip.trajectory.clear();
+        trip.trajectory.shrink_to_fit();
+      }
+      trips.push_back(std::move(trip));
+    }
+  }
+  return trips;
+}
+
+std::vector<TripRecord> simulate_service_days(
+    const City& city, const TrafficModel& traffic, const FleetPlan& plan,
+    int first_day, int day_count, Rng& rng, bool keep_trajectories) {
+  WILOC_EXPECTS(day_count >= 0);
+  std::vector<TripRecord> all;
+  std::uint32_t next_id = 0;
+  for (int d = 0; d < day_count; ++d) {
+    auto day_trips =
+        simulate_service_day(city, traffic, plan, first_day + d, rng,
+                             &next_id, keep_trajectories);
+    for (auto& trip : day_trips) all.push_back(std::move(trip));
+  }
+  return all;
+}
+
+}  // namespace wiloc::sim

@@ -1,0 +1,47 @@
+// Multi-trip, multi-day service simulation.
+//
+// Runs a service day for every route of a city (departures by headway)
+// and returns the ground-truth trip records — the raw material for both
+// the predictor's training history (the paper collects 3 weeks of data)
+// and the test-day evaluation.
+#pragma once
+
+#include <vector>
+
+#include "sim/bus_trip.hpp"
+#include "sim/city.hpp"
+
+namespace wiloc::sim {
+
+/// Service frequency per route.
+struct ServicePlan {
+  double first_departure_tod;  ///< seconds since midnight
+  double last_departure_tod;
+  double headway_s;
+};
+
+/// One plan per city route, aligned with City::routes.
+struct FleetPlan {
+  std::vector<ServicePlan> per_route;
+};
+
+/// Typical urban service: rapid every 8 min, locals every 12-15 min,
+/// 06:30-22:00.
+FleetPlan default_fleet_plan(const City& city);
+
+/// Simulates one service day (day index `day`). Trip ids continue from
+/// `*next_trip_id`, which is advanced. When `keep_trajectories` is
+/// false, the (large) trajectory vectors are dropped after simulation —
+/// use for history days where only segment/stop timings matter.
+std::vector<TripRecord> simulate_service_day(
+    const City& city, const TrafficModel& traffic, const FleetPlan& plan,
+    int day, Rng& rng, std::uint32_t* next_trip_id,
+    bool keep_trajectories = true);
+
+/// Simulates `day_count` consecutive days starting at `first_day`.
+std::vector<TripRecord> simulate_service_days(
+    const City& city, const TrafficModel& traffic, const FleetPlan& plan,
+    int first_day, int day_count, Rng& rng,
+    bool keep_trajectories = false);
+
+}  // namespace wiloc::sim

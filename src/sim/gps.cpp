@@ -1,0 +1,41 @@
+#include "sim/gps.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::sim {
+
+GpsSimulator::GpsSimulator(GpsParams params) : params_(params) {
+  WILOC_EXPECTS(params_.open_sky_sigma_m >= 0.0);
+  WILOC_EXPECTS(params_.canyon_sigma_m >= params_.open_sky_sigma_m);
+  WILOC_EXPECTS(params_.canyon_fraction >= 0.0 &&
+                params_.canyon_fraction <= 1.0);
+  WILOC_EXPECTS(params_.canyon_cell_m > 0.0);
+  WILOC_EXPECTS(params_.canyon_outage_prob >= 0.0 &&
+                params_.canyon_outage_prob <= 1.0);
+}
+
+bool GpsSimulator::in_canyon(geo::Point p) const {
+  const auto ix = static_cast<std::int64_t>(
+      std::floor(p.x / params_.canyon_cell_m));
+  const auto iy = static_cast<std::int64_t>(
+      std::floor(p.y / params_.canyon_cell_m));
+  const double u = hash_to_unit(hash_coords(
+      params_.seed, static_cast<std::uint64_t>(ix),
+      static_cast<std::uint64_t>(iy)));
+  return u < params_.canyon_fraction;
+}
+
+std::optional<geo::Point> GpsSimulator::sample(geo::Point true_position,
+                                               Rng& rng) const {
+  const bool canyon = in_canyon(true_position);
+  if (canyon && rng.bernoulli(params_.canyon_outage_prob))
+    return std::nullopt;
+  const double sigma =
+      canyon ? params_.canyon_sigma_m : params_.open_sky_sigma_m;
+  return geo::Point{true_position.x + rng.normal(0.0, sigma),
+                    true_position.y + rng.normal(0.0, sigma)};
+}
+
+}  // namespace wiloc::sim

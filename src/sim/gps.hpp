@@ -1,0 +1,46 @@
+// GPS simulation for the GPS-tracking baseline.
+//
+// The paper's motivation: GPS "works poorly in urban environments due to
+// the city geometry (urban canyons)" — high-rises and tunnels block the
+// line of sight, inflating error or killing the fix entirely. The
+// simulator models canyon stretches along the corridor where the error
+// blows up and fixes are frequently lost.
+#pragma once
+
+#include <optional>
+
+#include "geo/geometry.hpp"
+#include "util/hashing.hpp"
+#include "util/rng.hpp"
+
+namespace wiloc::sim {
+
+struct GpsParams {
+  double open_sky_sigma_m = 5.0;    ///< error std in open sky
+  double canyon_sigma_m = 35.0;     ///< error std inside a canyon
+  double canyon_fraction = 0.35;    ///< fraction of the map in canyons
+  double canyon_cell_m = 250.0;     ///< canyon patch size
+  double canyon_outage_prob = 0.30; ///< chance of no fix in a canyon
+  std::uint64_t seed = 4242;        ///< canyon layout seed
+};
+
+/// Spatially patterned GPS error model. Canyon layout is a deterministic
+/// function of position (hash-based patches), so repeated passes suffer
+/// in the same places — as real corridors do.
+class GpsSimulator {
+ public:
+  explicit GpsSimulator(GpsParams params = {});
+
+  /// Whether the position lies in an urban-canyon patch.
+  bool in_canyon(geo::Point p) const;
+
+  /// One GPS fix at the true position; nullopt on outage.
+  std::optional<geo::Point> sample(geo::Point true_position, Rng& rng) const;
+
+  const GpsParams& params() const { return params_; }
+
+ private:
+  GpsParams params_;
+};
+
+}  // namespace wiloc::sim

@@ -1,0 +1,78 @@
+#include "sim/traffic_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::sim {
+
+TrafficModel::TrafficModel(std::uint64_t seed, TrafficParams params)
+    : seed_(seed), params_(params) {
+  WILOC_EXPECTS(params_.am_peak_sigma > 0.0);
+  WILOC_EXPECTS(params_.pm_peak_sigma > 0.0);
+  WILOC_EXPECTS(params_.wiggle_knot_spacing > 0.0);
+  WILOC_EXPECTS(params_.wiggle_sigma >= 0.0);
+}
+
+double TrafficModel::peak_shift(roadnet::EdgeId edge) const {
+  return params_.peak_shift_max *
+         hash_to_pm1(hash_coords(seed_, edge.value(), 0xbeef));
+}
+
+double TrafficModel::rush_profile(roadnet::EdgeId edge, double tod) const {
+  const double shift = peak_shift(edge);
+  const auto bump = [&](double center, double sigma, double amplitude) {
+    const double d = (tod - (center + shift)) / sigma;
+    return amplitude * std::exp(-0.5 * d * d);
+  };
+  return 1.0 +
+         bump(params_.am_peak_tod, params_.am_peak_sigma,
+              params_.am_peak_amplitude) +
+         bump(params_.pm_peak_tod, params_.pm_peak_sigma,
+              params_.pm_peak_amplitude);
+}
+
+double TrafficModel::daily_wiggle(roadnet::EdgeId edge, SimTime t) const {
+  if (params_.wiggle_sigma == 0.0) return 1.0;
+  const int day = day_of(t);
+  const double tod = time_of_day(t);
+  const double knot_pos = tod / params_.wiggle_knot_spacing;
+  const auto k0 = static_cast<std::uint64_t>(std::floor(knot_pos));
+  const double frac = knot_pos - std::floor(knot_pos);
+  const auto knot_value = [&](std::uint64_t k) {
+    const std::uint64_t h = hash_coords(
+        seed_ ^ 0x77faULL, edge.value(),
+        static_cast<std::uint64_t>(day), k);
+    return std::exp(params_.wiggle_sigma * hash_to_pm1(h));
+  };
+  const double v0 = knot_value(k0);
+  const double v1 = knot_value(k0 + 1);
+  return v0 + (v1 - v0) * frac;
+}
+
+double TrafficModel::slowdown(roadnet::EdgeId edge, SimTime t) const {
+  return rush_profile(edge, time_of_day(t)) * daily_wiggle(edge, t);
+}
+
+void TrafficModel::add_incident(const Incident& incident) {
+  WILOC_EXPECTS(incident.begin < incident.end);
+  WILOC_EXPECTS(incident.begin_edge_offset < incident.end_edge_offset);
+  WILOC_EXPECTS(incident.crawl_speed_mps > 0.0);
+  incidents_.push_back(incident);
+}
+
+double TrafficModel::incident_cap(roadnet::EdgeId edge, double edge_offset,
+                                  SimTime t) const {
+  double cap = std::numeric_limits<double>::infinity();
+  for (const Incident& inc : incidents_) {
+    if (inc.edge == edge && t >= inc.begin && t < inc.end &&
+        edge_offset >= inc.begin_edge_offset &&
+        edge_offset <= inc.end_edge_offset) {
+      cap = std::min(cap, inc.crawl_speed_mps);
+    }
+  }
+  return cap;
+}
+
+}  // namespace wiloc::sim

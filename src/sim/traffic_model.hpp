@@ -1,0 +1,89 @@
+// The generative traffic model.
+//
+// Paper Eq. 3 decomposes a bus's travel time on segment e_i into a
+// route-dependent mean mu_ij and a shared environment factor eps_i. The
+// simulator generates traffic from exactly that model class:
+//
+//   speed(e, t) = speed_limit(e) * cruise_factor(route)
+//                 / (rush_profile(e, tod) * daily_wiggle(e, day, tod))
+//
+// - rush_profile: deterministic two-bump (AM/PM) congestion curve with a
+//   per-segment peak shift ("the rush hour may appear at different time
+//   for different road segments" — Section IV);
+// - daily_wiggle: a slowly varying (30-minute knots) per-(segment, day)
+//   multiplicative noise, *shared by all routes* on the segment — this is
+//   eps_i, and its temporal persistence is what makes the recent travel
+//   times of other routes informative;
+// - incidents: explicit crawl-speed windows on a stretch of a segment,
+//   for the Fig. 11 anomaly experiments.
+#pragma once
+
+#include <vector>
+
+#include "roadnet/network.hpp"
+#include "util/hashing.hpp"
+#include "util/time.hpp"
+
+namespace wiloc::sim {
+
+struct TrafficParams {
+  double am_peak_tod = 9.0 * 3600;      ///< center of the AM rush
+  double am_peak_sigma = 45.0 * 60;     ///< width (s)
+  double am_peak_amplitude = 1.0;       ///< slowdown adds this at peak
+  double pm_peak_tod = 18.5 * 3600;     ///< center of the PM rush
+  double pm_peak_sigma = 30.0 * 60;
+  double pm_peak_amplitude = 0.8;
+  double peak_shift_max = 45.0 * 60;    ///< per-segment peak shift bound
+  double wiggle_sigma = 0.22;           ///< daily multiplicative noise
+  double wiggle_knot_spacing = 50.0 * 60;  ///< knot interval (s)
+};
+
+/// A traffic anomaly: traffic on `edge` within the offset window crawls
+/// at `crawl_speed_mps` during [begin, end).
+struct Incident {
+  roadnet::EdgeId edge;
+  double begin_edge_offset;
+  double end_edge_offset;
+  SimTime begin;
+  SimTime end;
+  double crawl_speed_mps;
+};
+
+/// Deterministic congestion oracle. Stateless per query: every value is a
+/// pure function of (seed, segment, time), so simulator and analysis see
+/// the same world.
+class TrafficModel {
+ public:
+  explicit TrafficModel(std::uint64_t seed, TrafficParams params = {});
+
+  /// Multiplicative slowdown >= 1 for the segment at time t (the divisor
+  /// on free-flow speed). Excludes incidents.
+  double slowdown(roadnet::EdgeId edge, SimTime t) const;
+
+  /// The deterministic rush-hour component alone (no daily noise).
+  double rush_profile(roadnet::EdgeId edge, double tod) const;
+
+  /// The shared environment noise alone (eps_i's generative source).
+  double daily_wiggle(roadnet::EdgeId edge, SimTime t) const;
+
+  /// Registers an incident window. Requires begin < end and a valid
+  /// offset window.
+  void add_incident(const Incident& incident);
+  const std::vector<Incident>& incidents() const { return incidents_; }
+
+  /// Speed cap (m/s) from incidents at this exact spot/time; +infinity
+  /// when unaffected.
+  double incident_cap(roadnet::EdgeId edge, double edge_offset,
+                      SimTime t) const;
+
+  const TrafficParams& params() const { return params_; }
+
+ private:
+  double peak_shift(roadnet::EdgeId edge) const;
+
+  std::uint64_t seed_;
+  TrafficParams params_;
+  std::vector<Incident> incidents_;
+};
+
+}  // namespace wiloc::sim

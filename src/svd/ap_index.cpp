@@ -1,0 +1,80 @@
+#include "svd/ap_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::svd {
+
+ApIndex::ApIndex(std::vector<rf::AccessPoint> aps, double bucket_size_m)
+    : aps_(std::move(aps)), bucket_(bucket_size_m) {
+  WILOC_EXPECTS(bucket_ > 0.0);
+  for (const auto& ap : aps_) bounds_.expand(ap.position);
+  if (bounds_.empty()) bounds_ = geo::Aabb({0, 0}, {1, 1});
+  bounds_.inflate(bucket_);
+  nx_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(bounds_.width() / bucket_)));
+  ny_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(bounds_.height() / bucket_)));
+  cells_.resize(nx_ * ny_);
+  for (std::uint32_t i = 0; i < aps_.size(); ++i)
+    cells_[cell_of(aps_[i].position)].ap_indices.push_back(i);
+}
+
+std::size_t ApIndex::cell_of(geo::Point p) const {
+  const auto clamp_idx = [](double v, std::size_t n) {
+    if (v < 0.0) return std::size_t{0};
+    const auto i = static_cast<std::size_t>(v);
+    return std::min(i, n - 1);
+  };
+  const std::size_t cx = clamp_idx((p.x - bounds_.min().x) / bucket_, nx_);
+  const std::size_t cy = clamp_idx((p.y - bounds_.min().y) / bucket_, ny_);
+  return cy * nx_ + cx;
+}
+
+void ApIndex::query(geo::Point x, double radius,
+                    std::vector<const rf::AccessPoint*>& out) const {
+  WILOC_EXPECTS(radius >= 0.0);
+  out.clear();
+  const double r2 = radius * radius;
+  const auto span = static_cast<std::ptrdiff_t>(radius / bucket_) + 1;
+  const auto cx = static_cast<std::ptrdiff_t>(
+      (x.x - bounds_.min().x) / bucket_);
+  const auto cy = static_cast<std::ptrdiff_t>(
+      (x.y - bounds_.min().y) / bucket_);
+  for (std::ptrdiff_t dy = -span; dy <= span; ++dy) {
+    const std::ptrdiff_t yy = cy + dy;
+    if (yy < 0 || yy >= static_cast<std::ptrdiff_t>(ny_)) continue;
+    for (std::ptrdiff_t dx = -span; dx <= span; ++dx) {
+      const std::ptrdiff_t xx = cx + dx;
+      if (xx < 0 || xx >= static_cast<std::ptrdiff_t>(nx_)) continue;
+      const Cell& cell =
+          cells_[static_cast<std::size_t>(yy) * nx_ +
+                 static_cast<std::size_t>(xx)];
+      for (const std::uint32_t i : cell.ap_indices) {
+        if (geo::distance2(aps_[i].position, x) <= r2)
+          out.push_back(&aps_[i]);
+      }
+    }
+  }
+}
+
+double ApIndex::hearing_radius(const std::vector<rf::AccessPoint>& aps,
+                               const rf::LogDistanceModel& model,
+                               double floor_dbm) {
+  double radius = 1.0;
+  const double slack = model.params().shadowing_sigma_db + 1.0;
+  for (const auto& ap : aps) {
+    // Solve P0 - 10 n log10(d/d0) = floor - slack for d.
+    const double exponent =
+        (ap.tx_power_dbm - (floor_dbm - slack)) /
+        (10.0 * ap.path_loss_exponent);
+    const double d =
+        model.params().reference_distance_m * std::pow(10.0, exponent);
+    radius = std::max(radius, d);
+  }
+  return radius;
+}
+
+}  // namespace wiloc::svd

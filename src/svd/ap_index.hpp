@@ -1,0 +1,54 @@
+// Spatial bucketing of APs.
+//
+// SVD construction evaluates the expected RSS field at millions of grid
+// samples; only APs within radio range of a sample can influence its
+// ranking, so a uniform bucket grid turns the O(#APs) inner loop into a
+// near-constant one.
+#pragma once
+
+#include <vector>
+
+#include "geo/geometry.hpp"
+#include "rf/access_point.hpp"
+#include "rf/propagation.hpp"
+
+namespace wiloc::svd {
+
+/// Uniform-grid index over a fixed AP set (non-owning copies of the AP
+/// records are stored by value; the index is immutable after build).
+class ApIndex {
+ public:
+  /// Buckets the APs with the given bucket size (m). Requires > 0.
+  ApIndex(std::vector<rf::AccessPoint> aps, double bucket_size_m = 64.0);
+
+  std::size_t count() const { return aps_.size(); }
+  const std::vector<rf::AccessPoint>& aps() const { return aps_; }
+
+  /// APs within `radius` of x (by position; candidates may be slightly
+  /// farther than radius are filtered exactly).
+  void query(geo::Point x, double radius,
+             std::vector<const rf::AccessPoint*>& out) const;
+
+  /// The radio range (m) beyond which an AP's *expected* RSS under the
+  /// model is below `floor_dbm`: the largest such range over all APs,
+  /// padded by the model's shadowing amplitude. Use as the query radius.
+  static double hearing_radius(const std::vector<rf::AccessPoint>& aps,
+                               const rf::LogDistanceModel& model,
+                               double floor_dbm);
+
+ private:
+  struct Cell {
+    std::vector<std::uint32_t> ap_indices;
+  };
+
+  std::size_t cell_of(geo::Point p) const;
+
+  std::vector<rf::AccessPoint> aps_;
+  geo::Aabb bounds_;
+  double bucket_;
+  std::size_t nx_ = 1;
+  std::size_t ny_ = 1;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace wiloc::svd

@@ -1,0 +1,122 @@
+// The Signal Voronoi Diagram (paper Definitions 1 & 2), computed on a
+// raster.
+//
+// Because transmit powers, path-loss exponents and shadowing differ per
+// AP, Signal Voronoi Edges are not straight lines and the diagram cannot
+// be built with classic computational-geometry Voronoi algorithms (the
+// Euclidean VD is the special case of identical APs — paper Section
+// III-A). We therefore rasterize the *expected* RSS field: each grid cell
+// gets the ordered top-k AP signature of its center, and cells with equal
+// signatures aggregate into regions (k-order Signal Tiles).
+//
+// Region adjacency carries shared-boundary lengths, which the Tile
+// Mapping fallback uses ("the neighboring ST with the longest tile
+// boundary", Section III-B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "svd/ap_index.hpp"
+#include "svd/signature.hpp"
+
+namespace wiloc::svd {
+
+/// Raster domain and resolution of the diagram.
+struct GridSpec {
+  geo::Aabb domain;
+  double resolution_m = 2.0;
+};
+
+/// Construction knobs.
+struct SvdGridParams {
+  std::size_t order = 2;     ///< signature length: 1 = Signal Cells,
+                             ///< 2 = the paper's Signal Tiles, k = k-order
+  double floor_dbm = -95.0;  ///< APs with expected RSS below this are
+                             ///< not part of a point's ranking
+};
+
+/// The rasterized k-order Signal Voronoi Diagram.
+class SvdGrid {
+ public:
+  using RegionIndex = std::uint32_t;
+
+  /// An adjacent region and the length of the shared tile boundary.
+  struct NeighborLink {
+    RegionIndex region;
+    double boundary_length;
+  };
+
+  /// A maximal connected-by-signature set of grid cells: a k-order
+  /// Signal Tile (or a Signal Cell when order == 1). The region with an
+  /// empty signature is radio-dead space.
+  struct Region {
+    RankSignature signature;
+    double area = 0.0;          ///< m^2
+    geo::Point centroid{};      ///< mean of member cell centers
+    std::vector<NeighborLink> neighbors;  ///< sorted by boundary desc
+  };
+
+  /// Builds the diagram. `model` must outlive the grid. Requires a
+  /// non-empty domain, positive resolution and order >= 1.
+  SvdGrid(std::vector<rf::AccessPoint> aps,
+          const rf::LogDistanceModel& model, GridSpec spec,
+          SvdGridParams params = {});
+
+  const GridSpec& spec() const { return spec_; }
+  std::size_t order() const { return params_.order; }
+  std::size_t cols() const { return nx_; }
+  std::size_t rows() const { return ny_; }
+
+  std::size_t region_count() const { return regions_.size(); }
+  const Region& region(RegionIndex i) const;
+  const std::vector<Region>& regions() const { return regions_; }
+
+  /// Region with exactly this signature, if present in the diagram.
+  std::optional<RegionIndex> region_of(const RankSignature& sig) const;
+
+  /// Region containing the point. Requires the point inside the domain.
+  RegionIndex region_at(geo::Point p) const;
+
+  /// Signature of the region containing the point.
+  const RankSignature& signature_at(geo::Point p) const;
+
+  /// Whether the given AP participated in the diagram's construction.
+  bool knows_ap(rf::ApId ap) const;
+
+  /// Total area of the Signal Cell SC(ap): all regions whose strongest
+  /// AP is `ap`. Zero when the AP dominates nowhere.
+  double cell_area(rf::ApId ap) const;
+
+  /// Grid vertices where three or more *Signal Cells* (first-order)
+  /// meet: the joint points of Definition 1.
+  std::vector<geo::Point> joint_points() const;
+
+  /// Grid vertices where three or more k-order regions meet: the
+  /// bisector joints of Definition 2.
+  std::vector<geo::Point> bisector_joints() const;
+
+  /// Sum of region areas (== domain area; partition check for tests).
+  double total_area() const;
+
+ private:
+  std::size_t cell_index(std::size_t cx, std::size_t cy) const {
+    return cy * nx_ + cx;
+  }
+  geo::Point cell_center(std::size_t cx, std::size_t cy) const;
+  std::vector<geo::Point> meet_points(bool first_order) const;
+
+  GridSpec spec_;
+  SvdGridParams params_;
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  std::vector<RegionIndex> cell_region_;  // nx*ny, row-major
+  std::vector<Region> regions_;
+  std::unordered_map<RankSignature, RegionIndex, RankSignatureHash>
+      by_signature_;
+  std::vector<bool> known_aps_;  // indexed by ApId
+};
+
+}  // namespace wiloc::svd

@@ -1,0 +1,56 @@
+#include "svd/positioning_index.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::svd {
+
+std::vector<std::vector<rf::ApId>> expand_tied_rankings(
+    const rf::WifiScan& scan, std::size_t depth, std::size_t max_rankings) {
+  WILOC_EXPECTS(max_rankings >= 1);
+  std::vector<std::vector<rf::ApId>> rankings;
+  rankings.emplace_back();  // start with one empty ranking
+
+  const auto& readings = scan.readings;
+  std::size_t i = 0;
+  while (i < readings.size()) {
+    // Find the tie group [i, j) of equal quantized RSSI.
+    std::size_t j = i + 1;
+    while (j < readings.size() &&
+           readings[j].rssi_dbm == readings[i].rssi_dbm)
+      ++j;
+    std::vector<rf::ApId> group;
+    group.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) group.push_back(readings[k].ap);
+
+    const bool expand =
+        i < depth && group.size() > 1 &&
+        rankings.size() * group.size() <= max_rankings;
+    if (expand) {
+      // Branch on every rotation of the group (full permutations explode
+      // factorially; rotations cover each member appearing first, which
+      // is what matters for tile selection).
+      std::vector<std::vector<rf::ApId>> next;
+      next.reserve(rankings.size() * group.size());
+      for (const auto& base : rankings) {
+        for (std::size_t rot = 0; rot < group.size(); ++rot) {
+          auto extended = base;
+          for (std::size_t k = 0; k < group.size(); ++k)
+            extended.push_back(group[(rot + k) % group.size()]);
+          next.push_back(std::move(extended));
+        }
+      }
+      rankings = std::move(next);
+    } else {
+      for (auto& base : rankings)
+        base.insert(base.end(), group.begin(), group.end());
+    }
+    i = j;
+  }
+
+  if (rankings.size() == 1 && rankings.front().empty()) return {};
+  return rankings;
+}
+
+}  // namespace wiloc::svd

@@ -1,0 +1,46 @@
+// Common interface of the two SVD positioning backends.
+//
+// Both the paper-faithful planar pipeline (SvdGrid + TileMapper) and the
+// route-restricted fast path (RouteSvd) answer the same question: given
+// the ranked AP list of one scan, where along the route is the bus? They
+// return *candidates* because a rank signature can recur along a long
+// corridor; the mobility filter in core disambiguates.
+#pragma once
+
+#include <vector>
+
+#include "rf/scan.hpp"
+
+namespace wiloc::svd {
+
+/// One possible bus position for a scan.
+struct Candidate {
+  double route_offset;  ///< meters from the route start
+  double score;         ///< match quality in [0, 1]; 1 = exact signature
+};
+
+/// A positioning backend bound to one bus route.
+class PositioningIndex {
+ public:
+  virtual ~PositioningIndex() = default;
+
+  /// Candidates for an observed ranking (strongest AP first), sorted by
+  /// descending score. Empty when nothing matches at all (e.g. an empty
+  /// scan).
+  virtual std::vector<Candidate> locate(
+      const std::vector<rf::ApId>& observed) const = 0;
+
+  /// Length of the route this index covers.
+  virtual double route_length() const = 0;
+};
+
+/// Expands a scan whose top readings contain *ties* (equal quantized RSS)
+/// into the distinct rankings consistent with the readings, up to
+/// `max_rankings` (the paper treats equal ranks as boundary points —
+/// Section III-B; averaging the candidates of the tied rankings lands the
+/// estimate on the tile boundary). Ties below `depth` ranks are ignored.
+std::vector<std::vector<rf::ApId>> expand_tied_rankings(
+    const rf::WifiScan& scan, std::size_t depth = 3,
+    std::size_t max_rankings = 6);
+
+}  // namespace wiloc::svd

@@ -1,0 +1,133 @@
+#include "svd/route_svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::svd {
+
+RouteSvd::RouteSvd(const roadnet::BusRoute& route,
+                   std::vector<rf::AccessPoint> aps,
+                   const rf::LogDistanceModel& model, RouteSvdParams params)
+    : params_(params), length_(route.length()) {
+  WILOC_EXPECTS(params_.order >= 1);
+  WILOC_EXPECTS(params_.sample_step_m > 0.0);
+  WILOC_EXPECTS(params_.max_candidates >= 1);
+
+  std::uint32_t max_ap = 0;
+  for (const auto& ap : aps) max_ap = std::max(max_ap, ap.id.value());
+  known_aps_.assign(aps.empty() ? 0 : max_ap + 1, false);
+  for (const auto& ap : aps) known_aps_[ap.id.value()] = true;
+
+  const double radius =
+      ApIndex::hearing_radius(aps, model, params_.floor_dbm);
+  const ApIndex index(std::move(aps));
+
+  std::vector<const rf::AccessPoint*> scratch;
+  std::vector<std::pair<double, rf::ApId>> audible;
+
+  const auto signature_of = [&](double offset) {
+    const geo::Point x = route.point_at(offset);
+    index.query(x, radius, scratch);
+    audible.clear();
+    for (const rf::AccessPoint* ap : scratch) {
+      const double rss = model.mean_rss(*ap, x);
+      if (rss >= params_.floor_dbm) audible.emplace_back(rss, ap->id);
+    }
+    std::sort(audible.begin(), audible.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    std::vector<rf::ApId> ranked;
+    ranked.reserve(std::min(params_.order, audible.size()));
+    for (std::size_t i = 0; i < audible.size() && i < params_.order; ++i)
+      ranked.push_back(audible[i].second);
+    return RankSignature(std::move(ranked));
+  };
+
+  const auto steps = static_cast<std::size_t>(
+      std::ceil(length_ / params_.sample_step_m));
+  RankSignature current = signature_of(0.0);
+  double run_begin = 0.0;
+  for (std::size_t i = 1; i <= steps; ++i) {
+    const double offset =
+        length_ * static_cast<double>(i) / static_cast<double>(steps);
+    RankSignature sig = signature_of(offset);
+    if (!(sig == current)) {
+      intervals_.push_back({std::move(current), run_begin, offset});
+      current = std::move(sig);
+      run_begin = offset;
+    }
+  }
+  intervals_.push_back({std::move(current), run_begin, length_});
+
+  for (std::uint32_t i = 0; i < intervals_.size(); ++i)
+    by_signature_[intervals_[i].signature].push_back(i);
+}
+
+const RankSignature& RouteSvd::signature_at(double route_offset) const {
+  route_offset = std::clamp(route_offset, 0.0, length_);
+  // Intervals are sorted by begin; binary search the containing one.
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), route_offset,
+      [](double v, const Interval& iv) { return v < iv.begin; });
+  const std::size_t idx =
+      it == intervals_.begin()
+          ? 0
+          : static_cast<std::size_t>(it - intervals_.begin()) - 1;
+  return intervals_[idx].signature;
+}
+
+double RouteSvd::mean_interval_length() const {
+  if (intervals_.empty()) return 0.0;
+  return length_ / static_cast<double>(intervals_.size());
+}
+
+bool RouteSvd::knows_ap(rf::ApId ap) const {
+  return ap.index() < known_aps_.size() && known_aps_[ap.index()];
+}
+
+std::vector<Candidate> RouteSvd::locate(
+    const std::vector<rf::ApId>& observed) const {
+  // Restrict the observation to APs the diagram was built from; unknown
+  // (newly appeared) APs cannot be matched and only distort the ranking.
+  std::vector<rf::ApId> filtered;
+  filtered.reserve(observed.size());
+  for (const rf::ApId ap : observed)
+    if (knows_ap(ap)) filtered.push_back(ap);
+  if (filtered.empty()) return {};
+
+  std::vector<Candidate> out;
+
+  // Fast path: the observed top-k is a signature we have verbatim.
+  const RankSignature key = RankSignature::top_k(filtered, params_.order);
+  if (const auto it = by_signature_.find(key); it != by_signature_.end()) {
+    for (const std::uint32_t idx : it->second)
+      out.push_back({intervals_[idx].mid(), 1.0});
+    if (out.size() > params_.max_candidates)
+      out.resize(params_.max_candidates);
+    return out;
+  }
+
+  // Degraded path (noise flipped a rank, or an AP died): score every
+  // interval's signature against the full observed ranking.
+  std::vector<std::pair<double, std::uint32_t>> scored;
+  scored.reserve(intervals_.size());
+  for (std::uint32_t i = 0; i < intervals_.size(); ++i) {
+    const double s = rank_consistency(filtered, intervals_[i].signature);
+    if (s >= params_.min_fallback_score) scored.emplace_back(s, i);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  const std::size_t take = std::min(params_.max_candidates, scored.size());
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i)
+    out.push_back({intervals_[scored[i].second].mid(), scored[i].first});
+  return out;
+}
+
+}  // namespace wiloc::svd

@@ -1,0 +1,77 @@
+// Route-restricted Signal Voronoi Diagram.
+//
+// The mobility constraint (Definition 4: a bus follows its route) means
+// positioning only ever needs the SVD *along the route polyline*. RouteSvd
+// samples the route at a fine arc-length step, computes the k-order rank
+// signature of each sample from the expected RSS field, and coalesces
+// equal-signature runs into intervals: the road sub-segments e_ij of
+// Definition 5, computed directly. Locating a scan is then a hash lookup
+// (exact signature) or a consistency-scored scan over intervals (noisy /
+// degraded signature, e.g. after an AP dies).
+#pragma once
+
+#include <unordered_map>
+
+#include "roadnet/route.hpp"
+#include "svd/ap_index.hpp"
+#include "svd/positioning_index.hpp"
+#include "svd/signature.hpp"
+
+namespace wiloc::svd {
+
+struct RouteSvdParams {
+  std::size_t order = 2;      ///< signature length (Fig. 9b sweeps this)
+  double sample_step_m = 1.0; ///< route sampling resolution
+  double floor_dbm = -95.0;   ///< audibility floor for the mean field
+  std::size_t max_candidates = 8;   ///< cap on returned candidates
+  double min_fallback_score = 0.15; ///< scored matches below this are noise
+};
+
+/// The per-route positioning structure.
+class RouteSvd final : public PositioningIndex {
+ public:
+  /// A maximal run of route offsets sharing one signature.
+  struct Interval {
+    RankSignature signature;
+    double begin;  ///< route offset, inclusive
+    double end;    ///< route offset, exclusive (== next begin)
+    double mid() const { return (begin + end) / 2.0; }
+    double length() const { return end - begin; }
+  };
+
+  /// Builds the index. `model` is only used during construction.
+  RouteSvd(const roadnet::BusRoute& route,
+           std::vector<rf::AccessPoint> aps,
+           const rf::LogDistanceModel& model, RouteSvdParams params = {});
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  std::size_t order() const { return params_.order; }
+
+  /// Signature governing the given route offset (clamped).
+  const RankSignature& signature_at(double route_offset) const;
+
+  /// Distinct signatures present along the route.
+  std::size_t distinct_signature_count() const { return by_signature_.size(); }
+
+  /// Mean interval length (m): the resolution positioning can achieve.
+  double mean_interval_length() const;
+
+  std::vector<Candidate> locate(
+      const std::vector<rf::ApId>& observed) const override;
+
+  double route_length() const override { return length_; }
+
+  /// Whether the AP participated in construction.
+  bool knows_ap(rf::ApId ap) const;
+
+ private:
+  RouteSvdParams params_;
+  double length_ = 0.0;
+  std::vector<Interval> intervals_;
+  std::unordered_map<RankSignature, std::vector<std::uint32_t>,
+                     RankSignatureHash>
+      by_signature_;
+  std::vector<bool> known_aps_;
+};
+
+}  // namespace wiloc::svd

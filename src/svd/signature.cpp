@@ -1,0 +1,106 @@
+#include "svd/signature.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::svd {
+
+RankSignature::RankSignature(std::vector<rf::ApId> ranked)
+    : aps_(std::move(ranked)) {
+  for (std::size_t i = 0; i < aps_.size(); ++i)
+    for (std::size_t j = i + 1; j < aps_.size(); ++j)
+      WILOC_EXPECTS(aps_[i] != aps_[j]);
+}
+
+RankSignature RankSignature::top_k(const std::vector<rf::ApId>& ranked,
+                                   std::size_t k) {
+  std::vector<rf::ApId> head(
+      ranked.begin(),
+      ranked.begin() +
+          static_cast<std::ptrdiff_t>(std::min(k, ranked.size())));
+  return RankSignature(std::move(head));
+}
+
+rf::ApId RankSignature::strongest() const {
+  WILOC_EXPECTS(!aps_.empty());
+  return aps_.front();
+}
+
+rf::ApId RankSignature::at(std::size_t i) const {
+  WILOC_EXPECTS(i < aps_.size());
+  return aps_[i];
+}
+
+RankSignature RankSignature::prefix(std::size_t k) const {
+  return top_k(aps_, k);
+}
+
+bool RankSignature::has_prefix(const RankSignature& other) const {
+  if (other.aps_.size() > aps_.size()) return false;
+  return std::equal(other.aps_.begin(), other.aps_.end(), aps_.begin());
+}
+
+std::string RankSignature::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < aps_.size(); ++i) {
+    if (i > 0) out += '>';
+    out += std::to_string(aps_[i].value());
+  }
+  return out.empty() ? "()" : out;
+}
+
+std::size_t RankSignature::hash() const {
+  std::size_t h = 0xcbf29ce484222325ULL;
+  for (const rf::ApId ap : aps_) {
+    h ^= ap.value();
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+double rank_consistency(const std::vector<rf::ApId>& observed,
+                        const RankSignature& signature) {
+  if (signature.empty() || observed.empty()) return 0.0;
+
+  // Position of each signature AP in the observed ranking (-1 = unheard).
+  std::vector<std::ptrdiff_t> obs_pos(signature.order(), -1);
+  for (std::size_t i = 0; i < signature.order(); ++i) {
+    const auto it =
+        std::find(observed.begin(), observed.end(), signature.at(i));
+    if (it != observed.end()) obs_pos[i] = it - observed.begin();
+  }
+
+  std::size_t heard = 0;
+  for (const auto p : obs_pos)
+    if (p >= 0) ++heard;
+  if (heard == 0) return 0.0;
+
+  const double coverage =
+      static_cast<double>(heard) / static_cast<double>(signature.order());
+
+  // Pairwise order agreement over the heard APs.
+  std::size_t pairs = 0;
+  std::size_t concordant = 0;
+  for (std::size_t i = 0; i < obs_pos.size(); ++i) {
+    if (obs_pos[i] < 0) continue;
+    for (std::size_t j = i + 1; j < obs_pos.size(); ++j) {
+      if (obs_pos[j] < 0) continue;
+      ++pairs;
+      if (obs_pos[i] < obs_pos[j]) ++concordant;
+    }
+  }
+  const double agreement =
+      pairs == 0 ? 1.0
+                 : static_cast<double>(concordant) /
+                       static_cast<double>(pairs);
+
+  const double top_match =
+      (signature.strongest() == observed.front()) ? 1.0 : 0.0;
+
+  // Weights chosen so that exact matches score 1.0 and a completely
+  // reversed or unheard signature scores near 0.
+  return 0.45 * coverage + 0.40 * coverage * agreement + 0.15 * top_match;
+}
+
+}  // namespace wiloc::svd

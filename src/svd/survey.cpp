@@ -1,0 +1,146 @@
+#include "svd/survey.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::svd {
+
+SurveyBuilder::SurveyBuilder(const roadnet::BusRoute& route,
+                             SurveyParams params)
+    : route_(&route), params_(params) {
+  WILOC_EXPECTS(params_.bin_m > 0.0);
+  WILOC_EXPECTS(params_.order >= 1);
+  WILOC_EXPECTS(params_.min_samples >= 1);
+  const auto count = static_cast<std::size_t>(
+      std::ceil(route.length() / params_.bin_m));
+  bins_.resize(std::max<std::size_t>(count, 1));
+}
+
+void SurveyBuilder::add_scan(double route_offset, const rf::WifiScan& scan) {
+  if (scan.empty()) return;
+  route_offset = std::clamp(route_offset, 0.0, route_->length());
+  auto bin = static_cast<std::size_t>(route_offset / params_.bin_m);
+  bin = std::min(bin, bins_.size() - 1);
+  BinStats& stats = bins_[bin];
+  ++stats.samples;
+  ++scans_;
+  for (const rf::ApReading& reading : scan.readings) {
+    auto& slot = stats.rss[reading.ap];
+    slot.first += reading.rssi_dbm;
+    slot.second += 1;
+  }
+}
+
+RankSignature SurveyBuilder::bin_signature(std::size_t bin) const {
+  WILOC_EXPECTS(bin < bins_.size());
+  const BinStats& stats = bins_[bin];
+  if (stats.samples < params_.min_samples) return {};
+  std::vector<std::pair<double, rf::ApId>> averaged;
+  averaged.reserve(stats.rss.size());
+  for (const auto& [ap, sum_count] : stats.rss) {
+    if (sum_count.second < params_.min_ap_samples) continue;
+    averaged.emplace_back(
+        sum_count.first / static_cast<double>(sum_count.second), ap);
+  }
+  std::sort(averaged.begin(), averaged.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::vector<rf::ApId> ranked;
+  for (std::size_t i = 0; i < averaged.size() && i < params_.order; ++i)
+    ranked.push_back(averaged[i].second);
+  return RankSignature(std::move(ranked));
+}
+
+std::size_t SurveyBuilder::covered_bins() const {
+  std::size_t covered = 0;
+  for (std::size_t b = 0; b < bins_.size(); ++b)
+    if (!bin_signature(b).empty()) ++covered;
+  return covered;
+}
+
+std::unique_ptr<PositioningIndex> SurveyBuilder::build() const {
+  // Per-bin signatures with forward fill over under-sampled gaps.
+  std::vector<RankSignature> per_bin(bins_.size());
+  RankSignature last;
+  bool any = false;
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    RankSignature sig = bin_signature(b);
+    if (sig.empty()) {
+      sig = last;  // forward fill (may still be empty before first data)
+    } else {
+      last = sig;
+      any = true;
+    }
+    per_bin[b] = std::move(sig);
+  }
+  if (!any)
+    throw StateError("SurveyBuilder: no bin has enough samples to build");
+  // Backward fill the leading gap.
+  for (std::size_t b = bins_.size(); b-- > 0;) {
+    if (per_bin[b].empty() && b + 1 < bins_.size())
+      per_bin[b] = per_bin[b + 1];
+  }
+
+  // Coalesce equal-signature runs into intervals.
+  std::vector<SurveyIndex::Interval> intervals;
+  const double length = route_->length();
+  double run_begin = 0.0;
+  for (std::size_t b = 1; b < per_bin.size(); ++b) {
+    if (!(per_bin[b] == per_bin[b - 1])) {
+      const double boundary =
+          std::min(length, static_cast<double>(b) * params_.bin_m);
+      intervals.push_back({per_bin[b - 1], run_begin, boundary});
+      run_begin = boundary;
+    }
+  }
+  intervals.push_back({per_bin.back(), run_begin, length});
+  return std::make_unique<SurveyIndex>(length, std::move(intervals),
+                                       params_);
+}
+
+SurveyIndex::SurveyIndex(double route_length,
+                         std::vector<Interval> intervals,
+                         SurveyParams params)
+    : length_(route_length),
+      params_(params),
+      intervals_(std::move(intervals)) {
+  WILOC_EXPECTS(!intervals_.empty());
+  for (std::uint32_t i = 0; i < intervals_.size(); ++i)
+    by_signature_[intervals_[i].signature].push_back(i);
+}
+
+std::vector<Candidate> SurveyIndex::locate(
+    const std::vector<rf::ApId>& observed) const {
+  if (observed.empty()) return {};
+  std::vector<Candidate> out;
+
+  const RankSignature key = RankSignature::top_k(observed, params_.order);
+  if (const auto it = by_signature_.find(key); it != by_signature_.end()) {
+    for (const std::uint32_t idx : it->second)
+      out.push_back({intervals_[idx].mid(), 1.0});
+    if (out.size() > params_.max_candidates)
+      out.resize(params_.max_candidates);
+    return out;
+  }
+
+  std::vector<std::pair<double, std::uint32_t>> scored;
+  for (std::uint32_t i = 0; i < intervals_.size(); ++i) {
+    const double s = rank_consistency(observed, intervals_[i].signature);
+    if (s >= params_.min_fallback_score) scored.emplace_back(s, i);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  const std::size_t take = std::min<std::size_t>(params_.max_candidates,
+                                                 scored.size());
+  for (std::size_t i = 0; i < take; ++i)
+    out.push_back({intervals_[scored[i].second].mid(), scored[i].first});
+  return out;
+}
+
+}  // namespace wiloc::svd

@@ -1,0 +1,102 @@
+// Crowd-sourced SVD construction.
+//
+// The deployed system cannot query a propagation model's mean field —
+// it observes the world only through rider scans. The paper's insight is
+// that "the average RSS rank from an AP sensed by multiple devices
+// remains relatively stable": accumulating many position-labelled scans
+// per stretch of road and ranking the *average* RSS recovers the same
+// tile structure the model-based builder computes analytically.
+//
+// SurveyBuilder bins scans by route offset (labels come from tracking,
+// GPS seeding, or schedule interpolation), averages RSS per (bin, AP),
+// and emits a RouteSvd-compatible interval structure. Tests verify the
+// crowd-built diagram converges to the model-built one.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "roadnet/route.hpp"
+#include "svd/positioning_index.hpp"
+#include "svd/signature.hpp"
+
+namespace wiloc::svd {
+
+struct SurveyParams {
+  double bin_m = 10.0;              ///< route-offset bin width
+  std::size_t order = 2;            ///< signature order of the diagram
+  std::size_t min_samples = 2;      ///< bins with fewer scans are skipped
+  std::size_t min_ap_samples = 2;   ///< AP readings needed per bin
+  std::size_t max_candidates = 8;
+  double min_fallback_score = 0.15;
+};
+
+/// Accumulates position-labelled scans and builds a survey-based
+/// positioning index.
+class SurveyBuilder {
+ public:
+  /// `route` must outlive the builder and the built index.
+  SurveyBuilder(const roadnet::BusRoute& route, SurveyParams params = {});
+
+  /// Adds one scan labelled with the route offset where it was taken
+  /// (clamped into [0, route length]).
+  void add_scan(double route_offset, const rf::WifiScan& scan);
+
+  std::size_t scan_count() const { return scans_; }
+
+  /// Bins with enough samples to contribute a signature.
+  std::size_t covered_bins() const;
+  std::size_t total_bins() const { return bins_.size(); }
+
+  /// Average-rank signature of a bin (empty when under-sampled).
+  RankSignature bin_signature(std::size_t bin) const;
+
+  /// Builds the index from the accumulated scans. Under-sampled bins
+  /// inherit the previous covered bin's signature (a bus sweeps the
+  /// route continuously, so gaps are short). Requires at least one
+  /// covered bin.
+  std::unique_ptr<PositioningIndex> build() const;
+
+ private:
+  struct BinStats {
+    // Per-AP accumulated RSS over the scans that heard it.
+    std::unordered_map<rf::ApId, std::pair<double, std::size_t>> rss;
+    std::size_t samples = 0;
+  };
+
+  const roadnet::BusRoute* route_;
+  SurveyParams params_;
+  std::vector<BinStats> bins_;
+  std::size_t scans_ = 0;
+};
+
+/// The index built by SurveyBuilder: same interval/locate semantics as
+/// RouteSvd, but sourced from crowd data.
+class SurveyIndex final : public PositioningIndex {
+ public:
+  struct Interval {
+    RankSignature signature;
+    double begin;
+    double end;
+    double mid() const { return (begin + end) / 2.0; }
+  };
+
+  SurveyIndex(double route_length, std::vector<Interval> intervals,
+              SurveyParams params);
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  std::vector<Candidate> locate(
+      const std::vector<rf::ApId>& observed) const override;
+  double route_length() const override { return length_; }
+
+ private:
+  double length_;
+  SurveyParams params_;
+  std::vector<Interval> intervals_;
+  std::unordered_map<RankSignature, std::vector<std::uint32_t>,
+                     RankSignatureHash>
+      by_signature_;
+};
+
+}  // namespace wiloc::svd

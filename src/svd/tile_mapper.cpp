@@ -1,0 +1,187 @@
+#include "svd/tile_mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::svd {
+
+TileMapper::TileMapper(const SvdGrid& grid, const roadnet::BusRoute& route,
+                       TileMapperParams params)
+    : grid_(&grid), route_(&route), params_(params) {
+  WILOC_EXPECTS(params_.sample_step_m > 0.0);
+  WILOC_EXPECTS(params_.max_candidates >= 1);
+
+  runs_.resize(grid.region_count());
+  target_.resize(grid.region_count());
+
+  // Attribute fine route samples to regions and coalesce runs.
+  const double length = route.length();
+  const auto steps = static_cast<std::size_t>(
+      std::ceil(length / params_.sample_step_m));
+  std::optional<SvdGrid::RegionIndex> current;
+  double run_begin = 0.0;
+  const auto region_of_offset =
+      [&](double offset) -> std::optional<SvdGrid::RegionIndex> {
+    const geo::Point p = route.point_at(offset);
+    if (!grid.spec().domain.contains(p)) return std::nullopt;
+    return grid.region_at(p);
+  };
+  const auto close_run = [&](double end_offset) {
+    if (current.has_value() && end_offset > run_begin)
+      runs_[*current].push_back({run_begin, end_offset});
+  };
+  for (std::size_t i = 0; i <= steps; ++i) {
+    const double offset =
+        length * static_cast<double>(i) / static_cast<double>(steps);
+    const auto region = region_of_offset(offset);
+    if (region != current) {
+      // Runs abut at the transition sample so they tile the route.
+      close_run(offset);
+      current = region;
+      run_begin = offset;
+    }
+  }
+  close_run(length);
+
+  // Fallback targets: a region maps to itself when it has runs; otherwise
+  // walk neighbours in longest-boundary-first order (BFS whose frontier
+  // is expanded best-first) until a run-bearing region appears.
+  for (SvdGrid::RegionIndex r = 0;
+       r < static_cast<SvdGrid::RegionIndex>(grid.region_count()); ++r) {
+    if (!runs_[r].empty()) {
+      target_[r] = r;
+      continue;
+    }
+    // Priority queue over (accumulated boundary, region); larger
+    // boundaries explored first, hop-limited.
+    struct Item {
+      double boundary;
+      std::size_t hops;
+      SvdGrid::RegionIndex region;
+    };
+    const auto cmp = [](const Item& a, const Item& b) {
+      return a.boundary < b.boundary;
+    };
+    std::priority_queue<Item, std::vector<Item>, decltype(cmp)> frontier(cmp);
+    std::vector<bool> visited(grid.region_count(), false);
+    visited[r] = true;
+    for (const auto& link : grid.region(r).neighbors)
+      frontier.push({link.boundary_length, 1, link.region});
+    while (!frontier.empty()) {
+      const Item item = frontier.top();
+      frontier.pop();
+      if (visited[item.region]) continue;
+      visited[item.region] = true;
+      if (!runs_[item.region].empty()) {
+        target_[r] = item.region;
+        break;
+      }
+      if (item.hops >= params_.max_fallback_hops) continue;
+      for (const auto& link : grid.region(item.region).neighbors) {
+        if (!visited[link.region])
+          frontier.push({link.boundary_length, item.hops + 1, link.region});
+      }
+    }
+  }
+}
+
+const std::vector<TileMapper::Run>& TileMapper::runs_of(
+    SvdGrid::RegionIndex region) const {
+  WILOC_EXPECTS(region < runs_.size());
+  return runs_[region];
+}
+
+std::optional<SvdGrid::RegionIndex> TileMapper::mapping_target(
+    SvdGrid::RegionIndex region) const {
+  WILOC_EXPECTS(region < target_.size());
+  return target_[region];
+}
+
+std::size_t TileMapper::mapped_region_count() const {
+  std::size_t n = 0;
+  for (const auto& runs : runs_)
+    if (!runs.empty()) ++n;
+  return n;
+}
+
+double TileMapper::project_centroid(geo::Point centroid,
+                                    SvdGrid::RegionIndex target) const {
+  // Route offset of the centroid's projection, clamped into the target's
+  // nearest run.
+  const auto proj = route_->project(centroid);
+  const std::vector<Run>& runs = runs_[target];
+  WILOC_EXPECTS(!runs.empty());
+  double best_offset = runs.front().begin;
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (const Run& run : runs) {
+    const double clamped = std::clamp(proj.route_offset, run.begin, run.end);
+    const double gap = std::abs(clamped - proj.route_offset);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best_offset = clamped;
+    }
+  }
+  return best_offset;
+}
+
+void TileMapper::append_candidates(SvdGrid::RegionIndex region, double score,
+                                   std::vector<Candidate>& out) const {
+  const auto target = target_[region];
+  if (!target.has_value()) return;
+  const std::vector<Run>& runs = runs_[*target];
+  if (runs.size() == 1) {
+    // Definition 5: nearest point of the tile centroid on e_ij.
+    out.push_back(
+        {project_centroid(grid_->region(region).centroid, *target), score});
+    return;
+  }
+  // A rank signature can govern several disconnected stretches of a long
+  // corridor; the centroid then lies between them and projecting it is
+  // meaningless. Emit one candidate per stretch and let the mobility
+  // constraint disambiguate.
+  for (const Run& run : runs) {
+    if (out.size() >= params_.max_candidates) break;
+    out.push_back({(run.begin + run.end) / 2.0, score});
+  }
+}
+
+std::vector<Candidate> TileMapper::locate(
+    const std::vector<rf::ApId>& observed) const {
+  std::vector<rf::ApId> filtered;
+  filtered.reserve(observed.size());
+  for (const rf::ApId ap : observed)
+    if (grid_->knows_ap(ap)) filtered.push_back(ap);
+  if (filtered.empty()) return {};
+
+  std::vector<Candidate> out;
+
+  const RankSignature key =
+      RankSignature::top_k(filtered, grid_->order());
+  if (const auto region = grid_->region_of(key); region.has_value()) {
+    append_candidates(*region, 1.0, out);
+    if (!out.empty()) return out;
+    // An exact region with no reachable road: fall through to scoring.
+  }
+
+  std::vector<std::pair<double, SvdGrid::RegionIndex>> scored;
+  for (SvdGrid::RegionIndex r = 0;
+       r < static_cast<SvdGrid::RegionIndex>(grid_->region_count()); ++r) {
+    if (!target_[r].has_value()) continue;  // unmappable dead space
+    const double s = rank_consistency(filtered, grid_->region(r).signature);
+    if (s >= params_.min_fallback_score) scored.emplace_back(s, r);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (std::size_t i = 0;
+       i < scored.size() && out.size() < params_.max_candidates; ++i) {
+    append_candidates(scored[i].second, scored[i].first, out);
+  }
+  return out;
+}
+
+}  // namespace wiloc::svd

@@ -1,0 +1,79 @@
+// Tile Mapping — paper Definition 5 plus the fallback rules of
+// Section III-B, over the planar SvdGrid.
+//
+// For every grid region (Signal Tile) that intersects the route, the
+// mapper precomputes the road sub-segments inside it. Locating a scan:
+//   1. find the tile whose signature matches the observed ranking
+//      (exact hash hit, else best consistency score);
+//   2. if the tile intersects the road, the estimate is the nearest
+//      point of the tile centroid on its sub-segment(s) — F(ST) = p_ij;
+//   3. if not (noise pushed the estimate off-road), hop to the
+//      neighbouring tile with the longest shared tile boundary until a
+//      road-intersecting tile is found, and project through it.
+#pragma once
+
+#include "roadnet/route.hpp"
+#include "svd/grid_svd.hpp"
+#include "svd/positioning_index.hpp"
+
+namespace wiloc::svd {
+
+struct TileMapperParams {
+  double sample_step_m = 1.0;        ///< route sampling resolution
+  std::size_t max_fallback_hops = 8; ///< bound on the neighbour walk
+  std::size_t max_candidates = 8;
+  double min_fallback_score = 0.15;
+};
+
+/// Binds a planar SvdGrid to one bus route. Non-owning: both the grid
+/// and the route must outlive the mapper.
+class TileMapper final : public PositioningIndex {
+ public:
+  TileMapper(const SvdGrid& grid, const roadnet::BusRoute& route,
+             TileMapperParams params = {});
+
+  /// A contiguous run of route offsets inside one region.
+  struct Run {
+    double begin;
+    double end;
+  };
+
+  /// Road sub-segments inside the region (empty when the tile does not
+  /// intersect the route).
+  const std::vector<Run>& runs_of(SvdGrid::RegionIndex region) const;
+
+  /// The region a scan from this tile would be *mapped through*: itself
+  /// when it intersects the road, else the road-intersecting region
+  /// reached by the longest-boundary neighbour walk. nullopt when the
+  /// walk found nothing within the hop budget.
+  std::optional<SvdGrid::RegionIndex> mapping_target(
+      SvdGrid::RegionIndex region) const;
+
+  /// Number of regions that intersect the route.
+  std::size_t mapped_region_count() const;
+
+  std::vector<Candidate> locate(
+      const std::vector<rf::ApId>& observed) const override;
+
+  double route_length() const override { return route_->length(); }
+
+  const SvdGrid& grid() const { return *grid_; }
+
+ private:
+  /// Definition 5: nearest point of `centroid` on the target's runs,
+  /// as a route offset.
+  double project_centroid(geo::Point centroid,
+                          SvdGrid::RegionIndex target) const;
+
+  void append_candidates(SvdGrid::RegionIndex region, double score,
+                         std::vector<Candidate>& out) const;
+
+  const SvdGrid* grid_;
+  const roadnet::BusRoute* route_;
+  TileMapperParams params_;
+  std::vector<std::vector<Run>> runs_;          // per region
+  std::vector<std::optional<SvdGrid::RegionIndex>> target_;  // per region
+  std::vector<Run> empty_;
+};
+
+}  // namespace wiloc::svd

@@ -1,0 +1,71 @@
+// Contract checking and the library-wide error hierarchy.
+//
+// Following the Core Guidelines (I.5/I.6, E.*): preconditions are stated at
+// the top of functions via WILOC_EXPECTS, postconditions via WILOC_ENSURES,
+// and failures to perform a required task are signalled with exceptions
+// derived from wiloc::Error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wiloc {
+
+/// Root of the WiLocator exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller passed an argument outside the documented domain.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A lookup (AP id, edge id, route id, ...) did not resolve.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+/// An operation was invoked on an object in the wrong state
+/// (e.g. querying a predictor before any history was loaded).
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error(what) {}
+};
+
+/// A contract (precondition/postcondition/invariant) was violated.
+/// Indicates a bug in the caller or in the library, not an environmental
+/// failure; tests assert on this type.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failed(const char* kind, const char* expr,
+                                         const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace wiloc
+
+/// Precondition check. Throws wiloc::ContractViolation when violated.
+#define WILOC_EXPECTS(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::wiloc::detail::contract_failed("precondition", #cond, __FILE__,      \
+                                       __LINE__);                            \
+  } while (false)
+
+/// Postcondition check. Throws wiloc::ContractViolation when violated.
+#define WILOC_ENSURES(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::wiloc::detail::contract_failed("postcondition", #cond, __FILE__,     \
+                                       __LINE__);                            \
+  } while (false)

@@ -1,0 +1,40 @@
+// Deterministic hashing helpers for procedural noise.
+//
+// Several simulator components (shadowing fields, daily traffic wiggle)
+// need noise that is a *pure function* of discrete coordinates + a seed,
+// so that re-evaluating at the same place/time yields the same value.
+#pragma once
+
+#include <cstdint>
+
+namespace wiloc {
+
+/// SplitMix64 finalizer: avalanching 64-bit mix.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Combines a seed with up to three coordinates into one hash.
+constexpr std::uint64_t hash_coords(std::uint64_t seed, std::uint64_t a,
+                                    std::uint64_t b = 0,
+                                    std::uint64_t c = 0) {
+  std::uint64_t h = mix64(seed ^ 0x9e3779b97f4a7c15ULL);
+  h = mix64(h ^ a * 0xff51afd7ed558ccdULL);
+  h = mix64(h ^ b * 0xc4ceb9fe1a85ec53ULL);
+  h = mix64(h ^ c * 0x2545f4914f6cdd1dULL);
+  return h;
+}
+
+/// Maps a hash to [0, 1).
+constexpr double hash_to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Maps a hash to [-1, 1).
+constexpr double hash_to_pm1(std::uint64_t h) {
+  return hash_to_unit(h) * 2.0 - 1.0;
+}
+
+}  // namespace wiloc

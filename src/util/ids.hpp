@@ -1,0 +1,55 @@
+// Strongly typed integer identifiers.
+//
+// Node/edge/route/AP ids are all small integers; distinct C++ types keep
+// them from being mixed up at call sites (Core Guidelines I.4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace wiloc {
+
+/// A type-safe wrapper around a 32-bit index. `Tag` distinguishes id
+/// families; the value is an index into the owning container.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying = std::uint32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying value) : value_(value) {}
+
+  constexpr underlying value() const { return value_; }
+  /// The id as a container index.
+  constexpr std::size_t index() const { return value_; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) {
+    return a.value_ < b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  underlying value_ = 0;
+};
+
+}  // namespace wiloc
+
+namespace std {
+template <typename Tag>
+struct hash<wiloc::StrongId<Tag>> {
+  size_t operator()(wiloc::StrongId<Tag> id) const noexcept {
+    return std::hash<typename wiloc::StrongId<Tag>::underlying>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,101 @@
+// Deterministic random number generation.
+//
+// Everything stochastic in the library (propagation noise, traffic
+// variation, AP placement jitter, ...) draws from an explicitly seeded
+// wiloc::Rng so that every experiment is reproducible bit-for-bit on any
+// platform. std::normal_distribution & friends are implementation-defined,
+// so the distributions used by the library are implemented here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace wiloc {
+
+/// xoshiro256** PRNG (Blackman & Vigna), seeded via SplitMix64.
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from `seed` by running SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state; the same seed always yields the same stream.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) {
+    WILOC_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (deterministic across platforms).
+  double normal01();
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma) {
+    WILOC_EXPECTS(sigma >= 0.0);
+    return mean + sigma * normal01();
+  }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p) {
+    WILOC_EXPECTS(p >= 0.0 && p <= 1.0);
+    return uniform01() < p;
+  }
+
+  /// Derives an independent child generator; useful to give each
+  /// subsystem its own stream that does not perturb the others.
+  Rng fork() { return Rng((*this)() ^ 0xa0761d6478bd642fULL); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace wiloc

@@ -1,0 +1,45 @@
+// Fixed-width console tables and CSV output for the bench harness.
+//
+// Every bench binary regenerates one of the paper's tables/figures as
+// rows on stdout; TablePrinter keeps that output aligned and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wiloc {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// Sets the header row; defines the column count.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows are rejected.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with the given precision.
+  static std::string num(double value, int precision = 2);
+  static std::string num(std::size_t value);
+  static std::string num(int value);
+
+  /// Renders with a separator line under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (no alignment padding).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a one-line section banner ("== title ==") used between bench
+/// sections.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace wiloc

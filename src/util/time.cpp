@@ -1,0 +1,97 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wiloc {
+
+int day_of(SimTime t) {
+  return static_cast<int>(std::floor(t / kSecondsPerDay));
+}
+
+double time_of_day(SimTime t) {
+  double tod = std::fmod(t, kSecondsPerDay);
+  if (tod < 0.0) tod += kSecondsPerDay;
+  return tod;
+}
+
+SimTime at_day_time(int day, double seconds_of_day) {
+  WILOC_EXPECTS(seconds_of_day >= 0.0 && seconds_of_day < kSecondsPerDay);
+  return static_cast<double>(day) * kSecondsPerDay + seconds_of_day;
+}
+
+double hms(int hours, int minutes, double seconds) {
+  WILOC_EXPECTS(hours >= 0 && hours <= 24);
+  WILOC_EXPECTS(minutes >= 0 && minutes < 60);
+  WILOC_EXPECTS(seconds >= 0.0 && seconds < 60.0);
+  return hours * 3600.0 + minutes * 60.0 + seconds;
+}
+
+std::string format_tod(double seconds_of_day) {
+  const int total = static_cast<int>(std::floor(seconds_of_day));
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%02d:%02d:%02d", total / 3600,
+                (total / 60) % 60, total % 60);
+  return buf;
+}
+
+std::string format_time(SimTime t) {
+  return "d" + std::to_string(day_of(t)) + " " + format_tod(time_of_day(t));
+}
+
+DaySlots DaySlots::uniform(std::size_t count) {
+  WILOC_EXPECTS(count >= 1);
+  std::vector<Slot> slots;
+  slots.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double begin =
+        kSecondsPerDay * static_cast<double>(i) / static_cast<double>(count);
+    const double end = kSecondsPerDay * static_cast<double>(i + 1) /
+                       static_cast<double>(count);
+    slots.push_back({begin, end, format_tod(begin) + "-" + format_tod(end)});
+  }
+  return DaySlots(std::move(slots));
+}
+
+DaySlots DaySlots::from_boundaries(const std::vector<double>& bounds) {
+  WILOC_EXPECTS(bounds.size() >= 2);
+  WILOC_EXPECTS(bounds.front() == 0.0);
+  WILOC_EXPECTS(bounds.back() == kSecondsPerDay);
+  std::vector<Slot> slots;
+  slots.reserve(bounds.size() - 1);
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    WILOC_EXPECTS(bounds[i] < bounds[i + 1]);
+    slots.push_back({bounds[i], bounds[i + 1],
+                     format_tod(bounds[i]) + "-" + format_tod(bounds[i + 1])});
+  }
+  return DaySlots(std::move(slots));
+}
+
+DaySlots DaySlots::paper_five_slots() {
+  return from_boundaries(
+      {0.0, hms(8), hms(10), hms(18), hms(19), kSecondsPerDay});
+}
+
+const DaySlots::Slot& DaySlots::slot(std::size_t index) const {
+  WILOC_EXPECTS(index < slots_.size());
+  return slots_[index];
+}
+
+std::size_t DaySlots::slot_of_tod(double seconds_of_day) const {
+  WILOC_EXPECTS(seconds_of_day >= 0.0 && seconds_of_day < kSecondsPerDay);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (seconds_of_day < slots_[i].end) return i;
+  }
+  return slots_.size() - 1;  // unreachable with valid slots; keeps noexcept-ish
+}
+
+std::size_t DaySlots::slot_of(SimTime t) const {
+  return slot_of_tod(time_of_day(t));
+}
+
+SimTime DaySlots::slot_end_time(SimTime t) const {
+  const std::size_t s = slot_of(t);
+  return at_day_time(day_of(t), 0.0) + slots_[s].end;
+}
+
+}  // namespace wiloc

@@ -1,0 +1,89 @@
+// Simulation time.
+//
+// All timestamps in the library are wiloc::SimTime — seconds since 00:00 of
+// simulation day 0. The arrival-time predictor reasons about time-of-day
+// slots (the paper divides a weekday into 5 slots around the two rush
+// hours), so day/time-of-day decomposition and a first-class DaySlots
+// partition live here.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace wiloc {
+
+/// Seconds since 00:00 of simulation day 0.
+using SimTime = double;
+
+/// Duration in seconds.
+using Duration = double;
+
+constexpr Duration kSecondsPerDay = 86400.0;
+
+/// Day index of a timestamp (>= 0 for non-negative timestamps).
+int day_of(SimTime t);
+
+/// Seconds since midnight of the timestamp's own day, in [0, 86400).
+double time_of_day(SimTime t);
+
+/// Builds a timestamp from a day index and seconds-since-midnight.
+SimTime at_day_time(int day, double seconds_of_day);
+
+/// Builds a seconds-since-midnight value from h:m:s.
+/// Requires 0<=h<=24, 0<=m<60, 0<=s<60.
+double hms(int hours, int minutes = 0, double seconds = 0.0);
+
+/// "d2 08:15:30"-style rendering for logs and bench output.
+std::string format_time(SimTime t);
+
+/// "08:15:30" rendering of seconds-since-midnight.
+std::string format_tod(double seconds_of_day);
+
+/// A partition of the 24-hour day into labelled, contiguous slots.
+///
+/// The predictor estimates one travel-time distribution per (segment,
+/// route, slot). Slots are produced either uniformly (L hourly slots for
+/// the seasonal-index analysis) or by merging adjacent hourly slots whose
+/// seasonal indices are similar (paper Section IV).
+class DaySlots {
+ public:
+  /// A half-open slot [begin, end) in seconds-since-midnight.
+  struct Slot {
+    double begin;
+    double end;
+    std::string label;
+  };
+
+  /// Uniform partition into `count` equal slots. Requires count >= 1.
+  static DaySlots uniform(std::size_t count);
+
+  /// Partition from explicit boundaries. `bounds` must start at 0, end at
+  /// 86400, and be strictly increasing.
+  static DaySlots from_boundaries(const std::vector<double>& bounds);
+
+  /// The paper's 5-slot weekday division: <8:00, 8:00-10:00 (AM rush),
+  /// 10:00-18:00, 18:00-19:00 (PM rush), >19:00.
+  static DaySlots paper_five_slots();
+
+  std::size_t count() const { return slots_.size(); }
+  const Slot& slot(std::size_t index) const;
+
+  /// Index of the slot containing the timestamp's time-of-day.
+  std::size_t slot_of(SimTime t) const;
+
+  /// Index of the slot containing a seconds-since-midnight value.
+  std::size_t slot_of_tod(double seconds_of_day) const;
+
+  /// The timestamp at which the slot containing `t` ends (on t's day;
+  /// the last slot ends at the following midnight).
+  SimTime slot_end_time(SimTime t) const;
+
+ private:
+  explicit DaySlots(std::vector<Slot> slots) : slots_(std::move(slots)) {}
+  std::vector<Slot> slots_;
+};
+
+}  // namespace wiloc

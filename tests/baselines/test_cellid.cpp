@@ -1,0 +1,120 @@
+#include "baselines/cellid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace wiloc::baselines {
+namespace {
+
+struct CellIdFixture {
+  std::unique_ptr<roadnet::RoadNetwork> net =
+      std::make_unique<roadnet::RoadNetwork>();
+  std::vector<roadnet::BusRoute> routes;
+  rf::TowerRegistry towers;
+
+  CellIdFixture() {
+    // 4 km straight road, towers every 1 km alternating sides.
+    const auto a = net->add_node({0, 0});
+    const auto b = net->add_node({4000, 0});
+    const auto e = net->add_straight_edge(a, b, 12.5);
+    routes.emplace_back(
+        roadnet::RouteId(0), "r", *net, std::vector<roadnet::EdgeId>{e},
+        std::vector<roadnet::Stop>{{"s0", 0.0}, {"s1", 4000.0}});
+    for (int i = 0; i < 4; ++i)
+      towers.add({500.0 + 1000.0 * i, (i % 2) ? 300.0 : -300.0});
+  }
+
+  const roadnet::BusRoute& route() const { return routes.front(); }
+};
+
+TEST(CellIdTracker, FingerprintIsOrderedIntervals) {
+  const CellIdFixture f;
+  const CellIdTracker tracker(f.route(), f.towers);
+  const auto& intervals = tracker.intervals();
+  ASSERT_GE(intervals.size(), 3u);
+  EXPECT_DOUBLE_EQ(intervals.front().begin, 0.0);
+  EXPECT_DOUBLE_EQ(intervals.back().end, 4000.0);
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(intervals[i].begin, intervals[i - 1].end);
+    EXPECT_FALSE(intervals[i].tower == intervals[i - 1].tower);
+  }
+}
+
+TEST(CellIdTracker, IntervalsAreCellSized) {
+  // The paper: cell coverage is ~800 m in cities — positions from
+  // Cell-ID are coarse. Check mean interval length is O(1 km).
+  const CellIdFixture f;
+  const CellIdTracker tracker(f.route(), f.towers);
+  const double mean =
+      4000.0 / static_cast<double>(tracker.intervals().size());
+  EXPECT_GT(mean, 400.0);
+}
+
+TEST(CellIdTracker, TracksSequenceThroughTheRoute) {
+  const CellIdFixture f;
+  CellIdTracker tracker(f.route(), f.towers);
+  Rng rng(3);
+  // Simulate observations along the route every 200 m, no noise.
+  std::vector<double> errors;
+  for (double truth = 0.0; truth <= 4000.0; truth += 200.0) {
+    const auto obs =
+        f.towers.observe(f.route().point_at(truth), truth, rng, 0.0);
+    ASSERT_TRUE(obs.has_value());
+    const auto estimate = tracker.ingest(*obs);
+    if (estimate.has_value() && truth > 1200.0) {
+      errors.push_back(std::abs(*estimate - truth));
+    }
+  }
+  ASSERT_FALSE(errors.empty());
+  // Coarse but sane: well within a cell of the truth on average.
+  double sum = 0.0;
+  for (const double e : errors) sum += e;
+  EXPECT_LT(sum / static_cast<double>(errors.size()), 800.0);
+}
+
+TEST(CellIdTracker, AmbiguousUntilEnoughTowers) {
+  const CellIdFixture f;
+  CellIdTracker tracker(f.route(), f.towers);
+  Rng rng(3);
+  // A single observation mid-route: the suffix has length 1 and matches
+  // one interval (towers don't repeat here) — but with repeated tower
+  // layouts it would not. Verify candidates() reports the match set.
+  const auto obs = f.towers.observe(f.route().point_at(1500.0), 0.0, rng,
+                                    0.0);
+  tracker.ingest(*obs);
+  EXPECT_GE(tracker.candidates().size(), 1u);
+  EXPECT_EQ(tracker.observed_sequence().size(), 1u);
+}
+
+TEST(CellIdTracker, RepeatedObservationsDedup) {
+  const CellIdFixture f;
+  CellIdTracker tracker(f.route(), f.towers);
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    const auto obs =
+        f.towers.observe(f.route().point_at(100.0), i * 10.0, rng, 0.0);
+    tracker.ingest(*obs);
+  }
+  EXPECT_EQ(tracker.observed_sequence().size(), 1u);
+}
+
+TEST(CellIdTracker, ResetClears) {
+  const CellIdFixture f;
+  CellIdTracker tracker(f.route(), f.towers);
+  Rng rng(3);
+  const auto obs =
+      f.towers.observe(f.route().point_at(100.0), 0.0, rng, 0.0);
+  tracker.ingest(*obs);
+  tracker.reset();
+  EXPECT_TRUE(tracker.observed_sequence().empty());
+}
+
+TEST(CellIdTracker, RequiresTowers) {
+  const CellIdFixture f;
+  const rf::TowerRegistry empty;
+  EXPECT_THROW(CellIdTracker(f.route(), empty), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::baselines

@@ -1,0 +1,115 @@
+#include "baselines/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace wiloc::baselines {
+namespace {
+
+TEST(FingerprintLocalizer, SurveyBuildsDatabase) {
+  testing::MiniCity city;
+  Rng rng(1);
+  const FingerprintLocalizer fp(city.route_a(), city.aps, city.model, 0.0,
+                                rng);
+  EXPECT_GT(fp.reference_count(), 100u);
+  EXPECT_DOUBLE_EQ(fp.route_length(), city.route_a().length());
+}
+
+TEST(FingerprintLocalizer, LocatesCleanScansAccurately) {
+  testing::MiniCity city;
+  Rng rng(1);
+  const FingerprintLocalizer fp(city.route_a(), city.aps, city.model, 0.0,
+                                rng);
+  const rf::Scanner scanner;
+  Rng scan_rng(9);
+  double total_err = 0.0;
+  int n = 0;
+  for (double truth = 100.0; truth < 1900.0; truth += 180.0) {
+    const auto scan =
+        scanner.scan(city.aps, city.model,
+                     city.route_a().point_at(truth), 0.0, scan_rng);
+    const auto candidates = fp.locate_scan(scan);
+    ASSERT_FALSE(candidates.empty());
+    total_err += std::abs(candidates.front().route_offset - truth);
+    ++n;
+  }
+  EXPECT_LT(total_err / n, 40.0);
+}
+
+TEST(FingerprintLocalizer, EmptyScanNoCandidates) {
+  testing::MiniCity city;
+  Rng rng(1);
+  const FingerprintLocalizer fp(city.route_a(), city.aps, city.model, 0.0,
+                                rng);
+  EXPECT_TRUE(fp.locate_scan(rf::WifiScan{}).empty());
+  EXPECT_TRUE(fp.locate({}).empty());
+}
+
+TEST(FingerprintLocalizer, RankOnlyInterfaceWorks) {
+  testing::MiniCity city;
+  Rng rng(1);
+  const FingerprintLocalizer fp(city.route_a(), city.aps, city.model, 0.0,
+                                rng);
+  const rf::Scanner scanner;
+  Rng scan_rng(9);
+  const double truth = 700.0;
+  const auto scan = scanner.scan(
+      city.aps, city.model, city.route_a().point_at(truth), 0.0, scan_rng);
+  const auto candidates = fp.locate(scan.ranked_aps());
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_LT(std::abs(candidates.front().route_offset - truth), 200.0);
+}
+
+TEST(FingerprintLocalizer, DegradesWhenApsDieAfterCalibration) {
+  // The paper's criticism: the fingerprint DB goes stale under AP
+  // dynamics. Kill a third of the APs after the survey and compare
+  // errors on the survivors' scans.
+  testing::MiniCity city;
+  Rng rng(1);
+  const FingerprintLocalizer fp(city.route_a(), city.aps, city.model, 0.0,
+                                rng);
+
+  const SimTime outage_start = 1000.0;
+  for (std::size_t i = 0; i < city.aps.count(); i += 3)
+    city.aps.retire(rf::ApId(static_cast<std::uint32_t>(i)), outage_start);
+
+  const rf::Scanner scanner;
+  Rng scan_rng(9);
+  double err_before = 0.0;
+  double err_after = 0.0;
+  int n = 0;
+  for (double truth = 150.0; truth < 1900.0; truth += 120.0) {
+    const geo::Point p = city.route_a().point_at(truth);
+    const auto clean = scanner.scan(city.aps, city.model, p, 0.0, scan_rng);
+    const auto degraded =
+        scanner.scan(city.aps, city.model, p, outage_start + 10.0,
+                     scan_rng);
+    const auto c1 = fp.locate_scan(clean);
+    const auto c2 = fp.locate_scan(degraded);
+    if (c1.empty() || c2.empty()) continue;
+    err_before += std::abs(c1.front().route_offset - truth);
+    err_after += std::abs(c2.front().route_offset - truth);
+    ++n;
+  }
+  ASSERT_GT(n, 5);
+  EXPECT_GT(err_after, err_before);
+}
+
+TEST(FingerprintLocalizer, ValidatesParams) {
+  testing::MiniCity city;
+  Rng rng(1);
+  FingerprintParams bad;
+  bad.survey_step_m = 0.0;
+  EXPECT_THROW(FingerprintLocalizer(city.route_a(), city.aps, city.model,
+                                    0.0, rng, bad),
+               ContractViolation);
+  FingerprintParams bad2;
+  bad2.k_neighbors = 0;
+  EXPECT_THROW(FingerprintLocalizer(city.route_a(), city.aps, city.model,
+                                    0.0, rng, bad2),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::baselines

@@ -1,0 +1,75 @@
+#include "baselines/gps_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "sim/gps.hpp"
+
+namespace wiloc::baselines {
+namespace {
+
+TEST(GpsTracker, TracksCleanFixes) {
+  testing::MiniCity city;
+  GpsTracker tracker(city.route_a());
+  for (int i = 0; i <= 20; ++i) {
+    const double truth = 100.0 * i;
+    const auto fix = tracker.ingest(
+        10.0 * i, city.route_a().point_at(truth));
+    ASSERT_TRUE(fix.has_value());
+    EXPECT_NEAR(fix->route_offset, truth, 40.0);
+  }
+  EXPECT_EQ(tracker.fixes().size(), 21u);
+}
+
+TEST(GpsTracker, CoastsThroughOutages) {
+  testing::MiniCity city;
+  GpsTracker tracker(city.route_a());
+  tracker.ingest(0.0, city.route_a().point_at(100.0));
+  tracker.ingest(10.0, city.route_a().point_at(200.0));
+  const auto coasted = tracker.ingest(20.0, std::nullopt);
+  ASSERT_TRUE(coasted.has_value());
+  EXPECT_GT(coasted->route_offset, 200.0);
+  EXPECT_LT(coasted->confidence, 1.0);
+}
+
+TEST(GpsTracker, OffRouteFixesGetLowConfidence) {
+  testing::MiniCity city;
+  GpsTracker tracker(city.route_a());
+  // A fix 200 m off the road (canyon multipath).
+  const geo::Point off = city.route_a().point_at(500.0) + geo::Vec{0, 200};
+  const auto fix = tracker.ingest(0.0, off);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LT(fix->confidence, 0.2);
+}
+
+TEST(GpsTracker, CanyonNoiseDegradesTracking) {
+  testing::MiniCity city;
+  sim::GpsParams open;
+  open.canyon_fraction = 0.0;
+  sim::GpsParams canyon;
+  canyon.canyon_fraction = 1.0;
+  const sim::GpsSimulator gps_open(open);
+  const sim::GpsSimulator gps_canyon(canyon);
+
+  const auto run = [&](const sim::GpsSimulator& gps, std::uint64_t seed) {
+    Rng rng(seed);
+    GpsTracker tracker(city.route_a());
+    double err = 0.0;
+    int n = 0;
+    for (int i = 0; i <= 20; ++i) {
+      const double truth = 100.0 * i;
+      const auto sample =
+          gps.sample(city.route_a().point_at(truth), rng);
+      const auto fix = tracker.ingest(10.0 * i, sample);
+      if (!fix.has_value()) continue;
+      err += std::abs(fix->route_offset - truth);
+      ++n;
+    }
+    return n > 0 ? err / n : 1e9;
+  };
+
+  EXPECT_GT(run(gps_canyon, 3), run(gps_open, 3));
+}
+
+}  // namespace
+}  // namespace wiloc::baselines

@@ -1,0 +1,106 @@
+#include "baselines/propagation_loc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace wiloc::baselines {
+namespace {
+
+TEST(PropagationLocalizer, RangingInvertsAssumedModel) {
+  testing::MiniCity city;
+  PropagationLocParams params;
+  params.assumed_tx_power_dbm = -30.0;
+  params.assumed_exponent = 3.0;
+  const PropagationLocalizer loc(city.aps, params);
+  EXPECT_NEAR(loc.distance_from_rss(-30.0), 1.0, 1e-9);
+  EXPECT_NEAR(loc.distance_from_rss(-60.0), 10.0, 1e-9);
+  EXPECT_NEAR(loc.distance_from_rss(-90.0), 100.0, 1e-9);
+}
+
+TEST(PropagationLocalizer, NeedsThreeAps) {
+  testing::MiniCity city;
+  const PropagationLocalizer loc(city.aps);
+  rf::WifiScan scan;
+  scan.readings = {{rf::ApId(0), -50}, {rf::ApId(1), -60}};
+  EXPECT_FALSE(loc.locate_point(scan).has_value());
+  EXPECT_FALSE(loc.locate_on_route(scan, city.route_a()).has_value());
+}
+
+TEST(PropagationLocalizer, LocatesWithIdealPhysics) {
+  // When the assumed model matches the true one exactly and there is no
+  // noise, lateration lands near the truth.
+  rf::ApRegistry aps;
+  aps.add({40, 40}, -25.0, 3.0);
+  aps.add({100, -40}, -25.0, 3.0);
+  aps.add({160, 40}, -25.0, 3.0);
+  aps.add({100, 60}, -25.0, 3.0);
+  rf::LogDistanceParams clean;
+  clean.shadowing_sigma_db = 0.0;
+  clean.fading_sigma_db = 0.0;
+  const rf::LogDistanceModel model(clean);
+  PropagationLocParams params;
+  params.assumed_tx_power_dbm = -30.0;
+  params.assumed_exponent = 3.0;
+  const PropagationLocalizer loc(aps, params);
+
+  const geo::Point truth{100, 0};
+  rf::ScannerParams sp;
+  sp.miss_probability = 0.0;
+  const rf::Scanner scanner(sp);
+  Rng rng(1);
+  const auto scan = scanner.scan(aps, model, truth, 0.0, rng);
+  const auto estimate = loc.locate_point(scan);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_LT(geo::distance(*estimate, truth), 15.0);
+}
+
+TEST(PropagationLocalizer, RealisticErrorsAreLarge) {
+  // With per-AP parameter spread + shadowing, the global-model
+  // assumption breaks down — the paper's "low accuracy" claim for this
+  // family.
+  testing::MiniCity city;
+  const PropagationLocalizer loc(city.aps);
+  const rf::Scanner scanner;
+  Rng rng(5);
+  double total = 0.0;
+  int n = 0;
+  for (double truth = 200.0; truth < 1800.0; truth += 110.0) {
+    const geo::Point p = city.route_a().point_at(truth);
+    const auto scan = scanner.scan(city.aps, city.model, p, 0.0, rng);
+    const auto offset = loc.locate_on_route(scan, city.route_a());
+    if (!offset.has_value()) continue;
+    total += std::abs(*offset - truth);
+    ++n;
+  }
+  ASSERT_GT(n, 3);
+  // Worse than the SVD approach's error scale, but not absurd.
+  EXPECT_GT(total / n, 10.0);
+  EXPECT_LT(total / n, 500.0);
+}
+
+TEST(PropagationLocalizer, ProjectsOntoRoute) {
+  testing::MiniCity city;
+  const PropagationLocalizer loc(city.aps);
+  const rf::Scanner scanner;
+  Rng rng(5);
+  const auto scan = scanner.scan(
+      city.aps, city.model, city.route_a().point_at(900.0), 0.0, rng);
+  const auto offset = loc.locate_on_route(scan, city.route_a());
+  ASSERT_TRUE(offset.has_value());
+  EXPECT_GE(*offset, 0.0);
+  EXPECT_LE(*offset, city.route_a().length());
+}
+
+TEST(PropagationLocalizer, ValidatesParams) {
+  testing::MiniCity city;
+  PropagationLocParams bad;
+  bad.min_aps = 2;
+  EXPECT_THROW(PropagationLocalizer(city.aps, bad), ContractViolation);
+  PropagationLocParams bad2;
+  bad2.assumed_exponent = 0.0;
+  EXPECT_THROW(PropagationLocalizer(city.aps, bad2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::baselines

@@ -1,0 +1,88 @@
+#include "baselines/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace wiloc::baselines {
+namespace {
+
+using core::TravelObservation;
+using roadnet::EdgeId;
+using roadnet::RouteId;
+
+struct ScheduleFixture {
+  std::unique_ptr<roadnet::RoadNetwork> net =
+      std::make_unique<roadnet::RoadNetwork>();
+  std::vector<roadnet::BusRoute> routes;
+  core::TravelTimeStore store{DaySlots::paper_five_slots()};
+
+  ScheduleFixture() {
+    const auto a = net->add_node({0, 0});
+    const auto b = net->add_node({1000, 0});
+    const auto c = net->add_node({2000, 0});
+    std::vector<roadnet::EdgeId> edges{net->add_straight_edge(a, b, 12.5),
+                                       net->add_straight_edge(b, c, 12.5)};
+    routes.emplace_back(
+        roadnet::RouteId(0), "r", *net, edges,
+        std::vector<roadnet::Stop>{{"s0", 0.0}, {"s1", 2000.0}});
+    for (int day = 0; day < 5; ++day) {
+      for (unsigned e = 0; e < 2; ++e)
+        store.add_history({EdgeId(e), RouteId(0), at_day_time(day, hms(12)),
+                           95.0 + 2.5 * day});
+    }
+    store.finalize_history();
+  }
+};
+
+TEST(SchedulePredictor, UsesHistoricalMeansOnly) {
+  ScheduleFixture f;
+  const SimTime now = at_day_time(10, hms(12));
+  // A recent bus is running +80 s late; the schedule ignores it.
+  f.store.add_recent({EdgeId(0), RouteId(0), now - 100.0, 180.0});
+  const SchedulePredictor schedule(f.store);
+  EXPECT_NEAR(
+      schedule.predict_travel_time(f.routes[0], 0.0, 2000.0, now), 200.0,
+      1e-6);
+  const SimTime eta = schedule.predict_arrival(f.routes[0], 0.0, now, 1);
+  EXPECT_NEAR(eta - now, 200.0, 1e-6);
+}
+
+TEST(SchedulePredictor, DiffersFromWiLocatorExactlyByRecentTerm) {
+  ScheduleFixture f;
+  const SimTime now = at_day_time(10, hms(12));
+  f.store.add_recent({EdgeId(0), RouteId(0), now - 100.0, 180.0});
+  const SchedulePredictor schedule(f.store);
+  const core::ArrivalPredictor wilocator(f.store);
+  const double t_schedule =
+      schedule.predict_travel_time(f.routes[0], 0.0, 1000.0, now);
+  const double t_wilocator =
+      wilocator.predict_travel_time(f.routes[0], 0.0, 1000.0, now);
+  EXPECT_NEAR(t_schedule, 100.0, 1e-6);
+  // +80 residual from one bus, shrunk by 1/(1 + 1.5) = 0.4 -> +32.
+  EXPECT_NEAR(t_wilocator, 132.0, 1e-6);
+}
+
+TEST(AgencyTrafficMap, LeavesSilentSegmentsUnconfirmed) {
+  ScheduleFixture f;
+  const SimTime now = at_day_time(10, hms(12));
+  const core::ArrivalPredictor predictor(f.store);
+  const AgencyTrafficMap agency(f.store, predictor);
+  const auto map = agency.build({EdgeId(0), EdgeId(1)}, now);
+  // No recent traversals: the agency map shows both as unknown.
+  EXPECT_EQ(map.unknown_count(), 2u);
+}
+
+TEST(AgencyTrafficMap, MarksSegmentsWithRecentData) {
+  ScheduleFixture f;
+  const SimTime now = at_day_time(10, hms(12));
+  f.store.add_recent({EdgeId(0), RouteId(0), now - 100.0, 101.0});
+  const core::ArrivalPredictor predictor(f.store);
+  const AgencyTrafficMap agency(f.store, predictor);
+  const auto map = agency.build({EdgeId(0), EdgeId(1)}, now);
+  EXPECT_EQ(map.unknown_count(), 1u);
+  EXPECT_EQ(map.segments.at(EdgeId(0)).state, core::TrafficState::Normal);
+}
+
+}  // namespace
+}  // namespace wiloc::baselines

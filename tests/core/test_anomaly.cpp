@@ -1,0 +1,139 @@
+#include "core/anomaly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace wiloc::core {
+namespace {
+
+struct AnomalyFixture {
+  std::unique_ptr<roadnet::RoadNetwork> net =
+      std::make_unique<roadnet::RoadNetwork>();
+  std::vector<roadnet::BusRoute> routes;
+
+  AnomalyFixture() {
+    // One 2 km edge, stops at 0 and 2000 only (no mid-route stops, so
+    // mid-route stalls cannot be excused).
+    const auto a = net->add_node({0, 0});
+    const auto b = net->add_node({2000, 0});
+    const auto e = net->add_straight_edge(a, b, 12.5);
+    routes.emplace_back(
+        roadnet::RouteId(0), "r", *net, std::vector<roadnet::EdgeId>{e},
+        std::vector<roadnet::Stop>{{"s0", 0.0}, {"s1", 2000.0}});
+  }
+
+  const roadnet::BusRoute& route() const { return routes.front(); }
+};
+
+/// Fixes every 10 s moving `speed` m per scan; between offsets
+/// [stall_from, stall_to] the bus crawls at `stall_step` m per scan.
+std::vector<Fix> trajectory(double stall_from, double stall_to,
+                            double stall_step = 2.0, double step = 80.0) {
+  std::vector<Fix> fixes;
+  double offset = 0.0;
+  double t = 0.0;
+  while (offset < 2000.0) {
+    fixes.push_back({t, offset, 1.0});
+    offset += (offset >= stall_from && offset <= stall_to) ? stall_step
+                                                           : step;
+    t += 10.0;
+  }
+  return fixes;
+}
+
+TEST(AnomalyDetector, DetectsMidRouteStall) {
+  const AnomalyFixture f;
+  const AnomalyDetector detector(f.route(), 80.0);
+  const auto anomalies = detector.detect(trajectory(900.0, 1000.0));
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_NEAR(anomalies[0].begin_offset, 900.0, 100.0);
+  EXPECT_NEAR(anomalies[0].end_offset, 1000.0, 100.0);
+  EXPECT_GT(anomalies[0].duration(), 45.0);
+}
+
+TEST(AnomalyDetector, NoAnomalyInFreeFlow) {
+  const AnomalyFixture f;
+  const AnomalyDetector detector(f.route(), 80.0);
+  EXPECT_TRUE(detector.detect(trajectory(-1.0, -1.0)).empty());
+}
+
+TEST(AnomalyDetector, StallAtStopIsExcused) {
+  const AnomalyFixture f;
+  const AnomalyDetector detector(f.route(), 80.0);
+  // Stall right at the terminal stop (offset ~2000 is a stop).
+  const auto anomalies = detector.detect(trajectory(1960.0, 2000.0));
+  EXPECT_TRUE(anomalies.empty());
+}
+
+TEST(AnomalyDetector, ShortStallIgnored) {
+  const AnomalyFixture f;
+  AnomalyDetectorParams params;
+  params.min_duration_s = 120.0;
+  const AnomalyDetector detector(f.route(), 80.0, params);
+  // Stall of ~50 s (5 crawling fixes of 2 m in a 10 m window).
+  const auto anomalies = detector.detect(trajectory(900.0, 908.0));
+  EXPECT_TRUE(anomalies.empty());
+}
+
+TEST(AnomalyDetector, DeltaScalesWithTypicalDistance) {
+  const AnomalyFixture f;
+  const AnomalyDetector d1(f.route(), 80.0);
+  const AnomalyDetector d2(f.route(), 160.0);
+  EXPECT_DOUBLE_EQ(d2.delta(), 2.0 * d1.delta());
+}
+
+TEST(AnomalyDetector, IntersectionStallIsExcusedOnMultiEdgeRoute) {
+  // Two edges meeting at x=1000: a stall right at the boundary looks
+  // like a red light and must be excused.
+  std::unique_ptr<roadnet::RoadNetwork> net =
+      std::make_unique<roadnet::RoadNetwork>();
+  const auto a = net->add_node({0, 0});
+  const auto b = net->add_node({1000, 0});
+  const auto c = net->add_node({2000, 0});
+  std::vector<roadnet::EdgeId> edges{net->add_straight_edge(a, b, 12.5),
+                                     net->add_straight_edge(b, c, 12.5)};
+  const roadnet::BusRoute route(
+      roadnet::RouteId(0), "r", *net, edges,
+      {{"s0", 0.0}, {"s1", 2000.0}});
+  const AnomalyDetector detector(route, 80.0);
+  const auto anomalies = detector.detect(trajectory(985.0, 1015.0));
+  EXPECT_TRUE(anomalies.empty());
+}
+
+TEST(AnomalyDetector, TwoDistinctAnomalies) {
+  const AnomalyFixture f;
+  const AnomalyDetector detector(f.route(), 80.0);
+  // Stalls around 500 and 1500.
+  std::vector<Fix> fixes;
+  double offset = 0.0;
+  double t = 0.0;
+  while (offset < 2000.0) {
+    fixes.push_back({t, offset, 1.0});
+    const bool stalled = (offset >= 480 && offset <= 540) ||
+                         (offset >= 1480 && offset <= 1540);
+    offset += stalled ? 2.0 : 80.0;
+    t += 10.0;
+  }
+  const auto anomalies = detector.detect(fixes);
+  ASSERT_EQ(anomalies.size(), 2u);
+  EXPECT_LT(anomalies[0].end_offset, anomalies[1].begin_offset);
+}
+
+TEST(AnomalyDetector, EmptyTrajectory) {
+  const AnomalyFixture f;
+  const AnomalyDetector detector(f.route(), 80.0);
+  EXPECT_TRUE(detector.detect({}).empty());
+  EXPECT_TRUE(detector.detect({{0.0, 0.0, 1.0}}).empty());
+}
+
+TEST(AnomalyDetector, Validation) {
+  const AnomalyFixture f;
+  EXPECT_THROW(AnomalyDetector(f.route(), 0.0), ContractViolation);
+  AnomalyDetectorParams bad;
+  bad.delta_fraction = 1.5;
+  EXPECT_THROW(AnomalyDetector(f.route(), 80.0, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::core

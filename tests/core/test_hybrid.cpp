@@ -1,0 +1,159 @@
+#include "core/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "sim/crowd.hpp"
+#include "sim/gps.hpp"
+#include "svd/route_svd.hpp"
+#include "util/stats.hpp"
+
+namespace wiloc::core {
+namespace {
+
+struct HybridFixture {
+  testing::MiniCity city;
+  sim::TrafficModel traffic{77};
+  svd::RouteSvd index;
+
+  HybridFixture()
+      : index(city.route_a(), city.ap_snapshot(), city.model, {}) {}
+};
+
+TEST(HybridTracker, WifiOnlyWhenCoverageIsGood) {
+  HybridFixture f;
+  HybridTracker tracker(f.city.route_a(), f.index);
+  Rng rng(5);
+  const auto trip = sim::simulate_trip(
+      roadnet::TripId(0), f.city.route_a(), f.city.profiles[0], f.traffic,
+      at_day_time(0, hms(11)), rng);
+  const rf::Scanner scanner;
+  const auto reports = sim::sense_trip(trip, f.city.route_a(), f.city.aps,
+                                       f.city.model, scanner, rng);
+  for (const auto& report : reports) {
+    tracker.ingest_wifi(report.scan);
+    EXPECT_FALSE(tracker.gps_wanted());  // dense APs: GPS never needed
+  }
+  EXPECT_EQ(tracker.energy().gps_fixes, 0u);
+  EXPECT_EQ(tracker.energy().wifi_scans, reports.size());
+  EXPECT_GT(tracker.energy().total_mj, 0.0);
+}
+
+TEST(HybridTracker, GpsWakesInDeadZone) {
+  HybridFixture f;
+  HybridTracker tracker(f.city.route_a(), f.index);
+  // Prime with two good WiFi fixes, then a streak of empty scans.
+  rf::WifiScan good1;
+  good1.time = 0.0;
+  // Build a genuine scan at offset 500 for realism.
+  const rf::Scanner scanner;
+  Rng rng(3);
+  good1 = scanner.scan(f.city.aps, f.city.model,
+                       f.city.route_a().point_at(500.0), 0.0, rng);
+  tracker.ingest_wifi(good1);
+  rf::WifiScan empty;
+  empty.time = 10.0;
+  tracker.ingest_wifi(empty);
+  EXPECT_FALSE(tracker.gps_wanted());  // only 1 miss so far
+  empty.time = 20.0;
+  tracker.ingest_wifi(empty);
+  EXPECT_TRUE(tracker.gps_wanted());  // threshold (2) reached
+
+  // GPS sample near the truth re-anchors the track (10 s later, so the
+  // mobility gate admits the forward jump).
+  const auto fix =
+      tracker.ingest_gps(30.0, f.city.route_a().point_at(650.0));
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_NEAR(fix->route_offset, 650.0, 60.0);
+  EXPECT_EQ(tracker.energy().gps_fixes, 1u);
+  EXPECT_FALSE(tracker.gps_wanted());  // fed again: back to WiFi
+}
+
+TEST(HybridTracker, GpsOutageKeepsWanting) {
+  HybridFixture f;
+  HybridTracker tracker(f.city.route_a(), f.index);
+  rf::WifiScan empty;
+  for (int i = 0; i < 3; ++i) {
+    empty.time = 10.0 * i;
+    tracker.ingest_wifi(empty);
+  }
+  ASSERT_TRUE(tracker.gps_wanted());
+  tracker.ingest_gps(31.0, std::nullopt);  // canyon: no fix
+  EXPECT_TRUE(tracker.gps_wanted());       // still starving
+  EXPECT_EQ(tracker.energy().gps_fixes, 1u);  // but energy was spent
+}
+
+TEST(HybridTracker, EnergyLedgerArithmetic) {
+  HybridFixture f;
+  HybridTrackerParams params;
+  params.energy.wifi_scan_mj = 10.0;
+  params.energy.gps_fix_mj = 100.0;
+  HybridTracker tracker(f.city.route_a(), f.index, params);
+  rf::WifiScan empty;
+  empty.time = 0.0;
+  tracker.ingest_wifi(empty);
+  empty.time = 10.0;
+  tracker.ingest_wifi(empty);
+  tracker.ingest_gps(11.0, std::nullopt);
+  EXPECT_DOUBLE_EQ(tracker.energy().total_mj, 10.0 + 10.0 + 100.0);
+}
+
+TEST(HybridTracker, TracksThroughApOutageZone) {
+  // Kill all APs in the middle 600 m of the route: WiFi-only coasting
+  // drifts; the hybrid re-anchors with GPS and ends up closer.
+  HybridFixture f;
+  for (const auto& ap : f.city.aps.aps()) {
+    const auto proj = f.city.route_a().project(ap.position);
+    if (proj.route_offset > 700.0 && proj.route_offset < 1300.0 &&
+        proj.distance < 60.0)
+      f.city.aps.retire(ap.id, 0.5);
+  }
+  const sim::GpsSimulator gps;  // default urban GPS
+  const rf::Scanner scanner;
+
+  const auto run = [&](bool use_gps, std::uint64_t seed) {
+    Rng rng(seed);
+    const auto trip = sim::simulate_trip(
+        roadnet::TripId(0), f.city.route_a(), f.city.profiles[0],
+        f.traffic, at_day_time(0, hms(11)), rng);
+    HybridTracker tracker(f.city.route_a(), f.index);
+    RunningStats err;
+    // The phone scans every 10 s whether or not anything is audible —
+    // silence in the dead zone is exactly what wakes the GPS.
+    for (SimTime t = trip.start_time; t <= trip.end_time; t += 10.0) {
+      const double truth = trip.offset_at(t);
+      const auto scan = scanner.scan(
+          f.city.aps, f.city.model, f.city.route_a().point_at(truth), t,
+          rng);
+      tracker.ingest_wifi(scan);
+      if (use_gps && tracker.gps_wanted()) {
+        tracker.ingest_gps(
+            t + 1.0, gps.sample(f.city.route_a().point_at(truth), rng));
+      }
+      if (const auto fix = tracker.last_fix(); fix.has_value()) {
+        err.add(std::abs(fix->route_offset - trip.offset_at(fix->time)));
+      }
+    }
+    return std::make_pair(err.mean(), tracker.energy());
+  };
+
+  const auto [err_wifi, energy_wifi] = run(false, 42);
+  const auto [err_hybrid, energy_hybrid] = run(true, 42);
+  EXPECT_LT(err_hybrid, err_wifi);             // GPS rescues the dead zone
+  EXPECT_GT(energy_hybrid.gps_fixes, 0u);      // and was actually used
+  EXPECT_EQ(energy_wifi.gps_fixes, 0u);
+  EXPECT_GT(energy_hybrid.total_mj, energy_wifi.total_mj);
+  // But only sparingly: far fewer GPS fixes than WiFi scans.
+  EXPECT_LT(energy_hybrid.gps_fixes, energy_hybrid.wifi_scans / 2);
+}
+
+TEST(HybridTracker, ValidatesParams) {
+  HybridFixture f;
+  HybridTrackerParams bad;
+  bad.gps_after_misses = 0;
+  EXPECT_THROW(HybridTracker(f.city.route_a(), f.index, bad),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::core

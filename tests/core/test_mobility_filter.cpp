@@ -1,0 +1,146 @@
+#include "core/mobility_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wiloc::core {
+namespace {
+
+using svd::Candidate;
+
+TEST(MobilityFilter, AcquiresFromFirstCandidates) {
+  MobilityFilter filter;
+  const auto fix = filter.update(0.0, {{500.0, 0.9}, {800.0, 0.4}});
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_DOUBLE_EQ(fix->route_offset, 500.0);
+  EXPECT_DOUBLE_EQ(fix->confidence, 0.9);
+}
+
+TEST(MobilityFilter, NoFixFromEmptyStart) {
+  MobilityFilter filter;
+  EXPECT_FALSE(filter.update(0.0, {}).has_value());
+  EXPECT_FALSE(filter.last_fix().has_value());
+}
+
+TEST(MobilityFilter, TracksSteadyMotion) {
+  MobilityFilter filter;
+  // Bus at 10 m/s, exact candidates every 10 s.
+  filter.update(0.0, {{0.0, 1.0}});
+  for (int i = 1; i <= 10; ++i) {
+    const double truth = 100.0 * i;
+    const auto fix = filter.update(10.0 * i, {{truth, 1.0}});
+    ASSERT_TRUE(fix.has_value());
+    EXPECT_NEAR(fix->route_offset, truth, 30.0);
+  }
+  // Speed estimate converges to ~10 m/s.
+  EXPECT_NEAR(filter.speed_estimate(), 10.0, 2.0);
+}
+
+TEST(MobilityFilter, RejectsTeleportingCandidates) {
+  MobilityFilter filter;
+  filter.update(0.0, {{100.0, 1.0}});
+  filter.update(10.0, {{180.0, 1.0}});
+  // A candidate 5 km ahead is inadmissible (max 22 m/s * 10 s).
+  const auto fix = filter.update(20.0, {{5000.0, 1.0}});
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LT(fix->route_offset, 400.0);  // coasted, not teleported
+  EXPECT_LT(fix->confidence, 1.0);
+}
+
+TEST(MobilityFilter, RejectsBackwardJumps) {
+  MobilityFilter filter;
+  filter.update(0.0, {{1000.0, 1.0}});
+  filter.update(10.0, {{1080.0, 1.0}});
+  const auto fix = filter.update(20.0, {{200.0, 1.0}});
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_GT(fix->route_offset, 900.0);
+}
+
+TEST(MobilityFilter, CoastsThroughEmptyScans) {
+  MobilityFilter filter;
+  filter.update(0.0, {{100.0, 1.0}});
+  filter.update(10.0, {{200.0, 1.0}});
+  const auto coast = filter.update(20.0, {});
+  ASSERT_TRUE(coast.has_value());
+  // Dead-reckoned forward, confidence decayed.
+  EXPECT_GT(coast->route_offset, 200.0);
+  EXPECT_LT(coast->confidence, 1.0);
+}
+
+TEST(MobilityFilter, ReacquiresAfterLongLoss) {
+  MobilityFilterParams params;
+  params.max_coast_scans = 2;
+  MobilityFilter filter(params);
+  filter.update(0.0, {{100.0, 1.0}});
+  filter.update(10.0, {{180.0, 1.0}});
+  // Repeated far-away candidates: after the coast budget, re-acquire.
+  std::optional<Fix> fix;
+  for (int i = 2; i <= 6; ++i)
+    fix = filter.update(10.0 * i, {{5000.0, 0.9}});
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_NEAR(fix->route_offset, 5000.0, 1.0);
+}
+
+TEST(MobilityFilter, PrefersKinematicallyPlausibleCandidate) {
+  MobilityFilter filter;
+  filter.update(0.0, {{100.0, 1.0}});
+  filter.update(10.0, {{200.0, 1.0}});
+  // Two candidates with equal match scores: one near the dead-reckoned
+  // position (~300), one 150 m off but still admissible.
+  const auto fix = filter.update(20.0, {{310.0, 0.8}, {160.0, 0.8}});
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_NEAR(fix->route_offset, 310.0, 30.0);
+}
+
+TEST(MobilityFilter, HigherScoreCanBeatProximity) {
+  MobilityFilter filter;
+  filter.update(0.0, {{100.0, 1.0}});
+  filter.update(10.0, {{200.0, 1.0}});
+  // Exact-signature candidate a bit off vs weak candidate exactly on
+  // the prediction.
+  const auto fix = filter.update(20.0, {{300.0, 0.2}, {350.0, 1.0}});
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_GT(fix->route_offset, 310.0);
+}
+
+TEST(MobilityFilter, ResetClearsState) {
+  MobilityFilter filter;
+  filter.update(0.0, {{100.0, 1.0}});
+  filter.reset();
+  EXPECT_FALSE(filter.last_fix().has_value());
+  EXPECT_DOUBLE_EQ(filter.speed_estimate(), 0.0);
+  const auto fix = filter.update(100.0, {{9000.0, 0.5}});
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_DOUBLE_EQ(fix->route_offset, 9000.0);
+}
+
+TEST(MobilityFilter, SpeedDecaysWhileCoasting) {
+  MobilityFilter filter;
+  filter.update(0.0, {{100.0, 1.0}});
+  filter.update(10.0, {{220.0, 1.0}});
+  const double v0 = filter.speed_estimate();
+  filter.update(20.0, {});
+  EXPECT_LT(filter.speed_estimate(), v0);
+}
+
+TEST(MobilityFilter, ValidatesParams) {
+  MobilityFilterParams bad;
+  bad.max_speed_mps = 0.0;
+  EXPECT_THROW(MobilityFilter{bad}, ContractViolation);
+  MobilityFilterParams bad2;
+  bad2.speed_smoothing = 0.0;
+  EXPECT_THROW(MobilityFilter{bad2}, ContractViolation);
+}
+
+TEST(MobilityFilter, StationaryBusStaysPut) {
+  MobilityFilter filter;
+  filter.update(0.0, {{500.0, 1.0}});
+  for (int i = 1; i <= 8; ++i) {
+    const auto fix = filter.update(10.0 * i, {{500.0, 1.0}});
+    ASSERT_TRUE(fix.has_value());
+    EXPECT_NEAR(fix->route_offset, 500.0, 10.0);
+  }
+  EXPECT_NEAR(filter.speed_estimate(), 0.0, 0.5);
+}
+
+}  // namespace
+}  // namespace wiloc::core

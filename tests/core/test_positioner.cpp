@@ -1,0 +1,97 @@
+#include "core/positioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::core {
+namespace {
+
+using rf::ApId;
+using svd::Candidate;
+
+/// A scripted backend: maps specific top-1 APs to fixed offsets.
+class FakeIndex final : public svd::PositioningIndex {
+ public:
+  std::vector<Candidate> locate(
+      const std::vector<ApId>& observed) const override {
+    if (observed.empty()) return {};
+    switch (observed.front().value()) {
+      case 1:
+        return {{100.0, 1.0}};
+      case 2:
+        return {{140.0, 1.0}};
+      case 3:
+        return {{900.0, 0.6}};
+      default:
+        return {};
+    }
+  }
+  double route_length() const override { return 1000.0; }
+};
+
+rf::WifiScan scan_of(std::initializer_list<std::pair<unsigned, double>> l) {
+  rf::WifiScan scan;
+  scan.time = 0.0;
+  for (const auto& [id, rssi] : l) scan.readings.push_back({ApId(id), rssi});
+  return scan;
+}
+
+TEST(SvdPositioner, PassesThroughSimpleScan) {
+  const FakeIndex index;
+  const SvdPositioner positioner(index);
+  const auto candidates = positioner.locate(scan_of({{1, -40}, {9, -60}}));
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_DOUBLE_EQ(candidates.front().route_offset, 100.0);
+}
+
+TEST(SvdPositioner, EmptyScanGivesNothing) {
+  const FakeIndex index;
+  const SvdPositioner positioner(index);
+  EXPECT_TRUE(positioner.locate(rf::WifiScan{}).empty());
+}
+
+TEST(SvdPositioner, TieMergesToBoundary) {
+  // APs 1 and 2 tie: candidates at 100 and 140 merge (within 40 m) to
+  // their weighted mean — the tile-boundary estimate of Section III-B.
+  const FakeIndex index;
+  const SvdPositioner positioner(index);
+  const auto candidates = positioner.locate(scan_of({{1, -40}, {2, -40}}));
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_NEAR(candidates.front().route_offset, 120.0, 1e-9);
+}
+
+TEST(SvdPositioner, DistantCandidatesStaySeparate) {
+  const FakeIndex index;
+  const SvdPositioner positioner(index);
+  const auto candidates = positioner.locate(scan_of({{1, -40}, {3, -40}}));
+  ASSERT_EQ(candidates.size(), 2u);
+  // Sorted by score desc: the exact (1.0) first.
+  EXPECT_DOUBLE_EQ(candidates[0].score, 1.0);
+  EXPECT_GT(candidates[0].score, candidates[1].score);
+}
+
+TEST(SvdPositioner, MaxCandidatesRespected) {
+  const FakeIndex index;
+  PositionerParams params;
+  params.max_candidates = 1;
+  const SvdPositioner positioner(index, params);
+  const auto candidates = positioner.locate(scan_of({{1, -40}, {3, -40}}));
+  EXPECT_EQ(candidates.size(), 1u);
+}
+
+TEST(SvdPositioner, RouteLengthForwarded) {
+  const FakeIndex index;
+  const SvdPositioner positioner(index);
+  EXPECT_DOUBLE_EQ(positioner.route_length(), 1000.0);
+}
+
+TEST(SvdPositioner, ValidatesParams) {
+  const FakeIndex index;
+  PositionerParams bad;
+  bad.max_candidates = 0;
+  EXPECT_THROW(SvdPositioner(index, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::core

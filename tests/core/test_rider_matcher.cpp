@@ -1,0 +1,128 @@
+#include "core/rider_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "sim/crowd.hpp"
+
+namespace wiloc::core {
+namespace {
+
+using roadnet::TripId;
+
+struct MatcherFixture {
+  testing::MiniCity city;
+  sim::TrafficModel traffic{616};
+  WiLocatorServer server;
+  std::vector<sim::TripRecord> records;
+  std::vector<std::vector<sim::ScanReport>> reports;
+
+  MatcherFixture()
+      : server({&city.route_a(), &city.route_b()}, city.ap_snapshot(),
+               city.model, DaySlots::paper_five_slots()) {
+    server.finalize_history();
+    Rng rng(4);
+    const rf::Scanner scanner;
+    // Two concurrent buses: one per route, staggered.
+    const struct {
+      std::size_t route;
+      double tod;
+    } plan[] = {{0, hms(10, 0)}, {1, hms(10, 2)}};
+    std::uint32_t id = 0;
+    for (const auto& p : plan) {
+      const auto& route = city.routes[p.route];
+      auto trip = sim::simulate_trip(TripId(id++), route,
+                                     city.profiles[p.route], traffic,
+                                     at_day_time(0, p.tod), rng);
+      auto reps = sim::sense_trip(trip, route, city.aps, city.model,
+                                  scanner, rng);
+      server.begin_trip(trip.id, trip.route);
+      records.push_back(std::move(trip));
+      reports.push_back(std::move(reps));
+    }
+  }
+
+  /// Advances both buses' trackers to time t.
+  void track_until(SimTime t) {
+    for (std::size_t b = 0; b < records.size(); ++b) {
+      for (const auto& report : reports[b]) {
+        if (report.scan.time > t) break;
+        if (!tracked_[b].count(report.scan.time)) {
+          server.ingest(records[b].id, report.scan);
+          tracked_[b].insert(report.scan.time);
+        }
+      }
+    }
+  }
+
+  std::vector<std::set<double>> tracked_ =
+      std::vector<std::set<double>>(2);
+};
+
+TEST(RiderMatcher, MatchesRiderToTheirBus) {
+  MatcherFixture f;
+  // The rider is on bus 0 (route A): their scans ARE bus 0's scans
+  // (phones on the same vehicle hear the same world).
+  RiderMatcher matcher(f.server, {TripId(0), TripId(1)});
+  Rng rng(9);
+  const rf::Scanner scanner;
+  std::optional<TripId> decision;
+  for (const auto& report : f.reports[0]) {
+    f.track_until(report.scan.time);
+    // The rider's own phone scans at the bus's true position.
+    const double truth = f.records[0].offset_at(report.scan.time);
+    const auto rider_scan =
+        scanner.scan(f.city.aps, f.city.model,
+                     f.city.route_a().point_at(truth), report.scan.time,
+                     rng);
+    matcher.ingest(rider_scan);
+    decision = matcher.decision();
+    if (decision.has_value()) break;
+  }
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(*decision, TripId(0));
+}
+
+TEST(RiderMatcher, UndecidedWithoutEvidence) {
+  MatcherFixture f;
+  RiderMatcher matcher(f.server, {TripId(0), TripId(1)});
+  EXPECT_FALSE(matcher.decision().has_value());
+  // Empty scans add no evidence.
+  rf::WifiScan empty;
+  for (int i = 0; i < 5; ++i) {
+    empty.time = 10.0 * i;
+    matcher.ingest(empty);
+  }
+  EXPECT_FALSE(matcher.decision().has_value());
+  EXPECT_EQ(matcher.scans_seen(), 5u);
+}
+
+TEST(RiderMatcher, ScoresFavorTheRealBus) {
+  MatcherFixture f;
+  RiderMatcher matcher(f.server, {TripId(0), TripId(1)});
+  Rng rng(11);
+  const rf::Scanner scanner;
+  for (std::size_t r = 0; r < f.reports[0].size() / 2; ++r) {
+    const auto& report = f.reports[0][r];
+    f.track_until(report.scan.time);
+    const double truth = f.records[0].offset_at(report.scan.time);
+    matcher.ingest(scanner.scan(f.city.aps, f.city.model,
+                                f.city.route_a().point_at(truth),
+                                report.scan.time, rng));
+  }
+  const auto scores = matcher.scores();
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(RiderMatcher, Validation) {
+  MatcherFixture f;
+  EXPECT_THROW(RiderMatcher(f.server, {}), ContractViolation);
+  RiderMatcherParams bad;
+  bad.agree_distance_m = 0.0;
+  EXPECT_THROW(RiderMatcher(f.server, {TripId(0)}, bad),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::core

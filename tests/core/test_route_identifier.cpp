@@ -1,0 +1,100 @@
+#include "core/route_identifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "svd/route_svd.hpp"
+
+namespace wiloc::core {
+namespace {
+
+struct IdentifierFixture {
+  testing::MiniCity city;
+  sim::TrafficModel traffic{13};
+  svd::RouteSvd index_a;
+  svd::RouteSvd index_b;
+
+  IdentifierFixture()
+      : index_a(city.route_a(), city.ap_snapshot(), city.model, {}),
+        index_b(city.route_b(), city.ap_snapshot(), city.model, {}) {}
+
+  RouteIdentifier make_identifier() {
+    return RouteIdentifier(
+        {{&city.route_a(), &index_a}, {&city.route_b(), &index_b}});
+  }
+
+  std::vector<sim::ScanReport> ride(const roadnet::BusRoute& route,
+                                    const sim::RouteProfile& profile,
+                                    std::uint64_t seed) {
+    Rng rng(seed);
+    const auto trip =
+        sim::simulate_trip(roadnet::TripId(0), route, profile, traffic,
+                           at_day_time(0, hms(11)), rng);
+    const rf::Scanner scanner;
+    return sim::sense_trip(trip, route, city.aps, city.model, scanner,
+                           rng);
+  }
+};
+
+TEST(RouteIdentifier, IdentifiesRouteAWhenRidingA) {
+  IdentifierFixture f;
+  RouteIdentifier identifier = f.make_identifier();
+  // Route A starts on edge 0, which B does not cover: evidence separates
+  // early.
+  const auto reports = f.ride(f.city.route_a(), f.city.profiles[0], 21);
+  for (const auto& report : reports) identifier.ingest(report.scan);
+  const auto decision = identifier.decision();
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(*decision, f.city.route_a().id());
+  EXPECT_EQ(identifier.scans_seen(), reports.size());
+}
+
+TEST(RouteIdentifier, IdentifiesRouteBWhenRidingB) {
+  IdentifierFixture f;
+  RouteIdentifier identifier = f.make_identifier();
+  // Route B ends on its private branch: by trip end the evidence is in.
+  const auto reports = f.ride(f.city.route_b(), f.city.profiles[1], 22);
+  for (const auto& report : reports) identifier.ingest(report.scan);
+  const auto decision = identifier.decision();
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(*decision, f.city.route_b().id());
+}
+
+TEST(RouteIdentifier, UndecidedBeforeMinScans) {
+  IdentifierFixture f;
+  RouteIdentifier identifier = f.make_identifier();
+  const auto reports = f.ride(f.city.route_a(), f.city.profiles[0], 23);
+  for (std::size_t i = 0; i < 3 && i < reports.size(); ++i)
+    identifier.ingest(reports[i].scan);
+  EXPECT_FALSE(identifier.decision().has_value());
+}
+
+TEST(RouteIdentifier, ScoresAlignWithHypotheses) {
+  IdentifierFixture f;
+  RouteIdentifier identifier = f.make_identifier();
+  const auto reports = f.ride(f.city.route_a(), f.city.profiles[0], 24);
+  for (const auto& report : reports) identifier.ingest(report.scan);
+  const auto scores = identifier.scores();
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_GT(scores[0], scores[1]);  // hypothesis 0 is route A
+  EXPECT_EQ(identifier.hypotheses().size(), 2u);
+}
+
+TEST(RouteIdentifier, Validation) {
+  IdentifierFixture f;
+  EXPECT_THROW(RouteIdentifier({}), ContractViolation);
+  EXPECT_THROW(
+      RouteIdentifier({{nullptr, &f.index_a}}), ContractViolation);
+  EXPECT_THROW(
+      RouteIdentifier({{&f.city.route_a(), nullptr}}), ContractViolation);
+}
+
+TEST(RouteIdentifier, ZeroScansScoreZero) {
+  IdentifierFixture f;
+  RouteIdentifier identifier = f.make_identifier();
+  const auto scores = identifier.scores();
+  for (const double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+}  // namespace
+}  // namespace wiloc::core

@@ -1,0 +1,120 @@
+#include "core/seasonal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wiloc::core {
+namespace {
+
+using roadnet::EdgeId;
+
+TEST(SeasonalIndex, FlatDataGivesIndexOne) {
+  SeasonalIndexAnalyzer analyzer(24);
+  for (int h = 0; h < 24; ++h)
+    analyzer.add(EdgeId(0), h * 3600.0 + 100.0, 60.0);
+  for (std::size_t l = 0; l < 24; ++l)
+    EXPECT_NEAR(*analyzer.seasonal_index(EdgeId(0), l), 1.0, 1e-12);
+  EXPECT_FALSE(analyzer.has_periodicity(EdgeId(0)));
+}
+
+TEST(SeasonalIndex, SumOfIndicesEqualsL) {
+  // Eq. 7: sum_l SI(i, l) == L (when every slot has data).
+  SeasonalIndexAnalyzer analyzer(24);
+  for (int h = 0; h < 24; ++h) {
+    const double tt = (h == 8 || h == 9) ? 150.0 : 55.0 + h;
+    analyzer.add(EdgeId(0), h * 3600.0 + 30.0, tt);
+  }
+  double sum = 0.0;
+  for (std::size_t l = 0; l < 24; ++l) {
+    const auto si = analyzer.seasonal_index(EdgeId(0), l);
+    ASSERT_TRUE(si.has_value());
+    EXPECT_GT(*si, 0.0);  // Eq. 7's positivity
+    sum += *si;
+  }
+  EXPECT_NEAR(sum, 24.0, 1e-9);
+}
+
+TEST(SeasonalIndex, DetectsRushHour) {
+  SeasonalIndexAnalyzer analyzer(24);
+  for (int day = 0; day < 5; ++day) {
+    for (int h = 0; h < 24; ++h) {
+      const double tt = (h == 8 || h == 9) ? 120.0 : 60.0;
+      analyzer.add(EdgeId(0), h * 3600.0 + 60.0 * day, tt);
+    }
+  }
+  EXPECT_GT(*analyzer.seasonal_index(EdgeId(0), 8), 1.3);
+  EXPECT_LT(*analyzer.seasonal_index(EdgeId(0), 14), 1.0);
+  EXPECT_TRUE(analyzer.has_periodicity(EdgeId(0), 1.3));
+}
+
+TEST(SeasonalIndex, MissingSlotIsNullopt) {
+  SeasonalIndexAnalyzer analyzer(24);
+  analyzer.add(EdgeId(0), hms(12), 60.0);
+  EXPECT_TRUE(analyzer.seasonal_index(EdgeId(0), 12).has_value());
+  EXPECT_FALSE(analyzer.seasonal_index(EdgeId(0), 3).has_value());
+  EXPECT_FALSE(analyzer.seasonal_index(EdgeId(9), 12).has_value());
+}
+
+TEST(SeasonalIndex, ProfileDefaultsMissingToOne) {
+  SeasonalIndexAnalyzer analyzer(24);
+  analyzer.add(EdgeId(0), hms(12), 60.0);
+  const auto profile = analyzer.profile(EdgeId(0));
+  ASSERT_EQ(profile.size(), 24u);
+  EXPECT_DOUBLE_EQ(profile[3], 1.0);
+}
+
+TEST(SeasonalIndex, MergedSlotsGroupSimilarHours) {
+  SeasonalIndexAnalyzer analyzer(24);
+  // Flat except a sharp 08:00-10:00 rush: merging should isolate it.
+  for (int h = 0; h < 24; ++h) {
+    const double tt = (h == 8 || h == 9) ? 150.0 : 60.0;
+    analyzer.add(EdgeId(0), h * 3600.0 + 60.0, tt);
+  }
+  const DaySlots merged = analyzer.merged_slots(EdgeId(0), 0.2);
+  // Much fewer than 24 slots, more than 1 (there IS a rush).
+  EXPECT_LT(merged.count(), 6u);
+  EXPECT_GE(merged.count(), 3u);
+  // The rush hours land in their own slot, distinct from midnight's.
+  EXPECT_NE(merged.slot_of_tod(hms(8, 30)), merged.slot_of_tod(hms(2)));
+  EXPECT_EQ(merged.slot_of_tod(hms(8, 30)), merged.slot_of_tod(hms(9, 30)));
+}
+
+TEST(SeasonalIndex, FlatProfileMergesToOneSlot) {
+  SeasonalIndexAnalyzer analyzer(24);
+  for (int h = 0; h < 24; ++h)
+    analyzer.add(EdgeId(0), h * 3600.0 + 60.0, 60.0);
+  EXPECT_EQ(analyzer.merged_slots(EdgeId(0), 0.1).count(), 1u);
+}
+
+TEST(SeasonalIndex, NetworkMergeAveragesEdges) {
+  SeasonalIndexAnalyzer analyzer(24);
+  for (unsigned e = 0; e < 3; ++e) {
+    for (int h = 0; h < 24; ++h) {
+      const double tt = (h == 17) ? 140.0 : 70.0;
+      analyzer.add(EdgeId(e), h * 3600.0 + 60.0, tt);
+    }
+  }
+  const DaySlots merged = analyzer.merged_slots_network(0.2);
+  EXPECT_GE(merged.count(), 2u);
+  EXPECT_NE(merged.slot_of_tod(hms(17, 30)), merged.slot_of_tod(hms(3)));
+}
+
+TEST(SeasonalIndex, ObservedEdgesSorted) {
+  SeasonalIndexAnalyzer analyzer;
+  analyzer.add(EdgeId(4), hms(10), 50.0);
+  analyzer.add(EdgeId(1), hms(10), 50.0);
+  const auto edges = analyzer.observed_edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], EdgeId(1));
+  EXPECT_EQ(edges[1], EdgeId(4));
+}
+
+TEST(SeasonalIndex, Validation) {
+  EXPECT_THROW(SeasonalIndexAnalyzer(0), ContractViolation);
+  SeasonalIndexAnalyzer analyzer;
+  EXPECT_THROW(analyzer.add(EdgeId(0), -1.0, 10.0), ContractViolation);
+  EXPECT_THROW(analyzer.add(EdgeId(0), hms(10), 0.0), ContractViolation);
+  EXPECT_THROW(analyzer.seasonal_index(EdgeId(0), 99), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::core

@@ -1,0 +1,137 @@
+#include "core/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace wiloc::core {
+namespace {
+
+using roadnet::TripId;
+
+struct ServerFixture {
+  testing::MiniCity city;
+  sim::TrafficModel traffic{31};
+  WiLocatorServer server;
+
+  ServerFixture()
+      : server({&city.route_a(), &city.route_b()}, city.ap_snapshot(),
+               city.model, DaySlots::paper_five_slots()) {}
+
+  void train(int days = 3) {
+    Rng rng(55);
+    std::uint32_t trip_id = 1000;
+    for (int day = 0; day < days; ++day) {
+      for (std::size_t r = 0; r < city.routes.size(); ++r) {
+        for (double tod = hms(7); tod < hms(20); tod += 1800.0) {
+          const auto trip = sim::simulate_trip(
+              TripId(trip_id++), city.routes[r], city.profiles[r],
+              traffic, at_day_time(day, tod), rng);
+          for (const auto& seg : trip.segments) {
+            if (seg.travel_time() <= 0.0) continue;
+            server.load_history(
+                {city.routes[r].edges()[seg.edge_index],
+                 city.routes[r].id(), seg.exit, seg.travel_time()});
+          }
+        }
+      }
+    }
+    server.finalize_history();
+  }
+};
+
+TEST(WiLocatorServer, FullPipeline) {
+  ServerFixture f;
+  f.train();
+
+  Rng rng(77);
+  const auto trip = sim::simulate_trip(
+      TripId(5), f.city.route_a(), f.city.profiles[0], f.traffic,
+      at_day_time(5, hms(9)), rng);
+  const rf::Scanner scanner;
+  const auto reports = sim::sense_trip(trip, f.city.route_a(), f.city.aps,
+                                       f.city.model, scanner, rng);
+
+  f.server.begin_trip(TripId(5), f.city.route_a().id());
+  EXPECT_TRUE(f.server.has_trip(TripId(5)));
+
+  std::size_t fixes = 0;
+  for (const auto& report : reports)
+    if (f.server.ingest(TripId(5), report.scan).has_value()) ++fixes;
+  EXPECT_GT(fixes, reports.size() / 2);
+
+  // Position is known and plausible.
+  const auto position = f.server.position(TripId(5));
+  ASSERT_TRUE(position.has_value());
+  EXPECT_GE(*position, 0.0);
+  EXPECT_LE(*position, f.city.route_a().length());
+
+  // ETA query for the last stop from mid-trip state.
+  const SimTime now = reports.back().scan.time;
+  const auto eta = f.server.eta(TripId(5), 3, now);
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_GE(*eta, now);
+
+  // Traffic map covers all edges of both routes.
+  const TrafficMap map = f.server.traffic_map(now);
+  EXPECT_EQ(map.segments.size(), 6u);  // 5 main edges + 1 branch
+
+  // Segment observations were harvested into the recent store.
+  bool any_recent = false;
+  for (const auto edge : f.city.route_a().edges())
+    if (!f.server.store().recent(edge, now, 3600.0, 8).empty())
+      any_recent = true;
+  EXPECT_TRUE(any_recent);
+
+  f.server.end_trip(TripId(5));
+  EXPECT_THROW(f.server.ingest(TripId(5), reports.back().scan),
+               StateError);
+  // Post-hoc queries still work.
+  EXPECT_NO_THROW(f.server.tracker(TripId(5)));
+  EXPECT_NO_THROW(f.server.anomalies(TripId(5)));
+}
+
+TEST(WiLocatorServer, ErrorsOnUnknownIds) {
+  ServerFixture f;
+  EXPECT_THROW(f.server.ingest(TripId(9), rf::WifiScan{}), NotFound);
+  EXPECT_THROW(f.server.position(TripId(9)), NotFound);
+  EXPECT_THROW(f.server.eta(TripId(9), 0, 0.0), NotFound);
+  EXPECT_THROW(f.server.end_trip(TripId(9)), NotFound);
+  EXPECT_THROW(f.server.begin_trip(TripId(1), roadnet::RouteId(7)),
+               NotFound);
+  EXPECT_THROW(f.server.index_for(roadnet::RouteId(7)), NotFound);
+  EXPECT_FALSE(f.server.has_trip(TripId(9)));
+}
+
+TEST(WiLocatorServer, RejectsDuplicateTrip) {
+  ServerFixture f;
+  f.server.begin_trip(TripId(1), f.city.route_a().id());
+  EXPECT_THROW(f.server.begin_trip(TripId(1), f.city.route_a().id()),
+               StateError);
+}
+
+TEST(WiLocatorServer, EtaWithoutFixIsNullopt) {
+  ServerFixture f;
+  f.server.begin_trip(TripId(1), f.city.route_a().id());
+  EXPECT_FALSE(f.server.eta(TripId(1), 1, 0.0).has_value());
+  EXPECT_FALSE(f.server.position(TripId(1)).has_value());
+}
+
+TEST(WiLocatorServer, IndexPerRoute) {
+  ServerFixture f;
+  EXPECT_DOUBLE_EQ(f.server.index_for(f.city.route_a().id()).route_length(),
+                   f.city.route_a().length());
+  EXPECT_DOUBLE_EQ(f.server.index_for(f.city.route_b().id()).route_length(),
+                   f.city.route_b().length());
+  EXPECT_EQ(&f.server.route(f.city.route_a().id()), &f.city.route_a());
+}
+
+TEST(WiLocatorServer, RequiresRoutes) {
+  testing::MiniCity city;
+  EXPECT_THROW(WiLocatorServer({}, city.ap_snapshot(), city.model,
+                               DaySlots::paper_five_slots()),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::core

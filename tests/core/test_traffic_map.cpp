@@ -1,0 +1,129 @@
+#include "core/traffic_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace wiloc::core {
+namespace {
+
+using roadnet::EdgeId;
+using roadnet::RouteId;
+
+/// History: edge 0 has mean 100 s, residual sigma ~10 s (route 0,
+/// midday). Edge 1 has history too; edge 2 has none.
+struct TrafficMapFixture {
+  TravelTimeStore store{DaySlots::paper_five_slots()};
+
+  TrafficMapFixture() {
+    Rng rng(3);
+    for (int i = 0; i < 60; ++i) {
+      store.add_history({EdgeId(0), RouteId(0), at_day_time(i % 10, hms(12)),
+                         100.0 + rng.normal(0.0, 10.0)});
+      store.add_history({EdgeId(1), RouteId(0), at_day_time(i % 10, hms(12)),
+                         80.0 + rng.normal(0.0, 8.0)});
+    }
+    store.finalize_history();
+  }
+};
+
+TEST(TrafficMap, NormalWhenRecentMatchesHistory) {
+  TrafficMapFixture f;
+  const SimTime now = at_day_time(20, hms(12));
+  f.store.add_recent({EdgeId(0), RouteId(0), now - 300.0, 101.0});
+  const ArrivalPredictor predictor(f.store);
+  const TrafficMapBuilder builder(f.store, predictor);
+  const auto seg = builder.classify(EdgeId(0), now);
+  EXPECT_EQ(seg.state, TrafficState::Normal);
+  EXPECT_EQ(seg.recent_count, 1u);
+  EXPECT_FALSE(seg.inferred);
+}
+
+TEST(TrafficMap, SlowAndVerySlowThresholds) {
+  TrafficMapFixture f;
+  const SimTime now = at_day_time(20, hms(12));
+  // Residual sigma ~10: +13 s -> z ~1.3 (slow); +30 s -> z ~3 (very slow).
+  f.store.add_recent({EdgeId(0), RouteId(0), now - 300.0, 113.0});
+  f.store.add_recent({EdgeId(1), RouteId(0), now - 300.0, 115.0});
+  const ArrivalPredictor predictor(f.store);
+  const TrafficMapBuilder builder(f.store, predictor);
+  const auto slow = builder.classify(EdgeId(0), now);
+  EXPECT_EQ(slow.state, TrafficState::Slow);
+  const auto very_slow = builder.classify(EdgeId(1), now);
+  EXPECT_EQ(very_slow.state, TrafficState::VerySlow);
+  EXPECT_GT(very_slow.z_score, slow.z_score);
+}
+
+TEST(TrafficMap, UnknownWithoutHistory) {
+  TrafficMapFixture f;
+  const SimTime now = at_day_time(20, hms(12));
+  f.store.add_recent({EdgeId(2), RouteId(0), now - 100.0, 300.0});
+  const ArrivalPredictor predictor(f.store);
+  const TrafficMapBuilder builder(f.store, predictor);
+  EXPECT_EQ(builder.classify(EdgeId(2), now).state, TrafficState::Unknown);
+}
+
+TEST(TrafficMap, InferenceFillsSilentSegments) {
+  TrafficMapFixture f;
+  const SimTime now = at_day_time(20, hms(12));
+  // No recent pass on edge 0: WiLocator infers (defaults to normal),
+  // the agency-style map leaves it unknown.
+  const ArrivalPredictor predictor(f.store);
+  TrafficMapParams infer;
+  infer.infer_unknowns = true;
+  const TrafficMapBuilder wiloc(f.store, predictor, infer);
+  TrafficMapParams no_infer;
+  no_infer.infer_unknowns = false;
+  const TrafficMapBuilder agency(f.store, predictor, no_infer);
+
+  const auto w = wiloc.classify(EdgeId(0), now);
+  EXPECT_EQ(w.state, TrafficState::Normal);
+  EXPECT_TRUE(w.inferred);
+  const auto a = agency.classify(EdgeId(0), now);
+  EXPECT_EQ(a.state, TrafficState::Unknown);
+}
+
+TEST(TrafficMap, BuildCoversAllEdges) {
+  TrafficMapFixture f;
+  const SimTime now = at_day_time(20, hms(12));
+  f.store.add_recent({EdgeId(0), RouteId(0), now - 60.0, 140.0});
+  const ArrivalPredictor predictor(f.store);
+  const TrafficMapBuilder builder(f.store, predictor);
+  const TrafficMap map =
+      builder.build({EdgeId(0), EdgeId(1), EdgeId(2)}, now);
+  EXPECT_EQ(map.segments.size(), 3u);
+  EXPECT_DOUBLE_EQ(map.time, now);
+  EXPECT_EQ(map.count(TrafficState::VerySlow), 1u);
+  EXPECT_EQ(map.unknown_count(), 1u);  // edge 2 has no history at all
+}
+
+TEST(TrafficMap, ToStringCoversAllStates) {
+  EXPECT_STREQ(to_string(TrafficState::Unknown), "unknown");
+  EXPECT_STREQ(to_string(TrafficState::Normal), "normal");
+  EXPECT_STREQ(to_string(TrafficState::Slow), "slow");
+  EXPECT_STREQ(to_string(TrafficState::VerySlow), "very-slow");
+}
+
+TEST(TrafficMap, ValidatesParams) {
+  TrafficMapFixture f;
+  const ArrivalPredictor predictor(f.store);
+  TrafficMapParams bad;
+  bad.very_slow_z = 0.5;  // below slow_z
+  EXPECT_THROW(TrafficMapBuilder(f.store, predictor, bad),
+               ContractViolation);
+}
+
+TEST(TrafficMap, FastTrafficIsNotSlow) {
+  TrafficMapFixture f;
+  const SimTime now = at_day_time(20, hms(12));
+  // Faster-than-usual traffic: negative residual, classified normal.
+  f.store.add_recent({EdgeId(0), RouteId(0), now - 60.0, 70.0});
+  const ArrivalPredictor predictor(f.store);
+  const TrafficMapBuilder builder(f.store, predictor);
+  const auto seg = builder.classify(EdgeId(0), now);
+  EXPECT_EQ(seg.state, TrafficState::Normal);
+  EXPECT_LT(seg.z_score, 0.0);
+}
+
+}  // namespace
+}  // namespace wiloc::core

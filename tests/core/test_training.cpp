@@ -1,0 +1,94 @@
+#include "core/training.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.hpp"
+#include "util/rng.hpp"
+
+namespace wiloc::core {
+namespace {
+
+using roadnet::EdgeId;
+using roadnet::RouteId;
+
+/// History with a sharp 08:00-10:00 rush on two edges over many days.
+std::vector<TravelObservation> rush_history() {
+  std::vector<TravelObservation> out;
+  Rng rng(4);
+  for (int day = 0; day < 8; ++day) {
+    for (unsigned e = 0; e < 2; ++e) {
+      for (int h = 6; h < 22; ++h) {
+        const bool rush = (h == 8 || h == 9);
+        const double tt =
+            (rush ? 140.0 : 70.0) + rng.normal(0.0, 4.0);
+        out.push_back({EdgeId(e), RouteId(0),
+                       at_day_time(day, hms(h, 15)), std::max(tt, 10.0)});
+      }
+    }
+  }
+  return out;
+}
+
+/// Flat history: no time-of-day structure.
+std::vector<TravelObservation> flat_history() {
+  std::vector<TravelObservation> out;
+  Rng rng(5);
+  for (int day = 0; day < 8; ++day)
+    for (int h = 0; h < 24; ++h)
+      out.push_back({EdgeId(0), RouteId(0), at_day_time(day, hms(h, 30)),
+                     70.0 + rng.normal(0.0, 2.0)});
+  return out;
+}
+
+TEST(Training, DetectsPeriodicityAndSplitsSlots) {
+  const auto result = train_from_history(rush_history());
+  EXPECT_TRUE(result.periodic);
+  EXPECT_EQ(result.segments_with_periodicity, 2u);
+  // More than one slot, far fewer than 24.
+  EXPECT_GE(result.slots.count(), 2u);
+  EXPECT_LT(result.slots.count(), 10u);
+  // The rush hours end up in a different slot from midday.
+  EXPECT_NE(result.slots.slot_of_tod(hms(8, 30)),
+            result.slots.slot_of_tod(hms(13)));
+  ASSERT_NE(result.store, nullptr);
+  EXPECT_TRUE(result.store->finalized());
+}
+
+TEST(Training, DiscoveredSlotsSeparateRushMeans) {
+  const auto result = train_from_history(rush_history());
+  const std::size_t rush_slot = result.slots.slot_of_tod(hms(8, 30));
+  const std::size_t midday_slot = result.slots.slot_of_tod(hms(13));
+  const auto rush_mean =
+      result.store->historical_mean(EdgeId(0), RouteId(0), rush_slot);
+  const auto midday_mean =
+      result.store->historical_mean(EdgeId(0), RouteId(0), midday_slot);
+  ASSERT_TRUE(rush_mean.has_value());
+  ASSERT_TRUE(midday_mean.has_value());
+  EXPECT_GT(*rush_mean, *midday_mean * 1.5);
+}
+
+TEST(Training, FlatHistoryFallsBackToOneSlot) {
+  const auto result = train_from_history(flat_history());
+  EXPECT_FALSE(result.periodic);
+  EXPECT_EQ(result.slots.count(), 1u);
+  EXPECT_EQ(result.segments_with_periodicity, 0u);
+}
+
+TEST(Training, TrainedStoreDrivesPredictor) {
+  const auto result = train_from_history(rush_history());
+  const ArrivalPredictor predictor(*result.store);
+  const auto rush = predictor.predict_segment_time(
+      EdgeId(0), RouteId(0), at_day_time(20, hms(8, 30)));
+  const auto midday = predictor.predict_segment_time(
+      EdgeId(0), RouteId(0), at_day_time(20, hms(13)));
+  ASSERT_TRUE(rush.has_value());
+  ASSERT_TRUE(midday.has_value());
+  EXPECT_GT(*rush, *midday);
+}
+
+TEST(Training, RequiresObservations) {
+  EXPECT_THROW(train_from_history({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::core

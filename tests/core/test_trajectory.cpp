@@ -1,0 +1,79 @@
+#include "core/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+namespace wiloc::core {
+namespace {
+
+struct TrajFixture {
+  std::unique_ptr<roadnet::RoadNetwork> net =
+      std::make_unique<roadnet::RoadNetwork>();
+  std::vector<roadnet::BusRoute> routes;
+  geo::LatLonAnchor anchor{{49.263, -123.138}};
+
+  TrajFixture() {
+    const auto a = net->add_node({0, 0});
+    const auto b = net->add_node({1000, 0});
+    const auto e = net->add_straight_edge(a, b, 12.5);
+    routes.emplace_back(
+        roadnet::RouteId(0), "r", *net, std::vector<roadnet::EdgeId>{e},
+        std::vector<roadnet::Stop>{{"s0", 0.0}, {"s1", 1000.0}});
+  }
+};
+
+TEST(Trajectory, ConvertsFixesToLatLon) {
+  const TrajFixture f;
+  const std::vector<Fix> fixes{{0.0, 0.0, 1.0}, {10.0, 500.0, 0.9}};
+  const auto geo_traj = to_geo_trajectory(fixes, f.routes[0], f.anchor);
+  ASSERT_EQ(geo_traj.size(), 2u);
+  // First fix is at the anchor-relative origin of the route.
+  EXPECT_NEAR(geo_traj[0].position.latitude, 49.263, 1e-9);
+  EXPECT_NEAR(geo_traj[0].position.longitude, -123.138, 1e-9);
+  // 500 m east shifts longitude, not latitude.
+  EXPECT_GT(geo_traj[1].position.longitude, geo_traj[0].position.longitude);
+  EXPECT_NEAR(geo_traj[1].position.latitude, 49.263, 1e-9);
+  EXPECT_DOUBLE_EQ(geo_traj[1].time, 10.0);
+  EXPECT_DOUBLE_EQ(geo_traj[1].confidence, 0.9);
+}
+
+TEST(Trajectory, CsvRoundTrip) {
+  const TrajFixture f;
+  const std::vector<Fix> fixes{
+      {0.0, 0.0, 1.0}, {10.0, 123.4, 0.5}, {20.0, 987.6, 0.25}};
+  const auto geo_traj = to_geo_trajectory(fixes, f.routes[0], f.anchor);
+  std::stringstream stream;
+  write_trajectory_csv(stream, geo_traj);
+  const auto parsed = read_trajectory_csv(stream);
+  ASSERT_EQ(parsed.size(), geo_traj.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_NEAR(parsed[i].position.latitude,
+                geo_traj[i].position.latitude, 1e-8);
+    EXPECT_NEAR(parsed[i].position.longitude,
+                geo_traj[i].position.longitude, 1e-8);
+    EXPECT_NEAR(parsed[i].time, geo_traj[i].time, 1e-8);
+    EXPECT_NEAR(parsed[i].confidence, geo_traj[i].confidence, 1e-8);
+  }
+}
+
+TEST(Trajectory, CsvRejectsBadHeader) {
+  std::stringstream stream("lat,lon\n1,2\n");
+  EXPECT_THROW(read_trajectory_csv(stream), InvalidArgument);
+}
+
+TEST(Trajectory, CsvRejectsBadRow) {
+  std::stringstream stream(
+      "latitude,longitude,time_s,confidence\n49.2 -123.1 5 1\n");
+  EXPECT_THROW(read_trajectory_csv(stream), InvalidArgument);
+}
+
+TEST(Trajectory, EmptyTrajectory) {
+  std::stringstream stream;
+  write_trajectory_csv(stream, {});
+  EXPECT_TRUE(read_trajectory_csv(stream).empty());
+}
+
+}  // namespace
+}  // namespace wiloc::core

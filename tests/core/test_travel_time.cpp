@@ -1,0 +1,138 @@
+#include "core/travel_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wiloc::core {
+namespace {
+
+using roadnet::EdgeId;
+using roadnet::RouteId;
+
+TravelObservation obs(unsigned edge, unsigned route, SimTime exit,
+                      double tt) {
+  return {EdgeId(edge), RouteId(route), exit, tt};
+}
+
+TEST(TravelTimeStore, HistoricalMeanPerCell) {
+  TravelTimeStore store(DaySlots::paper_five_slots());
+  // Two observations in the midday slot for (edge 0, route 0).
+  store.add_history(obs(0, 0, at_day_time(0, hms(12)), 100.0));
+  store.add_history(obs(0, 0, at_day_time(1, hms(13)), 120.0));
+  // One in the AM-rush slot.
+  store.add_history(obs(0, 0, at_day_time(0, hms(9)), 200.0));
+  const std::size_t midday = store.slots().slot_of_tod(hms(12));
+  const std::size_t rush = store.slots().slot_of_tod(hms(9));
+  EXPECT_DOUBLE_EQ(*store.historical_mean(EdgeId(0), RouteId(0), midday),
+                   110.0);
+  EXPECT_DOUBLE_EQ(*store.historical_mean(EdgeId(0), RouteId(0), rush),
+                   200.0);
+  EXPECT_FALSE(
+      store.historical_mean(EdgeId(0), RouteId(1), midday).has_value());
+  EXPECT_FALSE(
+      store.historical_mean(EdgeId(1), RouteId(0), midday).has_value());
+}
+
+TEST(TravelTimeStore, CrossRouteMean) {
+  TravelTimeStore store(DaySlots::paper_five_slots());
+  store.add_history(obs(0, 0, at_day_time(0, hms(12)), 100.0));
+  store.add_history(obs(0, 1, at_day_time(0, hms(12)), 140.0));
+  const std::size_t midday = store.slots().slot_of_tod(hms(12));
+  EXPECT_DOUBLE_EQ(*store.historical_mean_any_route(EdgeId(0), midday),
+                   120.0);
+}
+
+TEST(TravelTimeStore, HistoryCount) {
+  TravelTimeStore store(DaySlots::paper_five_slots());
+  store.add_history(obs(0, 0, at_day_time(0, hms(12)), 100.0));
+  store.add_history(obs(0, 1, at_day_time(0, hms(9)), 100.0));
+  store.add_history(obs(1, 0, at_day_time(0, hms(12)), 100.0));
+  EXPECT_EQ(store.history_count(EdgeId(0)), 2u);
+  EXPECT_EQ(store.history_count(EdgeId(1)), 1u);
+  EXPECT_EQ(store.history_count(EdgeId(2)), 0u);
+}
+
+TEST(TravelTimeStore, ResidualStatsAfterFinalize) {
+  TravelTimeStore store(DaySlots::paper_five_slots());
+  // Route 0 mean 100, route 1 mean 200, same edge/slot; residuals are
+  // computed against each route's own mean.
+  for (const double tt : {90.0, 110.0})
+    store.add_history(obs(0, 0, at_day_time(0, hms(12)), tt));
+  for (const double tt : {180.0, 220.0})
+    store.add_history(obs(0, 1, at_day_time(0, hms(12)), tt));
+  EXPECT_FALSE(store.finalized());
+  store.finalize_history();
+  EXPECT_TRUE(store.finalized());
+  const std::size_t midday = store.slots().slot_of_tod(hms(12));
+  // Residuals: -10, +10, -20, +20 -> mean 0.
+  EXPECT_NEAR(*store.residual_mean(EdgeId(0), midday), 0.0, 1e-9);
+  EXPECT_GT(*store.residual_stddev(EdgeId(0), midday), 10.0);
+  EXPECT_FALSE(store.residual_mean(EdgeId(1), midday).has_value());
+}
+
+TEST(TravelTimeStore, FinalizeGuards) {
+  TravelTimeStore store(DaySlots::paper_five_slots());
+  store.add_history(obs(0, 0, at_day_time(0, hms(12)), 100.0));
+  store.finalize_history();
+  EXPECT_THROW(store.finalize_history(), StateError);
+  EXPECT_THROW(
+      store.add_history(obs(0, 0, at_day_time(0, hms(12)), 100.0)),
+      StateError);
+}
+
+TEST(TravelTimeStore, RejectsNonPositiveTravelTime) {
+  TravelTimeStore store(DaySlots::paper_five_slots());
+  EXPECT_THROW(store.add_history(obs(0, 0, 0.0, 0.0)), ContractViolation);
+  EXPECT_THROW(store.add_recent(obs(0, 0, 0.0, -5.0)), ContractViolation);
+}
+
+TEST(TravelTimeStore, RecentNewestFirstWithWindow) {
+  TravelTimeStore store(DaySlots::paper_five_slots());
+  store.add_recent(obs(0, 0, 1000.0, 50.0));
+  store.add_recent(obs(0, 1, 1500.0, 60.0));
+  store.add_recent(obs(0, 0, 2000.0, 70.0));
+  const auto recents = store.recent(EdgeId(0), 2100.0, 800.0, 10);
+  ASSERT_EQ(recents.size(), 2u);  // the 1000.0 one is outside the window
+  EXPECT_DOUBLE_EQ(recents[0].exit_time, 2000.0);
+  EXPECT_DOUBLE_EQ(recents[1].exit_time, 1500.0);
+}
+
+TEST(TravelTimeStore, RecentRespectsMaxCount) {
+  TravelTimeStore store(DaySlots::paper_five_slots());
+  for (int i = 0; i < 10; ++i)
+    store.add_recent(obs(0, 0, 100.0 * i, 50.0));
+  EXPECT_EQ(store.recent(EdgeId(0), 1000.0, 1e6, 3).size(), 3u);
+}
+
+TEST(TravelTimeStore, RecentIgnoresFutureObservations) {
+  TravelTimeStore store(DaySlots::paper_five_slots());
+  store.add_recent(obs(0, 0, 1000.0, 50.0));
+  store.add_recent(obs(0, 0, 5000.0, 60.0));
+  const auto recents = store.recent(EdgeId(0), 1200.0, 1e6, 10);
+  ASSERT_EQ(recents.size(), 1u);
+  EXPECT_DOUBLE_EQ(recents[0].exit_time, 1000.0);
+}
+
+TEST(TravelTimeStore, RecentOutOfOrderInsertion) {
+  TravelTimeStore store(DaySlots::paper_five_slots());
+  store.add_recent(obs(0, 0, 2000.0, 50.0));
+  store.add_recent(obs(0, 0, 1000.0, 60.0));  // arrives late
+  const auto recents = store.recent(EdgeId(0), 2100.0, 1e6, 10);
+  ASSERT_EQ(recents.size(), 2u);
+  EXPECT_DOUBLE_EQ(recents[0].exit_time, 2000.0);
+}
+
+TEST(TravelTimeStore, PruneRecent) {
+  TravelTimeStore store(DaySlots::paper_five_slots());
+  store.add_recent(obs(0, 0, 100.0, 50.0));
+  store.add_recent(obs(0, 0, 900.0, 50.0));
+  store.prune_recent(1000.0, 200.0);
+  EXPECT_EQ(store.recent(EdgeId(0), 1000.0, 1e6, 10).size(), 1u);
+}
+
+TEST(TravelTimeStore, RecentOnUnknownEdgeIsEmpty) {
+  TravelTimeStore store(DaySlots::paper_five_slots());
+  EXPECT_TRUE(store.recent(EdgeId(7), 0.0, 1e6, 10).empty());
+}
+
+}  // namespace
+}  // namespace wiloc::core

@@ -1,0 +1,121 @@
+#include "core/trip_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "sim/crowd.hpp"
+
+namespace wiloc::core {
+namespace {
+
+using roadnet::TripId;
+
+struct PlannerFixture {
+  testing::MiniCity city;
+  sim::TrafficModel traffic{88};
+  WiLocatorServer server;
+  std::vector<sim::TripRecord> records;
+  std::vector<TripId> live_trips;
+
+  PlannerFixture()
+      : server({&city.route_a(), &city.route_b()}, city.ap_snapshot(),
+               city.model, DaySlots::paper_five_slots()) {
+    Rng rng(2);
+    // Minimal history so ETAs come from real means.
+    for (int day = 0; day < 2; ++day) {
+      for (double tod = hms(8); tod < hms(18); tod += 1800.0) {
+        const auto trip = sim::simulate_trip(
+            TripId(9000 + static_cast<std::uint32_t>(day * 100 + tod / 1800)),
+            city.route_a(), city.profiles[0], traffic,
+            at_day_time(day, tod), rng);
+        for (const auto& seg : trip.segments)
+          if (seg.travel_time() > 0.0)
+            server.load_history({city.route_a().edges()[seg.edge_index],
+                                 city.route_a().id(), seg.exit,
+                                 seg.travel_time()});
+      }
+    }
+    server.finalize_history();
+
+    // Two staggered live buses on route A.
+    const rf::Scanner scanner;
+    for (std::uint32_t i = 0; i < 2; ++i) {
+      const auto trip = sim::simulate_trip(
+          TripId(i), city.route_a(), city.profiles[0], traffic,
+          at_day_time(5, hms(12, 10 * i)), rng);
+      const auto reports = sim::sense_trip(trip, city.route_a(), city.aps,
+                                           city.model, scanner, rng);
+      server.begin_trip(trip.id, trip.route);
+      // Feed only the first quarter of each trip: both buses are
+      // mid-route, before the later stops.
+      for (std::size_t r = 0; r < reports.size() / 4; ++r)
+        server.ingest(trip.id, reports[r].scan);
+      records.push_back(trip);
+      live_trips.push_back(trip.id);
+    }
+  }
+};
+
+TEST(TripPlanner, ListsUpcomingBusesInArrivalOrder) {
+  PlannerFixture f;
+  const TripPlanner planner(f.server);
+  // Rider waits at stop 2 (offset 1400), going to stop 3 (route end).
+  const SimTime now = f.records[0].start_time + 200.0;
+  const auto options =
+      planner.plan(f.city.route_a(), 2, 3, now, f.live_trips);
+  ASSERT_EQ(options.size(), 2u);
+  // Sorted by destination arrival; earlier-departing bus arrives first.
+  EXPECT_LE(options[0].eta_destination, options[1].eta_destination);
+  EXPECT_EQ(options[0].trip, TripId(0));
+  for (const auto& option : options) {
+    EXPECT_EQ(option.route_name, "A");
+    EXPECT_GE(option.wait_s, 0.0);
+    EXPECT_GT(option.ride_s, 0.0);
+    EXPECT_GE(option.eta_destination, option.eta_origin);
+  }
+}
+
+TEST(TripPlanner, ExcludesBusesPastTheOrigin) {
+  PlannerFixture f;
+  const TripPlanner planner(f.server);
+  const SimTime now = f.records[0].start_time + 200.0;
+  // Stop 1 is at offset 700; both buses were fed a quarter of the trip
+  // (~500 m in): whichever bus is already past 700 must not appear.
+  const auto at_origin =
+      planner.plan(f.city.route_a(), 1, 3, now, f.live_trips);
+  for (const auto& option : at_origin) {
+    const auto position = f.server.position(option.trip);
+    ASSERT_TRUE(position.has_value());
+    EXPECT_LE(*position, f.city.route_a().stop_offset(1));
+  }
+}
+
+TEST(TripPlanner, UnknownTripsAreSkipped) {
+  PlannerFixture f;
+  const TripPlanner planner(f.server);
+  const SimTime now = f.records[0].start_time + 200.0;
+  const auto options = planner.plan(f.city.route_a(), 2, 3, now,
+                                    {TripId(555), f.live_trips[0]});
+  EXPECT_EQ(options.size(), 1u);
+}
+
+TEST(TripPlanner, ValidatesStops) {
+  PlannerFixture f;
+  const TripPlanner planner(f.server);
+  EXPECT_THROW(planner.plan(f.city.route_a(), 2, 2, 0.0, f.live_trips),
+               ContractViolation);
+  EXPECT_THROW(planner.plan(f.city.route_a(), 2, 9, 0.0, f.live_trips),
+               ContractViolation);
+}
+
+TEST(TripPlanner, NoFixNoOption) {
+  PlannerFixture f;
+  f.server.begin_trip(TripId(77), f.city.route_a().id());  // never ingested
+  const TripPlanner planner(f.server);
+  const auto options = planner.plan(f.city.route_a(), 2, 3,
+                                    f.records[0].start_time, {TripId(77)});
+  EXPECT_TRUE(options.empty());
+}
+
+}  // namespace
+}  // namespace wiloc::core

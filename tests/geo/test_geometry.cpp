@@ -1,0 +1,118 @@
+#include "geo/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wiloc::geo {
+namespace {
+
+TEST(Vec, Arithmetic) {
+  const Vec a{3, 4};
+  const Vec b{1, -2};
+  EXPECT_EQ((a + b), (Vec{4, 2}));
+  EXPECT_EQ((a - b), (Vec{2, 6}));
+  EXPECT_EQ((a * 2.0), (Vec{6, 8}));
+  EXPECT_EQ((a / 2.0), (Vec{1.5, 2}));
+  EXPECT_EQ(-a, (Vec{-3, -4}));
+}
+
+TEST(Vec, DotCrossNorm) {
+  const Vec a{3, 4};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(a.dot({1, 0}), 3.0);
+  EXPECT_DOUBLE_EQ((Vec{1, 0}.cross({0, 1})), 1.0);
+  EXPECT_DOUBLE_EQ((Vec{0, 1}.cross({1, 0})), -1.0);
+}
+
+TEST(Vec, Normalized) {
+  const Vec n = Vec{3, 4}.normalized();
+  EXPECT_DOUBLE_EQ(n.x, 0.6);
+  EXPECT_DOUBLE_EQ(n.y, 0.8);
+  EXPECT_THROW((Vec{0, 0}.normalized()), wiloc::ContractViolation);
+}
+
+TEST(Vec, PerpIsCcw) {
+  const Vec p = Vec{1, 0}.perp();
+  EXPECT_EQ(p, (Vec{0, 1}));
+  EXPECT_DOUBLE_EQ((Vec{1, 0}.cross(p)), 1.0);
+}
+
+TEST(Point, Arithmetic) {
+  const Point p{1, 2};
+  const Vec v{3, 4};
+  EXPECT_EQ((p + v), (Point{4, 6}));
+  EXPECT_EQ((p - v), (Point{-2, -2}));
+  EXPECT_EQ((Point{4, 6} - p), v);
+}
+
+TEST(Distance, BasicAndSquared) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance2({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(Lerp, Endpoints) {
+  const Point a{0, 0};
+  const Point b{10, 20};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), (Point{5, 10}));
+}
+
+TEST(SegmentProjection, InteriorPoint) {
+  const Point a{0, 0};
+  const Point b{10, 0};
+  EXPECT_EQ(project_on_segment({5, 3}, a, b), (Point{5, 0}));
+  EXPECT_DOUBLE_EQ(distance_to_segment({5, 3}, a, b), 3.0);
+  EXPECT_DOUBLE_EQ(project_parameter({5, 3}, a, b), 0.5);
+}
+
+TEST(SegmentProjection, ClampsToEndpoints) {
+  const Point a{0, 0};
+  const Point b{10, 0};
+  EXPECT_EQ(project_on_segment({-5, 1}, a, b), a);
+  EXPECT_EQ(project_on_segment({15, 1}, a, b), b);
+  EXPECT_DOUBLE_EQ(project_parameter({-5, 1}, a, b), 0.0);
+  EXPECT_DOUBLE_EQ(project_parameter({15, 1}, a, b), 1.0);
+}
+
+TEST(SegmentProjection, DegenerateSegment) {
+  const Point a{2, 2};
+  EXPECT_EQ(project_on_segment({5, 5}, a, a), a);
+  EXPECT_DOUBLE_EQ(project_parameter({5, 5}, a, a), 0.0);
+}
+
+TEST(Aabb, EmptyByDefault) {
+  Aabb box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_FALSE(box.contains({0, 0}));
+  EXPECT_DOUBLE_EQ(box.width(), 0.0);
+}
+
+TEST(Aabb, ExpandAndContains) {
+  Aabb box;
+  box.expand({1, 1});
+  box.expand({5, -2});
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.contains({3, 0}));
+  EXPECT_TRUE(box.contains({1, 1}));
+  EXPECT_FALSE(box.contains({0, 0}));
+  EXPECT_DOUBLE_EQ(box.width(), 4.0);
+  EXPECT_DOUBLE_EQ(box.height(), 3.0);
+  EXPECT_EQ(box.center(), (Point{3, -0.5}));
+}
+
+TEST(Aabb, Inflate) {
+  Aabb box({0, 0}, {2, 2});
+  box.inflate(1.0);
+  EXPECT_TRUE(box.contains({-0.5, -0.5}));
+  EXPECT_TRUE(box.contains({2.5, 2.5}));
+  EXPECT_THROW(box.inflate(-1.0), wiloc::ContractViolation);
+}
+
+TEST(Aabb, ConstructorValidation) {
+  EXPECT_THROW(Aabb({1, 0}, {0, 1}), wiloc::ContractViolation);
+  EXPECT_NO_THROW(Aabb({0, 0}, {0, 0}));
+}
+
+}  // namespace
+}  // namespace wiloc::geo

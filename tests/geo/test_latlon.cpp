@@ -1,0 +1,60 @@
+#include "geo/latlon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wiloc::geo {
+namespace {
+
+// Metro-Vancouver-ish origin (the paper's corridor).
+constexpr LatLon kVancouver{49.263, -123.138};
+
+TEST(LatLonAnchor, OriginMapsToZero) {
+  const LatLonAnchor anchor(kVancouver);
+  const Point p = anchor.to_local(kVancouver);
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+}
+
+TEST(LatLonAnchor, RoundTrip) {
+  const LatLonAnchor anchor(kVancouver);
+  const Point local{1234.5, -678.9};
+  const LatLon ll = anchor.to_latlon(local);
+  const Point back = anchor.to_local(ll);
+  EXPECT_NEAR(back.x, local.x, 1e-6);
+  EXPECT_NEAR(back.y, local.y, 1e-6);
+}
+
+TEST(LatLonAnchor, LatitudeDegreeScale) {
+  const LatLonAnchor anchor(kVancouver);
+  const Point p =
+      anchor.to_local({kVancouver.latitude + 1.0, kVancouver.longitude});
+  EXPECT_NEAR(p.y, 111132.954, 1.0);
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+}
+
+TEST(LatLonAnchor, LongitudeShrinksWithLatitude) {
+  const LatLonAnchor vancouver(kVancouver);
+  const LatLonAnchor equator({0.0, 0.0});
+  const Point pv =
+      vancouver.to_local({kVancouver.latitude, kVancouver.longitude + 1.0});
+  const Point pe = equator.to_local({0.0, 1.0});
+  EXPECT_LT(pv.x, pe.x);
+  EXPECT_NEAR(pe.x, 111319.488, 1.0);
+  // cos(49.263 deg) ~ 0.6525
+  EXPECT_NEAR(pv.x / pe.x, 0.6525, 0.001);
+}
+
+TEST(LatLonAnchor, RejectsPolarOrigin) {
+  EXPECT_THROW(LatLonAnchor({89.5, 0.0}), wiloc::ContractViolation);
+  EXPECT_THROW(LatLonAnchor({-90.0, 0.0}), wiloc::ContractViolation);
+}
+
+TEST(LatLonAnchor, EastIsPositiveX) {
+  const LatLonAnchor anchor(kVancouver);
+  const Point p =
+      anchor.to_local({kVancouver.latitude, kVancouver.longitude + 0.01});
+  EXPECT_GT(p.x, 0.0);
+}
+
+}  // namespace
+}  // namespace wiloc::geo

@@ -1,0 +1,112 @@
+#include "geo/polyline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wiloc::geo {
+namespace {
+
+Polyline make_l_shape() {
+  // (0,0) -> (10,0) -> (10,5): total length 15.
+  return Polyline({{0, 0}, {10, 0}, {10, 5}});
+}
+
+TEST(Polyline, RequiresTwoDistinctVertices) {
+  EXPECT_THROW(Polyline({{0, 0}}), wiloc::ContractViolation);
+  EXPECT_THROW(Polyline({{0, 0}, {0, 0}}), wiloc::ContractViolation);
+  EXPECT_NO_THROW(Polyline({{0, 0}, {1, 0}}));
+}
+
+TEST(Polyline, Length) {
+  EXPECT_DOUBLE_EQ(make_l_shape().length(), 15.0);
+  EXPECT_EQ(make_l_shape().segment_count(), 2u);
+}
+
+TEST(Polyline, PointAt) {
+  const Polyline line = make_l_shape();
+  EXPECT_EQ(line.point_at(0.0), (Point{0, 0}));
+  EXPECT_EQ(line.point_at(5.0), (Point{5, 0}));
+  EXPECT_EQ(line.point_at(10.0), (Point{10, 0}));
+  EXPECT_EQ(line.point_at(12.5), (Point{10, 2.5}));
+  EXPECT_EQ(line.point_at(15.0), (Point{10, 5}));
+}
+
+TEST(Polyline, PointAtClamps) {
+  const Polyline line = make_l_shape();
+  EXPECT_EQ(line.point_at(-3.0), line.front());
+  EXPECT_EQ(line.point_at(99.0), line.back());
+}
+
+TEST(Polyline, TangentAt) {
+  const Polyline line = make_l_shape();
+  EXPECT_EQ(line.tangent_at(5.0), (Vec{1, 0}));
+  EXPECT_EQ(line.tangent_at(12.0), (Vec{0, 1}));
+}
+
+TEST(Polyline, ProjectOntoFirstSegment) {
+  const Polyline line = make_l_shape();
+  const auto proj = line.project({5, 2});
+  EXPECT_EQ(proj.point, (Point{5, 0}));
+  EXPECT_DOUBLE_EQ(proj.offset, 5.0);
+  EXPECT_DOUBLE_EQ(proj.distance, 2.0);
+}
+
+TEST(Polyline, ProjectPicksNearerSegment) {
+  const Polyline line = make_l_shape();
+  const auto proj = line.project({11, 4});
+  EXPECT_EQ(proj.point, (Point{10, 4}));
+  EXPECT_DOUBLE_EQ(proj.offset, 14.0);
+}
+
+TEST(Polyline, ProjectBeyondEnd) {
+  const Polyline line = make_l_shape();
+  const auto proj = line.project({10, 50});
+  EXPECT_EQ(proj.point, (Point{10, 5}));
+  EXPECT_DOUBLE_EQ(proj.offset, 15.0);
+}
+
+TEST(Polyline, ProjectionRoundTrip) {
+  const Polyline line = make_l_shape();
+  for (double s = 0.0; s <= 15.0; s += 0.5) {
+    const auto proj = line.project(line.point_at(s));
+    EXPECT_NEAR(proj.offset, s, 1e-9);
+    EXPECT_NEAR(proj.distance, 0.0, 1e-9);
+  }
+}
+
+TEST(Polyline, ArcDistance) {
+  const Polyline line = make_l_shape();
+  EXPECT_DOUBLE_EQ(line.arc_distance(2.0, 12.0), 10.0);
+  EXPECT_DOUBLE_EQ(line.arc_distance(12.0, 2.0), 10.0);
+  EXPECT_DOUBLE_EQ(line.arc_distance(-5.0, 20.0), 15.0);  // clamped
+}
+
+TEST(Polyline, SampleOffsets) {
+  const Polyline line = make_l_shape();
+  const auto samples = line.sample_offsets(4.0);
+  ASSERT_GE(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples.front(), 0.0);
+  EXPECT_DOUBLE_EQ(samples.back(), 15.0);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(samples[i] - samples[i - 1], 4.0 + 1e-9);
+    EXPECT_GT(samples[i], samples[i - 1]);
+  }
+  EXPECT_THROW(line.sample_offsets(0.0), wiloc::ContractViolation);
+}
+
+TEST(Polyline, Concatenate) {
+  const Polyline a({{0, 0}, {5, 0}});
+  const Polyline b({{5, 0}, {5, 5}});
+  const Polyline joined = Polyline::concatenate({a, b});
+  EXPECT_DOUBLE_EQ(joined.length(), 10.0);
+  EXPECT_EQ(joined.vertices().size(), 3u);
+}
+
+TEST(Polyline, ConcatenateRejectsGaps) {
+  const Polyline a({{0, 0}, {5, 0}});
+  const Polyline b({{6, 0}, {9, 0}});
+  EXPECT_THROW(Polyline::concatenate({a, b}), wiloc::ContractViolation);
+  EXPECT_THROW(Polyline::concatenate({}), wiloc::ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::geo

@@ -1,0 +1,142 @@
+// AP dynamics: the paper's Section III-B claim that SVD positioning
+// "does not suffer from such dynamics" — losing APs degrades gracefully,
+// while a stale fingerprint database does not.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "baselines/fingerprint.hpp"
+#include "core/tracker.hpp"
+#include "svd/route_svd.hpp"
+
+namespace wiloc {
+namespace {
+
+struct DynamicsFixture {
+  testing::MiniCity city;
+  sim::TrafficModel traffic{303};
+
+  /// Tracks a trip using an index built at time 0, with scans generated
+  /// at `scan_day` (after any outages); returns the mean tracking error.
+  double track_error(const svd::PositioningIndex& index, SimTime start,
+                     std::uint64_t seed) {
+    Rng rng(seed);
+    const auto trip =
+        sim::simulate_trip(roadnet::TripId(0), city.route_a(),
+                           city.profiles[0], traffic, start, rng);
+    const rf::Scanner scanner;
+    const auto reports = sim::sense_trip(trip, city.route_a(), city.aps,
+                                         city.model, scanner, rng);
+    const core::SvdPositioner positioner(index);
+    core::BusTracker tracker(city.route_a(), positioner);
+    double err = 0.0;
+    std::size_t n = 0;
+    for (const auto& report : reports) {
+      const auto fix = tracker.ingest(report.scan);
+      if (!fix.has_value()) continue;
+      err += std::abs(fix->route_offset - trip.offset_at(fix->time));
+      ++n;
+    }
+    return n > 0 ? err / static_cast<double>(n) : 1e9;
+  }
+};
+
+TEST(ApDynamics, SvdSurvivesModerateApLoss) {
+  DynamicsFixture f;
+  // Index built with the full AP set at time 0.
+  const svd::RouteSvd index(f.city.route_a(), f.city.ap_snapshot(),
+                            f.city.model, {});
+  const double baseline =
+      f.track_error(index, at_day_time(0, hms(11)), 5);
+
+  // Kill every 4th AP from day 1 on; scans on day 1 miss them.
+  for (std::size_t i = 0; i < f.city.aps.count(); i += 4)
+    f.city.aps.retire(rf::ApId(static_cast<std::uint32_t>(i)),
+                      at_day_time(1, 0.0));
+  const double degraded =
+      f.track_error(index, at_day_time(1, hms(11)), 5);
+
+  // Graceful: error grows but stays the same order of magnitude.
+  EXPECT_LT(baseline, 30.0);
+  EXPECT_LT(degraded, baseline * 5.0 + 30.0);
+}
+
+TEST(ApDynamics, RebuildingRestoresAccuracy) {
+  DynamicsFixture f;
+  for (std::size_t i = 0; i < f.city.aps.count(); i += 4)
+    f.city.aps.retire(rf::ApId(static_cast<std::uint32_t>(i)),
+                      at_day_time(1, 0.0));
+  // An index rebuilt from the surviving APs (the server would
+  // reconstruct the SVD from fresh crowd data).
+  const svd::RouteSvd rebuilt(
+      f.city.route_a(), f.city.ap_snapshot(at_day_time(1, hms(1))),
+      f.city.model, {});
+  const double err = f.track_error(rebuilt, at_day_time(1, hms(11)), 5);
+  EXPECT_LT(err, 35.0);
+}
+
+TEST(ApDynamics, NewApsAreIgnoredUntilRebuilt) {
+  DynamicsFixture f;
+  const svd::RouteSvd index(f.city.route_a(), f.city.ap_snapshot(),
+                            f.city.model, {});
+  const double before =
+      f.track_error(index, at_day_time(0, hms(11)), 6);
+  // Deploy brand-new APs the index has never seen.
+  Rng rng(9);
+  for (int i = 0; i < 8; ++i)
+    f.city.aps.add({250.0 * i + 60.0, (i % 2) ? 30.0 : -30.0},
+                   rng.uniform(-34.0, -28.0), rng.uniform(2.7, 3.3));
+  const double after = f.track_error(index, at_day_time(0, hms(11)), 6);
+  // Unknown APs are filtered out of the ranking: error barely moves.
+  EXPECT_LT(after, before * 2.0 + 15.0);
+}
+
+TEST(ApDynamics, SvdOutlivesFingerprintUnderChurn) {
+  // Head-to-head under the same AP churn: mean error growth factor of
+  // the rank-based SVD stays below the fingerprint's.
+  DynamicsFixture f;
+  const svd::RouteSvd svd_index(f.city.route_a(), f.city.ap_snapshot(),
+                                f.city.model, {});
+  Rng survey_rng(13);
+  const baselines::FingerprintLocalizer fp(
+      f.city.route_a(), f.city.aps, f.city.model, 0.0, survey_rng);
+
+  const auto scan_error = [&](const auto& locate, SimTime t,
+                              std::uint64_t seed) {
+    const rf::Scanner scanner;
+    Rng rng(seed);
+    double err = 0.0;
+    int n = 0;
+    for (double truth = 150.0; truth < 1900.0; truth += 110.0) {
+      const auto scan =
+          scanner.scan(f.city.aps, f.city.model,
+                       f.city.route_a().point_at(truth), t, rng);
+      const auto candidates = locate(scan);
+      if (candidates.empty()) continue;
+      err += std::abs(candidates.front().route_offset - truth);
+      ++n;
+    }
+    return n > 0 ? err / n : 1e9;
+  };
+  const auto svd_locate = [&](const rf::WifiScan& scan) {
+    return svd_index.locate(scan.ranked_aps());
+  };
+  const auto fp_locate = [&](const rf::WifiScan& scan) {
+    return fp.locate_scan(scan);
+  };
+
+  const double svd_before = scan_error(svd_locate, 0.0, 21);
+  const double fp_before = scan_error(fp_locate, 0.0, 21);
+
+  for (std::size_t i = 0; i < f.city.aps.count(); i += 3)
+    f.city.aps.retire(rf::ApId(static_cast<std::uint32_t>(i)), 10.0);
+
+  const double svd_after = scan_error(svd_locate, 20.0, 22);
+  const double fp_after = scan_error(fp_locate, 20.0, 22);
+
+  const double svd_growth = svd_after / std::max(svd_before, 1.0);
+  const double fp_growth = fp_after / std::max(fp_before, 1.0);
+  EXPECT_LT(svd_growth, fp_growth * 1.5);
+}
+
+}  // namespace
+}  // namespace wiloc

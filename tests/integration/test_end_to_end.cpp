@@ -1,0 +1,183 @@
+// End-to-end: history training -> live tracking -> prediction, and the
+// paper's headline claim — recent cross-route data beats the schedule.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "baselines/schedule.hpp"
+#include "core/server.hpp"
+
+namespace wiloc {
+namespace {
+
+using core::WiLocatorServer;
+using roadnet::TripId;
+
+struct EndToEnd {
+  testing::MiniCity city;
+  sim::TrafficModel traffic{101};
+  WiLocatorServer server;
+  Rng rng{202};
+
+  EndToEnd()
+      : server({&city.route_a(), &city.route_b()}, city.ap_snapshot(),
+               city.model, DaySlots::paper_five_slots()) {}
+
+  void train(int days) {
+    std::uint32_t id = 10000;
+    for (int day = 0; day < days; ++day) {
+      for (std::size_t r = 0; r < city.routes.size(); ++r) {
+        for (double tod = hms(7); tod < hms(20); tod += 1200.0) {
+          const auto trip = sim::simulate_trip(
+              TripId(id++), city.routes[r], city.profiles[r], traffic,
+              at_day_time(day, tod), rng);
+          for (const auto& seg : trip.segments) {
+            if (seg.travel_time() <= 0.0) continue;
+            server.load_history(
+                {city.routes[r].edges()[seg.edge_index],
+                 city.routes[r].id(), seg.exit, seg.travel_time()});
+          }
+        }
+      }
+    }
+    server.finalize_history();
+  }
+
+  /// Runs a trip through the live pipeline; returns the record.
+  sim::TripRecord live_trip(TripId id, std::size_t route_index,
+                            SimTime depart) {
+    const auto& route = city.routes[route_index];
+    const auto trip = sim::simulate_trip(
+        id, route, city.profiles[route_index], traffic, depart, rng);
+    const rf::Scanner scanner;
+    const auto reports =
+        sim::sense_trip(trip, route, city.aps, city.model, scanner, rng);
+    server.begin_trip(id, route.id());
+    for (const auto& report : reports) server.ingest(id, report.scan);
+    return trip;
+  }
+};
+
+TEST(EndToEnd, TrackingErrorWithinPaperScale) {
+  EndToEnd e2e;
+  e2e.train(2);
+  const auto trip = e2e.live_trip(TripId(1), 0, at_day_time(5, hms(9)));
+  const auto& fixes = e2e.server.tracker(TripId(1)).fixes();
+  ASSERT_GT(fixes.size(), 20u);
+  std::vector<double> errors;
+  for (const auto& fix : fixes)
+    errors.push_back(std::abs(fix.route_offset - trip.offset_at(fix.time)));
+  EXPECT_LT(quantile_of(errors, 0.5), 25.0);
+  EXPECT_LT(quantile_of(errors, 0.9), 80.0);
+}
+
+TEST(EndToEnd, RecentDataImprovesRushHourPrediction) {
+  // During a rush hour whose intensity the daily wiggle shifts away
+  // from the historical mean, the Eq.-8 correction (fed by a leading
+  // bus) must beat the schedule on the following bus.
+  EndToEnd e2e;
+  e2e.train(4);
+
+  const int test_day = 9;
+  // A leading bus on route B (shares the middle edges with A) primes
+  // the recent store…
+  e2e.live_trip(TripId(50), 1, at_day_time(test_day, hms(8, 10)));
+  // …then the bus under test departs on route A.
+  const SimTime depart = at_day_time(test_day, hms(8, 25));
+  const auto trip = e2e.live_trip(TripId(51), 0, depart);
+
+  const baselines::SchedulePredictor schedule(e2e.server.store());
+  const auto& route = e2e.city.route_a();
+
+  // Predict arrival at the final stop from the moment of departure.
+  double err_wilocator = 0.0;
+  double err_schedule = 0.0;
+  int n = 0;
+  for (std::size_t stop = 1; stop < route.stop_count(); ++stop) {
+    const SimTime truth = trip.arrival_at_stop(stop);
+    const SimTime wiloc = e2e.server.predictor().predict_arrival(
+        route, 0.0, depart, stop);
+    const SimTime sched =
+        schedule.predict_arrival(route, 0.0, depart, stop);
+    err_wilocator += std::abs(wiloc - truth);
+    err_schedule += std::abs(sched - truth);
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  // WiLocator should be at least as good on average (strictly better in
+  // the typical draw; allow equality margin for lucky schedules).
+  EXPECT_LE(err_wilocator / n, err_schedule / n * 1.1);
+}
+
+TEST(EndToEnd, EtaErrorBoundedMidTrip) {
+  EndToEnd e2e;
+  e2e.train(3);
+  const SimTime depart = at_day_time(7, hms(12));
+  const auto trip = e2e.live_trip(TripId(60), 0, depart);
+  // Query at a mid-trip instant using the *tracked* position.
+  const SimTime now = depart + 120.0;
+  const auto eta = e2e.server.eta(TripId(60), 3, now);
+  ASSERT_TRUE(eta.has_value());
+  const SimTime truth = trip.arrival_at_stop(3);
+  EXPECT_LT(std::abs(*eta - truth), 180.0);
+}
+
+TEST(EndToEnd, TrafficMapFullyMarkedAfterService) {
+  EndToEnd e2e;
+  e2e.train(2);
+  const SimTime depart = at_day_time(6, hms(12));
+  e2e.live_trip(TripId(70), 0, depart);
+  e2e.live_trip(TripId(71), 1, depart + 300.0);
+  const auto map = e2e.server.traffic_map(depart + 1800.0);
+  // WiLocator's map leaves no segment unmarked (the Fig. 11 claim).
+  EXPECT_EQ(map.unknown_count(), 0u);
+}
+
+TEST(EndToEnd, IncidentRaisesPredictionAndTrafficState) {
+  EndToEnd e2e;
+  e2e.train(3);
+  // Block the middle main-street edge on the test day.
+  const int test_day = 8;
+  const roadnet::EdgeId blocked = e2e.city.route_a().edges()[2];
+  e2e.traffic.add_incident({blocked, 50.0, 350.0,
+                            at_day_time(test_day, hms(11, 30)),
+                            at_day_time(test_day, hms(14)), 1.2});
+
+  // A leading bus experiences the jam and reports it. The query must
+  // fall inside the recent window after the leader cleared the edge.
+  e2e.live_trip(TripId(80), 0, at_day_time(test_day, hms(12)));
+
+  const SimTime now = at_day_time(test_day, hms(12, 25));
+  // Prediction across the blocked edge is far above the historical mean.
+  const std::size_t slot = e2e.server.store().slots().slot_of(now);
+  const auto th = e2e.server.store().historical_mean(
+      blocked, e2e.city.route_a().id(), slot);
+  ASSERT_TRUE(th.has_value());
+  const auto tp = e2e.server.predictor().predict_segment_time(
+      blocked, e2e.city.route_a().id(), now);
+  ASSERT_TRUE(tp.has_value());
+  EXPECT_GT(*tp, *th * 1.3);
+
+  // And the traffic map flags the edge.
+  const auto map = e2e.server.traffic_map(now);
+  const auto state = map.segments.at(blocked).state;
+  EXPECT_TRUE(state == core::TrafficState::Slow ||
+              state == core::TrafficState::VerySlow);
+
+  // The anomaly detector localizes the site on the leading bus's track.
+  const auto anomalies = e2e.server.anomalies(TripId(80));
+  ASSERT_FALSE(anomalies.empty());
+  const double incident_begin =
+      e2e.city.route_a().edge_start_offset(2) + 50.0;
+  const double incident_end =
+      e2e.city.route_a().edge_start_offset(2) + 350.0;
+  bool localized = false;
+  for (const auto& anomaly : anomalies) {
+    if (anomaly.end_offset >= incident_begin - 100.0 &&
+        anomaly.begin_offset <= incident_end + 100.0)
+      localized = true;
+  }
+  EXPECT_TRUE(localized);
+}
+
+}  // namespace
+}  // namespace wiloc

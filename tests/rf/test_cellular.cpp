@@ -1,0 +1,62 @@
+#include "rf/cellular.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wiloc::rf {
+namespace {
+
+TEST(TowerRegistry, AddAndLookup) {
+  TowerRegistry reg;
+  const TowerId a = reg.add({0, 0});
+  const TowerId b = reg.add({1000, 0}, 33.0, 3.2);
+  EXPECT_EQ(reg.count(), 2u);
+  EXPECT_EQ(reg.tower(a).id, a);
+  EXPECT_DOUBLE_EQ(reg.tower(b).tx_power_dbm, 33.0);
+  EXPECT_THROW(reg.tower(TowerId(9)), ContractViolation);
+  EXPECT_THROW(reg.add({0, 0}, 30.0, 0.0), ContractViolation);
+}
+
+TEST(TowerRegistry, MeanRssDecays) {
+  TowerRegistry reg;
+  const TowerId a = reg.add({0, 0});
+  const CellTower& tower = reg.tower(a);
+  EXPECT_GT(reg.mean_rss(tower, {100, 0}), reg.mean_rss(tower, {800, 0}));
+}
+
+TEST(TowerRegistry, ObserveNearestWithoutNoise) {
+  TowerRegistry reg;
+  reg.add({0, 0});
+  const TowerId far = reg.add({5000, 0});
+  Rng rng(1);
+  const auto near_obs = reg.observe({100, 0}, 5.0, rng, 0.0);
+  ASSERT_TRUE(near_obs.has_value());
+  EXPECT_EQ(near_obs->tower, TowerId(0));
+  EXPECT_DOUBLE_EQ(near_obs->time, 5.0);
+  const auto far_obs = reg.observe({4900, 0}, 6.0, rng, 0.0);
+  ASSERT_TRUE(far_obs.has_value());
+  EXPECT_EQ(far_obs->tower, far);
+}
+
+TEST(TowerRegistry, ObserveEmptyRegistry) {
+  TowerRegistry reg;
+  Rng rng(1);
+  EXPECT_FALSE(reg.observe({0, 0}, 0.0, rng).has_value());
+}
+
+TEST(TowerRegistry, HandoverNoiseFlipsNearBoundary) {
+  TowerRegistry reg;
+  reg.add({0, 0});
+  reg.add({1000, 0});
+  Rng rng(2);
+  // Exactly between the towers, noise decides; both should appear.
+  int first = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto obs = reg.observe({500, 0}, 0.0, rng, 3.0);
+    if (obs->tower == TowerId(0)) ++first;
+  }
+  EXPECT_GT(first, 20);
+  EXPECT_LT(first, 180);
+}
+
+}  // namespace
+}  // namespace wiloc::rf

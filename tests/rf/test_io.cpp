@@ -1,0 +1,100 @@
+#include "rf/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wiloc::rf {
+namespace {
+
+ApRegistry sample_registry() {
+  ApRegistry registry;
+  registry.add({12.5, -3.75}, -31.0, 2.85);
+  registry.add({200.0, 40.0}, -28.5, 3.3);
+  registry.add({450.25, 0.0}, -35.0, 3.0);
+  registry.add_outage(ApId(0), 100.0, 200.0);
+  registry.add_outage(ApId(0), 500.0, 600.0);
+  registry.retire(ApId(2), 1000.0);
+  return registry;
+}
+
+TEST(ApDatabase, RoundTripPreservesEverything) {
+  const ApRegistry original = sample_registry();
+  std::stringstream stream;
+  write_ap_database(stream, original);
+  const ApRegistry loaded = read_ap_database(stream);
+
+  ASSERT_EQ(loaded.count(), original.count());
+  for (std::size_t i = 0; i < original.count(); ++i) {
+    const ApId id(static_cast<ApId::underlying>(i));
+    EXPECT_EQ(loaded.ap(id).position, original.ap(id).position);
+    EXPECT_DOUBLE_EQ(loaded.ap(id).tx_power_dbm,
+                     original.ap(id).tx_power_dbm);
+    EXPECT_DOUBLE_EQ(loaded.ap(id).path_loss_exponent,
+                     original.ap(id).path_loss_exponent);
+  }
+  // Outage schedules survive (including the infinite retirement).
+  for (const SimTime t : {50.0, 150.0, 300.0, 550.0, 999.0, 5000.0}) {
+    for (std::size_t i = 0; i < original.count(); ++i) {
+      const ApId id(static_cast<ApId::underlying>(i));
+      EXPECT_EQ(loaded.is_active(id, t), original.is_active(id, t))
+          << "ap " << i << " at t=" << t;
+    }
+  }
+}
+
+TEST(ApDatabase, RoundTripTwiceIsIdentical) {
+  const ApRegistry original = sample_registry();
+  std::stringstream s1;
+  write_ap_database(s1, original);
+  const ApRegistry loaded = read_ap_database(s1);
+  std::stringstream s2;
+  write_ap_database(s2, loaded);
+  EXPECT_EQ(s1.str(), s2.str());
+}
+
+TEST(ApDatabase, EmptyRegistry) {
+  const ApRegistry empty;
+  std::stringstream stream;
+  write_ap_database(stream, empty);
+  EXPECT_EQ(read_ap_database(stream).count(), 0u);
+}
+
+TEST(ApDatabase, RejectsBadMagicAndVersion) {
+  std::stringstream bad1("not-apdb 1\n");
+  EXPECT_THROW(read_ap_database(bad1), InvalidArgument);
+  std::stringstream bad2("wiloc-apdb 9\naps 0\noutages 0\n");
+  EXPECT_THROW(read_ap_database(bad2), InvalidArgument);
+}
+
+TEST(ApDatabase, RejectsMalformedRows) {
+  std::stringstream truncated("wiloc-apdb 1\naps 1\n1.0 2.0 -30.0\n");
+  EXPECT_THROW(read_ap_database(truncated), InvalidArgument);
+  std::stringstream bad_exponent(
+      "wiloc-apdb 1\naps 1\n0 0 -30 -1 02:00:00:00:00:00\noutages 0\n");
+  EXPECT_THROW(read_ap_database(bad_exponent), InvalidArgument);
+  std::stringstream bad_outage_index(
+      "wiloc-apdb 1\naps 1\n0 0 -30 3 02:00:00:00:00:00\n"
+      "outages 1\n7 0 10\n");
+  EXPECT_THROW(read_ap_database(bad_outage_index), InvalidArgument);
+  std::stringstream bad_window(
+      "wiloc-apdb 1\naps 1\n0 0 -30 3 02:00:00:00:00:00\n"
+      "outages 1\n0 10 10\n");
+  EXPECT_THROW(read_ap_database(bad_window), InvalidArgument);
+}
+
+TEST(ApRegistry, OutagesOfAccessor) {
+  const ApRegistry registry = sample_registry();
+  const auto windows = registry.outages_of(ApId(0));
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(windows[0].first, 100.0);
+  EXPECT_DOUBLE_EQ(windows[0].second, 200.0);
+  const auto retired = registry.outages_of(ApId(2));
+  ASSERT_EQ(retired.size(), 1u);
+  EXPECT_TRUE(std::isinf(retired[0].second));
+  EXPECT_TRUE(registry.outages_of(ApId(1)).empty());
+  EXPECT_THROW(registry.outages_of(ApId(9)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::rf

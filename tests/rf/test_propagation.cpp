@@ -1,0 +1,142 @@
+#include "rf/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace wiloc::rf {
+namespace {
+
+AccessPoint make_ap(double x = 0.0, double y = 0.0, double p0 = -30.0,
+                    double n = 3.0) {
+  return {ApId(0), "02:00:00:00:00:00", {x, y}, p0, n};
+}
+
+LogDistanceModel no_noise_model() {
+  LogDistanceParams params;
+  params.shadowing_sigma_db = 0.0;
+  params.fading_sigma_db = 0.0;
+  return LogDistanceModel(params);
+}
+
+TEST(LogDistanceModel, ReferencePower) {
+  const LogDistanceModel model = no_noise_model();
+  const AccessPoint ap = make_ap();
+  // At the reference distance (1 m) RSS equals the reference power.
+  EXPECT_DOUBLE_EQ(model.mean_rss(ap, {1, 0}), -30.0);
+}
+
+TEST(LogDistanceModel, DecaysWithLogDistance) {
+  const LogDistanceModel model = no_noise_model();
+  const AccessPoint ap = make_ap();
+  // Each 10x distance costs 10*n dB.
+  EXPECT_NEAR(model.mean_rss(ap, {10, 0}), -60.0, 1e-9);
+  EXPECT_NEAR(model.mean_rss(ap, {100, 0}), -90.0, 1e-9);
+}
+
+TEST(LogDistanceModel, ClampsInsideReferenceDistance) {
+  const LogDistanceModel model = no_noise_model();
+  const AccessPoint ap = make_ap();
+  EXPECT_DOUBLE_EQ(model.mean_rss(ap, {0, 0}), -30.0);
+  EXPECT_DOUBLE_EQ(model.mean_rss(ap, {0.5, 0}), -30.0);
+}
+
+TEST(LogDistanceModel, ExponentControlsDecay) {
+  const LogDistanceModel model = no_noise_model();
+  const AccessPoint soft = make_ap(0, 0, -30.0, 2.0);
+  const AccessPoint hard = make_ap(0, 0, -30.0, 4.0);
+  EXPECT_GT(model.mean_rss(soft, {50, 0}), model.mean_rss(hard, {50, 0}));
+}
+
+TEST(LogDistanceModel, MonotoneInDistance) {
+  const LogDistanceModel model = no_noise_model();
+  const AccessPoint ap = make_ap();
+  double prev = 0.0;
+  bool first = true;
+  for (double d = 2.0; d < 300.0; d *= 1.5) {
+    const double rss = model.mean_rss(ap, {d, 0});
+    if (!first) {
+      EXPECT_LT(rss, prev);
+    }
+    prev = rss;
+    first = false;
+  }
+}
+
+TEST(LogDistanceModel, ShadowingIsDeterministic) {
+  const LogDistanceModel model{};  // default params: shadowing on
+  const AccessPoint ap = make_ap();
+  const double s1 = model.shadowing_db(ap, {33.3, 44.4});
+  const double s2 = model.shadowing_db(ap, {33.3, 44.4});
+  EXPECT_DOUBLE_EQ(s1, s2);
+}
+
+TEST(LogDistanceModel, ShadowingIsBounded) {
+  LogDistanceParams params;
+  params.shadowing_sigma_db = 4.0;
+  const LogDistanceModel model(params);
+  const AccessPoint ap = make_ap();
+  for (double x = -200; x <= 200; x += 7.3) {
+    for (double y = -200; y <= 200; y += 11.1) {
+      const double s = model.shadowing_db(ap, {x, y});
+      EXPECT_LE(std::abs(s), 4.0 + 1e-9);
+    }
+  }
+}
+
+TEST(LogDistanceModel, ShadowingVariesAcrossSpaceAndAps) {
+  const LogDistanceModel model{};
+  const AccessPoint ap0 = make_ap();
+  AccessPoint ap1 = make_ap();
+  ap1.id = ApId(1);
+  // Same position, different AP -> different shadowing field.
+  EXPECT_NE(model.shadowing_db(ap0, {200, 0}),
+            model.shadowing_db(ap1, {200, 0}));
+  // Far apart positions decorrelate.
+  EXPECT_NE(model.shadowing_db(ap0, {0, 0}),
+            model.shadowing_db(ap0, {500, 500}));
+}
+
+TEST(LogDistanceModel, ShadowingIsSpatiallySmooth) {
+  const LogDistanceModel model{};
+  const AccessPoint ap = make_ap();
+  // Adjacent points (1 m apart, cell 25 m) differ by much less than the
+  // full amplitude.
+  const double a = model.shadowing_db(ap, {100.0, 50.0});
+  const double b = model.shadowing_db(ap, {101.0, 50.0});
+  EXPECT_LT(std::abs(a - b), 1.0);
+}
+
+TEST(LogDistanceModel, SampleMatchesMeanPlusFading) {
+  LogDistanceParams params;
+  params.shadowing_sigma_db = 0.0;
+  params.fading_sigma_db = 3.0;
+  const LogDistanceModel model(params);
+  const AccessPoint ap = make_ap();
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i)
+    stats.add(model.sample_rss(ap, {20, 0}, rng));
+  EXPECT_NEAR(stats.mean(), model.mean_rss(ap, {20, 0}), 0.1);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.1);
+}
+
+TEST(LogDistanceModel, ZeroFadingIsNoiseless) {
+  const LogDistanceModel model = no_noise_model();
+  const AccessPoint ap = make_ap();
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(model.sample_rss(ap, {20, 0}, rng),
+                   model.mean_rss(ap, {20, 0}));
+}
+
+TEST(LogDistanceModel, ValidatesParams) {
+  LogDistanceParams bad;
+  bad.reference_distance_m = 0.0;
+  EXPECT_THROW(LogDistanceModel{bad}, ContractViolation);
+  LogDistanceParams bad2;
+  bad2.fading_sigma_db = -1.0;
+  EXPECT_THROW(LogDistanceModel{bad2}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::rf

@@ -1,0 +1,90 @@
+#include "rf/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wiloc::rf {
+namespace {
+
+TEST(ApRegistry, AddAssignsSequentialIdsAndBssids) {
+  ApRegistry reg;
+  const ApId a = reg.add({0, 0}, -30.0, 3.0);
+  const ApId b = reg.add({10, 0}, -32.0, 2.8);
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(reg.count(), 2u);
+  EXPECT_NE(reg.ap(a).bssid, reg.ap(b).bssid);
+  EXPECT_EQ(reg.ap(a).position, (geo::Point{0, 0}));
+  EXPECT_DOUBLE_EQ(reg.ap(b).tx_power_dbm, -32.0);
+}
+
+TEST(ApRegistry, RejectsBadExponent) {
+  ApRegistry reg;
+  EXPECT_THROW(reg.add({0, 0}, -30.0, 0.0), ContractViolation);
+  EXPECT_THROW(reg.add({0, 0}, -30.0, -1.0), ContractViolation);
+}
+
+TEST(ApRegistry, ActiveByDefault) {
+  ApRegistry reg;
+  const ApId a = reg.add({0, 0}, -30.0, 3.0);
+  EXPECT_TRUE(reg.is_active(a, 0.0));
+  EXPECT_TRUE(reg.is_active(a, 1e9));
+}
+
+TEST(ApRegistry, OutageWindow) {
+  ApRegistry reg;
+  const ApId a = reg.add({0, 0}, -30.0, 3.0);
+  reg.add_outage(a, 100.0, 200.0);
+  EXPECT_TRUE(reg.is_active(a, 99.0));
+  EXPECT_FALSE(reg.is_active(a, 100.0));
+  EXPECT_FALSE(reg.is_active(a, 199.9));
+  EXPECT_TRUE(reg.is_active(a, 200.0));
+}
+
+TEST(ApRegistry, MultipleOutages) {
+  ApRegistry reg;
+  const ApId a = reg.add({0, 0}, -30.0, 3.0);
+  reg.add_outage(a, 10.0, 20.0);
+  reg.add_outage(a, 30.0, 40.0);
+  EXPECT_FALSE(reg.is_active(a, 15.0));
+  EXPECT_TRUE(reg.is_active(a, 25.0));
+  EXPECT_FALSE(reg.is_active(a, 35.0));
+}
+
+TEST(ApRegistry, RetireIsPermanent) {
+  ApRegistry reg;
+  const ApId a = reg.add({0, 0}, -30.0, 3.0);
+  reg.retire(a, 500.0);
+  EXPECT_TRUE(reg.is_active(a, 499.0));
+  EXPECT_FALSE(reg.is_active(a, 500.0));
+  EXPECT_FALSE(reg.is_active(a, 1e12));
+}
+
+TEST(ApRegistry, OutageValidation) {
+  ApRegistry reg;
+  const ApId a = reg.add({0, 0}, -30.0, 3.0);
+  EXPECT_THROW(reg.add_outage(a, 10.0, 10.0), ContractViolation);
+  EXPECT_THROW(reg.add_outage(a, 20.0, 10.0), ContractViolation);
+  EXPECT_THROW(reg.add_outage(ApId(5), 0.0, 1.0), ContractViolation);
+}
+
+TEST(ApRegistry, ActiveAtFiltersOutages) {
+  ApRegistry reg;
+  const ApId a = reg.add({0, 0}, -30.0, 3.0);
+  const ApId b = reg.add({10, 0}, -30.0, 3.0);
+  reg.add_outage(a, 0.0, 100.0);
+  const auto active = reg.active_at(50.0);
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], b);
+  EXPECT_EQ(reg.active_at(150.0).size(), 2u);
+}
+
+TEST(ApRegistry, FindBssid) {
+  ApRegistry reg;
+  const ApId a = reg.add({0, 0}, -30.0, 3.0);
+  const std::string bssid = reg.ap(a).bssid;
+  EXPECT_EQ(reg.find_bssid(bssid), a);
+  EXPECT_FALSE(reg.find_bssid("ff:ff:ff:ff:ff:ff").has_value());
+}
+
+}  // namespace
+}  // namespace wiloc::rf

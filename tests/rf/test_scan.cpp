@@ -1,0 +1,159 @@
+#include "rf/scan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wiloc::rf {
+namespace {
+
+struct ScanFixture {
+  ApRegistry registry;
+  LogDistanceModel model;
+
+  ScanFixture()
+      : model([] {
+          LogDistanceParams p;
+          p.shadowing_sigma_db = 0.0;
+          p.fading_sigma_db = 0.0;
+          return p;
+        }()) {
+    // Three APs at growing distances from the origin.
+    registry.add({10, 0}, -30.0, 3.0);   // strongest at origin
+    registry.add({50, 0}, -30.0, 3.0);
+    registry.add({90, 0}, -30.0, 3.0);
+  }
+};
+
+TEST(Scanner, ReadingsSortedStrongestFirst) {
+  const ScanFixture f;
+  ScannerParams params;
+  params.miss_probability = 0.0;
+  const Scanner scanner(params);
+  Rng rng(1);
+  const WifiScan scan =
+      scanner.scan(f.registry, f.model, {0, 0}, 100.0, rng);
+  ASSERT_EQ(scan.readings.size(), 3u);
+  EXPECT_EQ(scan.readings[0].ap, ApId(0));
+  EXPECT_EQ(scan.readings[1].ap, ApId(1));
+  EXPECT_EQ(scan.readings[2].ap, ApId(2));
+  for (std::size_t i = 1; i < scan.readings.size(); ++i)
+    EXPECT_GE(scan.readings[i - 1].rssi_dbm, scan.readings[i].rssi_dbm);
+  EXPECT_DOUBLE_EQ(scan.time, 100.0);
+}
+
+TEST(Scanner, QuantizesToIntegerDbm) {
+  const ScanFixture f;
+  ScannerParams params;
+  params.miss_probability = 0.0;
+  const Scanner scanner(params);
+  Rng rng(1);
+  const WifiScan scan = scanner.scan(f.registry, f.model, {0, 0}, 0.0, rng);
+  for (const ApReading& r : scan.readings)
+    EXPECT_DOUBLE_EQ(r.rssi_dbm, std::round(r.rssi_dbm));
+}
+
+TEST(Scanner, SensitivityFloor) {
+  const ScanFixture f;
+  ScannerParams params;
+  params.sensitivity_dbm = -60.0;
+  params.miss_probability = 0.0;
+  const Scanner scanner(params);
+  Rng rng(1);
+  const WifiScan scan = scanner.scan(f.registry, f.model, {0, 0}, 0.0, rng);
+  // The far AP (90 m, ~ -89 dBm) and mid AP (~ -81 dBm) are inaudible.
+  ASSERT_EQ(scan.readings.size(), 1u);
+  EXPECT_EQ(scan.readings[0].ap, ApId(0));
+}
+
+TEST(Scanner, MaxApsTruncates) {
+  const ScanFixture f;
+  ScannerParams params;
+  params.max_aps = 2;
+  params.miss_probability = 0.0;
+  const Scanner scanner(params);
+  Rng rng(1);
+  const WifiScan scan = scanner.scan(f.registry, f.model, {0, 0}, 0.0, rng);
+  ASSERT_EQ(scan.readings.size(), 2u);
+  // Truncation keeps the strongest readings.
+  EXPECT_EQ(scan.readings[0].ap, ApId(0));
+  EXPECT_EQ(scan.readings[1].ap, ApId(1));
+}
+
+TEST(Scanner, SkipsApsInOutage) {
+  ScanFixture f;
+  f.registry.add_outage(ApId(0), 0.0, 1000.0);
+  ScannerParams params;
+  params.miss_probability = 0.0;
+  const Scanner scanner(params);
+  Rng rng(1);
+  const WifiScan scan = scanner.scan(f.registry, f.model, {0, 0}, 500.0, rng);
+  for (const ApReading& r : scan.readings) EXPECT_NE(r.ap, ApId(0));
+  const WifiScan after =
+      scanner.scan(f.registry, f.model, {0, 0}, 1500.0, rng);
+  EXPECT_EQ(after.readings[0].ap, ApId(0));
+}
+
+TEST(Scanner, MissProbabilityDropsReadings) {
+  const ScanFixture f;
+  ScannerParams params;
+  params.miss_probability = 0.5;
+  const Scanner scanner(params);
+  Rng rng(1);
+  std::size_t total = 0;
+  for (int i = 0; i < 400; ++i)
+    total += scanner.scan(f.registry, f.model, {0, 0}, 0.0, rng)
+                 .readings.size();
+  // Expect roughly half of 3*400 readings.
+  EXPECT_GT(total, 400u);
+  EXPECT_LT(total, 800u);
+}
+
+TEST(Scanner, ValidatesParams) {
+  ScannerParams bad;
+  bad.max_aps = 0;
+  EXPECT_THROW(Scanner{bad}, ContractViolation);
+  ScannerParams bad2;
+  bad2.miss_probability = 1.0;
+  EXPECT_THROW(Scanner{bad2}, ContractViolation);
+}
+
+TEST(WifiScan, RankedAps) {
+  WifiScan scan;
+  scan.readings = {{ApId(3), -40}, {ApId(1), -50}, {ApId(7), -60}};
+  const auto ranked = scan.ranked_aps();
+  EXPECT_EQ(ranked, (std::vector<ApId>{ApId(3), ApId(1), ApId(7)}));
+  EXPECT_FALSE(scan.empty());
+  EXPECT_TRUE(WifiScan{}.empty());
+}
+
+TEST(MergeScans, AveragesPerAp) {
+  WifiScan a;
+  a.time = 10.0;
+  a.readings = {{ApId(0), -40}, {ApId(1), -60}};
+  WifiScan b;
+  b.time = 10.0;
+  b.readings = {{ApId(0), -50}, {ApId(2), -70}};
+  const WifiScan merged = merge_scans({a, b});
+  EXPECT_DOUBLE_EQ(merged.time, 10.0);
+  ASSERT_EQ(merged.readings.size(), 3u);
+  // AP0 averaged to -45, strongest.
+  EXPECT_EQ(merged.readings[0].ap, ApId(0));
+  EXPECT_DOUBLE_EQ(merged.readings[0].rssi_dbm, -45.0);
+  EXPECT_EQ(merged.readings[1].ap, ApId(1));
+  EXPECT_EQ(merged.readings[2].ap, ApId(2));
+}
+
+TEST(MergeScans, RequiresNonEmpty) {
+  EXPECT_THROW(merge_scans({}), ContractViolation);
+}
+
+TEST(MergeScans, SingleScanPassesThrough) {
+  WifiScan a;
+  a.time = 3.0;
+  a.readings = {{ApId(0), -40}};
+  const WifiScan merged = merge_scans({a});
+  ASSERT_EQ(merged.readings.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged.readings[0].rssi_dbm, -40.0);
+}
+
+}  // namespace
+}  // namespace wiloc::rf

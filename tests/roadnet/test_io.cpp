@@ -1,0 +1,103 @@
+#include "roadnet/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+namespace wiloc::roadnet {
+namespace {
+
+struct SmallCity {
+  std::unique_ptr<RoadNetwork> net = std::make_unique<RoadNetwork>();
+  std::vector<BusRoute> routes;
+
+  SmallCity() {
+    const NodeId a = net->add_node({0, 0}, "west end");
+    const NodeId b = net->add_node({100, 10}, "mid");
+    const NodeId c = net->add_node({250, 0}, "east");
+    const EdgeId ab = net->add_edge(
+        a, b, geo::Polyline({{0, 0}, {50, 15}, {100, 10}}), 12.5, "main-1");
+    const EdgeId bc = net->add_straight_edge(b, c, 13.9, "main-2");
+    routes.emplace_back(
+        RouteId(0), "99", *net, std::vector<EdgeId>{ab, bc},
+        std::vector<Stop>{{"first stop", 0.0}, {"last", 200.0}});
+  }
+};
+
+TEST(RoadnetIo, RoundTripPreservesStructure) {
+  const SmallCity city;
+  std::stringstream stream;
+  write_city(stream, *city.net, {&city.routes[0]});
+
+  const CityDocument doc = read_city(stream);
+  ASSERT_EQ(doc.network->node_count(), 3u);
+  ASSERT_EQ(doc.network->edge_count(), 2u);
+  ASSERT_EQ(doc.routes.size(), 1u);
+
+  // Node names with spaces are sanitized to underscores.
+  EXPECT_EQ(doc.network->node(NodeId(0)).name, "west_end");
+  EXPECT_EQ(doc.network->edge(EdgeId(0)).name(), "main-1");
+  EXPECT_DOUBLE_EQ(doc.network->edge(EdgeId(0)).speed_limit(), 12.5);
+  EXPECT_EQ(doc.network->edge(EdgeId(0)).geometry().vertices().size(), 3u);
+
+  const BusRoute& r = doc.routes.front();
+  EXPECT_EQ(r.name(), "99");
+  EXPECT_EQ(r.edges().size(), 2u);
+  EXPECT_EQ(r.stop_count(), 2u);
+  EXPECT_DOUBLE_EQ(r.stop_offset(1), 200.0);
+  EXPECT_NEAR(r.length(), city.routes[0].length(), 1e-9);
+}
+
+TEST(RoadnetIo, RoundTripTwice) {
+  const SmallCity city;
+  std::stringstream s1;
+  write_city(s1, *city.net, {&city.routes[0]});
+  const CityDocument doc1 = read_city(s1);
+  std::stringstream s2;
+  write_city(s2, *doc1.network, {&doc1.routes[0]});
+  EXPECT_EQ(s1.str(), s2.str());
+}
+
+TEST(RoadnetIo, RejectsBadMagic) {
+  std::stringstream s("not-a-roadnet 1\n");
+  EXPECT_THROW(read_city(s), InvalidArgument);
+}
+
+TEST(RoadnetIo, RejectsBadVersion) {
+  std::stringstream s("wiloc-roadnet 2\nnodes 0\nedges 0\nroutes 0\n");
+  EXPECT_THROW(read_city(s), InvalidArgument);
+}
+
+TEST(RoadnetIo, RejectsTruncatedInput) {
+  std::stringstream s("wiloc-roadnet 1\nnodes 2\n0 0 a\n");
+  EXPECT_THROW(read_city(s), InvalidArgument);
+}
+
+TEST(RoadnetIo, RejectsEdgeIdOutOfRange) {
+  std::stringstream s(
+      "wiloc-roadnet 1\n"
+      "nodes 2\n0 0 a\n10 0 b\n"
+      "edges 1\n0 1 10 e 2 0 0 10 0\n"
+      "routes 1\nroute r 1 7 1\nstop s 0\n");
+  EXPECT_THROW(read_city(s), InvalidArgument);
+}
+
+TEST(RoadnetIo, RejectsDegenerateEdge) {
+  std::stringstream s(
+      "wiloc-roadnet 1\n"
+      "nodes 2\n0 0 a\n10 0 b\n"
+      "edges 1\n0 1 10 e 1 0 0\n"
+      "routes 0\n");
+  EXPECT_THROW(read_city(s), InvalidArgument);
+}
+
+TEST(RoadnetIo, EmptyCity) {
+  std::stringstream s("wiloc-roadnet 1\nnodes 0\nedges 0\nroutes 0\n");
+  const CityDocument doc = read_city(s);
+  EXPECT_EQ(doc.network->node_count(), 0u);
+  EXPECT_TRUE(doc.routes.empty());
+}
+
+}  // namespace
+}  // namespace wiloc::roadnet

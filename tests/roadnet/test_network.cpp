@@ -1,0 +1,115 @@
+#include "roadnet/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wiloc::roadnet {
+namespace {
+
+RoadNetwork make_t_network(NodeId* a = nullptr, NodeId* b = nullptr,
+                           NodeId* c = nullptr) {
+  RoadNetwork net;
+  const NodeId na = net.add_node({0, 0}, "a");
+  const NodeId nb = net.add_node({100, 0}, "b");
+  const NodeId nc = net.add_node({100, 50}, "c");
+  net.add_straight_edge(na, nb, 10.0, "ab");
+  net.add_straight_edge(nb, nc, 10.0, "bc");
+  net.add_straight_edge(nb, na, 10.0, "ba");
+  if (a) *a = na;
+  if (b) *b = nb;
+  if (c) *c = nc;
+  return net;
+}
+
+TEST(RoadNetwork, NodeAndEdgeCounts) {
+  const RoadNetwork net = make_t_network();
+  EXPECT_EQ(net.node_count(), 3u);
+  EXPECT_EQ(net.edge_count(), 3u);
+}
+
+TEST(RoadNetwork, NodeLookup) {
+  NodeId a;
+  const RoadNetwork net = make_t_network(&a);
+  EXPECT_EQ(net.node(a).name, "a");
+  EXPECT_EQ(net.node(a).position, (geo::Point{0, 0}));
+  EXPECT_THROW(net.node(NodeId(99)), ContractViolation);
+}
+
+TEST(RoadNetwork, EdgeProperties) {
+  NodeId a, b;
+  const RoadNetwork net = make_t_network(&a, &b);
+  const RoadSegment& e = net.edge(EdgeId(0));
+  EXPECT_EQ(e.from(), a);
+  EXPECT_EQ(e.to(), b);
+  EXPECT_DOUBLE_EQ(e.length(), 100.0);
+  EXPECT_DOUBLE_EQ(e.speed_limit(), 10.0);
+  EXPECT_EQ(e.name(), "ab");
+}
+
+TEST(RoadNetwork, OutEdges) {
+  NodeId a, b;
+  const RoadNetwork net = make_t_network(&a, &b);
+  EXPECT_EQ(net.out_edges(a).size(), 1u);
+  EXPECT_EQ(net.out_edges(b).size(), 2u);
+}
+
+TEST(RoadNetwork, FindEdge) {
+  NodeId a, b, c;
+  const RoadNetwork net = make_t_network(&a, &b, &c);
+  EXPECT_TRUE(net.find_edge(a, b).has_value());
+  EXPECT_TRUE(net.find_edge(b, a).has_value());
+  EXPECT_FALSE(net.find_edge(a, c).has_value());
+  EXPECT_FALSE(net.find_edge(c, b).has_value());
+}
+
+TEST(RoadNetwork, GeometryMustMatchEndpoints) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0, 0});
+  const NodeId b = net.add_node({100, 0});
+  EXPECT_THROW(
+      net.add_edge(a, b, geo::Polyline({{5, 0}, {100, 0}}), 10.0),
+      ContractViolation);
+  EXPECT_THROW(
+      net.add_edge(a, b, geo::Polyline({{0, 0}, {90, 0}}), 10.0),
+      ContractViolation);
+  EXPECT_NO_THROW(
+      net.add_edge(a, b, geo::Polyline({{0, 0}, {50, 10}, {100, 0}}), 10.0));
+}
+
+TEST(RoadNetwork, RejectsNonPositiveSpeed) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0, 0});
+  const NodeId b = net.add_node({10, 0});
+  EXPECT_THROW(net.add_straight_edge(a, b, 0.0), ContractViolation);
+}
+
+TEST(RoadNetwork, Bounds) {
+  const RoadNetwork net = make_t_network();
+  const geo::Aabb box = net.bounds();
+  EXPECT_EQ(box.min(), (geo::Point{0, 0}));
+  EXPECT_EQ(box.max(), (geo::Point{100, 50}));
+}
+
+TEST(RoadNetwork, ProjectFindsNearestEdge) {
+  const RoadNetwork net = make_t_network();
+  const auto proj = net.project({50, 5});
+  EXPECT_DOUBLE_EQ(proj.distance, 5.0);
+  EXPECT_EQ(proj.point, (geo::Point{50, 0}));
+  const auto proj2 = net.project({103, 25});
+  EXPECT_EQ(proj2.edge, EdgeId(1));
+  EXPECT_DOUBLE_EQ(proj2.edge_offset, 25.0);
+}
+
+TEST(RoadNetwork, ProjectRequiresEdges) {
+  RoadNetwork net;
+  net.add_node({0, 0});
+  EXPECT_THROW(net.project({0, 0}), ContractViolation);
+}
+
+TEST(RoadNetwork, EdgeIdsAreSequential) {
+  const RoadNetwork net = make_t_network();
+  for (std::size_t i = 0; i < net.edge_count(); ++i)
+    EXPECT_EQ(net.edges()[i].id().index(), i);
+}
+
+}  // namespace
+}  // namespace wiloc::roadnet

@@ -1,0 +1,96 @@
+#include "roadnet/overlap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace wiloc::roadnet {
+namespace {
+
+struct TwoRoutes {
+  std::unique_ptr<RoadNetwork> net = std::make_unique<RoadNetwork>();
+  std::vector<BusRoute> routes;
+
+  TwoRoutes() {
+    // a--b--c--d in a line; route X covers all three edges, route Y only
+    // the middle one plus a private branch.
+    const NodeId a = net->add_node({0, 0});
+    const NodeId b = net->add_node({100, 0});
+    const NodeId c = net->add_node({200, 0});
+    const NodeId d = net->add_node({300, 0});
+    const NodeId e = net->add_node({200, 80});
+    const EdgeId ab = net->add_straight_edge(a, b, 10.0);
+    const EdgeId bc = net->add_straight_edge(b, c, 10.0);
+    const EdgeId cd = net->add_straight_edge(c, d, 10.0);
+    const EdgeId ce = net->add_straight_edge(c, e, 10.0);
+    routes.emplace_back(RouteId(0), "X", *net,
+                        std::vector<EdgeId>{ab, bc, cd},
+                        std::vector<Stop>{{"x0", 0.0}, {"x1", 300.0}});
+    routes.emplace_back(RouteId(1), "Y", *net,
+                        std::vector<EdgeId>{bc, ce},
+                        std::vector<Stop>{{"y0", 0.0}, {"y1", 180.0}});
+  }
+
+  OverlapIndex index() const {
+    return OverlapIndex({&routes[0], &routes[1]});
+  }
+};
+
+TEST(OverlapIndex, RoutesOnEdge) {
+  const TwoRoutes f;
+  const OverlapIndex idx = f.index();
+  EXPECT_EQ(idx.routes_on_edge(EdgeId(0)).size(), 1u);  // ab: X only
+  EXPECT_EQ(idx.routes_on_edge(EdgeId(1)).size(), 2u);  // bc: both
+  EXPECT_EQ(idx.routes_on_edge(EdgeId(3)).size(), 1u);  // ce: Y only
+  EXPECT_TRUE(idx.routes_on_edge(EdgeId(99)).empty());
+}
+
+TEST(OverlapIndex, IsShared) {
+  const TwoRoutes f;
+  const OverlapIndex idx = f.index();
+  EXPECT_FALSE(idx.is_shared(EdgeId(0)));
+  EXPECT_TRUE(idx.is_shared(EdgeId(1)));
+}
+
+TEST(OverlapIndex, OverlappedLength) {
+  const TwoRoutes f;
+  const OverlapIndex idx = f.index();
+  EXPECT_DOUBLE_EQ(idx.overlapped_length(RouteId(0)), 100.0);
+  EXPECT_DOUBLE_EQ(idx.overlapped_length(RouteId(1)), 100.0);
+}
+
+TEST(OverlapIndex, RouteLength) {
+  const TwoRoutes f;
+  const OverlapIndex idx = f.index();
+  EXPECT_DOUBLE_EQ(idx.route_length(RouteId(0)), 300.0);
+  EXPECT_NEAR(idx.route_length(RouteId(1)), 100.0 + 80.0, 1e-9);
+}
+
+TEST(OverlapIndex, CoveredEdges) {
+  const TwoRoutes f;
+  EXPECT_EQ(f.index().covered_edge_count(), 4u);
+}
+
+TEST(OverlapIndex, UnknownRouteThrows) {
+  const TwoRoutes f;
+  const OverlapIndex idx = f.index();
+  EXPECT_THROW(idx.route(RouteId(9)), NotFound);
+  EXPECT_THROW(idx.overlapped_length(RouteId(9)), ContractViolation);
+}
+
+TEST(OverlapIndex, RejectsBadInput) {
+  EXPECT_THROW(OverlapIndex({}), ContractViolation);
+  const TwoRoutes f;
+  EXPECT_THROW(OverlapIndex({&f.routes[0], nullptr}), ContractViolation);
+  EXPECT_THROW(OverlapIndex({&f.routes[0], &f.routes[0]}),
+               ContractViolation);
+}
+
+TEST(OverlapIndex, SingleRouteHasNoOverlap) {
+  const TwoRoutes f;
+  const OverlapIndex idx({&f.routes[0]});
+  EXPECT_DOUBLE_EQ(idx.overlapped_length(RouteId(0)), 0.0);
+}
+
+}  // namespace
+}  // namespace wiloc::roadnet

@@ -1,0 +1,118 @@
+#include "roadnet/route.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace wiloc::roadnet {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<RoadNetwork> net = std::make_unique<RoadNetwork>();
+  std::vector<EdgeId> edges;
+
+  Fixture() {
+    // Three 100 m edges in a straight line.
+    const NodeId a = net->add_node({0, 0});
+    const NodeId b = net->add_node({100, 0});
+    const NodeId c = net->add_node({200, 0});
+    const NodeId d = net->add_node({300, 0});
+    edges.push_back(net->add_straight_edge(a, b, 10.0));
+    edges.push_back(net->add_straight_edge(b, c, 10.0));
+    edges.push_back(net->add_straight_edge(c, d, 10.0));
+  }
+
+  BusRoute route(std::vector<Stop> stops = {{"s0", 0.0},
+                                            {"s1", 150.0},
+                                            {"s2", 300.0}}) const {
+    return BusRoute(RouteId(0), "test", *net, edges, std::move(stops));
+  }
+};
+
+TEST(BusRoute, LengthAndEdgeOffsets) {
+  const Fixture f;
+  const BusRoute r = f.route();
+  EXPECT_DOUBLE_EQ(r.length(), 300.0);
+  EXPECT_DOUBLE_EQ(r.edge_start_offset(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.edge_end_offset(0), 100.0);
+  EXPECT_DOUBLE_EQ(r.edge_start_offset(2), 200.0);
+  EXPECT_DOUBLE_EQ(r.edge_end_offset(2), 300.0);
+  EXPECT_THROW(r.edge_start_offset(3), ContractViolation);
+}
+
+TEST(BusRoute, RequiresConnectedEdges) {
+  const Fixture f;
+  std::vector<EdgeId> disconnected{f.edges[0], f.edges[2]};
+  EXPECT_THROW(BusRoute(RouteId(0), "bad", *f.net, disconnected,
+                        {{"s", 0.0}}),
+               ContractViolation);
+}
+
+TEST(BusRoute, RequiresSortedStops) {
+  const Fixture f;
+  EXPECT_THROW(f.route({{"a", 100.0}, {"b", 50.0}}), ContractViolation);
+  EXPECT_THROW(f.route({{"a", 50.0}, {"b", 50.0}}), ContractViolation);
+  EXPECT_THROW(f.route({{"a", -1.0}}), ContractViolation);
+  EXPECT_THROW(f.route({{"a", 301.0}}), ContractViolation);
+  EXPECT_THROW(f.route({}), ContractViolation);
+}
+
+TEST(BusRoute, PositionAt) {
+  const Fixture f;
+  const BusRoute r = f.route();
+  EXPECT_EQ(r.position_at(50.0).edge_index, 0u);
+  EXPECT_DOUBLE_EQ(r.position_at(50.0).edge_offset, 50.0);
+  EXPECT_EQ(r.position_at(150.0).edge_index, 1u);
+  EXPECT_DOUBLE_EQ(r.position_at(150.0).edge_offset, 50.0);
+  // Exactly at a boundary: belongs to the next edge.
+  EXPECT_EQ(r.position_at(100.0).edge_index, 1u);
+  EXPECT_DOUBLE_EQ(r.position_at(100.0).edge_offset, 0.0);
+  // Clamped.
+  EXPECT_EQ(r.position_at(-5.0).edge_index, 0u);
+  EXPECT_EQ(r.position_at(305.0).edge_index, 2u);
+}
+
+TEST(BusRoute, PointAt) {
+  const Fixture f;
+  const BusRoute r = f.route();
+  EXPECT_EQ(r.point_at(0.0), (geo::Point{0, 0}));
+  EXPECT_EQ(r.point_at(150.0), (geo::Point{150, 0}));
+  EXPECT_EQ(r.point_at(300.0), (geo::Point{300, 0}));
+}
+
+TEST(BusRoute, Stops) {
+  const Fixture f;
+  const BusRoute r = f.route();
+  EXPECT_EQ(r.stop_count(), 3u);
+  EXPECT_DOUBLE_EQ(r.stop_offset(1), 150.0);
+  EXPECT_EQ(r.stop(2).name, "s2");
+  EXPECT_THROW(r.stop(3), ContractViolation);
+}
+
+TEST(BusRoute, NextStopAtOrAfter) {
+  const Fixture f;
+  const BusRoute r = f.route();
+  EXPECT_EQ(r.next_stop_at_or_after(0.0), 0u);
+  EXPECT_EQ(r.next_stop_at_or_after(1.0), 1u);
+  EXPECT_EQ(r.next_stop_at_or_after(150.0), 1u);
+  EXPECT_EQ(r.next_stop_at_or_after(250.0), 2u);
+  EXPECT_FALSE(r.next_stop_at_or_after(301.0).has_value());
+}
+
+TEST(BusRoute, Project) {
+  const Fixture f;
+  const BusRoute r = f.route();
+  const auto proj = r.project({120, 8});
+  EXPECT_DOUBLE_EQ(proj.route_offset, 120.0);
+  EXPECT_DOUBLE_EQ(proj.distance, 8.0);
+}
+
+TEST(BusRoute, IndexOfEdge) {
+  const Fixture f;
+  const BusRoute r = f.route();
+  EXPECT_EQ(r.index_of_edge(f.edges[1]), 1u);
+  EXPECT_FALSE(r.index_of_edge(EdgeId(99)).has_value());
+}
+
+}  // namespace
+}  // namespace wiloc::roadnet

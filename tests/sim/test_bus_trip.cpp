@@ -1,0 +1,187 @@
+#include "sim/bus_trip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace wiloc::sim {
+namespace {
+
+struct TripFixture {
+  std::unique_ptr<roadnet::RoadNetwork> net =
+      std::make_unique<roadnet::RoadNetwork>();
+  std::vector<roadnet::BusRoute> routes;
+  TrafficModel traffic{5};
+
+  TripFixture() {
+    // 3 edges x 500 m, stops at 0 / 700 / 1500.
+    const auto a = net->add_node({0, 0});
+    const auto b = net->add_node({500, 0});
+    const auto c = net->add_node({1000, 0});
+    const auto d = net->add_node({1500, 0});
+    std::vector<roadnet::EdgeId> edges{
+        net->add_straight_edge(a, b, 12.0),
+        net->add_straight_edge(b, c, 12.0),
+        net->add_straight_edge(c, d, 12.0)};
+    routes.emplace_back(
+        roadnet::RouteId(0), "r", *net, edges,
+        std::vector<roadnet::Stop>{
+            {"s0", 0.0}, {"s1", 700.0}, {"s2", 1500.0}});
+  }
+
+  TripRecord run(SimTime start = at_day_time(0, hms(12)),
+                 std::uint64_t seed = 3) const {
+    Rng rng(seed);
+    return simulate_trip(roadnet::TripId(0), routes[0], RouteProfile{},
+                         traffic, start, rng);
+  }
+};
+
+TEST(BusTrip, ReachesRouteEnd) {
+  const TripFixture f;
+  const TripRecord trip = f.run();
+  EXPECT_GT(trip.end_time, trip.start_time);
+  EXPECT_NEAR(trip.trajectory.back().route_offset, 1500.0, 1e-6);
+}
+
+TEST(BusTrip, TrajectoryIsMonotone) {
+  const TripFixture f;
+  const TripRecord trip = f.run();
+  for (std::size_t i = 1; i < trip.trajectory.size(); ++i) {
+    EXPECT_GE(trip.trajectory[i].time, trip.trajectory[i - 1].time);
+    EXPECT_GE(trip.trajectory[i].route_offset,
+              trip.trajectory[i - 1].route_offset - 1e-9);
+  }
+}
+
+TEST(BusTrip, AllStopsServicedInOrder) {
+  const TripFixture f;
+  const TripRecord trip = f.run();
+  ASSERT_EQ(trip.stops.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(trip.stops[i].stop_index, i);
+    EXPECT_LE(trip.stops[i].arrive, trip.stops[i].depart);
+  }
+  EXPECT_LT(trip.stops[0].depart, trip.stops[1].arrive);
+  EXPECT_LT(trip.stops[1].depart, trip.stops[2].arrive);
+}
+
+TEST(BusTrip, DwellAtIntermediateStop) {
+  const TripFixture f;
+  const TripRecord trip = f.run();
+  // Intermediate stop dwell is at least the 2 s floor.
+  EXPECT_GE(trip.stops[1].depart - trip.stops[1].arrive, 2.0);
+}
+
+TEST(BusTrip, SegmentTimingsAreContiguous) {
+  const TripFixture f;
+  const TripRecord trip = f.run();
+  ASSERT_EQ(trip.segments.size(), 3u);
+  EXPECT_DOUBLE_EQ(trip.segments.front().enter, trip.start_time);
+  for (std::size_t i = 0; i < trip.segments.size(); ++i) {
+    EXPECT_EQ(trip.segments[i].edge_index, i);
+    EXPECT_GT(trip.segments[i].travel_time(), 0.0);
+    if (i > 0) {
+      EXPECT_DOUBLE_EQ(trip.segments[i].enter, trip.segments[i - 1].exit);
+    }
+  }
+  EXPECT_DOUBLE_EQ(trip.segments.back().exit, trip.end_time);
+}
+
+TEST(BusTrip, SegmentTravelTimePlausible) {
+  const TripFixture f;
+  const TripRecord trip = f.run();
+  // 500 m at <= 12 m/s cruise: at least ~42 s, at most a few minutes.
+  for (const auto& seg : trip.segments) {
+    EXPECT_GT(seg.travel_time(), 40.0);
+    EXPECT_LT(seg.travel_time(), 600.0);
+  }
+}
+
+TEST(BusTrip, OffsetAtInterpolates) {
+  const TripFixture f;
+  const TripRecord trip = f.run();
+  EXPECT_DOUBLE_EQ(trip.offset_at(trip.start_time - 100.0), 0.0);
+  EXPECT_NEAR(trip.offset_at(trip.end_time + 100.0), 1500.0, 1e-6);
+  // Interpolation between samples is monotone.
+  const SimTime mid = (trip.start_time + trip.end_time) / 2;
+  const double at_mid = trip.offset_at(mid);
+  EXPECT_GT(at_mid, 0.0);
+  EXPECT_LT(at_mid, 1500.0);
+  EXPECT_LE(trip.offset_at(mid - 1.0), at_mid + 1e-9);
+}
+
+TEST(BusTrip, ArrivalAtStop) {
+  const TripFixture f;
+  const TripRecord trip = f.run();
+  EXPECT_DOUBLE_EQ(trip.arrival_at_stop(1), trip.stops[1].arrive);
+  EXPECT_THROW(trip.arrival_at_stop(9), NotFound);
+}
+
+TEST(BusTrip, RushHourTripsAreSlower) {
+  const TripFixture f;
+  // Average several seeds to beat dwell/light noise.
+  double rush = 0.0;
+  double midday = 0.0;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    rush += f.run(at_day_time(0, hms(9, 0)), 100 + s).end_time -
+            at_day_time(0, hms(9, 0));
+    midday += f.run(at_day_time(0, hms(13, 0)), 200 + s).end_time -
+              at_day_time(0, hms(13, 0));
+  }
+  EXPECT_GT(rush, midday * 1.1);
+}
+
+TEST(BusTrip, RapidProfileIsFaster) {
+  const TripFixture f;
+  RouteProfile rapid;
+  rapid.cruise_factor = 0.9;
+  rapid.dwell_mean_s = 10.0;
+  rapid.light_stop_probability = 0.1;
+  RouteProfile local;
+  local.cruise_factor = 0.6;
+  local.dwell_mean_s = 25.0;
+  local.light_stop_probability = 0.5;
+  double t_rapid = 0.0;
+  double t_local = 0.0;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    Rng r1(s);
+    Rng r2(s);
+    const SimTime start = at_day_time(0, hms(12));
+    t_rapid += simulate_trip(roadnet::TripId(0), f.routes[0], rapid,
+                             f.traffic, start, r1)
+                   .end_time -
+               start;
+    t_local += simulate_trip(roadnet::TripId(0), f.routes[0], local,
+                             f.traffic, start, r2)
+                   .end_time -
+               start;
+  }
+  EXPECT_LT(t_rapid, t_local);
+}
+
+TEST(BusTrip, DeterministicGivenSeed) {
+  const TripFixture f;
+  const TripRecord a = f.run(at_day_time(0, hms(12)), 77);
+  const TripRecord b = f.run(at_day_time(0, hms(12)), 77);
+  EXPECT_DOUBLE_EQ(a.end_time, b.end_time);
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+}
+
+TEST(BusTrip, ValidatesParams) {
+  const TripFixture f;
+  Rng rng(1);
+  BusTripParams bad;
+  bad.integration_dt_s = 0.0;
+  EXPECT_THROW(simulate_trip(roadnet::TripId(0), f.routes[0],
+                             RouteProfile{}, f.traffic, 0.0, rng, bad),
+               ContractViolation);
+  RouteProfile bad_profile;
+  bad_profile.cruise_factor = 0.0;
+  EXPECT_THROW(simulate_trip(roadnet::TripId(0), f.routes[0], bad_profile,
+                             f.traffic, 0.0, rng),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::sim

@@ -1,0 +1,140 @@
+#include "sim/city.hpp"
+
+#include <gtest/gtest.h>
+
+#include "roadnet/overlap.hpp"
+
+namespace wiloc::sim {
+namespace {
+
+TEST(PaperCity, HasFourRoutesInPaperOrder) {
+  const City city = build_paper_city();
+  ASSERT_EQ(city.routes.size(), 4u);
+  EXPECT_EQ(city.routes[0].name(), "Rapid");
+  EXPECT_EQ(city.routes[1].name(), "9");
+  EXPECT_EQ(city.routes[2].name(), "14");
+  EXPECT_EQ(city.routes[3].name(), "16");
+  EXPECT_EQ(city.profiles.size(), 4u);
+}
+
+TEST(PaperCity, StopCountsMatchTableI) {
+  const City city = build_paper_city();
+  EXPECT_EQ(city.route_by_name("Rapid").stop_count(), 19u);
+  EXPECT_EQ(city.route_by_name("9").stop_count(), 65u);
+  EXPECT_EQ(city.route_by_name("14").stop_count(), 74u);
+  EXPECT_EQ(city.route_by_name("16").stop_count(), 91u);
+}
+
+TEST(PaperCity, LengthsApproximateTableI) {
+  const City city = build_paper_city();
+  EXPECT_NEAR(city.route_by_name("Rapid").length() / 1000.0, 13.7, 0.5);
+  EXPECT_NEAR(city.route_by_name("9").length() / 1000.0, 16.3, 0.5);
+  EXPECT_NEAR(city.route_by_name("14").length() / 1000.0, 20.6, 0.5);
+  EXPECT_NEAR(city.route_by_name("16").length() / 1000.0, 18.3, 0.5);
+}
+
+TEST(PaperCity, OverlapStructure) {
+  const City city = build_paper_city();
+  const roadnet::OverlapIndex overlap(city.route_pointers());
+  // Every route shares segments with at least one other route
+  // ("Each bus route shares some overlapped road segments with at least
+  // one route").
+  for (const auto& route : city.routes)
+    EXPECT_GT(overlap.overlapped_length(route.id()), 1000.0)
+        << route.name();
+  // The Rapid line is (nearly) fully overlapped.
+  const auto& rapid = city.route_by_name("Rapid");
+  EXPECT_NEAR(overlap.overlapped_length(rapid.id()), rapid.length(), 1.0);
+  // Route 16 has the smallest overlapped *fraction* (Table I: 9.5/18.3).
+  const auto& r16 = city.route_by_name("16");
+  const double frac16 =
+      overlap.overlapped_length(r16.id()) / r16.length();
+  EXPECT_LT(frac16, 0.62);
+  EXPECT_NEAR(overlap.overlapped_length(r16.id()) / 1000.0, 9.5, 0.5);
+}
+
+TEST(PaperCity, RapidProfileIsFastest) {
+  const City city = build_paper_city();
+  const auto& rapid = city.profile_of(city.route_by_name("Rapid").id());
+  const auto& local = city.profile_of(city.route_by_name("14").id());
+  EXPECT_GT(rapid.cruise_factor, local.cruise_factor);
+  EXPECT_LT(rapid.dwell_mean_s, local.dwell_mean_s);
+}
+
+TEST(PaperCity, ApDensityScalesCount) {
+  CityParams sparse;
+  sparse.ap_density_per_km = 4.0;
+  CityParams dense;
+  dense.ap_density_per_km = 16.0;
+  const City a = build_paper_city(sparse);
+  const City b = build_paper_city(dense);
+  EXPECT_GT(b.aps.count(), a.aps.count() * 5 / 2);
+  EXPECT_LT(b.aps.count(), a.aps.count() * 5);
+}
+
+TEST(PaperCity, ApsAreOffTheRoadway) {
+  const City city = build_paper_city();
+  for (const auto& ap : city.aps.aps()) {
+    const auto proj = city.network->project(ap.position);
+    EXPECT_GT(proj.distance, 3.0);
+    EXPECT_LT(proj.distance, 60.0);
+  }
+}
+
+TEST(PaperCity, TowersAreSparse) {
+  const City city = build_paper_city();
+  EXPECT_GT(city.towers.count(), 5u);
+  // Far fewer towers than APs (the paper's Fig. 1 contrast).
+  EXPECT_LT(city.towers.count(), city.aps.count() / 10);
+}
+
+TEST(PaperCity, ApSnapshotHonorsOutages) {
+  City city = build_paper_city();
+  const std::size_t all = city.ap_snapshot(0.0).size();
+  city.aps.add_outage(rf::ApId(0), 0.0, 100.0);
+  EXPECT_EQ(city.ap_snapshot(50.0).size(), all - 1);
+  EXPECT_EQ(city.ap_snapshot(200.0).size(), all);
+}
+
+TEST(PaperCity, RouteByNameThrowsOnUnknown) {
+  const City city = build_paper_city();
+  EXPECT_THROW(city.route_by_name("99"), NotFound);
+  EXPECT_THROW(city.profile_of(roadnet::RouteId(9)), NotFound);
+}
+
+TEST(PaperCity, DeterministicForSeed) {
+  const City a = build_paper_city();
+  const City b = build_paper_city();
+  ASSERT_EQ(a.aps.count(), b.aps.count());
+  for (std::size_t i = 0; i < a.aps.count(); ++i) {
+    EXPECT_EQ(a.aps.aps()[i].position, b.aps.aps()[i].position);
+    EXPECT_EQ(a.aps.aps()[i].tx_power_dbm, b.aps.aps()[i].tx_power_dbm);
+  }
+}
+
+TEST(Campus, MatchesPaperScenario) {
+  const CampusScenario campus = build_campus();
+  // Table II names 11 APs; three probe locations A, B, C.
+  EXPECT_EQ(campus.aps.count(), 11u);
+  ASSERT_EQ(campus.probe_offsets.size(), 3u);
+  EXPECT_EQ(campus.routes.size(), 1u);
+  const double len = campus.route().length();
+  for (const double offset : campus.probe_offsets) {
+    EXPECT_GT(offset, 0.0);
+    EXPECT_LT(offset, len);
+  }
+  // Probes are ordered along the road (A before B before C).
+  EXPECT_LT(campus.probe_offsets[0], campus.probe_offsets[1]);
+  EXPECT_LT(campus.probe_offsets[1], campus.probe_offsets[2]);
+}
+
+TEST(Campus, ApsNearTheRoad) {
+  const CampusScenario campus = build_campus();
+  for (const auto& ap : campus.aps.aps()) {
+    const auto proj = campus.route().project(ap.position);
+    EXPECT_LT(proj.distance, 40.0);
+  }
+}
+
+}  // namespace
+}  // namespace wiloc::sim

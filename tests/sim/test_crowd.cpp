@@ -1,0 +1,145 @@
+#include "sim/crowd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace wiloc::sim {
+namespace {
+
+struct CrowdFixture {
+  std::unique_ptr<roadnet::RoadNetwork> net =
+      std::make_unique<roadnet::RoadNetwork>();
+  std::vector<roadnet::BusRoute> routes;
+  rf::ApRegistry aps;
+  rf::LogDistanceModel model;
+  TrafficModel traffic{5};
+
+  CrowdFixture() : model(rf::LogDistanceParams{}) {
+    const auto a = net->add_node({0, 0});
+    const auto b = net->add_node({800, 0});
+    const auto e = net->add_straight_edge(a, b, 12.0);
+    routes.emplace_back(
+        roadnet::RouteId(0), "r", *net, std::vector<roadnet::EdgeId>{e},
+        std::vector<roadnet::Stop>{{"s0", 0.0}, {"s1", 800.0}});
+    for (int i = 0; i < 8; ++i)
+      aps.add({100.0 * i + 50.0, (i % 2) ? 20.0 : -20.0}, -30.0, 3.0);
+  }
+
+  TripRecord trip(std::uint64_t seed = 3) const {
+    Rng rng(seed);
+    return simulate_trip(roadnet::TripId(7), routes[0], RouteProfile{},
+                         traffic, at_day_time(0, hms(10)), rng);
+  }
+};
+
+TEST(CrowdSensor, ReportCadenceMatchesScanPeriod) {
+  const CrowdFixture f;
+  const TripRecord trip = f.trip();
+  Rng rng(1);
+  const rf::Scanner scanner;
+  const auto reports =
+      sense_trip(trip, f.routes[0], f.aps, f.model, scanner, rng);
+  const double duration = trip.end_time - trip.start_time;
+  const auto expected = static_cast<std::size_t>(duration / 10.0) + 1;
+  // Nearly every period yields a report (dense APs).
+  EXPECT_GE(reports.size(), expected - 2);
+  EXPECT_LE(reports.size(), expected + 1);
+}
+
+TEST(CrowdSensor, ReportsCarryTripAndRoute) {
+  const CrowdFixture f;
+  const TripRecord trip = f.trip();
+  Rng rng(1);
+  const rf::Scanner scanner;
+  const auto reports =
+      sense_trip(trip, f.routes[0], f.aps, f.model, scanner, rng);
+  ASSERT_FALSE(reports.empty());
+  for (const auto& report : reports) {
+    EXPECT_EQ(report.trip, trip.id);
+    EXPECT_EQ(report.route, trip.route);
+    EXPECT_FALSE(report.scan.empty());
+  }
+}
+
+TEST(CrowdSensor, ScanTimesAreOrderedWithinTrip) {
+  const CrowdFixture f;
+  const TripRecord trip = f.trip();
+  Rng rng(1);
+  const rf::Scanner scanner;
+  const auto reports =
+      sense_trip(trip, f.routes[0], f.aps, f.model, scanner, rng);
+  for (std::size_t i = 1; i < reports.size(); ++i)
+    EXPECT_GT(reports[i].scan.time, reports[i - 1].scan.time);
+  EXPECT_GE(reports.front().scan.time, trip.start_time);
+  EXPECT_LE(reports.back().scan.time, trip.end_time);
+}
+
+TEST(CrowdSensor, CustomPeriod) {
+  const CrowdFixture f;
+  const TripRecord trip = f.trip();
+  Rng rng(1);
+  const rf::Scanner scanner;
+  CrowdParams params;
+  params.scan_period_s = 30.0;
+  const auto sparse =
+      sense_trip(trip, f.routes[0], f.aps, f.model, scanner, rng, params);
+  Rng rng2(1);
+  const auto dense =
+      sense_trip(trip, f.routes[0], f.aps, f.model, scanner, rng2);
+  EXPECT_LT(sparse.size(), dense.size());
+}
+
+TEST(CrowdSensor, MoreRidersHearMoreAps) {
+  const CrowdFixture f;
+  const TripRecord trip = f.trip();
+  const rf::Scanner scanner;
+  CrowdParams solo;
+  solo.riders = 1;
+  CrowdParams crowd;
+  crowd.riders = 6;
+  Rng rng1(1);
+  Rng rng2(1);
+  const auto few =
+      sense_trip(trip, f.routes[0], f.aps, f.model, scanner, rng1, solo);
+  const auto many =
+      sense_trip(trip, f.routes[0], f.aps, f.model, scanner, rng2, crowd);
+  double sum_few = 0.0;
+  for (const auto& r : few) sum_few += static_cast<double>(r.scan.readings.size());
+  double sum_many = 0.0;
+  for (const auto& r : many)
+    sum_many += static_cast<double>(r.scan.readings.size());
+  EXPECT_GE(sum_many / static_cast<double>(many.size()),
+            sum_few / static_cast<double>(few.size()));
+}
+
+TEST(CrowdSensor, RejectsMismatchedRoute) {
+  CrowdFixture f;
+  const auto a = f.net->add_node({0, 100});
+  const auto b = f.net->add_node({500, 100});
+  const auto e = f.net->add_straight_edge(a, b, 10.0);
+  f.routes.emplace_back(
+      roadnet::RouteId(1), "other", *f.net, std::vector<roadnet::EdgeId>{e},
+      std::vector<roadnet::Stop>{{"x", 0.0}, {"y", 500.0}});
+  const TripRecord trip = f.trip();  // on route 0
+  Rng rng(1);
+  const rf::Scanner scanner;
+  EXPECT_THROW(
+      sense_trip(trip, f.routes[1], f.aps, f.model, scanner, rng),
+      ContractViolation);
+}
+
+TEST(CrowdSensor, ValidatesParams) {
+  const CrowdFixture f;
+  const TripRecord trip = f.trip();
+  Rng rng(1);
+  const rf::Scanner scanner;
+  CrowdParams bad;
+  bad.riders = 0;
+  EXPECT_THROW(
+      sense_trip(trip, f.routes[0], f.aps, f.model, scanner, rng, bad),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::sim

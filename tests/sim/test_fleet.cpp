@@ -1,0 +1,119 @@
+#include "sim/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wiloc::sim {
+namespace {
+
+TEST(Fleet, DefaultPlanCoversAllRoutes) {
+  const City city = build_paper_city();
+  const FleetPlan plan = default_fleet_plan(city);
+  EXPECT_EQ(plan.per_route.size(), city.routes.size());
+  for (const auto& sp : plan.per_route) {
+    EXPECT_GT(sp.headway_s, 0.0);
+    EXPECT_LT(sp.first_departure_tod, sp.last_departure_tod);
+  }
+}
+
+TEST(Fleet, TripCountMatchesHeadways) {
+  const City city = build_paper_city();
+  const TrafficModel traffic(3);
+  FleetPlan plan;
+  // One hour of service, 20-minute headway, for each route: 4 trips each.
+  for (std::size_t i = 0; i < city.routes.size(); ++i)
+    plan.per_route.push_back({hms(9), hms(10), 1200.0});
+  Rng rng(1);
+  std::uint32_t next_id = 0;
+  const auto trips =
+      simulate_service_day(city, traffic, plan, 0, rng, &next_id);
+  EXPECT_EQ(trips.size(), 4u * city.routes.size());
+  EXPECT_EQ(next_id, trips.size());
+}
+
+TEST(Fleet, TripIdsAreUnique) {
+  const City city = build_paper_city();
+  const TrafficModel traffic(3);
+  FleetPlan plan;
+  for (std::size_t i = 0; i < city.routes.size(); ++i)
+    plan.per_route.push_back({hms(9), hms(10), 1800.0});
+  Rng rng(1);
+  std::uint32_t next_id = 0;
+  const auto trips =
+      simulate_service_day(city, traffic, plan, 0, rng, &next_id);
+  std::set<std::uint32_t> ids;
+  for (const auto& trip : trips) ids.insert(trip.id.value());
+  EXPECT_EQ(ids.size(), trips.size());
+}
+
+TEST(Fleet, KeepTrajectoriesFlag) {
+  const City city = build_paper_city();
+  const TrafficModel traffic(3);
+  FleetPlan plan;
+  for (std::size_t i = 0; i < city.routes.size(); ++i)
+    plan.per_route.push_back({hms(9), hms(9, 10), 1200.0});
+  Rng rng1(1);
+  Rng rng2(1);
+  std::uint32_t id1 = 0;
+  std::uint32_t id2 = 0;
+  const auto with = simulate_service_day(city, traffic, plan, 0, rng1,
+                                         &id1, /*keep=*/true);
+  const auto without = simulate_service_day(city, traffic, plan, 0, rng2,
+                                            &id2, /*keep=*/false);
+  ASSERT_EQ(with.size(), without.size());
+  for (std::size_t i = 0; i < with.size(); ++i) {
+    EXPECT_FALSE(with[i].trajectory.empty());
+    EXPECT_TRUE(without[i].trajectory.empty());
+    // Segment/stop timings survive either way.
+    EXPECT_EQ(with[i].segments.size(), without[i].segments.size());
+    EXPECT_EQ(with[i].stops.size(), without[i].stops.size());
+  }
+}
+
+TEST(Fleet, MultiDaySimulation) {
+  const City city = build_paper_city();
+  const TrafficModel traffic(3);
+  FleetPlan plan;
+  for (std::size_t i = 0; i < city.routes.size(); ++i)
+    plan.per_route.push_back({hms(9), hms(9, 30), 1800.0});
+  Rng rng(1);
+  const auto trips =
+      simulate_service_days(city, traffic, plan, /*first_day=*/2,
+                            /*day_count=*/3, rng);
+  ASSERT_FALSE(trips.empty());
+  std::set<int> days;
+  for (const auto& trip : trips) days.insert(day_of(trip.start_time));
+  EXPECT_EQ(days, (std::set<int>{2, 3, 4}));
+}
+
+TEST(Fleet, TripsDepartOnSchedule) {
+  const City city = build_paper_city();
+  const TrafficModel traffic(3);
+  FleetPlan plan;
+  for (std::size_t i = 0; i < city.routes.size(); ++i)
+    plan.per_route.push_back({hms(7), hms(8), 3600.0});
+  Rng rng(1);
+  std::uint32_t next_id = 0;
+  const auto trips =
+      simulate_service_day(city, traffic, plan, 1, rng, &next_id);
+  for (const auto& trip : trips) {
+    const double tod = time_of_day(trip.start_time);
+    EXPECT_TRUE(tod == hms(7) || tod == hms(8));
+    EXPECT_EQ(day_of(trip.start_time), 1);
+  }
+}
+
+TEST(Fleet, ValidatesPlanSize) {
+  const City city = build_paper_city();
+  const TrafficModel traffic(3);
+  FleetPlan plan;  // wrong size
+  Rng rng(1);
+  std::uint32_t next_id = 0;
+  EXPECT_THROW(
+      simulate_service_day(city, traffic, plan, 0, rng, &next_id),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::sim

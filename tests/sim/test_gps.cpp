@@ -1,0 +1,97 @@
+#include "sim/gps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace wiloc::sim {
+namespace {
+
+TEST(GpsSimulator, CanyonLayoutIsDeterministic) {
+  const GpsSimulator gps;
+  for (double x = 0; x < 2000; x += 97) {
+    EXPECT_EQ(gps.in_canyon({x, 0}), gps.in_canyon({x, 0}));
+  }
+}
+
+TEST(GpsSimulator, CanyonFractionRoughlyRespected) {
+  GpsParams params;
+  params.canyon_fraction = 0.4;
+  const GpsSimulator gps(params);
+  int canyons = 0;
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = 251.0 * i;  // distinct cells
+    if (gps.in_canyon({x, 0})) ++canyons;
+  }
+  EXPECT_NEAR(static_cast<double>(canyons) / kN, 0.4, 0.05);
+}
+
+TEST(GpsSimulator, OpenSkyErrorScale) {
+  GpsParams params;
+  params.canyon_fraction = 0.0;
+  const GpsSimulator gps(params);
+  Rng rng(5);
+  RunningStats err;
+  const geo::Point truth{100, 100};
+  for (int i = 0; i < 5000; ++i) {
+    const auto fix = gps.sample(truth, rng);
+    ASSERT_TRUE(fix.has_value());
+    err.add(geo::distance(*fix, truth));
+  }
+  // Mean radial error for 2D Gaussian sigma=5 is sigma*sqrt(pi/2) ~ 6.27.
+  EXPECT_NEAR(err.mean(), 6.27, 0.5);
+}
+
+TEST(GpsSimulator, CanyonErrorLarger) {
+  GpsParams open;
+  open.canyon_fraction = 0.0;
+  GpsParams canyon;
+  canyon.canyon_fraction = 1.0;
+  canyon.canyon_outage_prob = 0.0;
+  const GpsSimulator g_open(open);
+  const GpsSimulator g_canyon(canyon);
+  Rng rng(5);
+  RunningStats e_open;
+  RunningStats e_canyon;
+  for (int i = 0; i < 2000; ++i) {
+    e_open.add(geo::distance(*g_open.sample({0, 0}, rng), {0, 0}));
+    e_canyon.add(geo::distance(*g_canyon.sample({0, 0}, rng), {0, 0}));
+  }
+  EXPECT_GT(e_canyon.mean(), e_open.mean() * 3.0);
+}
+
+TEST(GpsSimulator, CanyonOutages) {
+  GpsParams params;
+  params.canyon_fraction = 1.0;
+  params.canyon_outage_prob = 0.5;
+  const GpsSimulator gps(params);
+  Rng rng(5);
+  int outages = 0;
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i)
+    if (!gps.sample({0, 0}, rng).has_value()) ++outages;
+  EXPECT_NEAR(static_cast<double>(outages) / kN, 0.5, 0.05);
+}
+
+TEST(GpsSimulator, NoOutagesInOpenSky) {
+  GpsParams params;
+  params.canyon_fraction = 0.0;
+  const GpsSimulator gps(params);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i)
+    EXPECT_TRUE(gps.sample({0, 0}, rng).has_value());
+}
+
+TEST(GpsSimulator, ValidatesParams) {
+  GpsParams bad;
+  bad.canyon_sigma_m = 1.0;  // smaller than open sky
+  EXPECT_THROW(GpsSimulator{bad}, ContractViolation);
+  GpsParams bad2;
+  bad2.canyon_fraction = 1.5;
+  EXPECT_THROW(GpsSimulator{bad2}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::sim

@@ -1,0 +1,138 @@
+#include "sim/traffic_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wiloc::sim {
+namespace {
+
+using roadnet::EdgeId;
+
+TEST(TrafficModel, Deterministic) {
+  const TrafficModel a(42);
+  const TrafficModel b(42);
+  for (double t = 0; t < 2 * kSecondsPerDay; t += 3600.0)
+    EXPECT_DOUBLE_EQ(a.slowdown(EdgeId(3), t), b.slowdown(EdgeId(3), t));
+}
+
+TEST(TrafficModel, SlowdownIsPositiveAndBounded) {
+  const TrafficModel model(7);
+  for (std::uint32_t e = 0; e < 20; ++e) {
+    for (double t = 0; t < kSecondsPerDay; t += 600.0) {
+      const double s = model.slowdown(EdgeId(e), t);
+      EXPECT_GT(s, 0.5);
+      EXPECT_LT(s, 4.0);
+    }
+  }
+}
+
+TEST(TrafficModel, RushHourSlowerThanMidnight) {
+  const TrafficModel model(7);
+  // Average over many edges to wash out per-edge peak shifts.
+  double rush = 0.0;
+  double night = 0.0;
+  constexpr int kEdges = 30;
+  for (std::uint32_t e = 0; e < kEdges; ++e) {
+    rush += model.rush_profile(EdgeId(e), hms(9, 0));
+    night += model.rush_profile(EdgeId(e), hms(2, 0));
+  }
+  EXPECT_GT(rush / kEdges, 1.4);
+  EXPECT_LT(night / kEdges, 1.1);
+}
+
+TEST(TrafficModel, TwoRushPeaks) {
+  const TrafficModel model(7);
+  double am = 0.0;
+  double midday = 0.0;
+  double pm = 0.0;
+  constexpr int kEdges = 30;
+  for (std::uint32_t e = 0; e < kEdges; ++e) {
+    am += model.rush_profile(EdgeId(e), hms(9));
+    midday += model.rush_profile(EdgeId(e), hms(13));
+    pm += model.rush_profile(EdgeId(e), hms(18, 30));
+  }
+  EXPECT_GT(am, midday);
+  EXPECT_GT(pm, midday);
+}
+
+TEST(TrafficModel, PeakShiftVariesByEdge) {
+  const TrafficModel model(7);
+  // At a fixed time near the rush shoulder, different edges see
+  // different congestion because their peaks are shifted.
+  const double t = hms(8, 0);
+  bool found_difference = false;
+  const double first = model.rush_profile(EdgeId(0), t);
+  for (std::uint32_t e = 1; e < 10; ++e) {
+    if (std::abs(model.rush_profile(EdgeId(e), t) - first) > 0.01)
+      found_difference = true;
+  }
+  EXPECT_TRUE(found_difference);
+}
+
+TEST(TrafficModel, DailyWiggleSharedAcrossQueriesButVariesByDay) {
+  const TrafficModel model(7);
+  const SimTime t_day0 = at_day_time(0, hms(12));
+  const SimTime t_day1 = at_day_time(1, hms(12));
+  EXPECT_DOUBLE_EQ(model.daily_wiggle(EdgeId(0), t_day0),
+                   model.daily_wiggle(EdgeId(0), t_day0));
+  EXPECT_NE(model.daily_wiggle(EdgeId(0), t_day0),
+            model.daily_wiggle(EdgeId(0), t_day1));
+}
+
+TEST(TrafficModel, WiggleIsTemporallyPersistent) {
+  // Within a knot interval the wiggle moves smoothly — the temporal
+  // consistency the predictor exploits.
+  const TrafficModel model(7);
+  const SimTime t = at_day_time(0, hms(14));
+  const double now = model.daily_wiggle(EdgeId(5), t);
+  const double soon = model.daily_wiggle(EdgeId(5), t + 120.0);
+  EXPECT_LT(std::abs(now - soon), 0.05);
+}
+
+TEST(TrafficModel, ZeroWiggleSigmaDisablesNoise) {
+  TrafficParams params;
+  params.wiggle_sigma = 0.0;
+  const TrafficModel model(7, params);
+  EXPECT_DOUBLE_EQ(model.daily_wiggle(EdgeId(0), 1234.0), 1.0);
+}
+
+TEST(TrafficModel, IncidentCap) {
+  TrafficModel model(7);
+  model.add_incident({EdgeId(2), 100.0, 200.0, 1000.0, 2000.0, 1.5});
+  EXPECT_EQ(model.incidents().size(), 1u);
+  // Inside window, inside offsets.
+  EXPECT_DOUBLE_EQ(model.incident_cap(EdgeId(2), 150.0, 1500.0), 1.5);
+  // Wrong edge / time / offset.
+  EXPECT_TRUE(std::isinf(model.incident_cap(EdgeId(3), 150.0, 1500.0)));
+  EXPECT_TRUE(std::isinf(model.incident_cap(EdgeId(2), 150.0, 2500.0)));
+  EXPECT_TRUE(std::isinf(model.incident_cap(EdgeId(2), 50.0, 1500.0)));
+}
+
+TEST(TrafficModel, OverlappingIncidentsTakeMinimum) {
+  TrafficModel model(7);
+  model.add_incident({EdgeId(0), 0.0, 100.0, 0.0, 100.0, 3.0});
+  model.add_incident({EdgeId(0), 50.0, 150.0, 0.0, 100.0, 1.0});
+  EXPECT_DOUBLE_EQ(model.incident_cap(EdgeId(0), 75.0, 50.0), 1.0);
+}
+
+TEST(TrafficModel, IncidentValidation) {
+  TrafficModel model(7);
+  EXPECT_THROW(
+      model.add_incident({EdgeId(0), 100.0, 50.0, 0.0, 10.0, 1.0}),
+      ContractViolation);
+  EXPECT_THROW(
+      model.add_incident({EdgeId(0), 0.0, 50.0, 10.0, 10.0, 1.0}),
+      ContractViolation);
+  EXPECT_THROW(
+      model.add_incident({EdgeId(0), 0.0, 50.0, 0.0, 10.0, 0.0}),
+      ContractViolation);
+}
+
+TEST(TrafficModel, DifferentSeedsDifferentTraffic) {
+  const TrafficModel a(1);
+  const TrafficModel b(2);
+  const SimTime t = at_day_time(0, hms(12));
+  EXPECT_NE(a.daily_wiggle(EdgeId(0), t), b.daily_wiggle(EdgeId(0), t));
+}
+
+}  // namespace
+}  // namespace wiloc::sim

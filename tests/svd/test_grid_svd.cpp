@@ -1,0 +1,231 @@
+#include "svd/grid_svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wiloc::svd {
+namespace {
+
+using rf::AccessPoint;
+using rf::ApId;
+
+std::vector<AccessPoint> identical_aps() {
+  // Four identical APs at square corners: the SVD degenerates to the
+  // Euclidean Voronoi diagram (paper: "the conventional Voronoi Diagram
+  // is just a special case of SVD").
+  std::vector<AccessPoint> aps;
+  const geo::Point positions[] = {{0, 0}, {100, 0}, {0, 100}, {100, 100}};
+  for (std::size_t i = 0; i < 4; ++i)
+    aps.push_back({ApId(static_cast<std::uint32_t>(i)), "", positions[i],
+                   -30.0, 3.0});
+  return aps;
+}
+
+rf::LogDistanceModel ideal_model() {
+  rf::LogDistanceParams params;
+  params.shadowing_sigma_db = 0.0;
+  params.fading_sigma_db = 0.0;
+  return rf::LogDistanceModel(params);
+}
+
+GridSpec square_domain(double size = 100.0, double res = 2.0) {
+  return {geo::Aabb({0, 0}, {size, size}), res};
+}
+
+TEST(SvdGrid, PartitionCoversDomainExactly) {
+  const auto model = ideal_model();
+  const SvdGrid grid(identical_aps(), model, square_domain());
+  // Sum of region areas == number of cells * cell area.
+  const double expected =
+      static_cast<double>(grid.cols() * grid.rows()) * 2.0 * 2.0;
+  EXPECT_NEAR(grid.total_area(), expected, 1e-6);
+}
+
+TEST(SvdGrid, IdenticalApsReduceToEuclideanVoronoi) {
+  const auto model = ideal_model();
+  SvdGridParams params;
+  params.order = 1;
+  const SvdGrid grid(identical_aps(), model, square_domain(), params);
+  // Every probe's Signal Cell site must be its Euclidean-nearest AP.
+  const auto aps = identical_aps();
+  for (double x = 5; x < 100; x += 9) {
+    for (double y = 5; y < 100; y += 9) {
+      const geo::Point p{x, y};
+      const RankSignature& sig = grid.signature_at(p);
+      ASSERT_FALSE(sig.empty());
+      std::size_t nearest = 0;
+      for (std::size_t i = 1; i < aps.size(); ++i) {
+        if (geo::distance(p, aps[i].position) <
+            geo::distance(p, aps[nearest].position))
+          nearest = i;
+      }
+      // Skip probes within a cell of the bisector (raster granularity).
+      double best = 1e18;
+      double second = 1e18;
+      for (const auto& ap : aps) {
+        const double d = geo::distance(p, ap.position);
+        if (d < best) {
+          second = best;
+          best = d;
+        } else if (d < second) {
+          second = d;
+        }
+      }
+      if (second - best < 4.0) continue;
+      EXPECT_EQ(sig.strongest(), aps[nearest].id)
+          << "at (" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(SvdGrid, HigherOrderRefinesPartition) {
+  // Proposition 2: a higher-order SVD is a finer partition.
+  const auto model = ideal_model();
+  SvdGridParams p1;
+  p1.order = 1;
+  const SvdGrid g1(identical_aps(), model, square_domain(), p1);
+  SvdGridParams p2;
+  p2.order = 2;
+  const SvdGrid g2(identical_aps(), model, square_domain(), p2);
+  SvdGridParams p3;
+  p3.order = 3;
+  const SvdGrid g3(identical_aps(), model, square_domain(), p3);
+  EXPECT_GT(g2.region_count(), g1.region_count());
+  // Refinement is monotone; symmetric layouts may saturate.
+  EXPECT_GE(g3.region_count(), g2.region_count());
+}
+
+TEST(SvdGrid, MoreApsMoreRegions) {
+  // Proposition 3 (corollary): more APs -> more cells -> finer diagram.
+  const auto model = ideal_model();
+  auto aps = identical_aps();
+  const SvdGrid few(aps, model, square_domain());
+  aps.push_back({ApId(4), "", {50, 50}, -30.0, 3.0});
+  aps.push_back({ApId(5), "", {25, 75}, -30.0, 3.0});
+  const SvdGrid more(aps, model, square_domain());
+  EXPECT_GT(more.region_count(), few.region_count());
+}
+
+TEST(SvdGrid, RegionLookupConsistency) {
+  const auto model = ideal_model();
+  const SvdGrid grid(identical_aps(), model, square_domain());
+  for (double x = 3; x < 100; x += 13) {
+    for (double y = 3; y < 100; y += 13) {
+      const auto region = grid.region_at({x, y});
+      const RankSignature& sig = grid.region(region).signature;
+      EXPECT_EQ(grid.region_of(sig), region);
+      EXPECT_TRUE(grid.spec().domain.contains(
+          grid.region(region).centroid));
+    }
+  }
+}
+
+TEST(SvdGrid, RegionAtRejectsOutsideDomain) {
+  const auto model = ideal_model();
+  const SvdGrid grid(identical_aps(), model, square_domain());
+  EXPECT_THROW(grid.region_at({-10, 0}), ContractViolation);
+  EXPECT_THROW(grid.region_at({0, 200}), ContractViolation);
+}
+
+TEST(SvdGrid, NeighborsAreSymmetricWithEqualBoundary) {
+  const auto model = ideal_model();
+  const SvdGrid grid(identical_aps(), model, square_domain());
+  for (SvdGrid::RegionIndex r = 0; r < grid.region_count(); ++r) {
+    for (const auto& link : grid.region(r).neighbors) {
+      EXPECT_GT(link.boundary_length, 0.0);
+      bool found_back = false;
+      for (const auto& back : grid.region(link.region).neighbors) {
+        if (back.region == r) {
+          EXPECT_DOUBLE_EQ(back.boundary_length, link.boundary_length);
+          found_back = true;
+        }
+      }
+      EXPECT_TRUE(found_back);
+    }
+  }
+}
+
+TEST(SvdGrid, NeighborsSortedByBoundaryDesc) {
+  const auto model = ideal_model();
+  const SvdGrid grid(identical_aps(), model, square_domain());
+  for (SvdGrid::RegionIndex r = 0; r < grid.region_count(); ++r) {
+    const auto& neighbors = grid.region(r).neighbors;
+    for (std::size_t i = 1; i < neighbors.size(); ++i)
+      EXPECT_GE(neighbors[i - 1].boundary_length,
+                neighbors[i].boundary_length);
+  }
+}
+
+TEST(SvdGrid, CellAreasSumToDomainForFirstOrder) {
+  const auto model = ideal_model();
+  SvdGridParams params;
+  params.order = 1;
+  const SvdGrid grid(identical_aps(), model, square_domain(), params);
+  double total = 0.0;
+  for (const auto& ap : identical_aps()) total += grid.cell_area(ap.id);
+  // All four identical APs cover the whole domain (floor never trips
+  // inside a 100 m square).
+  EXPECT_NEAR(total, grid.total_area(), 1e-6);
+  // Symmetric layout: roughly equal cells.
+  for (const auto& ap : identical_aps())
+    EXPECT_NEAR(grid.cell_area(ap.id), grid.total_area() / 4.0,
+                grid.total_area() * 0.05);
+}
+
+TEST(SvdGrid, JointPointsExistForSymmetricLayout) {
+  const auto model = ideal_model();
+  const SvdGrid grid(identical_aps(), model, square_domain());
+  // Four identical APs at square corners meet near the center.
+  const auto joints = grid.joint_points();
+  ASSERT_FALSE(joints.empty());
+  bool near_center = false;
+  for (const geo::Point j : joints)
+    if (geo::distance(j, {50, 50}) < 10.0) near_center = true;
+  EXPECT_TRUE(near_center);
+  // Bisector joints (region meetings) are at least as common.
+  EXPECT_GE(grid.bisector_joints().size(), joints.size());
+}
+
+TEST(SvdGrid, KnowsAp) {
+  const auto model = ideal_model();
+  const SvdGrid grid(identical_aps(), model, square_domain());
+  EXPECT_TRUE(grid.knows_ap(ApId(0)));
+  EXPECT_TRUE(grid.knows_ap(ApId(3)));
+  EXPECT_FALSE(grid.knows_ap(ApId(4)));
+}
+
+TEST(SvdGrid, DifferentTxPowersShiftBoundaries) {
+  // The SVD-vs-VD distinction: a stronger AP's cell grows past the
+  // Euclidean bisector.
+  const auto model = ideal_model();
+  std::vector<AccessPoint> aps = {
+      {ApId(0), "", {0, 50}, -20.0, 3.0},   // strong
+      {ApId(1), "", {100, 50}, -40.0, 3.0}  // weak
+  };
+  SvdGridParams params;
+  params.order = 1;
+  const SvdGrid grid(aps, model, square_domain(), params);
+  // The Euclidean midpoint (50, 50) should belong to the strong AP.
+  EXPECT_EQ(grid.signature_at({50, 50}).strongest(), ApId(0));
+  // And well beyond the midpoint too.
+  EXPECT_EQ(grid.signature_at({65, 50}).strongest(), ApId(0));
+}
+
+TEST(SvdGrid, ValidatesConstruction) {
+  const auto model = ideal_model();
+  GridSpec bad_spec;  // empty domain
+  EXPECT_THROW(SvdGrid(identical_aps(), model, bad_spec),
+               ContractViolation);
+  GridSpec zero_res = square_domain();
+  zero_res.resolution_m = 0.0;
+  EXPECT_THROW(SvdGrid(identical_aps(), model, zero_res),
+               ContractViolation);
+  SvdGridParams zero_order;
+  zero_order.order = 0;
+  EXPECT_THROW(SvdGrid(identical_aps(), model, square_domain(), zero_order),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::svd

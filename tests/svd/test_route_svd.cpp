@@ -1,0 +1,193 @@
+#include "svd/route_svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace wiloc::svd {
+namespace {
+
+using rf::AccessPoint;
+using rf::ApId;
+
+struct RouteFixture {
+  std::unique_ptr<roadnet::RoadNetwork> net =
+      std::make_unique<roadnet::RoadNetwork>();
+  std::vector<roadnet::BusRoute> routes;
+  std::vector<AccessPoint> aps;
+  rf::LogDistanceModel model;
+
+  explicit RouteFixture(double shadowing = 0.0)
+      : model([&] {
+          rf::LogDistanceParams p;
+          p.shadowing_sigma_db = shadowing;
+          p.fading_sigma_db = 0.0;
+          return p;
+        }()) {
+    // A 1 km straight road with APs every 100 m alternating sides.
+    const auto a = net->add_node({0, 0});
+    const auto b = net->add_node({1000, 0});
+    const auto e = net->add_straight_edge(a, b, 13.9);
+    routes.emplace_back(
+        roadnet::RouteId(0), "r", *net, std::vector<roadnet::EdgeId>{e},
+        std::vector<roadnet::Stop>{{"s0", 0.0}, {"s1", 1000.0}});
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      const double x = 50.0 + 100.0 * i;
+      const double y = (i % 2 == 0) ? 20.0 : -20.0;
+      aps.push_back({ApId(i), "", {x, y}, -30.0, 3.0});
+    }
+  }
+
+  const roadnet::BusRoute& route() const { return routes.front(); }
+};
+
+TEST(RouteSvd, IntervalsTileTheRoute) {
+  const RouteFixture f;
+  const RouteSvd svd(f.route(), f.aps, f.model, {});
+  const auto& intervals = svd.intervals();
+  ASSERT_FALSE(intervals.empty());
+  EXPECT_DOUBLE_EQ(intervals.front().begin, 0.0);
+  EXPECT_DOUBLE_EQ(intervals.back().end, 1000.0);
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(intervals[i].begin, intervals[i - 1].end);
+    // Adjacent intervals have different signatures (maximal runs).
+    EXPECT_FALSE(intervals[i].signature == intervals[i - 1].signature);
+  }
+}
+
+TEST(RouteSvd, SignatureAtMatchesIntervals) {
+  const RouteFixture f;
+  const RouteSvd svd(f.route(), f.aps, f.model, {});
+  for (const auto& interval : svd.intervals()) {
+    EXPECT_EQ(svd.signature_at(interval.mid()), interval.signature);
+  }
+}
+
+TEST(RouteSvd, Proposition1RssOrderedWithinTile) {
+  // Within each tile, the expected RSS of the signature's APs is in
+  // non-increasing order at the tile midpoint.
+  const RouteFixture f(/*shadowing=*/3.0);
+  RouteSvdParams params;
+  params.order = 3;
+  const RouteSvd svd(f.route(), f.aps, f.model, params);
+  for (const auto& interval : svd.intervals()) {
+    const geo::Point p = f.route().point_at(interval.mid());
+    double prev = 1e9;
+    for (std::size_t i = 0; i < interval.signature.order(); ++i) {
+      const auto& ap = f.aps[interval.signature.at(i).index()];
+      const double rss = f.model.mean_rss(ap, p);
+      EXPECT_LE(rss, prev + 1e-9);
+      prev = rss;
+    }
+  }
+}
+
+TEST(RouteSvd, ExactSignatureLocatesTile) {
+  const RouteFixture f;
+  const RouteSvd svd(f.route(), f.aps, f.model, {});
+  // Probe the middle of each interval with its own signature.
+  for (const auto& interval : svd.intervals()) {
+    if (interval.signature.order() < 2) continue;
+    const auto candidates = svd.locate(interval.signature.aps());
+    ASSERT_FALSE(candidates.empty());
+    EXPECT_DOUBLE_EQ(candidates.front().score, 1.0);
+    // One of the exact candidates is this interval's midpoint.
+    bool found = false;
+    for (const auto& c : candidates)
+      if (std::abs(c.route_offset - interval.mid()) < 1e-9) found = true;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(RouteSvd, LocateEmptyObservation) {
+  const RouteFixture f;
+  const RouteSvd svd(f.route(), f.aps, f.model, {});
+  EXPECT_TRUE(svd.locate({}).empty());
+}
+
+TEST(RouteSvd, LocateUnknownApsOnly) {
+  const RouteFixture f;
+  const RouteSvd svd(f.route(), f.aps, f.model, {});
+  EXPECT_TRUE(svd.locate({ApId(90), ApId(91)}).empty());
+}
+
+TEST(RouteSvd, FilterOutUnknownApsBeforeMatching) {
+  const RouteFixture f;
+  const RouteSvd svd(f.route(), f.aps, f.model, {});
+  const auto& interval = svd.intervals()[svd.intervals().size() / 2];
+  if (interval.signature.order() < 2) GTEST_SKIP();
+  // Prepend a brand-new AP (not in the diagram): locate must still find
+  // the tile exactly.
+  std::vector<ApId> observed{ApId(99)};
+  for (const ApId ap : interval.signature.aps()) observed.push_back(ap);
+  const auto candidates = svd.locate(observed);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_DOUBLE_EQ(candidates.front().score, 1.0);
+}
+
+TEST(RouteSvd, DegradedMatchAfterApFailure) {
+  // The paper's Section III-B scenario: the strongest AP dies; ranks of
+  // the remaining APs still localize the bus nearby.
+  const RouteFixture f;
+  RouteSvdParams params;
+  params.order = 3;
+  const RouteSvd svd(f.route(), f.aps, f.model, params);
+  const double probe = 430.0;
+  // Full ranking at the probe point from the model.
+  const geo::Point p = f.route().point_at(probe);
+  std::vector<std::pair<double, ApId>> ranked;
+  for (const auto& ap : f.aps)
+    ranked.emplace_back(f.model.mean_rss(ap, p), ap.id);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<ApId> observed;
+  for (std::size_t i = 1; i < ranked.size(); ++i)  // drop the strongest
+    observed.push_back(ranked[i].second);
+  const auto candidates = svd.locate(observed);
+  ASSERT_FALSE(candidates.empty());
+  // The best candidate should be within a couple of tiles of the truth.
+  EXPECT_LT(std::abs(candidates.front().route_offset - probe), 170.0);
+}
+
+TEST(RouteSvd, HigherOrderGivesFinerIntervals) {
+  const RouteFixture f;
+  double prev_mean = 1e18;
+  for (const std::size_t order : {1u, 2u, 3u}) {
+    RouteSvdParams params;
+    params.order = order;
+    const RouteSvd svd(f.route(), f.aps, f.model, params);
+    EXPECT_LT(svd.mean_interval_length(), prev_mean);
+    prev_mean = svd.mean_interval_length();
+  }
+}
+
+TEST(RouteSvd, CandidateCap) {
+  const RouteFixture f;
+  RouteSvdParams params;
+  params.max_candidates = 2;
+  const RouteSvd svd(f.route(), f.aps, f.model, params);
+  // A noisy observation triggers the scored path; at most 2 candidates.
+  const auto candidates = svd.locate({ApId(0), ApId(5), ApId(9)});
+  EXPECT_LE(candidates.size(), 2u);
+}
+
+TEST(RouteSvd, ValidatesParams) {
+  const RouteFixture f;
+  RouteSvdParams bad;
+  bad.order = 0;
+  EXPECT_THROW(RouteSvd(f.route(), f.aps, f.model, bad),
+               ContractViolation);
+  RouteSvdParams bad2;
+  bad2.sample_step_m = 0.0;
+  EXPECT_THROW(RouteSvd(f.route(), f.aps, f.model, bad2),
+               ContractViolation);
+}
+
+TEST(RouteSvd, RouteLengthAccessor) {
+  const RouteFixture f;
+  const RouteSvd svd(f.route(), f.aps, f.model, {});
+  EXPECT_DOUBLE_EQ(svd.route_length(), 1000.0);
+}
+
+}  // namespace
+}  // namespace wiloc::svd

@@ -1,0 +1,120 @@
+#include "svd/signature.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::svd {
+namespace {
+
+using rf::ApId;
+
+std::vector<ApId> ids(std::initializer_list<unsigned> values) {
+  std::vector<ApId> out;
+  for (const unsigned v : values) out.emplace_back(v);
+  return out;
+}
+
+TEST(RankSignature, BasicAccessors) {
+  const RankSignature sig(ids({3, 1, 7}));
+  EXPECT_EQ(sig.order(), 3u);
+  EXPECT_FALSE(sig.empty());
+  EXPECT_EQ(sig.strongest(), ApId(3));
+  EXPECT_EQ(sig.at(1), ApId(1));
+  EXPECT_EQ(sig.at(2), ApId(7));
+  EXPECT_THROW(sig.at(3), ContractViolation);
+}
+
+TEST(RankSignature, EmptySignature) {
+  const RankSignature sig;
+  EXPECT_TRUE(sig.empty());
+  EXPECT_EQ(sig.order(), 0u);
+  EXPECT_THROW(sig.strongest(), ContractViolation);
+  EXPECT_EQ(sig.to_string(), "()");
+}
+
+TEST(RankSignature, RejectsDuplicates) {
+  EXPECT_THROW(RankSignature(ids({1, 2, 1})), ContractViolation);
+}
+
+TEST(RankSignature, TopK) {
+  const auto ranked = ids({5, 4, 3, 2, 1});
+  EXPECT_EQ(RankSignature::top_k(ranked, 2),
+            RankSignature(ids({5, 4})));
+  EXPECT_EQ(RankSignature::top_k(ranked, 0), RankSignature());
+  EXPECT_EQ(RankSignature::top_k(ranked, 99).order(), 5u);
+}
+
+TEST(RankSignature, PrefixAndHasPrefix) {
+  const RankSignature sig(ids({9, 8, 7}));
+  EXPECT_EQ(sig.prefix(2), RankSignature(ids({9, 8})));
+  EXPECT_TRUE(sig.has_prefix(RankSignature(ids({9}))));
+  EXPECT_TRUE(sig.has_prefix(RankSignature(ids({9, 8, 7}))));
+  EXPECT_FALSE(sig.has_prefix(RankSignature(ids({8}))));
+  EXPECT_FALSE(RankSignature(ids({9})).has_prefix(sig));
+}
+
+TEST(RankSignature, EqualityAndHash) {
+  const RankSignature a(ids({1, 2}));
+  const RankSignature b(ids({1, 2}));
+  const RankSignature c(ids({2, 1}));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);  // order matters
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(RankSignature, ToString) {
+  EXPECT_EQ(RankSignature(ids({3, 1, 7})).to_string(), "3>1>7");
+}
+
+TEST(RankConsistency, ExactMatchScoresOne) {
+  const RankSignature sig(ids({1, 2, 3}));
+  EXPECT_NEAR(rank_consistency(ids({1, 2, 3}), sig), 1.0, 1e-12);
+  EXPECT_NEAR(rank_consistency(ids({1, 2, 3, 4, 5}), sig), 1.0, 1e-12);
+}
+
+TEST(RankConsistency, EmptyInputsScoreZero) {
+  EXPECT_DOUBLE_EQ(rank_consistency({}, RankSignature(ids({1}))), 0.0);
+  EXPECT_DOUBLE_EQ(rank_consistency(ids({1}), RankSignature()), 0.0);
+}
+
+TEST(RankConsistency, UnheardSignatureScoresZero) {
+  const RankSignature sig(ids({10, 11}));
+  EXPECT_DOUBLE_EQ(rank_consistency(ids({1, 2, 3}), sig), 0.0);
+}
+
+TEST(RankConsistency, PartialCoverageScoresBetween) {
+  const RankSignature sig(ids({1, 2}));
+  // Only AP 1 heard (and it is the strongest).
+  const double partial = rank_consistency(ids({1, 3, 4}), sig);
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, 1.0);
+}
+
+TEST(RankConsistency, OrderDisagreementLowersScore) {
+  const RankSignature sig(ids({1, 2, 3}));
+  const double agree = rank_consistency(ids({1, 2, 3}), sig);
+  const double flipped_tail = rank_consistency(ids({1, 3, 2}), sig);
+  const double reversed = rank_consistency(ids({3, 2, 1}), sig);
+  EXPECT_GT(agree, flipped_tail);
+  EXPECT_GT(flipped_tail, reversed);
+}
+
+TEST(RankConsistency, TopMatchRewarded) {
+  const RankSignature sig(ids({1, 2}));
+  const double top = rank_consistency(ids({1, 2}), sig);
+  const double not_top = rank_consistency(ids({9, 1, 2}), sig);
+  EXPECT_GT(top, not_top);
+}
+
+TEST(RankConsistency, MissingApDegradesGracefully) {
+  // The paper's AP-failure scenario: signature contains b, scan lost it.
+  const RankSignature sig(ids({1, 2, 3}));  // 2 == "b"
+  const double without_b = rank_consistency(ids({1, 3, 4}), sig);
+  EXPECT_GT(without_b, 0.5);  // still recognizably the right tile
+  EXPECT_LT(without_b, 1.0);
+}
+
+}  // namespace
+}  // namespace wiloc::svd

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "svd/positioning_index.hpp"
+#include "util/contracts.hpp"
+
+namespace wiloc::svd {
+namespace {
+
+using rf::ApId;
+using rf::WifiScan;
+
+WifiScan make_scan(std::initializer_list<std::pair<unsigned, double>> list) {
+  WifiScan scan;
+  for (const auto& [id, rssi] : list)
+    scan.readings.push_back({ApId(id), rssi});
+  return scan;
+}
+
+TEST(ExpandTiedRankings, NoTiesSingleRanking) {
+  const WifiScan scan = make_scan({{1, -40}, {2, -50}, {3, -60}});
+  const auto rankings = expand_tied_rankings(scan);
+  ASSERT_EQ(rankings.size(), 1u);
+  EXPECT_EQ(rankings[0], (std::vector<ApId>{ApId(1), ApId(2), ApId(3)}));
+}
+
+TEST(ExpandTiedRankings, EmptyScanGivesNothing) {
+  EXPECT_TRUE(expand_tied_rankings(WifiScan{}).empty());
+}
+
+TEST(ExpandTiedRankings, TopTieYieldsBothOrders) {
+  const WifiScan scan = make_scan({{1, -40}, {2, -40}, {3, -60}});
+  const auto rankings = expand_tied_rankings(scan);
+  ASSERT_EQ(rankings.size(), 2u);
+  EXPECT_EQ(rankings[0][0], ApId(1));
+  EXPECT_EQ(rankings[1][0], ApId(2));
+  // Both keep all three APs.
+  for (const auto& r : rankings) EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(ExpandTiedRankings, ThreeWayTie) {
+  const WifiScan scan = make_scan({{1, -40}, {2, -40}, {3, -40}});
+  const auto rankings = expand_tied_rankings(scan);
+  // Rotations: 3 orderings (each AP first once).
+  ASSERT_EQ(rankings.size(), 3u);
+  std::set<unsigned> firsts;
+  for (const auto& r : rankings) firsts.insert(r[0].value());
+  EXPECT_EQ(firsts.size(), 3u);
+}
+
+TEST(ExpandTiedRankings, DeepTieNotExpanded) {
+  // Tie beyond `depth` ranks is kept in scan order.
+  const WifiScan scan =
+      make_scan({{1, -40}, {2, -50}, {3, -60}, {4, -70}, {5, -70}});
+  const auto rankings = expand_tied_rankings(scan, /*depth=*/3);
+  ASSERT_EQ(rankings.size(), 1u);
+  EXPECT_EQ(rankings[0].size(), 5u);
+}
+
+TEST(ExpandTiedRankings, BudgetCapsExpansion) {
+  // Two consecutive tie groups would multiply beyond the budget.
+  const WifiScan scan =
+      make_scan({{1, -40}, {2, -40}, {3, -40}, {4, -45}, {5, -45}});
+  const auto rankings =
+      expand_tied_rankings(scan, /*depth=*/5, /*max_rankings=*/4);
+  EXPECT_LE(rankings.size(), 4u);
+  EXPECT_GE(rankings.size(), 1u);
+}
+
+TEST(ExpandTiedRankings, AllRankingsContainAllAps) {
+  const WifiScan scan =
+      make_scan({{1, -40}, {2, -40}, {3, -55}, {4, -55}, {5, -80}});
+  const auto rankings = expand_tied_rankings(scan);
+  for (const auto& r : rankings) {
+    EXPECT_EQ(r.size(), 5u);
+    std::set<unsigned> unique;
+    for (const ApId ap : r) unique.insert(ap.value());
+    EXPECT_EQ(unique.size(), 5u);
+  }
+}
+
+TEST(ExpandTiedRankings, RejectsZeroBudget) {
+  const WifiScan scan = make_scan({{1, -40}});
+  EXPECT_THROW(expand_tied_rankings(scan, 3, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc::svd

@@ -1,0 +1,147 @@
+#include "svd/tile_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "svd/route_svd.hpp"
+
+#include <memory>
+
+namespace wiloc::svd {
+namespace {
+
+using rf::AccessPoint;
+using rf::ApId;
+
+struct MapperFixture {
+  std::unique_ptr<roadnet::RoadNetwork> net =
+      std::make_unique<roadnet::RoadNetwork>();
+  std::vector<roadnet::BusRoute> routes;
+  std::vector<AccessPoint> aps;
+  rf::LogDistanceModel model;
+  std::unique_ptr<SvdGrid> grid;
+
+  MapperFixture()
+      : model([] {
+          rf::LogDistanceParams p;
+          p.shadowing_sigma_db = 0.0;
+          p.fading_sigma_db = 0.0;
+          return p;
+        }()) {
+    // Road along y = 0 of a 600 x 300 domain (domain extends to y=150,
+    // so tiles far from the road exist).
+    const auto a = net->add_node({0, 0});
+    const auto b = net->add_node({600, 0});
+    const auto e = net->add_straight_edge(a, b, 13.9);
+    routes.emplace_back(
+        roadnet::RouteId(0), "r", *net, std::vector<roadnet::EdgeId>{e},
+        std::vector<roadnet::Stop>{{"s0", 0.0}, {"s1", 600.0}});
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      const double x = 50.0 + 100.0 * i;
+      const double y = (i % 2 == 0) ? 25.0 : -25.0;
+      aps.push_back({ApId(i), "", {x, y}, -30.0, 3.0});
+    }
+    const GridSpec spec{geo::Aabb({0, -150}, {600, 150}), 2.0};
+    grid = std::make_unique<SvdGrid>(aps, model, spec);
+  }
+
+  const roadnet::BusRoute& route() const { return routes.front(); }
+};
+
+TEST(TileMapper, RoadTilesMapToThemselves) {
+  const MapperFixture f;
+  const TileMapper mapper(*f.grid, f.route());
+  // Every region containing a point of the road maps to itself.
+  for (double offset = 5.0; offset < 600.0; offset += 25.0) {
+    const auto region = f.grid->region_at(f.route().point_at(offset));
+    EXPECT_FALSE(mapper.runs_of(region).empty());
+    EXPECT_EQ(mapper.mapping_target(region), region);
+  }
+}
+
+TEST(TileMapper, RunsCoverTheRoute) {
+  const MapperFixture f;
+  const TileMapper mapper(*f.grid, f.route());
+  double covered = 0.0;
+  for (SvdGrid::RegionIndex r = 0; r < f.grid->region_count(); ++r)
+    for (const auto& run : mapper.runs_of(r)) covered += run.end - run.begin;
+  EXPECT_NEAR(covered, 600.0, 1.0);
+}
+
+TEST(TileMapper, OffRoadTileFallsBackThroughNeighbors) {
+  const MapperFixture f;
+  const TileMapper mapper(*f.grid, f.route());
+  // A region well off the road (y ~ 120) has no runs but a fallback.
+  const auto region = f.grid->region_at({300, 120});
+  if (!mapper.runs_of(region).empty()) GTEST_SKIP() << "region touches road";
+  const auto target = mapper.mapping_target(region);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_NE(*target, region);
+  EXPECT_FALSE(mapper.runs_of(*target).empty());
+}
+
+TEST(TileMapper, LocateExactSignature) {
+  const MapperFixture f;
+  const TileMapper mapper(*f.grid, f.route());
+  for (double offset = 30.0; offset < 600.0; offset += 90.0) {
+    const geo::Point p = f.route().point_at(offset);
+    const RankSignature& sig = f.grid->signature_at(p);
+    if (sig.order() < 2) continue;
+    const auto candidates = mapper.locate(sig.aps());
+    ASSERT_FALSE(candidates.empty());
+    EXPECT_DOUBLE_EQ(candidates.front().score, 1.0);
+    EXPECT_LT(std::abs(candidates.front().route_offset - offset), 80.0);
+  }
+}
+
+TEST(TileMapper, LocateOffRoadSignatureProjectsToRoad) {
+  const MapperFixture f;
+  const TileMapper mapper(*f.grid, f.route());
+  // Signature of an off-road point: the estimate must land on the route.
+  const geo::Point off{300, 100};
+  const RankSignature& sig = f.grid->signature_at(off);
+  if (sig.empty()) GTEST_SKIP();
+  const auto candidates = mapper.locate(sig.aps());
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_GE(candidates.front().route_offset, 0.0);
+  EXPECT_LE(candidates.front().route_offset, 600.0);
+}
+
+TEST(TileMapper, LocateEmptyAndUnknown) {
+  const MapperFixture f;
+  const TileMapper mapper(*f.grid, f.route());
+  EXPECT_TRUE(mapper.locate({}).empty());
+  EXPECT_TRUE(mapper.locate({ApId(77)}).empty());
+}
+
+TEST(TileMapper, MappedRegionCountPositive) {
+  const MapperFixture f;
+  const TileMapper mapper(*f.grid, f.route());
+  EXPECT_GT(mapper.mapped_region_count(), 0u);
+  EXPECT_LE(mapper.mapped_region_count(), f.grid->region_count());
+}
+
+TEST(TileMapper, RouteLength) {
+  const MapperFixture f;
+  const TileMapper mapper(*f.grid, f.route());
+  EXPECT_DOUBLE_EQ(mapper.route_length(), 600.0);
+}
+
+TEST(TileMapper, AgreesWithRouteSvdOnExactMatches) {
+  // The two backends implement the same concept; on clean signatures
+  // their estimates should agree to within a tile.
+  const MapperFixture f;
+  const TileMapper mapper(*f.grid, f.route());
+  const RouteSvd rsvd(f.route(), f.aps, f.model, {});
+  for (double offset = 40.0; offset < 600.0; offset += 75.0) {
+    const RankSignature& sig = f.grid->signature_at(f.route().point_at(offset));
+    if (sig.order() < 2) continue;
+    const auto a = mapper.locate(sig.aps());
+    const auto b = rsvd.locate(sig.aps());
+    if (a.empty() || b.empty()) continue;
+    EXPECT_LT(std::abs(a.front().route_offset - b.front().route_offset),
+              100.0);
+  }
+}
+
+}  // namespace
+}  // namespace wiloc::svd

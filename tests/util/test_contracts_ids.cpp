@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/contracts.hpp"
+#include "util/hashing.hpp"
+#include "util/ids.hpp"
+
+namespace wiloc {
+namespace {
+
+struct FooTag {};
+using FooId = StrongId<FooTag>;
+
+TEST(StrongId, EqualityAndOrdering) {
+  const FooId a(1);
+  const FooId b(1);
+  const FooId c(2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a.value(), 1u);
+  EXPECT_EQ(c.index(), 2u);
+}
+
+TEST(StrongId, DefaultIsZero) {
+  const FooId d;
+  EXPECT_EQ(d.value(), 0u);
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<FooId> set;
+  set.insert(FooId(1));
+  set.insert(FooId(1));
+  set.insert(FooId(2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Contracts, ExpectsThrowsWithLocation) {
+  try {
+    WILOC_EXPECTS(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresThrows) {
+  EXPECT_THROW(WILOC_ENSURES(false), ContractViolation);
+  EXPECT_NO_THROW(WILOC_ENSURES(true));
+}
+
+TEST(Contracts, ErrorHierarchy) {
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw NotFound("x"), Error);
+  EXPECT_THROW(throw StateError("x"), Error);
+  EXPECT_THROW(throw ContractViolation("x"), Error);
+}
+
+TEST(Hashing, Deterministic) {
+  EXPECT_EQ(hash_coords(1, 2, 3, 4), hash_coords(1, 2, 3, 4));
+  EXPECT_NE(hash_coords(1, 2, 3, 4), hash_coords(1, 2, 3, 5));
+  EXPECT_NE(hash_coords(1, 2, 3), hash_coords(2, 2, 3));
+}
+
+TEST(Hashing, UnitRange) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double u = hash_to_unit(hash_coords(7, i));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double pm = hash_to_pm1(hash_coords(7, i));
+    EXPECT_GE(pm, -1.0);
+    EXPECT_LT(pm, 1.0);
+  }
+}
+
+TEST(Hashing, RoughlyUniform) {
+  double sum = 0.0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i)
+    sum += hash_to_unit(hash_coords(11, static_cast<std::uint64_t>(i)));
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace wiloc

@@ -1,0 +1,191 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace wiloc {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 8.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 8.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(9);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), ContractViolation);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 9);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -1);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -1);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  constexpr int kN = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal01();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sq / kN, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaleShift) {
+  Rng rng(23);
+  constexpr int kN = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeSigma) {
+  Rng rng(23);
+  EXPECT_THROW(rng.normal(0.0, -1.0), ContractViolation);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(29);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.exponential(5.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 5.0, 0.1);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(29);
+  EXPECT_THROW(rng.exponential(0.0), ContractViolation);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(37);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(41);
+  Rng child = a.fork();
+  // The child stream should not reproduce the parent stream.
+  Rng b(41);
+  (void)b.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (child() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(47);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton) {
+  Rng rng(53);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+}  // namespace
+}  // namespace wiloc

@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace wiloc {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header separator line exists.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nonly,,\n");
+}
+
+TEST(TablePrinter, RejectsTooManyCells) {
+  TablePrinter t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), ContractViolation);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), ContractViolation);
+}
+
+TEST(TablePrinter, NumFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::num(std::size_t{42}), "42");
+  EXPECT_EQ(TablePrinter::num(-7), "-7");
+}
+
+TEST(TablePrinter, RowCount) {
+  TablePrinter t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Banner, PrintsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Table I");
+  EXPECT_EQ(os.str(), "\n== Table I ==\n");
+}
+
+}  // namespace
+}  // namespace wiloc

@@ -1,0 +1,102 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wiloc {
+namespace {
+
+TEST(Time, DayDecomposition) {
+  EXPECT_EQ(day_of(0.0), 0);
+  EXPECT_EQ(day_of(86399.0), 0);
+  EXPECT_EQ(day_of(86400.0), 1);
+  EXPECT_EQ(day_of(3.5 * 86400.0), 3);
+}
+
+TEST(Time, TimeOfDay) {
+  EXPECT_DOUBLE_EQ(time_of_day(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(time_of_day(86400.0 + 3600.0), 3600.0);
+  EXPECT_DOUBLE_EQ(time_of_day(2 * 86400.0 + 100.5), 100.5);
+}
+
+TEST(Time, AtDayTimeRoundTrip) {
+  const SimTime t = at_day_time(5, hms(14, 30, 15));
+  EXPECT_EQ(day_of(t), 5);
+  EXPECT_DOUBLE_EQ(time_of_day(t), hms(14, 30, 15));
+}
+
+TEST(Time, AtDayTimeRejectsOutOfRange) {
+  EXPECT_THROW(at_day_time(0, -1.0), ContractViolation);
+  EXPECT_THROW(at_day_time(0, kSecondsPerDay), ContractViolation);
+}
+
+TEST(Time, Hms) {
+  EXPECT_DOUBLE_EQ(hms(0), 0.0);
+  EXPECT_DOUBLE_EQ(hms(8), 28800.0);
+  EXPECT_DOUBLE_EQ(hms(8, 30), 30600.0);
+  EXPECT_DOUBLE_EQ(hms(23, 59, 59.0), 86399.0);
+  EXPECT_THROW(hms(25), ContractViolation);
+  EXPECT_THROW(hms(1, 60), ContractViolation);
+  EXPECT_THROW(hms(1, 0, 60.0), ContractViolation);
+}
+
+TEST(Time, Formatting) {
+  EXPECT_EQ(format_tod(hms(8, 5, 3.0)), "08:05:03");
+  EXPECT_EQ(format_time(at_day_time(2, hms(14, 0))), "d2 14:00:00");
+}
+
+TEST(DaySlots, UniformPartition) {
+  const DaySlots slots = DaySlots::uniform(24);
+  EXPECT_EQ(slots.count(), 24u);
+  EXPECT_DOUBLE_EQ(slots.slot(0).begin, 0.0);
+  EXPECT_DOUBLE_EQ(slots.slot(23).end, kSecondsPerDay);
+  EXPECT_EQ(slots.slot_of_tod(hms(0)), 0u);
+  EXPECT_EQ(slots.slot_of_tod(hms(13, 30)), 13u);
+  EXPECT_EQ(slots.slot_of_tod(86399.9), 23u);
+}
+
+TEST(DaySlots, UniformRequiresAtLeastOne) {
+  EXPECT_THROW(DaySlots::uniform(0), ContractViolation);
+}
+
+TEST(DaySlots, PaperFiveSlots) {
+  const DaySlots slots = DaySlots::paper_five_slots();
+  EXPECT_EQ(slots.count(), 5u);
+  EXPECT_EQ(slots.slot_of_tod(hms(7, 59)), 0u);   // before AM rush
+  EXPECT_EQ(slots.slot_of_tod(hms(8, 0)), 1u);    // AM rush
+  EXPECT_EQ(slots.slot_of_tod(hms(9, 59)), 1u);
+  EXPECT_EQ(slots.slot_of_tod(hms(12, 0)), 2u);   // midday
+  EXPECT_EQ(slots.slot_of_tod(hms(18, 30)), 3u);  // PM rush
+  EXPECT_EQ(slots.slot_of_tod(hms(21, 0)), 4u);   // evening
+}
+
+TEST(DaySlots, FromBoundariesValidation) {
+  EXPECT_THROW(DaySlots::from_boundaries({0.0}), ContractViolation);
+  EXPECT_THROW(DaySlots::from_boundaries({100.0, kSecondsPerDay}),
+               ContractViolation);
+  EXPECT_THROW(DaySlots::from_boundaries({0.0, 100.0}), ContractViolation);
+  EXPECT_THROW(DaySlots::from_boundaries({0.0, 500.0, 400.0, kSecondsPerDay}),
+               ContractViolation);
+}
+
+TEST(DaySlots, SlotOfUsesTimeOfDay) {
+  const DaySlots slots = DaySlots::paper_five_slots();
+  const SimTime rush_day3 = at_day_time(3, hms(8, 30));
+  EXPECT_EQ(slots.slot_of(rush_day3), 1u);
+}
+
+TEST(DaySlots, SlotEndTime) {
+  const DaySlots slots = DaySlots::paper_five_slots();
+  const SimTime t = at_day_time(2, hms(8, 30));
+  EXPECT_DOUBLE_EQ(slots.slot_end_time(t), at_day_time(2, hms(10, 0)));
+  const SimTime evening = at_day_time(2, hms(20, 0));
+  EXPECT_DOUBLE_EQ(slots.slot_end_time(evening), at_day_time(3, 0.0));
+}
+
+TEST(DaySlots, SlotAccessorBounds) {
+  const DaySlots slots = DaySlots::uniform(2);
+  EXPECT_NO_THROW(slots.slot(1));
+  EXPECT_THROW(slots.slot(2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wiloc
