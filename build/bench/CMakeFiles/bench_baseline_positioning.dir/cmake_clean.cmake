@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_positioning.dir/bench_baseline_positioning.cpp.o"
+  "CMakeFiles/bench_baseline_positioning.dir/bench_baseline_positioning.cpp.o.d"
+  "bench_baseline_positioning"
+  "bench_baseline_positioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_positioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_traffic_map.cpp" "bench/CMakeFiles/bench_fig11_traffic_map.dir/bench_fig11_traffic_map.cpp.o" "gcc" "bench/CMakeFiles/bench_fig11_traffic_map.dir/bench_fig11_traffic_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/wiloc_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wiloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/wiloc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wiloc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/svd/CMakeFiles/wiloc_svd.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/wiloc_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/wiloc_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wiloc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wiloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

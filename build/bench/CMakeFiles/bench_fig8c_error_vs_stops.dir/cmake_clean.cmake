@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8c_error_vs_stops.dir/bench_fig8c_error_vs_stops.cpp.o"
+  "CMakeFiles/bench_fig8c_error_vs_stops.dir/bench_fig8c_error_vs_stops.cpp.o.d"
+  "bench_fig8c_error_vs_stops"
+  "bench_fig8c_error_vs_stops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8c_error_vs_stops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8c_error_vs_stops.
+# This may be replaced when dependencies are built.

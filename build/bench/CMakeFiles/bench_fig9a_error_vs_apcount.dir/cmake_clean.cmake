@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9a_error_vs_apcount.dir/bench_fig9a_error_vs_apcount.cpp.o"
+  "CMakeFiles/bench_fig9a_error_vs_apcount.dir/bench_fig9a_error_vs_apcount.cpp.o.d"
+  "bench_fig9a_error_vs_apcount"
+  "bench_fig9a_error_vs_apcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_error_vs_apcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

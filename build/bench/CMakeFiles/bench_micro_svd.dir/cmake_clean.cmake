@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_svd.dir/bench_micro_svd.cpp.o"
+  "CMakeFiles/bench_micro_svd.dir/bench_micro_svd.cpp.o.d"
+  "bench_micro_svd"
+  "bench_micro_svd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_routes.dir/bench_table1_routes.cpp.o"
+  "CMakeFiles/bench_table1_routes.dir/bench_table1_routes.cpp.o.d"
+  "bench_table1_routes"
+  "bench_table1_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fig10_campus.dir/bench_table2_fig10_campus.cpp.o"
+  "CMakeFiles/bench_table2_fig10_campus.dir/bench_table2_fig10_campus.cpp.o.d"
+  "bench_table2_fig10_campus"
+  "bench_table2_fig10_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fig10_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

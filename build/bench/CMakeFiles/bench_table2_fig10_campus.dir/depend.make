@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_fig10_campus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libwiloc_benchlib.a"
+  "../lib/libwiloc_benchlib.pdb"
+  "CMakeFiles/wiloc_benchlib.dir/common.cpp.o"
+  "CMakeFiles/wiloc_benchlib.dir/common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiloc_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libwiloc_benchlib.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_failure.dir/ap_failure.cpp.o"
+  "CMakeFiles/ap_failure.dir/ap_failure.cpp.o.d"
+  "ap_failure"
+  "ap_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

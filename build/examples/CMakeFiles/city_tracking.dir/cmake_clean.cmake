@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_tracking.dir/city_tracking.cpp.o"
+  "CMakeFiles/city_tracking.dir/city_tracking.cpp.o.d"
+  "city_tracking"
+  "city_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

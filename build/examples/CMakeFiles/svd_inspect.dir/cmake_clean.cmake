@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_inspect.dir/svd_inspect.cpp.o"
+  "CMakeFiles/svd_inspect.dir/svd_inspect.cpp.o.d"
+  "svd_inspect"
+  "svd_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_map.dir/traffic_map.cpp.o"
+  "CMakeFiles/traffic_map.dir/traffic_map.cpp.o.d"
+  "traffic_map"
+  "traffic_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cellid.cpp" "src/baselines/CMakeFiles/wiloc_baselines.dir/cellid.cpp.o" "gcc" "src/baselines/CMakeFiles/wiloc_baselines.dir/cellid.cpp.o.d"
+  "/root/repo/src/baselines/fingerprint.cpp" "src/baselines/CMakeFiles/wiloc_baselines.dir/fingerprint.cpp.o" "gcc" "src/baselines/CMakeFiles/wiloc_baselines.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/baselines/gps_tracker.cpp" "src/baselines/CMakeFiles/wiloc_baselines.dir/gps_tracker.cpp.o" "gcc" "src/baselines/CMakeFiles/wiloc_baselines.dir/gps_tracker.cpp.o.d"
+  "/root/repo/src/baselines/propagation_loc.cpp" "src/baselines/CMakeFiles/wiloc_baselines.dir/propagation_loc.cpp.o" "gcc" "src/baselines/CMakeFiles/wiloc_baselines.dir/propagation_loc.cpp.o.d"
+  "/root/repo/src/baselines/schedule.cpp" "src/baselines/CMakeFiles/wiloc_baselines.dir/schedule.cpp.o" "gcc" "src/baselines/CMakeFiles/wiloc_baselines.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wiloc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/svd/CMakeFiles/wiloc_svd.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/wiloc_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/wiloc_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wiloc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wiloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiloc_baselines.dir/cellid.cpp.o"
+  "CMakeFiles/wiloc_baselines.dir/cellid.cpp.o.d"
+  "CMakeFiles/wiloc_baselines.dir/fingerprint.cpp.o"
+  "CMakeFiles/wiloc_baselines.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/wiloc_baselines.dir/gps_tracker.cpp.o"
+  "CMakeFiles/wiloc_baselines.dir/gps_tracker.cpp.o.d"
+  "CMakeFiles/wiloc_baselines.dir/propagation_loc.cpp.o"
+  "CMakeFiles/wiloc_baselines.dir/propagation_loc.cpp.o.d"
+  "CMakeFiles/wiloc_baselines.dir/schedule.cpp.o"
+  "CMakeFiles/wiloc_baselines.dir/schedule.cpp.o.d"
+  "libwiloc_baselines.a"
+  "libwiloc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiloc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

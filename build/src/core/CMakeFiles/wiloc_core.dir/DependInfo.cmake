@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anomaly.cpp" "src/core/CMakeFiles/wiloc_core.dir/anomaly.cpp.o" "gcc" "src/core/CMakeFiles/wiloc_core.dir/anomaly.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/core/CMakeFiles/wiloc_core.dir/hybrid.cpp.o" "gcc" "src/core/CMakeFiles/wiloc_core.dir/hybrid.cpp.o.d"
+  "/root/repo/src/core/mobility_filter.cpp" "src/core/CMakeFiles/wiloc_core.dir/mobility_filter.cpp.o" "gcc" "src/core/CMakeFiles/wiloc_core.dir/mobility_filter.cpp.o.d"
+  "/root/repo/src/core/positioner.cpp" "src/core/CMakeFiles/wiloc_core.dir/positioner.cpp.o" "gcc" "src/core/CMakeFiles/wiloc_core.dir/positioner.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/wiloc_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/wiloc_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/rider_matcher.cpp" "src/core/CMakeFiles/wiloc_core.dir/rider_matcher.cpp.o" "gcc" "src/core/CMakeFiles/wiloc_core.dir/rider_matcher.cpp.o.d"
+  "/root/repo/src/core/route_identifier.cpp" "src/core/CMakeFiles/wiloc_core.dir/route_identifier.cpp.o" "gcc" "src/core/CMakeFiles/wiloc_core.dir/route_identifier.cpp.o.d"
+  "/root/repo/src/core/seasonal.cpp" "src/core/CMakeFiles/wiloc_core.dir/seasonal.cpp.o" "gcc" "src/core/CMakeFiles/wiloc_core.dir/seasonal.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/wiloc_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/wiloc_core.dir/server.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/core/CMakeFiles/wiloc_core.dir/tracker.cpp.o" "gcc" "src/core/CMakeFiles/wiloc_core.dir/tracker.cpp.o.d"
+  "/root/repo/src/core/traffic_map.cpp" "src/core/CMakeFiles/wiloc_core.dir/traffic_map.cpp.o" "gcc" "src/core/CMakeFiles/wiloc_core.dir/traffic_map.cpp.o.d"
+  "/root/repo/src/core/training.cpp" "src/core/CMakeFiles/wiloc_core.dir/training.cpp.o" "gcc" "src/core/CMakeFiles/wiloc_core.dir/training.cpp.o.d"
+  "/root/repo/src/core/trajectory.cpp" "src/core/CMakeFiles/wiloc_core.dir/trajectory.cpp.o" "gcc" "src/core/CMakeFiles/wiloc_core.dir/trajectory.cpp.o.d"
+  "/root/repo/src/core/travel_time.cpp" "src/core/CMakeFiles/wiloc_core.dir/travel_time.cpp.o" "gcc" "src/core/CMakeFiles/wiloc_core.dir/travel_time.cpp.o.d"
+  "/root/repo/src/core/trip_planner.cpp" "src/core/CMakeFiles/wiloc_core.dir/trip_planner.cpp.o" "gcc" "src/core/CMakeFiles/wiloc_core.dir/trip_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svd/CMakeFiles/wiloc_svd.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/wiloc_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/wiloc_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wiloc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wiloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

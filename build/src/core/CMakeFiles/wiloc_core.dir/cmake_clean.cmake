@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiloc_core.dir/anomaly.cpp.o"
+  "CMakeFiles/wiloc_core.dir/anomaly.cpp.o.d"
+  "CMakeFiles/wiloc_core.dir/hybrid.cpp.o"
+  "CMakeFiles/wiloc_core.dir/hybrid.cpp.o.d"
+  "CMakeFiles/wiloc_core.dir/mobility_filter.cpp.o"
+  "CMakeFiles/wiloc_core.dir/mobility_filter.cpp.o.d"
+  "CMakeFiles/wiloc_core.dir/positioner.cpp.o"
+  "CMakeFiles/wiloc_core.dir/positioner.cpp.o.d"
+  "CMakeFiles/wiloc_core.dir/predictor.cpp.o"
+  "CMakeFiles/wiloc_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/wiloc_core.dir/rider_matcher.cpp.o"
+  "CMakeFiles/wiloc_core.dir/rider_matcher.cpp.o.d"
+  "CMakeFiles/wiloc_core.dir/route_identifier.cpp.o"
+  "CMakeFiles/wiloc_core.dir/route_identifier.cpp.o.d"
+  "CMakeFiles/wiloc_core.dir/seasonal.cpp.o"
+  "CMakeFiles/wiloc_core.dir/seasonal.cpp.o.d"
+  "CMakeFiles/wiloc_core.dir/server.cpp.o"
+  "CMakeFiles/wiloc_core.dir/server.cpp.o.d"
+  "CMakeFiles/wiloc_core.dir/tracker.cpp.o"
+  "CMakeFiles/wiloc_core.dir/tracker.cpp.o.d"
+  "CMakeFiles/wiloc_core.dir/traffic_map.cpp.o"
+  "CMakeFiles/wiloc_core.dir/traffic_map.cpp.o.d"
+  "CMakeFiles/wiloc_core.dir/training.cpp.o"
+  "CMakeFiles/wiloc_core.dir/training.cpp.o.d"
+  "CMakeFiles/wiloc_core.dir/trajectory.cpp.o"
+  "CMakeFiles/wiloc_core.dir/trajectory.cpp.o.d"
+  "CMakeFiles/wiloc_core.dir/travel_time.cpp.o"
+  "CMakeFiles/wiloc_core.dir/travel_time.cpp.o.d"
+  "CMakeFiles/wiloc_core.dir/trip_planner.cpp.o"
+  "CMakeFiles/wiloc_core.dir/trip_planner.cpp.o.d"
+  "libwiloc_core.a"
+  "libwiloc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiloc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwiloc_core.a"
+)

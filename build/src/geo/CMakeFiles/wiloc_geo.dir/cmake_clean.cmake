@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiloc_geo.dir/geometry.cpp.o"
+  "CMakeFiles/wiloc_geo.dir/geometry.cpp.o.d"
+  "CMakeFiles/wiloc_geo.dir/latlon.cpp.o"
+  "CMakeFiles/wiloc_geo.dir/latlon.cpp.o.d"
+  "CMakeFiles/wiloc_geo.dir/polyline.cpp.o"
+  "CMakeFiles/wiloc_geo.dir/polyline.cpp.o.d"
+  "libwiloc_geo.a"
+  "libwiloc_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiloc_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/cellular.cpp" "src/rf/CMakeFiles/wiloc_rf.dir/cellular.cpp.o" "gcc" "src/rf/CMakeFiles/wiloc_rf.dir/cellular.cpp.o.d"
+  "/root/repo/src/rf/io.cpp" "src/rf/CMakeFiles/wiloc_rf.dir/io.cpp.o" "gcc" "src/rf/CMakeFiles/wiloc_rf.dir/io.cpp.o.d"
+  "/root/repo/src/rf/propagation.cpp" "src/rf/CMakeFiles/wiloc_rf.dir/propagation.cpp.o" "gcc" "src/rf/CMakeFiles/wiloc_rf.dir/propagation.cpp.o.d"
+  "/root/repo/src/rf/registry.cpp" "src/rf/CMakeFiles/wiloc_rf.dir/registry.cpp.o" "gcc" "src/rf/CMakeFiles/wiloc_rf.dir/registry.cpp.o.d"
+  "/root/repo/src/rf/scan.cpp" "src/rf/CMakeFiles/wiloc_rf.dir/scan.cpp.o" "gcc" "src/rf/CMakeFiles/wiloc_rf.dir/scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/wiloc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wiloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

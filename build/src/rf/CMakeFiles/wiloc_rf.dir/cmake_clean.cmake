@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiloc_rf.dir/cellular.cpp.o"
+  "CMakeFiles/wiloc_rf.dir/cellular.cpp.o.d"
+  "CMakeFiles/wiloc_rf.dir/io.cpp.o"
+  "CMakeFiles/wiloc_rf.dir/io.cpp.o.d"
+  "CMakeFiles/wiloc_rf.dir/propagation.cpp.o"
+  "CMakeFiles/wiloc_rf.dir/propagation.cpp.o.d"
+  "CMakeFiles/wiloc_rf.dir/registry.cpp.o"
+  "CMakeFiles/wiloc_rf.dir/registry.cpp.o.d"
+  "CMakeFiles/wiloc_rf.dir/scan.cpp.o"
+  "CMakeFiles/wiloc_rf.dir/scan.cpp.o.d"
+  "libwiloc_rf.a"
+  "libwiloc_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiloc_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadnet/io.cpp" "src/roadnet/CMakeFiles/wiloc_roadnet.dir/io.cpp.o" "gcc" "src/roadnet/CMakeFiles/wiloc_roadnet.dir/io.cpp.o.d"
+  "/root/repo/src/roadnet/network.cpp" "src/roadnet/CMakeFiles/wiloc_roadnet.dir/network.cpp.o" "gcc" "src/roadnet/CMakeFiles/wiloc_roadnet.dir/network.cpp.o.d"
+  "/root/repo/src/roadnet/overlap.cpp" "src/roadnet/CMakeFiles/wiloc_roadnet.dir/overlap.cpp.o" "gcc" "src/roadnet/CMakeFiles/wiloc_roadnet.dir/overlap.cpp.o.d"
+  "/root/repo/src/roadnet/route.cpp" "src/roadnet/CMakeFiles/wiloc_roadnet.dir/route.cpp.o" "gcc" "src/roadnet/CMakeFiles/wiloc_roadnet.dir/route.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/wiloc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wiloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

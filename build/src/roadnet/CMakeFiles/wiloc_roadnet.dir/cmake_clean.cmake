@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiloc_roadnet.dir/io.cpp.o"
+  "CMakeFiles/wiloc_roadnet.dir/io.cpp.o.d"
+  "CMakeFiles/wiloc_roadnet.dir/network.cpp.o"
+  "CMakeFiles/wiloc_roadnet.dir/network.cpp.o.d"
+  "CMakeFiles/wiloc_roadnet.dir/overlap.cpp.o"
+  "CMakeFiles/wiloc_roadnet.dir/overlap.cpp.o.d"
+  "CMakeFiles/wiloc_roadnet.dir/route.cpp.o"
+  "CMakeFiles/wiloc_roadnet.dir/route.cpp.o.d"
+  "libwiloc_roadnet.a"
+  "libwiloc_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiloc_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bus_trip.cpp" "src/sim/CMakeFiles/wiloc_sim.dir/bus_trip.cpp.o" "gcc" "src/sim/CMakeFiles/wiloc_sim.dir/bus_trip.cpp.o.d"
+  "/root/repo/src/sim/city.cpp" "src/sim/CMakeFiles/wiloc_sim.dir/city.cpp.o" "gcc" "src/sim/CMakeFiles/wiloc_sim.dir/city.cpp.o.d"
+  "/root/repo/src/sim/crowd.cpp" "src/sim/CMakeFiles/wiloc_sim.dir/crowd.cpp.o" "gcc" "src/sim/CMakeFiles/wiloc_sim.dir/crowd.cpp.o.d"
+  "/root/repo/src/sim/fleet.cpp" "src/sim/CMakeFiles/wiloc_sim.dir/fleet.cpp.o" "gcc" "src/sim/CMakeFiles/wiloc_sim.dir/fleet.cpp.o.d"
+  "/root/repo/src/sim/gps.cpp" "src/sim/CMakeFiles/wiloc_sim.dir/gps.cpp.o" "gcc" "src/sim/CMakeFiles/wiloc_sim.dir/gps.cpp.o.d"
+  "/root/repo/src/sim/traffic_model.cpp" "src/sim/CMakeFiles/wiloc_sim.dir/traffic_model.cpp.o" "gcc" "src/sim/CMakeFiles/wiloc_sim.dir/traffic_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadnet/CMakeFiles/wiloc_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/wiloc_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wiloc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wiloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

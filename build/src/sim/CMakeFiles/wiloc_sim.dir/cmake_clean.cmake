@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiloc_sim.dir/bus_trip.cpp.o"
+  "CMakeFiles/wiloc_sim.dir/bus_trip.cpp.o.d"
+  "CMakeFiles/wiloc_sim.dir/city.cpp.o"
+  "CMakeFiles/wiloc_sim.dir/city.cpp.o.d"
+  "CMakeFiles/wiloc_sim.dir/crowd.cpp.o"
+  "CMakeFiles/wiloc_sim.dir/crowd.cpp.o.d"
+  "CMakeFiles/wiloc_sim.dir/fleet.cpp.o"
+  "CMakeFiles/wiloc_sim.dir/fleet.cpp.o.d"
+  "CMakeFiles/wiloc_sim.dir/gps.cpp.o"
+  "CMakeFiles/wiloc_sim.dir/gps.cpp.o.d"
+  "CMakeFiles/wiloc_sim.dir/traffic_model.cpp.o"
+  "CMakeFiles/wiloc_sim.dir/traffic_model.cpp.o.d"
+  "libwiloc_sim.a"
+  "libwiloc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiloc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

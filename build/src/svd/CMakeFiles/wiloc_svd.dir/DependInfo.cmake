@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svd/ap_index.cpp" "src/svd/CMakeFiles/wiloc_svd.dir/ap_index.cpp.o" "gcc" "src/svd/CMakeFiles/wiloc_svd.dir/ap_index.cpp.o.d"
+  "/root/repo/src/svd/grid_svd.cpp" "src/svd/CMakeFiles/wiloc_svd.dir/grid_svd.cpp.o" "gcc" "src/svd/CMakeFiles/wiloc_svd.dir/grid_svd.cpp.o.d"
+  "/root/repo/src/svd/positioning_index.cpp" "src/svd/CMakeFiles/wiloc_svd.dir/positioning_index.cpp.o" "gcc" "src/svd/CMakeFiles/wiloc_svd.dir/positioning_index.cpp.o.d"
+  "/root/repo/src/svd/route_svd.cpp" "src/svd/CMakeFiles/wiloc_svd.dir/route_svd.cpp.o" "gcc" "src/svd/CMakeFiles/wiloc_svd.dir/route_svd.cpp.o.d"
+  "/root/repo/src/svd/signature.cpp" "src/svd/CMakeFiles/wiloc_svd.dir/signature.cpp.o" "gcc" "src/svd/CMakeFiles/wiloc_svd.dir/signature.cpp.o.d"
+  "/root/repo/src/svd/survey.cpp" "src/svd/CMakeFiles/wiloc_svd.dir/survey.cpp.o" "gcc" "src/svd/CMakeFiles/wiloc_svd.dir/survey.cpp.o.d"
+  "/root/repo/src/svd/tile_mapper.cpp" "src/svd/CMakeFiles/wiloc_svd.dir/tile_mapper.cpp.o" "gcc" "src/svd/CMakeFiles/wiloc_svd.dir/tile_mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rf/CMakeFiles/wiloc_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/wiloc_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wiloc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wiloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

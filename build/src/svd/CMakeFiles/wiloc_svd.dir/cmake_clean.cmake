@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiloc_svd.dir/ap_index.cpp.o"
+  "CMakeFiles/wiloc_svd.dir/ap_index.cpp.o.d"
+  "CMakeFiles/wiloc_svd.dir/grid_svd.cpp.o"
+  "CMakeFiles/wiloc_svd.dir/grid_svd.cpp.o.d"
+  "CMakeFiles/wiloc_svd.dir/positioning_index.cpp.o"
+  "CMakeFiles/wiloc_svd.dir/positioning_index.cpp.o.d"
+  "CMakeFiles/wiloc_svd.dir/route_svd.cpp.o"
+  "CMakeFiles/wiloc_svd.dir/route_svd.cpp.o.d"
+  "CMakeFiles/wiloc_svd.dir/signature.cpp.o"
+  "CMakeFiles/wiloc_svd.dir/signature.cpp.o.d"
+  "CMakeFiles/wiloc_svd.dir/survey.cpp.o"
+  "CMakeFiles/wiloc_svd.dir/survey.cpp.o.d"
+  "CMakeFiles/wiloc_svd.dir/tile_mapper.cpp.o"
+  "CMakeFiles/wiloc_svd.dir/tile_mapper.cpp.o.d"
+  "libwiloc_svd.a"
+  "libwiloc_svd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiloc_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

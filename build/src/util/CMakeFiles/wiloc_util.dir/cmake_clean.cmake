@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiloc_util.dir/rng.cpp.o"
+  "CMakeFiles/wiloc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/wiloc_util.dir/stats.cpp.o"
+  "CMakeFiles/wiloc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/wiloc_util.dir/table.cpp.o"
+  "CMakeFiles/wiloc_util.dir/table.cpp.o.d"
+  "CMakeFiles/wiloc_util.dir/time.cpp.o"
+  "CMakeFiles/wiloc_util.dir/time.cpp.o.d"
+  "libwiloc_util.a"
+  "libwiloc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiloc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,79 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/test_cellid.cpp" "tests/CMakeFiles/wiloc_tests.dir/baselines/test_cellid.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/baselines/test_cellid.cpp.o.d"
+  "/root/repo/tests/baselines/test_fingerprint.cpp" "tests/CMakeFiles/wiloc_tests.dir/baselines/test_fingerprint.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/baselines/test_fingerprint.cpp.o.d"
+  "/root/repo/tests/baselines/test_gps_tracker.cpp" "tests/CMakeFiles/wiloc_tests.dir/baselines/test_gps_tracker.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/baselines/test_gps_tracker.cpp.o.d"
+  "/root/repo/tests/baselines/test_propagation_loc.cpp" "tests/CMakeFiles/wiloc_tests.dir/baselines/test_propagation_loc.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/baselines/test_propagation_loc.cpp.o.d"
+  "/root/repo/tests/baselines/test_schedule.cpp" "tests/CMakeFiles/wiloc_tests.dir/baselines/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/baselines/test_schedule.cpp.o.d"
+  "/root/repo/tests/core/test_anomaly.cpp" "tests/CMakeFiles/wiloc_tests.dir/core/test_anomaly.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/core/test_anomaly.cpp.o.d"
+  "/root/repo/tests/core/test_hybrid.cpp" "tests/CMakeFiles/wiloc_tests.dir/core/test_hybrid.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/core/test_hybrid.cpp.o.d"
+  "/root/repo/tests/core/test_mobility_filter.cpp" "tests/CMakeFiles/wiloc_tests.dir/core/test_mobility_filter.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/core/test_mobility_filter.cpp.o.d"
+  "/root/repo/tests/core/test_positioner.cpp" "tests/CMakeFiles/wiloc_tests.dir/core/test_positioner.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/core/test_positioner.cpp.o.d"
+  "/root/repo/tests/core/test_predictor.cpp" "tests/CMakeFiles/wiloc_tests.dir/core/test_predictor.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/core/test_predictor.cpp.o.d"
+  "/root/repo/tests/core/test_rider_matcher.cpp" "tests/CMakeFiles/wiloc_tests.dir/core/test_rider_matcher.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/core/test_rider_matcher.cpp.o.d"
+  "/root/repo/tests/core/test_route_identifier.cpp" "tests/CMakeFiles/wiloc_tests.dir/core/test_route_identifier.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/core/test_route_identifier.cpp.o.d"
+  "/root/repo/tests/core/test_seasonal.cpp" "tests/CMakeFiles/wiloc_tests.dir/core/test_seasonal.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/core/test_seasonal.cpp.o.d"
+  "/root/repo/tests/core/test_server.cpp" "tests/CMakeFiles/wiloc_tests.dir/core/test_server.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/core/test_server.cpp.o.d"
+  "/root/repo/tests/core/test_tracker.cpp" "tests/CMakeFiles/wiloc_tests.dir/core/test_tracker.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/core/test_tracker.cpp.o.d"
+  "/root/repo/tests/core/test_traffic_map.cpp" "tests/CMakeFiles/wiloc_tests.dir/core/test_traffic_map.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/core/test_traffic_map.cpp.o.d"
+  "/root/repo/tests/core/test_training.cpp" "tests/CMakeFiles/wiloc_tests.dir/core/test_training.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/core/test_training.cpp.o.d"
+  "/root/repo/tests/core/test_trajectory.cpp" "tests/CMakeFiles/wiloc_tests.dir/core/test_trajectory.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/core/test_trajectory.cpp.o.d"
+  "/root/repo/tests/core/test_travel_time.cpp" "tests/CMakeFiles/wiloc_tests.dir/core/test_travel_time.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/core/test_travel_time.cpp.o.d"
+  "/root/repo/tests/core/test_trip_planner.cpp" "tests/CMakeFiles/wiloc_tests.dir/core/test_trip_planner.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/core/test_trip_planner.cpp.o.d"
+  "/root/repo/tests/geo/test_geometry.cpp" "tests/CMakeFiles/wiloc_tests.dir/geo/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/geo/test_geometry.cpp.o.d"
+  "/root/repo/tests/geo/test_latlon.cpp" "tests/CMakeFiles/wiloc_tests.dir/geo/test_latlon.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/geo/test_latlon.cpp.o.d"
+  "/root/repo/tests/geo/test_polyline.cpp" "tests/CMakeFiles/wiloc_tests.dir/geo/test_polyline.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/geo/test_polyline.cpp.o.d"
+  "/root/repo/tests/integration/test_ap_dynamics.cpp" "tests/CMakeFiles/wiloc_tests.dir/integration/test_ap_dynamics.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/integration/test_ap_dynamics.cpp.o.d"
+  "/root/repo/tests/integration/test_deployment.cpp" "tests/CMakeFiles/wiloc_tests.dir/integration/test_deployment.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/integration/test_deployment.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/wiloc_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_properties.cpp" "tests/CMakeFiles/wiloc_tests.dir/integration/test_properties.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/integration/test_properties.cpp.o.d"
+  "/root/repo/tests/rf/test_cellular.cpp" "tests/CMakeFiles/wiloc_tests.dir/rf/test_cellular.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/rf/test_cellular.cpp.o.d"
+  "/root/repo/tests/rf/test_io.cpp" "tests/CMakeFiles/wiloc_tests.dir/rf/test_io.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/rf/test_io.cpp.o.d"
+  "/root/repo/tests/rf/test_propagation.cpp" "tests/CMakeFiles/wiloc_tests.dir/rf/test_propagation.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/rf/test_propagation.cpp.o.d"
+  "/root/repo/tests/rf/test_registry.cpp" "tests/CMakeFiles/wiloc_tests.dir/rf/test_registry.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/rf/test_registry.cpp.o.d"
+  "/root/repo/tests/rf/test_scan.cpp" "tests/CMakeFiles/wiloc_tests.dir/rf/test_scan.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/rf/test_scan.cpp.o.d"
+  "/root/repo/tests/roadnet/test_io.cpp" "tests/CMakeFiles/wiloc_tests.dir/roadnet/test_io.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/roadnet/test_io.cpp.o.d"
+  "/root/repo/tests/roadnet/test_network.cpp" "tests/CMakeFiles/wiloc_tests.dir/roadnet/test_network.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/roadnet/test_network.cpp.o.d"
+  "/root/repo/tests/roadnet/test_overlap.cpp" "tests/CMakeFiles/wiloc_tests.dir/roadnet/test_overlap.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/roadnet/test_overlap.cpp.o.d"
+  "/root/repo/tests/roadnet/test_route.cpp" "tests/CMakeFiles/wiloc_tests.dir/roadnet/test_route.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/roadnet/test_route.cpp.o.d"
+  "/root/repo/tests/sim/test_bus_trip.cpp" "tests/CMakeFiles/wiloc_tests.dir/sim/test_bus_trip.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/sim/test_bus_trip.cpp.o.d"
+  "/root/repo/tests/sim/test_city.cpp" "tests/CMakeFiles/wiloc_tests.dir/sim/test_city.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/sim/test_city.cpp.o.d"
+  "/root/repo/tests/sim/test_crowd.cpp" "tests/CMakeFiles/wiloc_tests.dir/sim/test_crowd.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/sim/test_crowd.cpp.o.d"
+  "/root/repo/tests/sim/test_fleet.cpp" "tests/CMakeFiles/wiloc_tests.dir/sim/test_fleet.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/sim/test_fleet.cpp.o.d"
+  "/root/repo/tests/sim/test_gps.cpp" "tests/CMakeFiles/wiloc_tests.dir/sim/test_gps.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/sim/test_gps.cpp.o.d"
+  "/root/repo/tests/sim/test_traffic.cpp" "tests/CMakeFiles/wiloc_tests.dir/sim/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/sim/test_traffic.cpp.o.d"
+  "/root/repo/tests/svd/test_grid_svd.cpp" "tests/CMakeFiles/wiloc_tests.dir/svd/test_grid_svd.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/svd/test_grid_svd.cpp.o.d"
+  "/root/repo/tests/svd/test_route_svd.cpp" "tests/CMakeFiles/wiloc_tests.dir/svd/test_route_svd.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/svd/test_route_svd.cpp.o.d"
+  "/root/repo/tests/svd/test_signature.cpp" "tests/CMakeFiles/wiloc_tests.dir/svd/test_signature.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/svd/test_signature.cpp.o.d"
+  "/root/repo/tests/svd/test_survey.cpp" "tests/CMakeFiles/wiloc_tests.dir/svd/test_survey.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/svd/test_survey.cpp.o.d"
+  "/root/repo/tests/svd/test_ties.cpp" "tests/CMakeFiles/wiloc_tests.dir/svd/test_ties.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/svd/test_ties.cpp.o.d"
+  "/root/repo/tests/svd/test_tile_mapper.cpp" "tests/CMakeFiles/wiloc_tests.dir/svd/test_tile_mapper.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/svd/test_tile_mapper.cpp.o.d"
+  "/root/repo/tests/util/test_contracts_ids.cpp" "tests/CMakeFiles/wiloc_tests.dir/util/test_contracts_ids.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/util/test_contracts_ids.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/wiloc_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/wiloc_tests.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/wiloc_tests.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_time.cpp" "tests/CMakeFiles/wiloc_tests.dir/util/test_time.cpp.o" "gcc" "tests/CMakeFiles/wiloc_tests.dir/util/test_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wiloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/wiloc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wiloc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/svd/CMakeFiles/wiloc_svd.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/wiloc_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/wiloc_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wiloc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wiloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

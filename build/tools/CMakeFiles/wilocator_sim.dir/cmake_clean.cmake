@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wilocator_sim.dir/wilocator_sim.cpp.o"
+  "CMakeFiles/wilocator_sim.dir/wilocator_sim.cpp.o.d"
+  "wilocator_sim"
+  "wilocator_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wilocator_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
