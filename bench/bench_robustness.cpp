@@ -1,0 +1,122 @@
+// Robustness sweep: tracking and ETA quality versus scan-stream fault
+// rate.
+//
+// Not a paper figure — this bench characterizes the guarded ingest
+// pipeline the paper's deployment would need: the same live day is
+// replayed through the server with every fault class (drop, delay /
+// reorder, duplicate, RSSI corruption, clock skew, AP churn, AP outage)
+// injected at 0..20%, and positioning / arrival-prediction errors are
+// measured against ground truth alongside the server's ingest health
+// counters. Graceful degradation means the error columns grow smoothly
+// with the fault rate — no cliff, no crash.
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace {
+
+using namespace wiloc;
+
+std::vector<bench::LiveTrip> retag(const std::vector<bench::LiveTrip>& day,
+                                   std::uint32_t first_trip_id) {
+  std::vector<bench::LiveTrip> out = day;
+  std::uint32_t next = first_trip_id;
+  for (bench::LiveTrip& trip : out) {
+    trip.record.id = roadnet::TripId(next++);
+    for (sim::ScanReport& report : trip.reports)
+      report.trip = trip.record.id;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "Robustness: error vs scan-stream fault rate (0..20%)");
+
+  const sim::City city = sim::build_paper_city();
+  const sim::TrafficModel traffic(2016);
+  const sim::FleetPlan plan = sim::default_fleet_plan(city);
+
+  core::WiLocatorServer server(city.route_pointers(), city.ap_snapshot(),
+                               *city.rf_model,
+                               DaySlots::paper_five_slots());
+  Rng rng(7);
+  bench::train_server(server, city, traffic, plan, /*first_day=*/0,
+                      /*day_count=*/2, rng);
+
+  const auto base_day =
+      bench::simulate_live_day(city, traffic, plan, /*day=*/3, 0, rng);
+
+  TablePrinter table({"fault %", "pos med (m)", "pos p95 (m)",
+                      "eta med (s)", "eta p95 (s)", "degraded %",
+                      "rejected", "reordered"});
+
+  const double rates[] = {0.0, 0.05, 0.10, 0.15, 0.20};
+  std::uint32_t next_base_id = 10000;
+  for (const double rate : rates) {
+    const auto day = retag(base_day, next_base_id);
+    next_base_id += 1000;
+
+    std::vector<double> pos_errors;
+    std::vector<double> eta_errors;
+    for (std::size_t j = 0; j < day.size(); ++j) {
+      const bench::LiveTrip& trip = day[j];
+      const auto& route = city.routes[trip.record.route.index()];
+      server.begin_trip(trip.record.id, trip.record.route);
+      sim::FaultInjector injector(
+          sim::FaultProfile::uniform(rate),
+          static_cast<std::uint64_t>(rate * 1000) + j + 1);
+      for (const auto& report : injector.apply(trip.reports))
+        server.ingest(report.trip, report.scan);
+      server.end_trip(trip.record.id);
+
+      const auto errors = bench::positioning_errors(server, trip);
+      pos_errors.insert(pos_errors.end(), errors.begin(), errors.end());
+
+      // ETA to the final stop, re-predicted from every fix the tracker
+      // produced: positioning faults propagate into arrival error.
+      const std::size_t last = route.stop_count() - 1;
+      const SimTime truth = trip.record.arrival_at_stop(last);
+      for (const auto& fix : server.tracker(trip.record.id).fixes()) {
+        if (fix.time >= truth) continue;
+        const SimTime predicted = server.predictor().predict_arrival(
+            route, fix.route_offset, fix.time, last);
+        eta_errors.push_back(std::abs(predicted - truth));
+      }
+    }
+
+    core::IngestStats stats;
+    for (const bench::LiveTrip& trip : day)
+      stats += server.trip_ingest_stats(trip.record.id);
+    if (!stats.accounted())
+      std::cout << "WARNING: ingest accounting violated at rate " << rate
+                << "\n";
+
+    const EmpiricalCdf pos(pos_errors);
+    const EmpiricalCdf eta(eta_errors);
+    const double degraded_pct =
+        stats.fixes == 0 ? 0.0
+                         : 100.0 * static_cast<double>(stats.degraded_fixes) /
+                               static_cast<double>(stats.fixes);
+    table.add_row({TablePrinter::num(100.0 * rate, 0),
+                   TablePrinter::num(pos.quantile(0.5), 1),
+                   TablePrinter::num(pos.quantile(0.95), 1),
+                   TablePrinter::num(eta.quantile(0.5), 1),
+                   TablePrinter::num(eta.quantile(0.95), 1),
+                   TablePrinter::num(degraded_pct, 1),
+                   std::to_string(stats.rejected_total()),
+                   std::to_string(stats.reordered)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpectation: the clean row matches the seed pipeline "
+               "(the guard is bit-transparent without faults); errors "
+               "then grow smoothly with the fault rate while every scan "
+               "stays accounted for and no query ever throws.\n";
+  return 0;
+}

@@ -61,6 +61,9 @@ void ingest_live_day(core::WiLocatorServer& server,
             [](const Event& a, const Event& b) { return a.time < b.time; });
   for (const Event& event : events)
     server.ingest(event.report->trip, event.report->scan);
+  // Release the per-trip reorder buffers so post-hoc queries (fixes,
+  // positioning errors) see the complete stream.
+  for (const LiveTrip& trip : day) server.flush_trip(trip.record.id);
 }
 
 std::vector<double> positioning_errors(const core::WiLocatorServer& server,

@@ -1,0 +1,117 @@
+// Chaos demo: a hostile scan stream against the guarded ingest pipeline.
+//
+// A real crowd-sensing deployment never sees the simulator's clean,
+// time-ordered scans: reports are dropped by the uplink, delayed and
+// reordered, duplicated by retries, RSSI-corrupted by broken radios,
+// clock-skewed by bad phone clocks, and polluted by AP churn. This
+// example tracks the same bus trip while a FaultInjector degrades its
+// scan stream at escalating rates, and prints what the server's
+// IngestGuard did about it: what it rejected (and why), what it
+// reordered, which readings it sanitized away, and how often the tracker
+// fell back to dead-reckoned (degraded) fixes — while the position error
+// degrades gracefully instead of crashing the pipeline.
+//
+// Run:  ./chaos
+
+#include <cmath>
+#include <iostream>
+
+#include "core/server.hpp"
+#include "sim/city.hpp"
+#include "sim/crowd.hpp"
+#include "sim/fault_injector.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wiloc;
+
+struct RunResult {
+  core::IngestStats stats;
+  double mean_error_m = -1.0;
+  double worst_error_m = -1.0;
+};
+
+RunResult run_faulted(const sim::City& city, const sim::TripRecord& record,
+                      const std::vector<sim::ScanReport>& reports,
+                      roadnet::TripId trip, double fault_rate,
+                      std::uint64_t seed) {
+  core::WiLocatorServer server(city.route_pointers(), city.ap_snapshot(),
+                               *city.rf_model,
+                               DaySlots::paper_five_slots());
+  server.begin_trip(trip, record.route);
+
+  sim::FaultInjector injector(sim::FaultProfile::uniform(fault_rate), seed);
+  for (const auto& report : injector.apply(reports))
+    server.ingest(trip, report.scan);
+  server.end_trip(trip);
+
+  RunResult result;
+  result.stats = server.trip_ingest_stats(trip);
+  RunningStats errors;
+  double worst = 0.0;
+  for (const auto& fix : server.tracker(trip).fixes()) {
+    const double err = std::abs(fix.route_offset - record.offset_at(fix.time));
+    errors.add(err);
+    worst = std::max(worst, err);
+  }
+  if (!errors.empty()) {
+    result.mean_error_m = errors.mean();
+    result.worst_error_m = worst;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Chaos: guarded ingest under stream faults");
+
+  const sim::City city = sim::build_paper_city();
+  const sim::TrafficModel traffic(99);
+  const auto& route = *city.route_pointers().front();
+
+  Rng rng(5);
+  const auto record =
+      sim::simulate_trip(roadnet::TripId(1), route, city.profiles.front(),
+                         traffic, hms(9), rng);
+  const rf::Scanner scanner;
+  const auto reports = sim::sense_trip(record, route, city.aps,
+                                       *city.rf_model, scanner, rng);
+  std::cout << "Route \"" << route.name() << "\", one trip, "
+            << reports.size() << " clean scan reports.\n\n";
+
+  TablePrinter table({"fault %", "accepted", "rejected", "reordered",
+                      "bad readings", "degraded %", "mean err (m)",
+                      "worst err (m)"});
+  for (const double rate : {0.0, 0.05, 0.10, 0.20}) {
+    const auto r = run_faulted(city, record, reports, roadnet::TripId(1),
+                               rate, static_cast<std::uint64_t>(1 + rate * 100));
+    const auto& s = r.stats;
+    const std::uint64_t bad_readings =
+        s.readings_dropped_invalid + s.readings_dropped_weak +
+        s.readings_dropped_duplicate + s.readings_dropped_unknown_ap;
+    const double degraded_pct =
+        s.fixes == 0 ? 0.0
+                     : 100.0 * static_cast<double>(s.degraded_fixes) /
+                           static_cast<double>(s.fixes);
+    table.add_row({TablePrinter::num(100.0 * rate, 0),
+                   std::to_string(s.accepted),
+                   std::to_string(s.rejected_total()),
+                   std::to_string(s.reordered),
+                   std::to_string(bad_readings),
+                   TablePrinter::num(degraded_pct, 1),
+                   TablePrinter::num(r.mean_error_m, 1),
+                   TablePrinter::num(r.worst_error_m, 1)});
+    if (!s.accounted())
+      std::cout << "WARNING: accounting violated at rate " << rate << "\n";
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEvery submitted scan is accounted for "
+               "(accepted + rejected + deferred == submitted), no ingest "
+               "call throws, and tracking error grows smoothly with the "
+               "fault rate — the guard turns stream chaos into counters, "
+               "not crashes.\n";
+  return 0;
+}

@@ -78,7 +78,7 @@ std::optional<Fix> MobilityFilter::update(
     }
     // Coast on the dead-reckoned position with decaying confidence and
     // decaying speed (a silent bus is more likely stopped than cruising).
-    last_ = {t, predicted, last_.confidence * 0.6};
+    last_ = {t, predicted, last_.confidence * 0.6, /*degraded=*/true};
     speed_mps_ *= 0.6;
     return last_;
   }

@@ -21,6 +21,10 @@ struct Fix {
   SimTime time = 0.0;
   double route_offset = 0.0;
   double confidence = 0.0;  ///< [0, 1]; coasted fixes decay
+  bool degraded = false;    ///< dead-reckoned only: the scan produced no
+                            ///< admissible SVD candidate (empty scan, all
+                            ///< APs churned away, or kinematically
+                            ///< implausible matches)
 };
 
 struct MobilityFilterParams {

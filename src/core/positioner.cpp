@@ -1,10 +1,51 @@
 #include "core/positioner.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <unordered_set>
 
 #include "util/contracts.hpp"
 
 namespace wiloc::core {
+
+namespace {
+
+// Drops readings no downstream stage can interpret: non-finite RSSI
+// (corrupt reports) and repeated AP ids (a duplicate would violate the
+// RankSignature distinctness contract and abort positioning for the
+// whole scan). The strongest reading of a duplicated AP wins — readings
+// are sorted strongest-first, so keeping the first occurrence does it.
+// A clean scan passes through untouched (same object, no copy).
+const rf::WifiScan& sanitized(const rf::WifiScan& scan,
+                              rf::WifiScan& storage) {
+  bool dirty = false;
+  std::unordered_set<rf::ApId> seen;
+  seen.reserve(scan.readings.size());
+  for (const rf::ApReading& r : scan.readings) {
+    if (!std::isfinite(r.rssi_dbm) || !seen.insert(r.ap).second) {
+      dirty = true;
+      break;
+    }
+  }
+  if (!dirty) return scan;
+
+  storage.time = scan.time;
+  storage.readings.clear();
+  seen.clear();
+  for (const rf::ApReading& r : scan.readings) {
+    if (!std::isfinite(r.rssi_dbm)) continue;
+    if (!seen.insert(r.ap).second) continue;
+    storage.readings.push_back(r);
+  }
+  std::sort(storage.readings.begin(), storage.readings.end(),
+            [](const rf::ApReading& a, const rf::ApReading& b) {
+              if (a.rssi_dbm != b.rssi_dbm) return a.rssi_dbm > b.rssi_dbm;
+              return a.ap < b.ap;
+            });
+  return storage;
+}
+
+}  // namespace
 
 SvdPositioner::SvdPositioner(const svd::PositioningIndex& index,
                              PositionerParams params)
@@ -15,8 +56,10 @@ SvdPositioner::SvdPositioner(const svd::PositioningIndex& index,
 
 std::vector<svd::Candidate> SvdPositioner::locate(
     const rf::WifiScan& scan) const {
+  rf::WifiScan storage;
+  const rf::WifiScan& clean = sanitized(scan, storage);
   const auto rankings = svd::expand_tied_rankings(
-      scan, params_.tie_depth, params_.max_tie_rankings);
+      clean, params_.tie_depth, params_.max_tie_rankings);
   if (rankings.empty()) return {};
 
   // Collect candidates from every tied ordering.

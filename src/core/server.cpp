@@ -1,5 +1,7 @@
 #include "core/server.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 
 namespace wiloc::core {
@@ -61,6 +63,8 @@ void WiLocatorServer::begin_trip(roadnet::TripId trip,
   tr.route = route;
   tr.tracker = std::make_unique<BusTracker>(*rt.route, *rt.positioner,
                                             config_.filter);
+  tr.guard = std::make_unique<IngestGuard>(*tr.tracker, *rt.index,
+                                           config_.ingest);
   trips_.emplace(trip, std::move(tr));
 }
 
@@ -68,23 +72,49 @@ bool WiLocatorServer::has_trip(roadnet::TripId trip) const {
   return trips_.count(trip) != 0;
 }
 
-std::optional<Fix> WiLocatorServer::ingest(roadnet::TripId trip,
-                                           const rf::WifiScan& scan) {
+IngestResult WiLocatorServer::ingest(roadnet::TripId trip,
+                                     const rf::WifiScan& scan) {
+  const auto it = trips_.find(trip);
+  if (it == trips_.end()) {
+    ++orphan_stats_.submitted;
+    ++orphan_stats_.rejected_by_reason[static_cast<std::size_t>(
+        RejectReason::unknown_trip)];
+    return {IngestStatus::rejected, RejectReason::unknown_trip,
+            std::nullopt, 0};
+  }
+  if (!it->second.active) {
+    ++orphan_stats_.submitted;
+    ++orphan_stats_.rejected_by_reason[static_cast<std::size_t>(
+        RejectReason::closed_trip)];
+    return {IngestStatus::rejected, RejectReason::closed_trip,
+            std::nullopt, 0};
+  }
+  IngestResult result = it->second.guard->submit(scan);
+  harvest_segments(it->second);
+  return result;
+}
+
+void WiLocatorServer::harvest_segments(TripRuntime& tr) {
+  for (const TravelObservation& obs : tr.tracker->drain_segments())
+    store_.add_recent(obs);
+}
+
+void WiLocatorServer::flush_trip(roadnet::TripId trip) {
   const auto it = trips_.find(trip);
   if (it == trips_.end())
     throw NotFound("unknown trip " + std::to_string(trip.value()));
-  if (!it->second.active)
-    throw StateError("trip " + std::to_string(trip.value()) + " is closed");
-  const auto fix = it->second.tracker->ingest(scan);
-  for (const TravelObservation& obs : it->second.tracker->drain_segments())
-    store_.add_recent(obs);
-  return fix;
+  it->second.guard->flush();
+  harvest_segments(it->second);
 }
 
 void WiLocatorServer::end_trip(roadnet::TripId trip) {
   const auto it = trips_.find(trip);
   if (it == trips_.end())
     throw NotFound("unknown trip " + std::to_string(trip.value()));
+  if (it->second.active) {
+    it->second.guard->flush();
+    harvest_segments(it->second);
+  }
   it->second.active = false;
 }
 
@@ -123,6 +153,20 @@ std::vector<Anomaly> WiLocatorServer::anomalies(
   const roadnet::BusRoute& route = *runtime_for(it->second.route).route;
   const AnomalyDetector detector(route, config_.typical_scan_distance_m);
   return detector.detect(it->second.tracker->fixes());
+}
+
+const IngestStats& WiLocatorServer::trip_ingest_stats(
+    roadnet::TripId trip) const {
+  const auto it = trips_.find(trip);
+  if (it == trips_.end())
+    throw NotFound("unknown trip " + std::to_string(trip.value()));
+  return it->second.guard->stats();
+}
+
+IngestStats WiLocatorServer::ingest_stats() const {
+  IngestStats total = orphan_stats_;
+  for (const auto& [id, tr] : trips_) total += tr.guard->stats();
+  return total;
 }
 
 const svd::PositioningIndex& WiLocatorServer::index_for(

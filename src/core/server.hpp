@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "core/anomaly.hpp"
+#include "core/ingest_guard.hpp"
 #include "core/predictor.hpp"
 #include "core/tracker.hpp"
 #include "core/traffic_map.hpp"
@@ -27,6 +28,7 @@ struct ServerConfig {
   MobilityFilterParams filter;
   PredictorOptions predictor;
   TrafficMapParams traffic;
+  IngestGuardParams ingest;  ///< per-trip scan-stream guard
   double typical_scan_distance_m = 70.0;  ///< anomaly delta basis
 };
 
@@ -66,12 +68,19 @@ class WiLocatorServer {
   /// True when the trip is registered.
   bool has_trip(roadnet::TripId trip) const;
 
-  /// Processes one scan of a registered trip; updates the tracker and
-  /// harvests any completed segment observations into the recent store.
-  std::optional<Fix> ingest(roadnet::TripId trip,
-                            const rf::WifiScan& scan);
+  /// Processes one scan of a registered trip through the per-trip
+  /// IngestGuard; updates the tracker and harvests any completed segment
+  /// observations into the recent store. Never throws on malformed
+  /// scans, unknown trips, closed trips, or out-of-order input — the
+  /// outcome is reported in the IngestResult and in the health counters.
+  IngestResult ingest(roadnet::TripId trip, const rf::WifiScan& scan);
 
-  /// Closes a trip (its tracker is kept for post-hoc queries).
+  /// Releases the trip's reorder buffer into its tracker (e.g. before a
+  /// query that must see every scan submitted so far).
+  void flush_trip(roadnet::TripId trip);
+
+  /// Closes a trip (its reorder buffer is flushed; the tracker is kept
+  /// for post-hoc queries).
   void end_trip(roadnet::TripId trip);
 
   // -- queries -----------------------------------------------------------
@@ -88,6 +97,14 @@ class WiLocatorServer {
 
   /// Anomaly windows detected on the trip's trajectory so far.
   std::vector<Anomaly> anomalies(roadnet::TripId trip) const;
+
+  /// Ingest health counters of one trip.
+  const IngestStats& trip_ingest_stats(roadnet::TripId trip) const;
+
+  /// Server-wide ingest health: every per-trip counter plus the
+  /// unknown-trip / closed-trip rejections that never reached a guard.
+  /// accounted() holds on the aggregate at all times.
+  IngestStats ingest_stats() const;
 
   // -- component access (benches, tests) ---------------------------------
 
@@ -110,10 +127,12 @@ class WiLocatorServer {
   struct TripRuntime {
     roadnet::RouteId route;
     std::unique_ptr<BusTracker> tracker;
+    std::unique_ptr<IngestGuard> guard;
     bool active = true;
   };
 
   const RouteRuntime& runtime_for(roadnet::RouteId route) const;
+  void harvest_segments(TripRuntime& tr);
 
   ServerConfig config_;
   std::unordered_map<roadnet::RouteId, RouteRuntime> routes_;
@@ -121,6 +140,7 @@ class WiLocatorServer {
   TravelTimeStore store_;
   ArrivalPredictor predictor_;
   TrafficMapBuilder traffic_builder_;
+  IngestStats orphan_stats_;  ///< unknown-/closed-trip rejections
 };
 
 }  // namespace wiloc::core

@@ -26,7 +26,10 @@ class BusTracker {
              MobilityFilterParams filter_params = {});
 
   /// Processes one scan; returns the resulting fix (if any). Scans must
-  /// arrive in time order.
+  /// arrive in time order (an IngestGuard enforces this in front of the
+  /// server's trackers); malformed readings (NaN RSSI, duplicate AP ids)
+  /// are tolerated — the positioner sanitizes them — and a scan that
+  /// matches nothing yields a dead-reckoned fix flagged Fix::degraded.
   std::optional<Fix> ingest(const rf::WifiScan& scan);
 
   /// All fixes so far (time-ordered).

@@ -1,0 +1,127 @@
+#include "sim/fault_injector.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::sim {
+
+FaultProfile FaultProfile::uniform(double p) {
+  WILOC_EXPECTS(p >= 0.0 && p <= 1.0);
+  FaultProfile profile;
+  profile.drop = p;
+  profile.delay = p;
+  profile.duplicate = p;
+  profile.corrupt_rssi = p;
+  profile.clock_skew = p;
+  profile.ap_churn = p;
+  profile.ap_outage = p;
+  return profile;
+}
+
+FaultInjector::FaultInjector(FaultProfile profile, std::uint64_t seed)
+    : profile_(profile), rng_(seed) {
+  WILOC_EXPECTS(profile_.max_delay_slots >= 1);
+  WILOC_EXPECTS(profile_.skew_sigma_s >= 0.0);
+}
+
+void FaultInjector::corrupt_readings(rf::WifiScan& scan) {
+  if (scan.readings.empty()) return;
+  const auto hits = static_cast<std::size_t>(rng_.uniform_int(
+      1, static_cast<std::int64_t>(std::min<std::size_t>(3,
+                                       scan.readings.size()))));
+  for (std::size_t h = 0; h < hits; ++h) {
+    auto& r = scan.readings[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(scan.readings.size()) - 1))];
+    switch (rng_.uniform_int(0, 3)) {
+      case 0: r.rssi_dbm = std::numeric_limits<double>::quiet_NaN(); break;
+      case 1: r.rssi_dbm = -std::numeric_limits<double>::infinity(); break;
+      case 2: r.rssi_dbm = rng_.uniform(10.0, 120.0); break;   // impossible
+      default: r.rssi_dbm = rng_.uniform(-250.0, -130.0); break;  // junk
+    }
+  }
+  ++counters_.corrupted;
+}
+
+void FaultInjector::churn_readings(rf::WifiScan& scan) {
+  if (scan.readings.empty()) return;
+  const auto hits = static_cast<std::size_t>(rng_.uniform_int(
+      1, static_cast<std::int64_t>(std::min<std::size_t>(2,
+                                       scan.readings.size()))));
+  for (std::size_t h = 0; h < hits; ++h) {
+    auto& r = scan.readings[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(scan.readings.size()) - 1))];
+    r.ap = rf::ApId(next_phantom_++);
+  }
+  ++counters_.churned;
+}
+
+void FaultInjector::silence_ap(rf::WifiScan& scan) {
+  if (scan.readings.empty()) return;
+  const rf::ApId victim =
+      scan.readings[static_cast<std::size_t>(rng_.uniform_int(
+                        0, static_cast<std::int64_t>(scan.readings.size()) -
+                               1))]
+          .ap;
+  scan.readings.erase(
+      std::remove_if(scan.readings.begin(), scan.readings.end(),
+                     [victim](const rf::ApReading& r) {
+                       return r.ap == victim;
+                     }),
+      scan.readings.end());
+  ++counters_.silenced;
+}
+
+std::vector<ScanReport> FaultInjector::apply(
+    const std::vector<ScanReport>& reports) {
+  // Each surviving report gets an arrival key = its stream index, pushed
+  // back by a few slots when delayed; a stable sort by key yields the
+  // arrival order (duplicates ride immediately behind their original).
+  struct Arrival {
+    std::size_t key;
+    ScanReport report;
+  };
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(reports.size());
+
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    ++counters_.input;
+    if (rng_.bernoulli(profile_.drop)) {
+      ++counters_.dropped;
+      continue;
+    }
+    ScanReport report = reports[i];
+    if (rng_.bernoulli(profile_.clock_skew)) {
+      report.scan.time += rng_.normal(0.0, profile_.skew_sigma_s);
+      ++counters_.skewed;
+    }
+    if (rng_.bernoulli(profile_.corrupt_rssi)) corrupt_readings(report.scan);
+    if (rng_.bernoulli(profile_.ap_churn)) churn_readings(report.scan);
+    if (rng_.bernoulli(profile_.ap_outage)) silence_ap(report.scan);
+
+    std::size_t key = i;
+    if (rng_.bernoulli(profile_.delay)) {
+      key += static_cast<std::size_t>(rng_.uniform_int(
+          1, static_cast<std::int64_t>(profile_.max_delay_slots)));
+      ++counters_.delayed;
+    }
+    if (rng_.bernoulli(profile_.duplicate)) {
+      arrivals.push_back({key, report});
+      ++counters_.duplicated;
+    }
+    arrivals.push_back({key, std::move(report)});
+  }
+
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     return a.key < b.key;
+                   });
+  std::vector<ScanReport> out;
+  out.reserve(arrivals.size());
+  for (Arrival& a : arrivals) out.push_back(std::move(a.report));
+  counters_.emitted += out.size();
+  return out;
+}
+
+}  // namespace wiloc::sim

@@ -1,0 +1,85 @@
+// Fault injection over a crowd-sensed scan stream.
+//
+// A composable chaos wrapper for testing the server's guarded ingest
+// path: takes the clean, time-ordered report stream a simulated trip
+// produced and perturbs it the way a real deployment would — reports get
+// dropped by the cellular uplink, delayed and re-ordered in transit,
+// duplicated by retries, RSSI-corrupted by broken radios, clock-skewed
+// by bad phone clocks, and polluted by AP churn (APs the positioning
+// index has never seen appear; known APs black out). Every fault class
+// has an independent probability, all randomness comes from the
+// deterministic wiloc::Rng, and counters record exactly what was done so
+// tests can reconcile injected faults against the server's IngestStats.
+//
+// Injectors compose: chain apply() calls (with different profiles or
+// seeds) to stack fault classes.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/crowd.hpp"
+#include "util/rng.hpp"
+
+namespace wiloc::sim {
+
+/// Per-fault-class probabilities (each evaluated independently per
+/// report, except `drop` which short-circuits the rest).
+struct FaultProfile {
+  double drop = 0.0;        ///< report lost entirely
+  double delay = 0.0;       ///< delivered 1..max_delay_slots reports late
+                            ///< (timestamp unchanged -> reordering)
+  double duplicate = 0.0;   ///< retry: the report is delivered twice
+  double corrupt_rssi = 0.0; ///< 1..3 readings get NaN / +dBm garbage
+  double clock_skew = 0.0;  ///< timestamp shifted by N(0, skew_sigma_s)
+  double ap_churn = 0.0;    ///< 1..2 readings re-labelled with AP ids the
+                            ///< index has never seen
+  double ap_outage = 0.0;   ///< registry outage: one AP heard in the
+                            ///< scan goes silent (readings removed)
+  std::size_t max_delay_slots = 3;
+  double skew_sigma_s = 15.0;
+
+  /// Every fault class at probability p (delay slots / sigma defaulted).
+  static FaultProfile uniform(double p);
+};
+
+/// What the injector actually did to a stream.
+struct FaultCounters {
+  std::uint64_t input = 0;       ///< reports seen
+  std::uint64_t emitted = 0;     ///< reports delivered
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;   ///< reports with >= 1 corrupted reading
+  std::uint64_t skewed = 0;
+  std::uint64_t churned = 0;     ///< reports with >= 1 re-labelled AP
+  std::uint64_t silenced = 0;    ///< reports that lost an AP to outage
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultProfile profile, std::uint64_t seed = 1);
+
+  /// Perturbs a time-ordered report stream into the *arrival* stream the
+  /// server would see. The result is in arrival order, which under delay
+  /// faults is no longer timestamp order. Counters accumulate across
+  /// calls.
+  std::vector<ScanReport> apply(const std::vector<ScanReport>& reports);
+
+  const FaultCounters& counters() const { return counters_; }
+
+  /// First synthetic AP id used for churned readings; ids at or above
+  /// this value never collide with registry-assigned APs.
+  static constexpr std::uint32_t kPhantomApBase = 1u << 30;
+
+ private:
+  void corrupt_readings(rf::WifiScan& scan);
+  void churn_readings(rf::WifiScan& scan);
+  void silence_ap(rf::WifiScan& scan);
+
+  FaultProfile profile_;
+  Rng rng_;
+  FaultCounters counters_;
+  std::uint32_t next_phantom_ = kPhantomApBase;
+};
+
+}  // namespace wiloc::sim

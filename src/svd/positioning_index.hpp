@@ -32,6 +32,13 @@ class PositioningIndex {
 
   /// Length of the route this index covers.
   virtual double route_length() const = 0;
+
+  /// Whether the AP belongs to this index's AP universe. Backends that
+  /// cannot enumerate their universe answer true (nothing is filtered);
+  /// RouteSvd/SurveyIndex answer from their construction AP sets, which
+  /// lets the ingest guard drop readings from churned-in unknown APs
+  /// before they distort the rank signature.
+  virtual bool knows_ap(rf::ApId) const { return true; }
 };
 
 /// Expands a scan whose top readings contain *ties* (equal quantized RSS)

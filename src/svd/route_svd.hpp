@@ -62,7 +62,7 @@ class RouteSvd final : public PositioningIndex {
   double route_length() const override { return length_; }
 
   /// Whether the AP participated in construction.
-  bool knows_ap(rf::ApId ap) const;
+  bool knows_ap(rf::ApId ap) const override;
 
  private:
   RouteSvdParams params_;

@@ -109,8 +109,23 @@ SurveyIndex::SurveyIndex(double route_length,
       params_(params),
       intervals_(std::move(intervals)) {
   WILOC_EXPECTS(!intervals_.empty());
-  for (std::uint32_t i = 0; i < intervals_.size(); ++i)
+  std::uint32_t max_ap = 0;
+  bool any_ap = false;
+  for (const Interval& iv : intervals_)
+    for (const rf::ApId ap : iv.signature.aps()) {
+      max_ap = std::max(max_ap, ap.value());
+      any_ap = true;
+    }
+  known_aps_.assign(any_ap ? max_ap + 1 : 0, false);
+  for (std::uint32_t i = 0; i < intervals_.size(); ++i) {
     by_signature_[intervals_[i].signature].push_back(i);
+    for (const rf::ApId ap : intervals_[i].signature.aps())
+      known_aps_[ap.index()] = true;
+  }
+}
+
+bool SurveyIndex::knows_ap(rf::ApId ap) const {
+  return ap.index() < known_aps_.size() && known_aps_[ap.index()];
 }
 
 std::vector<Candidate> SurveyIndex::locate(

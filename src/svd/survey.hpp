@@ -90,6 +90,9 @@ class SurveyIndex final : public PositioningIndex {
       const std::vector<rf::ApId>& observed) const override;
   double route_length() const override { return length_; }
 
+  /// True when the AP appears in any interval's signature.
+  bool knows_ap(rf::ApId ap) const override;
+
  private:
   double length_;
   SurveyParams params_;
@@ -97,6 +100,7 @@ class SurveyIndex final : public PositioningIndex {
   std::unordered_map<RankSignature, std::vector<std::uint32_t>,
                      RankSignatureHash>
       by_signature_;
+  std::vector<bool> known_aps_;  // indexed by AP id
 };
 
 }  // namespace wiloc::svd

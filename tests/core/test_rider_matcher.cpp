@@ -42,7 +42,9 @@ struct MatcherFixture {
     }
   }
 
-  /// Advances both buses' trackers to time t.
+  /// Advances both buses' trackers to time t. Flushes the per-trip
+  /// reorder buffers so position queries see every scan up to t (the
+  /// matcher compares rider scans against *live* bus positions).
   void track_until(SimTime t) {
     for (std::size_t b = 0; b < records.size(); ++b) {
       for (const auto& report : reports[b]) {
@@ -52,6 +54,7 @@ struct MatcherFixture {
           tracked_[b].insert(report.scan.time);
         }
       }
+      server.flush_trip(records[b].id);
     }
   }
 

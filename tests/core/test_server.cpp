@@ -84,19 +84,35 @@ TEST(WiLocatorServer, FullPipeline) {
   EXPECT_TRUE(any_recent);
 
   f.server.end_trip(TripId(5));
-  EXPECT_THROW(f.server.ingest(TripId(5), reports.back().scan),
-               StateError);
+  // Ingest after end_trip is a structured rejection, not an exception.
+  const auto closed = f.server.ingest(TripId(5), reports.back().scan);
+  EXPECT_EQ(closed.status, IngestStatus::rejected);
+  EXPECT_EQ(closed.reason, RejectReason::closed_trip);
   // Post-hoc queries still work.
   EXPECT_NO_THROW(f.server.tracker(TripId(5)));
   EXPECT_NO_THROW(f.server.anomalies(TripId(5)));
+
+  // Server-wide health counters account for every submission.
+  const IngestStats stats = f.server.ingest_stats();
+  EXPECT_EQ(stats.submitted, reports.size() + 1);
+  EXPECT_EQ(stats.rejected(RejectReason::closed_trip), 1u);
+  EXPECT_EQ(stats.deferred, 0u);
+  EXPECT_TRUE(stats.accounted());
 }
 
 TEST(WiLocatorServer, ErrorsOnUnknownIds) {
   ServerFixture f;
-  EXPECT_THROW(f.server.ingest(TripId(9), rf::WifiScan{}), NotFound);
+  // Ingest for an unregistered trip never throws: it is a rejection.
+  const auto result = f.server.ingest(TripId(9), rf::WifiScan{});
+  EXPECT_EQ(result.status, IngestStatus::rejected);
+  EXPECT_EQ(result.reason, RejectReason::unknown_trip);
+  EXPECT_EQ(f.server.ingest_stats().rejected(RejectReason::unknown_trip),
+            1u);
   EXPECT_THROW(f.server.position(TripId(9)), NotFound);
   EXPECT_THROW(f.server.eta(TripId(9), 0, 0.0), NotFound);
   EXPECT_THROW(f.server.end_trip(TripId(9)), NotFound);
+  EXPECT_THROW(f.server.flush_trip(TripId(9)), NotFound);
+  EXPECT_THROW(f.server.trip_ingest_stats(TripId(9)), NotFound);
   EXPECT_THROW(f.server.begin_trip(TripId(1), roadnet::RouteId(7)),
                NotFound);
   EXPECT_THROW(f.server.index_for(roadnet::RouteId(7)), NotFound);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "../helpers.hpp"
 #include "svd/route_svd.hpp"
 
@@ -131,6 +133,62 @@ TEST(BusTracker, RouteAccessor) {
   TrackerFixture f;
   BusTracker tracker(f.city.route_a(), f.positioner);
   EXPECT_EQ(&tracker.route(), &f.city.route_a());
+}
+
+// Malformed input reaching the raw tracker (i.e. bypassing IngestGuard)
+// must never crash: the positioner sanitizes scans before building rank
+// signatures, and the mobility filter coasts through unusable ones.
+TEST(BusTracker, SurvivesMalformedScans) {
+  TrackerFixture f;
+  const auto trip = f.trip();
+  const auto reports = f.reports(trip);
+  BusTracker tracker(f.city.route_a(), f.positioner);
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+  ASSERT_NO_THROW({
+    // Establish a fix, then feed garbage.
+    tracker.ingest(reports[0].scan);
+
+    rf::WifiScan empty;
+    empty.time = reports[0].scan.time + 5.0;
+    tracker.ingest(empty);
+
+    rf::WifiScan nans = reports[1].scan;
+    for (auto& r : nans.readings) r.rssi_dbm = kNan;
+    tracker.ingest(nans);
+
+    rf::WifiScan dupes = reports[2].scan;
+    dupes.readings.insert(dupes.readings.end(),
+                          reports[2].scan.readings.begin(),
+                          reports[2].scan.readings.end());
+    tracker.ingest(dupes);  // every AP appears twice
+  });
+  // The clean scans still produced fixes.
+  EXPECT_TRUE(tracker.current_offset().has_value());
+}
+
+TEST(BusTracker, DegradedFlagMarksCoastedFixes) {
+  TrackerFixture f;
+  const auto trip = f.trip();
+  const auto reports = f.reports(trip);
+  BusTracker tracker(f.city.route_a(), f.positioner);
+
+  const auto first = tracker.ingest(reports[0].scan);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(first->degraded);
+
+  // An empty scan forces a dead-reckoned (coasted) fix.
+  rf::WifiScan empty;
+  empty.time = reports[0].scan.time + 8.0;
+  const auto coasted = tracker.ingest(empty);
+  ASSERT_TRUE(coasted.has_value());
+  EXPECT_TRUE(coasted->degraded);
+  EXPECT_LT(coasted->confidence, first->confidence);
+
+  // A genuine scan re-acquires a measurement-backed fix.
+  const auto recovered = tracker.ingest(reports[1].scan);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_FALSE(recovered->degraded);
 }
 
 }  // namespace

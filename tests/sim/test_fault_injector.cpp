@@ -1,0 +1,137 @@
+#include "sim/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../helpers.hpp"
+#include "util/time.hpp"
+
+namespace wiloc::sim {
+namespace {
+
+std::vector<ScanReport> clean_stream(const testing::MiniCity& city,
+                                     std::uint64_t seed = 9) {
+  Rng rng(seed);
+  TrafficModel traffic(3);
+  const auto trip =
+      simulate_trip(roadnet::TripId(7), city.route_a(), city.profiles[0],
+                    traffic, at_day_time(0, hms(10)), rng);
+  const rf::Scanner scanner;
+  Rng scan_rng(seed + 1);
+  return sense_trip(trip, city.route_a(), city.aps, city.model, scanner,
+                    scan_rng);
+}
+
+TEST(FaultInjector, NoFaultsIsIdentity) {
+  testing::MiniCity city;
+  const auto reports = clean_stream(city);
+  FaultInjector injector(FaultProfile{}, 42);
+  const auto out = injector.apply(reports);
+  ASSERT_EQ(out.size(), reports.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].scan.time, reports[i].scan.time);
+    EXPECT_EQ(out[i].scan.readings.size(), reports[i].scan.readings.size());
+  }
+  EXPECT_EQ(injector.counters().input, reports.size());
+  EXPECT_EQ(injector.counters().emitted, reports.size());
+  EXPECT_EQ(injector.counters().dropped, 0u);
+}
+
+TEST(FaultInjector, DeterministicForSameSeed) {
+  testing::MiniCity city;
+  const auto reports = clean_stream(city);
+  const auto profile = FaultProfile::uniform(0.2);
+  FaultInjector a(profile, 99);
+  FaultInjector b(profile, 99);
+  const auto out_a = a.apply(reports);
+  const auto out_b = b.apply(reports);
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_EQ(out_a[i].scan.time, out_b[i].scan.time);
+    ASSERT_EQ(out_a[i].scan.readings.size(), out_b[i].scan.readings.size());
+    for (std::size_t j = 0; j < out_a[i].scan.readings.size(); ++j) {
+      EXPECT_EQ(out_a[i].scan.readings[j].ap, out_b[i].scan.readings[j].ap);
+      const double ra = out_a[i].scan.readings[j].rssi_dbm;
+      const double rb = out_b[i].scan.readings[j].rssi_dbm;
+      EXPECT_TRUE(ra == rb || (std::isnan(ra) && std::isnan(rb)));
+    }
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiffer) {
+  testing::MiniCity city;
+  const auto reports = clean_stream(city);
+  const auto profile = FaultProfile::uniform(0.2);
+  FaultInjector a(profile, 1);
+  FaultInjector b(profile, 2);
+  EXPECT_NE(a.apply(reports).size() + a.counters().corrupted * 1000,
+            b.apply(reports).size() + b.counters().corrupted * 1000);
+}
+
+TEST(FaultInjector, CountersReconcileWithOutput) {
+  testing::MiniCity city;
+  const auto reports = clean_stream(city);
+  FaultProfile profile;
+  profile.drop = 0.3;
+  profile.duplicate = 0.3;
+  FaultInjector injector(profile, 7);
+  const auto out = injector.apply(reports);
+  const auto& c = injector.counters();
+  EXPECT_EQ(c.input, reports.size());
+  EXPECT_EQ(c.emitted, out.size());
+  EXPECT_EQ(out.size(), reports.size() - c.dropped + c.duplicated);
+  EXPECT_GT(c.dropped, 0u);
+  EXPECT_GT(c.duplicated, 0u);
+}
+
+TEST(FaultInjector, DelayReordersWithoutTouchingTimestamps) {
+  testing::MiniCity city;
+  const auto reports = clean_stream(city);
+  FaultProfile profile;
+  profile.delay = 0.5;
+  FaultInjector injector(profile, 13);
+  const auto out = injector.apply(reports);
+  ASSERT_EQ(out.size(), reports.size());
+  std::size_t inversions = 0;
+  for (std::size_t i = 1; i < out.size(); ++i)
+    if (out[i].scan.time < out[i - 1].scan.time) ++inversions;
+  EXPECT_GT(injector.counters().delayed, 0u);
+  EXPECT_GT(inversions, 0u);
+  // Delay moves arrival slots only; the set of timestamps is preserved.
+  double sum_in = 0.0, sum_out = 0.0;
+  for (const auto& r : reports) sum_in += r.scan.time;
+  for (const auto& r : out) sum_out += r.scan.time;
+  EXPECT_DOUBLE_EQ(sum_in, sum_out);
+}
+
+TEST(FaultInjector, ChurnedApsUsePhantomRange) {
+  testing::MiniCity city;
+  const auto reports = clean_stream(city);
+  FaultProfile profile;
+  profile.ap_churn = 1.0;
+  FaultInjector injector(profile, 21);
+  const auto out = injector.apply(reports);
+  std::size_t phantoms = 0;
+  for (const auto& r : out)
+    for (const auto& reading : r.scan.readings)
+      if (reading.ap.index() >= FaultInjector::kPhantomApBase) ++phantoms;
+  EXPECT_GT(phantoms, 0u);
+  EXPECT_EQ(injector.counters().churned, out.size());
+}
+
+TEST(FaultInjector, OutageRemovesAnApEntirely) {
+  testing::MiniCity city;
+  const auto reports = clean_stream(city);
+  FaultProfile profile;
+  profile.ap_outage = 1.0;
+  FaultInjector injector(profile, 33);
+  const auto out = injector.apply(reports);
+  ASSERT_EQ(out.size(), reports.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_LE(out[i].scan.readings.size(), reports[i].scan.readings.size());
+  EXPECT_EQ(injector.counters().silenced, out.size());
+}
+
+}  // namespace
+}  // namespace wiloc::sim
