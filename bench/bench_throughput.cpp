@@ -1,0 +1,198 @@
+// Ingest throughput sweep: scans/sec and enqueue->processed latency of
+// the sharded ingest engine versus worker count and scan-stream noise.
+//
+// The full service day of the paper city is replayed as one global
+// time-ordered submission stream (every concurrent bus interleaved, the
+// way a real uplink delivers), fed through ingest_batch in fixed-size
+// batches, and timed from first submission to drain. Serial mode
+// (workers = 0, the inline pipeline) is the baseline; each threaded row
+// reports its speedup over it. Results land in BENCH_throughput.json.
+//
+// Note: parallel speedup is only observable when the machine grants the
+// process multiple CPUs — hardware_concurrency is recorded in the JSON
+// so single-CPU numbers are not misread as a scaling regression.
+//
+// Usage: bench_throughput [--smoke]
+//   --smoke: tiny sweep (serial + 2 workers, noisy only, truncated
+//            stream) for CI smoke coverage.
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "common.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace {
+
+using namespace wiloc;
+
+struct SweepRow {
+  std::size_t workers;  ///< 0 = serial inline mode
+  double noise;
+  std::size_t scans;
+  double wall_s;
+  double scans_per_sec;
+  double p50_us;
+  double p99_us;
+  double speedup;  ///< vs the serial row of the same noise level
+};
+
+/// The day's scans as one submission stream in global scan-time order
+/// (stable, so equal-time scans keep per-trip delivery order).
+std::vector<core::ScanSubmission> build_stream(
+    const std::vector<bench::LiveTrip>& day, double noise) {
+  std::vector<core::ScanSubmission> stream;
+  std::size_t j = 0;
+  for (const bench::LiveTrip& trip : day) {
+    std::vector<sim::ScanReport> reports = trip.reports;
+    if (noise > 0.0) {
+      sim::FaultInjector injector(sim::FaultProfile::uniform(noise), ++j);
+      reports = injector.apply(trip.reports);
+    }
+    for (const sim::ScanReport& report : reports)
+      stream.push_back({report.trip, report.scan});
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.scan.time < b.scan.time;
+                   });
+  return stream;
+}
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t i = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[i];
+}
+
+SweepRow run_config(const sim::City& city,
+                    const std::vector<bench::LiveTrip>& day,
+                    const std::vector<core::ScanSubmission>& stream,
+                    std::size_t workers, double noise,
+                    std::size_t batch_size) {
+  core::ServerConfig config;
+  config.engine.workers = workers;
+  config.engine.queue_capacity = 4096;
+  config.engine.record_latency = true;
+  core::WiLocatorServer server(city.route_pointers(), city.ap_snapshot(),
+                               *city.rf_model, DaySlots::paper_five_slots(),
+                               config);
+  for (const bench::LiveTrip& trip : day)
+    server.begin_trip(trip.record.id, trip.record.route);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::span<const core::ScanSubmission> rest(stream);
+  while (!rest.empty()) {
+    const std::size_t n = std::min(batch_size, rest.size());
+    server.ingest_batch(rest.first(n));
+    rest = rest.subspan(n);
+  }
+  server.drain();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (const bench::LiveTrip& trip : day) server.end_trip(trip.record.id);
+  if (!server.ingest_stats().accounted())
+    std::cerr << "WARNING: ingest accounting violated (workers=" << workers
+              << ")\n";
+
+  std::vector<double> lat = server.engine().take_latency_samples();
+  std::sort(lat.begin(), lat.end());
+  SweepRow row;
+  row.workers = workers;
+  row.noise = noise;
+  row.scans = stream.size();
+  row.wall_s = wall_s;
+  row.scans_per_sec =
+      wall_s > 0.0 ? static_cast<double>(stream.size()) / wall_s : 0.0;
+  row.p50_us = quantile(lat, 0.50) * 1e6;
+  row.p99_us = quantile(lat, 0.99) * 1e6;
+  row.speedup = 1.0;
+  return row;
+}
+
+void write_json(const std::vector<SweepRow>& rows, const char* path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"ingest_throughput\",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"note\": \"speedup is vs the serial (workers=0) row at the "
+         "same noise level; meaningful only when hardware_concurrency "
+         "exceeds the worker count\",\n"
+      << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    out << "    {\"workers\": " << r.workers << ", \"noise\": " << r.noise
+        << ", \"scans\": " << r.scans << ", \"wall_s\": " << r.wall_s
+        << ", \"scans_per_sec\": " << r.scans_per_sec
+        << ", \"p50_latency_us\": " << r.p50_us
+        << ", \"p99_latency_us\": " << r.p99_us
+        << ", \"speedup_vs_serial\": " << r.speedup << "}"
+        << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  print_banner(std::cout, smoke
+                              ? "Ingest throughput (smoke)"
+                              : "Ingest throughput vs workers and noise");
+
+  const sim::City city = sim::build_paper_city();
+  const sim::TrafficModel traffic(2016);
+  const sim::FleetPlan plan = sim::default_fleet_plan(city);
+  Rng rng(7);
+  const auto day =
+      bench::simulate_live_day(city, traffic, plan, /*day=*/1, 1000, rng);
+
+  const std::vector<std::size_t> worker_counts =
+      smoke ? std::vector<std::size_t>{0, 2}
+            : std::vector<std::size_t>{0, 1, 2, 4, 8};
+  const std::vector<double> noise_levels =
+      smoke ? std::vector<double>{0.15} : std::vector<double>{0.0, 0.15};
+  const std::size_t batch_size = 512;
+
+  TablePrinter table({"noise %", "workers", "scans", "wall (s)",
+                      "scans/sec", "p50 (us)", "p99 (us)", "speedup"});
+  std::vector<SweepRow> rows;
+  for (const double noise : noise_levels) {
+    auto stream = build_stream(day, noise);
+    if (smoke && stream.size() > 4000) stream.resize(4000);
+    double serial_sps = 0.0;
+    for (const std::size_t workers : worker_counts) {
+      SweepRow row =
+          run_config(city, day, stream, workers, noise, batch_size);
+      if (workers == 0) serial_sps = row.scans_per_sec;
+      if (serial_sps > 0.0) row.speedup = row.scans_per_sec / serial_sps;
+      rows.push_back(row);
+      table.add_row({TablePrinter::num(100.0 * noise, 0),
+                     std::to_string(row.workers),
+                     std::to_string(row.scans),
+                     TablePrinter::num(row.wall_s, 3),
+                     TablePrinter::num(row.scans_per_sec, 0),
+                     TablePrinter::num(row.p50_us, 1),
+                     TablePrinter::num(row.p99_us, 1),
+                     TablePrinter::num(row.speedup, 2)});
+    }
+  }
+  table.print(std::cout);
+
+  const char* path = "BENCH_throughput.json";
+  write_json(rows, path);
+  std::cout << "\nwrote " << path << " (hardware_concurrency="
+            << std::thread::hardware_concurrency() << ")\n";
+  return 0;
+}

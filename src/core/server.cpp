@@ -11,6 +11,8 @@ WiLocatorServer::WiLocatorServer(
     std::vector<rf::AccessPoint> aps, const rf::LogDistanceModel& model,
     DaySlots slots, ServerConfig config)
     : config_(config),
+      engine_(std::make_unique<IngestEngine>(config.filter, config.ingest,
+                                             config.engine)),
       store_(std::move(slots)),
       predictor_(store_, config.predictor),
       traffic_builder_(store_, predictor_, config.traffic) {
@@ -25,6 +27,8 @@ WiLocatorServer::WiLocatorServer(
 WiLocatorServer::WiLocatorServer(std::vector<RouteIndex> bindings,
                                  DaySlots slots, ServerConfig config)
     : config_(config),
+      engine_(std::make_unique<IngestEngine>(config.filter, config.ingest,
+                                             config.engine)),
       store_(std::move(slots)),
       predictor_(store_, config.predictor),
       traffic_builder_(store_, predictor_, config.traffic) {
@@ -44,6 +48,8 @@ void WiLocatorServer::adopt_route(
   rt.index = std::move(index);
   rt.positioner =
       std::make_unique<SvdPositioner>(*rt.index, config_.positioner);
+  engine_->bind_route(route.id(),
+                      {rt.route, rt.index.get(), rt.positioner.get()});
   routes_.emplace(route.id(), std::move(rt));
 }
 
@@ -55,87 +61,66 @@ void WiLocatorServer::finalize_history() { store_.finalize_history(); }
 
 void WiLocatorServer::begin_trip(roadnet::TripId trip,
                                  roadnet::RouteId route) {
-  const RouteRuntime& rt = runtime_for(route);
-  if (trips_.count(trip) != 0)
-    throw StateError("trip " + std::to_string(trip.value()) +
-                     " already registered");
-  TripRuntime tr;
-  tr.route = route;
-  tr.tracker = std::make_unique<BusTracker>(*rt.route, *rt.positioner,
-                                            config_.filter);
-  tr.guard = std::make_unique<IngestGuard>(*tr.tracker, *rt.index,
-                                           config_.ingest);
-  trips_.emplace(trip, std::move(tr));
+  runtime_for(route);  // throws NotFound before touching the engine
+  engine_->begin_trip(trip, route);
 }
 
 bool WiLocatorServer::has_trip(roadnet::TripId trip) const {
-  return trips_.count(trip) != 0;
+  return engine_->has_trip(trip);
 }
 
 IngestResult WiLocatorServer::ingest(roadnet::TripId trip,
                                      const rf::WifiScan& scan) {
-  const auto it = trips_.find(trip);
-  if (it == trips_.end()) {
-    ++orphan_stats_.submitted;
-    ++orphan_stats_.rejected_by_reason[static_cast<std::size_t>(
-        RejectReason::unknown_trip)];
-    return {IngestStatus::rejected, RejectReason::unknown_trip,
-            std::nullopt, 0};
-  }
-  if (!it->second.active) {
-    ++orphan_stats_.submitted;
-    ++orphan_stats_.rejected_by_reason[static_cast<std::size_t>(
-        RejectReason::closed_trip)];
-    return {IngestStatus::rejected, RejectReason::closed_trip,
-            std::nullopt, 0};
-  }
-  IngestResult result = it->second.guard->submit(scan);
-  harvest_segments(it->second);
+  const IngestResult result = engine_->ingest(trip, scan);
+  publish_pending();
   return result;
 }
 
-void WiLocatorServer::harvest_segments(TripRuntime& tr) {
-  for (const TravelObservation& obs : tr.tracker->drain_segments())
+BatchIngestResult WiLocatorServer::ingest_batch(
+    std::span<const ScanSubmission> batch) {
+  const BatchIngestResult result = engine_->ingest_batch(batch);
+  publish_pending();
+  return result;
+}
+
+void WiLocatorServer::drain() {
+  engine_->drain();
+  publish_pending();
+}
+
+void WiLocatorServer::publish_pending() const {
+  for (const TravelObservation& obs : engine_->take_ready_observations())
     store_.add_recent(obs);
 }
 
 void WiLocatorServer::flush_trip(roadnet::TripId trip) {
-  const auto it = trips_.find(trip);
-  if (it == trips_.end())
-    throw NotFound("unknown trip " + std::to_string(trip.value()));
-  it->second.guard->flush();
-  harvest_segments(it->second);
+  engine_->flush_trip(trip);
+  publish_pending();
 }
 
 void WiLocatorServer::end_trip(roadnet::TripId trip) {
-  const auto it = trips_.find(trip);
-  if (it == trips_.end())
-    throw NotFound("unknown trip " + std::to_string(trip.value()));
-  if (it->second.active) {
-    it->second.guard->flush();
-    harvest_segments(it->second);
-  }
-  it->second.active = false;
+  engine_->end_trip(trip);
+  publish_pending();
 }
 
 std::optional<double> WiLocatorServer::position(
     roadnet::TripId trip) const {
-  return tracker(trip).current_offset();
+  return engine_->position(trip);
 }
 
 std::optional<SimTime> WiLocatorServer::eta(roadnet::TripId trip,
                                             std::size_t stop_index,
                                             SimTime now) const {
-  const auto it = trips_.find(trip);
-  if (it == trips_.end())
-    throw NotFound("unknown trip " + std::to_string(trip.value()));
-  const auto offset = it->second.tracker->current_offset();
+  const auto offset = engine_->position(trip);  // throws on unknown trip
   if (!offset.has_value()) return std::nullopt;
-  const roadnet::BusRoute& route = *runtime_for(it->second.route).route;
+  publish_pending();
+  const roadnet::BusRoute& route =
+      *runtime_for(engine_->route_of(trip)).route;
   return predictor_.predict_arrival(route, *offset, now, stop_index);
 }
 
 TrafficMap WiLocatorServer::traffic_map(SimTime now) const {
+  publish_pending();
   std::vector<roadnet::EdgeId> edges;
   for (const auto& [id, rt] : routes_)
     edges.insert(edges.end(), rt.route->edges().begin(),
@@ -147,26 +132,19 @@ TrafficMap WiLocatorServer::traffic_map(SimTime now) const {
 
 std::vector<Anomaly> WiLocatorServer::anomalies(
     roadnet::TripId trip) const {
-  const auto it = trips_.find(trip);
-  if (it == trips_.end())
-    throw NotFound("unknown trip " + std::to_string(trip.value()));
-  const roadnet::BusRoute& route = *runtime_for(it->second.route).route;
+  const std::vector<Fix> fixes = engine_->fixes(trip);
+  const roadnet::BusRoute& route =
+      *runtime_for(engine_->route_of(trip)).route;
   const AnomalyDetector detector(route, config_.typical_scan_distance_m);
-  return detector.detect(it->second.tracker->fixes());
+  return detector.detect(fixes);
 }
 
-const IngestStats& WiLocatorServer::trip_ingest_stats(
-    roadnet::TripId trip) const {
-  const auto it = trips_.find(trip);
-  if (it == trips_.end())
-    throw NotFound("unknown trip " + std::to_string(trip.value()));
-  return it->second.guard->stats();
+IngestStats WiLocatorServer::trip_ingest_stats(roadnet::TripId trip) const {
+  return engine_->trip_stats(trip);
 }
 
 IngestStats WiLocatorServer::ingest_stats() const {
-  IngestStats total = orphan_stats_;
-  for (const auto& [id, tr] : trips_) total += tr.guard->stats();
-  return total;
+  return engine_->total_stats();
 }
 
 const svd::PositioningIndex& WiLocatorServer::index_for(
@@ -175,10 +153,7 @@ const svd::PositioningIndex& WiLocatorServer::index_for(
 }
 
 const BusTracker& WiLocatorServer::tracker(roadnet::TripId trip) const {
-  const auto it = trips_.find(trip);
-  if (it == trips_.end())
-    throw NotFound("unknown trip " + std::to_string(trip.value()));
-  return *it->second.tracker;
+  return engine_->tracker(trip);
 }
 
 const roadnet::BusRoute& WiLocatorServer::route(roadnet::RouteId id) const {

@@ -7,14 +7,25 @@
 //   queries: live position, ETA at a stop, traffic map, anomalies.
 //
 // Offline phase: load historical travel times (weeks of data), finalize.
-// Online phase: begin trips, ingest scan reports in time order, query.
+// Online phase: begin trips, ingest scan reports, query.
+//
+// Scan processing is delegated to a sharded IngestEngine. With the
+// default config (engine.workers == 0) every call runs inline on the
+// caller thread — the serial pipeline, byte-identical to the historical
+// single-threaded server. With engine.workers >= 1 scans are processed
+// by a worker pool (trips hash to shards; per-trip order is preserved)
+// and ingest_batch() becomes the high-throughput entry point. Queries
+// are safe from one control thread concurrent with the workers; after
+// drain() the state is identical to the serial run of the same
+// submission sequence.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <unordered_map>
 
 #include "core/anomaly.hpp"
-#include "core/ingest_guard.hpp"
+#include "core/ingest_engine.hpp"
 #include "core/predictor.hpp"
 #include "core/tracker.hpp"
 #include "core/traffic_map.hpp"
@@ -29,6 +40,7 @@ struct ServerConfig {
   PredictorOptions predictor;
   TrafficMapParams traffic;
   IngestGuardParams ingest;  ///< per-trip scan-stream guard
+  IngestEngineParams engine; ///< sharding / worker pool (0 = serial)
   double typical_scan_distance_m = 70.0;  ///< anomaly delta basis
 };
 
@@ -73,7 +85,20 @@ class WiLocatorServer {
   /// observations into the recent store. Never throws on malformed
   /// scans, unknown trips, closed trips, or out-of-order input — the
   /// outcome is reported in the IngestResult and in the health counters.
+  /// In threaded mode the call waits for the scan to be processed (it is
+  /// ordered after everything already queued on the trip's shard).
   IngestResult ingest(roadnet::TripId trip, const rf::WifiScan& scan);
+
+  /// High-throughput entry point: enqueues a batch of scans across the
+  /// engine's shards and returns without waiting for processing. Per-
+  /// scan outcomes land in the IngestStats; the batch result reports
+  /// backpressure drops (only possible when engine.block_on_full is
+  /// false). In serial mode the batch is processed inline.
+  BatchIngestResult ingest_batch(std::span<const ScanSubmission> batch);
+
+  /// Blocks until every submitted scan has been processed. After this,
+  /// state is byte-identical to a serial server fed the same sequence.
+  void drain();
 
   /// Releases the trip's reorder buffer into its tracker (e.g. before a
   /// query that must see every scan submitted so far).
@@ -98,22 +123,31 @@ class WiLocatorServer {
   /// Anomaly windows detected on the trip's trajectory so far.
   std::vector<Anomaly> anomalies(roadnet::TripId trip) const;
 
-  /// Ingest health counters of one trip.
-  const IngestStats& trip_ingest_stats(roadnet::TripId trip) const;
+  /// Ingest health counters of one trip (snapshot copy).
+  IngestStats trip_ingest_stats(roadnet::TripId trip) const;
 
   /// Server-wide ingest health: every per-trip counter plus the
   /// unknown-trip / closed-trip rejections that never reached a guard.
-  /// accounted() holds on the aggregate at all times.
+  /// accounted() holds on the aggregate whenever the engine is idle.
   IngestStats ingest_stats() const;
 
   // -- component access (benches, tests) ---------------------------------
 
   const svd::PositioningIndex& index_for(roadnet::RouteId route) const;
+  /// Requires a drained engine in threaded mode.
   const BusTracker& tracker(roadnet::TripId trip) const;
-  TravelTimeStore& store() { return store_; }
-  const TravelTimeStore& store() const { return store_; }
+  TravelTimeStore& store() {
+    publish_pending();
+    return store_;
+  }
+  const TravelTimeStore& store() const {
+    publish_pending();
+    return store_;
+  }
   const ArrivalPredictor& predictor() const { return predictor_; }
   const roadnet::BusRoute& route(roadnet::RouteId id) const;
+  const IngestEngine& engine() const { return *engine_; }
+  IngestEngine& engine() { return *engine_; }
 
  private:
   struct RouteRuntime {
@@ -124,23 +158,18 @@ class WiLocatorServer {
 
   void adopt_route(const roadnet::BusRoute& route,
                    std::unique_ptr<svd::PositioningIndex> index);
-  struct TripRuntime {
-    roadnet::RouteId route;
-    std::unique_ptr<BusTracker> tracker;
-    std::unique_ptr<IngestGuard> guard;
-    bool active = true;
-  };
-
   const RouteRuntime& runtime_for(roadnet::RouteId route) const;
-  void harvest_segments(TripRuntime& tr);
+  /// Moves order-finalized segment observations from the engine into the
+  /// recent store (serial submission order). Cheap when nothing is
+  /// pending. const because read-side queries trigger it lazily.
+  void publish_pending() const;
 
   ServerConfig config_;
   std::unordered_map<roadnet::RouteId, RouteRuntime> routes_;
-  std::unordered_map<roadnet::TripId, TripRuntime> trips_;
-  TravelTimeStore store_;
+  std::unique_ptr<IngestEngine> engine_;
+  mutable TravelTimeStore store_;
   ArrivalPredictor predictor_;
   TrafficMapBuilder traffic_builder_;
-  IngestStats orphan_stats_;  ///< unknown-/closed-trip rejections
 };
 
 }  // namespace wiloc::core

@@ -10,41 +10,48 @@ std::vector<std::vector<rf::ApId>> expand_tied_rankings(
     const rf::WifiScan& scan, std::size_t depth, std::size_t max_rankings) {
   WILOC_EXPECTS(max_rankings >= 1);
   std::vector<std::vector<rf::ApId>> rankings;
+  rankings.reserve(max_rankings);
   rankings.emplace_back();  // start with one empty ranking
+  rankings.front().reserve(scan.readings.size());
 
   const auto& readings = scan.readings;
   std::size_t i = 0;
   while (i < readings.size()) {
-    // Find the tie group [i, j) of equal quantized RSSI.
+    // Find the tie group [i, j) of equal quantized RSSI. The readings
+    // themselves are the group; no side copy is needed.
     std::size_t j = i + 1;
     while (j < readings.size() &&
            readings[j].rssi_dbm == readings[i].rssi_dbm)
       ++j;
-    std::vector<rf::ApId> group;
-    group.reserve(j - i);
-    for (std::size_t k = i; k < j; ++k) group.push_back(readings[k].ap);
+    const std::size_t group_size = j - i;
 
-    const bool expand =
-        i < depth && group.size() > 1 &&
-        rankings.size() * group.size() <= max_rankings;
+    const bool expand = i < depth && group_size > 1 &&
+                        rankings.size() * group_size <= max_rankings;
     if (expand) {
       // Branch on every rotation of the group (full permutations explode
       // factorially; rotations cover each member appearing first, which
-      // is what matters for tile selection).
+      // is what matters for tile selection). The last rotation reuses the
+      // base's storage, so the common tie pair costs one copy, not two.
       std::vector<std::vector<rf::ApId>> next;
-      next.reserve(rankings.size() * group.size());
-      for (const auto& base : rankings) {
-        for (std::size_t rot = 0; rot < group.size(); ++rot) {
-          auto extended = base;
-          for (std::size_t k = 0; k < group.size(); ++k)
-            extended.push_back(group[(rot + k) % group.size()]);
+      next.reserve(rankings.size() * group_size);
+      for (auto& base : rankings) {
+        const std::size_t base_size = base.size();
+        for (std::size_t rot = 0; rot + 1 < group_size; ++rot) {
+          std::vector<rf::ApId> extended;
+          extended.reserve(base_size + (readings.size() - i));
+          extended.assign(base.begin(), base.end());
+          for (std::size_t k = 0; k < group_size; ++k)
+            extended.push_back(readings[i + (rot + k) % group_size].ap);
           next.push_back(std::move(extended));
         }
+        for (std::size_t k = 0; k < group_size; ++k)
+          base.push_back(readings[i + (group_size - 1 + k) % group_size].ap);
+        next.push_back(std::move(base));
       }
       rankings = std::move(next);
     } else {
       for (auto& base : rankings)
-        base.insert(base.end(), group.begin(), group.end());
+        for (std::size_t k = i; k < j; ++k) base.push_back(readings[k].ap);
     }
     i = j;
   }

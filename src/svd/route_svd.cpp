@@ -65,6 +65,19 @@ RouteSvd::RouteSvd(const roadnet::BusRoute& route,
 
   for (std::uint32_t i = 0; i < intervals_.size(); ++i)
     by_signature_[intervals_[i].signature].push_back(i);
+
+  // Inverted AP -> interval index for the degraded locate path. Interval
+  // ids are appended in ascending order, so each list is sorted.
+  postings_.resize(known_aps_.size());
+  for (std::uint32_t i = 0; i < intervals_.size(); ++i)
+    for (const rf::ApId ap : intervals_[i].signature.aps())
+      postings_[ap.index()].push_back(i);
+}
+
+const std::vector<std::uint32_t>& RouteSvd::postings_for(rf::ApId ap) const {
+  static const std::vector<std::uint32_t> kEmpty;
+  if (ap.index() >= postings_.size()) return kEmpty;
+  return postings_[ap.index()];
 }
 
 const RankSignature& RouteSvd::signature_at(double route_offset) const {
@@ -89,12 +102,32 @@ bool RouteSvd::knows_ap(rf::ApId ap) const {
   return ap.index() < known_aps_.size() && known_aps_[ap.index()];
 }
 
+namespace {
+
+// Per-thread scratch for locate(): reused across calls (and across
+// RouteSvd instances) to keep the hot path allocation-free. The stamp
+// array implements an epoch-marked membership set over interval ids; the
+// epoch strictly increases per call, so stale marks never collide.
+struct LocateScratch {
+  std::vector<rf::ApId> filtered;
+  std::vector<std::uint32_t> candidates;
+  std::vector<std::uint64_t> stamp;
+  std::uint64_t epoch = 0;
+  std::vector<std::pair<double, std::uint32_t>> scored;
+};
+
+thread_local LocateScratch locate_scratch;
+
+}  // namespace
+
 std::vector<Candidate> RouteSvd::locate(
     const std::vector<rf::ApId>& observed) const {
+  LocateScratch& scratch = locate_scratch;
+
   // Restrict the observation to APs the diagram was built from; unknown
   // (newly appeared) APs cannot be matched and only distort the ranking.
-  std::vector<rf::ApId> filtered;
-  filtered.reserve(observed.size());
+  std::vector<rf::ApId>& filtered = scratch.filtered;
+  filtered.clear();
   for (const rf::ApId ap : observed)
     if (knows_ap(ap)) filtered.push_back(ap);
   if (filtered.empty()) return {};
@@ -111,19 +144,49 @@ std::vector<Candidate> RouteSvd::locate(
     return out;
   }
 
-  // Degraded path (noise flipped a rank, or an AP died): score every
-  // interval's signature against the full observed ranking.
-  std::vector<std::pair<double, std::uint32_t>> scored;
-  scored.reserve(intervals_.size());
-  for (std::uint32_t i = 0; i < intervals_.size(); ++i) {
-    const double s = rank_consistency(filtered, intervals_[i].signature);
-    if (s >= params_.min_fallback_score) scored.emplace_back(s, i);
+  // Degraded path (noise flipped a rank, or an AP died): score candidate
+  // intervals against the full observed ranking. An interval sharing no
+  // AP with the observation scores exactly 0, so when the fallback floor
+  // is positive the union of the observed APs' posting lists is a lossless
+  // prefilter; a zero floor admits zero-score intervals and needs the
+  // full scan.
+  std::vector<std::pair<double, std::uint32_t>>& scored = scratch.scored;
+  scored.clear();
+  if (params_.min_fallback_score > 0.0) {
+    std::vector<std::uint32_t>& candidates = scratch.candidates;
+    candidates.clear();
+    if (scratch.stamp.size() < intervals_.size())
+      scratch.stamp.resize(intervals_.size(), 0);
+    const std::uint64_t epoch = ++scratch.epoch;
+    for (const rf::ApId ap : filtered)
+      for (const std::uint32_t idx : postings_[ap.index()])
+        if (scratch.stamp[idx] != epoch) {
+          scratch.stamp[idx] = epoch;
+          candidates.push_back(idx);
+        }
+    for (const std::uint32_t idx : candidates) {
+      const double s = rank_consistency(filtered, intervals_[idx].signature);
+      if (s >= params_.min_fallback_score) scored.emplace_back(s, idx);
+    }
+  } else {
+    for (std::uint32_t i = 0; i < intervals_.size(); ++i) {
+      const double s = rank_consistency(filtered, intervals_[i].signature);
+      if (s >= params_.min_fallback_score) scored.emplace_back(s, i);
+    }
   }
-  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+
+  // Only the top max_candidates are returned; a bounded partial sort
+  // beats sorting the whole candidate set. The comparator is a total
+  // order (ties broken by interval id), so the result is identical to a
+  // full sort regardless of the candidate enumeration order.
+  const std::size_t take = std::min(params_.max_candidates, scored.size());
+  const auto by_score = [](const auto& a, const auto& b) {
     if (a.first != b.first) return a.first > b.first;
     return a.second < b.second;
-  });
-  const std::size_t take = std::min(params_.max_candidates, scored.size());
+  };
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(take),
+                    scored.end(), by_score);
   out.reserve(take);
   for (std::size_t i = 0; i < take; ++i)
     out.push_back({intervals_[scored[i].second].mid(), scored[i].first});

@@ -6,8 +6,11 @@
 // signature of each sample from the expected RSS field, and coalesces
 // equal-signature runs into intervals: the road sub-segments e_ij of
 // Definition 5, computed directly. Locating a scan is then a hash lookup
-// (exact signature) or a consistency-scored scan over intervals (noisy /
-// degraded signature, e.g. after an AP dies).
+// (exact signature) or, for a noisy / degraded signature (e.g. after an
+// AP dies), a consistency scoring pass over the candidate intervals
+// prefiltered through an inverted AP -> interval posting-list index.
+// locate() is const and safe to call concurrently from many threads
+// (scratch state is thread-local).
 #pragma once
 
 #include <unordered_map>
@@ -56,6 +59,12 @@ class RouteSvd final : public PositioningIndex {
   /// Mean interval length (m): the resolution positioning can achieve.
   double mean_interval_length() const;
 
+  /// Inverted index: ids (ascending) of the intervals whose signature
+  /// contains the AP. Empty for APs outside the construction set. The
+  /// degraded locate path unions these posting lists to prefilter the
+  /// candidate intervals instead of scoring the whole route.
+  const std::vector<std::uint32_t>& postings_for(rf::ApId ap) const;
+
   std::vector<Candidate> locate(
       const std::vector<rf::ApId>& observed) const override;
 
@@ -72,6 +81,8 @@ class RouteSvd final : public PositioningIndex {
                      RankSignatureHash>
       by_signature_;
   std::vector<bool> known_aps_;
+  /// ap.index() -> interval ids (ascending) whose signature contains it.
+  std::vector<std::vector<std::uint32_t>> postings_;
 };
 
 }  // namespace wiloc::svd

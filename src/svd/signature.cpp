@@ -64,27 +64,38 @@ double rank_consistency(const std::vector<rf::ApId>& observed,
   if (signature.empty() || observed.empty()) return 0.0;
 
   // Position of each signature AP in the observed ranking (-1 = unheard).
-  std::vector<std::ptrdiff_t> obs_pos(signature.order(), -1);
-  for (std::size_t i = 0; i < signature.order(); ++i) {
+  // Signatures are short (order k); a stack buffer keeps the scorer
+  // allocation-free on the locate hot path, with a heap fallback for
+  // unusually long signatures.
+  constexpr std::size_t kStackOrder = 16;
+  std::ptrdiff_t stack_pos[kStackOrder];
+  std::vector<std::ptrdiff_t> heap_pos;
+  std::ptrdiff_t* obs_pos = stack_pos;
+  const std::size_t order = signature.order();
+  if (order > kStackOrder) {
+    heap_pos.resize(order);
+    obs_pos = heap_pos.data();
+  }
+  for (std::size_t i = 0; i < order; ++i) {
     const auto it =
         std::find(observed.begin(), observed.end(), signature.at(i));
-    if (it != observed.end()) obs_pos[i] = it - observed.begin();
+    obs_pos[i] = it != observed.end() ? it - observed.begin() : -1;
   }
 
   std::size_t heard = 0;
-  for (const auto p : obs_pos)
-    if (p >= 0) ++heard;
+  for (std::size_t i = 0; i < order; ++i)
+    if (obs_pos[i] >= 0) ++heard;
   if (heard == 0) return 0.0;
 
   const double coverage =
-      static_cast<double>(heard) / static_cast<double>(signature.order());
+      static_cast<double>(heard) / static_cast<double>(order);
 
   // Pairwise order agreement over the heard APs.
   std::size_t pairs = 0;
   std::size_t concordant = 0;
-  for (std::size_t i = 0; i < obs_pos.size(); ++i) {
+  for (std::size_t i = 0; i < order; ++i) {
     if (obs_pos[i] < 0) continue;
-    for (std::size_t j = i + 1; j < obs_pos.size(); ++j) {
+    for (std::size_t j = i + 1; j < order; ++j) {
       if (obs_pos[j] < 0) continue;
       ++pairs;
       if (obs_pos[i] < obs_pos[j]) ++concordant;

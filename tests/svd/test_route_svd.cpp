@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 namespace wiloc::svd {
@@ -187,6 +188,120 @@ TEST(RouteSvd, RouteLengthAccessor) {
   const RouteFixture f;
   const RouteSvd svd(f.route(), f.aps, f.model, {});
   EXPECT_DOUBLE_EQ(svd.route_length(), 1000.0);
+}
+
+TEST(RouteSvd, PostingListsInvertTheIntervalSignatures) {
+  const RouteFixture f;
+  RouteSvdParams params;
+  params.order = 3;
+  const RouteSvd svd(f.route(), f.aps, f.model, params);
+  const auto& intervals = svd.intervals();
+
+  // Every (interval, signature AP) pair appears in that AP's posting
+  // list, and lists are strictly ascending (each interval id once).
+  std::size_t expected_postings = 0;
+  for (std::uint32_t i = 0; i < intervals.size(); ++i) {
+    expected_postings += intervals[i].signature.order();
+    for (const ApId ap : intervals[i].signature.aps()) {
+      const auto& list = svd.postings_for(ap);
+      EXPECT_TRUE(std::binary_search(list.begin(), list.end(), i))
+          << "interval " << i << " missing from postings of AP "
+          << ap.value();
+    }
+  }
+  std::size_t total_postings = 0;
+  for (const auto& ap : f.aps) {
+    const auto& list = svd.postings_for(ap.id);
+    EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+    EXPECT_EQ(std::adjacent_find(list.begin(), list.end()), list.end());
+    for (const std::uint32_t idx : list) {
+      ASSERT_LT(idx, intervals.size());
+      // Round trip: the interval's signature really contains the AP.
+      const auto& aps = intervals[idx].signature.aps();
+      EXPECT_NE(std::find(aps.begin(), aps.end(), ap.id), aps.end());
+    }
+    total_postings += list.size();
+  }
+  EXPECT_EQ(total_postings, expected_postings);
+}
+
+TEST(RouteSvd, PostingsForForeignApIsEmpty) {
+  const RouteFixture f;
+  const RouteSvd svd(f.route(), f.aps, f.model, {});
+  EXPECT_TRUE(svd.postings_for(ApId(999)).empty());  // out of range
+  // An AP that exists but was never audible anywhere still answers.
+  EXPECT_LE(svd.postings_for(ApId(0)).size(), svd.intervals().size());
+}
+
+TEST(RouteSvd, PrefilteredLocateMatchesExhaustiveScoring) {
+  // The posting-list prefilter must be invisible: for any observation,
+  // locate() equals the reference that scores every interval.
+  const RouteFixture f;
+  RouteSvdParams params;
+  params.order = 3;
+  const RouteSvd svd(f.route(), f.aps, f.model, params);
+
+  const auto reference = [&](const std::vector<ApId>& observed) {
+    std::vector<std::pair<double, std::uint32_t>> scored;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(svd.intervals().size()); ++i) {
+      const double s =
+          rank_consistency(observed, svd.intervals()[i].signature);
+      if (s >= params.min_fallback_score) scored.emplace_back(s, i);
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    if (scored.size() > params.max_candidates)
+      scored.resize(params.max_candidates);
+    std::vector<Candidate> out;
+    for (const auto& [s, i] : scored)
+      out.push_back({svd.intervals()[i].mid(), s});
+    return out;
+  };
+
+  // Degraded observations: each interval's signature minus its strongest
+  // AP (guaranteed hash miss), plus a few scrambled rankings.
+  std::vector<std::vector<ApId>> probes;
+  for (const auto& interval : svd.intervals()) {
+    if (interval.signature.order() < 3) continue;
+    const auto& aps = interval.signature.aps();
+    probes.emplace_back(aps.begin() + 1, aps.end());
+  }
+  probes.push_back({ApId(9), ApId(0), ApId(5)});
+  probes.push_back({ApId(3), ApId(7)});
+  ASSERT_FALSE(probes.empty());
+
+  for (const auto& observed : probes) {
+    const auto got = svd.locate(observed);
+    const auto want = reference(observed);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got[i].route_offset, want[i].route_offset);
+      EXPECT_DOUBLE_EQ(got[i].score, want[i].score);
+    }
+  }
+}
+
+TEST(RouteSvd, DeadApDegradedSignatureStillFoundThroughPrefilter) {
+  // All observed APs lost their strongest neighbour: the posting union
+  // still contains the true interval, so locate() finds it.
+  const RouteFixture f;
+  RouteSvdParams params;
+  params.order = 3;
+  const RouteSvd svd(f.route(), f.aps, f.model, params);
+  for (const auto& interval : svd.intervals()) {
+    if (interval.signature.order() < 3) continue;
+    const auto& aps = interval.signature.aps();
+    const std::vector<ApId> degraded(aps.begin() + 1, aps.end());
+    const auto candidates = svd.locate(degraded);
+    ASSERT_FALSE(candidates.empty());
+    bool found = false;
+    for (const auto& c : candidates)
+      if (std::abs(c.route_offset - interval.mid()) < 1e-9) found = true;
+    EXPECT_TRUE(found) << "interval at " << interval.mid();
+  }
 }
 
 }  // namespace
