@@ -75,7 +75,7 @@ SweepRow run_config(const sim::City& city,
                     const std::vector<bench::LiveTrip>& day,
                     const std::vector<core::ScanSubmission>& stream,
                     std::size_t workers, double noise,
-                    std::size_t batch_size) {
+                    std::size_t batch_size, std::string* metrics_json) {
   core::ServerConfig config;
   config.engine.workers = workers;
   config.engine.queue_capacity = 4096;
@@ -102,6 +102,8 @@ SweepRow run_config(const sim::City& city,
   if (!server.ingest_stats().accounted())
     std::cerr << "WARNING: ingest accounting violated (workers=" << workers
               << ")\n";
+
+  if (metrics_json != nullptr) *metrics_json = server.metrics_snapshot().json();
 
   std::vector<double> lat = server.engine().take_latency_samples();
   std::sort(lat.begin(), lat.end());
@@ -168,13 +170,14 @@ int main(int argc, char** argv) {
   TablePrinter table({"noise %", "workers", "scans", "wall (s)",
                       "scans/sec", "p50 (us)", "p99 (us)", "speedup"});
   std::vector<SweepRow> rows;
+  std::string metrics_json;  // pipeline metrics of the last sweep config
   for (const double noise : noise_levels) {
     auto stream = build_stream(day, noise);
     if (smoke && stream.size() > 4000) stream.resize(4000);
     double serial_sps = 0.0;
     for (const std::size_t workers : worker_counts) {
-      SweepRow row =
-          run_config(city, day, stream, workers, noise, batch_size);
+      SweepRow row = run_config(city, day, stream, workers, noise,
+                                batch_size, &metrics_json);
       if (workers == 0) serial_sps = row.scans_per_sec;
       if (serial_sps > 0.0) row.speedup = row.scans_per_sec / serial_sps;
       rows.push_back(row);
@@ -192,7 +195,12 @@ int main(int argc, char** argv) {
 
   const char* path = "BENCH_throughput.json";
   write_json(rows, path);
-  std::cout << "\nwrote " << path << " (hardware_concurrency="
+  // Full obs-registry snapshot of the last config, for post-hoc digging
+  // (reject breakdown, queue-depth / latency histograms, locate paths).
+  const char* metrics_path = "BENCH_throughput_metrics.json";
+  std::ofstream(metrics_path) << metrics_json << "\n";
+  std::cout << "\nwrote " << path << " and " << metrics_path
+            << " (hardware_concurrency="
             << std::thread::hardware_concurrency() << ")\n";
   return 0;
 }

@@ -15,6 +15,7 @@
 
 #include <cmath>
 #include <iostream>
+#include <optional>
 
 #include "core/server.hpp"
 #include "sim/city.hpp"
@@ -35,15 +36,26 @@ struct RunResult {
 RunResult run_faulted(const sim::City& city, const sim::TripRecord& record,
                       const std::vector<sim::ScanReport>& reports,
                       roadnet::TripId trip, double fault_rate,
-                      std::uint64_t seed) {
+                      std::uint64_t seed,
+                      std::ostream* metrics_out = nullptr) {
   core::WiLocatorServer server(city.route_pointers(), city.ap_snapshot(),
                                *city.rf_model,
                                DaySlots::paper_five_slots());
+  // Optional periodic metrics stream: one NDJSON snapshot line per ~5
+  // sim-minutes of scan time, the /metrics-style feed a deployment would
+  // scrape from the serving loop.
+  std::optional<obs::Reporter> reporter;
+  if (metrics_out != nullptr)
+    reporter.emplace(server.metrics_registry(), *metrics_out,
+                     obs::ReporterOptions{.period_s = 300.0});
+
   server.begin_trip(trip, record.route);
 
   sim::FaultInjector injector(sim::FaultProfile::uniform(fault_rate), seed);
-  for (const auto& report : injector.apply(reports))
+  for (const auto& report : injector.apply(reports)) {
     server.ingest(trip, report.scan);
+    if (reporter.has_value()) reporter->maybe_report(report.scan.time);
+  }
   server.end_trip(trip);
 
   RunResult result;
@@ -107,6 +119,11 @@ int main() {
       std::cout << "WARNING: accounting violated at rate " << rate << "\n";
   }
   table.print(std::cout);
+
+  std::cout << "\nLive metrics stream (20% faults, one NDJSON snapshot "
+               "per 5 sim-minutes):\n";
+  run_faulted(city, record, reports, roadnet::TripId(1), 0.20, 21,
+              &std::cout);
 
   std::cout << "\nEvery submitted scan is accounted for "
                "(accepted + rejected + deferred == submitted), no ingest "

@@ -20,13 +20,30 @@ std::uint64_t mix(std::uint64_t x) {
 
 IngestEngine::IngestEngine(MobilityFilterParams filter,
                            IngestGuardParams guard,
-                           IngestEngineParams params)
-    : filter_params_(filter), guard_params_(guard), params_(params) {
+                           IngestEngineParams params, ObsHooks hooks)
+    : filter_params_(filter),
+      guard_params_(guard),
+      params_(params),
+      hooks_(hooks) {
   WILOC_EXPECTS(params_.queue_capacity >= 1);
   const std::size_t n = params_.workers == 0 ? 1 : params_.workers;
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
     shards_.push_back(std::make_unique<Shard>());
+  if (obs::Registry* reg = hooks_.registry) {
+    guard_metrics_ = GuardMetrics::registered(*reg);
+    m_enqueued_ = &reg->counter("engine.enqueued");
+    m_processed_ = &reg->counter("engine.processed");
+    m_backpressure_ = &reg->counter("engine.rejected_backpressure");
+    m_observations_ = &reg->counter("engine.observations");
+    m_queue_depth_ = &reg->histogram(
+        "engine.queue_depth", 0.0,
+        static_cast<double>(params_.queue_capacity), 32);
+    m_latency_us_ = &reg->histogram("engine.latency_us", 0.0, 5000.0, 50);
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+      shards_[i]->depth_gauge = &reg->gauge(
+          "engine.shard" + std::to_string(i) + ".queue_depth");
+  }
   if (threaded()) {
     for (auto& shard : shards_) {
       Shard& s = *shard;
@@ -79,6 +96,11 @@ bool IngestEngine::enqueue(Shard& shard, Job&& job) {
   const std::uint64_t seq = job.seq;
   shard.queue.push_back(std::move(job));
   ++shard.enqueued;
+  if (m_queue_depth_ != nullptr) {
+    const auto depth = static_cast<double>(shard.queue.size());
+    m_queue_depth_->record(depth);
+    shard.depth_gauge->set(depth);
+  }
   // An idle shard's frontier snaps down to the new head-of-queue. A busy
   // worker's frontier is already below any freshly assigned seq.
   if (seq < shard.frontier.load(std::memory_order_relaxed))
@@ -113,11 +135,14 @@ BatchIngestResult IngestEngine::ingest_batch(
     if (params_.record_latency) job.enqueued_at = Clock::now();
     Shard& shard = shard_of(sub.trip);
     if (!threaded()) {
+      if (m_enqueued_ != nullptr) m_enqueued_->inc();
       process(shard, job);
       ++out.enqueued;
     } else if (enqueue(shard, std::move(job))) {
+      if (m_enqueued_ != nullptr) m_enqueued_->inc();
       ++out.enqueued;
     } else {
+      if (m_backpressure_ != nullptr) m_backpressure_->inc();
       ++out.rejected_backpressure;
     }
   }
@@ -129,6 +154,7 @@ void IngestEngine::run_sync(Job job) {
   if (job.slot == nullptr) job.slot = &local;
   SyncSlot& slot = *job.slot;
   Shard& shard = shard_of(job.trip);
+  if (m_enqueued_ != nullptr && job.kind == JobKind::scan) m_enqueued_->inc();
   if (!threaded()) {
     {
       std::lock_guard<std::mutex> seq_lock(submit_mu_);
@@ -193,6 +219,7 @@ void IngestEngine::worker_loop(Shard& shard) {
         batch.push_back(std::move(shard.queue.front()));
         shard.queue.pop_front();
       }
+      if (shard.depth_gauge != nullptr) shard.depth_gauge->set(0.0);
       shard.frontier.store(batch.front().seq, std::memory_order_release);
       shard.cv_room.notify_all();
     }
@@ -226,10 +253,14 @@ void IngestEngine::process(Shard& shard, Job& job) {
     case JobKind::scan: {
       const IngestResult result = process_scan(shard, job);
       if (job.slot != nullptr) job.slot->result = result;
-      if (params_.record_latency)
-        shard.latencies_s.push_back(
+      if (m_processed_ != nullptr) m_processed_->inc();
+      if (params_.record_latency) {
+        const double dt_s =
             std::chrono::duration<double>(Clock::now() - job.enqueued_at)
-                .count());
+                .count();
+        shard.latencies_s.push_back(dt_s);
+        if (m_latency_us_ != nullptr) m_latency_us_->record(dt_s * 1e6);
+      }
       break;
     }
     case JobKind::begin: {
@@ -251,7 +282,8 @@ void IngestEngine::process(Shard& shard, Job& job) {
       tr.tracker = std::make_unique<BusTracker>(
           *rb->second.route, *rb->second.positioner, filter_params_);
       tr.guard = std::make_unique<IngestGuard>(
-          *tr.tracker, *rb->second.index, guard_params_);
+          *tr.tracker, *rb->second.index, guard_params_,
+          hooks_.registry != nullptr ? &guard_metrics_ : nullptr);
       shard.trips.emplace(job.trip, std::move(tr));
       break;
     }
@@ -268,7 +300,7 @@ void IngestEngine::process(Shard& shard, Job& job) {
       // end flushes only while the trip is still open.
       if (job.kind == JobKind::flush || it->second.active) {
         it->second.guard->flush();
-        harvest(shard, it->second, job.seq);
+        harvest(shard, job.trip, it->second, job.seq);
       }
       if (job.kind == JobKind::end) it->second.active = false;
       break;
@@ -277,11 +309,16 @@ void IngestEngine::process(Shard& shard, Job& job) {
 }
 
 IngestResult IngestEngine::process_scan(Shard& shard, const Job& job) {
+  trace(obs::TraceStage::ingest, job.seq, job.trip, job.scan.time);
   const auto it = shard.trips.find(job.trip);
   if (it == shard.trips.end()) {
     ++shard.orphan.submitted;
     ++shard.orphan.rejected_by_reason[static_cast<std::size_t>(
         RejectReason::unknown_trip)];
+    if (guard_metrics_.submitted != nullptr) {
+      guard_metrics_.submitted->inc();
+      guard_metrics_.count_rejected(RejectReason::unknown_trip);
+    }
     return {IngestStatus::rejected, RejectReason::unknown_trip,
             std::nullopt, 0};
   }
@@ -289,18 +326,29 @@ IngestResult IngestEngine::process_scan(Shard& shard, const Job& job) {
     ++shard.orphan.submitted;
     ++shard.orphan.rejected_by_reason[static_cast<std::size_t>(
         RejectReason::closed_trip)];
+    if (guard_metrics_.submitted != nullptr) {
+      guard_metrics_.submitted->inc();
+      guard_metrics_.count_rejected(RejectReason::closed_trip);
+    }
     return {IngestStatus::rejected, RejectReason::closed_trip,
             std::nullopt, 0};
   }
   const IngestResult result = it->second.guard->submit(job.scan);
-  harvest(shard, it->second, job.seq);
+  if (result.released > 0)
+    trace(obs::TraceStage::locate, job.seq, job.trip, job.scan.time);
+  if (result.fix.has_value())
+    trace(obs::TraceStage::fix, job.seq, job.trip, result.fix->time);
+  harvest(shard, job.trip, it->second, job.seq);
   return result;
 }
 
-void IngestEngine::harvest(Shard& shard, TripRuntime& trip,
-                           std::uint64_t seq) {
-  for (TravelObservation& obs : trip.tracker->drain_segments())
-    shard.pending.push_back({seq, obs});
+void IngestEngine::harvest(Shard& shard, roadnet::TripId trip_id,
+                           TripRuntime& trip, std::uint64_t seq) {
+  for (TravelObservation& obs : trip.tracker->drain_segments()) {
+    if (m_observations_ != nullptr) m_observations_->inc();
+    trace(obs::TraceStage::observe, seq, trip_id, obs.exit_time);
+    shard.pending.push_back({seq, trip_id, obs});
+  }
 }
 
 // -- drain & hand-off ----------------------------------------------------
@@ -339,7 +387,11 @@ std::vector<TravelObservation> IngestEngine::take_ready_observations() {
                    });
   std::vector<TravelObservation> out;
   out.reserve(ready.size());
-  for (TaggedObs& tagged : ready) out.push_back(tagged.obs);
+  for (TaggedObs& tagged : ready) {
+    trace(obs::TraceStage::release, tagged.seq, tagged.trip,
+          tagged.obs.exit_time);
+    out.push_back(tagged.obs);
+  }
   return out;
 }
 

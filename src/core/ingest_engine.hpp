@@ -50,6 +50,7 @@
 
 #include "core/ingest_guard.hpp"
 #include "core/tracker.hpp"
+#include "util/obs.hpp"
 
 namespace wiloc::core {
 
@@ -64,6 +65,13 @@ struct IngestEngineParams {
   std::size_t queue_capacity = 1024;  ///< waiting jobs per shard
   bool block_on_full = true;  ///< false: reject overflow (backpressure)
   bool record_latency = false;  ///< sample enqueue->processed latency
+};
+
+/// Optional observability wiring. Both pointers may be null (the engine
+/// then runs un-instrumented); when set they must outlive the engine.
+struct ObsHooks {
+  obs::Registry* registry = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Outcome of one ingest_batch call. Per-scan results are asynchronous;
@@ -86,7 +94,7 @@ class IngestEngine {
   };
 
   IngestEngine(MobilityFilterParams filter, IngestGuardParams guard,
-               IngestEngineParams params = {});
+               IngestEngineParams params = {}, ObsHooks hooks = {});
   ~IngestEngine();
 
   IngestEngine(const IngestEngine&) = delete;
@@ -180,6 +188,7 @@ class IngestEngine {
 
   struct TaggedObs {
     std::uint64_t seq;
+    roadnet::TripId trip;
     TravelObservation obs;
   };
 
@@ -210,6 +219,8 @@ class IngestEngine {
     std::deque<TaggedObs> pending;  ///< seq ascending
     std::vector<double> latencies_s;
 
+    obs::Gauge* depth_gauge = nullptr;  ///< engine.shard<k>.queue_depth
+
     std::thread worker;
   };
 
@@ -220,7 +231,14 @@ class IngestEngine {
   /// Executes one job against the shard state (locks state_mu).
   void process(Shard& shard, Job& job);
   IngestResult process_scan(Shard& shard, const Job& job);
-  void harvest(Shard& shard, TripRuntime& trip, std::uint64_t seq);
+  void harvest(Shard& shard, roadnet::TripId trip_id, TripRuntime& trip,
+               std::uint64_t seq);
+  /// Records one span event when tracing is wired and enabled.
+  void trace(obs::TraceStage stage, std::uint64_t seq, roadnet::TripId trip,
+             double t) const {
+    if (hooks_.tracer != nullptr)
+      hooks_.tracer->record({seq, trip.value(), stage, t});
+  }
   /// Routes a job to its shard and waits for completion (threaded) or
   /// runs it inline (serial). Rethrows slot errors.
   void run_sync(Job job);
@@ -231,6 +249,15 @@ class IngestEngine {
   MobilityFilterParams filter_params_;
   IngestGuardParams guard_params_;
   IngestEngineParams params_;
+  ObsHooks hooks_;
+  /// Shared ingest.* counter bundle; handles are null without a registry.
+  GuardMetrics guard_metrics_;
+  obs::Counter* m_enqueued_ = nullptr;    ///< engine.enqueued (scans)
+  obs::Counter* m_processed_ = nullptr;   ///< engine.processed (scans)
+  obs::Counter* m_backpressure_ = nullptr;  ///< engine.rejected_backpressure
+  obs::Counter* m_observations_ = nullptr;  ///< engine.observations
+  obs::HistogramMetric* m_queue_depth_ = nullptr;  ///< engine.queue_depth
+  obs::HistogramMetric* m_latency_us_ = nullptr;   ///< engine.latency_us
   std::unordered_map<roadnet::RouteId, RouteBinding> routes_;
   std::vector<std::unique_ptr<Shard>> shards_;
 

@@ -19,8 +19,7 @@ ArrivalPredictor::ArrivalPredictor(const TravelTimeStore& store,
 
 std::optional<double> ArrivalPredictor::predict_segment_time(
     roadnet::EdgeId edge, roadnet::RouteId route, SimTime t) const {
-  const DaySlots& slots = store_->slots();
-  const std::size_t slot = slots.slot_of(t);
+  const std::size_t slot = store_->slots().slot_of(t);
 
   // Th(i, j, l), falling back to the cross-route mean for this slot when
   // this particular route has no history here.
@@ -31,29 +30,16 @@ std::optional<double> ArrivalPredictor::predict_segment_time(
   double prediction = *th;
 
   if (options_.use_recent) {
-    const auto recents = store_->recent(edge, t, options_.recent_window_s,
-                                        options_.max_recent);
-    double residual_sum = 0.0;
-    std::size_t used = 0;
-    for (const TravelObservation& r : recents) {
-      if (!options_.cross_route && !(r.route == route)) continue;
-      const std::size_t r_slot = slots.slot_of(r.exit_time);
-      std::optional<double> r_th =
-          store_->historical_mean(r.edge, r.route, r_slot);
-      if (!r_th.has_value())
-        r_th = store_->historical_mean_any_route(r.edge, r_slot);
-      if (!r_th.has_value()) continue;
-      residual_sum += r.travel_time - *r_th;
-      ++used;
-    }
-    if (used > 0) {
-      double correction = residual_sum / static_cast<double>(used);
-      // Shrink thin evidence toward zero: one noisy tracked bus should
-      // not swing the estimate as much as a consistent platoon.
-      const double n = static_cast<double>(used);
-      correction *= n / (n + options_.correction_shrinkage);
+    const auto raw = correction_from_recents(
+        edge,
+        options_.cross_route ? std::nullopt
+                             : std::optional<roadnet::RouteId>(route),
+        t);
+    if (raw.has_value()) {
       const double clamp = options_.correction_clamp_frac * *th;
-      correction = std::clamp(correction, -clamp, clamp);
+      const double correction = std::clamp(*raw, -clamp, clamp);
+      if (metrics_.correction_s != nullptr)
+        metrics_.correction_s->record(correction);
       prediction += correction;
     }
   }
@@ -61,12 +47,46 @@ std::optional<double> ArrivalPredictor::predict_segment_time(
   return std::max(prediction, options_.min_segment_time_s);
 }
 
+std::optional<double> ArrivalPredictor::correction_from_recents(
+    roadnet::EdgeId edge, std::optional<roadnet::RouteId> same_route_only,
+    SimTime t) const {
+  const DaySlots& slots = store_->slots();
+  const auto recents = store_->recent(edge, t, options_.recent_window_s,
+                                      options_.max_recent);
+  double residual_sum = 0.0;
+  std::size_t used = 0;
+  for (const TravelObservation& r : recents) {
+    if (same_route_only.has_value() && !(r.route == *same_route_only))
+      continue;
+    const std::size_t r_slot = slots.slot_of(r.exit_time);
+    std::optional<double> r_th =
+        store_->historical_mean(r.edge, r.route, r_slot);
+    if (!r_th.has_value())
+      r_th = store_->historical_mean_any_route(r.edge, r_slot);
+    if (!r_th.has_value()) continue;
+    residual_sum += r.travel_time - *r_th;
+    ++used;
+  }
+  if (used == 0) return std::nullopt;
+  // Shrink thin evidence toward zero: one noisy tracked bus should not
+  // swing the estimate as much as a consistent platoon.
+  const double n = static_cast<double>(used);
+  return (residual_sum / n) * (n / (n + options_.correction_shrinkage));
+}
+
+std::optional<double> ArrivalPredictor::recent_correction(
+    roadnet::EdgeId edge, SimTime t) const {
+  return correction_from_recents(edge, std::nullopt, t);
+}
+
 double ArrivalPredictor::segment_time_or_fallback(
     const roadnet::BusRoute& route, std::size_t edge_index, SimTime t) const {
+  if (metrics_.predictions != nullptr) metrics_.predictions->inc();
   const roadnet::EdgeId edge_id = route.edges()[edge_index];
   if (const auto tp = predict_segment_time(edge_id, route.id(), t);
       tp.has_value())
     return *tp;
+  if (metrics_.fallbacks != nullptr) metrics_.fallbacks->inc();
   const roadnet::RoadSegment& edge = route.network().edge(edge_id);
   return edge.length() /
          (edge.speed_limit() * options_.fallback_speed_frac);
@@ -92,11 +112,28 @@ double ArrivalPredictor::predict_travel_time(const roadnet::BusRoute& route,
     const double span_begin = std::max(from, edge_begin);
     const double span_end = std::min(to, edge_end);
     if (span_end <= span_begin) continue;
-    // Eq. 9's dr(...)/dr(start, end) fraction terms.
-    const double fraction = (span_end - span_begin) / edge_len;
-    const double seg_time =
-        segment_time_or_fallback(route, e, t + elapsed) * fraction;
-    elapsed += seg_time;
+    // Eq. 9's dr(...)/dr(start, end) fraction terms, "separated
+    // slot-by-slot": when crossing this edge outlasts the current
+    // time-of-day slot, only the fraction coverable before the boundary
+    // is charged at this slot's rate; the remainder re-evaluates the
+    // edge under the next slot's statistics.
+    double frac_remaining = (span_end - span_begin) / edge_len;
+    const DaySlots& slots = store_->slots();
+    int depth = 0;
+    while (frac_remaining > 1e-12) {
+      const SimTime clock = t + elapsed;
+      const double full_time = segment_time_or_fallback(route, e, clock);
+      const double time_needed = frac_remaining * full_time;
+      const double to_boundary = slots.slot_end_time(clock) - clock;
+      // Depth cap: a degenerate store (near-zero segment times over
+      // many tiny slots) must not spin; finish at the current rate.
+      if (time_needed <= to_boundary || full_time <= 0.0 || ++depth > 64) {
+        elapsed += time_needed;
+        break;
+      }
+      frac_remaining -= to_boundary / full_time;
+      elapsed += to_boundary;
+    }
   }
   return elapsed;
 }

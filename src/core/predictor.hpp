@@ -13,7 +13,10 @@
 // statistics ("the computation will be separated slot-by-slot").
 #pragma once
 
+#include <optional>
+
 #include "core/travel_time.hpp"
+#include "util/obs.hpp"
 
 namespace wiloc::core {
 
@@ -29,6 +32,14 @@ struct PredictorOptions {
   double fallback_speed_frac = 0.55;     ///< of the limit, for cold edges
 };
 
+/// Obs handles for the prediction path; all-null by default. Updates are
+/// wait-free, so the const query methods stay thread-safe.
+struct PredictorMetrics {
+  obs::Counter* predictions = nullptr;  ///< segment estimates served
+  obs::Counter* fallbacks = nullptr;    ///< cold-edge speed-limit estimates
+  obs::HistogramMetric* correction_s = nullptr;  ///< applied Eq.-8 correction
+};
+
 /// Stateless prediction over a TravelTimeStore (which must outlive the
 /// predictor and be finalized before querying).
 class ArrivalPredictor {
@@ -41,6 +52,15 @@ class ArrivalPredictor {
   std::optional<double> predict_segment_time(roadnet::EdgeId edge,
                                              roadnet::RouteId route,
                                              SimTime t) const;
+
+  /// The shrunk (unclamped) Eq.-5 residual correction computed from the
+  /// buses that recently traversed `edge`, any route. nullopt when no
+  /// recent traversal has a historical baseline. This is the
+  /// temporal-consistency signal on its own — the traffic-map builder
+  /// consults it to infer the state of segments it has no fresh
+  /// observations for.
+  std::optional<double> recent_correction(roadnet::EdgeId edge,
+                                          SimTime t) const;
 
   /// Travel time from route offset `from` to `to` (from <= to) starting
   /// at `t`, slot-by-slot. Segments with no history fall back to a
@@ -58,13 +78,23 @@ class ArrivalPredictor {
   const PredictorOptions& options() const { return options_; }
   const TravelTimeStore& store() const { return *store_; }
 
+  void set_metrics(const PredictorMetrics& metrics) { metrics_ = metrics; }
+
  private:
   /// Segment time with the cold-start fallback applied.
   double segment_time_or_fallback(const roadnet::BusRoute& route,
                                   std::size_t edge_index, SimTime t) const;
 
+  /// Shrunk (unclamped) mean residual of the recent traversals of `edge`,
+  /// optionally restricted to one route. nullopt when none has a
+  /// historical baseline.
+  std::optional<double> correction_from_recents(
+      roadnet::EdgeId edge, std::optional<roadnet::RouteId> same_route_only,
+      SimTime t) const;
+
   const TravelTimeStore* store_;
   PredictorOptions options_;
+  PredictorMetrics metrics_;
 };
 
 }  // namespace wiloc::core

@@ -66,14 +66,16 @@ bool SeasonalIndexAnalyzer::has_periodicity(roadnet::EdgeId edge,
 DaySlots SeasonalIndexAnalyzer::merge_profile(const std::vector<double>& si,
                                               double tolerance) const {
   WILOC_EXPECTS(tolerance >= 0.0);
-  std::vector<double> bounds{0.0};
+  std::vector<double> interior;  // group boundaries strictly inside the day
   double group_sum = si.front();
   std::size_t group_n = 1;
+  std::optional<double> first_group_mean;
   for (std::size_t l = 1; l < si.size(); ++l) {
     const double group_mean = group_sum / static_cast<double>(group_n);
     if (std::abs(si[l] - group_mean) > tolerance) {
-      bounds.push_back(kSecondsPerDay * static_cast<double>(l) /
-                       static_cast<double>(si.size()));
+      if (!first_group_mean.has_value()) first_group_mean = group_mean;
+      interior.push_back(kSecondsPerDay * static_cast<double>(l) /
+                         static_cast<double>(si.size()));
       group_sum = si[l];
       group_n = 1;
     } else {
@@ -81,6 +83,23 @@ DaySlots SeasonalIndexAnalyzer::merge_profile(const std::vector<double>& si,
       ++group_n;
     }
   }
+  if (interior.empty())  // one group: the whole day is one slot
+    return DaySlots::from_boundaries({0.0, kSecondsPerDay});
+
+  // Time-of-day is cyclic: the group ending at midnight is adjacent to
+  // the one starting at midnight. When their means agree, the 0/86400
+  // boundary is not a real regime change — merge across it into a
+  // wrapped slot (quiet night hours become one slot, as the paper's
+  // grouping intends).
+  const double last_group_mean = group_sum / static_cast<double>(group_n);
+  if (std::abs(last_group_mean - *first_group_mean) <= tolerance) {
+    if (interior.size() == 1)  // both day-edge groups merge: one cycle
+      return DaySlots::from_boundaries({0.0, kSecondsPerDay});
+    return DaySlots::from_boundaries_wrapped(interior);
+  }
+
+  std::vector<double> bounds{0.0};
+  bounds.insert(bounds.end(), interior.begin(), interior.end());
   bounds.push_back(kSecondsPerDay);
   return DaySlots::from_boundaries(bounds);
 }

@@ -11,12 +11,14 @@ WiLocatorServer::WiLocatorServer(
     std::vector<rf::AccessPoint> aps, const rf::LogDistanceModel& model,
     DaySlots slots, ServerConfig config)
     : config_(config),
-      engine_(std::make_unique<IngestEngine>(config.filter, config.ingest,
-                                             config.engine)),
+      engine_(std::make_unique<IngestEngine>(
+          config.filter, config.ingest, config.engine,
+          ObsHooks{&registry_, &tracer_})),
       store_(std::move(slots)),
       predictor_(store_, config.predictor),
       traffic_builder_(store_, predictor_, config.traffic) {
   WILOC_EXPECTS(!routes.empty());
+  init_obs();
   for (const roadnet::BusRoute* route : routes) {
     WILOC_EXPECTS(route != nullptr);
     adopt_route(*route, std::make_unique<svd::RouteSvd>(*route, aps, model,
@@ -27,17 +29,40 @@ WiLocatorServer::WiLocatorServer(
 WiLocatorServer::WiLocatorServer(std::vector<RouteIndex> bindings,
                                  DaySlots slots, ServerConfig config)
     : config_(config),
-      engine_(std::make_unique<IngestEngine>(config.filter, config.ingest,
-                                             config.engine)),
+      engine_(std::make_unique<IngestEngine>(
+          config.filter, config.ingest, config.engine,
+          ObsHooks{&registry_, &tracer_})),
       store_(std::move(slots)),
       predictor_(store_, config.predictor),
       traffic_builder_(store_, predictor_, config.traffic) {
   WILOC_EXPECTS(!bindings.empty());
+  init_obs();
   for (RouteIndex& binding : bindings) {
     WILOC_EXPECTS(binding.route != nullptr);
     WILOC_EXPECTS(binding.index != nullptr);
     adopt_route(*binding.route, std::move(binding.index));
   }
+}
+
+void WiLocatorServer::init_obs() {
+  tracer_.set_enabled(config_.tracing);
+
+  PredictorMetrics pm;
+  pm.predictions = &registry_.counter("predictor.predictions");
+  pm.fallbacks = &registry_.counter("predictor.fallbacks");
+  pm.correction_s =
+      &registry_.histogram("predictor.correction_s", -60.0, 60.0, 24);
+  predictor_.set_metrics(pm);
+
+  TrafficMetrics tm;
+  tm.normal = &registry_.counter("traffic.normal");
+  tm.slow = &registry_.counter("traffic.slow");
+  tm.very_slow = &registry_.counter("traffic.very_slow");
+  tm.unknown = &registry_.counter("traffic.unknown");
+  tm.inferred = &registry_.counter("traffic.inferred");
+  traffic_builder_.set_metrics(tm);
+
+  obs_published_ = &registry_.counter("server.observations_published");
 }
 
 void WiLocatorServer::adopt_route(
@@ -46,6 +71,12 @@ void WiLocatorServer::adopt_route(
   RouteRuntime rt;
   rt.route = &route;
   rt.index = std::move(index);
+  svd::LocateMetrics lm;
+  lm.fast_path_hits = &registry_.counter("locate.fast_path_hits");
+  lm.fallback_hits = &registry_.counter("locate.fallback_hits");
+  lm.misses = &registry_.counter("locate.misses");
+  lm.candidates = &registry_.histogram("locate.candidates", 0.0, 16.0, 16);
+  rt.index->set_metrics(lm);
   rt.positioner =
       std::make_unique<SvdPositioner>(*rt.index, config_.positioner);
   engine_->bind_route(route.id(),
@@ -89,8 +120,10 @@ void WiLocatorServer::drain() {
 }
 
 void WiLocatorServer::publish_pending() const {
-  for (const TravelObservation& obs : engine_->take_ready_observations())
+  for (const TravelObservation& obs : engine_->take_ready_observations()) {
     store_.add_recent(obs);
+    if (obs_published_ != nullptr) obs_published_->inc();
+  }
 }
 
 void WiLocatorServer::flush_trip(roadnet::TripId trip) {

@@ -30,6 +30,7 @@
 #include "core/tracker.hpp"
 #include "core/traffic_map.hpp"
 #include "svd/route_svd.hpp"
+#include "util/obs.hpp"
 
 namespace wiloc::core {
 
@@ -42,6 +43,7 @@ struct ServerConfig {
   IngestGuardParams ingest;  ///< per-trip scan-stream guard
   IngestEngineParams engine; ///< sharding / worker pool (0 = serial)
   double typical_scan_distance_m = 70.0;  ///< anomaly delta basis
+  bool tracing = false;  ///< record per-scan trace spans (bounded ring)
 };
 
 class WiLocatorServer {
@@ -131,6 +133,23 @@ class WiLocatorServer {
   /// accounted() holds on the aggregate whenever the engine is idle.
   IngestStats ingest_stats() const;
 
+  // -- observability -----------------------------------------------------
+
+  /// Point-in-time copy of every metric the pipeline maintains
+  /// (ingest.*, engine.*, locate.*, predictor.*, traffic.*, server.*).
+  obs::Snapshot metrics_snapshot() const { return registry_.snapshot(); }
+
+  /// The live registry (e.g. to wire an obs::Reporter, or to register
+  /// application-level metrics alongside the pipeline's).
+  obs::Registry& metrics_registry() { return registry_; }
+
+  /// Drains the trace ring (empty unless config.tracing). Each scan's
+  /// events share its submission sequence number as the span id.
+  std::vector<obs::TraceEvent> take_trace_events() { return tracer_.take(); }
+
+  /// Toggles span recording at runtime (initially ServerConfig::tracing).
+  void set_tracing(bool on) { tracer_.set_enabled(on); }
+
   // -- component access (benches, tests) ---------------------------------
 
   const svd::PositioningIndex& index_for(roadnet::RouteId route) const;
@@ -163,13 +182,20 @@ class WiLocatorServer {
   /// recent store (serial submission order). Cheap when nothing is
   /// pending. const because read-side queries trigger it lazily.
   void publish_pending() const;
+  /// Resolves the prediction-side metric handles (both constructors).
+  void init_obs();
 
   ServerConfig config_;
   std::unordered_map<roadnet::RouteId, RouteRuntime> routes_;
+  // Declared before engine_: the engine (and everything downstream)
+  // holds handles into the registry/tracer, so they must outlive it.
+  obs::Registry registry_;
+  obs::Tracer tracer_;
   std::unique_ptr<IngestEngine> engine_;
   mutable TravelTimeStore store_;
   ArrivalPredictor predictor_;
   TrafficMapBuilder traffic_builder_;
+  obs::Counter* obs_published_ = nullptr;  ///< server.observations_published
 };
 
 }  // namespace wiloc::core

@@ -75,13 +75,13 @@ SegmentTraffic TrafficMapBuilder::classify(roadnet::EdgeId edge,
 
   if (!have_signal && params_.infer_unknowns && res_mean.has_value() &&
       res_std.has_value() && *res_std > 1e-9) {
-    // No bus has passed recently: infer from the predictor, which folds
-    // in the recents of *neighbouring* traffic via its store. For a
-    // single edge the prediction equals Th when there is truly nothing,
-    // which classifies as normal — the paper's map likewise defaults to
-    // the temporal-constancy estimate instead of leaving segments
-    // unmarked.
-    residual = 0.0;
+    // No bus passed inside the map's (tighter) window: infer from the
+    // predictor's temporal-consistency correction, which still sees
+    // traversals over its own wider recency horizon. When the predictor
+    // has nothing either the correction is zero — the estimate falls
+    // back to Th and classifies as normal, the paper's default instead
+    // of leaving segments unmarked.
+    residual = predictor_->recent_correction(edge, now).value_or(0.0);
     have_signal = true;
     out.inferred = true;
   }
@@ -89,12 +89,26 @@ SegmentTraffic TrafficMapBuilder::classify(roadnet::EdgeId edge,
   if (!have_signal || !res_mean.has_value() || !res_std.has_value() ||
       *res_std <= 1e-9) {
     out.state = TrafficState::Unknown;
+    count_state(out);
     return out;
   }
 
   out.z_score = (residual - *res_mean) / *res_std;
   out.state = state_for_z(out.z_score);
+  count_state(out);
   return out;
+}
+
+void TrafficMapBuilder::count_state(const SegmentTraffic& seg) const {
+  obs::Counter* c = nullptr;
+  switch (seg.state) {
+    case TrafficState::Unknown: c = metrics_.unknown; break;
+    case TrafficState::Normal: c = metrics_.normal; break;
+    case TrafficState::Slow: c = metrics_.slow; break;
+    case TrafficState::VerySlow: c = metrics_.very_slow; break;
+  }
+  if (c != nullptr) c->inc();
+  if (seg.inferred && metrics_.inferred != nullptr) metrics_.inferred->inc();
 }
 
 TrafficMap TrafficMapBuilder::build(const std::vector<roadnet::EdgeId>& edges,

@@ -16,6 +16,7 @@
 
 #include "core/predictor.hpp"
 #include "core/travel_time.hpp"
+#include "util/obs.hpp"
 
 namespace wiloc::core {
 
@@ -38,6 +39,15 @@ struct TrafficMapParams {
   double recent_window_s = 35.0 * 60.0;
   std::size_t max_recent = 8;
   bool infer_unknowns = true;  ///< predict segments with no recent pass
+};
+
+/// Obs handles for classification outcomes; all-null by default.
+struct TrafficMetrics {
+  obs::Counter* normal = nullptr;
+  obs::Counter* slow = nullptr;
+  obs::Counter* very_slow = nullptr;
+  obs::Counter* unknown = nullptr;
+  obs::Counter* inferred = nullptr;  ///< filled by prediction, not data
 };
 
 /// The traffic map over a set of edges at one instant.
@@ -64,12 +74,16 @@ class TrafficMapBuilder {
   /// Classifies one edge.
   SegmentTraffic classify(roadnet::EdgeId edge, SimTime now) const;
 
+  void set_metrics(const TrafficMetrics& metrics) { metrics_ = metrics; }
+
  private:
   TrafficState state_for_z(double z) const;
+  void count_state(const SegmentTraffic& seg) const;
 
   const TravelTimeStore* store_;
   const ArrivalPredictor* predictor_;
   TrafficMapParams params_;
+  TrafficMetrics metrics_;
 };
 
 }  // namespace wiloc::core

@@ -3,17 +3,22 @@
 #include <algorithm>
 
 #include "util/contracts.hpp"
+#include "util/hashing.hpp"
 
 namespace wiloc::core {
 
 TravelTimeStore::TravelTimeStore(DaySlots slots) : slots_(std::move(slots)) {}
 
-std::uint64_t TravelTimeStore::cell_key(roadnet::EdgeId edge,
-                                        roadnet::RouteId route,
-                                        std::size_t slot) {
-  return (static_cast<std::uint64_t>(edge.value()) << 32) |
-         (static_cast<std::uint64_t>(route.value()) << 8) |
-         static_cast<std::uint64_t>(slot);
+std::size_t TravelTimeStore::CellKeyHash::operator()(
+    const CellKey& k) const {
+  return static_cast<std::size_t>(
+      hash_coords(0x77694c6f63ULL, k.edge, k.route, k.slot));
+}
+
+TravelTimeStore::CellKey TravelTimeStore::cell_key(roadnet::EdgeId edge,
+                                                   roadnet::RouteId route,
+                                                   std::size_t slot) {
+  return {edge.value(), route.value(), static_cast<std::uint32_t>(slot)};
 }
 
 std::uint64_t TravelTimeStore::edge_slot_key(roadnet::EdgeId edge,

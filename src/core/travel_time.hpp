@@ -85,13 +85,28 @@ class TravelTimeStore {
   void prune_recent(SimTime now, double window_s);
 
  private:
-  static std::uint64_t cell_key(roadnet::EdgeId edge, roadnet::RouteId route,
-                                std::size_t slot);
+  /// Exact (edge, route, slot) cell identity. The three fields span up to
+  /// 32 + 32 + 64 bits, which no bit-packed 64-bit key can hold without
+  /// aliasing (the seed packed (edge<<32)|(route<<8)|slot, so route ids
+  /// >= 2^24 bled into the edge bits and slots >= 256 into the route
+  /// bits, silently merging unrelated history cells).
+  struct CellKey {
+    std::uint32_t edge;
+    std::uint32_t route;
+    std::uint32_t slot;
+    bool operator==(const CellKey&) const = default;
+  };
+  struct CellKeyHash {
+    std::size_t operator()(const CellKey& k) const;
+  };
+
+  static CellKey cell_key(roadnet::EdgeId edge, roadnet::RouteId route,
+                          std::size_t slot);
   static std::uint64_t edge_slot_key(roadnet::EdgeId edge, std::size_t slot);
 
   DaySlots slots_;
   bool finalized_ = false;
-  std::unordered_map<std::uint64_t, RunningStats> history_;   // per cell
+  std::unordered_map<CellKey, RunningStats, CellKeyHash> history_;  // per cell
   std::unordered_map<std::uint64_t, RunningStats> edge_slot_; // across routes
   std::vector<TravelObservation> raw_history_;
   std::unordered_map<std::uint64_t, RunningStats> residuals_; // per edge+slot

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "rf/scan.hpp"
+#include "util/obs.hpp"
 
 namespace wiloc::svd {
 
@@ -17,6 +18,17 @@ namespace wiloc::svd {
 struct Candidate {
   double route_offset;  ///< meters from the route start
   double score;         ///< match quality in [0, 1]; 1 = exact signature
+};
+
+/// Obs handles for the locate hot path. All-null by default (locate runs
+/// un-instrumented); shared across routes, so counters aggregate
+/// server-wide. Updates are wait-free — locate() stays safe to call
+/// concurrently.
+struct LocateMetrics {
+  obs::Counter* fast_path_hits = nullptr;  ///< exact-signature lookups
+  obs::Counter* fallback_hits = nullptr;   ///< scored (degraded) matches
+  obs::Counter* misses = nullptr;          ///< locate returned nothing
+  obs::HistogramMetric* candidates = nullptr;  ///< returned candidate count
 };
 
 /// A positioning backend bound to one bus route.
@@ -39,6 +51,10 @@ class PositioningIndex {
   /// lets the ingest guard drop readings from churned-in unknown APs
   /// before they distort the rank signature.
   virtual bool knows_ap(rf::ApId) const { return true; }
+
+  /// Wires obs handles into the locate path. Backends without
+  /// instrumentation ignore the call.
+  virtual void set_metrics(const LocateMetrics&) {}
 };
 
 /// Expands a scan whose top readings contain *ties* (equal quantized RSS)

@@ -130,7 +130,11 @@ std::vector<Candidate> RouteSvd::locate(
   filtered.clear();
   for (const rf::ApId ap : observed)
     if (knows_ap(ap)) filtered.push_back(ap);
-  if (filtered.empty()) return {};
+  if (filtered.empty()) {
+    if (metrics_.misses != nullptr) metrics_.misses->inc();
+    if (metrics_.candidates != nullptr) metrics_.candidates->record(0.0);
+    return {};
+  }
 
   std::vector<Candidate> out;
 
@@ -141,6 +145,9 @@ std::vector<Candidate> RouteSvd::locate(
       out.push_back({intervals_[idx].mid(), 1.0});
     if (out.size() > params_.max_candidates)
       out.resize(params_.max_candidates);
+    if (metrics_.fast_path_hits != nullptr) metrics_.fast_path_hits->inc();
+    if (metrics_.candidates != nullptr)
+      metrics_.candidates->record(static_cast<double>(out.size()));
     return out;
   }
 
@@ -190,6 +197,13 @@ std::vector<Candidate> RouteSvd::locate(
   out.reserve(take);
   for (std::size_t i = 0; i < take; ++i)
     out.push_back({intervals_[scored[i].second].mid(), scored[i].first});
+  if (out.empty()) {
+    if (metrics_.misses != nullptr) metrics_.misses->inc();
+  } else if (metrics_.fallback_hits != nullptr) {
+    metrics_.fallback_hits->inc();
+  }
+  if (metrics_.candidates != nullptr)
+    metrics_.candidates->record(static_cast<double>(out.size()));
   return out;
 }
 

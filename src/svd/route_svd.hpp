@@ -73,7 +73,12 @@ class RouteSvd final : public PositioningIndex {
   /// Whether the AP participated in construction.
   bool knows_ap(rf::ApId ap) const override;
 
+  void set_metrics(const LocateMetrics& metrics) override {
+    metrics_ = metrics;
+  }
+
  private:
+  LocateMetrics metrics_;
   RouteSvdParams params_;
   double length_ = 0.0;
   std::vector<Interval> intervals_;

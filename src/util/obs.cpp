@@ -1,0 +1,294 @@
+#include "util/obs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::obs {
+
+// -- HistogramMetric -------------------------------------------------------
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      hi_(hi),
+      inv_width_(static_cast<double>(bins) / (hi - lo)),
+      counts_(bins) {
+  WILOC_EXPECTS(lo < hi);
+  WILOC_EXPECTS(bins >= 1);
+}
+
+void HistogramMetric::record(double x) {
+  if (!std::isfinite(x)) return;  // poisoned samples never skew the bins
+  const auto raw = static_cast<std::ptrdiff_t>((x - lo_) * inv_width_);
+  const std::size_t bin = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+      raw, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1));
+  counts_[bin].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+HistogramSnapshot HistogramMetric::snapshot() const {
+  HistogramSnapshot snap;
+  snap.lo = lo_;
+  snap.hi = hi_;
+  snap.counts.reserve(counts_.size());
+  for (const auto& c : counts_)
+    snap.counts.push_back(c.load(std::memory_order_relaxed));
+  snap.total = total_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+HistogramSnapshot HistogramMetric::snapshot_and_reset() {
+  HistogramSnapshot snap;
+  snap.lo = lo_;
+  snap.hi = hi_;
+  snap.counts.reserve(counts_.size());
+  for (auto& c : counts_)
+    snap.counts.push_back(c.exchange(0, std::memory_order_relaxed));
+  snap.total = total_.exchange(0, std::memory_order_relaxed);
+  snap.sum = sum_.exchange(0.0, std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramSnapshot::mean() const {
+  return total == 0 ? 0.0 : sum / static_cast<double>(total);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (total == 0 || counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target)
+      return lo + (static_cast<double>(i) + 0.5) * width;
+  }
+  return lo + (static_cast<double>(counts.size()) - 0.5) * width;
+}
+
+// -- Snapshot --------------------------------------------------------------
+
+std::uint64_t Snapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double Snapshot::gauge(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+const HistogramSnapshot* Snapshot::histogram(const std::string& name) const {
+  const auto it = histograms.find(name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+              << "0123456789abcdef"[c & 0xf];
+        else
+          out << c;
+    }
+  }
+  out << '"';
+}
+
+void write_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  out << v;
+}
+
+}  // namespace
+
+void Snapshot::write_json(std::ostream& out) const {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out << ',';
+    first = false;
+    write_escaped(out, name);
+    out << ':' << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out << ',';
+    first = false;
+    write_escaped(out, name);
+    out << ':';
+    write_number(out, value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out << ',';
+    first = false;
+    write_escaped(out, name);
+    out << ":{\"lo\":";
+    write_number(out, h.lo);
+    out << ",\"hi\":";
+    write_number(out, h.hi);
+    out << ",\"total\":" << h.total << ",\"sum\":";
+    write_number(out, h.sum);
+    out << ",\"mean\":";
+    write_number(out, h.mean());
+    out << ",\"p50\":";
+    write_number(out, h.quantile(0.5));
+    out << ",\"p99\":";
+    write_number(out, h.quantile(0.99));
+    out << ",\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i)
+      out << (i ? "," : "") << h.counts[i];
+    out << "]}";
+  }
+  out << "}}";
+}
+
+std::string Snapshot::json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+// -- Registry --------------------------------------------------------------
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& Registry::histogram(const std::string& name, double lo,
+                                     double hi, std::size_t bins) {
+  WILOC_EXPECTS(lo < hi);
+  WILOC_EXPECTS(bins >= 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<HistogramMetric>(lo, hi, bins);
+  } else {
+    WILOC_EXPECTS(slot->lo() == lo && slot->hi() == hi &&
+                  slot->bins() == bins);
+  }
+  return *slot;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_)
+    snap.histograms[name] = h->snapshot();
+  return snap;
+}
+
+Snapshot Registry::snapshot_and_reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (auto& [name, c] : counters_)
+    snap.counters[name] = c->exchange_zero();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (auto& [name, h] : histograms_)
+    snap.histograms[name] = h->snapshot_and_reset();
+  return snap;
+}
+
+// -- Tracer ----------------------------------------------------------------
+
+const char* to_string(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::ingest: return "ingest";
+    case TraceStage::locate: return "locate";
+    case TraceStage::fix: return "fix";
+    case TraceStage::observe: return "observe";
+    case TraceStage::release: return "release";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  WILOC_EXPECTS(capacity >= 1);
+}
+
+void Tracer::record(const TraceEvent& event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(event);
+}
+
+std::vector<TraceEvent> Tracer::take() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out(ring_.begin(), ring_.end());
+  ring_.clear();
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+// -- Reporter --------------------------------------------------------------
+
+Reporter::Reporter(Registry& registry, std::ostream& out,
+                   ReporterOptions options)
+    : registry_(&registry), out_(&out), options_(options) {
+  WILOC_EXPECTS(options_.period_s >= 0.0);
+}
+
+bool Reporter::maybe_report(double now) {
+  if (last_.has_value() && now - *last_ < options_.period_s) return false;
+  report(now);
+  return true;
+}
+
+void Reporter::report(double now) {
+  const Snapshot snap = options_.reset_each
+                            ? registry_->snapshot_and_reset()
+                            : registry_->snapshot();
+  *out_ << "{\"t\":";
+  if (std::isfinite(now))
+    *out_ << now;
+  else
+    *out_ << "null";
+  *out_ << ",\"snapshot\":";
+  snap.write_json(*out_);
+  *out_ << "}\n";
+  out_->flush();
+  last_ = now;
+  ++reports_;
+}
+
+}  // namespace wiloc::obs

@@ -1,0 +1,238 @@
+// Observability: a lock-cheap metrics registry + lightweight tracing.
+//
+// The arrival-time pipeline chains per-segment predictions from
+// slot-bucketed history, so silent corruption anywhere in the hot path
+// (a mis-assigned history cell, a guard silently rejecting a whole
+// trip's scans, a shard queue saturating) propagates into every
+// downstream ETA. The obs layer makes the running server legible:
+//
+//  - Counter / Gauge / HistogramMetric: atomically updatable metric
+//    primitives. Updates are wait-free (relaxed atomics); a mutex is
+//    taken only on registration and snapshot, never on the hot path.
+//  - Registry: owns metrics by name and hands out stable handles.
+//    Components resolve their handles once at construction and then
+//    update through raw pointers, so an un-instrumented build path costs
+//    a null check.
+//  - Snapshot: a point-in-time copy of every metric, either cumulative
+//    (`snapshot()`) or reset-on-read (`snapshot_and_reset()`, for
+//    periodic delta reporting). Serializes to a single JSON object.
+//  - Reporter: writes newline-delimited JSON snapshots to an ostream on
+//    a fixed period — the /metrics-style report ROADMAP asks for.
+//  - Tracer: a bounded ring of per-scan stage events (ingest -> locate
+//    -> fix -> observe -> release), gated behind ServerConfig::tracing.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wiloc::obs {
+
+/// Monotonic event count. Wait-free increments from any thread.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  /// Returns the value and zeroes the counter (reset-on-read snapshots).
+  std::uint64_t exchange_zero() {
+    return v_.exchange(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, buffer fill, ...).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Point-in-time copy of one histogram.
+struct HistogramSnapshot {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total = 0;
+  double sum = 0.0;
+
+  bool empty() const { return total == 0; }
+  double mean() const;
+  /// Center of the bin where the cumulative count crosses q * total
+  /// (q in [0, 1]). Returns 0 for an empty histogram.
+  double quantile(double q) const;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range values are clamped
+/// into the first/last bin so total mass is preserved (same semantics as
+/// wiloc::Histogram, but with wait-free concurrent recording).
+class HistogramMetric {
+ public:
+  /// Requires lo < hi and bins >= 1 (checked by Registry::histogram).
+  HistogramMetric(double lo, double hi, std::size_t bins);
+
+  void record(double x);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t total() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const;
+  /// Snapshot + zero all bins (reset-on-read reporting).
+  HistogramSnapshot snapshot_and_reset();
+
+ private:
+  double lo_;
+  double hi_;
+  double inv_width_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every metric in a registry.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Counter value by name; 0 when absent.
+  std::uint64_t counter(const std::string& name) const;
+  /// Gauge value by name; 0.0 when absent.
+  double gauge(const std::string& name) const;
+  /// Histogram by name; nullptr when absent.
+  const HistogramSnapshot* histogram(const std::string& name) const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void write_json(std::ostream& out) const;
+  std::string json() const;
+};
+
+/// Named metric store. Registration and snapshots lock; updates through
+/// the returned handles never do. Handles are stable for the registry's
+/// lifetime; re-registering a name returns the existing metric.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Throws ContractViolation when an existing histogram of the same
+  /// name was registered with different bounds/bins.
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             std::size_t bins);
+
+  /// Cumulative snapshot: metrics keep counting.
+  Snapshot snapshot() const;
+  /// Delta snapshot: counters and histograms are zeroed after reading
+  /// (gauges are instantaneous and keep their value).
+  Snapshot snapshot_and_reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+// -- tracing ---------------------------------------------------------------
+
+/// Lifecycle stage of one scan flowing through the server.
+enum class TraceStage : std::uint8_t {
+  ingest,   ///< submission reached its shard's pipeline
+  locate,   ///< scan released to the positioning pipeline
+  fix,      ///< a position fix was produced
+  observe,  ///< a completed segment observation was harvested
+  release,  ///< the observation's global order became final
+};
+inline constexpr std::size_t kTraceStageCount = 5;
+
+const char* to_string(TraceStage stage);
+
+/// One span event. `id` is the engine's global submission sequence
+/// number, so every event of one scan shares an id and events of one
+/// scan are totally ordered by stage.
+struct TraceEvent {
+  std::uint64_t id = 0;    ///< submission sequence number
+  std::uint32_t trip = 0;  ///< trip id value (0 when not applicable)
+  TraceStage stage = TraceStage::ingest;
+  double t = 0.0;          ///< scan/observation sim-time
+};
+
+/// Bounded event ring. Recording drops the oldest events on overflow
+/// (never blocks the pipeline for longer than the push); `take()` drains.
+/// Recording is a no-op while disabled, so an always-wired tracer costs
+/// one relaxed atomic load per call site.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 8192);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  void record(const TraceEvent& event);
+  /// Drains the buffered events in record order.
+  std::vector<TraceEvent> take();
+  /// Events discarded because the ring was full.
+  std::uint64_t dropped() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TraceEvent> ring_;
+  std::uint64_t dropped_ = 0;
+};
+
+// -- periodic reporting ----------------------------------------------------
+
+struct ReporterOptions {
+  double period_s = 60.0;    ///< min spacing between maybe_report emits
+  bool reset_each = false;   ///< delta snapshots instead of cumulative
+};
+
+/// Writes newline-delimited JSON snapshots ("{"t":...,"counters":...}")
+/// to an ostream. Drive it from the serving loop with maybe_report(now);
+/// the first call reports immediately, later calls report once per
+/// period. Not thread-safe; call from one control thread.
+class Reporter {
+ public:
+  /// The registry and stream must outlive the reporter.
+  Reporter(Registry& registry, std::ostream& out, ReporterOptions options = {});
+
+  /// Reports when at least period_s has passed since the last report
+  /// (or on the first call). Returns true when a line was written.
+  bool maybe_report(double now);
+  /// Unconditionally writes one snapshot line stamped with `now`.
+  void report(double now);
+
+  std::size_t reports() const { return reports_; }
+
+ private:
+  Registry* registry_;
+  std::ostream* out_;
+  ReporterOptions options_;
+  std::optional<double> last_;
+  std::size_t reports_ = 0;
+};
+
+}  // namespace wiloc::obs

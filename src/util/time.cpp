@@ -67,6 +67,26 @@ DaySlots DaySlots::from_boundaries(const std::vector<double>& bounds) {
   return DaySlots(std::move(slots));
 }
 
+DaySlots DaySlots::from_boundaries_wrapped(const std::vector<double>& bounds) {
+  WILOC_EXPECTS(bounds.size() >= 2);
+  WILOC_EXPECTS(bounds.front() > 0.0);
+  WILOC_EXPECTS(bounds.back() < kSecondsPerDay);
+  std::vector<Slot> slots;
+  slots.reserve(bounds.size());
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    WILOC_EXPECTS(bounds[i] < bounds[i + 1]);
+    slots.push_back({bounds[i], bounds[i + 1],
+                     format_tod(bounds[i]) + "-" + format_tod(bounds[i + 1])});
+  }
+  // The wrap slot stores begin > end; slot_of_tod / slot_end_time treat
+  // it as [begin, 86400) + [0, end).
+  slots.push_back({bounds.back(), bounds.front(),
+                   format_tod(bounds.back()) + "-" + format_tod(bounds.front())});
+  DaySlots out(std::move(slots));
+  out.wraps_ = true;
+  return out;
+}
+
 DaySlots DaySlots::paper_five_slots() {
   return from_boundaries(
       {0.0, hms(8), hms(10), hms(18), hms(19), kSecondsPerDay});
@@ -79,6 +99,16 @@ const DaySlots::Slot& DaySlots::slot(std::size_t index) const {
 
 std::size_t DaySlots::slot_of_tod(double seconds_of_day) const {
   WILOC_EXPECTS(seconds_of_day >= 0.0 && seconds_of_day < kSecondsPerDay);
+  if (wraps_) {
+    // The cyclic last slot owns everything before the first boundary and
+    // at/after its own begin.
+    if (seconds_of_day < slots_.front().begin ||
+        seconds_of_day >= slots_.back().begin)
+      return slots_.size() - 1;
+    for (std::size_t i = 0; i + 1 < slots_.size(); ++i)
+      if (seconds_of_day < slots_[i].end) return i;
+    return slots_.size() - 2;  // unreachable with valid slots
+  }
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (seconds_of_day < slots_[i].end) return i;
   }
@@ -91,7 +121,12 @@ std::size_t DaySlots::slot_of(SimTime t) const {
 
 SimTime DaySlots::slot_end_time(SimTime t) const {
   const std::size_t s = slot_of(t);
-  return at_day_time(day_of(t), 0.0) + slots_[s].end;
+  double end = slots_[s].end;
+  // Inside the pre-midnight half of the wrap slot, the slot ends at
+  // `end` on the *next* day.
+  if (wraps_ && s == slots_.size() - 1 && time_of_day(t) >= slots_[s].begin)
+    end += kSecondsPerDay;
+  return at_day_time(day_of(t), 0.0) + end;
 }
 
 }  // namespace wiloc

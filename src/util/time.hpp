@@ -64,6 +64,17 @@ class DaySlots {
   /// 86400, and be strictly increasing.
   static DaySlots from_boundaries(const std::vector<double>& bounds);
 
+  /// Partition whose last slot *wraps across midnight*: interior
+  /// boundaries b_0 < ... < b_k, all strictly inside (0, 86400), produce
+  /// slots [b_0,b_1) ... [b_{k-1},b_k) plus the cyclic slot
+  /// [b_k,86400) + [0,b_0). Requires at least two boundaries. The paper's
+  /// slot merging treats time-of-day as cyclic, so the quiet hours
+  /// spanning midnight can form one slot instead of being split at 00:00.
+  static DaySlots from_boundaries_wrapped(const std::vector<double>& bounds);
+
+  /// Whether the last slot crosses midnight.
+  bool wraps() const { return wraps_; }
+
   /// The paper's 5-slot weekday division: <8:00, 8:00-10:00 (AM rush),
   /// 10:00-18:00, 18:00-19:00 (PM rush), >19:00.
   static DaySlots paper_five_slots();
@@ -84,6 +95,7 @@ class DaySlots {
  private:
   explicit DaySlots(std::vector<Slot> slots) : slots_(std::move(slots)) {}
   std::vector<Slot> slots_;
+  bool wraps_ = false;
 };
 
 }  // namespace wiloc

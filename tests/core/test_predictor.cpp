@@ -186,6 +186,19 @@ TEST(ArrivalPredictor, TravelTimeSlotBySlot) {
   EXPECT_LT(straddle, 450.0);
 }
 
+TEST(ArrivalPredictor, EdgeStraddlingSlotBoundaryIsSplit) {
+  // Regression: an edge whose traversal crosses a slot boundary used to
+  // be priced entirely at its entry slot's rate. Entering edge 1 at
+  // 09:58:20 — 100 s before rush ends — covers only 2/3 of the edge at
+  // the 150 s rush rate before 10:00; the last third runs at the 100 s
+  // midday rate. Eq. 9 therefore gives 100 + 100/3, not 150.
+  const PredictorFixture f;
+  const ArrivalPredictor predictor(f.store);
+  const double t = predictor.predict_travel_time(
+      f.route(), 1000.0, 2000.0, at_day_time(20, hms(9, 58, 20.0)));
+  EXPECT_NEAR(t, 100.0 + 100.0 / 3.0, 1e-6);
+}
+
 TEST(ArrivalPredictor, ColdSegmentsUseSpeedFallback) {
   TravelTimeStore empty(DaySlots::paper_five_slots());
   empty.finalize_history();

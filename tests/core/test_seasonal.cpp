@@ -70,12 +70,30 @@ TEST(SeasonalIndex, MergedSlotsGroupSimilarHours) {
     analyzer.add(EdgeId(0), h * 3600.0 + 60.0, tt);
   }
   const DaySlots merged = analyzer.merged_slots(EdgeId(0), 0.2);
-  // Much fewer than 24 slots, more than 1 (there IS a rush).
+  // Much fewer than 24 slots, more than 1 (there IS a rush). The flat
+  // hours on both sides of midnight merge across it into one wrapped
+  // slot, so only the rush stands apart.
   EXPECT_LT(merged.count(), 6u);
-  EXPECT_GE(merged.count(), 3u);
+  EXPECT_GE(merged.count(), 2u);
+  EXPECT_TRUE(merged.wraps());
   // The rush hours land in their own slot, distinct from midnight's.
   EXPECT_NE(merged.slot_of_tod(hms(8, 30)), merged.slot_of_tod(hms(2)));
   EXPECT_EQ(merged.slot_of_tod(hms(8, 30)), merged.slot_of_tod(hms(9, 30)));
+  // 23:00 and 02:00 are the same flat regime across midnight.
+  EXPECT_EQ(merged.slot_of_tod(hms(23)), merged.slot_of_tod(hms(2)));
+}
+
+TEST(SeasonalIndex, MergeKeepsMidnightBoundaryWhenRegimesDiffer) {
+  // High SI before midnight, low after: the 0/86400 boundary is a real
+  // regime change and must survive the merge un-wrapped.
+  SeasonalIndexAnalyzer analyzer(24);
+  for (int h = 0; h < 24; ++h) {
+    const double tt = (h >= 18) ? 140.0 : 60.0;
+    analyzer.add(EdgeId(0), h * 3600.0 + 60.0, tt);
+  }
+  const DaySlots merged = analyzer.merged_slots(EdgeId(0), 0.2);
+  EXPECT_FALSE(merged.wraps());
+  EXPECT_NE(merged.slot_of_tod(hms(23)), merged.slot_of_tod(hms(2)));
 }
 
 TEST(SeasonalIndex, FlatProfileMergesToOneSlot) {

@@ -83,6 +83,36 @@ TEST(TrafficMap, InferenceFillsSilentSegments) {
   EXPECT_EQ(a.state, TrafficState::Unknown);
 }
 
+TEST(TrafficMap, InferenceConsultsPredictorCorrection) {
+  // Regression: the infer branch used to hard-code a zero residual, so
+  // "inferred" segments always classified as normal regardless of what
+  // the predictor knew. A +30 s traversal 5 minutes ago is outside this
+  // map's tight 60 s window but inside the predictor's default horizon;
+  // its shrunk correction (30 * 1/(1+1.5) = 12 s) must drive the
+  // inferred z-score up relative to a map with no traffic signal at all.
+  const SimTime now = at_day_time(20, hms(12));
+  TrafficMapParams tight;
+  tight.recent_window_s = 60.0;
+  tight.infer_unknowns = true;
+
+  TrafficMapFixture congested;
+  congested.store.add_recent({EdgeId(0), RouteId(0), now - 300.0, 130.0});
+  const ArrivalPredictor cp(congested.store);
+  const auto seen =
+      TrafficMapBuilder(congested.store, cp, tight).classify(EdgeId(0), now);
+
+  TrafficMapFixture quiet;  // same rng seed -> identical residual stats
+  const ArrivalPredictor qp(quiet.store);
+  const auto baseline =
+      TrafficMapBuilder(quiet.store, qp, tight).classify(EdgeId(0), now);
+
+  EXPECT_TRUE(seen.inferred);
+  EXPECT_EQ(seen.recent_count, 0u);  // the map's own window saw nothing
+  EXPECT_TRUE(baseline.inferred);
+  // Residual sigma is ~10 s, so a 12 s correction moves z by ~1.2.
+  EXPECT_GT(seen.z_score, baseline.z_score + 0.8);
+}
+
 TEST(TrafficMap, BuildCoversAllEdges) {
   TrafficMapFixture f;
   const SimTime now = at_day_time(20, hms(12));

@@ -32,6 +32,37 @@ TEST(TravelTimeStore, HistoricalMeanPerCell) {
       store.historical_mean(EdgeId(1), RouteId(0), midday).has_value());
 }
 
+TEST(TravelTimeStore, LargeRouteIdsDoNotAliasAcrossEdges) {
+  // Regression: the cell key used to be (edge << 32) | (route << 8) |
+  // slot, so route bits >= 2^24 bled into the edge field —
+  // (edge 0, route 2^24) and (edge 1, route 0) shared one cell and
+  // their histories merged.
+  TravelTimeStore store(DaySlots::paper_five_slots());
+  store.add_history(obs(0, 1u << 24, at_day_time(0, hms(12)), 100.0));
+  store.add_history(obs(1, 0, at_day_time(0, hms(12)), 300.0));
+  const std::size_t midday = store.slots().slot_of_tod(hms(12));
+  EXPECT_DOUBLE_EQ(
+      *store.historical_mean(EdgeId(0), RouteId(1u << 24), midday), 100.0);
+  EXPECT_DOUBLE_EQ(*store.historical_mean(EdgeId(1), RouteId(0), midday),
+                   300.0);
+}
+
+TEST(TravelTimeStore, LargeSlotIndexesDoNotAliasAcrossRoutes) {
+  // Regression: with the packed key, slot indexes >= 256 bled into the
+  // route field — (route 1, slot 256) collided with (route 0, slot 256)
+  // under a fine (e.g. 5-minute) slot grid.
+  TravelTimeStore store(DaySlots::uniform(288));
+  const double tod = 256.0 * 300.0;  // inside slot 256 of 288
+  store.add_history(obs(0, 1, at_day_time(0, tod + 10.0), 100.0));
+  store.add_history(obs(0, 0, at_day_time(0, tod + 20.0), 300.0));
+  const std::size_t slot = store.slots().slot_of_tod(tod);
+  ASSERT_EQ(slot, 256u);
+  EXPECT_DOUBLE_EQ(*store.historical_mean(EdgeId(0), RouteId(1), slot),
+                   100.0);
+  EXPECT_DOUBLE_EQ(*store.historical_mean(EdgeId(0), RouteId(0), slot),
+                   300.0);
+}
+
 TEST(TravelTimeStore, CrossRouteMean) {
   TravelTimeStore store(DaySlots::paper_five_slots());
   store.add_history(obs(0, 0, at_day_time(0, hms(12)), 100.0));

@@ -1,0 +1,259 @@
+// Observability under load: the metrics registry must reconcile with the
+// engine's own IngestStats after a faulted 10k-scan concurrent workload,
+// and tracing must produce a coherent span stream for a clean trip.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "../helpers.hpp"
+#include "core/server.hpp"
+#include "sim/fault_injector.hpp"
+#include "util/time.hpp"
+
+namespace wiloc::core {
+namespace {
+
+using roadnet::TripId;
+
+struct BaseStream {
+  roadnet::RouteId route;
+  std::vector<sim::ScanReport> reports;
+};
+
+std::vector<BaseStream> make_base_streams(const testing::MiniCity& city,
+                                          const sim::TrafficModel& traffic) {
+  std::vector<BaseStream> streams;
+  Rng rng(4242);
+  const rf::Scanner scanner;
+  for (std::size_t r = 0; r < city.routes.size(); ++r) {
+    for (int k = 0; k < 5; ++k) {
+      const auto trip = sim::simulate_trip(
+          TripId(static_cast<std::uint32_t>(700 + r * 10 + k)),
+          city.routes[r], city.profiles[r], traffic,
+          at_day_time(1, hms(7) + 2400.0 * k), rng);
+      streams.push_back({city.routes[r].id(),
+                         sim::sense_trip(trip, city.routes[r], city.aps,
+                                         city.model, scanner, rng)});
+    }
+  }
+  return streams;
+}
+
+TEST(Observability, ChaosWorkloadReconcilesWithIngestStats) {
+  testing::MiniCity city;
+  sim::TrafficModel traffic(23);
+  ServerConfig config;
+  config.engine.workers = 2;
+  config.engine.record_latency = true;
+  WiLocatorServer server({&city.route_a(), &city.route_b()},
+                         city.ap_snapshot(), city.model,
+                         DaySlots::paper_five_slots(), config);
+
+  const auto base = make_base_streams(city, traffic);
+  const auto profile = sim::FaultProfile::uniform(0.15);
+  std::uint32_t next_trip = 20000;
+
+  for (int round = 0; round < 100; ++round) {
+    if (server.ingest_stats().submitted >= 10500) break;
+
+    std::vector<TripId> trips;
+    std::vector<std::vector<sim::ScanReport>> faulted;
+    for (std::size_t j = 0; j < base.size(); ++j) {
+      const TripId tid(next_trip++);
+      server.begin_trip(tid, base[j].route);
+      trips.push_back(tid);
+      sim::FaultInjector injector(
+          profile, static_cast<std::uint64_t>(round) * 613 + j + 1);
+      faulted.push_back(injector.apply(base[j].reports));
+    }
+
+    // Round-robin interleave across trips, submitted through the
+    // high-throughput batched path, plus one orphan submission.
+    std::vector<ScanSubmission> batch;
+    batch.push_back({TripId(4000000), base[0].reports[0].scan});
+    std::size_t pos = 0;
+    bool more = true;
+    while (more) {
+      more = false;
+      for (std::size_t j = 0; j < trips.size(); ++j) {
+        if (pos >= faulted[j].size()) continue;
+        more = true;
+        batch.push_back({trips[j], faulted[j][pos].scan});
+      }
+      ++pos;
+    }
+    const BatchIngestResult result = server.ingest_batch(batch);
+    EXPECT_TRUE(result.complete());
+
+    server.drain();
+    for (const TripId tid : trips) server.end_trip(tid);
+  }
+  server.drain();
+
+  const IngestStats stats = server.ingest_stats();
+  ASSERT_GE(stats.submitted, 10000u);
+  ASSERT_TRUE(stats.accounted());
+  ASSERT_EQ(stats.deferred, 0u);  // every trip ended (flushed)
+
+  const obs::Snapshot snap = server.metrics_snapshot();
+  ASSERT_FALSE(snap.empty());
+
+  // The shared ingest.* counters aggregate exactly what total_stats()
+  // sums (the engine is idle, so both views are quiescent).
+  EXPECT_EQ(snap.counter("ingest.submitted"), stats.submitted);
+  EXPECT_EQ(snap.counter("ingest.accepted"), stats.accepted);
+  EXPECT_EQ(snap.counter("ingest.reordered"), stats.reordered);
+  EXPECT_EQ(snap.counter("ingest.fixes"), stats.fixes);
+  EXPECT_EQ(snap.counter("ingest.degraded_fixes"), stats.degraded_fixes);
+  for (std::size_t r = 1; r < kRejectReasonCount; ++r) {
+    const auto reason = static_cast<RejectReason>(r);
+    EXPECT_EQ(snap.counter(std::string("ingest.rejected.") +
+                           to_string(reason)),
+              stats.rejected(reason))
+        << to_string(reason);
+  }
+  EXPECT_EQ(snap.counter("ingest.readings_dropped.invalid"),
+            stats.readings_dropped_invalid);
+  EXPECT_EQ(snap.counter("ingest.readings_dropped.weak"),
+            stats.readings_dropped_weak);
+  EXPECT_EQ(snap.counter("ingest.readings_dropped.duplicate"),
+            stats.readings_dropped_duplicate);
+  EXPECT_EQ(snap.counter("ingest.readings_dropped.unknown_ap"),
+            stats.readings_dropped_unknown_ap);
+  // The faulted stream exercised the defer path; the obs counter is
+  // monotonic over defer events while the stats field tracks occupancy.
+  EXPECT_GT(snap.counter("ingest.deferred"), 0u);
+
+  // Engine-level accounting: every submitted scan was enqueued and
+  // processed; harvested observations all reached the store.
+  EXPECT_EQ(snap.counter("engine.enqueued"), stats.submitted);
+  EXPECT_EQ(snap.counter("engine.processed"), stats.submitted);
+  EXPECT_EQ(snap.counter("engine.rejected_backpressure"), 0u);
+  EXPECT_GT(snap.counter("engine.observations"), 0u);
+  EXPECT_EQ(snap.counter("server.observations_published"),
+            snap.counter("engine.observations"));
+
+  // Locate instrumentation saw the accepted scans.
+  EXPECT_GT(snap.counter("locate.fast_path_hits") +
+                snap.counter("locate.fallback_hits") +
+                snap.counter("locate.misses"),
+            0u);
+  const obs::HistogramSnapshot* candidates = snap.histogram("locate.candidates");
+  ASSERT_NE(candidates, nullptr);
+  EXPECT_GT(candidates->total, 0u);
+
+  // Threaded-mode histograms were sampled.
+  const obs::HistogramSnapshot* depth = snap.histogram("engine.queue_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_GT(depth->total, 0u);
+  const obs::HistogramSnapshot* latency = snap.histogram("engine.latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GT(latency->total, 0u);
+}
+
+TEST(Observability, TracingRecordsCoherentSpans) {
+  testing::MiniCity city;
+  sim::TrafficModel traffic(7);
+  ServerConfig config;
+  config.tracing = true;
+  WiLocatorServer server({&city.route_a()}, city.ap_snapshot(), city.model,
+                         DaySlots::paper_five_slots(), config);
+
+  Rng rng(11);
+  const auto record = sim::simulate_trip(TripId(1), city.route_a(),
+                                         city.profiles[0], traffic,
+                                         at_day_time(2, hms(9)), rng);
+  const rf::Scanner scanner;
+  const auto reports = sim::sense_trip(record, city.route_a(), city.aps,
+                                       city.model, scanner, rng);
+
+  server.begin_trip(TripId(1), city.route_a().id());
+  for (const auto& report : reports) server.ingest(TripId(1), report.scan);
+  server.end_trip(TripId(1));
+
+  const std::vector<obs::TraceEvent> events = server.take_trace_events();
+  ASSERT_FALSE(events.empty());
+
+  std::size_t n_ingest = 0, n_locate = 0, n_fix = 0, n_observe = 0,
+              n_release = 0;
+  std::set<std::uint64_t> ingest_ids;
+  for (const obs::TraceEvent& e : events) {
+    switch (e.stage) {
+      case obs::TraceStage::ingest:
+        ++n_ingest;
+        ingest_ids.insert(e.id);
+        break;
+      case obs::TraceStage::locate: ++n_locate; break;
+      case obs::TraceStage::fix: ++n_fix; break;
+      case obs::TraceStage::observe: ++n_observe; break;
+      case obs::TraceStage::release: ++n_release; break;
+    }
+  }
+  const IngestStats stats = server.ingest_stats();
+  // One ingest span per submitted scan, each with a distinct sequence id.
+  EXPECT_EQ(n_ingest, stats.submitted);
+  EXPECT_EQ(ingest_ids.size(), stats.submitted);
+  EXPECT_GT(n_locate, 0u);
+  EXPECT_GT(n_fix, 0u);
+  // Every harvested observation was order-finalized and released.
+  EXPECT_EQ(n_observe, n_release);
+  EXPECT_EQ(n_observe,
+            server.metrics_snapshot().counter("engine.observations"));
+  // Non-ingest events belong to spans that started with an ingest event.
+  for (const obs::TraceEvent& e : events)
+    if (e.stage == obs::TraceStage::locate || e.stage == obs::TraceStage::fix)
+      EXPECT_TRUE(ingest_ids.count(e.id)) << e.id;
+
+  // The ring was drained; with tracing toggled off nothing is recorded.
+  EXPECT_TRUE(server.take_trace_events().empty());
+  server.set_tracing(false);
+  server.begin_trip(TripId(2), city.route_a().id());
+  server.ingest(TripId(2), reports.front().scan);
+  EXPECT_TRUE(server.take_trace_events().empty());
+}
+
+TEST(Observability, ReporterStreamsServerMetrics) {
+  testing::MiniCity city;
+  sim::TrafficModel traffic(3);
+  WiLocatorServer server({&city.route_a()}, city.ap_snapshot(), city.model,
+                         DaySlots::paper_five_slots());
+
+  std::ostringstream out;
+  obs::Reporter reporter(server.metrics_registry(), out, {.period_s = 30.0});
+
+  Rng rng(9);
+  const auto record = sim::simulate_trip(TripId(5), city.route_a(),
+                                         city.profiles[0], traffic,
+                                         at_day_time(1, hms(8)), rng);
+  const rf::Scanner scanner;
+  const auto reports = sim::sense_trip(record, city.route_a(), city.aps,
+                                       city.model, scanner, rng);
+
+  server.begin_trip(TripId(5), city.route_a().id());
+  double now = at_day_time(1, hms(8));
+  for (const auto& report : reports) {
+    server.ingest(TripId(5), report.scan);
+    now = report.scan.time;
+    reporter.maybe_report(now);
+  }
+  server.end_trip(TripId(5));
+  reporter.report(now);
+
+  EXPECT_GE(reporter.reports(), 2u);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_EQ(line.rfind("{\"t\":", 0), 0u) << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"ingest.submitted\":"), std::string::npos) << line;
+  }
+  EXPECT_EQ(n, reporter.reports());
+}
+
+}  // namespace
+}  // namespace wiloc::core

@@ -92,6 +92,40 @@ TEST(DaySlots, SlotEndTime) {
   EXPECT_DOUBLE_EQ(slots.slot_end_time(evening), at_day_time(3, 0.0));
 }
 
+TEST(DaySlots, WrappedPartitionCrossesMidnight) {
+  // [06:00, 20:00) plus the cyclic night slot [20:00, 24:00)+[00:00, 06:00).
+  const DaySlots slots =
+      DaySlots::from_boundaries_wrapped({hms(6), hms(20)});
+  EXPECT_EQ(slots.count(), 2u);
+  EXPECT_TRUE(slots.wraps());
+  EXPECT_EQ(slots.slot_of_tod(hms(12)), 0u);
+  EXPECT_EQ(slots.slot_of_tod(hms(23)), 1u);
+  EXPECT_EQ(slots.slot_of_tod(hms(2)), 1u);
+  EXPECT_EQ(slots.slot_of_tod(hms(5, 59)), 1u);
+  EXPECT_EQ(slots.slot_of_tod(hms(6)), 0u);
+  // The wrapped slot entered before midnight ends at 06:00 *next day*.
+  EXPECT_DOUBLE_EQ(slots.slot_end_time(at_day_time(2, hms(22))),
+                   at_day_time(3, hms(6)));
+  // Entered after midnight it ends at 06:00 the same day.
+  EXPECT_DOUBLE_EQ(slots.slot_end_time(at_day_time(3, hms(3))),
+                   at_day_time(3, hms(6)));
+  // A non-wrapped slot is unaffected.
+  EXPECT_DOUBLE_EQ(slots.slot_end_time(at_day_time(2, hms(12))),
+                   at_day_time(2, hms(20)));
+}
+
+TEST(DaySlots, WrappedPartitionValidation) {
+  EXPECT_THROW(DaySlots::from_boundaries_wrapped({hms(6)}),
+               ContractViolation);
+  EXPECT_THROW(DaySlots::from_boundaries_wrapped({0.0, hms(6)}),
+               ContractViolation);
+  EXPECT_THROW(
+      DaySlots::from_boundaries_wrapped({hms(6), kSecondsPerDay}),
+      ContractViolation);
+  EXPECT_THROW(DaySlots::from_boundaries_wrapped({hms(20), hms(6)}),
+               ContractViolation);
+}
+
 TEST(DaySlots, SlotAccessorBounds) {
   const DaySlots slots = DaySlots::uniform(2);
   EXPECT_NO_THROW(slots.slot(1));
