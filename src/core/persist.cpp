@@ -1,0 +1,131 @@
+#include "core/persist.hpp"
+
+#include <bit>
+#include <filesystem>
+
+#include "util/contracts.hpp"
+#include "util/hashing.hpp"
+
+namespace wiloc::core {
+
+ObservationKey ObservationKey::of(const TravelObservation& obs) {
+  ObservationKey k;
+  k.edge = obs.edge.value();
+  k.route = obs.route.value();
+  k.exit_bits = std::bit_cast<std::uint64_t>(obs.exit_time);
+  k.travel_bits = std::bit_cast<std::uint64_t>(obs.travel_time);
+  return k;
+}
+
+std::size_t ObservationKey::Hash::operator()(const ObservationKey& k) const {
+  return static_cast<std::size_t>(
+      hash_coords(hash_coords(0x6f62736bULL, k.edge, k.route), k.exit_bits,
+                  k.travel_bits));
+}
+
+StatePersistence::StatePersistence(PersistenceConfig config)
+    : config_(std::move(config)) {
+  WILOC_EXPECTS(config_.enabled());
+  WILOC_EXPECTS(config_.snapshot_interval_s > 0.0);
+  WILOC_EXPECTS(config_.journal_trigger_bytes > 0);
+  std::error_code ec;
+  std::filesystem::create_directories(config_.dir, ec);
+  if (ec)
+    throw Error("persist: cannot create state directory " + config_.dir +
+                ": " + ec.message());
+  writer_ = std::make_unique<journal::Writer>(journal_path(), config_.fsync,
+                                              config_.failure_hook);
+  if (metrics_.journal_bytes != nullptr)
+    metrics_.journal_bytes->set(static_cast<double>(writer_->size_bytes()));
+}
+
+void StatePersistence::append(JournalRecord type,
+                              const TravelObservation& obs) {
+  BinWriter frame;
+  frame.put_u64(++seq_);
+  frame.put_u8(static_cast<std::uint8_t>(type));
+  encode_observation(frame, obs);
+  try {
+    writer_->append(frame.bytes());
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+  if (!last_checkpoint_time_.has_value())
+    last_checkpoint_time_ = obs.exit_time;
+  if (metrics_.journal_appends != nullptr) metrics_.journal_appends->inc();
+  if (metrics_.journal_bytes != nullptr)
+    metrics_.journal_bytes->set(static_cast<double>(writer_->size_bytes()));
+}
+
+bool StatePersistence::should_checkpoint(SimTime now) const {
+  if (writer_->size_bytes() >= config_.journal_trigger_bytes) return true;
+  return last_checkpoint_time_.has_value() &&
+         now - *last_checkpoint_time_ >= config_.snapshot_interval_s;
+}
+
+void StatePersistence::write_checkpoint(std::span<const std::byte> body,
+                                        SimTime now) {
+  try {
+    journal::write_snapshot_file(
+        snapshot_path(), kSnapshotMagic, kSnapshotVersion, body,
+        config_.fsync != journal::FsyncPolicy::never, config_.failure_hook);
+    // The snapshot covers everything journaled so far: compact. A crash
+    // between the rename above and this truncate leaves overlapping
+    // records, which replay dedups via the embedded watermark.
+    writer_->reset();
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+  last_checkpoint_time_ = now;
+  if (metrics_.snapshots != nullptr) metrics_.snapshots->inc();
+  if (metrics_.journal_bytes != nullptr)
+    metrics_.journal_bytes->set(static_cast<double>(writer_->size_bytes()));
+}
+
+std::uint64_t StatePersistence::journal_bytes() const {
+  return writer_->size_bytes();
+}
+
+StatePersistence::RecoveryResult StatePersistence::recover() {
+  RecoveryResult result;
+  try {
+    result.snapshot =
+        journal::read_snapshot_file(snapshot_path(), kSnapshotMagic);
+  } catch (const DecodeError&) {
+    // A corrupt snapshot must not abort recovery: the journal may still
+    // hold a usable (if older) view of the world.
+    result.snapshot_corrupt = true;
+  }
+
+  result.replay = journal::replay(
+      journal_path(), [&](std::span<const std::byte> payload) {
+        try {
+          BinReader r(payload);
+          RecoveredRecord rec;
+          rec.seq = r.get_u64();
+          const std::uint8_t type = r.get_u8();
+          if (type != static_cast<std::uint8_t>(JournalRecord::history_obs) &&
+              type != static_cast<std::uint8_t>(JournalRecord::recent_obs))
+            throw DecodeError("persist: unknown journal record type " +
+                              std::to_string(type));
+          rec.type = static_cast<JournalRecord>(type);
+          rec.obs = decode_observation(r);
+          result.records.push_back(rec);
+        } catch (const DecodeError&) {
+          ++result.undecodable;
+        }
+      });
+  return result;
+}
+
+std::uint64_t state_fingerprint(const DaySlots& slots,
+                                std::uint64_t predictor_fingerprint) {
+  BinWriter w;
+  slots.encode(w);
+  return hash_coords(0x736c6f74ULL, journal::crc32(w.bytes()),
+                     predictor_fingerprint);
+}
+
+}  // namespace wiloc::core

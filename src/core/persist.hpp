@@ -1,0 +1,175 @@
+// Durable state & crash recovery for the learned travel-time layer.
+//
+// Everything WiLocator *learns* — per-(edge,route,slot) history means,
+// residual statistics, and the cross-route recent-correction rings — is
+// what separates a warm server from cold start. StatePersistence makes
+// that state crash-tolerant with the classic checkpoint + write-ahead
+// split:
+//
+//  - every observation entering the store is appended to a CRC-framed
+//    journal (util/journal), stamped with a monotonic sequence number;
+//  - periodically (sim-time interval or journal-size trigger) the whole
+//    store is serialized into an atomic snapshot file embedding the
+//    journal watermark, and the journal is truncated
+//    (snapshot-then-truncate compaction);
+//  - recovery loads the snapshot (if any), then replays journal frames
+//    *after* the watermark. A frame at or below the watermark, or an
+//    observation the store already holds, is skipped — replay is
+//    idempotent, so the crash window between snapshot-write and
+//    journal-truncate cannot double-count.
+//
+// Partial recovery is graceful by construction: a corrupt journal
+// record or a torn tail bumps `persist.corrupt` and is skipped; a
+// corrupt snapshot bumps the metric and recovery continues from the
+// journal alone. Recovery never aborts the server.
+//
+// All persistence work runs on the control thread (the server's
+// publish/query side), never on the ingest engine's shard workers.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/travel_time.hpp"
+#include "util/journal.hpp"
+#include "util/obs.hpp"
+
+namespace wiloc::core {
+
+/// Where and how aggressively the server persists learned state.
+/// An empty `dir` disables persistence entirely (the default).
+struct PersistenceConfig {
+  std::string dir;  ///< state directory; created on demand
+
+  /// Sim-time between periodic checkpoints (measured on the exit times
+  /// of the observations flowing through the store).
+  double snapshot_interval_s = 15.0 * 60.0;
+  /// Journal size that forces a checkpoint regardless of the interval.
+  std::uint64_t journal_trigger_bytes = 4ull << 20;
+  journal::FsyncPolicy fsync = journal::FsyncPolicy::on_checkpoint;
+  /// Recover automatically in the WiLocatorServer constructor when the
+  /// directory already holds state.
+  bool recover_on_start = true;
+  /// Test-only crash injection (see sim::CrashInjector); invoked at
+  /// named sites inside the journal/snapshot writers.
+  journal::FailureHook failure_hook;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// Obs handles for the persistence path; all-null by default.
+struct PersistMetrics {
+  obs::Counter* snapshots = nullptr;        ///< persist.snapshots
+  obs::Counter* journal_appends = nullptr;  ///< persist.journal_appends
+  obs::Counter* recovered = nullptr;        ///< persist.recovered
+  obs::Counter* skipped = nullptr;          ///< persist.skipped
+  obs::Counter* corrupt = nullptr;          ///< persist.corrupt
+  obs::Counter* config_mismatch = nullptr;  ///< persist.config_mismatch
+  obs::Gauge* journal_bytes = nullptr;      ///< persist.journal_bytes
+};
+
+/// Journal record types (first payload byte after the sequence number).
+enum class JournalRecord : std::uint8_t {
+  history_obs = 1,  ///< offline training observation (pre-finalize)
+  recent_obs = 2,   ///< live completed-segment traversal
+};
+
+/// Exact identity of one observation; the dedup key for idempotent
+/// history loading and journal replay.
+struct ObservationKey {
+  std::uint32_t edge = 0;
+  std::uint32_t route = 0;
+  std::uint64_t exit_bits = 0;
+  std::uint64_t travel_bits = 0;
+
+  static ObservationKey of(const TravelObservation& obs);
+  friend bool operator==(const ObservationKey&,
+                         const ObservationKey&) = default;
+  struct Hash {
+    std::size_t operator()(const ObservationKey& k) const;
+  };
+};
+
+/// Snapshot + journal manager for one state directory. Owns the journal
+/// writer; the server drives it from the control thread.
+class StatePersistence {
+ public:
+  /// Creates the directory when missing and opens the journal.
+  explicit StatePersistence(PersistenceConfig config);
+
+  void set_metrics(const PersistMetrics& metrics) { metrics_ = metrics; }
+
+  const PersistenceConfig& config() const { return config_; }
+  std::string snapshot_path() const { return config_.dir + "/state.snapshot"; }
+  std::string journal_path() const { return config_.dir + "/state.journal"; }
+
+  /// Appends one seq-stamped observation record to the journal.
+  void append(JournalRecord type, const TravelObservation& obs);
+
+  /// True once a persistence operation failed (I/O error or injected
+  /// crash). A poisoned manager must not be written through again —
+  /// in particular the server's destructor checkpoint is skipped, so a
+  /// simulated crash cannot leak post-crash state to disk.
+  bool poisoned() const { return poisoned_ || writer_->dead(); }
+
+  /// True when the interval or journal-size trigger has fired since the
+  /// last checkpoint.
+  bool should_checkpoint(SimTime now) const;
+
+  /// Atomically writes `body` as the new snapshot, then truncates the
+  /// journal it supersedes. `body` must embed last_seq() so the next
+  /// recovery can dedup the snapshot/journal overlap.
+  void write_checkpoint(std::span<const std::byte> body, SimTime now);
+
+  /// Sequence number of the most recently appended record (0 before the
+  /// first append); the watermark embedded in snapshots.
+  std::uint64_t last_seq() const { return seq_; }
+  /// Continues the sequence after recovery.
+  void resume_seq(std::uint64_t seq) { seq_ = std::max(seq_, seq); }
+
+  std::uint64_t journal_bytes() const;
+
+  struct RecoveredRecord {
+    std::uint64_t seq = 0;
+    JournalRecord type = JournalRecord::recent_obs;
+    TravelObservation obs;
+  };
+
+  struct RecoveryResult {
+    std::optional<journal::SnapshotData> snapshot;  ///< verified body
+    bool snapshot_corrupt = false;  ///< present but failed magic/CRC
+    std::vector<RecoveredRecord> records;  ///< decodable journal records
+    journal::ReplayStats replay;
+    /// Journal frames whose payload failed to decode (counted corrupt
+    /// on top of replay.frames_corrupt).
+    std::uint64_t undecodable = 0;
+  };
+
+  /// Reads whatever state the directory holds. Content corruption never
+  /// throws: it is reported in the result (and the caller bumps the
+  /// metrics); only environmental I/O failures propagate.
+  RecoveryResult recover();
+
+  /// The server snapshot-body magic/version (shared with save/restore).
+  static constexpr std::uint32_t kSnapshotMagic = 0x534c4957;  // "WILS"
+  static constexpr std::uint32_t kSnapshotVersion = 1;
+
+ private:
+  PersistenceConfig config_;
+  PersistMetrics metrics_;
+  std::unique_ptr<journal::Writer> writer_;
+  std::uint64_t seq_ = 0;
+  std::optional<SimTime> last_checkpoint_time_;
+  bool poisoned_ = false;
+};
+
+/// Combined fingerprint of the configuration that shapes the persisted
+/// state's meaning (slot partition + predictor options). Embedded in
+/// snapshots; drift is flagged, not fatal.
+std::uint64_t state_fingerprint(const DaySlots& slots,
+                                std::uint64_t predictor_fingerprint);
+
+}  // namespace wiloc::core

@@ -1,11 +1,25 @@
 #include "core/predictor.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "util/contracts.hpp"
+#include "util/hashing.hpp"
 
 namespace wiloc::core {
+
+std::uint64_t options_fingerprint(const PredictorOptions& o) {
+  std::uint64_t h = hash_coords(0x70726564ULL,  // "pred"
+                                (o.use_recent ? 1u : 0u) |
+                                    (o.cross_route ? 2u : 0u),
+                                std::bit_cast<std::uint64_t>(o.recent_window_s),
+                                o.max_recent);
+  h = hash_coords(h, std::bit_cast<std::uint64_t>(o.correction_clamp_frac),
+                  std::bit_cast<std::uint64_t>(o.correction_shrinkage),
+                  std::bit_cast<std::uint64_t>(o.min_segment_time_s));
+  return hash_coords(h, std::bit_cast<std::uint64_t>(o.fallback_speed_frac));
+}
 
 ArrivalPredictor::ArrivalPredictor(const TravelTimeStore& store,
                                    PredictorOptions options)

@@ -32,6 +32,13 @@ struct PredictorOptions {
   double fallback_speed_frac = 0.55;     ///< of the limit, for cold edges
 };
 
+/// Stable fingerprint over every option that shapes how the persisted
+/// recent-correction state (the store's recent rings) is interpreted.
+/// The server embeds it in checkpoints; a mismatch on recovery flags
+/// configuration drift (persist.config_mismatch) instead of silently
+/// re-reading old state under new semantics.
+std::uint64_t options_fingerprint(const PredictorOptions& options);
+
 /// Obs handles for the prediction path; all-null by default. Updates are
 /// wait-free, so the const query methods stay thread-safe.
 struct PredictorMetrics {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/contracts.hpp"
+#include "util/journal.hpp"
 
 namespace wiloc::core {
 
@@ -125,6 +126,59 @@ DaySlots SeasonalIndexAnalyzer::merged_slots_network(double tolerance) const {
                       ? averaged[l] / static_cast<double>(counts[l])
                       : 1.0;
   return merge_profile(averaged, tolerance);
+}
+
+namespace {
+constexpr std::uint8_t kSeasonalFormatVersion = 1;
+constexpr std::uint32_t kSeasonalSnapshotMagic = 0x49534c57;  // "WLSI"
+}  // namespace
+
+void SeasonalIndexAnalyzer::save(BinWriter& w) const {
+  w.put_u8(kSeasonalFormatVersion);
+  w.put_u64(slots_per_day_);
+  w.put_u64(per_edge_.size());
+  for (const auto& [edge, slots] : per_edge_) {
+    w.put_u32(edge.value());
+    for (const RunningStats& s : slots) encode_stats(w, s);
+  }
+}
+
+void SeasonalIndexAnalyzer::restore(BinReader& r) {
+  const std::uint8_t version = r.get_u8();
+  if (version != kSeasonalFormatVersion)
+    throw DecodeError(
+        "SeasonalIndexAnalyzer: unknown snapshot format version " +
+        std::to_string(version));
+  const std::uint64_t slots_per_day = r.get_u64();
+  if (slots_per_day == 0 || slots_per_day > 100000)
+    throw DecodeError("SeasonalIndexAnalyzer: implausible slot count " +
+                      std::to_string(slots_per_day));
+  decltype(per_edge_) per_edge;
+  const std::uint64_t edges = r.get_u64();
+  for (std::uint64_t i = 0; i < edges; ++i) {
+    const roadnet::EdgeId edge(r.get_u32());
+    auto& slots = per_edge[edge];
+    slots.reserve(slots_per_day);
+    for (std::uint64_t l = 0; l < slots_per_day; ++l)
+      slots.push_back(decode_stats(r));
+  }
+  slots_per_day_ = static_cast<std::size_t>(slots_per_day);
+  per_edge_ = std::move(per_edge);
+}
+
+void SeasonalIndexAnalyzer::save_snapshot(const std::string& path) const {
+  BinWriter w;
+  save(w);
+  journal::write_snapshot_file(path, kSeasonalSnapshotMagic, 1, w.bytes(),
+                               /*do_fsync=*/true);
+}
+
+bool SeasonalIndexAnalyzer::restore_snapshot(const std::string& path) {
+  const auto data = journal::read_snapshot_file(path, kSeasonalSnapshotMagic);
+  if (!data.has_value()) return false;
+  BinReader r(data->body);
+  restore(r);
+  return true;
 }
 
 std::vector<roadnet::EdgeId> SeasonalIndexAnalyzer::observed_edges() const {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "roadnet/network.hpp"
+#include "util/binio.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
 
@@ -52,6 +53,23 @@ class SeasonalIndexAnalyzer {
 
   /// Edges with at least one observation.
   std::vector<roadnet::EdgeId> observed_edges() const;
+
+  // -- persistence -------------------------------------------------------
+
+  /// Serializes the per-(edge, slot) profile accumulators into `w`.
+  void save(BinWriter& w) const;
+  /// Replaces this analyzer's state with one written by save(). Throws
+  /// DecodeError on malformed input.
+  void restore(BinReader& r);
+
+  /// Writes the analyzer state to an atomic versioned snapshot file
+  /// (temp + fsync + rename), so weeks of accumulated slot statistics
+  /// survive a process restart.
+  void save_snapshot(const std::string& path) const;
+  /// Restores from a file written by save_snapshot(). Returns false when
+  /// the file does not exist (cold start); throws DecodeError when it
+  /// exists but is corrupt.
+  bool restore_snapshot(const std::string& path);
 
  private:
   DaySlots merge_profile(const std::vector<double>& si,

@@ -24,6 +24,7 @@ WiLocatorServer::WiLocatorServer(
     adopt_route(*route, std::make_unique<svd::RouteSvd>(*route, aps, model,
                                                         config_.svd));
   }
+  init_persistence();
 }
 
 WiLocatorServer::WiLocatorServer(std::vector<RouteIndex> bindings,
@@ -41,6 +42,27 @@ WiLocatorServer::WiLocatorServer(std::vector<RouteIndex> bindings,
     WILOC_EXPECTS(binding.route != nullptr);
     WILOC_EXPECTS(binding.index != nullptr);
     adopt_route(*binding.route, std::move(binding.index));
+  }
+  init_persistence();
+}
+
+WiLocatorServer::~WiLocatorServer() {
+  // Graceful shutdown persists the learned state — unless a persistence
+  // write already failed (injected crash or real I/O error), in which
+  // case the on-disk state must stay exactly as the failure left it.
+  try {
+    if (persist_ != nullptr && !persist_->poisoned()) {
+      engine_->drain();
+      publish_pending();
+      do_checkpoint();
+    }
+  } catch (...) {
+    // A destructor must not throw; the state directory simply keeps its
+    // last consistent view and the next start recovers from it.
+  }
+  try {
+    if (reporter_ != nullptr) reporter_->flush_final();
+  } catch (...) {
   }
 }
 
@@ -63,6 +85,152 @@ void WiLocatorServer::init_obs() {
   traffic_builder_.set_metrics(tm);
 
   obs_published_ = &registry_.counter("server.observations_published");
+  history_dups_ = &registry_.counter("server.history_duplicates");
+
+  persist_metrics_.snapshots = &registry_.counter("persist.snapshots");
+  persist_metrics_.journal_appends =
+      &registry_.counter("persist.journal_appends");
+  persist_metrics_.recovered = &registry_.counter("persist.recovered");
+  persist_metrics_.skipped = &registry_.counter("persist.skipped");
+  persist_metrics_.corrupt = &registry_.counter("persist.corrupt");
+  persist_metrics_.config_mismatch =
+      &registry_.counter("persist.config_mismatch");
+  persist_metrics_.journal_bytes = &registry_.gauge("persist.journal_bytes");
+}
+
+void WiLocatorServer::init_persistence() {
+  config_fingerprint_ = state_fingerprint(
+      store_.slots(), options_fingerprint(config_.predictor));
+  if (!config_.persist.enabled()) return;
+  persist_ = std::make_unique<StatePersistence>(config_.persist);
+  persist_->set_metrics(persist_metrics_);
+  if (config_.persist.recover_on_start) recover_state();
+}
+
+void WiLocatorServer::recover_state() {
+  StatePersistence::RecoveryResult rec = persist_->recover();
+  std::uint64_t corrupt = rec.replay.frames_corrupt + rec.undecodable;
+  if (rec.replay.torn_tail) ++corrupt;
+  if (rec.snapshot_corrupt) ++corrupt;
+
+  std::uint64_t watermark = 0;
+  if (rec.snapshot.has_value()) {
+    try {
+      BinReader r(rec.snapshot->body);
+      watermark = apply_snapshot_body(r);
+      recovered_ = true;
+    } catch (const DecodeError&) {
+      // CRC-clean but semantically undecodable (e.g. foreign layout):
+      // fall back to the journal alone, like a corrupt snapshot.
+      ++corrupt;
+    }
+  }
+
+  std::uint64_t applied = 0;
+  std::uint64_t skipped = 0;
+  for (const StatePersistence::RecoveredRecord& record : rec.records) {
+    persist_->resume_seq(record.seq);
+    if (record.seq <= watermark) {  // already inside the snapshot
+      ++skipped;
+      continue;
+    }
+    bool added = false;
+    if (record.type == JournalRecord::history_obs) {
+      if (!store_.finalized() &&
+          history_seen_.insert(ObservationKey::of(record.obs)).second) {
+        store_.add_history(record.obs);
+        added = true;
+      }
+    } else {
+      added = store_.add_recent(record.obs);
+    }
+    if (added) {
+      ++applied;
+      recovered_ = true;
+      note_event(record.obs.exit_time);
+    } else {
+      ++skipped;
+    }
+  }
+
+  if (applied > 0 && persist_metrics_.recovered != nullptr)
+    persist_metrics_.recovered->inc(applied);
+  if (skipped > 0 && persist_metrics_.skipped != nullptr)
+    persist_metrics_.skipped->inc(skipped);
+  if (corrupt > 0 && persist_metrics_.corrupt != nullptr)
+    persist_metrics_.corrupt->inc(corrupt);
+
+  // Fold everything recovered into a fresh snapshot: torn tails and
+  // orphaned records are gone, and the new run starts from a compact,
+  // verified baseline.
+  if (recovered_) do_checkpoint();
+}
+
+std::vector<std::byte> WiLocatorServer::snapshot_body() const {
+  BinWriter w;
+  w.put_u64(config_fingerprint_);
+  w.put_u64(persist_ != nullptr ? persist_->last_seq() : 0);
+  store_.save(w);
+  traffic_builder_.save(w);
+  return w.take();
+}
+
+std::uint64_t WiLocatorServer::apply_snapshot_body(BinReader& r) {
+  const std::uint64_t fingerprint = r.get_u64();
+  const std::uint64_t watermark = r.get_u64();
+  if (fingerprint != config_fingerprint_ &&
+      persist_metrics_.config_mismatch != nullptr)
+    persist_metrics_.config_mismatch->inc();
+  store_.restore(r);
+  traffic_builder_.restore(r);
+  history_seen_.clear();
+  for (const TravelObservation& obs : store_.raw_history())
+    history_seen_.insert(ObservationKey::of(obs));
+  return watermark;
+}
+
+void WiLocatorServer::do_checkpoint() const {
+  const std::vector<std::byte> body = snapshot_body();
+  persist_->write_checkpoint(body, last_event_time_);
+}
+
+void WiLocatorServer::maybe_checkpoint() const {
+  if (persist_ == nullptr || !has_event_) return;
+  if (!persist_->should_checkpoint(last_event_time_)) return;
+  do_checkpoint();
+}
+
+void WiLocatorServer::note_event(SimTime t) const {
+  if (!has_event_ || t > last_event_time_) {
+    last_event_time_ = t;
+    has_event_ = true;
+  }
+}
+
+void WiLocatorServer::checkpoint() {
+  WILOC_EXPECTS(persist_ != nullptr);
+  publish_pending();
+  do_checkpoint();
+}
+
+void WiLocatorServer::save_snapshot(const std::string& path) const {
+  publish_pending();
+  journal::write_snapshot_file(path, StatePersistence::kSnapshotMagic,
+                               StatePersistence::kSnapshotVersion,
+                               snapshot_body(), /*do_fsync=*/true);
+}
+
+bool WiLocatorServer::restore_snapshot(const std::string& path) {
+  const auto snap =
+      journal::read_snapshot_file(path, StatePersistence::kSnapshotMagic);
+  if (!snap.has_value()) return false;
+  if (snap->version != StatePersistence::kSnapshotVersion)
+    throw DecodeError("server snapshot: unsupported version " +
+                      std::to_string(snap->version));
+  BinReader r(snap->body);
+  apply_snapshot_body(r);
+  recovered_ = true;
+  return true;
 }
 
 void WiLocatorServer::adopt_route(
@@ -85,10 +253,23 @@ void WiLocatorServer::adopt_route(
 }
 
 void WiLocatorServer::load_history(const TravelObservation& obs) {
-  store_.add_history(obs);
+  if (!history_seen_.insert(ObservationKey::of(obs)).second) {
+    if (history_dups_ != nullptr) history_dups_->inc();
+    return;
+  }
+  store_.add_history(obs);  // throws once finalized, before any journaling
+  note_event(obs.exit_time);
+  if (persist_ != nullptr) {
+    persist_->append(JournalRecord::history_obs, obs);
+    maybe_checkpoint();
+  }
 }
 
-void WiLocatorServer::finalize_history() { store_.finalize_history(); }
+void WiLocatorServer::finalize_history() {
+  store_.finalize_history();
+  history_seen_.clear();  // raw history is frozen; the set is done
+  if (persist_ != nullptr) do_checkpoint();
+}
 
 void WiLocatorServer::begin_trip(roadnet::TripId trip,
                                  roadnet::RouteId route) {
@@ -121,9 +302,17 @@ void WiLocatorServer::drain() {
 
 void WiLocatorServer::publish_pending() const {
   for (const TravelObservation& obs : engine_->take_ready_observations()) {
-    store_.add_recent(obs);
+    const bool added = store_.add_recent(obs);
     if (obs_published_ != nullptr) obs_published_->inc();
+    note_event(obs.exit_time);
+    // Journal only genuinely new observations: a duplicate the store
+    // dropped must not resurface on the next replay.
+    if (added && persist_ != nullptr)
+      persist_->append(JournalRecord::recent_obs, obs);
   }
+  maybe_checkpoint();
+  if (reporter_ != nullptr && has_event_)
+    reporter_->maybe_report(last_event_time_);
 }
 
 void WiLocatorServer::flush_trip(roadnet::TripId trip) {

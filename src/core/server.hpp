@@ -23,9 +23,11 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/anomaly.hpp"
 #include "core/ingest_engine.hpp"
+#include "core/persist.hpp"
 #include "core/predictor.hpp"
 #include "core/tracker.hpp"
 #include "core/traffic_map.hpp"
@@ -42,6 +44,7 @@ struct ServerConfig {
   TrafficMapParams traffic;
   IngestGuardParams ingest;  ///< per-trip scan-stream guard
   IngestEngineParams engine; ///< sharding / worker pool (0 = serial)
+  PersistenceConfig persist; ///< durable state (disabled by default)
   double typical_scan_distance_m = 70.0;  ///< anomaly delta basis
   bool tracing = false;  ///< record per-scan trace spans (bounded ring)
 };
@@ -66,11 +69,25 @@ class WiLocatorServer {
   WiLocatorServer(std::vector<RouteIndex> bindings, DaySlots slots,
                   ServerConfig config = {});
 
+  /// Graceful shutdown: drains the engine, publishes pending
+  /// observations, and (when persistence is enabled and not poisoned by
+  /// a failed write) writes a final checkpoint. Also flushes a final
+  /// snapshot through any attached obs::Reporter. Never throws.
+  ~WiLocatorServer();
+
+  WiLocatorServer(const WiLocatorServer&) = delete;
+  WiLocatorServer& operator=(const WiLocatorServer&) = delete;
+
   // -- offline training --------------------------------------------------
 
   /// Feeds one historical observation (ground truth or tracked).
+  /// Idempotent: an observation identical to one already loaded (same
+  /// edge, route, exit time and travel time) is dropped — re-feeding a
+  /// training file, or replaying a journal over a restored snapshot,
+  /// cannot double-count (server.history_duplicates counts the drops).
   void load_history(const TravelObservation& obs);
-  /// Freezes history and computes residual statistics.
+  /// Freezes history and computes residual statistics. Checkpoints when
+  /// persistence is enabled (the finalized flag is part of the state).
   void finalize_history();
 
   // -- online operation --------------------------------------------------
@@ -133,6 +150,40 @@ class WiLocatorServer {
   /// accounted() holds on the aggregate whenever the engine is idle.
   IngestStats ingest_stats() const;
 
+  // -- durable state (ServerConfig::persist) -----------------------------
+
+  /// True when construction recovered learned state from the persistence
+  /// directory (snapshot and/or journal records were applied).
+  bool recovered() const { return recovered_; }
+
+  /// Publishes pending observations, then forces a checkpoint now:
+  /// atomically snapshots the learned state and truncates the journal.
+  /// Requires persistence to be enabled.
+  void checkpoint();
+
+  /// The persistence manager, or nullptr when disabled (tests, benches).
+  const StatePersistence* persistence() const { return persist_.get(); }
+
+  /// Serializes the full learned state (store + traffic-map cache) to an
+  /// arbitrary snapshot file — works with persistence disabled (e.g. to
+  /// ship a warmed-up state to another server).
+  void save_snapshot(const std::string& path) const;
+
+  /// Restores state written by save_snapshot / checkpoint. Returns false
+  /// when the file is missing; throws DecodeError when it is corrupt.
+  bool restore_snapshot(const std::string& path);
+
+  /// The traffic map cached by the last build() — survives restarts via
+  /// checkpoints, so a freshly recovered server can serve a (stale but
+  /// honestly timestamped) map before any new observation arrives.
+  const std::optional<TrafficMap>& last_traffic_map() const {
+    return traffic_builder_.last_map();
+  }
+
+  /// Attaches a reporter whose final window is flushed when the server
+  /// shuts down (the reporter must outlive the server).
+  void attach_reporter(obs::Reporter* reporter) { reporter_ = reporter; }
+
   // -- observability -----------------------------------------------------
 
   /// Point-in-time copy of every metric the pipeline maintains
@@ -180,10 +231,26 @@ class WiLocatorServer {
   const RouteRuntime& runtime_for(roadnet::RouteId route) const;
   /// Moves order-finalized segment observations from the engine into the
   /// recent store (serial submission order). Cheap when nothing is
-  /// pending. const because read-side queries trigger it lazily.
+  /// pending. const because read-side queries trigger it lazily. This is
+  /// also where journaling and interval checkpoints happen — always on
+  /// the calling (control) thread, never on the engine's shard workers.
   void publish_pending() const;
   /// Resolves the prediction-side metric handles (both constructors).
   void init_obs();
+  /// Opens the state directory and (when recover_on_start) replays it.
+  void init_persistence();
+  /// Applies snapshot + post-watermark journal records; sets recovered_.
+  void recover_state();
+  /// Serializes [fingerprint][watermark][store][traffic cache].
+  std::vector<std::byte> snapshot_body() const;
+  /// Inverse of snapshot_body(); returns the embedded journal watermark.
+  std::uint64_t apply_snapshot_body(BinReader& r);
+  /// Writes a checkpoint from the current state (persistence enabled).
+  void do_checkpoint() const;
+  /// Interval/size-triggered checkpoint; cheap no-op when not due.
+  void maybe_checkpoint() const;
+  /// Advances the shutdown/reporting clock to the given event time.
+  void note_event(SimTime t) const;
 
   ServerConfig config_;
   std::unordered_map<roadnet::RouteId, RouteRuntime> routes_;
@@ -195,7 +262,18 @@ class WiLocatorServer {
   mutable TravelTimeStore store_;
   ArrivalPredictor predictor_;
   TrafficMapBuilder traffic_builder_;
+  std::unique_ptr<StatePersistence> persist_;  ///< nullptr when disabled
+  /// Exact identities of loaded history observations (cleared at
+  /// finalize; rebuilt from raw history on restore).
+  std::unordered_set<ObservationKey, ObservationKey::Hash> history_seen_;
+  std::uint64_t config_fingerprint_ = 0;
+  bool recovered_ = false;
+  obs::Reporter* reporter_ = nullptr;  ///< final-flushed on destruction
+  mutable SimTime last_event_time_ = 0.0;
+  mutable bool has_event_ = false;
   obs::Counter* obs_published_ = nullptr;  ///< server.observations_published
+  obs::Counter* history_dups_ = nullptr;   ///< server.history_duplicates
+  PersistMetrics persist_metrics_;
 };
 
 }  // namespace wiloc::core

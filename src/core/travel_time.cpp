@@ -88,16 +88,25 @@ std::size_t TravelTimeStore::history_count(roadnet::EdgeId edge) const {
   return n;
 }
 
-void TravelTimeStore::add_recent(const TravelObservation& obs) {
+bool TravelTimeStore::add_recent(const TravelObservation& obs) {
   WILOC_EXPECTS(obs.travel_time > 0.0);
   auto& ring = recent_[obs.edge];
   // Keep the ring ordered by exit time (observations arrive in order in
   // practice; tolerate slight disorder by insertion).
   auto it = ring.end();
   while (it != ring.begin() && (it - 1)->exit_time > obs.exit_time) --it;
+  // Entries sharing this exit time sit immediately before the insertion
+  // point; an exact duplicate among them means this traversal is already
+  // recorded (journal replay, re-fed stream) and must not count twice.
+  for (auto dup = it; dup != ring.begin() &&
+                      (dup - 1)->exit_time == obs.exit_time;
+       --dup) {
+    if (*(dup - 1) == obs) return false;
+  }
   ring.insert(it, obs);
   constexpr std::size_t kMaxRing = 1024;
   if (ring.size() > kMaxRing) ring.pop_front();
+  return true;
 }
 
 std::vector<TravelObservation> TravelTimeStore::recent(
@@ -121,6 +130,122 @@ void TravelTimeStore::prune_recent(SimTime now, double window_s) {
     while (!ring.empty() && now - ring.front().exit_time > window_s)
       ring.pop_front();
   }
+}
+
+// -- persistence -----------------------------------------------------------
+
+void encode_observation(BinWriter& w, const TravelObservation& obs) {
+  w.put_u32(obs.edge.value());
+  w.put_u32(obs.route.value());
+  w.put_f64(obs.exit_time);
+  w.put_f64(obs.travel_time);
+}
+
+TravelObservation decode_observation(BinReader& r) {
+  TravelObservation obs;
+  obs.edge = roadnet::EdgeId(r.get_u32());
+  obs.route = roadnet::RouteId(r.get_u32());
+  obs.exit_time = r.get_f64();
+  obs.travel_time = r.get_f64();
+  return obs;
+}
+
+namespace {
+constexpr std::uint8_t kStoreFormatVersion = 1;
+}
+
+void TravelTimeStore::save(BinWriter& w) const {
+  w.put_u8(kStoreFormatVersion);
+  slots_.encode(w);
+  w.put_u8(finalized_ ? 1 : 0);
+
+  w.put_u64(history_.size());
+  for (const auto& [key, stats] : history_) {
+    w.put_u32(key.edge);
+    w.put_u32(key.route);
+    w.put_u32(key.slot);
+    encode_stats(w, stats);
+  }
+
+  w.put_u64(edge_slot_.size());
+  for (const auto& [key, stats] : edge_slot_) {
+    w.put_u64(key);
+    encode_stats(w, stats);
+  }
+
+  w.put_u64(residuals_.size());
+  for (const auto& [key, stats] : residuals_) {
+    w.put_u64(key);
+    encode_stats(w, stats);
+  }
+
+  w.put_u64(raw_history_.size());
+  for (const TravelObservation& obs : raw_history_)
+    encode_observation(w, obs);
+
+  w.put_u64(recent_.size());
+  for (const auto& [edge, ring] : recent_) {
+    w.put_u32(edge.value());
+    w.put_u64(ring.size());
+    for (const TravelObservation& obs : ring) encode_observation(w, obs);
+  }
+}
+
+void TravelTimeStore::restore(BinReader& r) {
+  const std::uint8_t version = r.get_u8();
+  if (version != kStoreFormatVersion)
+    throw DecodeError("TravelTimeStore: unknown snapshot format version " +
+                      std::to_string(version));
+  DaySlots slots = DaySlots::decode(r);
+  const bool finalized = r.get_u8() != 0;
+
+  decltype(history_) history;
+  const std::uint64_t cells = r.get_u64();
+  for (std::uint64_t i = 0; i < cells; ++i) {
+    CellKey key{};
+    key.edge = r.get_u32();
+    key.route = r.get_u32();
+    key.slot = r.get_u32();
+    history.emplace(key, decode_stats(r));
+  }
+
+  decltype(edge_slot_) edge_slot;
+  const std::uint64_t es = r.get_u64();
+  for (std::uint64_t i = 0; i < es; ++i) {
+    const std::uint64_t key = r.get_u64();
+    edge_slot.emplace(key, decode_stats(r));
+  }
+
+  decltype(residuals_) residuals;
+  const std::uint64_t res = r.get_u64();
+  for (std::uint64_t i = 0; i < res; ++i) {
+    const std::uint64_t key = r.get_u64();
+    residuals.emplace(key, decode_stats(r));
+  }
+
+  decltype(raw_history_) raw;
+  const std::uint64_t raw_n = r.get_u64();
+  for (std::uint64_t i = 0; i < raw_n; ++i)
+    raw.push_back(decode_observation(r));
+
+  decltype(recent_) recent;
+  const std::uint64_t edges = r.get_u64();
+  for (std::uint64_t i = 0; i < edges; ++i) {
+    const roadnet::EdgeId edge(r.get_u32());
+    auto& ring = recent[edge];
+    const std::uint64_t n = r.get_u64();
+    for (std::uint64_t k = 0; k < n; ++k)
+      ring.push_back(decode_observation(r));
+  }
+
+  // Everything decoded without throwing: commit atomically.
+  slots_ = std::move(slots);
+  finalized_ = finalized;
+  history_ = std::move(history);
+  edge_slot_ = std::move(edge_slot);
+  residuals_ = std::move(residuals);
+  raw_history_ = std::move(raw);
+  recent_ = std::move(recent);
 }
 
 }  // namespace wiloc::core

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "roadnet/route.hpp"
+#include "util/binio.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
 
@@ -29,7 +30,14 @@ struct TravelObservation {
   roadnet::RouteId route;
   SimTime exit_time;   ///< when the bus left the segment
   double travel_time;  ///< seconds spent on the segment
+
+  friend bool operator==(const TravelObservation&,
+                         const TravelObservation&) = default;
 };
+
+/// Serializes one observation for the journal / snapshot layer.
+void encode_observation(BinWriter& w, const TravelObservation& obs);
+TravelObservation decode_observation(BinReader& r);
 
 class TravelTimeStore {
  public:
@@ -72,8 +80,11 @@ class TravelTimeStore {
 
   // -- online recents ----------------------------------------------------
 
-  /// Records a just-completed traversal (from live tracking).
-  void add_recent(const TravelObservation& obs);
+  /// Records a just-completed traversal (from live tracking). Exact
+  /// duplicates (same edge, route, exit time and travel time) are
+  /// dropped, so journal replay after a crash and a re-fed scan stream
+  /// cannot double-count a traversal. Returns false for a duplicate.
+  bool add_recent(const TravelObservation& obs);
 
   /// The most recent traversals of the edge within `window_s` of `now`,
   /// newest first, at most `max_count`.
@@ -83,6 +94,24 @@ class TravelTimeStore {
 
   /// Drops recents older than `now - window_s` (ring hygiene).
   void prune_recent(SimTime now, double window_s);
+
+  // -- persistence -------------------------------------------------------
+
+  /// Serializes the complete store state (slots, history cells,
+  /// cross-route aggregates, residuals, pre-finalize raw history, and
+  /// the recent rings — the predictor's Eq. 5/8 recent-correction
+  /// state) into `w`. restore() rebuilds it bit-exactly.
+  void save(BinWriter& w) const;
+
+  /// Replaces this store's entire state with one written by save().
+  /// Throws DecodeError on a malformed or version-incompatible body.
+  void restore(BinReader& r);
+
+  /// Pre-finalize training observations (empty once finalized). The
+  /// server rebuilds its history dedup set from this after a restore.
+  const std::vector<TravelObservation>& raw_history() const {
+    return raw_history_;
+  }
 
  private:
   /// Exact (edge, route, slot) cell identity. The three fields span up to

@@ -124,4 +124,49 @@ std::vector<ScanReport> FaultInjector::apply(
   return out;
 }
 
+// -- crash injection -------------------------------------------------------
+
+const char* to_string(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::none: return "none";
+    case CrashPoint::mid_journal_append: return "mid_journal_append";
+    case CrashPoint::torn_journal_frame: return "torn_journal_frame";
+    case CrashPoint::mid_snapshot_rename: return "mid_snapshot_rename";
+  }
+  return "?";
+}
+
+std::string_view site_of(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::none: return {};
+    case CrashPoint::mid_journal_append: return journal::kSiteAppendMid;
+    case CrashPoint::torn_journal_frame: return journal::kSiteAppendTorn;
+    case CrashPoint::mid_snapshot_rename:
+      return journal::kSiteSnapshotPreRename;
+  }
+  return {};
+}
+
+CrashInjector::CrashInjector(CrashPoint point, std::uint64_t trigger_on)
+    : point_(point), trigger_on_(trigger_on) {
+  WILOC_EXPECTS(trigger_on >= 1);
+}
+
+journal::FailureHook CrashInjector::hook() {
+  return [this](std::string_view site) {
+    if (fired_ || point_ == CrashPoint::none) return;
+    if (site != site_of(point_)) return;
+    if (++hits_ < trigger_on_) return;
+    fired_ = true;
+    throw CrashError(site);
+  };
+}
+
+void CrashInjector::rearm(std::uint64_t trigger_on) {
+  WILOC_EXPECTS(trigger_on >= 1);
+  trigger_on_ = trigger_on;
+  hits_ = 0;
+  fired_ = false;
+}
+
 }  // namespace wiloc::sim

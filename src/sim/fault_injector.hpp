@@ -13,11 +13,22 @@
 //
 // Injectors compose: chain apply() calls (with different profiles or
 // seeds) to stack fault classes.
+//
+// Beyond stream faults, CrashInjector simulates the *process* dying at
+// a chosen point inside the persistence layer (mid journal append, torn
+// final frame, between snapshot write and rename). It plugs into
+// PersistenceConfig::failure_hook; the bytes written before the crash
+// point stay on disk exactly as a real kill -9 would leave them, and
+// the recovery path is then exercised by constructing a fresh server
+// over the same state directory.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "sim/crowd.hpp"
+#include "util/contracts.hpp"
+#include "util/journal.hpp"
 #include "util/rng.hpp"
 
 namespace wiloc::sim {
@@ -80,6 +91,62 @@ class FaultInjector {
   Rng rng_;
   FaultCounters counters_;
   std::uint32_t next_phantom_ = kPhantomApBase;
+};
+
+// -- crash injection -------------------------------------------------------
+
+/// Thrown by CrashInjector to simulate the process dying inside a
+/// persistence write. Harness code catches it where a supervisor would
+/// observe the process exit; nothing below the throw site runs, and the
+/// journal writer it unwinds through poisons itself so destructors
+/// cannot complete the interrupted write.
+class CrashError : public Error {
+ public:
+  explicit CrashError(std::string_view site)
+      : Error("simulated crash at " + std::string(site)), site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// Where in the persistence layer the simulated process death happens.
+enum class CrashPoint {
+  none,                 ///< never crash (pass-through hook)
+  mid_journal_append,   ///< frame header on disk, payload missing
+  torn_journal_frame,   ///< header + half the payload: torn final frame
+  mid_snapshot_rename,  ///< snapshot tmp complete, rename not performed
+};
+
+const char* to_string(CrashPoint point);
+/// The journal-layer hook site a CrashPoint arms (empty for none).
+std::string_view site_of(CrashPoint point);
+
+/// A one-shot FailureHook: throws CrashError the `trigger_on`-th time
+/// the armed site is reached, then goes inert (the "restarted" process
+/// must not crash again unless re-armed). Pass `hook()` as
+/// PersistenceConfig::failure_hook.
+class CrashInjector {
+ public:
+  explicit CrashInjector(CrashPoint point, std::uint64_t trigger_on = 1);
+
+  /// The FailureHook to install (shares this injector's state; the
+  /// injector must outlive the config using it).
+  journal::FailureHook hook();
+
+  CrashPoint point() const { return point_; }
+  /// Times the armed site has been reached so far.
+  std::uint64_t hits() const { return hits_; }
+  /// True once the crash fired (the injector is inert afterwards).
+  bool fired() const { return fired_; }
+  /// Re-arms the injector for another crash at the same point.
+  void rearm(std::uint64_t trigger_on = 1);
+
+ private:
+  CrashPoint point_;
+  std::uint64_t trigger_on_;
+  std::uint64_t hits_ = 0;
+  bool fired_ = false;
 };
 
 }  // namespace wiloc::sim

@@ -1,0 +1,156 @@
+// Durable-state primitives: CRC-framed append-only journals and atomic
+// versioned snapshot files.
+//
+// The learned travel-time state a WiLocator server accumulates (weeks of
+// per-(edge,route,slot) history, the recent-correction rings) must
+// survive a process crash, so the persistence layer follows the classic
+// checkpoint + write-ahead discipline:
+//
+//  - Journal: an append-only file of length-prefixed, CRC32-guarded
+//    frames. Appends are raw unbuffered write(2) calls so a crash leaves
+//    at most one torn frame at the tail; replay verifies every frame and
+//    *skips* a corrupt record (bad CRC) or stops at a torn/implausible
+//    tail instead of aborting — recovery always returns the readable
+//    prefix.
+//  - Snapshot: a whole-state file written as temp + fsync + rename(2),
+//    so the snapshot at `path` is always either the complete old version
+//    or the complete new one, never a partial write. A magic, a format
+//    version and a body CRC reject foreign or corrupt files.
+//
+// Crash injection: both paths accept a FailureHook that is invoked at
+// named internal sites *after* the bytes written so far are on disk.
+// A hook that throws simulates the process dying at exactly that point
+// (sim::CrashInjector uses this); the writer poisons itself so no
+// destructor flush can "un-tear" the file.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wiloc::journal {
+
+/// IEEE 802.3 (reflected, poly 0xEDB88320) CRC-32.
+std::uint32_t crc32(std::span<const std::byte> data);
+
+/// When the persistence layer calls fsync(2).
+enum class FsyncPolicy {
+  never,         ///< leave durability to the OS page cache
+  on_checkpoint, ///< fsync snapshots and journal resets only (default)
+  every_append,  ///< fsync after every journal frame (durable, slow)
+};
+
+const char* to_string(FsyncPolicy policy);
+
+/// Test hook invoked at named internal sites; throwing simulates a
+/// process crash at that exact point (bytes written so far stay on
+/// disk, nothing after the site is written).
+using FailureHook = std::function<void(std::string_view site)>;
+
+/// Frame header (length + CRC) written, payload not yet.
+inline constexpr std::string_view kSiteAppendMid = "journal.append.mid";
+/// Frame header + first half of the payload written: a torn final frame.
+inline constexpr std::string_view kSiteAppendTorn = "journal.append.torn";
+/// Snapshot temp file complete, rename(2) over the live file not done.
+inline constexpr std::string_view kSiteSnapshotPreRename =
+    "snapshot.pre_rename";
+
+/// Replay refuses frames larger than this: an implausible length field
+/// means the framing itself is corrupt and the rest of the file is
+/// unreadable (treated as a torn tail).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 24;
+
+/// Append-only journal writer. One frame per append():
+/// [u32 payload_len][u32 payload_crc][payload]. Appends go through
+/// unbuffered write(2); FsyncPolicy::every_append adds an fsync per
+/// frame. Throws wiloc::Error on I/O failure.
+class Writer {
+ public:
+  /// Opens (creating if needed) `path` for appending.
+  explicit Writer(std::string path,
+                  FsyncPolicy fsync = FsyncPolicy::on_checkpoint,
+                  FailureHook hook = {});
+  ~Writer();
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Appends one frame. Requires payload.size() <= kMaxFrameBytes.
+  void append(std::span<const std::byte> payload);
+
+  /// fsync(2) the journal file.
+  void sync();
+
+  /// Truncates the journal to empty (called after a snapshot has made
+  /// its content redundant — snapshot-then-truncate compaction).
+  void reset();
+
+  /// Bytes currently in the journal file (pre-existing + appended).
+  std::uint64_t size_bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+  /// True once a failure hook "killed" this writer; every further
+  /// append/reset throws and nothing more reaches disk.
+  bool dead() const { return dead_; }
+
+ private:
+  void write_raw(const void* data, std::size_t n);
+  /// Fires the failure hook at `site`; a throwing hook poisons the
+  /// writer (simulated crash) before the exception propagates.
+  void fire(std::string_view site);
+
+  std::string path_;
+  FsyncPolicy fsync_;
+  FailureHook hook_;
+  int fd_ = -1;
+  std::uint64_t bytes_ = 0;
+  bool dead_ = false;
+};
+
+/// What replay found in a journal file.
+struct ReplayStats {
+  std::uint64_t frames_ok = 0;      ///< decoded and delivered
+  std::uint64_t frames_corrupt = 0; ///< CRC mismatch: record skipped
+  bool torn_tail = false;  ///< file ended mid-frame (or framing lost)
+  std::uint64_t bytes_scanned = 0;
+
+  bool clean() const { return frames_corrupt == 0 && !torn_tail; }
+};
+
+/// Replays every readable frame of `path` through `on_frame`, in file
+/// order. A missing file is an empty journal (zero stats). A frame with
+/// a bad CRC is counted and skipped; an incomplete or implausible tail
+/// stops the scan. Never throws on file content (exceptions from
+/// `on_frame` propagate).
+ReplayStats replay(const std::string& path,
+                   const std::function<void(std::span<const std::byte>)>&
+                       on_frame);
+
+// -- atomic snapshot files -------------------------------------------------
+
+/// Writes `[magic][version][body_crc][body_len][body]` to `path + ".tmp"`,
+/// optionally fsyncs, then rename(2)s over `path`: the visible file is
+/// always a complete snapshot. Throws wiloc::Error on I/O failure.
+void write_snapshot_file(const std::string& path, std::uint32_t magic,
+                         std::uint32_t version,
+                         std::span<const std::byte> body, bool do_fsync,
+                         const FailureHook& hook = {});
+
+struct SnapshotData {
+  std::uint32_t version = 0;
+  std::vector<std::byte> body;
+};
+
+/// Reads a snapshot written by write_snapshot_file. Returns nullopt when
+/// the file is missing; throws wiloc::DecodeError when it exists but
+/// fails the magic / length / CRC checks (a corrupt snapshot must not be
+/// silently treated as cold start by accident — the caller decides).
+std::optional<SnapshotData> read_snapshot_file(const std::string& path,
+                                               std::uint32_t magic);
+
+}  // namespace wiloc::journal

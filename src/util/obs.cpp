@@ -268,10 +268,25 @@ Reporter::Reporter(Registry& registry, std::ostream& out,
   WILOC_EXPECTS(options_.period_s >= 0.0);
 }
 
+Reporter::~Reporter() {
+  try {
+    flush_final();
+  } catch (...) {
+    // A failing stream must not throw out of a destructor.
+  }
+}
+
 bool Reporter::maybe_report(double now) {
+  if (!latest_now_.has_value() || now > *latest_now_) latest_now_ = now;
   if (last_.has_value() && now - *last_ < options_.period_s) return false;
   report(now);
   return true;
+}
+
+void Reporter::flush_final() {
+  if (!latest_now_.has_value()) return;
+  if (last_.has_value() && *latest_now_ <= *last_) return;
+  report(*latest_now_);
 }
 
 void Reporter::report(double now) {

@@ -213,17 +213,28 @@ struct ReporterOptions {
 /// Writes newline-delimited JSON snapshots ("{"t":...,"counters":...}")
 /// to an ostream. Drive it from the serving loop with maybe_report(now);
 /// the first call reports immediately, later calls report once per
-/// period. Not thread-safe; call from one control thread.
+/// period. On destruction the reporter flushes one final snapshot when
+/// activity was seen since the last emitted line, so a short-lived run
+/// (or a crash-test harness tearing a server down) never loses its last
+/// metrics window. Not thread-safe; call from one control thread.
 class Reporter {
  public:
   /// The registry and stream must outlive the reporter.
   Reporter(Registry& registry, std::ostream& out, ReporterOptions options = {});
+  ~Reporter();
+
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
 
   /// Reports when at least period_s has passed since the last report
   /// (or on the first call). Returns true when a line was written.
   bool maybe_report(double now);
   /// Unconditionally writes one snapshot line stamped with `now`.
   void report(double now);
+  /// Emits a final line for the window since the last report, if any
+  /// maybe_report() call was suppressed in between (idempotent; also
+  /// run by the destructor).
+  void flush_final();
 
   std::size_t reports() const { return reports_; }
 
@@ -232,6 +243,7 @@ class Reporter {
   std::ostream* out_;
   ReporterOptions options_;
   std::optional<double> last_;
+  std::optional<double> latest_now_;  ///< newest time seen by maybe_report
   std::size_t reports_ = 0;
 };
 

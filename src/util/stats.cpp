@@ -19,6 +19,16 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+RunningStats RunningStats::from_state(const State& s) {
+  RunningStats out;
+  out.n_ = s.n;
+  out.mean_ = s.mean;
+  out.m2_ = s.m2;
+  out.min_ = s.min;
+  out.max_ = s.max;
+  return out;
+}
+
 void RunningStats::merge(const RunningStats& other) {
   if (other.n_ == 0) return;
   if (n_ == 0) {

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/binio.hpp"
 #include "util/contracts.hpp"
 
 namespace wiloc {
@@ -14,11 +15,26 @@ namespace wiloc {
 /// Numerically stable; O(1) memory.
 class RunningStats {
  public:
+  /// The accumulator's complete internal state, exposed so the
+  /// persistence layer can serialize and rebuild it bit-exactly.
+  struct State {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
   /// Adds one observation.
   void add(double x);
 
   /// Merges another accumulator into this one (parallel Welford).
   void merge(const RunningStats& other);
+
+  /// Snapshot of the internal moments (for serialization).
+  State state() const { return {n_, mean_, m2_, min_, max_}; }
+  /// Rebuilds an accumulator from a state() snapshot.
+  static RunningStats from_state(const State& s);
 
   std::size_t count() const { return n_; }
   bool empty() const { return n_ == 0; }
@@ -103,6 +119,27 @@ class Histogram {
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
 };
+
+/// Serializes an accumulator (all five moments) for the persistence
+/// layer; decode_stats() rebuilds it bit-exactly.
+inline void encode_stats(BinWriter& w, const RunningStats& s) {
+  const RunningStats::State st = s.state();
+  w.put_u64(st.n);
+  w.put_f64(st.mean);
+  w.put_f64(st.m2);
+  w.put_f64(st.min);
+  w.put_f64(st.max);
+}
+
+inline RunningStats decode_stats(BinReader& r) {
+  RunningStats::State st;
+  st.n = static_cast<std::size_t>(r.get_u64());
+  st.mean = r.get_f64();
+  st.m2 = r.get_f64();
+  st.min = r.get_f64();
+  st.max = r.get_f64();
+  return RunningStats::from_state(st);
+}
 
 /// Mean of a vector. Requires non-empty input.
 double mean_of(const std::vector<double>& v);

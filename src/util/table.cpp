@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <ostream>
 
 #include "util/contracts.hpp"
@@ -65,6 +66,43 @@ void TablePrinter::print_csv(std::ostream& os) const {
   };
   emit(header_);
   for (const auto& row : rows_) emit(row);
+}
+
+namespace {
+
+std::string json_escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool TablePrinter::write_json(const std::string& path,
+                              const std::string& name) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    out << '[';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << '"' << json_escaped(row[c]) << '"';
+    }
+    out << ']';
+  };
+  out << "{\"bench\":\"" << json_escaped(name) << "\",\"columns\":";
+  emit_row(header_);
+  out << ",\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out << ',';
+    emit_row(rows_[r]);
+  }
+  out << "]}\n";
+  return static_cast<bool>(out);
 }
 
 void print_banner(std::ostream& os, const std::string& title) {

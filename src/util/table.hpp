@@ -31,6 +31,12 @@ class TablePrinter {
   /// Renders as CSV (no alignment padding).
   void print_csv(std::ostream& os) const;
 
+  /// Writes the table as a machine-readable JSON artifact:
+  ///   {"bench":<name>,"columns":[...],"rows":[[...]]}
+  /// CI collects these (BENCH_*.json) so re-measurements have a
+  /// diffable record. Returns false when the file cannot be written.
+  bool write_json(const std::string& path, const std::string& name) const;
+
   std::size_t rows() const { return rows_.size(); }
 
  private:

@@ -119,6 +119,39 @@ std::size_t DaySlots::slot_of(SimTime t) const {
   return slot_of_tod(time_of_day(t));
 }
 
+void DaySlots::encode(BinWriter& w) const {
+  // Both factories derive labels from the boundaries, so boundaries +
+  // wrap flag reconstruct the partition exactly.
+  w.put_u8(wraps_ ? 1 : 0);
+  w.put_u64(slots_.size());
+  for (const Slot& s : slots_) w.put_f64(s.begin);
+  if (!wraps_) w.put_f64(kSecondsPerDay);
+}
+
+DaySlots DaySlots::decode(BinReader& r) {
+  const bool wraps = r.get_u8() != 0;
+  const std::uint64_t count = r.get_u64();
+  if (count == 0 || count > 100000)
+    throw DecodeError("DaySlots: implausible slot count " +
+                      std::to_string(count));
+  std::vector<double> bounds;
+  bounds.reserve(count + 1);
+  for (std::uint64_t i = 0; i < count; ++i) bounds.push_back(r.get_f64());
+  if (wraps) return from_boundaries_wrapped(bounds);
+  bounds.push_back(r.get_f64());
+  return from_boundaries(bounds);
+}
+
+bool operator==(const DaySlots& a, const DaySlots& b) {
+  if (a.wraps_ != b.wraps_ || a.slots_.size() != b.slots_.size())
+    return false;
+  for (std::size_t i = 0; i < a.slots_.size(); ++i)
+    if (a.slots_[i].begin != b.slots_[i].begin ||
+        a.slots_[i].end != b.slots_[i].end)
+      return false;
+  return true;
+}
+
 SimTime DaySlots::slot_end_time(SimTime t) const {
   const std::size_t s = slot_of(t);
   double end = slots_[s].end;

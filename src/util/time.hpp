@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "util/binio.hpp"
 #include "util/contracts.hpp"
 
 namespace wiloc {
@@ -91,6 +92,17 @@ class DaySlots {
   /// The timestamp at which the slot containing `t` ends (on t's day;
   /// the last slot ends at the following midnight).
   SimTime slot_end_time(SimTime t) const;
+
+  /// Serializes the partition (boundaries + wrap flag) for the
+  /// persistence layer; labels are regenerated on decode.
+  void encode(BinWriter& w) const;
+  /// Rebuilds a partition written by encode(). Throws DecodeError /
+  /// ContractViolation on malformed input.
+  static DaySlots decode(BinReader& r);
+
+  /// Structural equality (same boundaries and wrap behaviour) — used to
+  /// detect configuration drift against a restored snapshot.
+  friend bool operator==(const DaySlots& a, const DaySlots& b);
 
  private:
   explicit DaySlots(std::vector<Slot> slots) : slots_(std::move(slots)) {}

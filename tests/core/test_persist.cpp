@@ -1,0 +1,444 @@
+#include "core/persist.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "../helpers.hpp"
+#include "core/seasonal.hpp"
+#include "core/server.hpp"
+#include "core/traffic_map.hpp"
+
+namespace wiloc::core {
+namespace {
+
+using roadnet::EdgeId;
+using roadnet::RouteId;
+using roadnet::TripId;
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("wiloc_persist_test_" + std::to_string(counter_++) + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string path(const std::string& name = "") const {
+    return name.empty() ? dir_.string() : (dir_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+TravelObservation obs_at(std::uint32_t edge, std::uint32_t route,
+                         SimTime exit_time, double travel_time) {
+  return {EdgeId(edge), RouteId(route), exit_time, travel_time};
+}
+
+// -- component round-trips -------------------------------------------------
+
+TEST(TravelTimeStorePersist, SaveRestoreRoundTrip) {
+  TravelTimeStore store(DaySlots::paper_five_slots());
+  Rng rng(11);
+  for (int i = 0; i < 400; ++i)
+    store.add_history(obs_at(static_cast<std::uint32_t>(i % 7),
+                             static_cast<std::uint32_t>(i % 3),
+                             at_day_time(i % 5, rng.uniform(0.0, 86400.0)),
+                             rng.uniform(20.0, 180.0)));
+  store.finalize_history();
+  for (int i = 0; i < 60; ++i)
+    store.add_recent(obs_at(static_cast<std::uint32_t>(i % 7),
+                            static_cast<std::uint32_t>(i % 3),
+                            at_day_time(6, 30000.0 + 60.0 * i),
+                            rng.uniform(20.0, 180.0)));
+
+  BinWriter w;
+  store.save(w);
+  TravelTimeStore copy(DaySlots::uniform(3));  // different shape on purpose
+  BinReader r(w.bytes());
+  copy.restore(r);
+  EXPECT_TRUE(r.done());
+
+  EXPECT_TRUE(copy.slots() == store.slots());
+  EXPECT_TRUE(copy.finalized());
+  for (std::uint32_t e = 0; e < 7; ++e) {
+    for (std::uint32_t route = 0; route < 3; ++route)
+      for (std::size_t slot = 0; slot < store.slots().count(); ++slot)
+        EXPECT_EQ(copy.historical_mean(EdgeId(e), RouteId(route), slot),
+                  store.historical_mean(EdgeId(e), RouteId(route), slot));
+    for (std::size_t slot = 0; slot < store.slots().count(); ++slot) {
+      EXPECT_EQ(copy.historical_mean_any_route(EdgeId(e), slot),
+                store.historical_mean_any_route(EdgeId(e), slot));
+      EXPECT_EQ(copy.residual_mean(EdgeId(e), slot),
+                store.residual_mean(EdgeId(e), slot));
+      EXPECT_EQ(copy.residual_stddev(EdgeId(e), slot),
+                store.residual_stddev(EdgeId(e), slot));
+    }
+    EXPECT_EQ(copy.history_count(EdgeId(e)), store.history_count(EdgeId(e)));
+    EXPECT_EQ(copy.recent(EdgeId(e), at_day_time(6, 34000.0), 3600.0, 8),
+              store.recent(EdgeId(e), at_day_time(6, 34000.0), 3600.0, 8));
+  }
+}
+
+TEST(TravelTimeStorePersist, RestoreOfUnfinalizedKeepsRawHistory) {
+  TravelTimeStore store(DaySlots::uniform(4));
+  store.add_history(obs_at(1, 0, hms(8), 42.0));
+  store.add_history(obs_at(2, 1, hms(9), 55.0));
+
+  BinWriter w;
+  store.save(w);
+  TravelTimeStore copy(DaySlots::uniform(4));
+  BinReader r(w.bytes());
+  copy.restore(r);
+
+  EXPECT_FALSE(copy.finalized());
+  EXPECT_EQ(copy.raw_history(), store.raw_history());
+  copy.finalize_history();  // restored raw history still finalizes
+  EXPECT_TRUE(copy.historical_mean(EdgeId(1), RouteId(0),
+                                   copy.slots().slot_of(hms(8)))
+                  .has_value());
+}
+
+TEST(TravelTimeStorePersist, RestoreRejectsGarbage) {
+  TravelTimeStore store(DaySlots::uniform(4));
+  BinWriter w;
+  w.put_u8(99);  // unknown version
+  BinReader r(w.bytes());
+  EXPECT_THROW(store.restore(r), DecodeError);
+}
+
+TEST(TravelTimeStorePersist, AddRecentDropsExactDuplicates) {
+  TravelTimeStore store(DaySlots::uniform(4));
+  const TravelObservation o = obs_at(3, 1, hms(12), 80.0);
+  EXPECT_TRUE(store.add_recent(o));
+  EXPECT_FALSE(store.add_recent(o));  // exact duplicate
+  // Same instant, different measurement: two buses can genuinely exit
+  // together, so only *exact* duplicates are dropped.
+  EXPECT_TRUE(store.add_recent(obs_at(3, 1, hms(12), 81.0)));
+  EXPECT_TRUE(store.add_recent(obs_at(3, 2, hms(12), 80.0)));
+  EXPECT_EQ(store.recent(EdgeId(3), hms(12), 600.0, 8).size(), 3u);
+}
+
+TEST(SeasonalPersist, SnapshotRoundTrip) {
+  TempDir tmp;
+  SeasonalIndexAnalyzer analyzer(24);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double tod = rng.uniform(0.0, 86400.0);
+    const double rush = (tod > hms(8) && tod < hms(10)) ? 1.8 : 1.0;
+    analyzer.add(EdgeId(static_cast<std::uint32_t>(i % 4)), tod,
+                 rush * rng.uniform(50.0, 70.0));
+  }
+
+  const std::string path = tmp.path("seasonal.snapshot");
+  analyzer.save_snapshot(path);
+
+  SeasonalIndexAnalyzer restored(24);
+  ASSERT_TRUE(restored.restore_snapshot(path));
+  for (std::uint32_t e = 0; e < 4; ++e) {
+    EXPECT_EQ(restored.profile(EdgeId(e)), analyzer.profile(EdgeId(e)));
+    for (std::size_t slot = 0; slot < 24; ++slot)
+      EXPECT_EQ(restored.seasonal_index(EdgeId(e), slot),
+                analyzer.seasonal_index(EdgeId(e), slot));
+  }
+  // Missing file is a cold start, not an error.
+  SeasonalIndexAnalyzer cold(24);
+  EXPECT_FALSE(cold.restore_snapshot(tmp.path("absent")));
+}
+
+TEST(TrafficMapPersist, EncodeDecodeRoundTrip) {
+  TrafficMap map;
+  map.time = at_day_time(3, hms(17, 30));
+  map.segments[EdgeId(1)] = {TrafficState::Normal, 0.2, 5, false};
+  map.segments[EdgeId(2)] = {TrafficState::VerySlow, 2.4, 3, false};
+  map.segments[EdgeId(9)] = {TrafficState::Slow, 1.2, 0, true};
+
+  BinWriter w;
+  encode_traffic_map(w, map);
+  BinReader r(w.bytes());
+  const TrafficMap copy = decode_traffic_map(r);
+  EXPECT_TRUE(r.done());
+
+  EXPECT_DOUBLE_EQ(copy.time, map.time);
+  ASSERT_EQ(copy.segments.size(), map.segments.size());
+  for (const auto& [edge, seg] : map.segments) {
+    const auto it = copy.segments.find(edge);
+    ASSERT_NE(it, copy.segments.end());
+    EXPECT_EQ(it->second.state, seg.state);
+    EXPECT_DOUBLE_EQ(it->second.z_score, seg.z_score);
+    EXPECT_EQ(it->second.recent_count, seg.recent_count);
+    EXPECT_EQ(it->second.inferred, seg.inferred);
+  }
+}
+
+TEST(PredictorFingerprint, SensitiveToOptions) {
+  const PredictorOptions base;
+  PredictorOptions other = base;
+  EXPECT_EQ(options_fingerprint(base), options_fingerprint(other));
+  other.recent_window_s += 1.0;
+  EXPECT_NE(options_fingerprint(base), options_fingerprint(other));
+  other = base;
+  other.cross_route = !other.cross_route;
+  EXPECT_NE(options_fingerprint(base), options_fingerprint(other));
+
+  // And the combined state fingerprint also covers the slot partition.
+  const auto fp = options_fingerprint(base);
+  EXPECT_NE(state_fingerprint(DaySlots::paper_five_slots(), fp),
+            state_fingerprint(DaySlots::uniform(5), fp));
+}
+
+// -- StatePersistence ------------------------------------------------------
+
+TEST(StatePersistence, JournalRecoverRoundTrip) {
+  TempDir tmp;
+  PersistenceConfig config;
+  config.dir = tmp.path();
+
+  StatePersistence persistence(config);
+  persistence.append(JournalRecord::history_obs, obs_at(1, 0, hms(8), 60.0));
+  persistence.append(JournalRecord::recent_obs, obs_at(2, 1, hms(9), 75.0));
+  EXPECT_EQ(persistence.last_seq(), 2u);
+
+  StatePersistence fresh(config);
+  const auto rec = fresh.recover();
+  EXPECT_FALSE(rec.snapshot.has_value());
+  EXPECT_TRUE(rec.replay.clean());
+  ASSERT_EQ(rec.records.size(), 2u);
+  EXPECT_EQ(rec.records[0].seq, 1u);
+  EXPECT_EQ(rec.records[0].type, JournalRecord::history_obs);
+  EXPECT_EQ(rec.records[0].obs, obs_at(1, 0, hms(8), 60.0));
+  EXPECT_EQ(rec.records[1].seq, 2u);
+  EXPECT_EQ(rec.records[1].type, JournalRecord::recent_obs);
+  EXPECT_EQ(rec.records[1].obs, obs_at(2, 1, hms(9), 75.0));
+}
+
+TEST(StatePersistence, CheckpointTruncatesJournal) {
+  TempDir tmp;
+  PersistenceConfig config;
+  config.dir = tmp.path();
+
+  StatePersistence persistence(config);
+  persistence.append(JournalRecord::recent_obs, obs_at(1, 0, hms(8), 60.0));
+  EXPECT_GT(persistence.journal_bytes(), 0u);
+
+  BinWriter body;
+  body.put_u64(persistence.last_seq());
+  persistence.write_checkpoint(body.bytes(), hms(8));
+  EXPECT_EQ(persistence.journal_bytes(), 0u);
+
+  StatePersistence fresh(config);
+  const auto rec = fresh.recover();
+  ASSERT_TRUE(rec.snapshot.has_value());
+  EXPECT_TRUE(rec.records.empty());
+}
+
+TEST(StatePersistence, SizeTriggerForcesCheckpoint) {
+  TempDir tmp;
+  PersistenceConfig config;
+  config.dir = tmp.path();
+  config.journal_trigger_bytes = 64;  // tiny: a couple of appends
+  config.snapshot_interval_s = 1e9;   // interval never fires
+
+  StatePersistence persistence(config);
+  persistence.append(JournalRecord::recent_obs, obs_at(1, 0, hms(8), 60.0));
+  persistence.append(JournalRecord::recent_obs, obs_at(1, 0, hms(8) + 30.0,
+                                                       61.0));
+  EXPECT_TRUE(persistence.should_checkpoint(hms(8) + 30.0));
+}
+
+// -- server-level persistence ----------------------------------------------
+
+struct PersistServerFixture {
+  testing::MiniCity city;
+  sim::TrafficModel traffic{31};
+
+  ServerConfig config_with(const std::string& dir) const {
+    ServerConfig config;
+    config.persist.dir = dir;
+    return config;
+  }
+
+  std::unique_ptr<WiLocatorServer> make_server(ServerConfig config = {}) {
+    return std::make_unique<WiLocatorServer>(
+        std::vector<const roadnet::BusRoute*>{&city.route_a(),
+                                              &city.route_b()},
+        city.ap_snapshot(), city.model, DaySlots::paper_five_slots(),
+        config);
+  }
+
+  std::vector<TravelObservation> training_set(int days = 2) {
+    std::vector<TravelObservation> out;
+    Rng rng(55);
+    std::uint32_t trip_id = 1000;
+    for (int day = 0; day < days; ++day)
+      for (std::size_t r = 0; r < city.routes.size(); ++r)
+        for (double tod = hms(7); tod < hms(20); tod += 1800.0) {
+          const auto trip = sim::simulate_trip(
+              TripId(trip_id++), city.routes[r], city.profiles[r], traffic,
+              at_day_time(day, tod), rng);
+          for (const auto& seg : trip.segments) {
+            if (seg.travel_time() <= 0.0) continue;
+            out.push_back({city.routes[r].edges()[seg.edge_index],
+                           city.routes[r].id(), seg.exit,
+                           seg.travel_time()});
+          }
+        }
+    return out;
+  }
+};
+
+TEST(ServerPersist, LoadHistoryIsIdempotent) {
+  // Regression: feeding the same training file twice (or replaying a
+  // journal over a snapshot that already contains it) must not skew the
+  // historical means.
+  PersistServerFixture f;
+  const auto training = f.training_set();
+
+  auto once = f.make_server();
+  for (const auto& o : training) once->load_history(o);
+  once->finalize_history();
+  // The simulated training set may itself contain coincidental exact
+  // duplicates; the second full feed adds exactly training.size() more.
+  const std::uint64_t internal_dups =
+      once->metrics_snapshot().counter("server.history_duplicates");
+
+  auto twice = f.make_server();
+  for (const auto& o : training) twice->load_history(o);
+  for (const auto& o : training) twice->load_history(o);  // duplicate feed
+  twice->finalize_history();
+
+  EXPECT_EQ(twice->metrics_snapshot().counter("server.history_duplicates"),
+            internal_dups + training.size());
+  for (const auto edge : f.city.route_a().edges())
+    for (std::size_t slot = 0; slot < 5; ++slot)
+      EXPECT_EQ(
+          twice->store().historical_mean(edge, f.city.route_a().id(), slot),
+          once->store().historical_mean(edge, f.city.route_a().id(), slot));
+}
+
+TEST(ServerPersist, CheckpointAndRecover) {
+  PersistServerFixture f;
+  TempDir tmp;
+  const auto training = f.training_set();
+
+  std::vector<std::pair<EdgeId, std::optional<double>>> expected;
+  {
+    auto server = f.make_server(f.config_with(tmp.path()));
+    EXPECT_FALSE(server->recovered());
+    for (const auto& o : training) server->load_history(o);
+    server->finalize_history();
+    server->checkpoint();
+    for (const auto edge : f.city.route_a().edges())
+      expected.emplace_back(edge, server->predictor().predict_segment_time(
+                                      edge, f.city.route_a().id(),
+                                      at_day_time(3, hms(9))));
+  }  // graceful shutdown: final checkpoint
+
+  auto restarted = f.make_server(f.config_with(tmp.path()));
+  EXPECT_TRUE(restarted->recovered());
+  EXPECT_TRUE(restarted->store().finalized());
+  for (const auto& [edge, value] : expected)
+    EXPECT_EQ(restarted->predictor().predict_segment_time(
+                  edge, f.city.route_a().id(), at_day_time(3, hms(9))),
+              value);
+}
+
+TEST(ServerPersist, JournalAloneRecoversWithoutSnapshot) {
+  PersistServerFixture f;
+  TempDir tmp;
+  const auto training = f.training_set(1);
+
+  {
+    auto config = f.config_with(tmp.path());
+    // Keep everything in the journal: interval checkpoints off, and the
+    // shutdown checkpoint dies before its rename (so no snapshot file
+    // ever becomes visible and the journal is never truncated).
+    config.persist.snapshot_interval_s = 1e12;
+    config.persist.failure_hook = [](std::string_view site) {
+      if (site == journal::kSiteSnapshotPreRename)
+        throw std::runtime_error("snapshots disabled in this test");
+    };
+    auto server = f.make_server(config);
+    for (const auto& o : training) server->load_history(o);
+  }
+  ASSERT_FALSE(
+      std::filesystem::exists(tmp.path() + "/state.snapshot"));
+
+  auto restarted = f.make_server(f.config_with(tmp.path()));
+  EXPECT_TRUE(restarted->recovered());
+  EXPECT_FALSE(restarted->store().finalized());
+  std::unordered_set<ObservationKey, ObservationKey::Hash> unique;
+  for (const auto& o : training) unique.insert(ObservationKey::of(o));
+  EXPECT_EQ(restarted->store().raw_history().size(), unique.size());
+  EXPECT_EQ(restarted->metrics_snapshot().counter("persist.recovered"),
+            unique.size());
+}
+
+TEST(ServerPersist, ConfigDriftIsFlagged) {
+  PersistServerFixture f;
+  TempDir tmp;
+  {
+    auto server = f.make_server(f.config_with(tmp.path()));
+    server->load_history(obs_at(0, 0, hms(8), 60.0));
+    server->finalize_history();
+  }
+  ServerConfig drifted = f.config_with(tmp.path());
+  drifted.predictor.recent_window_s *= 2.0;  // changes the fingerprint
+  auto restarted = f.make_server(drifted);
+  EXPECT_TRUE(restarted->recovered());
+  EXPECT_EQ(restarted->metrics_snapshot().counter("persist.config_mismatch"),
+            1u);
+}
+
+TEST(ServerPersist, SaveRestoreSnapshotWithoutPersistenceDir) {
+  PersistServerFixture f;
+  TempDir tmp;
+  const auto training = f.training_set(1);
+
+  auto warm = f.make_server();  // persistence disabled
+  for (const auto& o : training) warm->load_history(o);
+  warm->finalize_history();
+  const std::string path = tmp.path("warm.snapshot");
+  warm->save_snapshot(path);
+
+  auto cold = f.make_server();
+  EXPECT_FALSE(cold->restore_snapshot(tmp.path("absent")));
+  ASSERT_TRUE(cold->restore_snapshot(path));
+  EXPECT_TRUE(cold->recovered());
+  for (const auto edge : f.city.route_a().edges())
+    EXPECT_EQ(cold->predictor().predict_segment_time(
+                  edge, f.city.route_a().id(), at_day_time(3, hms(9))),
+              warm->predictor().predict_segment_time(
+                  edge, f.city.route_a().id(), at_day_time(3, hms(9))));
+}
+
+TEST(ServerPersist, TrafficMapCacheSurvivesRestart) {
+  PersistServerFixture f;
+  TempDir tmp;
+  const SimTime when = at_day_time(2, hms(9));
+  {
+    auto server = f.make_server(f.config_with(tmp.path()));
+    for (const auto& o : f.training_set(1)) server->load_history(o);
+    server->finalize_history();
+    server->traffic_map(when);  // populates the cache
+    server->checkpoint();
+  }
+  auto restarted = f.make_server(f.config_with(tmp.path()));
+  ASSERT_TRUE(restarted->last_traffic_map().has_value());
+  EXPECT_DOUBLE_EQ(restarted->last_traffic_map()->time, when);
+  EXPECT_FALSE(restarted->last_traffic_map()->segments.empty());
+}
+
+}  // namespace
+}  // namespace wiloc::core

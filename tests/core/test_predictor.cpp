@@ -229,6 +229,45 @@ TEST(ArrivalPredictor, RejectsReversedSpan) {
       ContractViolation);
 }
 
+TEST(ArrivalPredictor, WrappedNightSlotPricesThroughMidnight) {
+  // Eq.-9 slot-splitting against a *wrapped* partition: day [06:00,
+  // 22:00) at 100 s/edge, cyclic night [22:00..06:00) at 200 s/edge.
+  const PredictorFixture f;  // geometry only
+  TravelTimeStore store(
+      DaySlots::from_boundaries_wrapped({hms(6), hms(22)}));
+  for (int day = 0; day < 10; ++day)
+    for (unsigned e = 0; e < 3; ++e) {
+      store.add_history(
+          {EdgeId(e), RouteId(0), at_day_time(day, hms(12)), 100.0});
+      store.add_history(
+          {EdgeId(e), RouteId(0), at_day_time(day, hms(23)), 200.0});
+    }
+  store.finalize_history();
+  const ArrivalPredictor predictor(store);
+
+  // Crossing midnight inside the wrapped slot is NOT a slot boundary:
+  // the whole route runs at the night rate.
+  EXPECT_NEAR(predictor.predict_travel_time(f.route(), 0.0, 3000.0,
+                                            at_day_time(20, hms(23, 55))),
+              600.0, 1e-6);
+  // The small hours are still the same wrapped slot.
+  EXPECT_NEAR(predictor.predict_travel_time(f.route(), 0.0, 3000.0,
+                                            at_day_time(21, hms(1))),
+              600.0, 1e-6);
+  // The wrapped slot's *end* (06:00) does split: entering an edge 100 s
+  // before it covers half at the 200 s night rate, the rest at 100 s.
+  EXPECT_NEAR(
+      predictor.predict_travel_time(f.route(), 1000.0, 2000.0,
+                                    at_day_time(21, hms(5, 58, 20.0))),
+      100.0 + 50.0, 1e-6);
+  // And entering the night at 22:00: 80 s of day rate cover 0.8 of the
+  // edge; the remaining 0.2 re-prices at the night rate.
+  EXPECT_NEAR(
+      predictor.predict_travel_time(f.route(), 1000.0, 2000.0,
+                                    at_day_time(20, hms(21, 58, 40.0))),
+      80.0 + 0.2 * 200.0, 1e-6);
+}
+
 TEST(ArrivalPredictor, ValidatesOptions) {
   const PredictorFixture f;
   PredictorOptions bad;

@@ -1,0 +1,319 @@
+#include "util/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/binio.hpp"
+
+namespace wiloc::journal {
+namespace {
+
+std::vector<std::byte> bytes_of(std::string_view s) {
+  std::vector<std::byte> out(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) out[i] = std::byte(s[i]);
+  return out;
+}
+
+/// Unique path under the test's temp dir, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("wiloc_journal_test_" + std::to_string(counter_++) + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+std::vector<std::byte> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  std::vector<std::byte> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) out[i] = std::byte(raw[i]);
+  return out;
+}
+
+void write_file(const std::string& path, std::span<const std::byte> data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+TEST(Crc32, CheckVector) {
+  // The canonical CRC-32/ISO-HDLC check value.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(Crc32, SensitiveToEveryByte) {
+  const auto base = bytes_of("wilocator journal frame");
+  const std::uint32_t ref = crc32(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    auto flipped = base;
+    flipped[i] ^= std::byte{0x01};
+    EXPECT_NE(crc32(flipped), ref) << "byte " << i;
+  }
+}
+
+TEST(Journal, AppendReplayRoundTrip) {
+  TempDir tmp;
+  const std::string path = tmp.path("j");
+  std::vector<std::vector<std::byte>> frames = {
+      bytes_of("alpha"), bytes_of(""), bytes_of("a much longer frame 123")};
+  {
+    Writer w(path, FsyncPolicy::every_append);
+    for (const auto& f : frames) w.append(f);
+    EXPECT_GT(w.size_bytes(), 0u);
+  }
+  std::vector<std::vector<std::byte>> seen;
+  const ReplayStats stats = replay(path, [&](std::span<const std::byte> p) {
+    seen.emplace_back(p.begin(), p.end());
+  });
+  EXPECT_TRUE(stats.clean());
+  EXPECT_EQ(stats.frames_ok, frames.size());
+  EXPECT_EQ(seen, frames);
+}
+
+TEST(Journal, MissingFileIsEmpty) {
+  TempDir tmp;
+  const ReplayStats stats =
+      replay(tmp.path("nonexistent"), [](std::span<const std::byte>) {
+        FAIL() << "no frame should be delivered";
+      });
+  EXPECT_TRUE(stats.clean());
+  EXPECT_EQ(stats.frames_ok, 0u);
+  EXPECT_EQ(stats.bytes_scanned, 0u);
+}
+
+TEST(Journal, ReopenContinuesAppending) {
+  TempDir tmp;
+  const std::string path = tmp.path("j");
+  {
+    Writer w(path);
+    w.append(bytes_of("one"));
+  }
+  {
+    Writer w(path);  // reopen: must append, not truncate
+    w.append(bytes_of("two"));
+  }
+  std::vector<std::string> seen;
+  replay(path, [&](std::span<const std::byte> p) {
+    seen.emplace_back(reinterpret_cast<const char*>(p.data()), p.size());
+  });
+  EXPECT_EQ(seen, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(Journal, TornTailIsStoppedAtNotFatal) {
+  TempDir tmp;
+  const std::string path = tmp.path("j");
+  {
+    Writer w(path);
+    w.append(bytes_of("intact"));
+    w.append(bytes_of("to be torn"));
+  }
+  auto raw = read_file(path);
+  raw.resize(raw.size() - 4);  // tear the last frame's payload
+  write_file(path, raw);
+
+  std::vector<std::string> seen;
+  const ReplayStats stats = replay(path, [&](std::span<const std::byte> p) {
+    seen.emplace_back(reinterpret_cast<const char*>(p.data()), p.size());
+  });
+  EXPECT_EQ(seen, (std::vector<std::string>{"intact"}));
+  EXPECT_TRUE(stats.torn_tail);
+  EXPECT_EQ(stats.frames_corrupt, 0u);
+}
+
+TEST(Journal, CorruptMiddleFrameIsSkippedNotFatal) {
+  TempDir tmp;
+  const std::string path = tmp.path("j");
+  std::uint64_t second_payload_offset = 0;
+  {
+    Writer w(path);
+    w.append(bytes_of("first"));
+    second_payload_offset = w.size_bytes() + 8;  // past the second header
+    w.append(bytes_of("second"));
+    w.append(bytes_of("third"));
+  }
+  auto raw = read_file(path);
+  raw[static_cast<std::size_t>(second_payload_offset)] ^= std::byte{0xFF};
+  write_file(path, raw);
+
+  std::vector<std::string> seen;
+  const ReplayStats stats = replay(path, [&](std::span<const std::byte> p) {
+    seen.emplace_back(reinterpret_cast<const char*>(p.data()), p.size());
+  });
+  // The corrupt record is skipped; the frames around it survive.
+  EXPECT_EQ(seen, (std::vector<std::string>{"first", "third"}));
+  EXPECT_EQ(stats.frames_corrupt, 1u);
+  EXPECT_FALSE(stats.torn_tail);
+}
+
+TEST(Journal, ImplausibleLengthTreatedAsTornTail) {
+  TempDir tmp;
+  const std::string path = tmp.path("j");
+  BinWriter garbage;
+  garbage.put_u32(kMaxFrameBytes + 1);  // framing lost
+  garbage.put_u32(0);
+  write_file(path, garbage.bytes());
+  const ReplayStats stats =
+      replay(path, [](std::span<const std::byte>) { FAIL(); });
+  EXPECT_TRUE(stats.torn_tail);
+  EXPECT_EQ(stats.frames_ok, 0u);
+}
+
+TEST(Journal, ResetTruncates) {
+  TempDir tmp;
+  const std::string path = tmp.path("j");
+  Writer w(path);
+  w.append(bytes_of("gone after reset"));
+  w.reset();
+  EXPECT_EQ(w.size_bytes(), 0u);
+  w.append(bytes_of("kept"));
+  std::vector<std::string> seen;
+  replay(path, [&](std::span<const std::byte> p) {
+    seen.emplace_back(reinterpret_cast<const char*>(p.data()), p.size());
+  });
+  EXPECT_EQ(seen, (std::vector<std::string>{"kept"}));
+}
+
+TEST(Journal, CrashHookTearsFrameAndPoisonsWriter) {
+  TempDir tmp;
+  const std::string path = tmp.path("j");
+  struct Boom {};
+  {
+    int torn_hits = 0;
+    Writer w(path, FsyncPolicy::on_checkpoint,
+             [&torn_hits](std::string_view site) {
+               if (site == kSiteAppendTorn && ++torn_hits == 2) throw Boom{};
+             });
+    w.append(bytes_of("complete"));
+    EXPECT_THROW(w.append(bytes_of("interrupted payload")), Boom);
+    EXPECT_TRUE(w.dead());
+    // The poisoned writer refuses further work instead of quietly
+    // completing the interrupted frame.
+    EXPECT_THROW(w.append(bytes_of("after death")), Error);
+  }  // destructor of the dead writer must not repair the file
+  std::vector<std::string> seen;
+  const ReplayStats stats = replay(path, [&](std::span<const std::byte> p) {
+    seen.emplace_back(reinterpret_cast<const char*>(p.data()), p.size());
+  });
+  EXPECT_EQ(seen, (std::vector<std::string>{"complete"}));
+  EXPECT_TRUE(stats.torn_tail);
+}
+
+TEST(Journal, CrashHookMidAppendLeavesHeaderOnly) {
+  TempDir tmp;
+  const std::string path = tmp.path("j");
+  struct Boom {};
+  Writer w(path, FsyncPolicy::never, [](std::string_view site) {
+    if (site == kSiteAppendMid) throw Boom{};
+  });
+  EXPECT_THROW(w.append(bytes_of("payload never written")), Boom);
+  const auto raw = read_file(path);
+  EXPECT_EQ(raw.size(), 8u);  // u32 len + u32 crc, no payload
+  const ReplayStats stats =
+      replay(path, [](std::span<const std::byte>) { FAIL(); });
+  EXPECT_TRUE(stats.torn_tail);
+}
+
+TEST(Snapshot, RoundTrip) {
+  TempDir tmp;
+  const std::string path = tmp.path("snap");
+  const auto body = bytes_of("learned state body");
+  write_snapshot_file(path, 0xABCD1234u, 7, body, true);
+  const auto snap = read_snapshot_file(path, 0xABCD1234u);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->version, 7u);
+  EXPECT_EQ(snap->body, body);
+}
+
+TEST(Snapshot, MissingIsNullopt) {
+  TempDir tmp;
+  EXPECT_FALSE(read_snapshot_file(tmp.path("none"), 1).has_value());
+}
+
+TEST(Snapshot, WrongMagicThrows) {
+  TempDir tmp;
+  const std::string path = tmp.path("snap");
+  write_snapshot_file(path, 0x11111111u, 1, bytes_of("x"), false);
+  EXPECT_THROW(read_snapshot_file(path, 0x22222222u), DecodeError);
+}
+
+TEST(Snapshot, CorruptBodyThrows) {
+  TempDir tmp;
+  const std::string path = tmp.path("snap");
+  write_snapshot_file(path, 0xABCD1234u, 1, bytes_of("snapshot body"),
+                      false);
+  auto raw = read_file(path);
+  raw.back() ^= std::byte{0x40};
+  write_file(path, raw);
+  EXPECT_THROW(read_snapshot_file(path, 0xABCD1234u), DecodeError);
+}
+
+TEST(Snapshot, TruncatedFileThrows) {
+  TempDir tmp;
+  const std::string path = tmp.path("snap");
+  write_snapshot_file(path, 0xABCD1234u, 1, bytes_of("snapshot body"),
+                      false);
+  auto raw = read_file(path);
+  raw.resize(raw.size() / 2);
+  write_file(path, raw);
+  EXPECT_THROW(read_snapshot_file(path, 0xABCD1234u), DecodeError);
+}
+
+TEST(Snapshot, RewriteReplacesAtomically) {
+  TempDir tmp;
+  const std::string path = tmp.path("snap");
+  write_snapshot_file(path, 5u, 1, bytes_of("old"), false);
+  write_snapshot_file(path, 5u, 2, bytes_of("new body"), true);
+  const auto snap = read_snapshot_file(path, 5u);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->version, 2u);
+  EXPECT_EQ(snap->body, bytes_of("new body"));
+}
+
+TEST(Snapshot, CrashBeforeRenameKeepsOldSnapshot) {
+  TempDir tmp;
+  const std::string path = tmp.path("snap");
+  write_snapshot_file(path, 5u, 1, bytes_of("old"), false);
+  struct Boom {};
+  EXPECT_THROW(
+      write_snapshot_file(path, 5u, 2, bytes_of("new"), false,
+                          [](std::string_view site) {
+                            if (site == kSiteSnapshotPreRename) throw Boom{};
+                          }),
+      Boom);
+  // The crash hit between tmp-write and rename: the visible snapshot is
+  // still the complete old version.
+  const auto snap = read_snapshot_file(path, 5u);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->body, bytes_of("old"));
+}
+
+TEST(FsyncPolicy, Names) {
+  EXPECT_STREQ(to_string(FsyncPolicy::never), "never");
+  EXPECT_STREQ(to_string(FsyncPolicy::on_checkpoint), "on_checkpoint");
+  EXPECT_STREQ(to_string(FsyncPolicy::every_append), "every_append");
+}
+
+}  // namespace
+}  // namespace wiloc::journal

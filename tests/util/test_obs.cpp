@@ -223,6 +223,47 @@ TEST(ObsReporter, PeriodGating) {
   EXPECT_EQ(n, 2u);
 }
 
+TEST(ObsReporter, FlushFinalEmitsSuppressedWindow) {
+  Registry reg;
+  std::ostringstream out;
+  Reporter reporter(reg, out, {.period_s = 10.0});
+  reporter.maybe_report(100.0);          // first call reports
+  reg.counter("late").inc();
+  EXPECT_FALSE(reporter.maybe_report(104.0));  // suppressed window
+  reporter.flush_final();
+  EXPECT_EQ(reporter.reports(), 2u);
+  // The final line is stamped with the newest time seen, not the period.
+  EXPECT_NE(out.str().find("{\"t\":104"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("\"late\":1"), std::string::npos) << out.str();
+  // Idempotent: nothing new since the flush.
+  reporter.flush_final();
+  EXPECT_EQ(reporter.reports(), 2u);
+}
+
+TEST(ObsReporter, FlushFinalWithoutActivityIsSilent) {
+  Registry reg;
+  std::ostringstream out;
+  {
+    Reporter reporter(reg, out, {.period_s = 1.0});
+    reporter.flush_final();  // no maybe_report ever happened
+  }                          // destructor flush is silent too
+  EXPECT_TRUE(out.str().empty()) << out.str();
+}
+
+TEST(ObsReporter, DestructorFlushesLastWindow) {
+  Registry reg;
+  std::ostringstream out;
+  {
+    Reporter reporter(reg, out, {.period_s = 1e9});
+    reporter.maybe_report(10.0);
+    reg.counter("teardown").inc(3);
+    reporter.maybe_report(20.0);  // suppressed by the huge period
+  }
+  // Two lines: the initial report and the destructor's final flush.
+  EXPECT_NE(out.str().find("{\"t\":20"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("\"teardown\":3"), std::string::npos) << out.str();
+}
+
 TEST(ObsReporter, ResetEachEmitsDeltas) {
   Registry reg;
   std::ostringstream out;

@@ -132,5 +132,75 @@ TEST(DaySlots, SlotAccessorBounds) {
   EXPECT_THROW(slots.slot(2), ContractViolation);
 }
 
+TEST(DaySlots, WrappedNightDominatedPartition) {
+  // Minimal wrapped shape: one sliver of daytime, and a single cyclic
+  // slot spanning the other ~23 hours *through midnight*.
+  const DaySlots slots =
+      DaySlots::from_boundaries_wrapped({hms(12), hms(12, 30)});
+  EXPECT_EQ(slots.count(), 2u);
+  EXPECT_TRUE(slots.wraps());
+  EXPECT_EQ(slots.slot_of_tod(hms(12, 15)), 0u);
+  for (const double tod : {0.0, hms(3), hms(11, 59, 59.0), hms(12, 30),
+                           hms(23, 59, 59.0)})
+    EXPECT_EQ(slots.slot_of_tod(tod), 1u) << format_tod(tod);
+  // Exactly at midnight, deep inside the wrapped slot: it still ends at
+  // the next 12:00, not at the day boundary it crosses.
+  EXPECT_DOUBLE_EQ(slots.slot_end_time(at_day_time(4, 0.0)),
+                   at_day_time(4, hms(12)));
+  EXPECT_DOUBLE_EQ(slots.slot_end_time(at_day_time(3, hms(12, 30))),
+                   at_day_time(4, hms(12)));
+}
+
+TEST(DaySlots, WrappedBoundariesMustBeStrictlyInterior) {
+  // 0 and 86400 are the midnight the wrapped slot crosses; admitting
+  // them as boundaries would make the cyclic slot empty or ambiguous.
+  EXPECT_THROW(DaySlots::from_boundaries_wrapped({0.0, hms(20)}),
+               ContractViolation);
+  EXPECT_THROW(
+      DaySlots::from_boundaries_wrapped({hms(6), kSecondsPerDay}),
+      ContractViolation);
+  EXPECT_NO_THROW(DaySlots::from_boundaries_wrapped({1.0, 86399.0}));
+}
+
+TEST(DaySlots, EncodeDecodeRoundTrip) {
+  for (const DaySlots& slots :
+       {DaySlots::uniform(1), DaySlots::paper_five_slots(),
+        DaySlots::from_boundaries({0.0, hms(9), kSecondsPerDay}),
+        DaySlots::from_boundaries_wrapped({hms(6), hms(9), hms(20)})}) {
+    BinWriter w;
+    slots.encode(w);
+    BinReader r(w.bytes());
+    const DaySlots copy = DaySlots::decode(r);
+    EXPECT_TRUE(r.done());
+    EXPECT_TRUE(copy == slots);
+    EXPECT_EQ(copy.wraps(), slots.wraps());
+    EXPECT_EQ(copy.count(), slots.count());
+    // Behavioural equality, not just structural.
+    for (double tod = 0.0; tod < kSecondsPerDay; tod += 3600.0)
+      EXPECT_EQ(copy.slot_of_tod(tod), slots.slot_of_tod(tod));
+  }
+}
+
+TEST(DaySlots, EqualityDistinguishesWrapFlagAndBoundaries) {
+  EXPECT_FALSE(DaySlots::uniform(2) == DaySlots::uniform(3));
+  EXPECT_FALSE(DaySlots::paper_five_slots() == DaySlots::uniform(5));
+  // Same interior boundaries, different wrap behaviour.
+  const DaySlots flat =
+      DaySlots::from_boundaries({0.0, hms(6), hms(20), kSecondsPerDay});
+  const DaySlots wrapped =
+      DaySlots::from_boundaries_wrapped({hms(6), hms(20)});
+  EXPECT_FALSE(flat == wrapped);
+  EXPECT_TRUE(wrapped == DaySlots::from_boundaries_wrapped(
+                             {hms(6), hms(20)}));
+}
+
+TEST(DaySlots, DecodeRejectsGarbage) {
+  BinWriter w;
+  w.put_u8(1);      // wraps
+  w.put_u32(0);     // zero slots: invalid
+  BinReader r(w.bytes());
+  EXPECT_THROW(DaySlots::decode(r), DecodeError);
+}
+
 }  // namespace
 }  // namespace wiloc
