@@ -1,0 +1,157 @@
+// End-to-end HTTP serving bench: replays a full service day against a
+// live WiLocatorService over loopback sockets and measures what a
+// deployment cares about — sustained scans/sec through POST /v1/scans
+// and the latency distribution of rider-facing GET /v1/arrival probes
+// interleaved with the ingest load. Persistence + the background
+// checkpoint thread are ON, so the numbers include the checkpoint
+// cadence a production server pays. Results land in BENCH_http.json
+// (the CI bench gate watches scans_per_sec and arrival p99).
+//
+// Usage: bench_http [--smoke] [--connections N] [--batch N] [--workers N]
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "common.hpp"
+#include "net/load_driver.hpp"
+#include "net/service.hpp"
+
+namespace {
+
+using namespace wiloc;
+
+std::vector<core::ScanSubmission> build_stream(
+    const std::vector<bench::LiveTrip>& day) {
+  std::vector<core::ScanSubmission> stream;
+  for (const bench::LiveTrip& trip : day)
+    for (const sim::ScanReport& report : trip.reports)
+      stream.push_back({report.trip, report.scan});
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.scan.time < b.scan.time;
+                   });
+  return stream;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  // Defaults favour tail latency over raw throughput: small batches keep
+  // a queued arrival GET from waiting behind a multi-ms POST parse.
+  std::size_t connections = 2;
+  std::size_t batch_size = 128;
+  std::size_t workers = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc)
+      connections = static_cast<std::size_t>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc)
+      batch_size = static_cast<std::size_t>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc)
+      workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+  }
+
+  print_banner(std::cout,
+               smoke ? "HTTP serving (smoke)" : "HTTP serving end-to-end");
+
+  const sim::City city = sim::build_paper_city();
+  const sim::TrafficModel traffic(2016);
+  const sim::FleetPlan plan = sim::default_fleet_plan(city);
+  Rng rng(7);
+
+  const auto state_dir =
+      std::filesystem::temp_directory_path() / "wiloc_bench_http_state";
+  std::filesystem::remove_all(state_dir);
+
+  core::ServerConfig config;
+  config.engine.workers = workers;
+  config.engine.queue_capacity = 4096;
+  config.persist.dir = state_dir.string();
+  core::WiLocatorServer server(city.route_pointers(), city.ap_snapshot(),
+                               *city.rf_model, DaySlots::paper_five_slots(),
+                               config);
+  bench::train_server(server, city, traffic, plan, /*first_day=*/0,
+                      /*day_count=*/smoke ? 1 : 2, rng);
+
+  const auto day =
+      bench::simulate_live_day(city, traffic, plan, /*day=*/2, 1000, rng);
+  auto stream = build_stream(day);
+  if (smoke && stream.size() > 4000) stream.resize(4000);
+
+  std::vector<net::ArrivalProbe> probes;
+  for (const bench::LiveTrip& trip : day) {
+    const auto& route = city.routes[trip.record.route.index()];
+    if (trip.record.stops.size() < 2) continue;
+    probes.push_back({trip.record.id, route.stop_count() - 1,
+                      trip.record.stops[1].depart});
+  }
+
+  // Trips are registered before the service starts: once the checkpoint
+  // thread runs, every control-thread call must go through the service.
+  for (const bench::LiveTrip& trip : day)
+    server.begin_trip(trip.record.id, trip.record.route);
+
+  net::ServiceOptions options;
+  options.checkpoint_poll_s = 0.05;  // checkpoint aggressively under load
+  net::WiLocatorService service(server, options);
+  service.start();
+  service.set_ready(true);
+
+  net::LoadDriverOptions load_options;
+  load_options.port = service.port();
+  load_options.connections = connections;
+  load_options.batch_size = batch_size;
+  load_options.arrival_every = 4;
+  net::HttpLoadDriver driver(load_options);
+  const net::LoadReport report = driver.run(stream, probes);
+
+  const std::uint64_t checkpoints = service.background_checkpoints();
+  service.stop();
+  std::filesystem::remove_all(state_dir);
+
+  TablePrinter table({"metric", "value"});
+  table.add_row({"scans posted", std::to_string(report.scans_posted)});
+  table.add_row({"wall (s)", TablePrinter::num(report.wall_s, 3)});
+  table.add_row({"scans/sec", TablePrinter::num(report.scans_per_sec, 0)});
+  table.add_row(
+      {"POST p50 (us)", TablePrinter::num(report.post_quantile_us(0.5), 1)});
+  table.add_row(
+      {"POST p99 (us)", TablePrinter::num(report.post_quantile_us(0.99), 1)});
+  table.add_row({"arrival p50 (us)",
+                 TablePrinter::num(report.arrival_quantile_us(0.5), 1)});
+  table.add_row({"arrival p99 (us)",
+                 TablePrinter::num(report.arrival_quantile_us(0.99), 1)});
+  table.add_row({"arrival queries", std::to_string(report.arrival_queries)});
+  table.add_row({"arrival misses", std::to_string(report.arrival_misses)});
+  table.add_row({"errors", std::to_string(report.errors)});
+  table.add_row({"bg checkpoints", std::to_string(checkpoints)});
+  table.print(std::cout);
+
+  const char* path = "BENCH_http.json";
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"http_serving\",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"connections\": " << connections << ",\n"
+      << "  \"batch_size\": " << batch_size << ",\n"
+      << "  \"workers\": " << workers << ",\n"
+      << "  \"scans_posted\": " << report.scans_posted << ",\n"
+      << "  \"wall_s\": " << report.wall_s << ",\n"
+      << "  \"scans_per_sec\": " << report.scans_per_sec << ",\n"
+      << "  \"post_p50_us\": " << report.post_quantile_us(0.5) << ",\n"
+      << "  \"post_p99_us\": " << report.post_quantile_us(0.99) << ",\n"
+      << "  \"arrival_p50_us\": " << report.arrival_quantile_us(0.5) << ",\n"
+      << "  \"arrival_p99_us\": " << report.arrival_quantile_us(0.99) << ",\n"
+      << "  \"arrival_queries\": " << report.arrival_queries << ",\n"
+      << "  \"arrival_misses\": " << report.arrival_misses << ",\n"
+      << "  \"errors\": " << report.errors << ",\n"
+      << "  \"background_checkpoints\": " << checkpoints << "\n}\n";
+  std::cout << "\nwrote " << path << "\n";
+  return report.errors == 0 ? 0 : 1;
+}

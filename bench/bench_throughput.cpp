@@ -120,11 +120,44 @@ SweepRow run_config(const sim::City& city,
   return row;
 }
 
-void write_json(const std::vector<SweepRow>& rows, const char* path) {
+/// ns per PositioningIndex::locate call over the day's real rankings —
+/// the query-side hot path the CI bench gate watches alongside ingest
+/// throughput.
+double measure_locate_ns(const sim::City& city,
+                         const std::vector<bench::LiveTrip>& day,
+                         std::size_t ops) {
+  core::WiLocatorServer server(city.route_pointers(), city.ap_snapshot(),
+                               *city.rf_model, DaySlots::paper_five_slots());
+  std::vector<std::pair<roadnet::RouteId, std::vector<rf::ApId>>> queries;
+  for (const bench::LiveTrip& trip : day) {
+    for (const sim::ScanReport& report : trip.reports) {
+      if (report.scan.empty()) continue;
+      queries.emplace_back(trip.record.route, report.scan.ranked_aps());
+      if (queries.size() >= 2048) break;
+    }
+    if (queries.size() >= 2048) break;
+  }
+  if (queries.empty() || ops == 0) return 0.0;
+  std::size_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto& [route, ranking] = queries[i % queries.size()];
+    sink += server.index_for(route).locate(ranking).size();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (sink == 0) std::cerr << "WARNING: locate produced no candidates\n";
+  return wall_s * 1e9 / static_cast<double>(ops);
+}
+
+void write_json(const std::vector<SweepRow>& rows, double locate_ns,
+                const char* path) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"ingest_throughput\",\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n"
+      << "  \"locate_ns_per_op\": " << locate_ns << ",\n"
       << "  \"note\": \"speedup is vs the serial (workers=0) row at the "
          "same noise level; meaningful only when hardware_concurrency "
          "exceeds the worker count\",\n"
@@ -193,8 +226,13 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
+  const double locate_ns =
+      measure_locate_ns(city, day, smoke ? 2000 : 20000);
+  std::cout << "\nlocate: " << TablePrinter::num(locate_ns, 1)
+            << " ns/op\n";
+
   const char* path = "BENCH_throughput.json";
-  write_json(rows, path);
+  write_json(rows, locate_ns, path);
   // Full obs-registry snapshot of the last config, for post-hoc digging
   // (reject breakdown, queue-depth / latency histograms, locate paths).
   const char* metrics_path = "BENCH_throughput_metrics.json";

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <filesystem>
+#include <fstream>
 
 #include "util/contracts.hpp"
 #include "util/hashing.hpp"
@@ -48,11 +49,14 @@ void StatePersistence::append(JournalRecord type,
   try {
     writer_->append(frame.bytes());
   } catch (...) {
-    poisoned_ = true;
+    poisoned_.store(true, std::memory_order_release);
     throw;
   }
-  if (!last_checkpoint_time_.has_value())
-    last_checkpoint_time_ = obs.exit_time;
+  {
+    const std::lock_guard<std::mutex> lock(time_mu_);
+    if (!last_checkpoint_time_.has_value())
+      last_checkpoint_time_ = obs.exit_time;
+  }
   if (metrics_.journal_appends != nullptr) metrics_.journal_appends->inc();
   if (metrics_.journal_bytes != nullptr)
     metrics_.journal_bytes->set(static_cast<double>(writer_->size_bytes()));
@@ -60,6 +64,7 @@ void StatePersistence::append(JournalRecord type,
 
 bool StatePersistence::should_checkpoint(SimTime now) const {
   if (writer_->size_bytes() >= config_.journal_trigger_bytes) return true;
+  const std::lock_guard<std::mutex> lock(time_mu_);
   return last_checkpoint_time_.has_value() &&
          now - *last_checkpoint_time_ >= config_.snapshot_interval_s;
 }
@@ -74,14 +79,74 @@ void StatePersistence::write_checkpoint(std::span<const std::byte> body,
     // between the rename above and this truncate leaves overlapping
     // records, which replay dedups via the embedded watermark.
     writer_->reset();
+    std::error_code ec;
+    std::filesystem::remove(sealed_journal_path(), ec);
   } catch (...) {
-    poisoned_ = true;
+    poisoned_.store(true, std::memory_order_release);
     throw;
   }
-  last_checkpoint_time_ = now;
-  if (metrics_.snapshots != nullptr) metrics_.snapshots->inc();
+  finish_checkpoint(now);
   if (metrics_.journal_bytes != nullptr)
     metrics_.journal_bytes->set(static_cast<double>(writer_->size_bytes()));
+}
+
+void StatePersistence::seal_journal() {
+  try {
+    writer_.reset();  // close the active journal before renaming it
+    std::error_code ec;
+    const std::string active = journal_path();
+    const std::string sealed = sealed_journal_path();
+    if (std::filesystem::exists(active, ec) &&
+        std::filesystem::file_size(active, ec) > 0) {
+      if (std::filesystem::exists(sealed, ec)) {
+        // A crashed checkpoint left a sealed segment behind. Frames are
+        // self-delimiting, so appending the active journal keeps the
+        // concatenation a valid, ordered journal.
+        std::ofstream out(sealed, std::ios::binary | std::ios::app);
+        std::ifstream in(active, std::ios::binary);
+        out << in.rdbuf();
+        if (!out) throw Error("persist: sealing journal append failed");
+        out.close();
+        std::filesystem::remove(active);
+      } else {
+        std::filesystem::rename(active, sealed);
+      }
+    }
+    writer_ = std::make_unique<journal::Writer>(
+        journal_path(), config_.fsync, config_.failure_hook);
+  } catch (...) {
+    poisoned_.store(true, std::memory_order_release);
+    throw;
+  }
+  if (metrics_.journal_bytes != nullptr)
+    metrics_.journal_bytes->set(static_cast<double>(writer_->size_bytes()));
+}
+
+void StatePersistence::commit_checkpoint(std::span<const std::byte> body,
+                                         SimTime now) {
+  try {
+    journal::write_snapshot_file(
+        snapshot_path(), kSnapshotMagic, kSnapshotVersion, body,
+        config_.fsync != journal::FsyncPolicy::never, config_.failure_hook);
+    // The snapshot embeds the watermark of everything sealed, so the
+    // sealed segment is redundant. A crash before this remove leaves
+    // overlap that replay dedups. The active journal is untouched —
+    // the control thread keeps appending to it concurrently.
+    std::error_code ec;
+    std::filesystem::remove(sealed_journal_path(), ec);
+  } catch (...) {
+    poisoned_.store(true, std::memory_order_release);
+    throw;
+  }
+  finish_checkpoint(now);
+}
+
+void StatePersistence::finish_checkpoint(SimTime now) {
+  {
+    const std::lock_guard<std::mutex> lock(time_mu_);
+    last_checkpoint_time_ = now;
+  }
+  if (metrics_.snapshots != nullptr) metrics_.snapshots->inc();
 }
 
 std::uint64_t StatePersistence::journal_bytes() const {
@@ -99,24 +164,34 @@ StatePersistence::RecoveryResult StatePersistence::recover() {
     result.snapshot_corrupt = true;
   }
 
-  result.replay = journal::replay(
-      journal_path(), [&](std::span<const std::byte> payload) {
-        try {
-          BinReader r(payload);
-          RecoveredRecord rec;
-          rec.seq = r.get_u64();
-          const std::uint8_t type = r.get_u8();
-          if (type != static_cast<std::uint8_t>(JournalRecord::history_obs) &&
-              type != static_cast<std::uint8_t>(JournalRecord::recent_obs))
-            throw DecodeError("persist: unknown journal record type " +
-                              std::to_string(type));
-          rec.type = static_cast<JournalRecord>(type);
-          rec.obs = decode_observation(r);
-          result.records.push_back(rec);
-        } catch (const DecodeError&) {
-          ++result.undecodable;
-        }
-      });
+  const auto decode_frame = [&](std::span<const std::byte> payload) {
+    try {
+      BinReader r(payload);
+      RecoveredRecord rec;
+      rec.seq = r.get_u64();
+      const std::uint8_t type = r.get_u8();
+      if (type != static_cast<std::uint8_t>(JournalRecord::history_obs) &&
+          type != static_cast<std::uint8_t>(JournalRecord::recent_obs))
+        throw DecodeError("persist: unknown journal record type " +
+                          std::to_string(type));
+      rec.type = static_cast<JournalRecord>(type);
+      rec.obs = decode_observation(r);
+      result.records.push_back(rec);
+    } catch (const DecodeError&) {
+      ++result.undecodable;
+    }
+  };
+
+  // A sealed segment (crashed two-phase checkpoint) holds the older
+  // records: replay it before the active journal so records arrive in
+  // append order.
+  const journal::ReplayStats sealed =
+      journal::replay(sealed_journal_path(), decode_frame);
+  result.replay = journal::replay(journal_path(), decode_frame);
+  result.replay.frames_ok += sealed.frames_ok;
+  result.replay.frames_corrupt += sealed.frames_corrupt;
+  result.replay.torn_tail = result.replay.torn_tail || sealed.torn_tail;
+  result.replay.bytes_scanned += sealed.bytes_scanned;
   return result;
 }
 

@@ -23,11 +23,26 @@
 // corrupt snapshot bumps the metric and recovery continues from the
 // journal alone. Recovery never aborts the server.
 //
-// All persistence work runs on the control thread (the server's
+// Journal appends always run on the control thread (the server's
 // publish/query side), never on the ingest engine's shard workers.
+// Checkpoints come in two flavors:
+//
+//  - write_checkpoint(): the synchronous path (shutdown, finalize,
+//    recovery fold) — snapshot + truncate inline on the caller.
+//  - seal_journal() + commit_checkpoint(): the two-phase path a
+//    background checkpoint thread uses. seal_journal() runs on the
+//    control thread and atomically rotates the active journal to a
+//    sealed side file (appends continue into a fresh journal, ordering
+//    preserved by the seq watermark); commit_checkpoint() then does the
+//    expensive snapshot write + fsync on the background thread and
+//    deletes the sealed file it supersedes. A crash anywhere in the
+//    window leaves snapshot+sealed+active journals whose overlap
+//    recovery dedups via the embedded watermark.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -105,6 +120,12 @@ class StatePersistence {
   const PersistenceConfig& config() const { return config_; }
   std::string snapshot_path() const { return config_.dir + "/state.snapshot"; }
   std::string journal_path() const { return config_.dir + "/state.journal"; }
+  /// Side file holding journal frames already covered by an in-flight
+  /// (or crashed) two-phase checkpoint; replayed before the active
+  /// journal on recovery.
+  std::string sealed_journal_path() const {
+    return config_.dir + "/state.journal.sealed";
+  }
 
   /// Appends one seq-stamped observation record to the journal.
   void append(JournalRecord type, const TravelObservation& obs);
@@ -113,16 +134,34 @@ class StatePersistence {
   /// crash). A poisoned manager must not be written through again —
   /// in particular the server's destructor checkpoint is skipped, so a
   /// simulated crash cannot leak post-crash state to disk.
-  bool poisoned() const { return poisoned_ || writer_->dead(); }
+  bool poisoned() const {
+    return poisoned_.load(std::memory_order_acquire) ||
+           (writer_ != nullptr && writer_->dead());
+  }
 
   /// True when the interval or journal-size trigger has fired since the
   /// last checkpoint.
   bool should_checkpoint(SimTime now) const;
 
   /// Atomically writes `body` as the new snapshot, then truncates the
-  /// journal it supersedes. `body` must embed last_seq() so the next
-  /// recovery can dedup the snapshot/journal overlap.
+  /// journal (and removes any sealed segment) it supersedes. `body`
+  /// must embed last_seq() so the next recovery can dedup the
+  /// snapshot/journal overlap. Synchronous: caller-thread I/O.
   void write_checkpoint(std::span<const std::byte> body, SimTime now);
+
+  // -- two-phase (background) checkpointing ------------------------------
+
+  /// Phase 1, control thread: rotates the active journal into the
+  /// sealed side file (concatenating when a crashed checkpoint left one
+  /// behind) and reopens a fresh journal for subsequent appends. After
+  /// this the caller serializes the state body covering last_seq() and
+  /// hands it to commit_checkpoint() on any thread.
+  void seal_journal();
+
+  /// Phase 2, any thread: atomically writes `body` as the new snapshot
+  /// and deletes the sealed segment it covers. Never touches the active
+  /// journal, so control-thread appends proceed concurrently.
+  void commit_checkpoint(std::span<const std::byte> body, SimTime now);
 
   /// Sequence number of the most recently appended record (0 before the
   /// first append); the watermark embedded in snapshots.
@@ -158,12 +197,18 @@ class StatePersistence {
   static constexpr std::uint32_t kSnapshotVersion = 1;
 
  private:
+  void finish_checkpoint(SimTime now);
+
   PersistenceConfig config_;
   PersistMetrics metrics_;
-  std::unique_ptr<journal::Writer> writer_;
+  std::unique_ptr<journal::Writer> writer_;  ///< control thread only
   std::uint64_t seq_ = 0;
+  /// Guards the checkpoint-cadence bookkeeping shared between the
+  /// control thread (append / should_checkpoint) and a background
+  /// committer (commit_checkpoint).
+  mutable std::mutex time_mu_;
   std::optional<SimTime> last_checkpoint_time_;
-  bool poisoned_ = false;
+  std::atomic<bool> poisoned_{false};
 };
 
 /// Combined fingerprint of the configuration that shapes the persisted

@@ -47,19 +47,24 @@ WiLocatorServer::WiLocatorServer(std::vector<RouteIndex> bindings,
 }
 
 WiLocatorServer::~WiLocatorServer() {
-  // Graceful shutdown persists the learned state — unless a persistence
-  // write already failed (injected crash or real I/O error), in which
-  // case the on-disk state must stay exactly as the failure left it.
+  // Graceful shutdown: drain the engine FIRST so the final metrics
+  // window and checkpoint cover every submitted scan, then persist the
+  // learned state — unless a persistence write already failed (injected
+  // crash or real I/O error), in which case the on-disk state must stay
+  // exactly as the failure left it.
   try {
-    if (persist_ != nullptr && !persist_->poisoned()) {
-      engine_->drain();
+    engine_->drain();
+    if (persist_ == nullptr || !persist_->poisoned()) {
       publish_pending();
-      do_checkpoint();
+      if (persist_ != nullptr) do_checkpoint();
     }
   } catch (...) {
     // A destructor must not throw; the state directory simply keeps its
     // last consistent view and the next start recovers from it.
   }
+  // Ordered strictly after the drain above: the reporter's final line
+  // must account for the complete stream (idempotent — a service
+  // front-end may already have flushed during its own shutdown).
   try {
     if (reporter_ != nullptr) reporter_->flush_final();
   } catch (...) {
@@ -195,9 +200,33 @@ void WiLocatorServer::do_checkpoint() const {
 }
 
 void WiLocatorServer::maybe_checkpoint() const {
+  if (!inline_checkpoints_) return;  // a background checkpointer owns it
   if (persist_ == nullptr || !has_event_) return;
   if (!persist_->should_checkpoint(last_event_time_)) return;
   do_checkpoint();
+}
+
+bool WiLocatorServer::checkpoint_due() const {
+  if (persist_ == nullptr || persist_->poisoned() || !has_event_)
+    return false;
+  return persist_->should_checkpoint(last_event_time_);
+}
+
+WiLocatorServer::PreparedCheckpoint WiLocatorServer::prepare_checkpoint() {
+  PreparedCheckpoint prepared;
+  if (persist_ == nullptr || persist_->poisoned()) return prepared;
+  publish_pending();
+  persist_->seal_journal();
+  prepared.body = snapshot_body();
+  prepared.at = last_event_time_;
+  prepared.valid = true;
+  return prepared;
+}
+
+void WiLocatorServer::commit_prepared(PreparedCheckpoint&& prepared) {
+  if (!prepared.valid || persist_ == nullptr) return;
+  persist_->commit_checkpoint(prepared.body, prepared.at);
+  prepared = {};
 }
 
 void WiLocatorServer::note_event(SimTime t) const {

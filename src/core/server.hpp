@@ -158,8 +158,48 @@ class WiLocatorServer {
 
   /// Publishes pending observations, then forces a checkpoint now:
   /// atomically snapshots the learned state and truncates the journal.
-  /// Requires persistence to be enabled.
+  /// Requires persistence to be enabled. Synchronous (caller-thread
+  /// I/O); a serving front-end uses the prepare/commit split below.
   void checkpoint();
+
+  /// A serialized checkpoint waiting for its (possibly off-thread)
+  /// snapshot write. Obtained from prepare_checkpoint().
+  struct PreparedCheckpoint {
+    std::vector<std::byte> body;
+    SimTime at = 0.0;
+    bool valid = false;
+  };
+
+  /// True when the periodic/size checkpoint trigger has fired — the
+  /// background checkpointer polls this under the same lock that
+  /// serializes control-thread calls.
+  bool checkpoint_due() const;
+
+  /// Phase 1 (control thread): publishes pending observations, seals
+  /// the journal and serializes the learned state. Cheap: in-memory
+  /// serialization plus one rename. Returns an invalid checkpoint when
+  /// persistence is disabled or poisoned.
+  PreparedCheckpoint prepare_checkpoint();
+
+  /// Phase 2 (any thread): writes the prepared snapshot to disk and
+  /// drops the sealed journal segment it covers. Safe to run
+  /// concurrently with control-thread ingest/queries — it never touches
+  /// the active journal or the learned state.
+  void commit_prepared(PreparedCheckpoint&& prepared);
+
+  /// When disabled, publish_pending() stops taking interval/size
+  /// checkpoints inline on the control thread — a background
+  /// checkpointer (net::WiLocatorService) owns the cadence instead.
+  void set_inline_checkpoints(bool enabled) {
+    inline_checkpoints_ = enabled;
+  }
+
+  /// Sim-time of the newest event the server has seen (scan
+  /// observation exit or recovered record); nullopt before any.
+  std::optional<SimTime> last_event_time() const {
+    return has_event_ ? std::optional<SimTime>(last_event_time_)
+                      : std::nullopt;
+  }
 
   /// The persistence manager, or nullptr when disabled (tests, benches).
   const StatePersistence* persistence() const { return persist_.get(); }
@@ -268,6 +308,7 @@ class WiLocatorServer {
   std::unordered_set<ObservationKey, ObservationKey::Hash> history_seen_;
   std::uint64_t config_fingerprint_ = 0;
   bool recovered_ = false;
+  bool inline_checkpoints_ = true;
   obs::Reporter* reporter_ = nullptr;  ///< final-flushed on destruction
   mutable SimTime last_event_time_ = 0.0;
   mutable bool has_event_ = false;

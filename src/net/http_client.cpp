@@ -1,0 +1,152 @@
+#include "net/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "util/binio.hpp"
+#include "util/contracts.hpp"
+
+namespace wiloc::net {
+
+HttpClient::HttpClient(std::string host, std::uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+HttpClient::~HttpClient() { disconnect(); }
+
+void HttpClient::disconnect() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void HttpClient::connect() {
+  disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw Error("http client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    disconnect();
+    throw Error("http client: bad address " + host_);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    disconnect();
+    throw Error("http client: connect(" + host_ + ":" +
+                std::to_string(port_) + ") failed: " + std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+ClientResponse HttpClient::get(const std::string& target) {
+  return request("GET", target, "", "");
+}
+
+ClientResponse HttpClient::post(const std::string& target,
+                                const std::string& body,
+                                const std::string& content_type) {
+  return request("POST", target, body, content_type);
+}
+
+ClientResponse HttpClient::request(const std::string& method,
+                                   const std::string& target,
+                                   const std::string& body,
+                                   const std::string& content_type) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: " + host_ + "\r\n";
+  if (!content_type.empty()) wire += "Content-Type: " + content_type + "\r\n";
+  wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  wire += "\r\n";
+  wire += body;
+
+  if (fd_ < 0) connect();
+  try {
+    return round_trip(wire);
+  } catch (const Error&) {
+    // The server may have reaped an idle keep-alive connection between
+    // requests; one reconnect covers that without masking real faults.
+    connect();
+    return round_trip(wire);
+  }
+}
+
+ClientResponse HttpClient::round_trip(const std::string& wire) {
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::write(fd_, wire.data() + sent, wire.size() - sent);
+    if (n <= 0) {
+      disconnect();
+      throw Error("http client: write failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string data;
+  std::size_t head_end = std::string::npos;
+  char buf[16 * 1024];
+  while (head_end == std::string::npos) {
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n <= 0) {
+      disconnect();
+      throw Error("http client: connection closed mid-response");
+    }
+    data.append(buf, static_cast<std::size_t>(n));
+    head_end = data.find("\r\n\r\n");
+    if (data.size() > (1u << 20) && head_end == std::string::npos) {
+      disconnect();
+      throw DecodeError("http client: response headers too large");
+    }
+  }
+
+  ClientResponse response;
+  const std::string head = data.substr(0, head_end);
+  std::size_t line_end = head.find("\r\n");
+  const std::string status_line = head.substr(0, line_end);
+  if (status_line.size() < 12 || status_line.compare(0, 5, "HTTP/") != 0)
+    throw DecodeError("http client: bad status line: " + status_line);
+  response.status = std::atoi(status_line.c_str() + 9);
+
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    response.headers[line.substr(0, colon)] = std::move(value);
+  }
+
+  std::size_t content_length = 0;
+  const auto cl = response.headers.find("Content-Length");
+  if (cl != response.headers.end())
+    content_length =
+        static_cast<std::size_t>(std::strtoull(cl->second.c_str(), nullptr,
+                                               10));
+  response.body = data.substr(head_end + 4);
+  while (response.body.size() < content_length) {
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n <= 0) {
+      disconnect();
+      throw Error("http client: connection closed mid-body");
+    }
+    response.body.append(buf, static_cast<std::size_t>(n));
+  }
+  response.body.resize(content_length);
+
+  const auto conn = response.headers.find("Connection");
+  if (conn != response.headers.end() && conn->second == "close") disconnect();
+  return response;
+}
+
+}  // namespace wiloc::net

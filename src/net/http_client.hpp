@@ -1,0 +1,52 @@
+// A small blocking HTTP/1.1 client for the test, bench and load-driver
+// harnesses (NOT a general-purpose client: one host, sized bodies,
+// keep-alive reuse of a single connection).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/http.hpp"
+
+namespace wiloc::net {
+
+struct ClientResponse {
+  int status = 0;
+  HeaderMap headers;
+  std::string body;
+};
+
+class HttpClient {
+ public:
+  /// Connects lazily on the first request.
+  HttpClient(std::string host, std::uint16_t port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Issues one request and blocks for the full response. Reconnects
+  /// transparently when the server closed the previous keep-alive
+  /// connection. Throws wiloc::Error on connect/transport failure and
+  /// DecodeError on an unparseable response.
+  ClientResponse get(const std::string& target);
+  ClientResponse post(const std::string& target, const std::string& body,
+                      const std::string& content_type = "application/json");
+
+  /// Drops the connection (next request reconnects).
+  void disconnect() noexcept;
+
+ private:
+  ClientResponse request(const std::string& method, const std::string& target,
+                         const std::string& body,
+                         const std::string& content_type);
+  ClientResponse round_trip(const std::string& wire);
+  void connect();
+
+  std::string host_;
+  std::uint16_t port_;
+  int fd_ = -1;
+};
+
+}  // namespace wiloc::net

@@ -1,0 +1,311 @@
+#include "net/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpHandler handler, HttpServerOptions options)
+    : handler_(std::move(handler)), options_(std::move(options)) {
+  WILOC_EXPECTS(handler_ != nullptr);
+  if (options_.registry != nullptr) {
+    obs::Registry& r = *options_.registry;
+    requests_ = &r.counter("http.requests");
+    responses_4xx_ = &r.counter("http.responses_4xx");
+    responses_5xx_ = &r.counter("http.responses_5xx");
+    accepted_ = &r.counter("http.connections_accepted");
+    rejected_overload_ = &r.counter("http.connections_rejected_overload");
+    parse_errors_ = &r.counter("http.parse_errors");
+    idle_reaped_ = &r.counter("http.connections_idle_reaped");
+    open_gauge_ = &r.gauge("http.connections_open");
+    handler_us_ = &r.histogram("http.handler_us", 0.0, 50000.0, 50);
+  }
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  WILOC_EXPECTS(!running());
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw Error("http: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("http: bad bind address " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("http: bind(" + options_.bind_address + ":" +
+                std::to_string(options_.port) +
+                ") failed: " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("http: listen() failed");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    stop();
+    throw Error("http: epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void HttpServer::stop() noexcept {
+  if (running_.exchange(false, std::memory_order_acq_rel) && wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof one);
+  }
+  if (thread_.joinable()) thread_.join();
+  for (auto& [fd, c] : connections_) ::close(fd);
+  connections_.clear();
+  open_.store(0, std::memory_order_relaxed);
+  if (open_gauge_ != nullptr) open_gauge_->set(0.0);
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+    if (*fd >= 0) ::close(*fd);
+    *fd = -1;
+  }
+}
+
+double HttpServer::monotonic_s() const {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void HttpServer::loop() {
+  std::vector<epoll_event> events(128);
+  double last_sweep = monotonic_s();
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), 1000);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const auto r =
+            ::read(wake_fd_, &drained, sizeof drained);
+        continue;
+      }
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      const auto it = connections_.find(fd);
+      if (it != connections_.end())
+        connection_ready(*it->second, events[i].events);
+    }
+    const double now = monotonic_s();
+    if (now - last_sweep >= 1.0) {
+      sweep_idle(now);
+      last_sweep = now;
+    }
+  }
+}
+
+void HttpServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or a transient error: try next wakeup
+    if (connections_.size() >= options_.max_connections) {
+      if (rejected_overload_ != nullptr) rejected_overload_->inc();
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_unique<Connection>(options_.limits);
+    conn->fd = fd;
+    conn->last_activity = monotonic_s();
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    connections_.emplace(fd, std::move(conn));
+    if (accepted_ != nullptr) accepted_->inc();
+    open_.store(connections_.size(), std::memory_order_relaxed);
+    if (open_gauge_ != nullptr)
+      open_gauge_->set(static_cast<double>(connections_.size()));
+  }
+}
+
+void HttpServer::connection_ready(Connection& c, std::uint32_t events) {
+  const int fd = c.fd;
+  c.last_activity = monotonic_s();
+
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    close_connection(fd);
+    return;
+  }
+
+  if ((events & (EPOLLIN | EPOLLRDHUP)) != 0) {
+    char buf[16 * 1024];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n > 0) {
+        if (!c.parser.feed(std::string_view(buf, static_cast<size_t>(n)))) {
+          if (parse_errors_ != nullptr) parse_errors_->inc();
+          HttpResponse bad = HttpResponse::text(
+              400, std::string("bad request: ") +
+                       to_string(c.parser.error()) + "\n");
+          if (responses_4xx_ != nullptr) responses_4xx_->inc();
+          c.out += serialize(bad, /*keep_alive=*/false);
+          c.close_after_write = true;
+          break;
+        }
+        if (static_cast<std::size_t>(n) < sizeof buf) break;
+        continue;
+      }
+      if (n == 0) {  // orderly remote close
+        close_connection(fd);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_connection(fd);
+      return;
+    }
+
+    while (auto req = c.parser.take_request()) {
+      if (requests_ != nullptr) requests_->inc();
+      HttpResponse response;
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        response = handler_(*req);
+      } catch (const std::exception& e) {
+        response = HttpResponse::text(
+            500, std::string("internal error: ") + e.what() + "\n");
+      } catch (...) {
+        response = HttpResponse::text(500, "internal error\n");
+      }
+      if (handler_us_ != nullptr)
+        handler_us_->record(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
+      if (response.status >= 500 && responses_5xx_ != nullptr)
+        responses_5xx_->inc();
+      else if (response.status >= 400 && responses_4xx_ != nullptr)
+        responses_4xx_->inc();
+      const bool keep = req->keep_alive && !c.close_after_write;
+      c.out += serialize(response, keep);
+      if (!keep) {
+        c.close_after_write = true;
+        break;
+      }
+    }
+  }
+
+  if (!drain_output(c)) return;  // connection closed
+  update_epoll(c);
+}
+
+/// Returns false when the connection was closed (write error, or all
+/// output flushed on a close_after_write connection).
+bool HttpServer::drain_output(Connection& c) {
+  while (c.out_pos < c.out.size()) {
+    const ssize_t n = ::write(c.fd, c.out.data() + c.out_pos,
+                              c.out.size() - c.out_pos);
+    if (n > 0) {
+      c.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      c.want_write = true;
+      return true;  // EPOLLOUT will resume the drain
+    }
+    close_connection(c.fd);
+    return false;
+  }
+  c.out.clear();
+  c.out_pos = 0;
+  c.want_write = false;
+  if (c.close_after_write) {
+    close_connection(c.fd);
+    return false;
+  }
+  return true;
+}
+
+void HttpServer::update_epoll(Connection& c) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | (c.want_write ? EPOLLOUT : 0u);
+  ev.data.fd = c.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void HttpServer::close_connection(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(fd);
+  open_.store(connections_.size(), std::memory_order_relaxed);
+  if (open_gauge_ != nullptr)
+    open_gauge_->set(static_cast<double>(connections_.size()));
+}
+
+void HttpServer::sweep_idle(double now) {
+  std::vector<int> stale;
+  for (const auto& [fd, c] : connections_)
+    if (now - c->last_activity > options_.idle_timeout_s)
+      stale.push_back(fd);
+  for (const int fd : stale) {
+    if (idle_reaped_ != nullptr) idle_reaped_->inc();
+    close_connection(fd);
+  }
+}
+
+}  // namespace wiloc::net

@@ -1,0 +1,117 @@
+// Dependency-free epoll HTTP/1.1 server.
+//
+// One acceptor + event-loop thread multiplexes every connection with
+// edge-level readiness (level-triggered epoll keeps the state machine
+// simple and is plenty at our connection counts): nonblocking accept,
+// per-connection RequestParser, handler dispatch, buffered writes with
+// EPOLLOUT re-arm when the socket back-pressures, keep-alive, idle
+// sweeping. The handler runs on the loop thread — WiLocatorService
+// relies on that: the loop thread IS the WiLocatorServer control
+// thread, so queries and publishes need no extra synchronization beyond
+// the service mutex shared with the checkpointer.
+//
+// An eventfd doubles as the shutdown doorbell so stop() never waits out
+// an epoll timeout.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/http.hpp"
+#include "util/obs.hpp"
+
+namespace wiloc::net {
+
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see HttpServer::port()
+  int backlog = 128;
+  std::size_t max_connections = 1024;
+  double idle_timeout_s = 60.0;  ///< idle keep-alive connections are reaped
+  RequestParser::Limits limits;
+  /// Optional: http.* counters/histograms land here (requests,
+  /// connections, handler latency, slow-client buffered bytes).
+  obs::Registry* registry = nullptr;
+};
+
+/// Handler invoked on the event-loop thread for every complete request.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer(HttpHandler handler, HttpServerOptions options = {});
+  /// stop()s if still running.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and starts the event-loop thread. Throws
+  /// wiloc::Error when the socket cannot be bound.
+  void start();
+
+  /// Signals the loop, joins the thread and closes every connection.
+  /// Idempotent; never throws.
+  void stop() noexcept;
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves an ephemeral request after start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Connections currently open (approximate; loop-thread maintained).
+  std::size_t open_connections() const {
+    return open_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    RequestParser parser;
+    std::string out;          ///< bytes not yet accepted by the kernel
+    std::size_t out_pos = 0;  ///< write cursor into `out`
+    bool close_after_write = false;
+    bool want_write = false;  ///< EPOLLOUT armed
+    double last_activity = 0.0;
+
+    explicit Connection(RequestParser::Limits limits) : parser(limits) {}
+  };
+
+  void loop();
+  void accept_ready();
+  void connection_ready(Connection& c, std::uint32_t events);
+  bool drain_output(Connection& c);
+  void close_connection(int fd);
+  void sweep_idle(double now);
+  void update_epoll(Connection& c);
+  double monotonic_s() const;
+
+  HttpHandler handler_;
+  HttpServerOptions options_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> open_{0};
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+
+  // http.* metrics (null when no registry was supplied).
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* responses_4xx_ = nullptr;
+  obs::Counter* responses_5xx_ = nullptr;
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* rejected_overload_ = nullptr;
+  obs::Counter* parse_errors_ = nullptr;
+  obs::Counter* idle_reaped_ = nullptr;
+  obs::Gauge* open_gauge_ = nullptr;
+  obs::HistogramMetric* handler_us_ = nullptr;
+};
+
+}  // namespace wiloc::net

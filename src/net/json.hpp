@@ -1,0 +1,65 @@
+// A minimal JSON reader for the HTTP request bodies the service
+// accepts (scan batches, trip registrations).
+//
+// Parsing only — responses are rendered directly with streams. The
+// grammar is RFC 8259 minus \uXXXX surrogate pairs (escaped BMP code
+// points are decoded; scan payloads are pure ASCII anyway). Depth and
+// size are bounded by the HTTP layer's body limit plus an explicit
+// nesting cap, so a hostile payload cannot blow the stack.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wiloc::net {
+
+/// One parsed JSON value. Objects/arrays own their children.
+class JsonValue {
+ public:
+  enum class Type { null, boolean, number, string, array, object };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::null; }
+
+  /// Typed accessors; each returns nullopt/nullptr on a type mismatch.
+  std::optional<bool> as_bool() const;
+  std::optional<double> as_number() const;
+  const std::string* as_string() const;
+  const std::vector<JsonValue>* as_array() const;
+
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* get(const std::string& key) const;
+  /// Convenience: member's numeric value, nullopt when missing/mistyped.
+  std::optional<double> get_number(const std::string& key) const;
+
+  // Construction (used by the parser; tests build values directly).
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::map<std::string, JsonValue> members);
+
+ private:
+  Type type_ = Type::null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one JSON document. Returns nullopt on any syntax error or
+/// trailing garbage (the service answers 400 with `error` when set).
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
+
+/// Escapes a string for embedding in a JSON document (adds quotes).
+std::string json_quote(std::string_view s);
+
+}  // namespace wiloc::net

@@ -1,0 +1,190 @@
+#include "net/load_driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "net/http_client.hpp"
+#include "util/contracts.hpp"
+
+namespace wiloc::net {
+
+namespace {
+
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t i = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[i];
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+/// The per-connection batch plan: pre-encoded bodies + scan counts.
+struct ConnPlan {
+  std::vector<std::string> bodies;
+  std::vector<std::size_t> scans;
+};
+
+struct ConnResult {
+  std::size_t scans_posted = 0;
+  std::size_t batches = 0;
+  std::size_t arrival_queries = 0;
+  std::size_t arrival_misses = 0;
+  std::size_t errors = 0;
+  std::vector<double> post_us;
+  std::vector<double> arrival_us;
+};
+
+}  // namespace
+
+double LoadReport::post_quantile_us(double q) const {
+  return sorted_quantile(post_latency_us, q);
+}
+
+double LoadReport::arrival_quantile_us(double q) const {
+  return sorted_quantile(arrival_latency_us, q);
+}
+
+std::string encode_scan_batch(std::span<const core::ScanSubmission> batch) {
+  std::ostringstream out;
+  out << "{\"scans\":[";
+  bool first_scan = true;
+  for (const core::ScanSubmission& sub : batch) {
+    if (!first_scan) out << ',';
+    first_scan = false;
+    out << "{\"trip\":" << sub.trip.value() << ",\"t\":" << fmt(sub.scan.time)
+        << ",\"readings\":[";
+    bool first_reading = true;
+    for (const rf::ApReading& r : sub.scan.readings) {
+      if (!first_reading) out << ',';
+      first_reading = false;
+      out << '[' << r.ap.value() << ',' << fmt(r.rssi_dbm) << ']';
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+HttpLoadDriver::HttpLoadDriver(LoadDriverOptions options)
+    : options_(std::move(options)) {
+  WILOC_EXPECTS(options_.connections >= 1);
+  WILOC_EXPECTS(options_.batch_size >= 1);
+}
+
+LoadReport HttpLoadDriver::run(std::span<const core::ScanSubmission> stream,
+                               std::vector<ArrivalProbe> probes) {
+  // Shard by trip so one connection owns a trip's whole scan sequence
+  // (per-trip order is an ingest invariant; cross-trip order is not).
+  std::vector<ConnPlan> plans(options_.connections);
+  {
+    std::vector<std::vector<const core::ScanSubmission*>> pending(
+        options_.connections);
+    for (const core::ScanSubmission& sub : stream) {
+      const std::size_t conn = sub.trip.value() % options_.connections;
+      pending[conn].push_back(&sub);
+      if (pending[conn].size() >= options_.batch_size) {
+        std::vector<core::ScanSubmission> batch;
+        batch.reserve(pending[conn].size());
+        for (const auto* p : pending[conn]) batch.push_back(*p);
+        plans[conn].bodies.push_back(encode_scan_batch(batch));
+        plans[conn].scans.push_back(batch.size());
+        pending[conn].clear();
+      }
+    }
+    for (std::size_t conn = 0; conn < options_.connections; ++conn) {
+      if (pending[conn].empty()) continue;
+      std::vector<core::ScanSubmission> batch;
+      for (const auto* p : pending[conn]) batch.push_back(*p);
+      plans[conn].bodies.push_back(encode_scan_batch(batch));
+      plans[conn].scans.push_back(batch.size());
+    }
+  }
+
+  std::vector<ConnResult> results(options_.connections);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(options_.connections);
+  for (std::size_t conn = 0; conn < options_.connections; ++conn) {
+    workers.emplace_back([this, conn, &plans, &results, &probes] {
+      const ConnPlan& plan = plans[conn];
+      ConnResult& r = results[conn];
+      try {
+        HttpClient client(options_.host, options_.port);
+        std::size_t probe_i = conn;  // stagger probe rotation per conn
+        for (std::size_t b = 0; b < plan.bodies.size(); ++b) {
+          const auto t0 = std::chrono::steady_clock::now();
+          const ClientResponse resp =
+              client.post("/v1/scans", plan.bodies[b]);
+          const double us =
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+          r.post_us.push_back(us);
+          ++r.batches;
+          if (resp.status == 200) {
+            r.scans_posted += plan.scans[b];
+          } else {
+            ++r.errors;
+          }
+          if (options_.arrival_every > 0 && !probes.empty() &&
+              (b + 1) % options_.arrival_every == 0) {
+            const ArrivalProbe& probe = probes[probe_i++ % probes.size()];
+            std::ostringstream target;
+            target << "/v1/arrival?trip=" << probe.trip.value()
+                   << "&stop=" << probe.stop << "&now=" << fmt(probe.now);
+            const auto q0 = std::chrono::steady_clock::now();
+            const ClientResponse arrival = client.get(target.str());
+            r.arrival_us.push_back(
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - q0)
+                    .count());
+            ++r.arrival_queries;
+            if (arrival.status == 404)
+              ++r.arrival_misses;
+            else if (arrival.status != 200)
+              ++r.errors;
+          }
+        }
+      } catch (const std::exception&) {
+        ++r.errors;  // transport failure kills this connection's run
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  LoadReport report;
+  report.wall_s = wall_s;
+  for (const ConnResult& r : results) {
+    report.scans_posted += r.scans_posted;
+    report.batches += r.batches;
+    report.arrival_queries += r.arrival_queries;
+    report.arrival_misses += r.arrival_misses;
+    report.errors += r.errors;
+    report.post_latency_us.insert(report.post_latency_us.end(),
+                                  r.post_us.begin(), r.post_us.end());
+    report.arrival_latency_us.insert(report.arrival_latency_us.end(),
+                                     r.arrival_us.begin(), r.arrival_us.end());
+  }
+  std::sort(report.post_latency_us.begin(), report.post_latency_us.end());
+  std::sort(report.arrival_latency_us.begin(),
+            report.arrival_latency_us.end());
+  report.scans_per_sec =
+      wall_s > 0.0 ? static_cast<double>(report.scans_posted) / wall_s : 0.0;
+  return report;
+}
+
+}  // namespace wiloc::net

@@ -1,0 +1,69 @@
+// HTTP load driver: replays a scan-submission stream against a running
+// WiLocatorService over real sockets, the way a fleet's phones would.
+//
+// Trips are sharded across client connections (one phone = one uplink),
+// which preserves the per-trip scan order the ingest guard enforces
+// while still exercising concurrent connections. Each connection POSTs
+// fixed-size /v1/scans batches (bodies are pre-encoded so the clock
+// measures the server, not the JSON encoder) and periodically
+// interleaves GET /v1/arrival probes — the mixed read/write workload of
+// a live deployment. Used by bench_http and the e2e tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ingest_engine.hpp"
+
+namespace wiloc::net {
+
+/// One rider-facing arrival query to interleave with the ingest load.
+struct ArrivalProbe {
+  roadnet::TripId trip;
+  std::size_t stop = 0;
+  double now = 0.0;
+};
+
+struct LoadDriverOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t connections = 4;
+  std::size_t batch_size = 256;   ///< scans per POST /v1/scans
+  std::size_t arrival_every = 8;  ///< probe cadence, in batches (0 = off)
+};
+
+struct LoadReport {
+  std::size_t scans_posted = 0;
+  std::size_t batches = 0;
+  std::size_t arrival_queries = 0;
+  std::size_t arrival_misses = 0;  ///< 404 (no fix yet) — not an error
+  std::size_t errors = 0;          ///< transport failures or 5xx
+  double wall_s = 0.0;
+  double scans_per_sec = 0.0;
+  std::vector<double> post_latency_us;     ///< sorted ascending
+  std::vector<double> arrival_latency_us;  ///< sorted ascending
+
+  double post_quantile_us(double q) const;
+  double arrival_quantile_us(double q) const;
+};
+
+class HttpLoadDriver {
+ public:
+  explicit HttpLoadDriver(LoadDriverOptions options);
+
+  /// Replays the stream (already in global time order) and blocks until
+  /// every batch is answered. `probes` are cycled through by each
+  /// connection every `arrival_every` batches.
+  LoadReport run(std::span<const core::ScanSubmission> stream,
+                 std::vector<ArrivalProbe> probes = {});
+
+ private:
+  LoadDriverOptions options_;
+};
+
+/// Renders one POST /v1/scans body for a slice of submissions.
+std::string encode_scan_batch(std::span<const core::ScanSubmission> batch);
+
+}  // namespace wiloc::net

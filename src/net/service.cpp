@@ -1,0 +1,353 @@
+#include "net/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "net/json.hpp"
+#include "util/contracts.hpp"
+
+namespace wiloc::net {
+
+namespace {
+
+/// JSON number: shortest round-trippable-enough form; non-finite values
+/// become null (JSON has no NaN/Inf).
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+HttpResponse error_json(int status, std::string_view message) {
+  std::ostringstream out;
+  out << "{\"error\":" << json_quote(message) << "}";
+  return HttpResponse::json(status, out.str());
+}
+
+HttpResponse method_not_allowed(std::string_view allow) {
+  HttpResponse r = error_json(405, "method not allowed");
+  r.headers["Allow"] = std::string(allow);
+  return r;
+}
+
+}  // namespace
+
+WiLocatorService::WiLocatorService(core::WiLocatorServer& server,
+                                   ServiceOptions options)
+    : server_(server), options_(std::move(options)) {}
+
+WiLocatorService::~WiLocatorService() { stop(); }
+
+void WiLocatorService::start() {
+  WILOC_EXPECTS(!started_);
+  auto& registry = server_.metrics_registry();
+  scans_posted_ = &registry.counter("service.scans_posted");
+  arrivals_served_ = &registry.counter("service.arrivals_served");
+  checkpoint_commits_ = &registry.counter("service.checkpoints_committed");
+  checkpoint_failures_ = &registry.counter("service.checkpoint_failures");
+  ready_gauge_ = &registry.gauge("service.ready");
+  ready_gauge_->set(ready() ? 1.0 : 0.0);
+
+  options_.http.registry = &registry;
+  http_ = std::make_unique<HttpServer>(
+      [this](const HttpRequest& request) { return handle(request); },
+      options_.http);
+  http_->start();
+
+  if (options_.background_checkpoints && server_.persistence() != nullptr) {
+    server_.set_inline_checkpoints(false);
+    checkpointer_ = std::thread([this] { checkpoint_loop(); });
+  }
+  started_ = true;
+}
+
+void WiLocatorService::stop() noexcept {
+  if (!started_) return;
+  started_ = false;
+  stopping_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  if (checkpointer_.joinable()) checkpointer_.join();
+  // Stop accepting before the final checkpoint so no handler races the
+  // drain below.
+  if (http_ != nullptr) http_->stop();
+  try {
+    std::lock_guard<std::mutex> lock(mu_);
+    server_.drain();
+    server_.set_inline_checkpoints(true);
+    const core::StatePersistence* persist = server_.persistence();
+    if (persist != nullptr && !persist->poisoned()) server_.checkpoint();
+  } catch (...) {
+    // Shutdown is best-effort; a poisoned journal already counted the
+    // failure in persist.* metrics.
+  }
+  // Ordered after the drain: the final reporter line sees every counter.
+  if (options_.reporter != nullptr) options_.reporter->flush_final();
+  set_ready(false);
+}
+
+void WiLocatorService::checkpoint_loop() {
+  const auto poll = std::chrono::duration<double>(
+      std::max(options_.checkpoint_poll_s, 1e-3));
+  std::unique_lock<std::mutex> lk(cv_mu_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    cv_.wait_for(lk, poll, [this] {
+      return stopping_.load(std::memory_order_acquire);
+    });
+    if (stopping_.load(std::memory_order_acquire)) break;
+    lk.unlock();
+    core::WiLocatorServer::PreparedCheckpoint prepared;
+    {
+      // Prepare shares the handler mutex but is cheap: serialize state
+      // in memory + rename the journal. The snapshot write below runs
+      // off-lock, concurrent with ingest.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (server_.checkpoint_due()) prepared = server_.prepare_checkpoint();
+    }
+    if (prepared.valid) {
+      try {
+        server_.commit_prepared(std::move(prepared));
+        checkpoints_.fetch_add(1, std::memory_order_relaxed);
+        if (checkpoint_commits_ != nullptr) checkpoint_commits_->inc();
+      } catch (...) {
+        if (checkpoint_failures_ != nullptr) checkpoint_failures_->inc();
+      }
+    }
+    lk.lock();
+  }
+}
+
+double WiLocatorService::default_now() const {
+  return server_.last_event_time().value_or(0.0);
+}
+
+HttpResponse WiLocatorService::handle(const HttpRequest& request) {
+  try {
+    if (request.path == "/healthz") return HttpResponse::text(200, "ok\n");
+    if (request.path == "/readyz") return handle_readyz();
+    if (request.path == "/metrics") return handle_metrics(request);
+    if (request.path == "/v1/scans") return handle_scans(request);
+    if (request.path == "/v1/trips") return handle_trips(request);
+    if (request.path == "/v1/arrival") return handle_arrival(request);
+    if (request.path == "/v1/position") return handle_position(request);
+    if (request.path == "/v1/traffic-map") return handle_traffic_map(request);
+    return error_json(404, "no such endpoint");
+  } catch (const NotFound& e) {
+    return error_json(404, e.what());
+  } catch (const InvalidArgument& e) {
+    return error_json(400, e.what());
+  } catch (const ContractViolation& e) {
+    // A query parameter outside the model's domain (e.g. stop index past
+    // the route's last stop) trips a precondition, not a server bug.
+    return error_json(400, e.what());
+  }
+}
+
+HttpResponse WiLocatorService::handle_scans(const HttpRequest& request) {
+  if (request.method != "POST") return method_not_allowed("POST");
+  std::string parse_error;
+  const auto doc = parse_json(request.body, &parse_error);
+  if (!doc.has_value()) return error_json(400, "bad JSON: " + parse_error);
+  const JsonValue* scans = doc->get("scans");
+  const std::vector<JsonValue>* items =
+      scans != nullptr ? scans->as_array() : nullptr;
+  if (items == nullptr) return error_json(400, "missing \"scans\" array");
+
+  std::vector<core::ScanSubmission> batch;
+  batch.reserve(items->size());
+  for (const JsonValue& item : *items) {
+    const auto trip = item.get_number("trip");
+    const auto t = item.get_number("t");
+    const JsonValue* readings = item.get("readings");
+    const std::vector<JsonValue>* pairs =
+        readings != nullptr ? readings->as_array() : nullptr;
+    if (!trip.has_value() || !t.has_value() || pairs == nullptr)
+      return error_json(400, "scan needs trip, t and readings");
+    rf::WifiScan scan;
+    scan.time = *t;
+    scan.readings.reserve(pairs->size());
+    for (const JsonValue& pair : *pairs) {
+      const std::vector<JsonValue>* rd = pair.as_array();
+      if (rd == nullptr || rd->size() != 2)
+        return error_json(400, "reading must be [ap, rssi_dbm]");
+      const auto ap = (*rd)[0].as_number();
+      const auto rssi = (*rd)[1].as_number();
+      if (!ap.has_value() || !rssi.has_value())
+        return error_json(400, "reading must be [ap, rssi_dbm]");
+      scan.readings.push_back(
+          {rf::ApId(static_cast<std::uint32_t>(*ap)), *rssi});
+    }
+    // Normalize to the WifiScan invariant (strongest first, AP id
+    // tie-break) — clients need not pre-sort.
+    std::sort(scan.readings.begin(), scan.readings.end(),
+              [](const rf::ApReading& a, const rf::ApReading& b) {
+                if (a.rssi_dbm != b.rssi_dbm) return a.rssi_dbm > b.rssi_dbm;
+                return a.ap < b.ap;
+              });
+    batch.push_back({roadnet::TripId(static_cast<std::uint32_t>(*trip)),
+                     std::move(scan)});
+  }
+
+  core::BatchIngestResult result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    result = server_.ingest_batch(batch);
+  }
+  if (scans_posted_ != nullptr) scans_posted_->inc(result.submitted);
+  std::ostringstream out;
+  out << "{\"submitted\":" << result.submitted
+      << ",\"enqueued\":" << result.enqueued
+      << ",\"rejected_backpressure\":" << result.rejected_backpressure << "}";
+  return HttpResponse::json(200, out.str());
+}
+
+HttpResponse WiLocatorService::handle_trips(const HttpRequest& request) {
+  if (request.method != "POST") return method_not_allowed("POST");
+  std::string parse_error;
+  const auto doc = parse_json(request.body, &parse_error);
+  if (!doc.has_value()) return error_json(400, "bad JSON: " + parse_error);
+  const auto trip_num = doc->get_number("trip");
+  if (!trip_num.has_value()) return error_json(400, "missing \"trip\"");
+  const roadnet::TripId trip(static_cast<std::uint32_t>(*trip_num));
+
+  const JsonValue* end = doc->get("end");
+  const bool ending =
+      end != nullptr && end->as_bool().has_value() && *end->as_bool();
+  std::ostringstream out;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ending) {
+    if (!server_.has_trip(trip)) return error_json(404, "unknown trip");
+    server_.end_trip(trip);
+    trips_.erase(trip);
+    out << "{\"trip\":" << trip.value() << ",\"active\":false}";
+    return HttpResponse::json(200, out.str());
+  }
+  const auto route_num = doc->get_number("route");
+  if (!route_num.has_value())
+    return error_json(400, "missing \"route\" (or \"end\":true)");
+  const roadnet::RouteId route(static_cast<std::uint32_t>(*route_num));
+  if (server_.has_trip(trip)) return error_json(409, "trip already active");
+  server_.begin_trip(trip, route);  // throws NotFound on unknown route
+  trips_[trip] = route;
+  out << "{\"trip\":" << trip.value() << ",\"route\":" << route.value()
+      << ",\"active\":true}";
+  return HttpResponse::json(200, out.str());
+}
+
+HttpResponse WiLocatorService::handle_arrival(const HttpRequest& request) {
+  if (request.method != "GET") return method_not_allowed("GET");
+  const auto stop_num = request.param_num("stop");
+  if (!stop_num.has_value() || *stop_num < 0)
+    return error_json(400, "missing or bad \"stop\"");
+  const auto stop = static_cast<std::size_t>(*stop_num);
+  const auto trip_num = request.param_num("trip");
+  const auto route_num = request.param_num("route");
+  if (!trip_num.has_value() && !route_num.has_value())
+    return error_json(400, "need \"trip\" or \"route\"");
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now = request.param_num("now").value_or(default_now());
+
+  roadnet::TripId trip{};
+  std::optional<SimTime> arrival;
+  if (trip_num.has_value()) {
+    trip = roadnet::TripId(static_cast<std::uint32_t>(*trip_num));
+    if (!server_.has_trip(trip)) return error_json(404, "unknown trip");
+    arrival = server_.eta(trip, stop, now);
+    if (!arrival.has_value()) return error_json(404, "no position fix yet");
+  } else {
+    // Route-level query (the rider-facing form): the soonest predicted
+    // arrival at the stop among the route's active trips.
+    const roadnet::RouteId route(static_cast<std::uint32_t>(*route_num));
+    server_.route(route);  // throws NotFound on unknown route
+    for (const auto& [candidate, candidate_route] : trips_) {
+      if (candidate_route != route) continue;
+      const auto eta = server_.eta(candidate, stop, now);
+      if (!eta.has_value() || *eta < now) continue;
+      if (!arrival.has_value() || *eta < *arrival) {
+        arrival = eta;
+        trip = candidate;
+      }
+    }
+    if (!arrival.has_value())
+      return error_json(404, "no active trip with a fix on this route");
+  }
+
+  if (arrivals_served_ != nullptr) arrivals_served_->inc();
+  std::ostringstream out;
+  out << "{\"trip\":" << trip.value() << ",\"stop\":" << stop
+      << ",\"now\":" << num(now) << ",\"arrival_time\":" << num(*arrival)
+      << ",\"eta_s\":" << num(*arrival - now) << "}";
+  return HttpResponse::json(200, out.str());
+}
+
+HttpResponse WiLocatorService::handle_position(const HttpRequest& request) {
+  if (request.method != "GET") return method_not_allowed("GET");
+  const auto trip_num = request.param_num("trip");
+  if (!trip_num.has_value()) return error_json(400, "missing \"trip\"");
+  const roadnet::TripId trip(static_cast<std::uint32_t>(*trip_num));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!server_.has_trip(trip)) return error_json(404, "unknown trip");
+  const auto offset = server_.position(trip);
+  if (!offset.has_value()) return error_json(404, "no position fix yet");
+  std::ostringstream out;
+  out << "{\"trip\":" << trip.value() << ",\"offset_m\":" << num(*offset)
+      << "}";
+  return HttpResponse::json(200, out.str());
+}
+
+HttpResponse WiLocatorService::handle_traffic_map(const HttpRequest& request) {
+  if (request.method != "GET") return method_not_allowed("GET");
+  core::TrafficMap map;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    map = server_.traffic_map(request.param_num("now").value_or(default_now()));
+  }
+  std::vector<std::pair<roadnet::EdgeId, core::SegmentTraffic>> segments(
+      map.segments.begin(), map.segments.end());
+  std::sort(segments.begin(), segments.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::ostringstream out;
+  out << "{\"t\":" << num(map.time) << ",\"segments\":[";
+  bool first = true;
+  for (const auto& [edge, seg] : segments) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"edge\":" << edge.value() << ",\"state\":\""
+        << core::to_string(seg.state) << "\",\"z\":" << num(seg.z_score)
+        << ",\"recent\":" << seg.recent_count
+        << ",\"inferred\":" << (seg.inferred ? "true" : "false") << "}";
+  }
+  out << "]}";
+  return HttpResponse::json(200, out.str());
+}
+
+HttpResponse WiLocatorService::handle_metrics(const HttpRequest& request) {
+  if (request.method != "GET") return method_not_allowed("GET");
+  // No service mutex: the registry snapshots under its own lock, and
+  // scrapes must not stall behind a slow ingest batch.
+  const obs::Snapshot snap = server_.metrics_snapshot();
+  const auto format = request.param("format");
+  if (format.has_value() && *format == "prometheus") {
+    HttpResponse r = HttpResponse::text(200, snap.prometheus());
+    r.headers["Content-Type"] = "text/plain; version=0.0.4; charset=utf-8";
+    return r;
+  }
+  return HttpResponse::json(200, snap.json());
+}
+
+HttpResponse WiLocatorService::handle_readyz() const {
+  const bool up =
+      ready() && !stopping_.load(std::memory_order_acquire);
+  std::ostringstream out;
+  out << "{\"ready\":" << (up ? "true" : "false")
+      << ",\"recovered\":" << (server_.recovered() ? "true" : "false") << "}";
+  return HttpResponse::json(up ? 200 : 503, out.str());
+}
+
+}  // namespace wiloc::net

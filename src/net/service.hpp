@@ -1,0 +1,131 @@
+// WiLocatorService: the HTTP serving front-end over a WiLocatorServer.
+//
+// The paper's deployment (Fig. 4) is an online service: phones POST
+// WiFi scans, riders GET arrival predictions. This layer owns exactly
+// that edge plus the operational cadence a real deployment needs:
+//
+//   POST /v1/scans        batched scan ingest -> IngestEngine shards
+//   POST /v1/trips        trip registration / closing
+//   GET  /v1/arrival      Eq. 9 chained arrival prediction
+//   GET  /v1/position     current route offset of a trip
+//   GET  /v1/traffic-map  city-wide congestion classification
+//   GET  /metrics         obs registry (JSON, or ?format=prometheus)
+//   GET  /healthz         liveness (process is serving)
+//   GET  /readyz          readiness (recovery replayed + warmup done)
+//
+// Threading (see DESIGN.md §11): the epoll loop thread is the
+// WiLocatorServer control thread; every handler that touches learned
+// state runs under `mu_`. A background checkpoint thread shares that
+// mutex only for the cheap prepare phase (serialize + journal seal) and
+// performs the snapshot write + fsync outside it, so checkpoint I/O
+// never stalls ingest or queries. Graceful stop drains the engine,
+// takes a final synchronous checkpoint and flushes the reporter.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "core/server.hpp"
+#include "net/http_server.hpp"
+
+namespace wiloc::net {
+
+struct ServiceOptions {
+  HttpServerOptions http;
+  /// Wall-clock cadence at which the checkpoint thread polls
+  /// checkpoint_due() (the actual snapshot interval stays sim-time
+  /// driven by PersistenceConfig).
+  double checkpoint_poll_s = 0.25;
+  /// Move checkpoint writes to the background thread (on by default
+  /// when the server has persistence; inline control-thread
+  /// checkpoints are suppressed while the service runs).
+  bool background_checkpoints = true;
+  /// Flushed (final) during stop(), after the engine drain — e.g. the
+  /// NDJSON obs::Reporter of the serve binary. May be null.
+  obs::Reporter* reporter = nullptr;
+};
+
+class WiLocatorService {
+ public:
+  /// The server must outlive the service.
+  WiLocatorService(core::WiLocatorServer& server, ServiceOptions options = {});
+  ~WiLocatorService();
+
+  WiLocatorService(const WiLocatorService&) = delete;
+  WiLocatorService& operator=(const WiLocatorService&) = delete;
+
+  /// Binds the HTTP server and starts the checkpoint thread.
+  void start();
+
+  /// Graceful shutdown: stop accepting, join the checkpointer, drain
+  /// the engine, final checkpoint (when persistence is healthy), flush
+  /// the reporter. Idempotent; never throws.
+  void stop() noexcept;
+
+  /// Marks warmup (history load / training) complete; /readyz flips to
+  /// 200. Recovery replay already happened in the server constructor,
+  /// so readiness == "recovered state + warmup visible".
+  void set_ready(bool ready = true) {
+    ready_.store(ready, std::memory_order_release);
+    if (ready_gauge_ != nullptr) ready_gauge_->set(ready ? 1.0 : 0.0);
+  }
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
+
+  std::uint16_t port() const {
+    return http_ != nullptr ? http_->port() : 0;
+  }
+  bool running() const { return http_ != nullptr && http_->running(); }
+
+  /// Checkpoints committed by the background thread since start().
+  std::uint64_t background_checkpoints() const {
+    return checkpoints_.load(std::memory_order_relaxed);
+  }
+
+  /// Routes one request (also the in-process test entry point — no
+  /// socket needed).
+  HttpResponse handle(const HttpRequest& request);
+
+ private:
+  HttpResponse handle_scans(const HttpRequest& request);
+  HttpResponse handle_trips(const HttpRequest& request);
+  HttpResponse handle_arrival(const HttpRequest& request);
+  HttpResponse handle_position(const HttpRequest& request);
+  HttpResponse handle_traffic_map(const HttpRequest& request);
+  HttpResponse handle_metrics(const HttpRequest& request);
+  HttpResponse handle_readyz() const;
+  void checkpoint_loop();
+  double default_now() const;
+
+  core::WiLocatorServer& server_;
+  ServiceOptions options_;
+  std::unique_ptr<HttpServer> http_;
+
+  /// Serializes every WiLocatorServer control-thread operation: HTTP
+  /// handlers (epoll thread) and the checkpoint prepare phase.
+  std::mutex mu_;
+  /// Active trips begun through the API (for route-level arrival
+  /// queries). Guarded by mu_.
+  std::unordered_map<roadnet::TripId, roadnet::RouteId> trips_;
+
+  std::atomic<bool> ready_{false};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::thread checkpointer_;
+  std::mutex cv_mu_;
+  std::condition_variable cv_;
+  std::atomic<std::uint64_t> checkpoints_{0};
+
+  obs::Counter* scans_posted_ = nullptr;     ///< service.scans_posted
+  obs::Counter* arrivals_served_ = nullptr;  ///< service.arrivals_served
+  obs::Counter* checkpoint_commits_ = nullptr;
+  obs::Counter* checkpoint_failures_ = nullptr;
+  obs::Gauge* ready_gauge_ = nullptr;  ///< service.ready
+};
+
+}  // namespace wiloc::net

@@ -169,6 +169,77 @@ std::string Snapshot::json() const {
   return out.str();
 }
 
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; we map every
+/// out-of-alphabet character (the registry's '.' separators, '-') to
+/// '_' and prepend the library prefix.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "wiloc_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void write_prom_number(std::ostream& out, double v) {
+  if (std::isfinite(v))
+    out << v;
+  else if (std::isnan(v))
+    out << "NaN";
+  else
+    out << (v > 0 ? "+Inf" : "-Inf");
+}
+
+}  // namespace
+
+void Snapshot::write_prometheus(std::ostream& out) const {
+  for (const auto& [name, value] : counters) {
+    const std::string prom = prometheus_name(name);
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string prom = prometheus_name(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << ' ';
+    write_prom_number(out, value);
+    out << '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string prom = prometheus_name(name);
+    out << "# TYPE " << prom << " histogram\n";
+    const double width = h.counts.empty()
+                             ? 0.0
+                             : (h.hi - h.lo) /
+                                   static_cast<double>(h.counts.size());
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      // The last bin also absorbs clamped overflow, so its upper edge
+      // is reported as +Inf below rather than a misleading finite `hi`.
+      if (i + 1 == h.counts.size()) break;
+      out << prom << "_bucket{le=\"";
+      write_prom_number(out, h.lo + width * static_cast<double>(i + 1));
+      out << "\"} " << cumulative << '\n';
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << h.total << '\n';
+    out << prom << "_sum ";
+    write_prom_number(out, h.sum);
+    out << '\n';
+    out << prom << "_count " << h.total << '\n';
+  }
+}
+
+std::string Snapshot::prometheus() const {
+  std::ostringstream out;
+  write_prometheus(out);
+  return out.str();
+}
+
 // -- Registry --------------------------------------------------------------
 
 Counter& Registry::counter(const std::string& name) {
@@ -277,19 +348,28 @@ Reporter::~Reporter() {
 }
 
 bool Reporter::maybe_report(double now) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!latest_now_.has_value() || now > *latest_now_) latest_now_ = now;
   if (last_.has_value() && now - *last_ < options_.period_s) return false;
-  report(now);
+  report_locked(now);
   return true;
 }
 
 void Reporter::flush_final() {
-  if (!latest_now_.has_value()) return;
-  if (last_.has_value() && *latest_now_ <= *last_) return;
-  report(*latest_now_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finalized_) return;  // already flushed; nothing new can be pending
+  if (latest_now_.has_value() &&
+      (!last_.has_value() || *latest_now_ > *last_))
+    report_locked(*latest_now_);
+  finalized_ = true;
 }
 
 void Reporter::report(double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  report_locked(now);
+}
+
+void Reporter::report_locked(double now) {
   const Snapshot snap = options_.reset_each
                             ? registry_->snapshot_and_reset()
                             : registry_->snapshot();
@@ -303,6 +383,7 @@ void Reporter::report(double now) {
   *out_ << "}\n";
   out_->flush();
   last_ = now;
+  finalized_ = false;  // a new window may accumulate after this line
   ++reports_;
 }
 

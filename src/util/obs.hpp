@@ -125,6 +125,14 @@ struct Snapshot {
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   void write_json(std::ostream& out) const;
   std::string json() const;
+
+  /// Prometheus text exposition format (version 0.0.4): counters and
+  /// gauges as single samples, histograms as cumulative `_bucket{le=}`
+  /// series plus `_sum`/`_count`. Metric names are prefixed "wiloc_"
+  /// and sanitized (characters outside [a-zA-Z0-9_] become '_'), so
+  /// "ingest.accepted" scrapes as wiloc_ingest_accepted.
+  void write_prometheus(std::ostream& out) const;
+  std::string prometheus() const;
 };
 
 /// Named metric store. Registration and snapshots lock; updates through
@@ -232,18 +240,28 @@ class Reporter {
   /// Unconditionally writes one snapshot line stamped with `now`.
   void report(double now);
   /// Emits a final line for the window since the last report, if any
-  /// maybe_report() call was suppressed in between (idempotent; also
-  /// run by the destructor).
+  /// maybe_report() call was suppressed in between. Strictly
+  /// idempotent: once flushed, repeated calls (a serving front-end's
+  /// shutdown AND the destructor both flush) write nothing until new
+  /// activity opens another window. Callers must order this after the
+  /// ingest engine has drained, or the final line undercounts.
   void flush_final();
 
   std::size_t reports() const { return reports_; }
 
  private:
+  void report_locked(double now);
+
   Registry* registry_;
   std::ostream* out_;
   ReporterOptions options_;
+  /// flush_final() may race with a shutdown-path maybe_report (service
+  /// stop vs server destructor); the mutex keeps the emitted stream
+  /// line-atomic and the idempotence flag coherent.
+  std::mutex mu_;
   std::optional<double> last_;
   std::optional<double> latest_now_;  ///< newest time seen by maybe_report
+  bool finalized_ = false;  ///< set by flush_final, cleared by a report
   std::size_t reports_ = 0;
 };
 

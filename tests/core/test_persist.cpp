@@ -440,5 +440,151 @@ TEST(ServerPersist, TrafficMapCacheSurvivesRestart) {
   EXPECT_FALSE(restarted->last_traffic_map()->segments.empty());
 }
 
+// -- two-phase (background) checkpointing ----------------------------------
+
+TEST(StatePersistence, SealThenCommitDropsCoveredRecords) {
+  TempDir tmp;
+  PersistenceConfig config;
+  config.dir = tmp.path();
+
+  StatePersistence persistence(config);
+  persistence.append(JournalRecord::recent_obs, obs_at(1, 0, hms(8), 60.0));
+  persistence.append(JournalRecord::recent_obs, obs_at(2, 0, hms(8), 61.0));
+
+  // Phase 1 (control thread): rotate the journal aside.
+  persistence.seal_journal();
+  EXPECT_TRUE(std::filesystem::exists(persistence.sealed_journal_path()));
+  EXPECT_EQ(persistence.journal_bytes(), 0u);  // fresh active journal
+  // Appends continue into the fresh journal while the snapshot writes.
+  persistence.append(JournalRecord::recent_obs, obs_at(3, 0, hms(9), 62.0));
+  EXPECT_EQ(persistence.last_seq(), 3u);
+
+  // Phase 2 (background thread): snapshot lands, sealed segment drops.
+  BinWriter body;
+  body.put_u64(2);  // watermark: covers the first two records
+  persistence.commit_checkpoint(body.bytes(), hms(9));
+  EXPECT_FALSE(std::filesystem::exists(persistence.sealed_journal_path()));
+
+  StatePersistence fresh(config);
+  const auto rec = fresh.recover();
+  ASSERT_TRUE(rec.snapshot.has_value());
+  ASSERT_EQ(rec.records.size(), 1u);  // only the post-seal append
+  EXPECT_EQ(rec.records[0].seq, 3u);
+  EXPECT_TRUE(rec.replay.clean());
+}
+
+TEST(StatePersistence, CrashBetweenSealAndCommitLosesNothing) {
+  TempDir tmp;
+  PersistenceConfig config;
+  config.dir = tmp.path();
+  {
+    StatePersistence persistence(config);
+    persistence.append(JournalRecord::recent_obs, obs_at(1, 0, hms(8), 60.0));
+    persistence.append(JournalRecord::recent_obs, obs_at(2, 0, hms(8), 61.0));
+    persistence.seal_journal();
+    persistence.append(JournalRecord::recent_obs, obs_at(3, 0, hms(9), 62.0));
+    // Crash here: the snapshot write never happened. Both the sealed
+    // segment and the active journal survive on disk.
+  }
+  StatePersistence fresh(config);
+  const auto rec = fresh.recover();
+  EXPECT_FALSE(rec.snapshot.has_value());
+  ASSERT_EQ(rec.records.size(), 3u);  // sealed replayed before active
+  EXPECT_EQ(rec.records[0].seq, 1u);
+  EXPECT_EQ(rec.records[1].seq, 2u);
+  EXPECT_EQ(rec.records[2].seq, 3u);
+  EXPECT_TRUE(rec.replay.clean());
+}
+
+TEST(StatePersistence, RepeatedSealConcatenatesLeftoverSegment) {
+  // A crashed commit leaves a sealed file; the next seal must fold it
+  // together with the newer journal instead of clobbering it.
+  TempDir tmp;
+  PersistenceConfig config;
+  config.dir = tmp.path();
+
+  StatePersistence persistence(config);
+  persistence.append(JournalRecord::recent_obs, obs_at(1, 0, hms(8), 60.0));
+  persistence.seal_journal();           // sealed: [1]
+  persistence.append(JournalRecord::recent_obs, obs_at(2, 0, hms(9), 61.0));
+  persistence.seal_journal();           // sealed: [1, 2]
+  persistence.append(JournalRecord::recent_obs, obs_at(3, 0, hms(9), 62.0));
+
+  StatePersistence fresh(config);
+  const auto rec = fresh.recover();
+  ASSERT_EQ(rec.records.size(), 3u);
+  EXPECT_EQ(rec.records[0].seq, 1u);
+  EXPECT_EQ(rec.records[1].seq, 2u);
+  EXPECT_EQ(rec.records[2].seq, 3u);
+  EXPECT_TRUE(rec.replay.clean());
+}
+
+TEST(ServerPersist, PreparedCheckpointMatchesSynchronous) {
+  PersistServerFixture f;
+  TempDir tmp;
+  const auto training = f.training_set(1);
+
+  auto server = f.make_server(f.config_with(tmp.path()));
+  // A background owner holds the checkpoint cadence (as the serving
+  // layer does): inline checkpoints would race the prepared snapshot
+  // and clobber the post-prepare journal.
+  server->set_inline_checkpoints(false);
+  for (const auto& o : training) server->load_history(o);
+
+  // Prepare on the "control thread", then write more state into the
+  // fresh journal before the commit lands — the ordering a background
+  // checkpointer produces under load.
+  auto prepared = server->prepare_checkpoint();
+  ASSERT_TRUE(prepared.valid);
+  const TravelObservation extra{f.city.route_a().edges()[0],
+                                f.city.route_a().id(),
+                                at_day_time(2, hms(9)), 55.0};
+  server->load_history(extra);
+  server->commit_prepared(std::move(prepared));
+
+  auto restarted = f.make_server(f.config_with(tmp.path()));
+  EXPECT_TRUE(restarted->recovered());
+  // Snapshot state and the post-prepare journal record both recovered.
+  EXPECT_EQ(restarted->store().raw_history().size(),
+            server->store().raw_history().size());
+  restarted->finalize_history();
+  server->finalize_history();
+  for (const auto edge : f.city.route_a().edges())
+    for (std::size_t slot = 0; slot < 5; ++slot)
+      EXPECT_EQ(restarted->store().historical_mean(
+                    edge, f.city.route_a().id(), slot),
+                server->store().historical_mean(
+                    edge, f.city.route_a().id(), slot));
+}
+
+TEST(ServerPersist, InlineCheckpointGateDefersToBackgroundOwner) {
+  PersistServerFixture f;
+  TempDir tmp;
+  ServerConfig config = f.config_with(tmp.path());
+  config.persist.journal_trigger_bytes = 64;  // every append is "due"
+  config.persist.snapshot_interval_s = 1e9;
+
+  auto server = f.make_server(config);
+  server->set_inline_checkpoints(false);
+  const std::uint64_t snapshots_before =
+      server->metrics_snapshot().counter("persist.snapshots");
+  for (int i = 0; i < 16; ++i)
+    server->load_history({f.city.route_a().edges()[0],
+                          f.city.route_a().id(),
+                          at_day_time(1, hms(8)) + 30.0 * i, 50.0 + i});
+  // The size trigger is long past due, but the control thread must not
+  // checkpoint inline while a background owner holds the cadence.
+  EXPECT_EQ(server->metrics_snapshot().counter("persist.snapshots"),
+            snapshots_before);
+  EXPECT_TRUE(server->checkpoint_due());
+
+  auto prepared = server->prepare_checkpoint();
+  ASSERT_TRUE(prepared.valid);
+  server->commit_prepared(std::move(prepared));
+  EXPECT_GT(server->metrics_snapshot().counter("persist.snapshots"),
+            snapshots_before);
+  EXPECT_FALSE(server->checkpoint_due());
+}
+
 }  // namespace
 }  // namespace wiloc::core

@@ -1,0 +1,329 @@
+// In-process integration tests of the HTTP service over a trained
+// MiniCity server: endpoint semantics, parity with direct server
+// queries, the background checkpoint thread, readiness and graceful
+// shutdown. Requests go through WiLocatorService::handle() directly
+// (same code path the socketed loop drives) plus one socketed case to
+// prove the wiring end to end.
+#include "net/service.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "../helpers.hpp"
+#include "net/http_client.hpp"
+#include "net/json.hpp"
+#include "net/load_driver.hpp"
+#include "sim/bus_trip.hpp"
+
+namespace wiloc::net {
+namespace {
+
+using roadnet::TripId;
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("wiloc_http_service_" + std::to_string(counter_++) + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string path() const { return dir_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+struct ServiceFixture {
+  wiloc::testing::MiniCity city;
+  sim::TrafficModel traffic{31};
+  core::WiLocatorServer server;
+
+  explicit ServiceFixture(core::ServerConfig config = {})
+      : server({&city.route_a(), &city.route_b()}, city.ap_snapshot(),
+               city.model, DaySlots::paper_five_slots(), config) {}
+
+  void train(int days = 3) {
+    Rng rng(55);
+    std::uint32_t trip_id = 1000;
+    for (int day = 0; day < days; ++day) {
+      for (std::size_t r = 0; r < city.routes.size(); ++r) {
+        for (double tod = hms(7); tod < hms(20); tod += 1800.0) {
+          const auto trip = sim::simulate_trip(
+              TripId(trip_id++), city.routes[r], city.profiles[r], traffic,
+              at_day_time(day, tod), rng);
+          for (const auto& seg : trip.segments) {
+            if (seg.travel_time() <= 0.0) continue;
+            server.load_history({city.routes[r].edges()[seg.edge_index],
+                                 city.routes[r].id(), seg.exit,
+                                 seg.travel_time()});
+          }
+        }
+      }
+    }
+    server.finalize_history();
+  }
+
+  std::vector<sim::ScanReport> live_reports(TripId id, double day_time) {
+    Rng rng(77);
+    const auto trip =
+        sim::simulate_trip(id, city.route_a(), city.profiles[0], traffic,
+                           at_day_time(5, day_time), rng);
+    const rf::Scanner scanner;
+    return sim::sense_trip(trip, city.route_a(), city.aps, city.model,
+                           scanner, rng);
+  }
+};
+
+TEST(HttpService, ScansThenArrivalMatchesDirectQueries) {
+  ServiceFixture f;
+  f.train();
+  WiLocatorService service(f.server);
+  // No start(): handle() works in-process without a socket.
+
+  EXPECT_EQ(service.handle({.method = "POST",
+                            .path = "/v1/trips",
+                            .body = R"({"trip":5,"route":0})"})
+                .status,
+            200);
+
+  const auto reports = f.live_reports(TripId(5), hms(9));
+  ASSERT_FALSE(reports.empty());
+  // Post the whole trip as JSON batches of 50.
+  for (std::size_t i = 0; i < reports.size(); i += 50) {
+    std::vector<core::ScanSubmission> batch;
+    for (std::size_t j = i; j < std::min(i + 50, reports.size()); ++j)
+      batch.push_back({reports[j].trip, reports[j].scan});
+    const HttpResponse resp = service.handle(
+        {.method = "POST", .path = "/v1/scans",
+         .body = encode_scan_batch(batch)});
+    ASSERT_EQ(resp.status, 200) << resp.body;
+  }
+
+  const double now = reports.back().scan.time;
+
+  // Arrival via HTTP == arrival via the server API.
+  HttpRequest arrival_req{.method = "GET", .path = "/v1/arrival"};
+  arrival_req.query = {{"trip", "5"}, {"stop", "3"},
+                       {"now", std::to_string(now)}};
+  const HttpResponse arrival = service.handle(arrival_req);
+  ASSERT_EQ(arrival.status, 200) << arrival.body;
+  const auto doc = parse_json(arrival.body);
+  ASSERT_TRUE(doc.has_value());
+  const auto direct = f.server.eta(TripId(5), 3, now);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_NEAR(doc->get_number("arrival_time").value_or(-1), *direct, 1e-6);
+  EXPECT_NEAR(doc->get_number("eta_s").value_or(-1), *direct - now, 1e-6);
+
+  // Route-level arrival finds the active trip.
+  HttpRequest route_req{.method = "GET", .path = "/v1/arrival"};
+  route_req.query = {{"route", "0"}, {"stop", "3"},
+                     {"now", std::to_string(now)}};
+  const HttpResponse by_route = service.handle(route_req);
+  ASSERT_EQ(by_route.status, 200) << by_route.body;
+  EXPECT_EQ(parse_json(by_route.body)->get_number("trip").value_or(-1), 5.0);
+
+  // Position parity.
+  HttpRequest pos_req{.method = "GET", .path = "/v1/position"};
+  pos_req.query = {{"trip", "5"}};
+  const HttpResponse pos = service.handle(pos_req);
+  ASSERT_EQ(pos.status, 200);
+  EXPECT_NEAR(parse_json(pos.body)->get_number("offset_m").value_or(-1),
+              f.server.position(TripId(5)).value_or(-2), 1e-6);
+
+  // Traffic map covers both routes' edges.
+  HttpRequest map_req{.method = "GET", .path = "/v1/traffic-map"};
+  const HttpResponse map = service.handle(map_req);
+  ASSERT_EQ(map.status, 200);
+  const auto map_doc = parse_json(map.body);
+  ASSERT_TRUE(map_doc.has_value());
+  EXPECT_EQ(map_doc->get("segments")->as_array()->size(), 6u);
+
+  // Ending the trip removes it from route-level queries.
+  EXPECT_EQ(service.handle({.method = "POST",
+                            .path = "/v1/trips",
+                            .body = R"({"trip":5,"end":true})"})
+                .status,
+            200);
+  EXPECT_EQ(service.handle(route_req).status, 404);
+}
+
+TEST(HttpService, ErrorMapping) {
+  ServiceFixture f;
+  WiLocatorService service(f.server);
+
+  // Unknown endpoint / wrong method.
+  EXPECT_EQ(service.handle({.method = "GET", .path = "/nope"}).status, 404);
+  EXPECT_EQ(service.handle({.method = "GET", .path = "/v1/scans"}).status,
+            405);
+
+  // Malformed JSON and missing fields.
+  EXPECT_EQ(service.handle({.method = "POST", .path = "/v1/scans",
+                            .body = "{oops"})
+                .status,
+            400);
+  EXPECT_EQ(service.handle({.method = "POST", .path = "/v1/scans",
+                            .body = "{}"})
+                .status,
+            400);
+  EXPECT_EQ(service.handle({.method = "POST", .path = "/v1/trips",
+                            .body = R"({"trip":1})"})
+                .status,
+            400);
+
+  // Unknown route -> NotFound -> 404; duplicate trip -> 409.
+  EXPECT_EQ(service.handle({.method = "POST", .path = "/v1/trips",
+                            .body = R"({"trip":1,"route":9})"})
+                .status,
+            404);
+  ASSERT_EQ(service.handle({.method = "POST", .path = "/v1/trips",
+                            .body = R"({"trip":1,"route":0})"})
+                .status,
+            200);
+  EXPECT_EQ(service.handle({.method = "POST", .path = "/v1/trips",
+                            .body = R"({"trip":1,"route":0})"})
+                .status,
+            409);
+
+  // Unknown trip on queries.
+  HttpRequest pos{.method = "GET", .path = "/v1/position"};
+  pos.query = {{"trip", "42"}};
+  EXPECT_EQ(service.handle(pos).status, 404);
+  HttpRequest arrival{.method = "GET", .path = "/v1/arrival"};
+  arrival.query = {{"trip", "42"}, {"stop", "1"}};
+  EXPECT_EQ(service.handle(arrival).status, 404);
+  arrival.query = {{"trip", "1"}};  // missing stop
+  EXPECT_EQ(service.handle(arrival).status, 400);
+}
+
+TEST(HttpService, MetricsEndpointJsonAndPrometheus) {
+  ServiceFixture f;
+  WiLocatorService service(f.server);
+  service.handle({.method = "POST", .path = "/v1/trips",
+                  .body = R"({"trip":2,"route":0})"});
+
+  const HttpResponse json = service.handle({.method = "GET",
+                                            .path = "/metrics"});
+  ASSERT_EQ(json.status, 200);
+  const auto doc = parse_json(json.body);
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_NE(doc->get("counters"), nullptr);
+
+  HttpRequest prom_req{.method = "GET", .path = "/metrics"};
+  prom_req.query = {{"format", "prometheus"}};
+  const HttpResponse prom = service.handle(prom_req);
+  ASSERT_EQ(prom.status, 200);
+  EXPECT_NE(prom.headers.at("Content-Type").find("version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("# TYPE wiloc_ingest_submitted counter"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("wiloc_engine_latency_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+}
+
+TEST(HttpService, ReadinessGating) {
+  ServiceFixture f;
+  WiLocatorService service(f.server);
+  EXPECT_EQ(service.handle({.method = "GET", .path = "/healthz"}).status,
+            200);
+  EXPECT_EQ(service.handle({.method = "GET", .path = "/readyz"}).status,
+            503);
+  service.set_ready(true);
+  const HttpResponse ready = service.handle({.method = "GET",
+                                             .path = "/readyz"});
+  EXPECT_EQ(ready.status, 200);
+  EXPECT_NE(ready.body.find("\"recovered\":false"), std::string::npos);
+}
+
+TEST(HttpService, BackgroundCheckpointerCommitsOffThread) {
+  TempDir dir;
+  core::ServerConfig config;
+  config.persist.dir = dir.path();
+  config.persist.snapshot_interval_s = 60.0;  // sim-time trigger
+  ServiceFixture f(config);
+  f.train(1);
+
+  ServiceOptions options;
+  options.checkpoint_poll_s = 0.01;
+  WiLocatorService service(f.server, options);
+  service.start();
+  service.set_ready(true);
+
+  // With the service running, inline checkpoints are off: ingest alone
+  // must not checkpoint on the control thread, the background thread
+  // must pick it up within a few polls.
+  service.handle({.method = "POST", .path = "/v1/trips",
+                  .body = R"({"trip":5,"route":0})"});
+  const auto reports = f.live_reports(TripId(5), hms(9));
+  std::vector<core::ScanSubmission> batch;
+  for (const auto& r : reports) batch.push_back({r.trip, r.scan});
+  service.handle({.method = "POST", .path = "/v1/scans",
+                  .body = encode_scan_batch(batch)});
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (service.background_checkpoints() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(service.background_checkpoints(), 0u);
+  EXPECT_GT(f.server.metrics_snapshot().counter(
+                "service.checkpoints_committed"),
+            0u);
+
+  service.stop();
+  service.stop();  // idempotent
+
+  // Graceful stop drained + checkpointed: a fresh server on the same
+  // directory recovers the learned state without replaying anything.
+  core::ServerConfig config2;
+  config2.persist.dir = dir.path();
+  core::WiLocatorServer restored(
+      {&f.city.route_a(), &f.city.route_b()}, f.city.ap_snapshot(),
+      f.city.model, DaySlots::paper_five_slots(), config2);
+  EXPECT_TRUE(restored.recovered());
+  const auto recent = f.server.store().recent(
+      f.city.route_a().edges()[0], reports.back().scan.time, 3600.0, 8);
+  const auto recovered_recent = restored.store().recent(
+      f.city.route_a().edges()[0], reports.back().scan.time, 3600.0, 8);
+  EXPECT_EQ(recent.size(), recovered_recent.size());
+}
+
+TEST(HttpService, SocketedEndToEnd) {
+  ServiceFixture f;
+  f.train(1);
+  WiLocatorService service(f.server);
+  service.start();
+  service.set_ready(true);
+  ASSERT_NE(service.port(), 0);
+
+  HttpClient client("127.0.0.1", service.port());
+  EXPECT_EQ(client.get("/healthz").status, 200);
+  EXPECT_EQ(client.get("/readyz").status, 200);
+  EXPECT_EQ(client.post("/v1/trips", R"({"trip":9,"route":1})").status,
+            200);
+  const auto scans = client.post(
+      "/v1/scans",
+      R"({"scans":[{"trip":9,"t":100.0,"readings":[[1,-60],[2,-70]]}]})");
+  EXPECT_EQ(scans.status, 200);
+  const auto doc = parse_json(scans.body);
+  EXPECT_EQ(doc->get_number("submitted").value_or(-1), 1.0);
+  EXPECT_GE(f.server.metrics_snapshot().counter("service.scans_posted"), 1u);
+
+  service.stop();
+  EXPECT_FALSE(service.running());
+  // After stop the port no longer accepts.
+  HttpClient stale("127.0.0.1", service.port());
+  EXPECT_THROW(stale.get("/healthz"), Error);
+}
+
+}  // namespace
+}  // namespace wiloc::net

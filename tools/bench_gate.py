@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares freshly produced BENCH_*.json files against the baselines
+committed under bench/baselines/ and fails (exit 1) when a guarded
+metric regresses by more than the tolerance. Machines differ, so the
+gate only fires on *regressions*: a higher-is-better metric may be
+arbitrarily faster than baseline, and vice versa.
+
+Guarded metrics:
+  BENCH_throughput.json  serial scans/s (workers == 0 row)  higher better
+  BENCH_throughput.json  locate_ns_per_op                   lower better
+  BENCH_http.json        scans_per_sec                      higher better
+                         (skipped when either side lacks the file)
+
+Usage:
+  bench_gate.py --bench-dir build [--baseline-dir bench/baselines]
+                [--report bench_gate_report.json]
+  bench_gate.py --self-test
+
+The tolerance defaults to 0.25 (25%) and can be overridden with the
+BENCH_GATE_TOLERANCE environment variable — useful on noisy shared CI
+runners.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def serial_scans_per_sec(doc):
+    for row in doc.get("rows", []):
+        if row.get("workers") == 0:
+            return row.get("scans_per_sec")
+    return None
+
+
+# (file, label, extractor, higher_is_better, required)
+METRICS = [
+    ("BENCH_throughput.json", "serial_scans_per_sec",
+     serial_scans_per_sec, True, True),
+    ("BENCH_throughput.json", "locate_ns_per_op",
+     lambda doc: doc.get("locate_ns_per_op"), False, True),
+    ("BENCH_http.json", "scans_per_sec",
+     lambda doc: doc.get("scans_per_sec"), True, False),
+]
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return None
+
+
+def evaluate(bench_dir, baseline_dir, tolerance):
+    """Returns (results, failures). Each result is a dict row."""
+    results = []
+    failures = []
+    for filename, label, extract, higher_better, required in METRICS:
+        current_doc = load(os.path.join(bench_dir, filename))
+        baseline_doc = load(os.path.join(baseline_dir, filename))
+        name = f"{filename}:{label}"
+        if current_doc is None or baseline_doc is None:
+            missing = "current" if current_doc is None else "baseline"
+            row = {"metric": name, "status": "skipped",
+                   "reason": f"missing {missing} file"}
+            if required and current_doc is None:
+                row["status"] = "failed"
+                row["reason"] = f"required bench output {filename} missing"
+                failures.append(row)
+            results.append(row)
+            continue
+        current = extract(current_doc)
+        baseline = extract(baseline_doc)
+        if current is None or baseline is None or baseline <= 0:
+            row = {"metric": name, "status": "failed",
+                   "reason": "metric missing or non-positive"}
+            failures.append(row)
+            results.append(row)
+            continue
+        if higher_better:
+            # e.g. 0.25 tolerance: fail below 75% of baseline throughput.
+            ratio = current / baseline
+            regressed = ratio < 1.0 - tolerance
+        else:
+            # lower-is-better: fail above 125% of baseline latency.
+            ratio = current / baseline
+            regressed = ratio > 1.0 + tolerance
+        row = {
+            "metric": name,
+            "status": "failed" if regressed else "passed",
+            "current": current,
+            "baseline": baseline,
+            "ratio": round(ratio, 4),
+            "higher_is_better": higher_better,
+            "tolerance": tolerance,
+        }
+        if regressed:
+            failures.append(row)
+        results.append(row)
+    return results, failures
+
+
+def run_gate(args, tolerance):
+    results, failures = evaluate(args.bench_dir, args.baseline_dir,
+                                 tolerance)
+    report = {
+        "tolerance": tolerance,
+        "bench_dir": args.bench_dir,
+        "baseline_dir": args.baseline_dir,
+        "results": results,
+        "ok": not failures,
+    }
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    for row in results:
+        status = row["status"].upper()
+        detail = ""
+        if "ratio" in row:
+            direction = "higher=better" if row["higher_is_better"] \
+                else "lower=better"
+            detail = (f" current={row['current']:.6g}"
+                      f" baseline={row['baseline']:.6g}"
+                      f" ratio={row['ratio']} ({direction})")
+        elif "reason" in row:
+            detail = f" {row['reason']}"
+        print(f"[{status:7s}] {row['metric']}{detail}")
+    if failures:
+        print(f"bench gate: {len(failures)} metric(s) regressed beyond "
+              f"{tolerance:.0%} tolerance", file=sys.stderr)
+        return 1
+    print("bench gate: all guarded metrics within tolerance")
+    return 0
+
+
+def self_test(tolerance):
+    """Feeds the gate a synthetic 2x regression; it must fail. Then a
+    matching pair; it must pass."""
+    import tempfile
+
+    baseline = {
+        "rows": [{"workers": 0, "scans_per_sec": 100000.0}],
+        "locate_ns_per_op": 300.0,
+    }
+    regressed = {
+        "rows": [{"workers": 0, "scans_per_sec": 50000.0}],  # 2x slower
+        "locate_ns_per_op": 600.0,                            # 2x slower
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = os.path.join(tmp, "baseline")
+        bench_dir = os.path.join(tmp, "bench")
+        os.makedirs(base_dir)
+        os.makedirs(bench_dir)
+        for d, doc in ((base_dir, baseline), (bench_dir, regressed)):
+            with open(os.path.join(d, "BENCH_throughput.json"), "w",
+                      encoding="utf-8") as fh:
+                json.dump(doc, fh)
+        _, failures = evaluate(bench_dir, base_dir, tolerance)
+        if len(failures) != 2:
+            print(f"self-test: expected 2 failures on a synthetic 2x "
+                  f"regression, got {len(failures)}", file=sys.stderr)
+            return 1
+        # Identical numbers must pass cleanly.
+        with open(os.path.join(bench_dir, "BENCH_throughput.json"), "w",
+                  encoding="utf-8") as fh:
+            json.dump(baseline, fh)
+        _, failures = evaluate(bench_dir, base_dir, tolerance)
+        if failures:
+            print("self-test: identical benches should pass, got "
+                  f"{failures}", file=sys.stderr)
+            return 1
+        # A modest wobble inside tolerance must pass too.
+        wobble = {
+            "rows": [{"workers": 0, "scans_per_sec": 90000.0}],
+            "locate_ns_per_op": 330.0,
+        }
+        with open(os.path.join(bench_dir, "BENCH_throughput.json"), "w",
+                  encoding="utf-8") as fh:
+            json.dump(wobble, fh)
+        _, failures = evaluate(bench_dir, base_dir, tolerance)
+        if failures:
+            print(f"self-test: in-tolerance wobble should pass, got "
+                  f"{failures}", file=sys.stderr)
+            return 1
+    print("self-test: gate fails a 2x regression and passes "
+          "in-tolerance runs")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench-dir", default="build",
+                        help="directory holding fresh BENCH_*.json")
+    parser.add_argument("--baseline-dir", default="bench/baselines",
+                        help="directory holding committed baselines")
+    parser.add_argument("--report", default="",
+                        help="write a JSON report to this path")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate catches a synthetic "
+                             "2x regression")
+    args = parser.parse_args()
+
+    try:
+        tolerance = float(os.environ.get("BENCH_GATE_TOLERANCE",
+                                         DEFAULT_TOLERANCE))
+    except ValueError:
+        print("BENCH_GATE_TOLERANCE must be a float", file=sys.stderr)
+        return 2
+    if not 0.0 < tolerance < 1.0:
+        print("BENCH_GATE_TOLERANCE must be in (0, 1)", file=sys.stderr)
+        return 2
+
+    if args.self_test:
+        return self_test(tolerance)
+    return run_gate(args, tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+// wilocator_serve: the WiLocator serving binary.
+//
+// Builds the paper's corridor city, trains the server on simulated
+// history days (standing in for the transit agency's archive), then
+// serves the HTTP API until SIGINT/SIGTERM. With --persist-dir the
+// server journals learned state and the service's background thread
+// checkpoints it off the serving path — kill -9 the process and restart
+// it on the same directory to watch recovery replay (the e2e test does
+// exactly that).
+//
+// Prints "LISTENING <port>" on stdout once ready; harnesses parse it.
+//
+// Usage: wilocator_serve [options]
+//   --port N               bind port (default 0 = ephemeral)
+//   --persist-dir PATH     enable durable state under PATH
+//   --history-days N       training days before serving (default 3)
+//   --workers N            ingest worker threads (default 2)
+//   --snapshot-interval S  sim-seconds between checkpoints (default 900)
+//   --checkpoint-poll S    wall-seconds between due-checks (default 0.25)
+//   --no-train             skip history (serve cold; predictions 404)
+//   --metrics-period S     NDJSON metrics cadence to stderr (default 60)
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "common.hpp"
+#include "net/service.hpp"
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig); }
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--port N] [--persist-dir PATH] [--history-days N]"
+               " [--workers N] [--snapshot-interval S]"
+               " [--checkpoint-poll S] [--no-train] [--metrics-period S]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wiloc;
+
+  std::uint16_t port = 0;
+  std::string persist_dir;
+  int history_days = 3;
+  std::size_t workers = 2;
+  double snapshot_interval_s = 15.0 * 60.0;
+  double checkpoint_poll_s = 0.25;
+  bool train = true;
+  double metrics_period_s = 60.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0)
+      port = static_cast<std::uint16_t>(std::atoi(need("--port")));
+    else if (std::strcmp(argv[i], "--persist-dir") == 0)
+      persist_dir = need("--persist-dir");
+    else if (std::strcmp(argv[i], "--history-days") == 0)
+      history_days = std::atoi(need("--history-days"));
+    else if (std::strcmp(argv[i], "--workers") == 0)
+      workers = static_cast<std::size_t>(std::atoi(need("--workers")));
+    else if (std::strcmp(argv[i], "--snapshot-interval") == 0)
+      snapshot_interval_s = std::atof(need("--snapshot-interval"));
+    else if (std::strcmp(argv[i], "--checkpoint-poll") == 0)
+      checkpoint_poll_s = std::atof(need("--checkpoint-poll"));
+    else if (std::strcmp(argv[i], "--no-train") == 0)
+      train = false;
+    else if (std::strcmp(argv[i], "--metrics-period") == 0)
+      metrics_period_s = std::atof(need("--metrics-period"));
+    else
+      usage(argv[0]);
+  }
+
+  const sim::City city = sim::build_paper_city();
+  const sim::TrafficModel traffic(2016);
+  const sim::FleetPlan plan = sim::default_fleet_plan(city);
+
+  core::ServerConfig config;
+  config.engine.workers = workers;
+  config.engine.queue_capacity = 4096;
+  config.persist.dir = persist_dir;
+  config.persist.snapshot_interval_s = snapshot_interval_s;
+  core::WiLocatorServer server(city.route_pointers(), city.ap_snapshot(),
+                               *city.rf_model, DaySlots::paper_five_slots(),
+                               config);
+  if (server.recovered())
+    std::cerr << "recovered learned state from " << persist_dir << "\n";
+
+  if (train && !server.recovered()) {
+    Rng rng(7);
+    bench::train_server(server, city, traffic, plan, /*first_day=*/0,
+                        history_days, rng);
+    std::cerr << "trained on " << history_days << " history days\n";
+  }
+
+  obs::ReporterOptions reporter_options;
+  reporter_options.period_s = metrics_period_s;
+  // Not attach_reporter()ed: the reporter is declared after the server,
+  // so the service (stopped first) owns the final flush instead.
+  obs::Reporter reporter(server.metrics_registry(), std::cerr,
+                         reporter_options);
+
+  net::ServiceOptions options;
+  options.http.port = port;
+  options.checkpoint_poll_s = checkpoint_poll_s;
+  options.reporter = &reporter;
+  net::WiLocatorService service(server, options);
+  service.start();
+  service.set_ready(true);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::cout << "LISTENING " << service.port() << std::endl;
+
+  while (g_signal.load() == 0 && service.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (const auto now = server.last_event_time(); now.has_value())
+      reporter.maybe_report(*now);
+  }
+
+  std::cerr << "shutting down (signal " << g_signal.load() << ")\n";
+  service.stop();
+  return 0;
+}
