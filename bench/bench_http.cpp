@@ -19,6 +19,7 @@
 #include "common.hpp"
 #include "net/load_driver.hpp"
 #include "net/service.hpp"
+#include "sim/chaos_proxy.hpp"
 
 namespace {
 
@@ -113,6 +114,63 @@ int main(int argc, char** argv) {
 
   const std::uint64_t checkpoints = service.background_checkpoints();
   service.stop();
+
+  // ---- Chaos sweep: the same trained server re-served under admission
+  // overload behind a faulty network plane. The gate watches goodput
+  // under faults and the shed path's client-observed tail: shedding is
+  // only worth its 503 if it stays orders of magnitude cheaper than the
+  // work it refuses.
+  net::ServiceOptions chaos_options;
+  chaos_options.checkpoint_poll_s = 0.05;
+  // Well below a 64-scan batch's handler cost and well above the shed
+  // path's: the admission EWMA must oscillate, producing both shed and
+  // served requests in the same drive.
+  chaos_options.http.admission_latency_watermark_us = 40.0;
+  chaos_options.http.request_deadline_s = 1.0;
+  chaos_options.http.stall_timeout_s = 0.5;
+  net::WiLocatorService chaos_service(server, chaos_options);
+  chaos_service.start();
+  chaos_service.set_ready(true);
+
+  sim::ChaosProfile profile;
+  profile.refuse = 0.08;
+  profile.truncate = 0.05;
+  profile.kill_response = 0.07;  // ~20% connection-level fault rate
+  profile.split = 0.15;
+  profile.corrupt = 0.03;
+  profile.delay = 0.20;
+  profile.delay_ms_max = 2.0;
+  sim::ChaosProxy proxy(chaos_service.port(), profile, /*seed=*/2016);
+  proxy.start();
+
+  auto chaos_stream = stream;
+  const std::size_t chaos_cap = smoke ? 4000 : 20000;
+  if (chaos_stream.size() > chaos_cap) chaos_stream.resize(chaos_cap);
+
+  net::LoadDriverOptions chaos_load;
+  chaos_load.port = proxy.port();
+  chaos_load.connections = connections * 2;  // push past the watermark
+  chaos_load.batch_size = 64;
+  chaos_load.arrival_every = 4;
+  chaos_load.client.connect_timeout_s = 2.0;
+  chaos_load.client.read_timeout_s = 2.0;
+  chaos_load.client.write_timeout_s = 2.0;
+  chaos_load.client.max_retries = 2;
+  chaos_load.client.backoff_base_s = 0.002;
+  net::HttpLoadDriver chaos_driver(chaos_load);
+  const net::LoadReport chaos = chaos_driver.run(chaos_stream, probes);
+  proxy.stop();
+  const sim::ChaosCounters faults = proxy.counters();
+
+  // Shed-path latency on a clean loopback, same overloaded service: a
+  // 503 is only worth sending if it costs about a round-trip. Measured
+  // off the chaos plane so fault delays don't pollute the quantiles.
+  net::LoadDriverOptions shed_load = chaos_load;
+  shed_load.port = chaos_service.port();
+  shed_load.client.max_retries = 0;
+  net::HttpLoadDriver shed_driver(shed_load);
+  const net::LoadReport shed = shed_driver.run(chaos_stream, probes);
+  chaos_service.stop();
   std::filesystem::remove_all(state_dir);
 
   TablePrinter table({"metric", "value"});
@@ -133,6 +191,24 @@ int main(int argc, char** argv) {
   table.add_row({"bg checkpoints", std::to_string(checkpoints)});
   table.print(std::cout);
 
+  TablePrinter chaos_table({"chaos metric", "value"});
+  chaos_table.add_row(
+      {"goodput (rps)", TablePrinter::num(chaos.goodput_rps, 0)});
+  chaos_table.add_row({"good responses", std::to_string(chaos.good_responses)});
+  chaos_table.add_row({"shed 503", std::to_string(chaos.shed_503)});
+  chaos_table.add_row({"shed p50 (us, clean)",
+                       TablePrinter::num(shed.shed_quantile_us(0.5), 1)});
+  chaos_table.add_row({"shed p99 (us, clean)",
+                       TablePrinter::num(shed.shed_quantile_us(0.99), 1)});
+  chaos_table.add_row({"deadline 504", std::to_string(chaos.deadline_504)});
+  chaos_table.add_row({"timeouts 408", std::to_string(chaos.timeouts_408)});
+  chaos_table.add_row(
+      {"transport errors", std::to_string(chaos.transport_errors)});
+  chaos_table.add_row({"retries", std::to_string(chaos.retries)});
+  chaos_table.add_row(
+      {"faulted connections", std::to_string(faults.faulted_connections())});
+  chaos_table.print(std::cout);
+
   const char* path = "BENCH_http.json";
   std::ofstream out(path);
   out << "{\n  \"bench\": \"http_serving\",\n"
@@ -151,7 +227,20 @@ int main(int argc, char** argv) {
       << "  \"arrival_queries\": " << report.arrival_queries << ",\n"
       << "  \"arrival_misses\": " << report.arrival_misses << ",\n"
       << "  \"errors\": " << report.errors << ",\n"
-      << "  \"background_checkpoints\": " << checkpoints << "\n}\n";
+      << "  \"background_checkpoints\": " << checkpoints << ",\n"
+      << "  \"chaos_goodput_rps\": " << chaos.goodput_rps << ",\n"
+      << "  \"chaos_good_responses\": " << chaos.good_responses << ",\n"
+      << "  \"chaos_shed_503\": " << chaos.shed_503 << ",\n"
+      << "  \"shed_p50_us\": " << shed.shed_quantile_us(0.5) << ",\n"
+      << "  \"shed_p99_us\": " << shed.shed_quantile_us(0.99) << ",\n"
+      << "  \"shed_503\": " << shed.shed_503 << ",\n"
+      << "  \"chaos_deadline_504\": " << chaos.deadline_504 << ",\n"
+      << "  \"chaos_timeouts_408\": " << chaos.timeouts_408 << ",\n"
+      << "  \"chaos_transport_errors\": " << chaos.transport_errors << ",\n"
+      << "  \"chaos_retries\": " << chaos.retries << ",\n"
+      << "  \"chaos_faulted_connections\": " << faults.faulted_connections()
+      << ",\n"
+      << "  \"chaos_wall_s\": " << chaos.wall_s << "\n}\n";
   std::cout << "\nwrote " << path << "\n";
-  return report.errors == 0 ? 0 : 1;
+  return (report.errors == 0 && chaos.good_responses > 0) ? 0 : 1;
 }

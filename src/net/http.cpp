@@ -86,11 +86,14 @@ std::string_view status_reason(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 409: return "Conflict";
     case 413: return "Payload Too Large";
     case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
 }
@@ -164,6 +167,14 @@ const char* to_string(ParseError error) {
     case ParseError::bad_content_length: return "bad content length";
   }
   return "?";
+}
+
+int status_for(ParseError error) {
+  switch (error) {
+    case ParseError::body_too_large: return 413;
+    case ParseError::headers_too_large: return 431;
+    default: return 400;
+  }
 }
 
 RequestParser::RequestParser(Limits limits) : limits_(limits) {}

@@ -83,6 +83,10 @@ enum class ParseError {
 
 const char* to_string(ParseError error);
 
+/// The response status a poisoned stream earns: 413 for an oversized
+/// body, 431 for oversized start-line/headers, 400 for the rest.
+int status_for(ParseError error);
+
 /// Incremental HTTP/1.1 request parser for one connection. feed() bytes
 /// in arrival order; take_request() yields complete requests FIFO.
 /// After an error the parser is poisoned (the connection must be
@@ -106,6 +110,14 @@ class RequestParser {
 
   ParseError error() const { return error_; }
   bool failed() const { return error_ != ParseError::none; }
+
+  /// True while a request is partially received (some head/body bytes
+  /// buffered, none of them yet a complete request). The server's
+  /// reaper uses this to tell a stalled mid-request client (408) from
+  /// an idle keep-alive connection (silent close).
+  bool mid_request() const {
+    return partial_.has_value() || !buffer_.empty();
+  }
 
  private:
   bool parse_available();

@@ -1,22 +1,46 @@
 #include "net/http_client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "util/binio.hpp"
 #include "util/contracts.hpp"
 
 namespace wiloc::net {
 
-HttpClient::HttpClient(std::string host, std::uint16_t port)
-    : host_(std::move(host)), port_(port) {}
+namespace {
+
+timeval to_timeval(double seconds) {
+  timeval tv{};
+  if (seconds > 0.0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  }
+  return tv;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::string host, std::uint16_t port,
+                       HttpClientOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      jitter_(options.jitter_seed) {}
 
 HttpClient::~HttpClient() { disconnect(); }
 
@@ -36,30 +60,69 @@ void HttpClient::connect() {
     disconnect();
     throw Error("http client: bad address " + host_);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+
+  // Nonblocking connect + poll puts a ceiling on how long a black-holed
+  // SYN can stall the caller (a blocking connect waits for the kernel's
+  // minutes-long retry schedule).
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd_, POLLOUT, 0};
+    const int timeout_ms =
+        options_.connect_timeout_s > 0.0
+            ? static_cast<int>(options_.connect_timeout_s * 1000.0)
+            : -1;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      disconnect();
+      throw Error("http client: connect(" + host_ + ":" +
+                  std::to_string(port_) + ") timed out");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof err;
+    if (rc < 0 ||
+        ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+        err != 0) {
+      disconnect();
+      throw Error("http client: connect(" + host_ + ":" +
+                  std::to_string(port_) +
+                  ") failed: " + std::strerror(err != 0 ? err : errno));
+    }
+  } else if (rc != 0) {
     const int err = errno;
     disconnect();
     throw Error("http client: connect(" + host_ + ":" +
                 std::to_string(port_) + ") failed: " + std::strerror(err));
   }
+  ::fcntl(fd_, F_SETFL, flags);
+
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  const timeval rcv = to_timeval(options_.read_timeout_s);
+  const timeval snd = to_timeval(options_.write_timeout_s);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &rcv, sizeof rcv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &snd, sizeof snd);
 }
 
 ClientResponse HttpClient::get(const std::string& target) {
-  return request("GET", target, "", "");
+  return request("GET", target, "", "", /*idempotent=*/true);
 }
 
 ClientResponse HttpClient::post(const std::string& target,
                                 const std::string& body,
-                                const std::string& content_type) {
-  return request("POST", target, body, content_type);
+                                const std::string& content_type,
+                                bool idempotent) {
+  return request("POST", target, body, content_type, idempotent);
 }
 
 ClientResponse HttpClient::request(const std::string& method,
                                    const std::string& target,
                                    const std::string& body,
-                                   const std::string& content_type) {
+                                   const std::string& content_type,
+                                   bool idempotent) {
   std::string wire = method + " " + target + " HTTP/1.1\r\n";
   wire += "Host: " + host_ + "\r\n";
   if (!content_type.empty()) wire += "Content-Type: " + content_type + "\r\n";
@@ -67,38 +130,91 @@ ClientResponse HttpClient::request(const std::string& method,
   wire += "\r\n";
   wire += body;
 
-  if (fd_ < 0) connect();
-  try {
-    return round_trip(wire);
-  } catch (const Error&) {
-    // The server may have reaped an idle keep-alive connection between
-    // requests; one reconnect covers that without masking real faults.
-    connect();
-    return round_trip(wire);
+  const std::size_t attempts =
+      idempotent ? options_.max_retries + 1 : std::size_t{1};
+  double backoff_s = options_.backoff_base_s;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      ClientResponse response;
+      if (fd_ < 0) {
+        connect();
+        response = round_trip(wire);
+      } else {
+        try {
+          response = round_trip(wire);
+        } catch (const Error&) {
+          // The server may have reaped an idle keep-alive connection
+          // between requests; one reconnect covers that without masking
+          // real faults (and keeps at-most-one resend for non-idempotent
+          // requests, whose dedup story is the server's journal replay).
+          connect();
+          response = round_trip(wire);
+        }
+      }
+      // A shed (503) or rate limit (429) is the server asking for
+      // backoff — retryable for idempotent requests, final otherwise.
+      if ((response.status == 503 || response.status == 429) &&
+          attempt + 1 < attempts) {
+        disconnect();
+      } else {
+        return response;
+      }
+    } catch (const Error&) {
+      if (attempt + 1 >= attempts) throw;
+    }
+    ++retries_;
+    // Deterministic jitter in [0.5, 1.0) of the doubling backoff keeps
+    // a retrying fleet from re-converging on the same instant.
+    const double sleep_s =
+        std::min(backoff_s, options_.backoff_max_s) *
+        (0.5 + 0.5 * jitter_.uniform01());
+    if (sleep_s > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    backoff_s *= 2.0;
+  }
+}
+
+void HttpClient::send_all(const std::string& wire) {
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    // MSG_NOSIGNAL: a peer that died mid-exchange must surface as EPIPE
+    // (-> wiloc::Error), not a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const bool timed_out = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+    disconnect();
+    throw Error(timed_out ? "http client: write timed out"
+                          : "http client: write failed");
+  }
+}
+
+std::size_t HttpClient::recv_some(char* buf, std::size_t len,
+                                  const char* what) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n < 0 && errno == EINTR) continue;
+    const bool timed_out = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+    disconnect();
+    throw Error(std::string("http client: ") +
+                (timed_out ? "read timed out " : "connection closed ") + what);
   }
 }
 
 ClientResponse HttpClient::round_trip(const std::string& wire) {
-  std::size_t sent = 0;
-  while (sent < wire.size()) {
-    const ssize_t n = ::write(fd_, wire.data() + sent, wire.size() - sent);
-    if (n <= 0) {
-      disconnect();
-      throw Error("http client: write failed");
-    }
-    sent += static_cast<std::size_t>(n);
-  }
+  send_all(wire);
 
   std::string data;
   std::size_t head_end = std::string::npos;
   char buf[16 * 1024];
   while (head_end == std::string::npos) {
-    const ssize_t n = ::read(fd_, buf, sizeof buf);
-    if (n <= 0) {
-      disconnect();
-      throw Error("http client: connection closed mid-response");
-    }
-    data.append(buf, static_cast<std::size_t>(n));
+    const std::size_t n = recv_some(buf, sizeof buf, "mid-response");
+    data.append(buf, n);
     head_end = data.find("\r\n\r\n");
     if (data.size() > (1u << 20) && head_end == std::string::npos) {
       disconnect();
@@ -135,12 +251,8 @@ ClientResponse HttpClient::round_trip(const std::string& wire) {
                                                10));
   response.body = data.substr(head_end + 4);
   while (response.body.size() < content_length) {
-    const ssize_t n = ::read(fd_, buf, sizeof buf);
-    if (n <= 0) {
-      disconnect();
-      throw Error("http client: connection closed mid-body");
-    }
-    response.body.append(buf, static_cast<std::size_t>(n));
+    const std::size_t n = recv_some(buf, sizeof buf, "mid-body");
+    response.body.append(buf, n);
   }
   response.body.resize(content_length);
 

@@ -1,6 +1,12 @@
 // A small blocking HTTP/1.1 client for the test, bench and load-driver
 // harnesses (NOT a general-purpose client: one host, sized bodies,
 // keep-alive reuse of a single connection).
+//
+// Built for flaky links (DESIGN.md §12): connect/read/write all carry
+// timeouts, I/O is EINTR-safe and SIGPIPE-suppressed (a server dying
+// mid-response surfaces as wiloc::Error, never process death), and
+// idempotent requests retry with deterministic jittered exponential
+// backoff on transport faults and 503/429 sheds.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +14,7 @@
 #include <string>
 
 #include "net/http.hpp"
+#include "util/rng.hpp"
 
 namespace wiloc::net {
 
@@ -17,10 +24,24 @@ struct ClientResponse {
   std::string body;
 };
 
+struct HttpClientOptions {
+  double connect_timeout_s = 5.0;
+  double read_timeout_s = 10.0;   ///< per recv() progress, not per response
+  double write_timeout_s = 10.0;  ///< per send() progress
+  /// Retries for idempotent requests (GETs, and POSTs the caller marks
+  /// idempotent) after a transport fault or a 503/429 shed. 0 disables;
+  /// the lone reconnect-after-keep-alive-reap stays either way.
+  std::size_t max_retries = 0;
+  double backoff_base_s = 0.02;  ///< doubles per attempt, jittered 50-100%
+  double backoff_max_s = 1.0;
+  std::uint64_t jitter_seed = 1;  ///< deterministic via wiloc::Rng
+};
+
 class HttpClient {
  public:
   /// Connects lazily on the first request.
-  HttpClient(std::string host, std::uint16_t port);
+  HttpClient(std::string host, std::uint16_t port,
+             HttpClientOptions options = {});
   ~HttpClient();
 
   HttpClient(const HttpClient&) = delete;
@@ -28,24 +49,36 @@ class HttpClient {
 
   /// Issues one request and blocks for the full response. Reconnects
   /// transparently when the server closed the previous keep-alive
-  /// connection. Throws wiloc::Error on connect/transport failure and
-  /// DecodeError on an unparseable response.
+  /// connection. Throws wiloc::Error on connect/transport failure (and
+  /// timeouts) and DecodeError on an unparseable response.
   ClientResponse get(const std::string& target);
+  /// `idempotent` opts the POST into the retry ladder (safe when the
+  /// server dedups, e.g. journal-replay-idempotent scan ingest).
   ClientResponse post(const std::string& target, const std::string& body,
-                      const std::string& content_type = "application/json");
+                      const std::string& content_type = "application/json",
+                      bool idempotent = false);
 
   /// Drops the connection (next request reconnects).
   void disconnect() noexcept;
 
+  /// Retries performed since construction (for goodput accounting).
+  std::uint64_t retries() const { return retries_; }
+
  private:
   ClientResponse request(const std::string& method, const std::string& target,
                          const std::string& body,
-                         const std::string& content_type);
+                         const std::string& content_type, bool idempotent);
   ClientResponse round_trip(const std::string& wire);
   void connect();
+  void send_all(const std::string& wire);
+  /// recv() with EINTR retry; throws on timeout/closed/error.
+  std::size_t recv_some(char* buf, std::size_t len, const char* what);
 
   std::string host_;
   std::uint16_t port_;
+  HttpClientOptions options_;
+  Rng jitter_;
+  std::uint64_t retries_ = 0;
   int fd_ = -1;
 };
 

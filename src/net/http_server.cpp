@@ -9,8 +9,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <vector>
 
@@ -23,6 +25,14 @@ namespace {
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// EWMA smoothing for the admission latency signal.
+constexpr double kLatencyAlpha = 0.1;
+
+std::string retry_after_value(double retry_after_s) {
+  return std::to_string(
+      static_cast<long>(std::ceil(std::max(retry_after_s, 0.0))));
 }
 
 }  // namespace
@@ -39,7 +49,14 @@ HttpServer::HttpServer(HttpHandler handler, HttpServerOptions options)
     rejected_overload_ = &r.counter("http.connections_rejected_overload");
     parse_errors_ = &r.counter("http.parse_errors");
     idle_reaped_ = &r.counter("http.connections_idle_reaped");
+    shed_ = &r.counter("http.shed");
+    deadline_exceeded_ = &r.counter("http.deadline_exceeded");
+    rate_limited_ = &r.counter("http.rate_limited");
+    timeouts_408_ = &r.counter("http.timeouts_408");
+    write_stalls_ = &r.counter("http.write_stalls_closed");
     open_gauge_ = &r.gauge("http.connections_open");
+    inflight_gauge_ = &r.gauge("http.inflight_responses");
+    latency_ewma_gauge_ = &r.gauge("http.latency_ewma_us");
     handler_us_ = &r.histogram("http.handler_us", 0.0, 50000.0, 50);
   }
 }
@@ -107,8 +124,10 @@ void HttpServer::stop() noexcept {
   if (thread_.joinable()) thread_.join();
   for (auto& [fd, c] : connections_) ::close(fd);
   connections_.clear();
+  inflight_ = 0;
   open_.store(0, std::memory_order_relaxed);
   if (open_gauge_ != nullptr) open_gauge_->set(0.0);
+  if (inflight_gauge_ != nullptr) inflight_gauge_->set(0.0);
   for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
     if (*fd >= 0) ::close(*fd);
     *fd = -1;
@@ -122,11 +141,21 @@ double HttpServer::monotonic_s() const {
 }
 
 void HttpServer::loop() {
+  // The sweep must fire well inside the tightest timeout it enforces.
+  double sweep_period = 1.0;
+  if (options_.stall_timeout_s > 0.0)
+    sweep_period = std::min(sweep_period, options_.stall_timeout_s / 4.0);
+  if (options_.request_deadline_s > 0.0)
+    sweep_period = std::min(sweep_period, options_.request_deadline_s / 4.0);
+  sweep_period = std::max(sweep_period, 0.01);
+  const int wait_ms = std::clamp(
+      static_cast<int>(sweep_period * 1000.0), 10, 1000);
+
   std::vector<epoll_event> events(128);
   double last_sweep = monotonic_s();
   while (running_.load(std::memory_order_acquire)) {
     const int n = ::epoll_wait(epoll_fd_, events.data(),
-                               static_cast<int>(events.size()), 1000);
+                               static_cast<int>(events.size()), wait_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -148,7 +177,7 @@ void HttpServer::loop() {
         connection_ready(*it->second, events[i].events);
     }
     const double now = monotonic_s();
-    if (now - last_sweep >= 1.0) {
+    if (now - last_sweep >= sweep_period) {
       sweep_idle(now);
       last_sweep = now;
     }
@@ -157,8 +186,11 @@ void HttpServer::loop() {
 
 void HttpServer::accept_ready() {
   for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof peer;
+    const int fd =
+        ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len,
+                  SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN or a transient error: try next wakeup
     if (connections_.size() >= options_.max_connections) {
       if (rejected_overload_ != nullptr) rejected_overload_->inc();
@@ -169,6 +201,7 @@ void HttpServer::accept_ready() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     auto conn = std::make_unique<Connection>(options_.limits);
     conn->fd = fd;
+    conn->peer = ntohl(peer.sin_addr.s_addr);
     conn->last_activity = monotonic_s();
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLRDHUP;
@@ -185,6 +218,75 @@ void HttpServer::accept_ready() {
   }
 }
 
+void HttpServer::count_response_status(int status) {
+  if (status >= 500 && responses_5xx_ != nullptr)
+    responses_5xx_->inc();
+  else if (status >= 400 && responses_4xx_ != nullptr)
+    responses_4xx_->inc();
+}
+
+std::optional<HttpResponse> HttpServer::admit(const HttpRequest& request,
+                                              const Connection& c,
+                                              double now) {
+  for (const std::string& path : options_.control_paths)
+    if (request.path == path) return std::nullopt;
+
+  if (options_.rate_limit_rps > 0.0) {
+    TokenBucket& bucket = buckets_[c.peer];
+    if (bucket.last_refill == 0.0) {
+      bucket.tokens = options_.rate_limit_burst;
+    } else {
+      bucket.tokens =
+          std::min(options_.rate_limit_burst,
+                   bucket.tokens +
+                       (now - bucket.last_refill) * options_.rate_limit_rps);
+    }
+    bucket.last_refill = now;
+    if (bucket.tokens < 1.0) {
+      if (rate_limited_ != nullptr) rate_limited_->inc();
+      HttpResponse r = HttpResponse::json(
+          429, "{\"error\":\"rate limited\",\"reason\":\"rate_limited\"}");
+      r.headers["Retry-After"] = retry_after_value(options_.retry_after_s);
+      return r;
+    }
+    bucket.tokens -= 1.0;
+  }
+
+  const char* shed_reason = nullptr;
+  if (options_.admission_inflight_watermark > 0 &&
+      inflight_ >= options_.admission_inflight_watermark)
+    shed_reason = "inflight_watermark";
+  else if (options_.admission_latency_watermark_us > 0.0 &&
+           latency_ewma_us_ > options_.admission_latency_watermark_us)
+    shed_reason = "latency_watermark";
+  if (shed_reason != nullptr) {
+    if (shed_ != nullptr) shed_->inc();
+    HttpResponse r = HttpResponse::json(
+        503, std::string("{\"error\":\"overloaded\",\"reason\":\"") +
+                 shed_reason + "\"}");
+    r.headers["Retry-After"] = retry_after_value(options_.retry_after_s);
+    return r;
+  }
+
+  if (options_.request_deadline_s > 0.0) {
+    double budget_s = options_.request_deadline_s;
+    const auto requested = request.headers.find("X-Deadline-Ms");
+    if (requested != request.headers.end()) {
+      const double ms = std::atof(requested->second.c_str());
+      if (ms > 0.0) budget_s = std::min(budget_s, ms / 1000.0);
+    }
+    if (now - c.request_start > budget_s) {
+      if (deadline_exceeded_ != nullptr) deadline_exceeded_->inc();
+      HttpResponse r = HttpResponse::json(
+          504,
+          "{\"error\":\"deadline exceeded before the request completed\","
+          "\"reason\":\"deadline_exceeded\"}");
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
 void HttpServer::connection_ready(Connection& c, std::uint32_t events) {
   const int fd = c.fd;
   c.last_activity = monotonic_s();
@@ -197,15 +299,21 @@ void HttpServer::connection_ready(Connection& c, std::uint32_t events) {
   if ((events & (EPOLLIN | EPOLLRDHUP)) != 0) {
     char buf[16 * 1024];
     for (;;) {
+      // A fresh read on a quiescent parser starts a new request's
+      // deadline clock.
+      if (!c.parser.mid_request()) c.request_start = c.last_activity;
       const ssize_t n = ::read(fd, buf, sizeof buf);
       if (n > 0) {
         if (!c.parser.feed(std::string_view(buf, static_cast<size_t>(n)))) {
           if (parse_errors_ != nullptr) parse_errors_->inc();
+          const int status = status_for(c.parser.error());
           HttpResponse bad = HttpResponse::text(
-              400, std::string("bad request: ") +
-                       to_string(c.parser.error()) + "\n");
-          if (responses_4xx_ != nullptr) responses_4xx_->inc();
+              status, std::string("bad request: ") +
+                          to_string(c.parser.error()) + "\n");
+          count_response_status(status);
           c.out += serialize(bad, /*keep_alive=*/false);
+          ++c.buffered_responses;
+          ++inflight_;
           c.close_after_write = true;
           break;
         }
@@ -223,31 +331,47 @@ void HttpServer::connection_ready(Connection& c, std::uint32_t events) {
 
     while (auto req = c.parser.take_request()) {
       if (requests_ != nullptr) requests_->inc();
+      const double now = monotonic_s();
       HttpResponse response;
       const auto t0 = std::chrono::steady_clock::now();
-      try {
-        response = handler_(*req);
-      } catch (const std::exception& e) {
-        response = HttpResponse::text(
-            500, std::string("internal error: ") + e.what() + "\n");
-      } catch (...) {
-        response = HttpResponse::text(500, "internal error\n");
+      bool handled = false;
+      if (auto rejection = admit(*req, c, now)) {
+        response = std::move(*rejection);
+      } else {
+        handled = true;
+        try {
+          response = handler_(*req);
+        } catch (const std::exception& e) {
+          response = HttpResponse::text(
+              500, std::string("internal error: ") + e.what() + "\n");
+        } catch (...) {
+          response = HttpResponse::text(500, "internal error\n");
+        }
       }
-      if (handler_us_ != nullptr)
-        handler_us_->record(std::chrono::duration<double, std::micro>(
-                                std::chrono::steady_clock::now() - t0)
-                                .count());
-      if (response.status >= 500 && responses_5xx_ != nullptr)
-        responses_5xx_->inc();
-      else if (response.status >= 400 && responses_4xx_ != nullptr)
-        responses_4xx_->inc();
+      const double elapsed_us = std::chrono::duration<double, std::micro>(
+                                    std::chrono::steady_clock::now() - t0)
+                                    .count();
+      // Shed/rejected requests feed their (near-zero) cost into the
+      // EWMA too: shedding is what lets the signal decay back under the
+      // watermark once real handlers stop running.
+      latency_ewma_us_ += kLatencyAlpha * (elapsed_us - latency_ewma_us_);
+      if (latency_ewma_gauge_ != nullptr)
+        latency_ewma_gauge_->set(latency_ewma_us_);
+      if (handled && handler_us_ != nullptr) handler_us_->record(elapsed_us);
+      count_response_status(response.status);
       const bool keep = req->keep_alive && !c.close_after_write;
       c.out += serialize(response, keep);
+      ++c.buffered_responses;
+      ++inflight_;
+      // The next pipelined request's clock starts no earlier than now.
+      c.request_start = now;
       if (!keep) {
         c.close_after_write = true;
         break;
       }
     }
+    if (inflight_gauge_ != nullptr)
+      inflight_gauge_->set(static_cast<double>(inflight_));
   }
 
   if (!drain_output(c)) return;  // connection closed
@@ -258,12 +382,14 @@ void HttpServer::connection_ready(Connection& c, std::uint32_t events) {
 /// output flushed on a close_after_write connection).
 bool HttpServer::drain_output(Connection& c) {
   while (c.out_pos < c.out.size()) {
-    const ssize_t n = ::write(c.fd, c.out.data() + c.out_pos,
-                              c.out.size() - c.out_pos);
+    const ssize_t n = ::send(c.fd, c.out.data() + c.out_pos,
+                             c.out.size() - c.out_pos, MSG_NOSIGNAL);
     if (n > 0) {
       c.out_pos += static_cast<std::size_t>(n);
+      c.last_activity = monotonic_s();
       continue;
     }
+    if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       c.want_write = true;
       return true;  // EPOLLOUT will resume the drain
@@ -274,6 +400,10 @@ bool HttpServer::drain_output(Connection& c) {
   c.out.clear();
   c.out_pos = 0;
   c.want_write = false;
+  inflight_ -= std::min(inflight_, c.buffered_responses);
+  c.buffered_responses = 0;
+  if (inflight_gauge_ != nullptr)
+    inflight_gauge_->set(static_cast<double>(inflight_));
   if (c.close_after_write) {
     close_connection(c.fd);
     return false;
@@ -289,6 +419,12 @@ void HttpServer::update_epoll(Connection& c) {
 }
 
 void HttpServer::close_connection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it != connections_.end()) {
+    inflight_ -= std::min(inflight_, it->second->buffered_responses);
+    if (inflight_gauge_ != nullptr)
+      inflight_gauge_->set(static_cast<double>(inflight_));
+  }
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
   connections_.erase(fd);
@@ -298,13 +434,68 @@ void HttpServer::close_connection(int fd) {
 }
 
 void HttpServer::sweep_idle(double now) {
-  std::vector<int> stale;
-  for (const auto& [fd, c] : connections_)
-    if (now - c->last_activity > options_.idle_timeout_s)
-      stale.push_back(fd);
-  for (const int fd : stale) {
-    if (idle_reaped_ != nullptr) idle_reaped_->inc();
-    close_connection(fd);
+  enum class Action { reap_idle, timeout_408, close_write_stall };
+  std::vector<std::pair<int, Action>> actions;
+  const double stall = options_.stall_timeout_s;
+  for (const auto& [fd, c] : connections_) {
+    const double quiet = now - c->last_activity;
+    if (c->out_pos < c->out.size()) {
+      // A buffered response the client is not draining: no 408 can
+      // reach it, so the only defense is the close.
+      if (stall > 0.0 && quiet > stall)
+        actions.emplace_back(fd, Action::close_write_stall);
+      continue;
+    }
+    if (c->parser.mid_request()) {
+      // Half a request on the wire. Stalled (no bytes for a while) or
+      // trickling past the whole deadline budget both earn a 408 —
+      // unlike keep-alive idlers, the client is mid-conversation and
+      // deserves to hear why the connection died.
+      const bool stalled = stall > 0.0 && quiet > stall;
+      const bool over_deadline =
+          options_.request_deadline_s > 0.0 &&
+          now - c->request_start > options_.request_deadline_s;
+      if (stalled || over_deadline)
+        actions.emplace_back(fd, Action::timeout_408);
+      continue;
+    }
+    if (quiet > options_.idle_timeout_s)
+      actions.emplace_back(fd, Action::reap_idle);
+  }
+  for (const auto& [fd, action] : actions) {
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;
+    Connection& c = *it->second;
+    switch (action) {
+      case Action::reap_idle:
+        if (idle_reaped_ != nullptr) idle_reaped_->inc();
+        close_connection(fd);
+        break;
+      case Action::close_write_stall:
+        if (write_stalls_ != nullptr) write_stalls_->inc();
+        close_connection(fd);
+        break;
+      case Action::timeout_408: {
+        if (timeouts_408_ != nullptr) timeouts_408_->inc();
+        count_response_status(408);
+        c.out += serialize(
+            HttpResponse::text(408, "request timeout: no progress\n"),
+            /*keep_alive=*/false);
+        ++c.buffered_responses;
+        ++inflight_;
+        c.close_after_write = true;
+        if (drain_output(c)) update_epoll(c);
+        break;
+      }
+    }
+  }
+
+  // Token buckets for peers that went quiet are dropped.
+  if (options_.rate_limit_rps > 0.0 && now - last_bucket_gc_ > 60.0) {
+    for (auto it = buckets_.begin(); it != buckets_.end();)
+      it = now - it->second.last_refill > 60.0 ? buckets_.erase(it)
+                                               : std::next(it);
+    last_bucket_gc_ = now;
   }
 }
 

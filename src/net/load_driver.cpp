@@ -41,8 +41,38 @@ struct ConnResult {
   std::size_t arrival_queries = 0;
   std::size_t arrival_misses = 0;
   std::size_t errors = 0;
+  std::size_t shed_503 = 0;
+  std::size_t rate_limited_429 = 0;
+  std::size_t deadline_504 = 0;
+  std::size_t timeouts_408 = 0;
+  std::size_t transport_errors = 0;
+  std::size_t degraded_reads = 0;
+  std::size_t retries = 0;
+  std::size_t good_responses = 0;
   std::vector<double> post_us;
   std::vector<double> arrival_us;
+  std::vector<double> shed_us;
+
+  /// Buckets a non-2xx answer into the fault-class ledger.
+  void classify(int status, double us) {
+    switch (status) {
+      case 503:
+        ++shed_503;
+        shed_us.push_back(us);
+        break;
+      case 429:
+        ++rate_limited_429;
+        break;
+      case 504:
+        ++deadline_504;
+        break;
+      case 408:
+        ++timeouts_408;
+        break;
+      default:
+        break;
+    }
+  }
 };
 
 }  // namespace
@@ -53,6 +83,10 @@ double LoadReport::post_quantile_us(double q) const {
 
 double LoadReport::arrival_quantile_us(double q) const {
   return sorted_quantile(arrival_latency_us, q);
+}
+
+double LoadReport::shed_quantile_us(double q) const {
+  return sorted_quantile(shed_latency_us, q);
 }
 
 std::string encode_scan_batch(std::span<const core::ScanSubmission> batch) {
@@ -119,46 +153,65 @@ LoadReport HttpLoadDriver::run(std::span<const core::ScanSubmission> stream,
     workers.emplace_back([this, conn, &plans, &results, &probes] {
       const ConnPlan& plan = plans[conn];
       ConnResult& r = results[conn];
-      try {
-        HttpClient client(options_.host, options_.port);
-        std::size_t probe_i = conn;  // stagger probe rotation per conn
-        for (std::size_t b = 0; b < plan.bodies.size(); ++b) {
-          const auto t0 = std::chrono::steady_clock::now();
-          const ClientResponse resp =
-              client.post("/v1/scans", plan.bodies[b]);
-          const double us =
-              std::chrono::duration<double, std::micro>(
-                  std::chrono::steady_clock::now() - t0)
-                  .count();
+      HttpClientOptions copts = options_.client;
+      copts.jitter_seed += conn;  // decorrelate per-connection backoff
+      HttpClient client(options_.host, options_.port, copts);
+      std::size_t probe_i = conn;  // stagger probe rotation per conn
+      for (std::size_t b = 0; b < plan.bodies.size(); ++b) {
+        const auto t0 = std::chrono::steady_clock::now();
+        ++r.batches;
+        // A faulted request costs that request, not the rest of the
+        // connection's run — the client reconnects on the next one.
+        try {
+          const ClientResponse resp = client.post(
+              "/v1/scans", plan.bodies[b], "application/json",
+              options_.idempotent_posts);
+          const double us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
           r.post_us.push_back(us);
-          ++r.batches;
           if (resp.status == 200) {
             r.scans_posted += plan.scans[b];
+            ++r.good_responses;
           } else {
             ++r.errors;
+            r.classify(resp.status, us);
           }
-          if (options_.arrival_every > 0 && !probes.empty() &&
-              (b + 1) % options_.arrival_every == 0) {
-            const ArrivalProbe& probe = probes[probe_i++ % probes.size()];
-            std::ostringstream target;
-            target << "/v1/arrival?trip=" << probe.trip.value()
-                   << "&stop=" << probe.stop << "&now=" << fmt(probe.now);
-            const auto q0 = std::chrono::steady_clock::now();
+        } catch (const std::exception&) {
+          ++r.errors;
+          ++r.transport_errors;
+        }
+        if (options_.arrival_every > 0 && !probes.empty() &&
+            (b + 1) % options_.arrival_every == 0) {
+          const ArrivalProbe& probe = probes[probe_i++ % probes.size()];
+          std::ostringstream target;
+          target << "/v1/arrival?trip=" << probe.trip.value()
+                 << "&stop=" << probe.stop << "&now=" << fmt(probe.now);
+          const auto q0 = std::chrono::steady_clock::now();
+          ++r.arrival_queries;
+          try {
             const ClientResponse arrival = client.get(target.str());
-            r.arrival_us.push_back(
-                std::chrono::duration<double, std::micro>(
-                    std::chrono::steady_clock::now() - q0)
-                    .count());
-            ++r.arrival_queries;
-            if (arrival.status == 404)
+            const double us = std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - q0)
+                                  .count();
+            r.arrival_us.push_back(us);
+            if (arrival.headers.count("X-Degraded") != 0) ++r.degraded_reads;
+            if (arrival.status == 404) {
               ++r.arrival_misses;
-            else if (arrival.status != 200)
+              ++r.good_responses;
+            } else if (arrival.status == 200) {
+              ++r.good_responses;
+            } else {
               ++r.errors;
+              r.classify(arrival.status, us);
+            }
+          } catch (const std::exception&) {
+            ++r.errors;
+            ++r.transport_errors;
           }
         }
-      } catch (const std::exception&) {
-        ++r.errors;  // transport failure kills this connection's run
       }
+      r.retries = client.retries();
     });
   }
   for (std::thread& w : workers) w.join();
@@ -174,16 +227,29 @@ LoadReport HttpLoadDriver::run(std::span<const core::ScanSubmission> stream,
     report.arrival_queries += r.arrival_queries;
     report.arrival_misses += r.arrival_misses;
     report.errors += r.errors;
+    report.shed_503 += r.shed_503;
+    report.rate_limited_429 += r.rate_limited_429;
+    report.deadline_504 += r.deadline_504;
+    report.timeouts_408 += r.timeouts_408;
+    report.transport_errors += r.transport_errors;
+    report.degraded_reads += r.degraded_reads;
+    report.retries += r.retries;
+    report.good_responses += r.good_responses;
     report.post_latency_us.insert(report.post_latency_us.end(),
                                   r.post_us.begin(), r.post_us.end());
     report.arrival_latency_us.insert(report.arrival_latency_us.end(),
                                      r.arrival_us.begin(), r.arrival_us.end());
+    report.shed_latency_us.insert(report.shed_latency_us.end(),
+                                  r.shed_us.begin(), r.shed_us.end());
   }
   std::sort(report.post_latency_us.begin(), report.post_latency_us.end());
   std::sort(report.arrival_latency_us.begin(),
             report.arrival_latency_us.end());
+  std::sort(report.shed_latency_us.begin(), report.shed_latency_us.end());
   report.scans_per_sec =
       wall_s > 0.0 ? static_cast<double>(report.scans_posted) / wall_s : 0.0;
+  report.goodput_rps =
+      wall_s > 0.0 ? static_cast<double>(report.good_responses) / wall_s : 0.0;
   return report;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/ingest_engine.hpp"
+#include "net/http_client.hpp"
 
 namespace wiloc::net {
 
@@ -32,6 +33,12 @@ struct LoadDriverOptions {
   std::size_t connections = 4;
   std::size_t batch_size = 256;   ///< scans per POST /v1/scans
   std::size_t arrival_every = 8;  ///< probe cadence, in batches (0 = off)
+  /// Per-connection client tuning (timeouts, retry ladder). Retries only
+  /// apply to GET probes unless `idempotent_posts` is also set.
+  HttpClientOptions client;
+  /// Marks POST /v1/scans as retry-safe. Only set when the server side
+  /// dedups resubmitted batches (per-trip ingest-order guard).
+  bool idempotent_posts = false;
 };
 
 struct LoadReport {
@@ -39,14 +46,28 @@ struct LoadReport {
   std::size_t batches = 0;
   std::size_t arrival_queries = 0;
   std::size_t arrival_misses = 0;  ///< 404 (no fix yet) — not an error
-  std::size_t errors = 0;          ///< transport failures or 5xx
+  std::size_t errors = 0;          ///< transport failures or non-2xx/404
+  // Fault-class breakdown of `errors` (reconciled against the server's
+  // http.shed / http.rate_limited / http.deadline_exceeded /
+  // http.timeouts_408 metrics by the chaos tests).
+  std::size_t shed_503 = 0;
+  std::size_t rate_limited_429 = 0;
+  std::size_t deadline_504 = 0;
+  std::size_t timeouts_408 = 0;
+  std::size_t transport_errors = 0;  ///< thrown wiloc::Error (torn/timed out)
+  std::size_t degraded_reads = 0;    ///< 200s served stale (X-Degraded)
+  std::size_t retries = 0;           ///< client retry ladder activations
+  std::size_t good_responses = 0;    ///< 200s + 404 probe misses
   double wall_s = 0.0;
   double scans_per_sec = 0.0;
+  double goodput_rps = 0.0;  ///< good_responses / wall_s
   std::vector<double> post_latency_us;     ///< sorted ascending
   std::vector<double> arrival_latency_us;  ///< sorted ascending
+  std::vector<double> shed_latency_us;     ///< 503-answered, sorted ascending
 
   double post_quantile_us(double q) const;
   double arrival_quantile_us(double q) const;
+  double shed_quantile_us(double q) const;
 };
 
 class HttpLoadDriver {

@@ -36,6 +36,21 @@ HttpResponse method_not_allowed(std::string_view allow) {
   return r;
 }
 
+/// Every 503 the service emits carries Retry-After and names the shed
+/// reason in the body, so clients can tell backoff-able overload from
+/// real failure.
+HttpResponse unavailable_json(std::string_view message,
+                              std::string_view reason,
+                              double retry_after_s = 1.0) {
+  std::ostringstream out;
+  out << "{\"error\":" << json_quote(message) << ",\"reason\":\"" << reason
+      << "\"}";
+  HttpResponse r = HttpResponse::json(503, out.str());
+  r.headers["Retry-After"] = std::to_string(
+      static_cast<long>(std::ceil(std::max(retry_after_s, 0.0))));
+  return r;
+}
+
 }  // namespace
 
 WiLocatorService::WiLocatorService(core::WiLocatorServer& server,
@@ -51,7 +66,10 @@ void WiLocatorService::start() {
   arrivals_served_ = &registry.counter("service.arrivals_served");
   checkpoint_commits_ = &registry.counter("service.checkpoints_committed");
   checkpoint_failures_ = &registry.counter("service.checkpoint_failures");
+  degraded_reads_ = &registry.counter("http.degraded_reads");
+  degraded_misses_ = &registry.counter("http.degraded_read_misses");
   ready_gauge_ = &registry.gauge("service.ready");
+  degraded_gauge_ = &registry.gauge("service.degraded");
   ready_gauge_->set(ready() ? 1.0 : 0.0);
 
   options_.http.registry = &registry;
@@ -77,7 +95,7 @@ void WiLocatorService::stop() noexcept {
   // drain below.
   if (http_ != nullptr) http_->stop();
   try {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::timed_mutex> lock(mu_);
     server_.drain();
     server_.set_inline_checkpoints(true);
     const core::StatePersistence* persist = server_.persistence();
@@ -106,7 +124,7 @@ void WiLocatorService::checkpoint_loop() {
       // Prepare shares the handler mutex but is cheap: serialize state
       // in memory + rename the journal. The snapshot write below runs
       // off-lock, concurrent with ingest.
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::timed_mutex> lock(mu_);
       if (server_.checkpoint_due()) prepared = server_.prepare_checkpoint();
     }
     if (prepared.valid) {
@@ -195,7 +213,7 @@ HttpResponse WiLocatorService::handle_scans(const HttpRequest& request) {
 
   core::BatchIngestResult result;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::timed_mutex> lock(mu_);
     result = server_.ingest_batch(batch);
   }
   if (scans_posted_ != nullptr) scans_posted_->inc(result.submitted);
@@ -219,7 +237,7 @@ HttpResponse WiLocatorService::handle_trips(const HttpRequest& request) {
   const bool ending =
       end != nullptr && end->as_bool().has_value() && *end->as_bool();
   std::ostringstream out;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::timed_mutex> lock(mu_);
   if (ending) {
     if (!server_.has_trip(trip)) return error_json(404, "unknown trip");
     server_.end_trip(trip);
@@ -250,7 +268,10 @@ HttpResponse WiLocatorService::handle_arrival(const HttpRequest& request) {
   if (!trip_num.has_value() && !route_num.has_value())
     return error_json(400, "need \"trip\" or \"route\"");
 
-  std::lock_guard<std::mutex> lock(mu_);
+  if (forced_degraded_.load(std::memory_order_acquire))
+    return degraded_read(request, "forced_degraded");
+  auto lock = try_read_lock();
+  if (!lock.owns_lock()) return degraded_read(request, "engine_saturated");
   const double now = request.param_num("now").value_or(default_now());
 
   roadnet::TripId trip{};
@@ -278,11 +299,13 @@ HttpResponse WiLocatorService::handle_arrival(const HttpRequest& request) {
       return error_json(404, "no active trip with a fix on this route");
   }
 
+  lock.unlock();
   if (arrivals_served_ != nullptr) arrivals_served_->inc();
   std::ostringstream out;
   out << "{\"trip\":" << trip.value() << ",\"stop\":" << stop
       << ",\"now\":" << num(now) << ",\"arrival_time\":" << num(*arrival)
       << ",\"eta_s\":" << num(*arrival - now) << "}";
+  remember_good(request, out.str());
   return HttpResponse::json(200, out.str());
 }
 
@@ -291,7 +314,7 @@ HttpResponse WiLocatorService::handle_position(const HttpRequest& request) {
   const auto trip_num = request.param_num("trip");
   if (!trip_num.has_value()) return error_json(400, "missing \"trip\"");
   const roadnet::TripId trip(static_cast<std::uint32_t>(*trip_num));
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::timed_mutex> lock(mu_);
   if (!server_.has_trip(trip)) return error_json(404, "unknown trip");
   const auto offset = server_.position(trip);
   if (!offset.has_value()) return error_json(404, "no position fix yet");
@@ -305,7 +328,10 @@ HttpResponse WiLocatorService::handle_traffic_map(const HttpRequest& request) {
   if (request.method != "GET") return method_not_allowed("GET");
   core::TrafficMap map;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    if (forced_degraded_.load(std::memory_order_acquire))
+      return degraded_read(request, "forced_degraded");
+    auto lock = try_read_lock();
+    if (!lock.owns_lock()) return degraded_read(request, "engine_saturated");
     map = server_.traffic_map(request.param_num("now").value_or(default_now()));
   }
   std::vector<std::pair<roadnet::EdgeId, core::SegmentTraffic>> segments(
@@ -324,6 +350,7 @@ HttpResponse WiLocatorService::handle_traffic_map(const HttpRequest& request) {
         << ",\"inferred\":" << (seg.inferred ? "true" : "false") << "}";
   }
   out << "]}";
+  remember_good(request, out.str());
   return HttpResponse::json(200, out.str());
 }
 
@@ -342,12 +369,78 @@ HttpResponse WiLocatorService::handle_metrics(const HttpRequest& request) {
 }
 
 HttpResponse WiLocatorService::handle_readyz() const {
-  const bool up =
-      ready() && !stopping_.load(std::memory_order_acquire);
+  const bool stopping = stopping_.load(std::memory_order_acquire);
+  const bool up = ready() && !stopping;
   std::ostringstream out;
   out << "{\"ready\":" << (up ? "true" : "false")
-      << ",\"recovered\":" << (server_.recovered() ? "true" : "false") << "}";
-  return HttpResponse::json(up ? 200 : 503, out.str());
+      << ",\"recovered\":" << (server_.recovered() ? "true" : "false")
+      << ",\"degraded\":" << (degraded() ? "true" : "false")
+      << ",\"degraded_reads\":"
+      << (degraded_reads_ != nullptr ? degraded_reads_->value() : 0);
+  if (!up) out << ",\"reason\":\"" << (stopping ? "stopping" : "warming_up")
+               << "\"";
+  out << "}";
+  HttpResponse r = HttpResponse::json(up ? 200 : 503, out.str());
+  if (!up) r.headers["Retry-After"] = "1";
+  return r;
+}
+
+std::unique_lock<std::timed_mutex> WiLocatorService::try_read_lock() {
+  std::unique_lock<std::timed_mutex> lock(mu_, std::defer_lock);
+  const double wait_s = options_.degraded_lock_wait_s;
+  if (wait_s <= 0.0) {
+    lock.lock();  // degraded reads disabled: block like a write
+    return lock;
+  }
+  if (!lock.try_lock())
+    (void)lock.try_lock_for(std::chrono::duration<double>(wait_s));
+  return lock;
+}
+
+double WiLocatorService::wall_s() const {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void WiLocatorService::remember_good(const HttpRequest& request,
+                                     const std::string& body) {
+  recently_degraded_.store(false, std::memory_order_release);
+  if (degraded_gauge_ != nullptr)
+    degraded_gauge_->set(degraded() ? 1.0 : 0.0);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (read_cache_.size() >= options_.read_cache_entries) read_cache_.clear();
+  read_cache_[request.target] = {body, wall_s()};
+}
+
+HttpResponse WiLocatorService::degraded_read(const HttpRequest& request,
+                                             std::string_view reason) {
+  recently_degraded_.store(true, std::memory_order_release);
+  if (degraded_gauge_ != nullptr) degraded_gauge_->set(1.0);
+  std::optional<CachedReply> cached;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    const auto it = read_cache_.find(request.target);
+    if (it != read_cache_.end()) cached = it->second;
+  }
+  if (!cached.has_value()) {
+    if (degraded_misses_ != nullptr) degraded_misses_->inc();
+    return unavailable_json("overloaded and no cached reply for this query",
+                            reason);
+  }
+  if (degraded_reads_ != nullptr) degraded_reads_->inc();
+  // Splice the staleness contract into the cached JSON object: the
+  // rider still gets an answer, tagged with how old it is and why.
+  std::string body = cached->body;
+  const std::size_t brace = body.rfind('}');
+  std::ostringstream tag;
+  tag << ",\"stale\":true,\"stale_age_s\":"
+      << num(std::max(0.0, wall_s() - cached->at_wall_s)) << ",\"reason\":\""
+      << reason << "\"";
+  if (brace != std::string::npos) body.insert(brace, tag.str());
+  HttpResponse r = HttpResponse::json(200, std::move(body));
+  r.headers["X-Degraded"] = "stale";
+  return r;
 }
 
 }  // namespace wiloc::net

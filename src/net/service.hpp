@@ -13,6 +13,15 @@
 //   GET  /healthz         liveness (process is serving)
 //   GET  /readyz          readiness (recovery replayed + warmup done)
 //
+// Degraded reads (DESIGN.md §12): every successful /v1/arrival and
+// /v1/traffic-map response is cached as the last-good answer for its
+// exact query. When the learned-state lock cannot be acquired within a
+// small budget (a saturated or wedged writer), when the service is
+// draining, or when an operator forced degraded mode, reads serve that
+// cached body — tagged "stale":true with its age — instead of blocking
+// the event loop. Cache misses shed with 503 + Retry-After. /readyz
+// reports the degraded state so orchestration can see it.
+//
 // Threading (see DESIGN.md §11): the epoll loop thread is the
 // WiLocatorServer control thread; every handler that touches learned
 // state runs under `mu_`. A background checkpoint thread shares that
@@ -48,6 +57,13 @@ struct ServiceOptions {
   /// Flushed (final) during stop(), after the engine drain — e.g. the
   /// NDJSON obs::Reporter of the serve binary. May be null.
   obs::Reporter* reporter = nullptr;
+  /// How long a read handler waits for the learned-state lock before
+  /// falling back to the degraded (last-good cached) path. 0 disables
+  /// degraded reads: reads then block like writes do.
+  double degraded_lock_wait_s = 0.05;
+  /// Entries kept in the last-good read cache before it is cleared
+  /// wholesale (bounds memory; keys are full request targets).
+  std::size_t read_cache_entries = 4096;
 };
 
 class WiLocatorService {
@@ -76,6 +92,19 @@ class WiLocatorService {
   }
   bool ready() const { return ready_.load(std::memory_order_acquire); }
 
+  /// Forces (or lifts) degraded-read mode: reads serve last-good cached
+  /// responses without touching the engine. Also entered automatically
+  /// while the learned-state lock is saturated and during drain.
+  void set_degraded(bool degraded = true) {
+    forced_degraded_.store(degraded, std::memory_order_release);
+  }
+  /// True when the last read was served stale or degraded mode is
+  /// forced; cleared by the next fresh read.
+  bool degraded() const {
+    return forced_degraded_.load(std::memory_order_acquire) ||
+           recently_degraded_.load(std::memory_order_acquire);
+  }
+
   std::uint16_t port() const {
     return http_ != nullptr ? http_->port() : 0;
   }
@@ -101,20 +130,42 @@ class WiLocatorService {
   void checkpoint_loop();
   double default_now() const;
 
+  /// A read handler's lock attempt: acquired within the degraded-read
+  /// budget, or not (=> serve stale / shed).
+  std::unique_lock<std::timed_mutex> try_read_lock();
+  /// Serve the last-good cached body for this target (tagged stale), or
+  /// shed with 503 + Retry-After when there is none.
+  HttpResponse degraded_read(const HttpRequest& request,
+                             std::string_view reason);
+  void remember_good(const HttpRequest& request, const std::string& body);
+  double wall_s() const;
+
   core::WiLocatorServer& server_;
   ServiceOptions options_;
   std::unique_ptr<HttpServer> http_;
 
   /// Serializes every WiLocatorServer control-thread operation: HTTP
-  /// handlers (epoll thread) and the checkpoint prepare phase.
-  std::mutex mu_;
+  /// handlers (epoll thread) and the checkpoint prepare phase. Timed so
+  /// read handlers can bound how long they block behind a saturated
+  /// writer before degrading.
+  std::timed_mutex mu_;
   /// Active trips begun through the API (for route-level arrival
   /// queries). Guarded by mu_.
   std::unordered_map<roadnet::TripId, roadnet::RouteId> trips_;
 
   std::atomic<bool> ready_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> forced_degraded_{false};
+  std::atomic<bool> recently_degraded_{false};
   bool started_ = false;
+
+  /// Last-good read cache: full request target -> freshest 200 body.
+  struct CachedReply {
+    std::string body;
+    double at_wall_s = 0.0;
+  };
+  mutable std::mutex cache_mu_;
+  std::unordered_map<std::string, CachedReply> read_cache_;
 
   std::thread checkpointer_;
   std::mutex cv_mu_;
@@ -125,7 +176,10 @@ class WiLocatorService {
   obs::Counter* arrivals_served_ = nullptr;  ///< service.arrivals_served
   obs::Counter* checkpoint_commits_ = nullptr;
   obs::Counter* checkpoint_failures_ = nullptr;
-  obs::Gauge* ready_gauge_ = nullptr;  ///< service.ready
+  obs::Counter* degraded_reads_ = nullptr;   ///< http.degraded_reads
+  obs::Counter* degraded_misses_ = nullptr;  ///< http.degraded_read_misses
+  obs::Gauge* ready_gauge_ = nullptr;     ///< service.ready
+  obs::Gauge* degraded_gauge_ = nullptr;  ///< service.degraded
 };
 
 }  // namespace wiloc::net

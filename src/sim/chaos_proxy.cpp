@@ -1,0 +1,290 @@
+#include "sim/chaos_proxy.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::sim {
+
+namespace {
+
+/// Blocking sends are bounded so a wedged peer cannot wedge stop().
+void bound_io_timeouts(int fd) {
+  timeval tv{};
+  tv.tv_sec = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+}  // namespace
+
+ChaosProfile ChaosProfile::uniform(double p) {
+  WILOC_EXPECTS(p >= 0.0 && p <= 1.0);
+  ChaosProfile profile;
+  profile.refuse = p;
+  profile.delay = p;
+  profile.split = p;
+  profile.corrupt = p;
+  profile.truncate = p;
+  profile.kill_response = p;
+  return profile;
+}
+
+ChaosProxy::ChaosProxy(std::uint16_t upstream_port, ChaosProfile profile,
+                       std::uint64_t seed, obs::Registry* registry)
+    : upstream_port_(upstream_port),
+      profile_(profile),
+      rng_(seed),
+      registry_(registry) {
+  if (registry_ != nullptr) {
+    obs::Registry& r = *registry_;
+    m_connections_ = &r.counter("net.chaos.connections");
+    m_refused_ = &r.counter("net.chaos.refused");
+    m_truncated_ = &r.counter("net.chaos.truncated_requests");
+    m_killed_ = &r.counter("net.chaos.killed_responses");
+    m_delayed_ = &r.counter("net.chaos.delayed_chunks");
+    m_split_ = &r.counter("net.chaos.split_chunks");
+    m_corrupted_ = &r.counter("net.chaos.corrupted_chunks");
+    m_bytes_to_server_ = &r.counter("net.chaos.bytes_to_server");
+    m_bytes_to_client_ = &r.counter("net.chaos.bytes_to_client");
+  }
+}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+void ChaosProxy::start() {
+  WILOC_EXPECTS(!running());
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw Error("chaos proxy: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("chaos proxy: bind/listen failed");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void ChaosProxy::stop() noexcept {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::vector<std::thread> relays;
+  {
+    std::lock_guard<std::mutex> lock(relays_mu_);
+    relays.swap(relays_);
+  }
+  for (std::thread& t : relays)
+    if (t.joinable()) t.join();
+}
+
+ChaosCounters ChaosProxy::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+void ChaosProxy::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int client_fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                    SOCK_CLOEXEC);
+    if (client_fd < 0) {
+      if (errno == EINTR) continue;
+      if (!running_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.connections;
+    }
+    if (m_connections_ != nullptr) m_connections_->inc();
+
+    // The connection's whole fault plan comes from the accept-thread
+    // rng: same seed + same arrival order => same faults.
+    ConnPlan plan(rng_.fork());
+    plan.refuse = rng_.bernoulli(profile_.refuse);
+    plan.truncate = rng_.bernoulli(profile_.truncate);
+    plan.kill_response = rng_.bernoulli(profile_.kill_response);
+
+    if (plan.refuse) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.refused;
+      }
+      if (m_refused_ != nullptr) m_refused_->inc();
+      ::close(client_fd);
+      continue;
+    }
+    bound_io_timeouts(client_fd);
+    const int nodelay = 1;
+    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                 sizeof nodelay);
+    std::lock_guard<std::mutex> lock(relays_mu_);
+    relays_.emplace_back(
+        [this, client_fd, plan] { relay(client_fd, plan); });
+  }
+}
+
+bool ChaosProxy::forward(int dst_fd, char* data, std::size_t len,
+                         ConnPlan& plan, bool to_server) {
+  if (plan.rng.bernoulli(profile_.corrupt)) {
+    const auto i = static_cast<std::size_t>(
+        plan.rng.uniform_int(0, static_cast<std::int64_t>(len) - 1));
+    data[i] = static_cast<char>(data[i] ^ 0x40);
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.corrupted_chunks;
+    }
+    if (m_corrupted_ != nullptr) m_corrupted_->inc();
+  }
+  if (profile_.delay_ms_max > 0.0 && plan.rng.bernoulli(profile_.delay)) {
+    const double ms = plan.rng.uniform(0.0, profile_.delay_ms_max);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.delayed_chunks;
+    }
+    if (m_delayed_ != nullptr) m_delayed_->inc();
+  }
+  const bool split = plan.rng.bernoulli(profile_.split);
+  if (split) {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.split_chunks;
+  }
+  if (split && m_split_ != nullptr) m_split_->inc();
+
+  std::size_t sent = 0;
+  while (sent < len) {
+    const std::size_t piece = split ? 1 : len - sent;
+    const ssize_t n = ::send(dst_fd, data + sent, piece, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    if (to_server)
+      counters_.bytes_to_server += len;
+    else
+      counters_.bytes_to_client += len;
+  }
+  if (to_server && m_bytes_to_server_ != nullptr) m_bytes_to_server_->inc(len);
+  if (!to_server && m_bytes_to_client_ != nullptr) m_bytes_to_client_->inc(len);
+  return true;
+}
+
+void ChaosProxy::relay(int client_fd, ConnPlan plan) {
+  const int server_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(upstream_port_);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (server_fd < 0 ||
+      ::connect(server_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0) {
+    if (server_fd >= 0) ::close(server_fd);
+    ::close(client_fd);
+    return;
+  }
+  bound_io_timeouts(server_fd);
+  const int one = 1;
+  ::setsockopt(server_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  bool client_open = true;   // client -> server direction still relayed
+  bool server_open = true;   // server -> client direction still relayed
+  bool to_server_cut = false;
+  char buf[8 * 1024];
+  while ((client_open || server_open) &&
+         running_.load(std::memory_order_acquire)) {
+    pollfd pfds[2];
+    pfds[0] = {client_fd, static_cast<short>(client_open ? POLLIN : 0), 0};
+    pfds[1] = {server_fd, static_cast<short>(server_open ? POLLIN : 0), 0};
+    const int rc = ::poll(pfds, 2, 50);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;
+
+    if (client_open && (pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const ssize_t n = ::recv(client_fd, buf, sizeof buf, 0);
+      if (n <= 0) {
+        client_open = false;
+        ::shutdown(server_fd, SHUT_WR);  // propagate half-close
+      } else if (!to_server_cut) {
+        if (plan.truncate) {
+          // Swallow the tail of the request mid-chunk but keep the
+          // connection open (an EOF would just be closed silently): the
+          // server holds half a request and must 408 it on its stall
+          // sweep. At least one byte goes through so the parser is
+          // demonstrably mid-request.
+          const auto keep =
+              n < 2 ? static_cast<std::size_t>(n)
+                    : 1 + static_cast<std::size_t>(plan.rng.uniform_int(
+                              0, static_cast<std::int64_t>(n) - 2));
+          forward(server_fd, buf, keep, plan, true);
+          to_server_cut = true;
+          {
+            std::lock_guard<std::mutex> lock(counters_mu_);
+            ++counters_.truncated;
+          }
+          if (m_truncated_ != nullptr) m_truncated_->inc();
+        } else if (!forward(server_fd, buf, static_cast<std::size_t>(n), plan,
+                            true)) {
+          break;
+        }
+      }
+    }
+    if (server_open && (pfds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const ssize_t n = ::recv(server_fd, buf, sizeof buf, 0);
+      if (n <= 0) {
+        server_open = false;
+        ::shutdown(client_fd, SHUT_WR);
+        // Nothing more can come back; if the client already half-closed
+        // too, the relay is done.
+        if (!client_open) break;
+      } else if (plan.kill_response) {
+        // Forward part of the response, then die mid-body — the torn
+        // read every client on a flaky uplink eventually sees.
+        const auto keep = static_cast<std::size_t>(
+            plan.rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        if (keep > 0) forward(client_fd, buf, keep, plan, false);
+        {
+          std::lock_guard<std::mutex> lock(counters_mu_);
+          ++counters_.killed_responses;
+        }
+        if (m_killed_ != nullptr) m_killed_->inc();
+        break;
+      } else if (!forward(client_fd, buf, static_cast<std::size_t>(n), plan,
+                          false)) {
+        break;
+      }
+    }
+  }
+  ::close(server_fd);
+  ::close(client_fd);
+}
+
+}  // namespace wiloc::sim

@@ -1,0 +1,143 @@
+// Socket-level fault injection: an in-process TCP chaos proxy.
+//
+// The scan-level FaultInjector perturbs *reports*; ChaosProxy perturbs
+// the *byte streams* underneath them — the failure plane that, per
+// server-side WiFi-localization deployment reports, actually dominates
+// outages. It sits between an HttpClient/HttpLoadDriver and a live
+// HttpServer on loopback and deterministically (every decision drawn
+// from a seeded wiloc::Rng) degrades each proxied connection:
+//
+//   refuse         accept, then immediately close (connect-level fault)
+//   delay          a relayed chunk sleeps before forwarding
+//   split          a relayed chunk is forwarded one byte at a time
+//   corrupt        one byte of a relayed chunk is flipped
+//   truncate       the client->server stream is cut mid-request (the
+//                  server sees half a request and must 408 it)
+//   kill_response  the connection dies mid server->client response (the
+//                  client sees a torn body and must surface an Error)
+//
+// Per-connection faults (refuse/truncate/kill_response) are decided at
+// accept time from the connection's forked rng, per-chunk faults
+// (delay/split/corrupt) per relayed chunk, so a run with the same seed
+// injects the same faults at the same byte offsets. Counters record
+// exactly what was done — chaos tests reconcile them against the
+// client-side errors and the server's http.* metrics — and optionally
+// publish as net.chaos.* through a util/obs registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/obs.hpp"
+#include "util/rng.hpp"
+
+namespace wiloc::sim {
+
+/// Per-fault-class probabilities. Connection-level classes (refuse,
+/// truncate, kill_response) are evaluated once per connection; chunk
+/// classes (delay, split, corrupt) per relayed chunk.
+struct ChaosProfile {
+  double refuse = 0.0;
+  double delay = 0.0;
+  double split = 0.0;
+  double corrupt = 0.0;
+  double truncate = 0.0;
+  double kill_response = 0.0;
+  double delay_ms_max = 20.0;  ///< delayed chunks sleep U(0, this) ms
+
+  /// Every fault class at probability p.
+  static ChaosProfile uniform(double p);
+};
+
+/// What the proxy actually did.
+struct ChaosCounters {
+  std::uint64_t connections = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t truncated = 0;       ///< request streams cut mid-flight
+  std::uint64_t killed_responses = 0;
+  std::uint64_t delayed_chunks = 0;
+  std::uint64_t split_chunks = 0;
+  std::uint64_t corrupted_chunks = 0;
+  std::uint64_t bytes_to_server = 0;
+  std::uint64_t bytes_to_client = 0;
+
+  /// Connections that experienced any connection-level fault.
+  std::uint64_t faulted_connections() const {
+    return refused + truncated + killed_responses;
+  }
+};
+
+class ChaosProxy {
+ public:
+  /// Faults flow toward `upstream_port` on 127.0.0.1 (the server under
+  /// test). Metrics land in `registry` as net.chaos.* when non-null.
+  ChaosProxy(std::uint16_t upstream_port, ChaosProfile profile,
+             std::uint64_t seed = 1, obs::Registry* registry = nullptr);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds an ephemeral loopback port and starts the accept thread.
+  /// Throws wiloc::Error when the socket cannot be bound.
+  void start();
+  /// Closes the listener and every relay; joins all threads.
+  /// Idempotent; never throws.
+  void stop() noexcept;
+
+  /// The port clients should connect to (valid after start()).
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Snapshot of the fault ledger (thread-safe).
+  ChaosCounters counters() const;
+
+ private:
+  struct ConnPlan {
+    bool refuse = false;
+    bool truncate = false;
+    bool kill_response = false;
+    Rng rng;  ///< per-chunk decisions
+
+    explicit ConnPlan(Rng r) : rng(r) {}
+  };
+
+  void accept_loop();
+  void relay(int client_fd, ConnPlan plan);
+  /// Forwards one chunk with per-chunk faults applied. Returns false
+  /// when the destination died.
+  bool forward(int dst_fd, char* data, std::size_t len, ConnPlan& plan,
+               bool to_server);
+
+  std::uint16_t upstream_port_;
+  ChaosProfile profile_;
+  Rng rng_;  ///< accept-thread only: forks one child per connection
+  obs::Registry* registry_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+  std::mutex relays_mu_;
+  std::vector<std::thread> relays_;
+
+  mutable std::mutex counters_mu_;
+  ChaosCounters counters_;
+
+  // net.chaos.* metric handles (null without a registry).
+  obs::Counter* m_connections_ = nullptr;
+  obs::Counter* m_refused_ = nullptr;
+  obs::Counter* m_truncated_ = nullptr;
+  obs::Counter* m_killed_ = nullptr;
+  obs::Counter* m_delayed_ = nullptr;
+  obs::Counter* m_split_ = nullptr;
+  obs::Counter* m_corrupted_ = nullptr;
+  obs::Counter* m_bytes_to_server_ = nullptr;
+  obs::Counter* m_bytes_to_client_ = nullptr;
+};
+
+}  // namespace wiloc::sim

@@ -1,0 +1,216 @@
+// ChaosProxy tests against a live echo HttpServer: a clean profile is a
+// transparent relay, each fault class produces its advertised failure
+// mode, and a fixed seed reproduces the same fault ledger run for run.
+#include "sim/chaos_proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/http_client.hpp"
+#include "net/http_server.hpp"
+
+namespace wiloc::sim {
+namespace {
+
+using net::HttpClient;
+using net::HttpClientOptions;
+using net::HttpRequest;
+using net::HttpResponse;
+using net::HttpServer;
+using net::HttpServerOptions;
+
+/// An echo upstream the proxy forwards to.
+struct EchoRig {
+  HttpServer server;
+
+  explicit EchoRig(HttpServerOptions options = {})
+      : server(
+            [](const HttpRequest& req) {
+              return HttpResponse::text(200, "echo:" + req.body);
+            },
+            options) {
+    server.start();
+  }
+  ~EchoRig() { server.stop(); }
+};
+
+HttpClientOptions fast_client() {
+  HttpClientOptions o;
+  o.connect_timeout_s = 2.0;
+  o.read_timeout_s = 2.0;
+  o.write_timeout_s = 2.0;
+  return o;
+}
+
+TEST(ChaosProxy, CleanProfileIsTransparent) {
+  EchoRig rig;
+  ChaosProxy proxy(rig.server.port(), ChaosProfile{});
+  proxy.start();
+  ASSERT_NE(proxy.port(), 0);
+
+  HttpClient client("127.0.0.1", proxy.port(), fast_client());
+  for (int i = 0; i < 5; ++i) {
+    const auto resp = client.post("/x", "hello" + std::to_string(i));
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "echo:hello" + std::to_string(i));
+  }
+  proxy.stop();
+
+  const ChaosCounters counters = proxy.counters();
+  EXPECT_EQ(counters.connections, 1u);  // keep-alive reuse through the proxy
+  EXPECT_EQ(counters.faulted_connections(), 0u);
+  EXPECT_GT(counters.bytes_to_server, 0u);
+  EXPECT_GT(counters.bytes_to_client, 0u);
+}
+
+TEST(ChaosProxy, SplitChunksStillDeliverIntactMessages) {
+  EchoRig rig;
+  ChaosProfile profile;
+  profile.split = 1.0;
+  ChaosProxy proxy(rig.server.port(), profile, /*seed=*/3);
+  proxy.start();
+
+  HttpClient client("127.0.0.1", proxy.port(), fast_client());
+  const auto resp = client.post("/x", std::string(300, 'a'));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "echo:" + std::string(300, 'a'));
+  proxy.stop();
+  EXPECT_GT(proxy.counters().split_chunks, 0u);
+}
+
+TEST(ChaosProxy, RefusedConnectionsSurfaceAsClientError) {
+  EchoRig rig;
+  ChaosProfile profile;
+  profile.refuse = 1.0;
+  ChaosProxy proxy(rig.server.port(), profile, /*seed=*/5);
+  proxy.start();
+
+  HttpClient client("127.0.0.1", proxy.port(), fast_client());
+  EXPECT_THROW(client.get("/x"), Error);
+  proxy.stop();
+  EXPECT_GE(proxy.counters().refused, 1u);
+  EXPECT_EQ(proxy.counters().bytes_to_server, 0u);
+}
+
+// Satellite regression: a connection killed mid-response must surface
+// as wiloc::Error through the client's MSG_NOSIGNAL plumbing — never as
+// a SIGPIPE that kills the process.
+TEST(ChaosProxy, KillMidResponseSurfacesAsErrorNotSigpipe) {
+  EchoRig rig;
+  ChaosProfile profile;
+  profile.kill_response = 1.0;
+  ChaosProxy proxy(rig.server.port(), profile, /*seed=*/7);
+  proxy.start();
+
+  HttpClient client("127.0.0.1", proxy.port(), fast_client());
+  // Large enough that the echoed body cannot hide inside the kept
+  // prefix of the first response chunk.
+  EXPECT_THROW(client.post("/x", std::string(4096, 'k')), Error);
+  // The process survived; a follow-up through a fresh connection also
+  // dies mid-response (every connection is planned to kill), but still
+  // as an exception.
+  EXPECT_THROW(client.post("/x", "again"), Error);
+  proxy.stop();
+  EXPECT_GE(proxy.counters().killed_responses, 1u);
+}
+
+TEST(ChaosProxy, TruncatedRequestEarnsA408FromTheServer) {
+  obs::Registry registry;
+  HttpServerOptions options;
+  options.stall_timeout_s = 0.2;
+  options.registry = &registry;
+  EchoRig rig(options);
+
+  ChaosProfile profile;
+  profile.truncate = 1.0;
+  ChaosProxy proxy(rig.server.port(), profile, /*seed=*/11);
+  proxy.start();
+
+  HttpClientOptions copts = fast_client();
+  copts.read_timeout_s = 3.0;
+  HttpClient client("127.0.0.1", proxy.port(), copts);
+  // The proxy swallows the request's tail; the server must notice the
+  // stalled half-request and answer 408 (which the proxy relays back).
+  const auto resp = client.post("/x", std::string(2048, 't'));
+  EXPECT_EQ(resp.status, 408);
+  proxy.stop();
+  EXPECT_EQ(proxy.counters().truncated, 1u);
+  EXPECT_GE(registry.snapshot().counter("http.timeouts_408"), 1u);
+}
+
+TEST(ChaosProxy, CorruptionIsCountedAndNeverCrashes) {
+  EchoRig rig;
+  ChaosProfile profile;
+  profile.corrupt = 1.0;
+  ChaosProxy proxy(rig.server.port(), profile, /*seed=*/13);
+  proxy.start();
+
+  HttpClient client("127.0.0.1", proxy.port(), fast_client());
+  // A flipped byte may land anywhere — body (wrong echo), headers (4xx)
+  // or framing (transport error). All are acceptable; crashing is not.
+  for (int i = 0; i < 4; ++i) {
+    try {
+      (void)client.post("/x", std::string(512, 'c'));
+    } catch (const Error&) {  // DecodeError derives from Error
+    }
+  }
+  proxy.stop();
+  EXPECT_GE(proxy.counters().corrupted_chunks, 1u);
+}
+
+TEST(ChaosProxy, SameSeedSameFaultLedger) {
+  const ChaosProfile profile = ChaosProfile::uniform(0.3);
+  auto run = [&profile](std::uint64_t seed) {
+    HttpServerOptions options;
+    options.stall_timeout_s = 0.2;  // truncated requests 408 quickly
+    EchoRig rig(options);
+    ChaosProxy proxy(rig.server.port(), profile, seed);
+    proxy.start();
+    HttpClientOptions copts = fast_client();
+    copts.read_timeout_s = 0.5;
+    for (int i = 0; i < 12; ++i) {
+      // One connection per request so arrival order is deterministic.
+      HttpClient client("127.0.0.1", proxy.port(), copts);
+      try {
+        (void)client.post("/x", std::string(256, 'd'));
+      } catch (const Error&) {
+      }
+    }
+    proxy.stop();
+    return proxy.counters();
+  };
+
+  const ChaosCounters a = run(99);
+  const ChaosCounters b = run(99);
+  EXPECT_EQ(a.connections, b.connections);
+  EXPECT_EQ(a.refused, b.refused);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.killed_responses, b.killed_responses);
+
+  // A different seed draws a different plan (overwhelmingly likely
+  // across 12 connections x 3 connection-level fault classes).
+  const ChaosCounters c = run(100);
+  EXPECT_TRUE(a.refused != c.refused || a.truncated != c.truncated ||
+              a.killed_responses != c.killed_responses ||
+              a.connections != c.connections);
+}
+
+TEST(ChaosProxy, PublishesNetChaosMetrics) {
+  obs::Registry registry;
+  EchoRig rig;
+  ChaosProfile profile;
+  profile.refuse = 1.0;
+  ChaosProxy proxy(rig.server.port(), profile, /*seed=*/17, &registry);
+  proxy.start();
+  HttpClient client("127.0.0.1", proxy.port(), fast_client());
+  EXPECT_THROW(client.get("/x"), Error);
+  proxy.stop();
+
+  const auto snap = registry.snapshot();
+  EXPECT_GE(snap.counter("net.chaos.connections"), 1u);
+  EXPECT_GE(snap.counter("net.chaos.refused"), 1u);
+}
+
+}  // namespace
+}  // namespace wiloc::sim

@@ -46,6 +46,10 @@ METRICS = [
      lambda doc: doc.get("locate_ns_per_op"), False, True),
     ("BENCH_http.json", "scans_per_sec",
      lambda doc: doc.get("scans_per_sec"), True, False),
+    ("BENCH_http.json", "chaos_goodput_rps",
+     lambda doc: doc.get("chaos_goodput_rps"), True, False),
+    ("BENCH_http.json", "shed_p99_us",
+     lambda doc: doc.get("shed_p99_us"), False, False),
 ]
 
 
@@ -78,9 +82,13 @@ def evaluate(bench_dir, baseline_dir, tolerance):
         current = extract(current_doc)
         baseline = extract(baseline_doc)
         if current is None or baseline is None or baseline <= 0:
-            row = {"metric": name, "status": "failed",
+            # Optional metrics (e.g. the chaos sweep on a run where no
+            # request shed) skip rather than fail on a missing value.
+            row = {"metric": name,
+                   "status": "failed" if required else "skipped",
                    "reason": "metric missing or non-positive"}
-            failures.append(row)
+            if required:
+                failures.append(row)
             results.append(row)
             continue
         if higher_better:

@@ -19,6 +19,12 @@
 //   --checkpoint-poll S    wall-seconds between due-checks (default 0.25)
 //   --no-train             skip history (serve cold; predictions 404)
 //   --metrics-period S     NDJSON metrics cadence to stderr (default 60)
+//   --request-deadline S   per-request budget; 0 disables (default 0)
+//   --stall-timeout S      mid-request progress timeout => 408 (default 10)
+//   --shed-latency-us U    admission EWMA watermark; 0 disables (default 0)
+//   --shed-inflight N      admission inflight watermark; 0 disables
+//   --rate-limit RPS       per-peer token bucket; 0 disables (default 0)
+//   --rate-burst N         token bucket burst size (default 32)
 
 #include <atomic>
 #include <chrono>
@@ -42,7 +48,10 @@ void on_signal(int sig) { g_signal.store(sig); }
   std::cerr << "usage: " << argv0
             << " [--port N] [--persist-dir PATH] [--history-days N]"
                " [--workers N] [--snapshot-interval S]"
-               " [--checkpoint-poll S] [--no-train] [--metrics-period S]\n";
+               " [--checkpoint-poll S] [--no-train] [--metrics-period S]"
+               " [--request-deadline S] [--stall-timeout S]"
+               " [--shed-latency-us U] [--shed-inflight N]"
+               " [--rate-limit RPS] [--rate-burst N]\n";
   std::exit(2);
 }
 
@@ -59,6 +68,12 @@ int main(int argc, char** argv) {
   double checkpoint_poll_s = 0.25;
   bool train = true;
   double metrics_period_s = 60.0;
+  double request_deadline_s = 0.0;
+  double stall_timeout_s = 10.0;
+  double shed_latency_us = 0.0;
+  std::size_t shed_inflight = 0;
+  double rate_limit_rps = 0.0;
+  double rate_burst = 32.0;
 
   for (int i = 1; i < argc; ++i) {
     const auto need = [&](const char* flag) -> const char* {
@@ -84,6 +99,19 @@ int main(int argc, char** argv) {
       train = false;
     else if (std::strcmp(argv[i], "--metrics-period") == 0)
       metrics_period_s = std::atof(need("--metrics-period"));
+    else if (std::strcmp(argv[i], "--request-deadline") == 0)
+      request_deadline_s = std::atof(need("--request-deadline"));
+    else if (std::strcmp(argv[i], "--stall-timeout") == 0)
+      stall_timeout_s = std::atof(need("--stall-timeout"));
+    else if (std::strcmp(argv[i], "--shed-latency-us") == 0)
+      shed_latency_us = std::atof(need("--shed-latency-us"));
+    else if (std::strcmp(argv[i], "--shed-inflight") == 0)
+      shed_inflight =
+          static_cast<std::size_t>(std::atoi(need("--shed-inflight")));
+    else if (std::strcmp(argv[i], "--rate-limit") == 0)
+      rate_limit_rps = std::atof(need("--rate-limit"));
+    else if (std::strcmp(argv[i], "--rate-burst") == 0)
+      rate_burst = std::atof(need("--rate-burst"));
     else
       usage(argv[0]);
   }
@@ -119,6 +147,12 @@ int main(int argc, char** argv) {
 
   net::ServiceOptions options;
   options.http.port = port;
+  options.http.request_deadline_s = request_deadline_s;
+  options.http.stall_timeout_s = stall_timeout_s;
+  options.http.admission_latency_watermark_us = shed_latency_us;
+  options.http.admission_inflight_watermark = shed_inflight;
+  options.http.rate_limit_rps = rate_limit_rps;
+  options.http.rate_limit_burst = rate_burst;
   options.checkpoint_poll_s = checkpoint_poll_s;
   options.reporter = &reporter;
   net::WiLocatorService service(server, options);
