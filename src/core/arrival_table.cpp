@@ -1,0 +1,185 @@
+#include "core/arrival_table.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace wiloc::core {
+
+double wall_clock_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string encode_arrival_json(roadnet::TripId trip, std::size_t stop,
+                                SimTime now, SimTime arrival) {
+  std::ostringstream out;
+  out << "{\"trip\":" << trip.value() << ",\"stop\":" << stop
+      << ",\"now\":" << json_num(now)
+      << ",\"arrival_time\":" << json_num(arrival)
+      << ",\"eta_s\":" << json_num(arrival - now) << "}";
+  return out.str();
+}
+
+std::string encode_traffic_map_json(const TrafficMap& map) {
+  std::vector<std::pair<roadnet::EdgeId, SegmentTraffic>> segments(
+      map.segments.begin(), map.segments.end());
+  std::sort(segments.begin(), segments.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::ostringstream out;
+  out << "{\"t\":" << json_num(map.time) << ",\"segments\":[";
+  bool first = true;
+  for (const auto& [edge, seg] : segments) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"edge\":" << edge.value() << ",\"state\":\""
+        << to_string(seg.state) << "\",\"z\":" << json_num(seg.z_score)
+        << ",\"recent\":" << seg.recent_count
+        << ",\"inferred\":" << (seg.inferred ? "true" : "false") << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+const TripArrivals* ArrivalSnapshot::find(roadnet::TripId trip) const {
+  const auto it = trips.find(trip);
+  return it != trips.end() ? it->second.get() : nullptr;
+}
+
+const TripArrivals* ArrivalSnapshot::best(roadnet::RouteId route,
+                                          std::size_t stop) const {
+  const auto it = route_best.find(route_stop_key(route, stop));
+  return it != route_best.end() ? it->second.get() : nullptr;
+}
+
+ArrivalTable::ArrivalTable(const TravelTimeStore& store,
+                           const ArrivalPredictor& predictor,
+                           const TrafficMapBuilder& traffic,
+                           ArrivalTableParams params)
+    : store_(&store),
+      predictor_(&predictor),
+      traffic_(&traffic),
+      params_(params) {}
+
+void ArrivalTable::track(roadnet::TripId trip,
+                         const roadnet::BusRoute* route) {
+  tracked_[trip] = Tracked{route, nullptr};
+  dirty_ = true;
+}
+
+void ArrivalTable::drop(roadnet::TripId trip) {
+  if (tracked_.erase(trip) > 0) dirty_ = true;
+}
+
+bool ArrivalTable::remaining_changed(const roadnet::BusRoute& route,
+                                     double offset,
+                                     std::uint64_t seen) const {
+  // The fractional remainder of the current edge is part of every
+  // prediction, so the scan starts at the edge under the bus.
+  const std::size_t first = route.position_at(offset).edge_index;
+  const auto& edges = route.edges();
+  for (std::size_t i = first; i < edges.size(); ++i)
+    if (store_->edge_epoch(edges[i]) > seen) return true;
+  return false;
+}
+
+std::shared_ptr<const TripArrivals> ArrivalTable::compute(
+    roadnet::TripId trip, const roadnet::BusRoute& route, double offset,
+    SimTime now, std::uint64_t epoch) const {
+  auto out = std::make_shared<TripArrivals>();
+  out->trip = trip;
+  out->route = route.id();
+  out->offset = offset;
+  out->now = now;
+  out->epoch = epoch;
+  const std::size_t stops = route.stop_count();
+  out->arrival.reserve(stops);
+  out->body.reserve(stops);
+  for (std::size_t s = 0; s < stops; ++s) {
+    const SimTime at = predictor_->predict_arrival(route, offset, now, s);
+    out->arrival.push_back(at);
+    out->body.push_back(encode_arrival_json(trip, s, now, at));
+  }
+  return out;
+}
+
+void ArrivalTable::refresh(SimTime now, const PositionFn& position_of) {
+  if (!params_.enabled || !store_->finalized()) return;
+  const std::uint64_t epoch = store_->epoch();
+
+  bool changed = dirty_;
+  dirty_ = false;
+  for (auto& [trip, t] : tracked_) {
+    const std::optional<double> offset = position_of(trip);
+    if (!offset.has_value()) {
+      if (t.current != nullptr) {
+        t.current.reset();
+        changed = true;
+        if (metrics_.invalidations != nullptr) metrics_.invalidations->inc();
+      }
+      continue;
+    }
+    if (t.current != nullptr && t.current->offset == *offset &&
+        !remaining_changed(*t.route, *offset, t.current->epoch))
+      continue;  // nothing this trip's answers depend on moved
+    if (t.current != nullptr && metrics_.invalidations != nullptr)
+      metrics_.invalidations->inc();
+    t.current = compute(trip, *t.route, *offset, now, epoch);
+    changed = true;
+  }
+
+  // Traffic body: a pure function of the learned state, so it follows
+  // the store epoch, not the clock.
+  if (traffic_epoch_ != epoch) {
+    traffic_body_ = encode_traffic_map_json(traffic_->build(traffic_edges_,
+                                                            now));
+    traffic_epoch_ = epoch;
+    changed = true;
+  }
+
+  if (changed) publish(now, epoch);
+}
+
+void ArrivalTable::publish(SimTime now, std::uint64_t epoch) {
+  auto snap = std::make_shared<ArrivalSnapshot>();
+  snap->epoch = epoch;
+  snap->now = now;
+  snap->built_wall_s = wall_clock_s();
+  snap->traffic_body = traffic_body_;
+  snap->trips.reserve(tracked_.size());
+  std::size_t entries = 0;
+  for (const auto& [trip, t] : tracked_) {
+    if (t.current == nullptr) continue;
+    snap->trips.emplace(trip, t.current);
+    entries += t.current->body.size();
+    for (std::size_t s = 0; s < t.current->arrival.size(); ++s) {
+      const std::uint64_t key =
+          ArrivalSnapshot::route_stop_key(t.current->route, s);
+      auto [it, inserted] = snap->route_best.emplace(key, t.current);
+      if (inserted) continue;
+      const SimTime mine = t.current->arrival[s];
+      const SimTime theirs = it->second->arrival[s];
+      if (mine < theirs ||
+          (mine == theirs && t.current->trip < it->second->trip))
+        it->second = t.current;
+    }
+  }
+  published_.store(std::move(snap), std::memory_order_release);
+  if (metrics_.rebuilds != nullptr) metrics_.rebuilds->inc();
+  if (metrics_.entries != nullptr)
+    metrics_.entries->set(static_cast<double>(entries));
+  if (metrics_.epoch != nullptr)
+    metrics_.epoch->set(static_cast<double>(epoch));
+}
+
+}  // namespace wiloc::core

@@ -1,0 +1,187 @@
+// Materialized arrival read path (rider-scale GETs).
+//
+// At production scale the dominant load is riders polling "when is my
+// bus", not ingest. Every answer the read side can serve is a pure
+// function of slowly-changing learned state (segment travel times,
+// traffic residuals) and per-trip position — so instead of re-running
+// the Eq.-9 prediction chain under the service lock per request, the
+// control side materializes every (trip, downstream-stop) arrival
+// answer once, pre-encodes the JSON bytes, and publishes the whole
+// table as an immutable snapshot behind one atomic pointer. Readers
+// load the pointer (RCU-style: no mutex, no seqlock retry loop) and
+// copy a pre-encoded body; the snapshot they hold stays alive until
+// the last reader drops it.
+//
+// Incrementality rides on TravelTimeStore's segment-update epochs: a
+// trip's entries are recomputed only when its position moved or a
+// segment on its *remaining* route (current edge onward) changed since
+// the entries were computed. Upstream churn and other routes' segments
+// leave the pre-encoded bytes untouched — the (trip, stop, epoch) key
+// the X-Epoch response header exposes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "core/traffic_map.hpp"
+#include "core/travel_time.hpp"
+#include "util/obs.hpp"
+
+namespace wiloc::core {
+
+struct ArrivalTableParams {
+  /// When false the control side never materializes or publishes, and
+  /// every read takes the locked slow path (A/B lever for benches).
+  bool enabled = true;
+  /// Minimum wall-clock spacing between refreshes. 0 (the default, and
+  /// what the tests rely on) refreshes on every publish, so snapshots
+  /// track ingest synchronously. Serving deployments set tens of
+  /// milliseconds: a hot ingest stream then pays materialization at
+  /// most once per window instead of per batch, and skipped work stays
+  /// pending until the next publish or WiLocatorServer::flush_arrivals
+  /// (the service checkpoint poll calls the latter, bounding staleness
+  /// even when ingest goes quiet).
+  double min_refresh_wall_s = 0.0;
+};
+
+/// Steady-clock seconds; the timebase for snapshot ages and refresh
+/// coalescing.
+double wall_clock_s();
+
+/// JSON number in the exact form the HTTP layer emits (%.12g,
+/// non-finite -> null). Shared so the materialized bodies and the
+/// slow-path encoders are byte-identical by construction.
+std::string json_num(double v);
+
+/// The /v1/arrival response body for one (trip, stop) answer.
+std::string encode_arrival_json(roadnet::TripId trip, std::size_t stop,
+                                SimTime now, SimTime arrival);
+
+/// The /v1/traffic-map response body (segments sorted by edge id).
+std::string encode_traffic_map_json(const TrafficMap& map);
+
+/// Immutable per-trip slice of the table: one answer per stop, both as
+/// the predicted arrival time and as pre-encoded response bytes.
+struct TripArrivals {
+  roadnet::TripId trip{};
+  roadnet::RouteId route{};
+  double offset = 0.0;  ///< route offset the entries were computed at
+  SimTime now = 0.0;    ///< the "now" baked into the bodies
+  std::uint64_t epoch = 0;  ///< store epoch at computation (X-Epoch)
+  std::vector<SimTime> arrival;   ///< [stop] absolute arrival time
+  std::vector<std::string> body;  ///< [stop] pre-encoded JSON
+};
+
+/// One published generation of the read path: everything a rider GET
+/// needs, immutable, reachable through a single atomic load.
+struct ArrivalSnapshot {
+  std::uint64_t epoch = 0;  ///< store epoch at publication
+  SimTime now = 0.0;
+  double built_wall_s = 0.0;  ///< steady-clock publication time
+
+  std::unordered_map<roadnet::TripId, std::shared_ptr<const TripArrivals>>
+      trips;
+  /// Best (soonest-arrival) trip per (route, stop) — the rider-facing
+  /// route-level query without the O(active-trips) rescan.
+  std::unordered_map<std::uint64_t, std::shared_ptr<const TripArrivals>>
+      route_best;
+  /// Pre-encoded /v1/traffic-map body (empty before the first build).
+  std::string traffic_body;
+
+  static std::uint64_t route_stop_key(roadnet::RouteId route,
+                                      std::size_t stop) {
+    return (static_cast<std::uint64_t>(route.value()) << 32) |
+           static_cast<std::uint64_t>(stop);
+  }
+  const TripArrivals* find(roadnet::TripId trip) const;
+  const TripArrivals* best(roadnet::RouteId route, std::size_t stop) const;
+};
+
+/// Obs handles for the materialization side; all-null by default.
+struct ArrivalTableMetrics {
+  obs::Counter* invalidations = nullptr;  ///< entries discarded + redone
+  obs::Counter* rebuilds = nullptr;       ///< snapshots published
+  obs::Gauge* entries = nullptr;          ///< (trip, stop) bodies live
+  obs::Gauge* epoch = nullptr;            ///< published store epoch
+};
+
+/// Control-thread-owned materializer. All mutators (track/drop/refresh)
+/// run under whatever serializes server control calls; snapshot() is
+/// safe from any thread, lock-free.
+class ArrivalTable {
+ public:
+  ArrivalTable(const TravelTimeStore& store, const ArrivalPredictor& predictor,
+               const TrafficMapBuilder& traffic,
+               ArrivalTableParams params = {});
+
+  void set_metrics(const ArrivalTableMetrics& metrics) { metrics_ = metrics; }
+
+  const ArrivalTableParams& params() const { return params_; }
+
+  /// The edge set the traffic-map body covers (the union of all route
+  /// edges, like the slow path's server query).
+  void set_traffic_edges(std::vector<roadnet::EdgeId> edges) {
+    traffic_edges_ = std::move(edges);
+  }
+
+  /// Starts materializing the trip (route must outlive the table).
+  void track(roadnet::TripId trip, const roadnet::BusRoute* route);
+  /// Stops materializing; the next refresh publishes without the trip.
+  void drop(roadnet::TripId trip);
+  /// True when a track/drop awaits the next refresh.
+  bool dirty() const { return dirty_; }
+
+  using PositionFn =
+      std::function<std::optional<double>(roadnet::TripId)>;
+
+  /// Recomputes invalidated entries and publishes a new snapshot when
+  /// anything changed. No-op until the store is finalized. `now` is the
+  /// server's event clock; `position_of` reads a trip's current offset
+  /// (nullopt = no fix yet, the trip is left out of the snapshot).
+  void refresh(SimTime now, const PositionFn& position_of);
+
+  /// The current published generation (nullptr before the first
+  /// refresh). Lock-free: one atomic shared_ptr load.
+  std::shared_ptr<const ArrivalSnapshot> snapshot() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Tracked {
+    const roadnet::BusRoute* route = nullptr;
+    std::shared_ptr<const TripArrivals> current;  ///< null before a fix
+  };
+
+  /// Did any segment from the trip's current edge onward change since
+  /// the entries were computed at epoch `seen`?
+  bool remaining_changed(const roadnet::BusRoute& route, double offset,
+                         std::uint64_t seen) const;
+  std::shared_ptr<const TripArrivals> compute(roadnet::TripId trip,
+                                              const roadnet::BusRoute& route,
+                                              double offset, SimTime now,
+                                              std::uint64_t epoch) const;
+  void publish(SimTime now, std::uint64_t epoch);
+
+  const TravelTimeStore* store_;
+  const ArrivalPredictor* predictor_;
+  const TrafficMapBuilder* traffic_;
+  ArrivalTableParams params_;
+  ArrivalTableMetrics metrics_;
+
+  std::unordered_map<roadnet::TripId, Tracked> tracked_;
+  std::vector<roadnet::EdgeId> traffic_edges_;
+  std::string traffic_body_;
+  std::uint64_t traffic_epoch_ = 0;  ///< store epoch of traffic_body_
+  bool dirty_ = false;
+
+  std::atomic<std::shared_ptr<const ArrivalSnapshot>> published_{nullptr};
+};
+
+}  // namespace wiloc::core

@@ -16,7 +16,8 @@ WiLocatorServer::WiLocatorServer(
           ObsHooks{&registry_, &tracer_})),
       store_(std::move(slots)),
       predictor_(store_, config.predictor),
-      traffic_builder_(store_, predictor_, config.traffic) {
+      traffic_builder_(store_, predictor_, config.traffic),
+      arrival_table_(store_, predictor_, traffic_builder_, config.arrival) {
   WILOC_EXPECTS(!routes.empty());
   init_obs();
   for (const roadnet::BusRoute* route : routes) {
@@ -24,6 +25,7 @@ WiLocatorServer::WiLocatorServer(
     adopt_route(*route, std::make_unique<svd::RouteSvd>(*route, aps, model,
                                                         config_.svd));
   }
+  init_arrival_table();
   init_persistence();
 }
 
@@ -35,7 +37,8 @@ WiLocatorServer::WiLocatorServer(std::vector<RouteIndex> bindings,
           ObsHooks{&registry_, &tracer_})),
       store_(std::move(slots)),
       predictor_(store_, config.predictor),
-      traffic_builder_(store_, predictor_, config.traffic) {
+      traffic_builder_(store_, predictor_, config.traffic),
+      arrival_table_(store_, predictor_, traffic_builder_, config.arrival) {
   WILOC_EXPECTS(!bindings.empty());
   init_obs();
   for (RouteIndex& binding : bindings) {
@@ -43,6 +46,7 @@ WiLocatorServer::WiLocatorServer(std::vector<RouteIndex> bindings,
     WILOC_EXPECTS(binding.index != nullptr);
     adopt_route(*binding.route, std::move(binding.index));
   }
+  init_arrival_table();
   init_persistence();
 }
 
@@ -92,6 +96,13 @@ void WiLocatorServer::init_obs() {
   obs_published_ = &registry_.counter("server.observations_published");
   history_dups_ = &registry_.counter("server.history_duplicates");
 
+  ArrivalTableMetrics am;
+  am.invalidations = &registry_.counter("arrival_cache.invalidations");
+  am.rebuilds = &registry_.counter("arrival_cache.rebuilds");
+  am.entries = &registry_.gauge("arrival_cache.entries");
+  am.epoch = &registry_.gauge("arrival_cache.epoch");
+  arrival_table_.set_metrics(am);
+
   persist_metrics_.snapshots = &registry_.counter("persist.snapshots");
   persist_metrics_.journal_appends =
       &registry_.counter("persist.journal_appends");
@@ -101,6 +112,16 @@ void WiLocatorServer::init_obs() {
   persist_metrics_.config_mismatch =
       &registry_.counter("persist.config_mismatch");
   persist_metrics_.journal_bytes = &registry_.gauge("persist.journal_bytes");
+}
+
+void WiLocatorServer::init_arrival_table() {
+  for (const auto& [id, rt] : routes_)
+    all_edges_.insert(all_edges_.end(), rt.route->edges().begin(),
+                      rt.route->edges().end());
+  std::sort(all_edges_.begin(), all_edges_.end());
+  all_edges_.erase(std::unique(all_edges_.begin(), all_edges_.end()),
+                   all_edges_.end());
+  arrival_table_.set_traffic_edges(all_edges_);
 }
 
 void WiLocatorServer::init_persistence() {
@@ -302,8 +323,9 @@ void WiLocatorServer::finalize_history() {
 
 void WiLocatorServer::begin_trip(roadnet::TripId trip,
                                  roadnet::RouteId route) {
-  runtime_for(route);  // throws NotFound before touching the engine
+  const RouteRuntime& rt = runtime_for(route);  // throws NotFound first
   engine_->begin_trip(trip, route);
+  arrival_table_.track(trip, rt.route);
 }
 
 bool WiLocatorServer::has_trip(roadnet::TripId trip) const {
@@ -313,6 +335,7 @@ bool WiLocatorServer::has_trip(roadnet::TripId trip) const {
 IngestResult WiLocatorServer::ingest(roadnet::TripId trip,
                                      const rf::WifiScan& scan) {
   const IngestResult result = engine_->ingest(trip, scan);
+  ++ingest_activity_;
   publish_pending();
   return result;
 }
@@ -320,12 +343,14 @@ IngestResult WiLocatorServer::ingest(roadnet::TripId trip,
 BatchIngestResult WiLocatorServer::ingest_batch(
     std::span<const ScanSubmission> batch) {
   const BatchIngestResult result = engine_->ingest_batch(batch);
+  ++ingest_activity_;
   publish_pending();
   return result;
 }
 
 void WiLocatorServer::drain() {
   engine_->drain();
+  ++ingest_activity_;
   publish_pending();
 }
 
@@ -339,18 +364,46 @@ void WiLocatorServer::publish_pending() const {
     if (added && persist_ != nullptr)
       persist_->append(JournalRecord::recent_obs, obs);
   }
+  maybe_refresh_arrivals();
   maybe_checkpoint();
   if (reporter_ != nullptr && has_event_)
     reporter_->maybe_report(last_event_time_);
 }
 
+void WiLocatorServer::maybe_refresh_arrivals() const {
+  if (!has_event_ || !store_.finalized()) return;
+  if (ingest_activity_ == refreshed_activity_ &&
+      store_.epoch() == refreshed_epoch_ && !arrival_table_.dirty())
+    return;
+  // Coalescing: a hot ingest stream pays materialization at most once
+  // per window. Skipped work stays pending (the gate above still sees
+  // stale counters) until a later publish or flush_arrivals().
+  const double min_gap = arrival_table_.params().min_refresh_wall_s;
+  if (min_gap > 0.0 && wall_clock_s() - arrival_refresh_wall_ < min_gap)
+    return;
+  arrival_refresh_wall_ = wall_clock_s();
+  refreshed_activity_ = ingest_activity_;
+  refreshed_epoch_ = store_.epoch();
+  arrival_table_.refresh(last_event_time_, [this](roadnet::TripId trip) {
+    return engine_->position(trip);
+  });
+}
+
+void WiLocatorServer::flush_arrivals() const {
+  arrival_refresh_wall_ = -1.0e300;
+  maybe_refresh_arrivals();
+}
+
 void WiLocatorServer::flush_trip(roadnet::TripId trip) {
   engine_->flush_trip(trip);
+  ++ingest_activity_;
   publish_pending();
 }
 
 void WiLocatorServer::end_trip(roadnet::TripId trip) {
   engine_->end_trip(trip);
+  arrival_table_.drop(trip);
+  ++ingest_activity_;
   publish_pending();
 }
 
@@ -372,13 +425,7 @@ std::optional<SimTime> WiLocatorServer::eta(roadnet::TripId trip,
 
 TrafficMap WiLocatorServer::traffic_map(SimTime now) const {
   publish_pending();
-  std::vector<roadnet::EdgeId> edges;
-  for (const auto& [id, rt] : routes_)
-    edges.insert(edges.end(), rt.route->edges().begin(),
-                 rt.route->edges().end());
-  std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-  return traffic_builder_.build(edges, now);
+  return traffic_builder_.build(all_edges_, now);
 }
 
 std::vector<Anomaly> WiLocatorServer::anomalies(

@@ -26,6 +26,7 @@
 #include <unordered_set>
 
 #include "core/anomaly.hpp"
+#include "core/arrival_table.hpp"
 #include "core/ingest_engine.hpp"
 #include "core/persist.hpp"
 #include "core/predictor.hpp"
@@ -44,6 +45,7 @@ struct ServerConfig {
   TrafficMapParams traffic;
   IngestGuardParams ingest;  ///< per-trip scan-stream guard
   IngestEngineParams engine; ///< sharding / worker pool (0 = serial)
+  ArrivalTableParams arrival; ///< materialized read-path snapshot
   PersistenceConfig persist; ///< durable state (disabled by default)
   double typical_scan_distance_m = 70.0;  ///< anomaly delta basis
   bool tracing = false;  ///< record per-scan trace spans (bounded ring)
@@ -138,6 +140,21 @@ class WiLocatorServer {
 
   /// Traffic map over every edge used by any registered route.
   TrafficMap traffic_map(SimTime now) const;
+
+  /// The current materialized read-path snapshot (see ArrivalTable):
+  /// pre-encoded arrival + traffic-map answers, refreshed by the
+  /// control side whenever learned state or positions move. Lock-free
+  /// (one atomic load) — safe from any thread, nullptr before the
+  /// first post-finalize refresh or when ServerConfig::arrival is
+  /// disabled.
+  std::shared_ptr<const ArrivalSnapshot> arrival_snapshot() const {
+    return arrival_table_.snapshot();
+  }
+
+  /// Forces any pending arrival refresh through, ignoring the
+  /// coalescing window. The service's checkpoint poll calls this so
+  /// snapshot staleness stays bounded even when ingest goes quiet.
+  void flush_arrivals() const;
 
   /// Anomaly windows detected on the trip's trajectory so far.
   std::vector<Anomaly> anomalies(roadnet::TripId trip) const;
@@ -277,6 +294,9 @@ class WiLocatorServer {
   void publish_pending() const;
   /// Resolves the prediction-side metric handles (both constructors).
   void init_obs();
+  /// Computes the all-routes edge union and hands it to the arrival
+  /// table (after route adoption, both constructors).
+  void init_arrival_table();
   /// Opens the state directory and (when recover_on_start) replays it.
   void init_persistence();
   /// Applies snapshot + post-watermark journal records; sets recovered_.
@@ -291,6 +311,9 @@ class WiLocatorServer {
   void maybe_checkpoint() const;
   /// Advances the shutdown/reporting clock to the given event time.
   void note_event(SimTime t) const;
+  /// Refreshes the materialized arrival table when ingest activity or
+  /// the store epoch moved since the last refresh (cheap no-op else).
+  void maybe_refresh_arrivals() const;
 
   ServerConfig config_;
   std::unordered_map<roadnet::RouteId, RouteRuntime> routes_;
@@ -302,6 +325,19 @@ class WiLocatorServer {
   mutable TravelTimeStore store_;
   ArrivalPredictor predictor_;
   TrafficMapBuilder traffic_builder_;
+  mutable ArrivalTable arrival_table_;
+  /// Union of every registered route's edges, sorted + deduped once
+  /// (the traffic-map domain; routes are fixed at construction).
+  std::vector<roadnet::EdgeId> all_edges_;
+  /// Bumped by every ingest-side call that can move a position, so
+  /// maybe_refresh_arrivals() skips the per-trip position poll when
+  /// nothing could have changed.
+  mutable std::uint64_t ingest_activity_ = 0;
+  mutable std::uint64_t refreshed_activity_ = ~0ull;
+  mutable std::uint64_t refreshed_epoch_ = ~0ull;
+  /// Wall time of the last arrival refresh; gates the coalescing
+  /// window (ArrivalTableParams::min_refresh_wall_s).
+  mutable double arrival_refresh_wall_ = -1.0e300;
   std::unique_ptr<StatePersistence> persist_;  ///< nullptr when disabled
   /// Exact identities of loaded history observations (cleared at
   /// finalize; rebuilt from raw history on restore).

@@ -118,6 +118,7 @@ TrafficMap TrafficMapBuilder::build(const std::vector<roadnet::EdgeId>& edges,
   for (const roadnet::EdgeId edge : edges)
     map.segments.emplace(edge, classify(edge, now));
   last_map_ = map;
+  last_build_epoch_ = store_->epoch();
   return map;
 }
 

@@ -90,6 +90,11 @@ class TrafficMapBuilder {
   /// query path.
   const std::optional<TrafficMap>& last_map() const { return last_map_; }
 
+  /// The store epoch observed by the most recent build(). The arrival
+  /// table rebuilds its pre-encoded traffic-map body only when
+  /// `store.epoch()` has moved past this value.
+  std::uint64_t last_build_epoch() const { return last_build_epoch_; }
+
   /// Serializes the last built map (if any) into `w`.
   void save(BinWriter& w) const;
   /// Restores the last-map cache written by save().
@@ -105,6 +110,7 @@ class TrafficMapBuilder {
   TrafficMetrics metrics_;
   /// Mutable: build() is a const query but refreshes the cache.
   mutable std::optional<TrafficMap> last_map_;
+  mutable std::uint64_t last_build_epoch_ = 0;
 };
 
 }  // namespace wiloc::core

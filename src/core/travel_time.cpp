@@ -35,6 +35,7 @@ void TravelTimeStore::add_history(const TravelObservation& obs) {
   history_[cell_key(obs.edge, obs.route, slot)].add(obs.travel_time);
   edge_slot_[edge_slot_key(obs.edge, slot)].add(obs.travel_time);
   raw_history_.push_back(obs);
+  bump_edge(obs.edge);
 }
 
 void TravelTimeStore::finalize_history() {
@@ -49,6 +50,9 @@ void TravelTimeStore::finalize_history() {
   raw_history_.clear();
   raw_history_.shrink_to_fit();
   finalized_ = true;
+  // Residual statistics just materialized: every edge's classification
+  // and correction basis changed at once.
+  epoch_floor_ = ++epoch_;
 }
 
 std::optional<double> TravelTimeStore::historical_mean(
@@ -106,6 +110,7 @@ bool TravelTimeStore::add_recent(const TravelObservation& obs) {
   ring.insert(it, obs);
   constexpr std::size_t kMaxRing = 1024;
   if (ring.size() > kMaxRing) ring.pop_front();
+  bump_edge(obs.edge);
   return true;
 }
 
@@ -127,9 +132,23 @@ std::vector<TravelObservation> TravelTimeStore::recent(
 
 void TravelTimeStore::prune_recent(SimTime now, double window_s) {
   for (auto& [edge, ring] : recent_) {
-    while (!ring.empty() && now - ring.front().exit_time > window_s)
+    bool dropped = false;
+    while (!ring.empty() && now - ring.front().exit_time > window_s) {
       ring.pop_front();
+      dropped = true;
+    }
+    if (dropped) bump_edge(edge);
   }
+}
+
+void TravelTimeStore::bump_edge(roadnet::EdgeId edge) {
+  edge_epoch_[edge] = ++epoch_;
+}
+
+std::uint64_t TravelTimeStore::edge_epoch(roadnet::EdgeId edge) const {
+  const auto it = edge_epoch_.find(edge);
+  const std::uint64_t own = it != edge_epoch_.end() ? it->second : 0;
+  return std::max(own, epoch_floor_);
 }
 
 // -- persistence -----------------------------------------------------------
@@ -246,6 +265,10 @@ void TravelTimeStore::restore(BinReader& r) {
   residuals_ = std::move(residuals);
   raw_history_ = std::move(raw);
   recent_ = std::move(recent);
+  // Epochs are process-local: the restored state replaces everything, so
+  // every edge is "changed" relative to any epoch handed out before.
+  edge_epoch_.clear();
+  epoch_floor_ = ++epoch_;
 }
 
 }  // namespace wiloc::core

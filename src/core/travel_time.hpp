@@ -95,6 +95,21 @@ class TravelTimeStore {
   /// Drops recents older than `now - window_s` (ring hygiene).
   void prune_recent(SimTime now, double window_s);
 
+  // -- segment-update epochs ---------------------------------------------
+
+  /// Monotone version counter of the learned state, bumped by every
+  /// mutation that can change a prediction (add_history, add_recent,
+  /// prune_recent, finalize_history, restore). Process-local — not
+  /// persisted; a restore counts as "everything changed".
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// The epoch at which this edge's travel-time evidence last changed.
+  /// Whole-store invalidations (finalize, restore) raise a floor shared
+  /// by every edge, so `edge_epoch(e) > seen` is the exact "did anything
+  /// that can move a prediction across `e` change since `seen`" test the
+  /// materialized arrival table rebuilds on.
+  std::uint64_t edge_epoch(roadnet::EdgeId edge) const;
+
   // -- persistence -------------------------------------------------------
 
   /// Serializes the complete store state (slots, history cells,
@@ -140,6 +155,13 @@ class TravelTimeStore {
   std::vector<TravelObservation> raw_history_;
   std::unordered_map<std::uint64_t, RunningStats> residuals_; // per edge+slot
   std::unordered_map<roadnet::EdgeId, std::deque<TravelObservation>> recent_;
+
+  /// Marks `edge` changed at a fresh epoch (see edge_epoch()).
+  void bump_edge(roadnet::EdgeId edge);
+
+  std::uint64_t epoch_ = 0;
+  std::uint64_t epoch_floor_ = 0;  ///< whole-store invalidation watermark
+  std::unordered_map<roadnet::EdgeId, std::uint64_t> edge_epoch_;
 };
 
 }  // namespace wiloc::core

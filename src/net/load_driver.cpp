@@ -47,10 +47,13 @@ struct ConnResult {
   std::size_t timeouts_408 = 0;
   std::size_t transport_errors = 0;
   std::size_t degraded_reads = 0;
+  std::size_t cache_hits = 0;
   std::size_t retries = 0;
   std::size_t good_responses = 0;
   std::vector<double> post_us;
   std::vector<double> arrival_us;
+  std::vector<double> hit_us;
+  std::vector<double> miss_us;
   std::vector<double> shed_us;
 
   /// Buckets a non-2xx answer into the fault-class ledger.
@@ -83,6 +86,14 @@ double LoadReport::post_quantile_us(double q) const {
 
 double LoadReport::arrival_quantile_us(double q) const {
   return sorted_quantile(arrival_latency_us, q);
+}
+
+double LoadReport::arrival_hit_quantile_us(double q) const {
+  return sorted_quantile(arrival_hit_latency_us, q);
+}
+
+double LoadReport::arrival_miss_quantile_us(double q) const {
+  return sorted_quantile(arrival_miss_latency_us, q);
 }
 
 double LoadReport::shed_quantile_us(double q) const {
@@ -181,12 +192,12 @@ LoadReport HttpLoadDriver::run(std::span<const core::ScanSubmission> stream,
           ++r.errors;
           ++r.transport_errors;
         }
-        if (options_.arrival_every > 0 && !probes.empty() &&
-            (b + 1) % options_.arrival_every == 0) {
+        const auto probe_once = [&] {
           const ArrivalProbe& probe = probes[probe_i++ % probes.size()];
           std::ostringstream target;
           target << "/v1/arrival?trip=" << probe.trip.value()
-                 << "&stop=" << probe.stop << "&now=" << fmt(probe.now);
+                 << "&stop=" << probe.stop;
+          if (probe.with_now) target << "&now=" << fmt(probe.now);
           const auto q0 = std::chrono::steady_clock::now();
           ++r.arrival_queries;
           try {
@@ -196,6 +207,13 @@ LoadReport HttpLoadDriver::run(std::span<const core::ScanSubmission> stream,
                                   .count();
             r.arrival_us.push_back(us);
             if (arrival.headers.count("X-Degraded") != 0) ++r.degraded_reads;
+            const bool hit = arrival.headers.count("X-Cache") != 0;
+            if (hit) {
+              ++r.cache_hits;
+              r.hit_us.push_back(us);
+            } else {
+              r.miss_us.push_back(us);
+            }
             if (arrival.status == 404) {
               ++r.arrival_misses;
               ++r.good_responses;
@@ -209,7 +227,13 @@ LoadReport HttpLoadDriver::run(std::span<const core::ScanSubmission> stream,
             ++r.errors;
             ++r.transport_errors;
           }
-        }
+        };
+        if (!probes.empty())
+          for (std::size_t p = 0; p < options_.reads_per_post; ++p)
+            probe_once();
+        if (options_.arrival_every > 0 && !probes.empty() &&
+            (b + 1) % options_.arrival_every == 0)
+          probe_once();
       }
       r.retries = client.retries();
     });
@@ -233,23 +257,38 @@ LoadReport HttpLoadDriver::run(std::span<const core::ScanSubmission> stream,
     report.timeouts_408 += r.timeouts_408;
     report.transport_errors += r.transport_errors;
     report.degraded_reads += r.degraded_reads;
+    report.arrival_cache_hits += r.cache_hits;
     report.retries += r.retries;
     report.good_responses += r.good_responses;
     report.post_latency_us.insert(report.post_latency_us.end(),
                                   r.post_us.begin(), r.post_us.end());
     report.arrival_latency_us.insert(report.arrival_latency_us.end(),
                                      r.arrival_us.begin(), r.arrival_us.end());
+    report.arrival_hit_latency_us.insert(report.arrival_hit_latency_us.end(),
+                                         r.hit_us.begin(), r.hit_us.end());
+    report.arrival_miss_latency_us.insert(
+        report.arrival_miss_latency_us.end(), r.miss_us.begin(),
+        r.miss_us.end());
     report.shed_latency_us.insert(report.shed_latency_us.end(),
                                   r.shed_us.begin(), r.shed_us.end());
   }
   std::sort(report.post_latency_us.begin(), report.post_latency_us.end());
   std::sort(report.arrival_latency_us.begin(),
             report.arrival_latency_us.end());
+  std::sort(report.arrival_hit_latency_us.begin(),
+            report.arrival_hit_latency_us.end());
+  std::sort(report.arrival_miss_latency_us.begin(),
+            report.arrival_miss_latency_us.end());
   std::sort(report.shed_latency_us.begin(), report.shed_latency_us.end());
   report.scans_per_sec =
       wall_s > 0.0 ? static_cast<double>(report.scans_posted) / wall_s : 0.0;
   report.goodput_rps =
       wall_s > 0.0 ? static_cast<double>(report.good_responses) / wall_s : 0.0;
+  report.cache_hit_rate =
+      report.arrival_queries > 0
+          ? static_cast<double>(report.arrival_cache_hits) /
+                static_cast<double>(report.arrival_queries)
+          : 0.0;
   return report;
 }
 

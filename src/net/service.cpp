@@ -15,14 +15,9 @@ namespace wiloc::net {
 
 namespace {
 
-/// JSON number: shortest round-trippable-enough form; non-finite values
-/// become null (JSON has no NaN/Inf).
-std::string num(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.12g", v);
-  return buf;
-}
+/// JSON number formatting, shared with the materialized response
+/// bodies so the fast and slow paths are byte-identical.
+std::string num(double v) { return core::json_num(v); }
 
 HttpResponse error_json(int status, std::string_view message) {
   std::ostringstream out;
@@ -55,12 +50,10 @@ HttpResponse unavailable_json(std::string_view message,
 
 WiLocatorService::WiLocatorService(core::WiLocatorServer& server,
                                    ServiceOptions options)
-    : server_(server), options_(std::move(options)) {}
-
-WiLocatorService::~WiLocatorService() { stop(); }
-
-void WiLocatorService::start() {
-  WILOC_EXPECTS(!started_);
+    : server_(server), options_(std::move(options)) {
+  // Registered here (not in start()) so the in-process handle() entry
+  // point counts too; the registry is get-or-create, so sharing a
+  // server between services shares the counters.
   auto& registry = server_.metrics_registry();
   scans_posted_ = &registry.counter("service.scans_posted");
   arrivals_served_ = &registry.counter("service.arrivals_served");
@@ -68,11 +61,22 @@ void WiLocatorService::start() {
   checkpoint_failures_ = &registry.counter("service.checkpoint_failures");
   degraded_reads_ = &registry.counter("http.degraded_reads");
   degraded_misses_ = &registry.counter("http.degraded_read_misses");
+  cache_hits_ = &registry.counter("arrival_cache.hits");
+  cache_misses_ = &registry.counter("arrival_cache.misses");
+  read_slow_path_ = &registry.counter("http.read_slow_path");
+  degraded_evictions_ = &registry.counter("http.degraded_cache_evictions");
   ready_gauge_ = &registry.gauge("service.ready");
   degraded_gauge_ = &registry.gauge("service.degraded");
+  snapshot_age_ = &registry.gauge("http.snapshot_age_s");
+}
+
+WiLocatorService::~WiLocatorService() { stop(); }
+
+void WiLocatorService::start() {
+  WILOC_EXPECTS(!started_);
   ready_gauge_->set(ready() ? 1.0 : 0.0);
 
-  options_.http.registry = &registry;
+  options_.http.registry = &server_.metrics_registry();
   http_ = std::make_unique<HttpServer>(
       [this](const HttpRequest& request) { return handle(request); },
       options_.http);
@@ -125,6 +129,9 @@ void WiLocatorService::checkpoint_loop() {
       // in memory + rename the journal. The snapshot write below runs
       // off-lock, concurrent with ingest.
       std::lock_guard<std::timed_mutex> lock(mu_);
+      // Publish any refresh the coalescing window deferred: when
+      // ingest goes quiet the snapshot still converges within a poll.
+      server_.flush_arrivals();
       if (server_.checkpoint_due()) prepared = server_.prepare_checkpoint();
     }
     if (prepared.valid) {
@@ -268,6 +275,14 @@ HttpResponse WiLocatorService::handle_arrival(const HttpRequest& request) {
   if (!trip_num.has_value() && !route_num.has_value())
     return error_json(400, "need \"trip\" or \"route\"");
 
+  // Zero-lock fast path: the materialized snapshot, consulted before
+  // the degraded ladder (a fresh pre-encoded answer beats a stale one).
+  const bool pinned_now = request.param("now").has_value();
+  if (auto fast = arrival_from_snapshot(trip_num, route_num, stop,
+                                        pinned_now))
+    return *std::move(fast);
+  if (!pinned_now && read_slow_path_ != nullptr) read_slow_path_->inc();
+
   if (forced_degraded_.load(std::memory_order_acquire))
     return degraded_read(request, "forced_degraded");
   auto lock = try_read_lock();
@@ -301,12 +316,57 @@ HttpResponse WiLocatorService::handle_arrival(const HttpRequest& request) {
 
   lock.unlock();
   if (arrivals_served_ != nullptr) arrivals_served_->inc();
-  std::ostringstream out;
-  out << "{\"trip\":" << trip.value() << ",\"stop\":" << stop
-      << ",\"now\":" << num(now) << ",\"arrival_time\":" << num(*arrival)
-      << ",\"eta_s\":" << num(*arrival - now) << "}";
-  remember_good(request, out.str());
-  return HttpResponse::json(200, out.str());
+  const std::string body = core::encode_arrival_json(trip, stop, now,
+                                                     *arrival);
+  remember_good(request, body);
+  return HttpResponse::json(200, body);
+}
+
+HttpResponse WiLocatorService::snapshot_reply(const std::string& body,
+                                              std::uint64_t epoch,
+                                              double built_wall_s) {
+  if (cache_hits_ != nullptr) cache_hits_->inc();
+  if (snapshot_age_ != nullptr)
+    snapshot_age_->set(std::max(0.0, wall_s() - built_wall_s));
+  HttpResponse r = HttpResponse::json(200, body);
+  r.headers["X-Cache"] = "hit";
+  r.headers["X-Epoch"] = std::to_string(epoch);
+  return r;
+}
+
+std::optional<HttpResponse> WiLocatorService::arrival_from_snapshot(
+    std::optional<double> trip_num, std::optional<double> route_num,
+    std::size_t stop, bool pinned_now) {
+  if (pinned_now) return std::nullopt;
+  const auto snap = server_.arrival_snapshot();
+  if (snap == nullptr) {
+    if (cache_misses_ != nullptr) cache_misses_->inc();
+    return std::nullopt;
+  }
+  const core::TripArrivals* ta =
+      trip_num.has_value()
+          ? snap->find(roadnet::TripId(static_cast<std::uint32_t>(*trip_num)))
+          : snap->best(
+                roadnet::RouteId(static_cast<std::uint32_t>(*route_num)),
+                stop);
+  if (ta == nullptr || stop >= ta->body.size()) {
+    if (cache_misses_ != nullptr) cache_misses_->inc();
+    return std::nullopt;  // slow path decides 404/400
+  }
+  if (arrivals_served_ != nullptr) arrivals_served_->inc();
+  return snapshot_reply(ta->body[stop], ta->epoch, snap->built_wall_s);
+}
+
+std::optional<HttpResponse> WiLocatorService::traffic_from_snapshot(
+    bool pinned_now) {
+  if (pinned_now) return std::nullopt;
+  const auto snap = server_.arrival_snapshot();
+  if (snap == nullptr || snap->traffic_body.empty()) {
+    if (cache_misses_ != nullptr) cache_misses_->inc();
+    return std::nullopt;
+  }
+  return snapshot_reply(snap->traffic_body, snap->epoch,
+                        snap->built_wall_s);
 }
 
 HttpResponse WiLocatorService::handle_position(const HttpRequest& request) {
@@ -326,6 +386,9 @@ HttpResponse WiLocatorService::handle_position(const HttpRequest& request) {
 
 HttpResponse WiLocatorService::handle_traffic_map(const HttpRequest& request) {
   if (request.method != "GET") return method_not_allowed("GET");
+  const bool pinned_now = request.param("now").has_value();
+  if (auto fast = traffic_from_snapshot(pinned_now)) return *std::move(fast);
+  if (!pinned_now && read_slow_path_ != nullptr) read_slow_path_->inc();
   core::TrafficMap map;
   {
     if (forced_degraded_.load(std::memory_order_acquire))
@@ -334,24 +397,9 @@ HttpResponse WiLocatorService::handle_traffic_map(const HttpRequest& request) {
     if (!lock.owns_lock()) return degraded_read(request, "engine_saturated");
     map = server_.traffic_map(request.param_num("now").value_or(default_now()));
   }
-  std::vector<std::pair<roadnet::EdgeId, core::SegmentTraffic>> segments(
-      map.segments.begin(), map.segments.end());
-  std::sort(segments.begin(), segments.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::ostringstream out;
-  out << "{\"t\":" << num(map.time) << ",\"segments\":[";
-  bool first = true;
-  for (const auto& [edge, seg] : segments) {
-    if (!first) out << ',';
-    first = false;
-    out << "{\"edge\":" << edge.value() << ",\"state\":\""
-        << core::to_string(seg.state) << "\",\"z\":" << num(seg.z_score)
-        << ",\"recent\":" << seg.recent_count
-        << ",\"inferred\":" << (seg.inferred ? "true" : "false") << "}";
-  }
-  out << "]}";
-  remember_good(request, out.str());
-  return HttpResponse::json(200, out.str());
+  const std::string body = core::encode_traffic_map_json(map);
+  remember_good(request, body);
+  return HttpResponse::json(200, body);
 }
 
 HttpResponse WiLocatorService::handle_metrics(const HttpRequest& request) {
@@ -409,19 +457,35 @@ void WiLocatorService::remember_good(const HttpRequest& request,
   if (degraded_gauge_ != nullptr)
     degraded_gauge_->set(degraded() ? 1.0 : 0.0);
   std::lock_guard<std::mutex> lock(cache_mu_);
-  if (read_cache_.size() >= options_.read_cache_entries) read_cache_.clear();
-  read_cache_[request.target] = {body, wall_s()};
+  const auto it = read_cache_.find(request.target);
+  if (it != read_cache_.end()) {
+    it->second.body = body;
+    it->second.at_wall_s = wall_s();
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return;
+  }
+  const std::size_t cap = std::max<std::size_t>(1, options_.read_cache_entries);
+  while (read_cache_.size() >= cap) {
+    read_cache_.erase(lru_.back());
+    lru_.pop_back();
+    if (degraded_evictions_ != nullptr) degraded_evictions_->inc();
+  }
+  lru_.push_front(request.target);
+  read_cache_[request.target] = {body, wall_s(), lru_.begin()};
 }
 
 HttpResponse WiLocatorService::degraded_read(const HttpRequest& request,
                                              std::string_view reason) {
   recently_degraded_.store(true, std::memory_order_release);
   if (degraded_gauge_ != nullptr) degraded_gauge_->set(1.0);
-  std::optional<CachedReply> cached;
+  std::optional<std::pair<std::string, double>> cached;
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     const auto it = read_cache_.find(request.target);
-    if (it != read_cache_.end()) cached = it->second;
+    if (it != read_cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru);  // touch
+      cached = {it->second.body, it->second.at_wall_s};
+    }
   }
   if (!cached.has_value()) {
     if (degraded_misses_ != nullptr) degraded_misses_->inc();
@@ -431,11 +495,11 @@ HttpResponse WiLocatorService::degraded_read(const HttpRequest& request,
   if (degraded_reads_ != nullptr) degraded_reads_->inc();
   // Splice the staleness contract into the cached JSON object: the
   // rider still gets an answer, tagged with how old it is and why.
-  std::string body = cached->body;
+  std::string body = cached->first;
   const std::size_t brace = body.rfind('}');
   std::ostringstream tag;
   tag << ",\"stale\":true,\"stale_age_s\":"
-      << num(std::max(0.0, wall_s() - cached->at_wall_s)) << ",\"reason\":\""
+      << num(std::max(0.0, wall_s() - cached->second)) << ",\"reason\":\""
       << reason << "\"";
   if (brace != std::string::npos) body.insert(brace, tag.str());
   HttpResponse r = HttpResponse::json(200, std::move(body));

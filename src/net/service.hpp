@@ -13,14 +13,23 @@
 //   GET  /healthz         liveness (process is serving)
 //   GET  /readyz          readiness (recovery replayed + warmup done)
 //
-// Degraded reads (DESIGN.md §12): every successful /v1/arrival and
-// /v1/traffic-map response is cached as the last-good answer for its
-// exact query. When the learned-state lock cannot be acquired within a
-// small budget (a saturated or wedged writer), when the service is
-// draining, or when an operator forced degraded mode, reads serve that
-// cached body — tagged "stale":true with its age — instead of blocking
-// the event loop. Cache misses shed with 503 + Retry-After. /readyz
-// reports the degraded state so orchestration can see it.
+// Rider read path (DESIGN.md §13): GET /v1/arrival and /v1/traffic-map
+// without an explicit `now` are served straight from the server's
+// materialized ArrivalSnapshot — pre-encoded bytes behind one atomic
+// load, zero mutex acquisitions (X-Cache: hit, X-Epoch: store epoch).
+// Requests that pin `now`, or that the snapshot cannot answer, take
+// the locked slow path (http.read_slow_path counts them).
+//
+// Degraded reads (DESIGN.md §12): every successful slow-path
+// /v1/arrival and /v1/traffic-map response is cached as the last-good
+// answer for its exact query (bounded LRU; oldest evicted). When the
+// learned-state lock cannot be acquired within a small budget (a
+// saturated or wedged writer), when the service is draining, or when
+// an operator forced degraded mode, reads consult the epoch snapshot
+// first (fresh, lock-free) and only then that last-good body — tagged
+// "stale":true with its age — instead of blocking the event loop.
+// Cache misses shed with 503 + Retry-After. /readyz reports the
+// degraded state so orchestration can see it.
 //
 // Threading (see DESIGN.md §11): the epoll loop thread is the
 // WiLocatorServer control thread; every handler that touches learned
@@ -34,8 +43,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 
@@ -61,8 +72,9 @@ struct ServiceOptions {
   /// falling back to the degraded (last-good cached) path. 0 disables
   /// degraded reads: reads then block like writes do.
   double degraded_lock_wait_s = 0.05;
-  /// Entries kept in the last-good read cache before it is cleared
-  /// wholesale (bounds memory; keys are full request targets).
+  /// Capacity of the last-good read LRU (keys are full request
+  /// targets); the least-recently-used entry is evicted beyond it
+  /// (http.degraded_cache_evictions counts evictions). Minimum 1.
   std::size_t read_cache_entries = 4096;
 };
 
@@ -130,6 +142,18 @@ class WiLocatorService {
   void checkpoint_loop();
   double default_now() const;
 
+  /// Lock-free fast path: serve from the materialized snapshot. Only
+  /// requests without an explicit `now` are eligible (a pinned now
+  /// asks for computation at that instant, which only the slow path
+  /// honors). nullopt = snapshot miss, take the locked slow path.
+  std::optional<HttpResponse> arrival_from_snapshot(
+      std::optional<double> trip_num, std::optional<double> route_num,
+      std::size_t stop, bool pinned_now);
+  std::optional<HttpResponse> traffic_from_snapshot(bool pinned_now);
+  /// Stamps the zero-lock response headers + hit metrics.
+  HttpResponse snapshot_reply(const std::string& body, std::uint64_t epoch,
+                              double built_wall_s);
+
   /// A read handler's lock attempt: acquired within the degraded-read
   /// budget, or not (=> serve stale / shed).
   std::unique_lock<std::timed_mutex> try_read_lock();
@@ -159,12 +183,15 @@ class WiLocatorService {
   std::atomic<bool> recently_degraded_{false};
   bool started_ = false;
 
-  /// Last-good read cache: full request target -> freshest 200 body.
+  /// Last-good read cache: full request target -> freshest 200 body,
+  /// LRU-bounded at ServiceOptions::read_cache_entries.
   struct CachedReply {
     std::string body;
     double at_wall_s = 0.0;
+    std::list<std::string>::iterator lru;  ///< position in lru_
   };
   mutable std::mutex cache_mu_;
+  std::list<std::string> lru_;  ///< most-recently-used at the front
   std::unordered_map<std::string, CachedReply> read_cache_;
 
   std::thread checkpointer_;
@@ -178,8 +205,13 @@ class WiLocatorService {
   obs::Counter* checkpoint_failures_ = nullptr;
   obs::Counter* degraded_reads_ = nullptr;   ///< http.degraded_reads
   obs::Counter* degraded_misses_ = nullptr;  ///< http.degraded_read_misses
+  obs::Counter* cache_hits_ = nullptr;       ///< arrival_cache.hits
+  obs::Counter* cache_misses_ = nullptr;     ///< arrival_cache.misses
+  obs::Counter* read_slow_path_ = nullptr;   ///< http.read_slow_path
+  obs::Counter* degraded_evictions_ = nullptr;
   obs::Gauge* ready_gauge_ = nullptr;     ///< service.ready
   obs::Gauge* degraded_gauge_ = nullptr;  ///< service.degraded
+  obs::Gauge* snapshot_age_ = nullptr;    ///< http.snapshot_age_s
 };
 
 }  // namespace wiloc::net

@@ -1,0 +1,273 @@
+// The materialized rider read path: segment-update epochs in the
+// travel-time store, incremental (trip, stop) invalidation, pre-encoded
+// body parity with the slow-path predictor chain, the route-level
+// best-trip index, and the cross-midnight wrapped-slot case.
+#include "core/arrival_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "../helpers.hpp"
+#include "core/predictor.hpp"
+#include "core/traffic_map.hpp"
+#include "core/travel_time.hpp"
+#include "util/binio.hpp"
+#include "util/obs.hpp"
+
+namespace wiloc::core {
+namespace {
+
+using roadnet::EdgeId;
+using roadnet::RouteId;
+using roadnet::TripId;
+
+TEST(TravelTimeEpochs, PerEdgeBumpsAndWholeStoreFloors) {
+  TravelTimeStore store(DaySlots::paper_five_slots());
+  const EdgeId e0(0), e1(1);
+  EXPECT_EQ(store.epoch(), 0u);
+  EXPECT_EQ(store.edge_epoch(e0), 0u);
+
+  store.add_history({e0, RouteId(0), at_day_time(0, hms(9)), 60.0});
+  EXPECT_GT(store.edge_epoch(e0), 0u);
+  EXPECT_EQ(store.edge_epoch(e1), 0u);  // untouched edge stays at 0
+
+  // finalize is a whole-store invalidation: the floor covers edges that
+  // never saw an observation.
+  const std::uint64_t before_finalize = store.epoch();
+  store.finalize_history();
+  EXPECT_GT(store.edge_epoch(e1), before_finalize);
+  EXPECT_GT(store.edge_epoch(e0), before_finalize);
+
+  // A recent bumps its edge; an exact duplicate is dropped and must NOT
+  // bump (journal replay cannot look like fresh evidence).
+  const TravelObservation obs{e0, RouteId(0), at_day_time(1, hms(9)), 61.0};
+  EXPECT_TRUE(store.add_recent(obs));
+  const std::uint64_t after_recent = store.edge_epoch(e0);
+  EXPECT_GT(after_recent, store.edge_epoch(e1));
+  EXPECT_FALSE(store.add_recent(obs));
+  EXPECT_EQ(store.edge_epoch(e0), after_recent);
+
+  // prune_recent bumps only edges that actually dropped something.
+  const SimTime t = at_day_time(1, hms(9));
+  EXPECT_TRUE(store.add_recent({e1, RouteId(0), t + 600.0, 55.0}));
+  const std::uint64_t e0_before = store.edge_epoch(e0);
+  const std::uint64_t e1_before = store.edge_epoch(e1);
+  store.prune_recent(t + 900.0, /*window_s=*/600.0);  // cutoff t+300
+  EXPECT_GT(store.edge_epoch(e0), e0_before);   // its recent aged out
+  EXPECT_EQ(store.edge_epoch(e1), e1_before);   // its recent survived
+
+  // restore counts as "everything changed" in the restored-into store.
+  BinWriter w;
+  store.save(w);
+  TravelTimeStore other(DaySlots::paper_five_slots());
+  const std::uint64_t other_before = other.epoch();
+  BinReader r(w.bytes());
+  other.restore(r);
+  EXPECT_GT(other.edge_epoch(EdgeId(99)), other_before);
+}
+
+/// Deterministic learned state over the MiniCity routes: constant
+/// per-edge travel times across every slot, so predictions are stable
+/// until the test injects fresh evidence.
+struct TableFixture {
+  wiloc::testing::MiniCity city;
+  TravelTimeStore store;
+  std::unique_ptr<ArrivalPredictor> predictor;
+  std::unique_ptr<TrafficMapBuilder> traffic;
+  std::unique_ptr<ArrivalTable> table;
+  std::vector<EdgeId> all_edges;
+  std::unordered_map<std::uint32_t, std::optional<double>> offsets;
+
+  explicit TableFixture(DaySlots slots = DaySlots::paper_five_slots())
+      : store(std::move(slots)) {
+    for (int day = 0; day < 2; ++day)
+      for (double tod = 900.0; tod < 86400.0; tod += 1800.0)
+        for (const auto& route : city.routes)
+          for (const EdgeId edge : route.edges())
+            store.add_history({edge, route.id(), at_day_time(day, tod),
+                               60.0 + 7.0 * edge.value()});
+    store.finalize_history();
+    predictor = std::make_unique<ArrivalPredictor>(store);
+    traffic = std::make_unique<TrafficMapBuilder>(store, *predictor);
+    table = std::make_unique<ArrivalTable>(store, *predictor, *traffic);
+    for (const auto& route : city.routes)
+      for (const EdgeId edge : route.edges())
+        if (std::find(all_edges.begin(), all_edges.end(), edge) ==
+            all_edges.end())
+          all_edges.push_back(edge);
+    table->set_traffic_edges(all_edges);
+  }
+
+  ArrivalTable::PositionFn position_fn() {
+    return [this](TripId trip) { return offsets[trip.value()]; };
+  }
+};
+
+TEST(ArrivalTable, MaterializedBodiesMatchThePredictorChain) {
+  TableFixture f;
+  const SimTime now = at_day_time(3, hms(9));
+  f.table->track(TripId(1), &f.city.route_a());
+  f.offsets[1] = 300.0;
+  f.table->refresh(now, f.position_fn());
+
+  const auto snap = f.table->snapshot();
+  ASSERT_NE(snap, nullptr);
+  const TripArrivals* a = snap->find(TripId(1));
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->body.size(), f.city.route_a().stop_count());
+  for (std::size_t s = 0; s < f.city.route_a().stop_count(); ++s) {
+    const SimTime expect =
+        f.predictor->predict_arrival(f.city.route_a(), 300.0, now, s);
+    EXPECT_EQ(a->arrival[s], expect);
+    EXPECT_EQ(a->body[s], encode_arrival_json(TripId(1), s, now, expect));
+  }
+  // The traffic body matches a direct build at the same instant.
+  EXPECT_EQ(snap->traffic_body,
+            encode_traffic_map_json(f.traffic->build(f.all_edges, now)));
+  EXPECT_EQ(snap->epoch, f.store.epoch());
+}
+
+TEST(ArrivalTable, RecomputesIffARemainingSegmentChanged) {
+  TableFixture f;
+  obs::Registry reg;
+  ArrivalTableMetrics metrics;
+  metrics.invalidations = &reg.counter("inv");
+  metrics.rebuilds = &reg.counter("reb");
+  f.table->set_metrics(metrics);
+
+  const auto& route_a = f.city.route_a();
+  SimTime now = at_day_time(3, hms(9));
+  f.table->track(TripId(1), &route_a);
+  f.offsets[1] = 900.0;  // on main edge 2 (800 m .. 1200 m)
+  f.table->refresh(now, f.position_fn());
+  const auto s1 = f.table->snapshot();
+  const TripArrivals* a1 = s1->find(TripId(1));
+  ASSERT_NE(a1, nullptr);
+
+  // Evidence on an edge *behind* the bus: the entry's bytes survive
+  // untouched (same immutable object) even though the snapshot itself
+  // republished for the traffic body.
+  now += 60.0;
+  f.store.add_recent({route_a.edges()[0], route_a.id(), now, 90.0});
+  f.table->refresh(now, f.position_fn());
+  const auto s2 = f.table->snapshot();
+  EXPECT_EQ(s2->find(TripId(1)), a1);
+  EXPECT_EQ(reg.counter("inv").value(), 0u);
+
+  // Evidence on another route's private edge (B's branch): untouched.
+  now += 60.0;
+  f.store.add_recent(
+      {f.city.route_b().edges().back(), f.city.route_b().id(), now, 90.0});
+  f.table->refresh(now, f.position_fn());
+  EXPECT_EQ(f.table->snapshot()->find(TripId(1)), a1);
+  EXPECT_EQ(reg.counter("inv").value(), 0u);
+
+  // Evidence on a *remaining* segment of the trip's route: recomputed.
+  now += 60.0;
+  const EdgeId downstream = route_a.edges()[3];
+  for (int i = 0; i < 3; ++i)
+    f.store.add_recent(
+        {downstream, route_a.id(), now + i, 140.0 + i});  // ~2x historical
+  f.table->refresh(now, f.position_fn());
+  const auto s3 = f.table->snapshot();
+  const TripArrivals* a3 = s3->find(TripId(1));
+  ASSERT_NE(a3, nullptr);
+  EXPECT_NE(a3, a1);
+  EXPECT_GT(a3->epoch, a1->epoch);
+  EXPECT_GE(reg.counter("inv").value(), 1u);
+  // The slowdown is ahead of the bus, so the last-stop answer moved.
+  EXPECT_NE(a3->body.back(), a1->body.back());
+  EXPECT_GT(a3->arrival.back(), a1->arrival.back());
+
+  // Position movement alone also recomputes.
+  f.offsets[1] = 950.0;
+  f.table->refresh(now, f.position_fn());
+  const TripArrivals* a4 = f.table->snapshot()->find(TripId(1));
+  ASSERT_NE(a4, nullptr);
+  EXPECT_NE(a4, a3);
+  EXPECT_EQ(a4->offset, 950.0);
+
+  // Losing the fix removes the trip from the next snapshot.
+  f.offsets[1] = std::nullopt;
+  f.table->refresh(now, f.position_fn());
+  EXPECT_EQ(f.table->snapshot()->find(TripId(1)), nullptr);
+  EXPECT_GT(reg.counter("reb").value(), 0u);
+}
+
+TEST(ArrivalTable, RouteBestIndexServesTheSoonestTrip) {
+  TableFixture f;
+  const auto& route_a = f.city.route_a();
+  const SimTime now = at_day_time(3, hms(9));
+  const std::size_t last = route_a.stop_count() - 1;
+  f.table->track(TripId(1), &route_a);
+  f.table->track(TripId(2), &route_a);
+  f.offsets[1] = 300.0;
+  f.offsets[2] = 1500.0;  // further along => arrives at the last stop first
+  f.table->refresh(now, f.position_fn());
+
+  const auto snap = f.table->snapshot();
+  const TripArrivals* best = snap->best(route_a.id(), last);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->trip, TripId(2));
+  EXPECT_LT(best->arrival[last], snap->find(TripId(1))->arrival[last]);
+  // No trips on route B: the index answers nothing rather than rescanning.
+  EXPECT_EQ(snap->best(f.city.route_b().id(), 0), nullptr);
+
+  // The leader finishing hands the index to the remaining trip.
+  f.table->drop(TripId(2));
+  f.table->refresh(now, f.position_fn());
+  const TripArrivals* next = f.table->snapshot()->best(route_a.id(), last);
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(next->trip, TripId(1));
+}
+
+TEST(ArrivalTable, WrappedSlotCoversCrossMidnightInvalidation) {
+  // Quiet hours [22:00 .. 06:00) form one cyclic slot: evidence landing
+  // just after midnight must invalidate entries computed just before it
+  // (same slot, same learned cell), not be filed under a different slot.
+  TableFixture f(DaySlots::from_boundaries_wrapped({hms(6), hms(22)}));
+  ASSERT_TRUE(f.store.slots().wraps());
+  const SimTime before_midnight = at_day_time(3, hms(23, 30));
+  const SimTime after_midnight = at_day_time(4, hms(0, 30));
+  ASSERT_EQ(f.store.slots().slot_of(before_midnight),
+            f.store.slots().slot_of(after_midnight));
+
+  const auto& route_a = f.city.route_a();
+  f.table->track(TripId(1), &route_a);
+  f.offsets[1] = 900.0;
+  f.table->refresh(before_midnight, f.position_fn());
+  const auto s1 = f.table->snapshot();
+  const TripArrivals* a1 = s1->find(TripId(1));
+  ASSERT_NE(a1, nullptr);
+  EXPECT_EQ(a1->now, before_midnight);
+
+  // A slowdown observed after the midnight wrap, on a remaining segment.
+  const EdgeId downstream = route_a.edges()[3];
+  for (int i = 0; i < 3; ++i)
+    f.store.add_recent(
+        {downstream, route_a.id(), after_midnight + i, 150.0 + i});
+  f.table->refresh(after_midnight, f.position_fn());
+  const TripArrivals* a2 = f.table->snapshot()->find(TripId(1));
+  ASSERT_NE(a2, nullptr);
+  EXPECT_NE(a2, a1);
+  EXPECT_EQ(a2->now, after_midnight);
+  EXPECT_GT(a2->arrival.back() - a2->now, a1->arrival.back() - a1->now);
+}
+
+TEST(ArrivalTable, DisabledTableNeverPublishes) {
+  TableFixture f;
+  ArrivalTableParams params;
+  params.enabled = false;
+  ArrivalTable off(f.store, *f.predictor, *f.traffic, params);
+  off.track(TripId(1), &f.city.route_a());
+  f.offsets[1] = 300.0;
+  off.refresh(at_day_time(3, hms(9)), f.position_fn());
+  EXPECT_EQ(off.snapshot(), nullptr);
+}
+
+}  // namespace
+}  // namespace wiloc::core

@@ -11,6 +11,9 @@ Guarded metrics:
   BENCH_throughput.json  serial scans/s (workers == 0 row)  higher better
   BENCH_throughput.json  locate_ns_per_op                   lower better
   BENCH_http.json        scans_per_sec                      higher better
+  BENCH_http.json        arrival_p99_us                     lower better
+  BENCH_http.json        read_mix_arrival_p99_us            lower better
+  BENCH_http.json        arrival_cache_hit_rate             higher better
                          (skipped when either side lacks the file)
 
 Usage:
@@ -46,6 +49,12 @@ METRICS = [
      lambda doc: doc.get("locate_ns_per_op"), False, True),
     ("BENCH_http.json", "scans_per_sec",
      lambda doc: doc.get("scans_per_sec"), True, False),
+    ("BENCH_http.json", "arrival_p99_us",
+     lambda doc: doc.get("arrival_p99_us"), False, False),
+    ("BENCH_http.json", "read_mix_arrival_p99_us",
+     lambda doc: doc.get("read_mix_arrival_p99_us"), False, False),
+    ("BENCH_http.json", "arrival_cache_hit_rate",
+     lambda doc: doc.get("arrival_cache_hit_rate"), True, False),
     ("BENCH_http.json", "chaos_goodput_rps",
      lambda doc: doc.get("chaos_goodput_rps"), True, False),
     ("BENCH_http.json", "shed_p99_us",

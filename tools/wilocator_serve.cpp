@@ -25,6 +25,8 @@
 //   --shed-inflight N      admission inflight watermark; 0 disables
 //   --rate-limit RPS       per-peer token bucket; 0 disables (default 0)
 //   --rate-burst N         token bucket burst size (default 32)
+//   --arrival-coalesce S   min wall-seconds between arrival-snapshot
+//                          refreshes; 0 = refresh per batch (default 0.02)
 
 #include <atomic>
 #include <chrono>
@@ -51,7 +53,8 @@ void on_signal(int sig) { g_signal.store(sig); }
                " [--checkpoint-poll S] [--no-train] [--metrics-period S]"
                " [--request-deadline S] [--stall-timeout S]"
                " [--shed-latency-us U] [--shed-inflight N]"
-               " [--rate-limit RPS] [--rate-burst N]\n";
+               " [--rate-limit RPS] [--rate-burst N]"
+               " [--arrival-coalesce S]\n";
   std::exit(2);
 }
 
@@ -74,6 +77,7 @@ int main(int argc, char** argv) {
   std::size_t shed_inflight = 0;
   double rate_limit_rps = 0.0;
   double rate_burst = 32.0;
+  double arrival_coalesce_s = 0.02;
 
   for (int i = 1; i < argc; ++i) {
     const auto need = [&](const char* flag) -> const char* {
@@ -112,6 +116,8 @@ int main(int argc, char** argv) {
       rate_limit_rps = std::atof(need("--rate-limit"));
     else if (std::strcmp(argv[i], "--rate-burst") == 0)
       rate_burst = std::atof(need("--rate-burst"));
+    else if (std::strcmp(argv[i], "--arrival-coalesce") == 0)
+      arrival_coalesce_s = std::atof(need("--arrival-coalesce"));
     else
       usage(argv[0]);
   }
@@ -123,6 +129,7 @@ int main(int argc, char** argv) {
   core::ServerConfig config;
   config.engine.workers = workers;
   config.engine.queue_capacity = 4096;
+  config.arrival.min_refresh_wall_s = arrival_coalesce_s;
   config.persist.dir = persist_dir;
   config.persist.snapshot_interval_s = snapshot_interval_s;
   core::WiLocatorServer server(city.route_pointers(), city.ap_snapshot(),
