@@ -1,0 +1,336 @@
+// Cluster serving bench: an in-process 3-node trip-sharded cluster —
+// persisted nodes in a full journal-tailing replication mesh behind a
+// ClusterRouter — measured for the two numbers DESIGN.md §14 promises:
+//
+//   - replication catch-up: how fast a fresh peer tails one node's live
+//     recents over HTTP (records/s and wall seconds for the day's
+//     busiest trip);
+//   - failover goodput: sustained good responses through the router
+//     while one node is killed mid-load and its trips fail over
+//     (at-least-once clients + retry-on-next-replica).
+//
+// Results land in BENCH_cluster.json; the CI bench gate watches
+// replication_records_per_s and failover_goodput_rps.
+//
+// Usage: bench_cluster [--smoke] [--connections N] [--batch N]
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/replication.hpp"
+#include "cluster/router.hpp"
+#include "common.hpp"
+#include "net/http_client.hpp"
+#include "net/load_driver.hpp"
+#include "net/service.hpp"
+
+namespace {
+
+using namespace wiloc;
+
+std::vector<core::ScanSubmission> build_stream(
+    const std::vector<bench::LiveTrip>& day) {
+  std::vector<core::ScanSubmission> stream;
+  for (const bench::LiveTrip& trip : day)
+    for (const sim::ScanReport& report : trip.reports)
+      stream.push_back({report.trip, report.scan});
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.scan.time < b.scan.time;
+                   });
+  return stream;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::size_t connections = 2;
+  std::size_t batch_size = 64;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc)
+      connections = static_cast<std::size_t>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc)
+      batch_size = static_cast<std::size_t>(std::atoi(argv[++i]));
+  }
+
+  print_banner(std::cout, smoke ? "Cluster serving (smoke)"
+                                : "Cluster serving: replication + failover");
+
+  const sim::City city = sim::build_paper_city();
+  const sim::TrafficModel traffic(2016);
+  const sim::FleetPlan plan = sim::default_fleet_plan(city);
+  Rng rng(7);
+
+  const auto state_root =
+      std::filesystem::temp_directory_path() / "wiloc_bench_cluster_state";
+  std::filesystem::remove_all(state_root);
+
+  // Three persisted nodes with identical training (train once, clone the
+  // snapshot — the fleet-from-one-archive deployment). Snapshot interval
+  // is pushed out so live recents stay in the tailable journal.
+  std::vector<std::unique_ptr<core::WiLocatorServer>> servers;
+  for (int i = 0; i < 3; ++i) {
+    core::ServerConfig config;
+    config.engine.workers = 1;
+    config.engine.queue_capacity = 4096;
+    config.arrival.min_refresh_wall_s = 0.02;
+    config.persist.dir =
+        (state_root / ("n" + std::to_string(i))).string();
+    config.persist.snapshot_interval_s = 1e9;
+    config.persist.journal_trigger_bytes = 1ull << 40;
+    std::filesystem::create_directories(config.persist.dir);
+    servers.push_back(std::make_unique<core::WiLocatorServer>(
+        city.route_pointers(), city.ap_snapshot(), *city.rf_model,
+        DaySlots::paper_five_slots(), config));
+  }
+  bench::train_server(*servers[0], city, traffic, plan, /*first_day=*/0,
+                      /*day_count=*/smoke ? 1 : 2, rng);
+  const std::string snap = (state_root / "trained.snapshot").string();
+  servers[0]->save_snapshot(snap);
+  servers[1]->restore_snapshot(snap);
+  servers[2]->restore_snapshot(snap);
+
+  std::vector<std::unique_ptr<net::WiLocatorService>> services;
+  for (auto& server : servers) {
+    services.push_back(std::make_unique<net::WiLocatorService>(*server));
+    services.back()->start();
+    services.back()->set_ready();
+  }
+
+  const auto day =
+      bench::simulate_live_day(city, traffic, plan, /*day=*/2, 1000, rng);
+
+  // ---- Replication catch-up: node 0 learns live recents from a slice
+  // of the day's trips, then a fresh tailer on node 1 pulls them over
+  // HTTP in small pages — a big enough corpus that the measured
+  // catch-up covers many request/apply round-trips, not one poll tick.
+  const bench::LiveTrip* busiest = &day.front();
+  std::size_t fed_trips = 0;
+  for (const auto& trip : day) {
+    if (trip.reports.size() > busiest->reports.size()) busiest = &trip;
+    if (fed_trips >= (smoke ? std::size_t{4} : std::size_t{24})) continue;
+    ++fed_trips;
+    const auto reg = services[0]->handle(
+        {.method = "POST",
+         .path = "/v1/trips",
+         .body = "{\"trip\":" + std::to_string(trip.record.id.value()) +
+                 ",\"route\":" + std::to_string(trip.record.route.value()) +
+                 "}"});
+    if (reg.status != 200) {
+      std::cerr << "trip registration failed: " << reg.body << "\n";
+      return 1;
+    }
+    std::vector<core::ScanSubmission> batch;
+    for (const auto& report : trip.reports) {
+      batch.push_back({report.trip, report.scan});
+      if (batch.size() == 64) {
+        services[0]->handle({.method = "POST",
+                             .path = "/v1/scans",
+                             .body = net::encode_scan_batch(batch)});
+        batch.clear();
+      }
+    }
+    if (!batch.empty())
+      services[0]->handle({.method = "POST",
+                           .path = "/v1/scans",
+                           .body = net::encode_scan_batch(batch)});
+  }
+  servers[0]->drain();
+  const std::uint64_t replication_records =
+      servers[0]->persistence()->last_seq() -
+      servers[0]->persistence()->compacted_through();
+
+  cluster::ReplicationOptions catchup_options;
+  catchup_options.poll_interval_s = 0.0;  // page back-to-back while behind
+  catchup_options.max_bytes = 4096;
+  const std::vector<cluster::NodeInfo> node0_peer{
+      {"n0", "127.0.0.1", services[0]->port()}};
+  double replication_catchup_s = 0.0;
+  {
+    cluster::ReplicationTailer tailer(*services[1], node0_peer,
+                                      catchup_options);
+    const auto t0 = std::chrono::steady_clock::now();
+    tailer.start();
+    while (tailer.records_applied() < replication_records &&
+           seconds_since(t0) < 30.0)
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    replication_catchup_s = seconds_since(t0);
+    tailer.stop();
+  }
+  const double replication_records_per_s =
+      replication_catchup_s > 0.0
+          ? static_cast<double>(replication_records) / replication_catchup_s
+          : 0.0;
+
+  // ---- Failover goodput: full replication mesh + router, kill the
+  // busiest trip's owner once ~40% of the stream has been acked.
+  std::vector<cluster::NodeInfo> infos;
+  for (int i = 0; i < 3; ++i)
+    infos.push_back({"n" + std::to_string(i), "127.0.0.1",
+                     services[i]->port()});
+  std::vector<std::unique_ptr<cluster::ReplicationTailer>> tailers;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<cluster::NodeInfo> peers;
+    for (int j = 0; j < 3; ++j)
+      if (j != i) peers.push_back(infos[j]);
+    cluster::ReplicationOptions repl;
+    repl.poll_interval_s = 0.01;
+    tailers.push_back(std::make_unique<cluster::ReplicationTailer>(
+        *services[i], peers, repl, &servers[i]->metrics_registry()));
+    tailers.back()->start();
+  }
+
+  cluster::RouterOptions router_options;
+  router_options.probe_interval_s = 0.05;
+  router_options.probe_failures = 2;
+  cluster::ClusterRouter router(infos, router_options);
+  router.start();
+
+  auto stream = build_stream(day);
+  const std::size_t cap = smoke ? 4000 : 20000;
+  if (stream.size() > cap) stream.resize(cap);
+
+  std::vector<net::ArrivalProbe> probes;
+  for (const bench::LiveTrip& trip : day) {
+    const auto& route = city.routes[trip.record.route.index()];
+    if (trip.record.stops.size() < 2) continue;
+    probes.push_back({trip.record.id, route.stop_count() - 1,
+                      trip.record.stops[1].depart});
+  }
+
+  {
+    net::HttpClientOptions reg_options;
+    reg_options.max_retries = 3;
+    net::HttpClient reg_client("127.0.0.1", router.port(), reg_options);
+    for (const bench::LiveTrip& trip : day) {
+      const auto reg = reg_client.post(
+          "/v1/trips",
+          "{\"trip\":" + std::to_string(trip.record.id.value()) +
+              ",\"route\":" + std::to_string(trip.record.route.value()) + "}",
+          "application/json", /*idempotent=*/true);
+      if (reg.status != 200) {
+        std::cerr << "router registration failed: " << reg.body << "\n";
+        return 1;
+      }
+    }
+  }
+
+  const std::size_t victim = router.ring().owner(busiest->record.id.value());
+  std::atomic<double> failover_detect_s{-1.0};
+  std::atomic<bool> killer_done{false};
+  std::thread killer([&] {
+    // Wait until ~40% of the stream has been ingested somewhere, then
+    // kill the victim's HTTP front-end (its process state survives, as
+    // with a kill -9: the journal is what failover converges from).
+    const std::uint64_t threshold = stream.size() * 2 / 5;
+    const auto counter = [&](int i) {
+      return servers[i]
+          ->metrics_registry()
+          .counter("service.scans_posted")
+          .value();
+    };
+    while (!killer_done.load()) {
+      if (counter(0) + counter(1) + counter(2) >= threshold) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (killer_done.load()) return;
+    services[victim]->abort_http();
+    const auto t0 = std::chrono::steady_clock::now();
+    while (router.membership().healthy(victim) && seconds_since(t0) < 10.0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    failover_detect_s.store(seconds_since(t0));
+  });
+
+  net::LoadDriverOptions load;
+  load.port = router.port();
+  load.connections = connections;
+  load.batch_size = batch_size;
+  load.arrival_every = 4;
+  load.idempotent_posts = true;  // node-side ingest dedups retransmits
+  load.client.max_retries = 4;
+  load.client.backoff_base_s = 0.01;
+  load.client.connect_timeout_s = 2.0;
+  load.client.read_timeout_s = 2.0;
+  load.client.write_timeout_s = 2.0;
+  net::HttpLoadDriver driver(load);
+  const net::LoadReport report = driver.run(stream, probes);
+  killer_done.store(true);
+  killer.join();
+
+  const auto acked = router.acked_scans_by_node();
+  std::uint64_t acked_total = 0;
+  for (const std::uint64_t a : acked) acked_total += a;
+  auto& router_metrics = router.metrics_registry();
+  const std::uint64_t failovers =
+      router_metrics.counter("router.failovers").value();
+  const std::uint64_t reregistrations =
+      router_metrics.counter("router.reregistrations").value();
+
+  router.stop();
+  for (auto& tailer : tailers) tailer->stop();
+  for (auto& service : services) service->stop();
+  std::filesystem::remove_all(state_root);
+
+  TablePrinter table({"metric", "value"});
+  table.add_row({"replication records", std::to_string(replication_records)});
+  table.add_row(
+      {"replication catchup (s)", TablePrinter::num(replication_catchup_s, 4)});
+  table.add_row({"replication records/s",
+                 TablePrinter::num(replication_records_per_s, 0)});
+  table.add_row({"scans posted", std::to_string(report.scans_posted)});
+  table.add_row({"scans acked @router", std::to_string(acked_total)});
+  table.add_row({"wall (s)", TablePrinter::num(report.wall_s, 3)});
+  table.add_row(
+      {"failover goodput (rps)", TablePrinter::num(report.goodput_rps, 0)});
+  table.add_row({"scans/sec", TablePrinter::num(report.scans_per_sec, 0)});
+  table.add_row({"failover detect (s)",
+                 TablePrinter::num(failover_detect_s.load(), 3)});
+  table.add_row({"router failovers", std::to_string(failovers)});
+  table.add_row({"re-registrations", std::to_string(reregistrations)});
+  table.add_row({"client retries", std::to_string(report.retries)});
+  table.add_row({"errors", std::to_string(report.errors)});
+  table.print(std::cout);
+
+  const char* path = "BENCH_cluster.json";
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"cluster\",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"connections\": " << connections << ",\n"
+      << "  \"batch_size\": " << batch_size << ",\n"
+      << "  \"replication_records\": " << replication_records << ",\n"
+      << "  \"replication_catchup_s\": " << replication_catchup_s << ",\n"
+      << "  \"replication_records_per_s\": " << replication_records_per_s
+      << ",\n"
+      << "  \"scans_posted\": " << report.scans_posted << ",\n"
+      << "  \"acked_total\": " << acked_total << ",\n"
+      << "  \"wall_s\": " << report.wall_s << ",\n"
+      << "  \"failover_goodput_rps\": " << report.goodput_rps << ",\n"
+      << "  \"scans_per_sec\": " << report.scans_per_sec << ",\n"
+      << "  \"failover_detect_s\": " << failover_detect_s.load() << ",\n"
+      << "  \"router_failovers\": " << failovers << ",\n"
+      << "  \"router_reregistrations\": " << reregistrations << ",\n"
+      << "  \"client_retries\": " << report.retries << ",\n"
+      << "  \"errors\": " << report.errors << "\n}\n";
+  std::cout << "\nwrote " << path << "\n";
+
+  const bool detected = failover_detect_s.load() >= 0.0;
+  const bool replicated = replication_records > 0 &&
+                          replication_records_per_s > 0.0;
+  return (detected && replicated && report.good_responses > 0) ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+#include "cluster/membership.hpp"
+
+#include <cstdlib>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::cluster {
+
+std::vector<NodeInfo> NodeInfo::parse_list(const std::string& spec) {
+  std::vector<NodeInfo> nodes;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    const std::size_t colon = item.rfind(':');
+    if (eq == std::string::npos || colon == std::string::npos || colon < eq ||
+        eq == 0 || colon + 1 >= item.size())
+      throw InvalidArgument("node spec must be id=host:port, got \"" + item +
+                            "\"");
+    NodeInfo node;
+    node.id = item.substr(0, eq);
+    node.host = item.substr(eq + 1, colon - eq - 1);
+    const int port = std::atoi(item.c_str() + colon + 1);
+    if (node.host.empty() || port <= 0 || port > 65535)
+      throw InvalidArgument("node spec must be id=host:port, got \"" + item +
+                            "\"");
+    node.port = static_cast<std::uint16_t>(port);
+    for (const NodeInfo& seen : nodes)
+      if (seen.id == node.id)
+        throw InvalidArgument("duplicate node id \"" + node.id + "\"");
+    nodes.push_back(std::move(node));
+  }
+  return nodes;
+}
+
+Membership::Membership(std::vector<NodeInfo> nodes, int failure_threshold)
+    : nodes_(std::move(nodes)), failure_threshold_(failure_threshold) {
+  WILOC_EXPECTS(!nodes_.empty());
+  WILOC_EXPECTS(failure_threshold_ >= 1);
+  consecutive_failures_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    consecutive_failures_.push_back(std::make_unique<std::atomic<int>>(0));
+}
+
+void Membership::report_success(std::size_t i) {
+  consecutive_failures_[i]->store(0, std::memory_order_release);
+}
+
+void Membership::report_failure(std::size_t i) {
+  consecutive_failures_[i]->fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool Membership::healthy(std::size_t i) const {
+  return consecutive_failures_[i]->load(std::memory_order_acquire) <
+         failure_threshold_;
+}
+
+std::size_t Membership::healthy_count() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (healthy(i)) ++n;
+  return n;
+}
+
+int Membership::failures(std::size_t i) const {
+  return consecutive_failures_[i]->load(std::memory_order_acquire);
+}
+
+}  // namespace wiloc::cluster

@@ -1,0 +1,62 @@
+// Cluster membership: the static node table plus dynamic health.
+//
+// WiLocator's cluster mode is deliberately simple — a fixed node list
+// given at startup (no gossip, no elections), with liveness decided by
+// whoever probes: the router's health-probe thread and the proxy path
+// both report per-node successes/failures here, and a node is "down"
+// after `failure_threshold` consecutive failures (one success resets
+// it). The hash ring ranks nodes; Membership says which of them are
+// currently worth sending to.
+//
+// Thread-safe: probe threads and the router's event-loop thread report
+// concurrently (per-node atomics; the node table itself is immutable
+// after construction).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wiloc::cluster {
+
+/// One serving node as the router addresses it.
+struct NodeInfo {
+  std::string id;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  /// Parses "id=host:port,id=host:port,..." (the --nodes / --peers
+  /// flag format). Throws wiloc::InvalidArgument on malformed specs.
+  static std::vector<NodeInfo> parse_list(const std::string& spec);
+};
+
+class Membership {
+ public:
+  /// `failure_threshold` consecutive failures mark a node down.
+  explicit Membership(std::vector<NodeInfo> nodes, int failure_threshold = 2);
+
+  std::size_t size() const { return nodes_.size(); }
+  const NodeInfo& node(std::size_t i) const { return nodes_[i]; }
+
+  void report_success(std::size_t i);
+  void report_failure(std::size_t i);
+
+  /// Below the consecutive-failure threshold (a never-probed node is
+  /// healthy — optimistic start keeps a cold cluster routable).
+  bool healthy(std::size_t i) const;
+  std::size_t healthy_count() const;
+
+  /// Consecutive failures currently recorded for the node.
+  int failures(std::size_t i) const;
+
+ private:
+  std::vector<NodeInfo> nodes_;
+  int failure_threshold_;
+  /// unique_ptr: atomics are neither copyable nor movable, and the
+  /// vector is sized once in the constructor.
+  std::vector<std::unique_ptr<std::atomic<int>>> consecutive_failures_;
+};
+
+}  // namespace wiloc::cluster

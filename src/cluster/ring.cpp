@@ -1,0 +1,46 @@
+#include "cluster/ring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.hpp"
+#include "util/hashing.hpp"
+
+namespace wiloc::cluster {
+
+HashRing::HashRing(std::size_t nodes, std::uint64_t seed)
+    : nodes_(nodes), seed_(seed) {
+  WILOC_EXPECTS(nodes_ >= 1);
+}
+
+std::uint64_t HashRing::weight(std::uint64_t key, std::size_t node) const {
+  return hash_coords(seed_, key, static_cast<std::uint64_t>(node));
+}
+
+std::vector<std::size_t> HashRing::ranked(std::uint64_t key) const {
+  std::vector<std::size_t> order(nodes_);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const std::uint64_t wa = weight(key, a);
+              const std::uint64_t wb = weight(key, b);
+              if (wa != wb) return wa > wb;
+              return a < b;  // total order even on (improbable) ties
+            });
+  return order;
+}
+
+std::size_t HashRing::owner(std::uint64_t key) const {
+  std::size_t best = 0;
+  std::uint64_t best_weight = weight(key, 0);
+  for (std::size_t i = 1; i < nodes_; ++i) {
+    const std::uint64_t w = weight(key, i);
+    if (w > best_weight) {
+      best = i;
+      best_weight = w;
+    }
+  }
+  return best;
+}
+
+}  // namespace wiloc::cluster

@@ -1,0 +1,40 @@
+// Rendezvous (highest-random-weight) hashing: trip -> node placement.
+//
+// Every router (and every test) computes the same ranking from nothing
+// but the node count: for key k, node i scores hash(seed, k, i) and the
+// nodes sort by score. The top-ranked healthy node owns the key; when
+// it dies, ownership falls to the next node *in that key's own ranking*
+// — so only the dead node's keys move (minimal disruption, the property
+// consistent hashing exists for) and the failover target is
+// deterministic without any coordination.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wiloc::cluster {
+
+class HashRing {
+ public:
+  /// `nodes` is the membership size; indexes returned by ranked()/
+  /// owner() are positions in that table. Every participant must use
+  /// the same seed (the default is fine — it only decorrelates keys).
+  explicit HashRing(std::size_t nodes, std::uint64_t seed = 0x77696c6f63ULL);
+
+  std::size_t size() const { return nodes_; }
+
+  /// All node indexes, best placement first, for this key.
+  std::vector<std::size_t> ranked(std::uint64_t key) const;
+
+  /// ranked(key)[0].
+  std::size_t owner(std::uint64_t key) const;
+
+ private:
+  std::uint64_t weight(std::uint64_t key, std::size_t node) const;
+
+  std::size_t nodes_;
+  std::uint64_t seed_;
+};
+
+}  // namespace wiloc::cluster

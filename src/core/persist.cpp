@@ -81,6 +81,10 @@ void StatePersistence::write_checkpoint(std::span<const std::byte> body,
     writer_->reset();
     std::error_code ec;
     std::filesystem::remove(sealed_journal_path(), ec);
+    // Every record up to seq_ now lives only in the snapshot: tailing
+    // peers below this watermark must resume from it.
+    covered_seq_.store(seq_, std::memory_order_release);
+    sealed_through_.store(0, std::memory_order_release);
   } catch (...) {
     poisoned_.store(true, std::memory_order_release);
     throw;
@@ -114,6 +118,9 @@ void StatePersistence::seal_journal() {
     }
     writer_ = std::make_unique<journal::Writer>(
         journal_path(), config_.fsync, config_.failure_hook);
+    // Everything appended so far is now in the sealed file; the commit
+    // that removes it promotes this to the compaction watermark.
+    sealed_through_.store(seq_, std::memory_order_release);
   } catch (...) {
     poisoned_.store(true, std::memory_order_release);
     throw;
@@ -134,6 +141,13 @@ void StatePersistence::commit_checkpoint(std::span<const std::byte> body,
     // the control thread keeps appending to it concurrently.
     std::error_code ec;
     std::filesystem::remove(sealed_journal_path(), ec);
+    const std::uint64_t sealed =
+        sealed_through_.load(std::memory_order_acquire);
+    std::uint64_t covered = covered_seq_.load(std::memory_order_acquire);
+    while (sealed > covered &&
+           !covered_seq_.compare_exchange_weak(covered, sealed,
+                                               std::memory_order_acq_rel)) {
+    }
   } catch (...) {
     poisoned_.store(true, std::memory_order_release);
     throw;
@@ -151,6 +165,37 @@ void StatePersistence::finish_checkpoint(SimTime now) {
 
 std::uint64_t StatePersistence::journal_bytes() const {
   return writer_->size_bytes();
+}
+
+StatePersistence::TailResult StatePersistence::tail_segments(
+    std::uint64_t after, std::size_t max_bytes) const {
+  TailResult out;
+  const auto take_frame = [&](std::span<const std::byte> payload) {
+    if (out.truncated) return;
+    std::uint64_t seq = 0;
+    try {
+      BinReader r(payload);
+      seq = r.get_u64();
+    } catch (const DecodeError&) {
+      return;  // undecodable record: recovery skips it, so do peers
+    }
+    if (seq <= after) return;
+    if (!out.frames.empty() && out.frames.size() + payload.size() + 8 >
+                                   max_bytes) {
+      out.truncated = true;  // page full; peer re-tails from last_seq
+      return;
+    }
+    journal::append_frame(out.frames, payload);
+    if (out.records == 0) out.first_seq = seq;
+    out.last_seq = std::max(out.last_seq, seq);
+    ++out.records;
+  };
+  // Sealed segment first (older records), then the active journal —
+  // append order, exactly like recovery. Both replays tolerate a torn
+  // or in-progress tail frame: it is simply not shipped yet.
+  journal::replay(sealed_journal_path(), take_frame);
+  journal::replay(journal_path(), take_frame);
+  return out;
 }
 
 StatePersistence::RecoveryResult StatePersistence::recover() {

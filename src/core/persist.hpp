@@ -171,6 +171,42 @@ class StatePersistence {
 
   std::uint64_t journal_bytes() const;
 
+  // -- segment tailing (replication read path) ---------------------------
+
+  /// One page of journal frames for a tailing peer.
+  struct TailResult {
+    /// Raw re-framed journal bytes ([u32 len][u32 crc][payload] per
+    /// record) — the wire format; a peer decodes with
+    /// journal::scan_frames + the same payload codec recovery uses.
+    std::vector<std::byte> frames;
+    std::uint64_t first_seq = 0;  ///< lowest seq included (0 when empty)
+    std::uint64_t last_seq = 0;   ///< highest seq included (0 when empty)
+    std::uint64_t records = 0;    ///< frames included
+    /// More matching records existed beyond max_bytes; the peer should
+    /// tail again immediately from last_seq instead of sleeping.
+    bool truncated = false;
+  };
+
+  /// Reads every decodable journal record with seq > `after` from the
+  /// sealed segment and the active journal (in append order), stopping
+  /// once `max_bytes` of frames are collected. Read-only on the files —
+  /// safe to call between appends on the control thread while a
+  /// background commit runs; a torn in-progress tail frame is simply
+  /// not included yet (the next tail picks it up). Sequence numbers are
+  /// contiguous per node, so a gap between `after` and first_seq means
+  /// records were compacted into a snapshot (see compacted_through()).
+  TailResult tail_segments(std::uint64_t after, std::size_t max_bytes) const;
+
+  /// Highest sequence number whose record has been folded into a
+  /// snapshot and removed from the journal files. A tailing peer whose
+  /// watermark is below this can never read the missing records here —
+  /// it records the gap and resumes from the compaction point (bounded
+  /// staleness; in steady state peers poll far faster than checkpoints
+  /// compact, so the gap stays empty).
+  std::uint64_t compacted_through() const {
+    return covered_seq_.load(std::memory_order_acquire);
+  }
+
   struct RecoveredRecord {
     std::uint64_t seq = 0;
     JournalRecord type = JournalRecord::recent_obs;
@@ -203,6 +239,10 @@ class StatePersistence {
   PersistMetrics metrics_;
   std::unique_ptr<journal::Writer> writer_;  ///< control thread only
   std::uint64_t seq_ = 0;
+  /// Highest seq in the sealed segment (captured by seal_journal;
+  /// promoted to covered_seq_ when the commit removes the segment).
+  std::atomic<std::uint64_t> sealed_through_{0};
+  std::atomic<std::uint64_t> covered_seq_{0};  ///< see compacted_through()
   /// Guards the checkpoint-cadence bookkeeping shared between the
   /// control thread (append / should_checkpoint) and a background
   /// committer (commit_checkpoint).

@@ -95,6 +95,8 @@ void WiLocatorServer::init_obs() {
 
   obs_published_ = &registry_.counter("server.observations_published");
   history_dups_ = &registry_.counter("server.history_duplicates");
+  repl_applied_ = &registry_.counter("server.replicated_applied");
+  repl_dups_ = &registry_.counter("server.replicated_duplicates");
 
   ArrivalTableMetrics am;
   am.invalidations = &registry_.counter("arrival_cache.invalidations");
@@ -144,6 +146,10 @@ void WiLocatorServer::recover_state() {
     try {
       BinReader r(rec.snapshot->body);
       watermark = apply_snapshot_body(r);
+      // Keep the journal sequence monotonic across restarts: tailing
+      // peers key their replication watermarks on it, so a restarted
+      // node must not reissue already-replicated sequence numbers.
+      persist_->resume_seq(watermark);
       recovered_ = true;
     } catch (const DecodeError&) {
       // CRC-clean but semantically undecodable (e.g. foreign layout):
@@ -251,9 +257,13 @@ void WiLocatorServer::commit_prepared(PreparedCheckpoint&& prepared) {
 }
 
 void WiLocatorServer::note_event(SimTime t) const {
-  if (!has_event_ || t > last_event_time_) {
-    last_event_time_ = t;
-    has_event_ = true;
+  // Callers are serialized (service lock), so the read-modify-write is
+  // race-free; the release store pairs with the acquire load in
+  // last_event_time() on the reporter thread.
+  if (!has_event_.load(std::memory_order_relaxed) ||
+      t > last_event_time_.load(std::memory_order_relaxed)) {
+    last_event_time_.store(t, std::memory_order_relaxed);
+    has_event_.store(true, std::memory_order_release);
   }
 }
 
@@ -313,6 +323,30 @@ void WiLocatorServer::load_history(const TravelObservation& obs) {
     persist_->append(JournalRecord::history_obs, obs);
     maybe_checkpoint();
   }
+}
+
+bool WiLocatorServer::apply_replicated(JournalRecord type,
+                                       const TravelObservation& obs) {
+  // Mirrors the recovery fold: same dedup, same finalized-history gate —
+  // a replicated record is just a journal record that took the network
+  // path instead of the disk path. No local journal append (see header).
+  bool added = false;
+  if (type == JournalRecord::history_obs) {
+    if (!store_.finalized() &&
+        history_seen_.insert(ObservationKey::of(obs)).second) {
+      store_.add_history(obs);
+      added = true;
+    }
+  } else {
+    added = store_.add_recent(obs);
+  }
+  if (added) {
+    note_event(obs.exit_time);
+    if (repl_applied_ != nullptr) repl_applied_->inc();
+  } else if (repl_dups_ != nullptr) {
+    repl_dups_->inc();
+  }
+  return added;
 }
 
 void WiLocatorServer::finalize_history() {

@@ -20,6 +20,7 @@
 // submission sequence.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -167,6 +168,21 @@ class WiLocatorServer {
   /// accounted() holds on the aggregate whenever the engine is idle.
   IngestStats ingest_stats() const;
 
+  // -- replication (cluster peers) ---------------------------------------
+
+  /// Applies one journal record tailed from a peer node, idempotently:
+  /// a history observation passes the ObservationKey dedup (and is
+  /// dropped once history is finalized), a recent observation passes
+  /// the store's exact-duplicate rejection — so overlapped replication
+  /// pages and re-tails from zero converge instead of double-counting.
+  /// Replicated records are NOT re-journaled locally (they carry the
+  /// origin node's sequence numbers and would echo between peers);
+  /// they become locally durable through this node's own snapshots,
+  /// which serialize the whole store. Returns true when the record was
+  /// genuinely new here (server.replicated_applied; duplicates land in
+  /// server.replicated_duplicates).
+  bool apply_replicated(JournalRecord type, const TravelObservation& obs);
+
   // -- durable state (ServerConfig::persist) -----------------------------
 
   /// True when construction recovered learned state from the persistence
@@ -214,8 +230,10 @@ class WiLocatorServer {
   /// Sim-time of the newest event the server has seen (scan
   /// observation exit or recovered record); nullopt before any.
   std::optional<SimTime> last_event_time() const {
-    return has_event_ ? std::optional<SimTime>(last_event_time_)
-                      : std::nullopt;
+    return has_event_.load(std::memory_order_acquire)
+               ? std::optional<SimTime>(
+                     last_event_time_.load(std::memory_order_relaxed))
+               : std::nullopt;
   }
 
   /// The persistence manager, or nullptr when disabled (tests, benches).
@@ -346,10 +364,15 @@ class WiLocatorServer {
   bool recovered_ = false;
   bool inline_checkpoints_ = true;
   obs::Reporter* reporter_ = nullptr;  ///< final-flushed on destruction
-  mutable SimTime last_event_time_ = 0.0;
-  mutable bool has_event_ = false;
+  // Written only by note_event() (callers already serialized by the
+  // service lock); read lock-free by the reporter thread through
+  // last_event_time(), hence atomic.
+  mutable std::atomic<SimTime> last_event_time_{0.0};
+  mutable std::atomic<bool> has_event_{false};
   obs::Counter* obs_published_ = nullptr;  ///< server.observations_published
   obs::Counter* history_dups_ = nullptr;   ///< server.history_duplicates
+  obs::Counter* repl_applied_ = nullptr;   ///< server.replicated_applied
+  obs::Counter* repl_dups_ = nullptr;      ///< server.replicated_duplicates
   PersistMetrics persist_metrics_;
 };
 

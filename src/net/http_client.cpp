@@ -13,7 +13,9 @@
 #include <charconv>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <thread>
 
 #include "util/binio.hpp"
@@ -134,6 +136,7 @@ ClientResponse HttpClient::request(const std::string& method,
       idempotent ? options_.max_retries + 1 : std::size_t{1};
   double backoff_s = options_.backoff_base_s;
   for (std::size_t attempt = 0;; ++attempt) {
+    std::optional<double> server_delay_s;
     try {
       ClientResponse response;
       if (fd_ < 0) {
@@ -155,6 +158,7 @@ ClientResponse HttpClient::request(const std::string& method,
       // backoff — retryable for idempotent requests, final otherwise.
       if ((response.status == 503 || response.status == 429) &&
           attempt + 1 < attempts) {
+        server_delay_s = retry_after_of(response);
         disconnect();
       } else {
         return response;
@@ -163,15 +167,32 @@ ClientResponse HttpClient::request(const std::string& method,
       if (attempt + 1 >= attempts) throw;
     }
     ++retries_;
-    // Deterministic jitter in [0.5, 1.0) of the doubling backoff keeps
-    // a retrying fleet from re-converging on the same instant.
+    // A server-supplied Retry-After wins over the guessy exponential
+    // backoff; transport faults (no response at all) still use the
+    // deterministic jitter in [0.5, 1.0) of the doubling backoff, which
+    // keeps a retrying fleet from re-converging on the same instant.
     const double sleep_s =
-        std::min(backoff_s, options_.backoff_max_s) *
-        (0.5 + 0.5 * jitter_.uniform01());
+        server_delay_s.has_value()
+            ? *server_delay_s
+            : std::min(backoff_s, options_.backoff_max_s) *
+                  (0.5 + 0.5 * jitter_.uniform01());
     if (sleep_s > 0.0)
       std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
     backoff_s *= 2.0;
   }
+}
+
+std::optional<double> HttpClient::retry_after_of(
+    const ClientResponse& response) const {
+  if (!options_.honor_retry_after) return std::nullopt;
+  const auto it = response.headers.find("Retry-After");
+  if (it == response.headers.end()) return std::nullopt;
+  // Delay-seconds form only (our servers never emit HTTP-date);
+  // fractional seconds are honored — sub-second sheds are the norm here.
+  char* end = nullptr;
+  const double seconds = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || seconds < 0.0) return std::nullopt;
+  return std::min(seconds, options_.retry_after_cap_s);
 }
 
 void HttpClient::send_all(const std::string& wire) {

@@ -35,6 +35,16 @@ struct HttpClientOptions {
   double backoff_base_s = 0.02;  ///< doubles per attempt, jittered 50-100%
   double backoff_max_s = 1.0;
   std::uint64_t jitter_seed = 1;  ///< deterministic via wiloc::Rng
+  /// When a 503/429 carries a Retry-After header (seconds; fractional
+  /// honored), schedule the retry at the server-requested delay instead
+  /// of the jittered exponential backoff — the server knows how long
+  /// its overload lasts better than the client's guess. The doubling
+  /// backoff state still advances, so a server that keeps saying "now"
+  /// cannot pin the client in a hot loop once the header disappears.
+  bool honor_retry_after = true;
+  /// Ceiling on a server-requested delay (a confused server must not
+  /// park the client for minutes).
+  double retry_after_cap_s = 5.0;
 };
 
 class HttpClient {
@@ -69,6 +79,9 @@ class HttpClient {
                          const std::string& body,
                          const std::string& content_type, bool idempotent);
   ClientResponse round_trip(const std::string& wire);
+  /// Parses a retryable response's Retry-After delay (seconds,
+  /// fractional honored, capped); nullopt when absent or disabled.
+  std::optional<double> retry_after_of(const ClientResponse& response) const;
   void connect();
   void send_all(const std::string& wire);
   /// recv() with EINTR retry; throws on timeout/closed/error.

@@ -78,9 +78,10 @@ struct HttpServerOptions {
   double rate_limit_rps = 0.0;
   double rate_limit_burst = 32.0;
   /// Paths exempt from shedding, rate limiting and deadlines — health
-  /// probes and scrapes must work precisely when the server is sick.
-  std::vector<std::string> control_paths = {"/healthz", "/readyz",
-                                            "/metrics"};
+  /// probes, scrapes and peer replication must work precisely when the
+  /// server is sick.
+  std::vector<std::string> control_paths = {"/healthz", "/readyz", "/metrics",
+                                            "/v1/replication/segments"};
 
   /// Optional: http.* counters/histograms land here (requests,
   /// connections, handler latency, slow-client buffered bytes).

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -102,5 +103,13 @@ class HttpLoadDriver {
 
 /// Renders one POST /v1/scans body for a slice of submissions.
 std::string encode_scan_batch(std::span<const core::ScanSubmission> batch);
+
+/// Inverse of encode_scan_batch: parses a POST /v1/scans body.
+/// Readings are normalized to the WifiScan invariant (strongest first).
+/// Returns nullopt and sets `error` on malformed input — the shared
+/// codec for WiLocatorService ingest and the cluster router's
+/// split-by-owner re-encoding.
+std::optional<std::vector<core::ScanSubmission>> decode_scan_batch(
+    const std::string& body, std::string* error);
 
 }  // namespace wiloc::net

@@ -9,7 +9,10 @@
 #include <vector>
 
 #include "net/json.hpp"
+#include "net/load_driver.hpp"
+#include "util/binio.hpp"
 #include "util/contracts.hpp"
+#include "util/journal.hpp"
 
 namespace wiloc::net {
 
@@ -65,6 +68,8 @@ WiLocatorService::WiLocatorService(core::WiLocatorServer& server,
   cache_misses_ = &registry.counter("arrival_cache.misses");
   read_slow_path_ = &registry.counter("http.read_slow_path");
   degraded_evictions_ = &registry.counter("http.degraded_cache_evictions");
+  repl_pages_served_ = &registry.counter("service.repl_pages_served");
+  repl_records_served_ = &registry.counter("service.repl_records_served");
   ready_gauge_ = &registry.gauge("service.ready");
   degraded_gauge_ = &registry.gauge("service.degraded");
   snapshot_age_ = &registry.gauge("http.snapshot_age_s");
@@ -161,6 +166,8 @@ HttpResponse WiLocatorService::handle(const HttpRequest& request) {
     if (request.path == "/v1/arrival") return handle_arrival(request);
     if (request.path == "/v1/position") return handle_position(request);
     if (request.path == "/v1/traffic-map") return handle_traffic_map(request);
+    if (request.path == "/v1/replication/segments")
+      return handle_replication(request);
     return error_json(404, "no such endpoint");
   } catch (const NotFound& e) {
     return error_json(404, e.what());
@@ -175,53 +182,17 @@ HttpResponse WiLocatorService::handle(const HttpRequest& request) {
 
 HttpResponse WiLocatorService::handle_scans(const HttpRequest& request) {
   if (request.method != "POST") return method_not_allowed("POST");
-  std::string parse_error;
-  const auto doc = parse_json(request.body, &parse_error);
-  if (!doc.has_value()) return error_json(400, "bad JSON: " + parse_error);
-  const JsonValue* scans = doc->get("scans");
-  const std::vector<JsonValue>* items =
-      scans != nullptr ? scans->as_array() : nullptr;
-  if (items == nullptr) return error_json(400, "missing \"scans\" array");
-
-  std::vector<core::ScanSubmission> batch;
-  batch.reserve(items->size());
-  for (const JsonValue& item : *items) {
-    const auto trip = item.get_number("trip");
-    const auto t = item.get_number("t");
-    const JsonValue* readings = item.get("readings");
-    const std::vector<JsonValue>* pairs =
-        readings != nullptr ? readings->as_array() : nullptr;
-    if (!trip.has_value() || !t.has_value() || pairs == nullptr)
-      return error_json(400, "scan needs trip, t and readings");
-    rf::WifiScan scan;
-    scan.time = *t;
-    scan.readings.reserve(pairs->size());
-    for (const JsonValue& pair : *pairs) {
-      const std::vector<JsonValue>* rd = pair.as_array();
-      if (rd == nullptr || rd->size() != 2)
-        return error_json(400, "reading must be [ap, rssi_dbm]");
-      const auto ap = (*rd)[0].as_number();
-      const auto rssi = (*rd)[1].as_number();
-      if (!ap.has_value() || !rssi.has_value())
-        return error_json(400, "reading must be [ap, rssi_dbm]");
-      scan.readings.push_back(
-          {rf::ApId(static_cast<std::uint32_t>(*ap)), *rssi});
-    }
-    // Normalize to the WifiScan invariant (strongest first, AP id
-    // tie-break) — clients need not pre-sort.
-    std::sort(scan.readings.begin(), scan.readings.end(),
-              [](const rf::ApReading& a, const rf::ApReading& b) {
-                if (a.rssi_dbm != b.rssi_dbm) return a.rssi_dbm > b.rssi_dbm;
-                return a.ap < b.ap;
-              });
-    batch.push_back({roadnet::TripId(static_cast<std::uint32_t>(*trip)),
-                     std::move(scan)});
-  }
+  // Shared codec with the load driver and the cluster router's
+  // split-by-owner path, so what a router re-encodes is exactly what a
+  // node accepts.
+  std::string decode_error;
+  auto batch = decode_scan_batch(request.body, &decode_error);
+  if (!batch.has_value()) return error_json(400, decode_error);
 
   core::BatchIngestResult result;
   {
     std::lock_guard<std::timed_mutex> lock(mu_);
-    result = server_.ingest_batch(batch);
+    result = server_.ingest_batch(*batch);
   }
   if (scans_posted_ != nullptr) scans_posted_->inc(result.submitted);
   std::ostringstream out;
@@ -416,6 +387,79 @@ HttpResponse WiLocatorService::handle_metrics(const HttpRequest& request) {
   return HttpResponse::json(200, snap.json());
 }
 
+HttpResponse WiLocatorService::handle_replication(const HttpRequest& request) {
+  if (request.method != "GET") return method_not_allowed("GET");
+  const core::StatePersistence* persist = server_.persistence();
+  if (persist == nullptr)
+    return error_json(404, "persistence disabled: nothing to tail");
+  const auto after_num = request.param_num("after");
+  const std::uint64_t after =
+      after_num.has_value() && *after_num > 0
+          ? static_cast<std::uint64_t>(*after_num)
+          : 0;
+  std::size_t max_bytes = options_.replication_page_bytes;
+  if (const auto want = request.param_num("max_bytes");
+      want.has_value() && *want > 0)
+    max_bytes = std::min(max_bytes, static_cast<std::size_t>(*want));
+
+  core::StatePersistence::TailResult tail;
+  std::uint64_t head_seq = 0;
+  {
+    // Under the service mutex: serializes the file reads against
+    // seal_journal() on the checkpoint prepare path (commit runs
+    // off-lock but only ever *removes* a fully-snapshot-covered file).
+    std::lock_guard<std::timed_mutex> lock(mu_);
+    tail = persist->tail_segments(after, max_bytes);
+    head_seq = persist->last_seq();
+  }
+  if (repl_pages_served_ != nullptr) repl_pages_served_->inc();
+  if (repl_records_served_ != nullptr)
+    repl_records_served_->inc(tail.records);
+
+  HttpResponse r;
+  r.status = 200;
+  r.headers["Content-Type"] = "application/octet-stream";
+  r.headers["X-First-Seq"] = std::to_string(tail.first_seq);
+  r.headers["X-Last-Seq"] = std::to_string(tail.last_seq);
+  r.headers["X-Head-Seq"] = std::to_string(head_seq);
+  r.headers["X-Records"] = std::to_string(tail.records);
+  r.headers["X-Truncated"] = tail.truncated ? "1" : "0";
+  r.headers["X-Compacted-Through"] =
+      std::to_string(persist->compacted_through());
+  r.body.assign(reinterpret_cast<const char*>(tail.frames.data()),
+                tail.frames.size());
+  return r;
+}
+
+WiLocatorService::ReplicationApply WiLocatorService::apply_replication_frames(
+    std::span<const std::byte> frames) {
+  ReplicationApply result;
+  std::lock_guard<std::timed_mutex> lock(mu_);
+  journal::scan_frames(frames, [&](std::span<const std::byte> payload) {
+    try {
+      BinReader r(payload);
+      const std::uint64_t seq = r.get_u64();
+      const std::uint8_t type = r.get_u8();
+      if (type !=
+              static_cast<std::uint8_t>(core::JournalRecord::history_obs) &&
+          type != static_cast<std::uint8_t>(core::JournalRecord::recent_obs))
+        return;  // unknown record type: skip, like recovery
+      const core::TravelObservation obs = core::decode_observation(r);
+      ++result.records;
+      result.last_seq = std::max(result.last_seq, seq);
+      if (server_.apply_replicated(static_cast<core::JournalRecord>(type),
+                                   obs))
+        ++result.applied;
+    } catch (const DecodeError&) {
+      // Undecodable payload inside a CRC-clean frame: skip it.
+    }
+  });
+  // Replicated recents move the store epoch; push them into the
+  // materialized read path so failover answers see them promptly.
+  if (result.applied > 0) server_.flush_arrivals();
+  return result;
+}
+
 HttpResponse WiLocatorService::handle_readyz() const {
   const bool stopping = stopping_.load(std::memory_order_acquire);
   const bool up = ready() && !stopping;
@@ -425,6 +469,29 @@ HttpResponse WiLocatorService::handle_readyz() const {
       << ",\"degraded\":" << (degraded() ? "true" : "false")
       << ",\"degraded_reads\":"
       << (degraded_reads_ != nullptr ? degraded_reads_->value() : 0);
+  {
+    // Per-peer replication lag (cluster mode): orchestrators gate
+    // traffic on convergence — records behind + seconds since caught up.
+    ReplicationLagProvider provider;
+    {
+      std::lock_guard<std::mutex> lock(lag_mu_);
+      provider = lag_provider_;
+    }
+    if (provider) {
+      out << ",\"replication\":[";
+      bool first = true;
+      for (const PeerLag& lag : provider()) {
+        if (!first) out << ",";
+        first = false;
+        out << "{\"peer\":" << json_quote(lag.peer)
+            << ",\"records_behind\":" << lag.records_behind
+            << ",\"seconds_behind\":" << num(lag.seconds_behind)
+            << ",\"reachable\":" << (lag.reachable ? "true" : "false")
+            << "}";
+      }
+      out << "]";
+    }
+  }
   if (!up) out << ",\"reason\":\"" << (stopping ? "stopping" : "warming_up")
                << "\"";
   out << "}";

@@ -43,17 +43,34 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
+#include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "core/server.hpp"
 #include "net/http_server.hpp"
 
 namespace wiloc::net {
+
+/// One peer's replication progress as seen by the local tailer
+/// (cluster::ReplicationTailer publishes these; /readyz reports them so
+/// orchestrators can gate traffic on convergence).
+struct PeerLag {
+  std::string peer;                    ///< peer node id
+  std::uint64_t records_behind = 0;    ///< peer last_seq - local watermark
+  double seconds_behind = 0.0;         ///< wall time since last caught up
+  bool reachable = true;               ///< last tail poll succeeded
+};
+
+/// Supplied by whoever runs the replication tailer; called per /readyz.
+using ReplicationLagProvider = std::function<std::vector<PeerLag>()>;
 
 struct ServiceOptions {
   HttpServerOptions http;
@@ -76,6 +93,9 @@ struct ServiceOptions {
   /// targets); the least-recently-used entry is evicted beyond it
   /// (http.degraded_cache_evictions counts evictions). Minimum 1.
   std::size_t read_cache_entries = 4096;
+  /// Page-size cap for GET /v1/replication/segments responses; a
+  /// client-requested max_bytes is clamped to this.
+  std::size_t replication_page_bytes = 1u << 20;
 };
 
 class WiLocatorService {
@@ -131,6 +151,38 @@ class WiLocatorService {
   /// socket needed).
   HttpResponse handle(const HttpRequest& request);
 
+  // -- replication (cluster mode) ----------------------------------------
+
+  /// What apply_replication_frames did with one tailed page.
+  struct ReplicationApply {
+    std::uint64_t records = 0;   ///< decodable records in the page
+    std::uint64_t applied = 0;   ///< genuinely new here
+    std::uint64_t last_seq = 0;  ///< highest origin seq seen in the page
+  };
+
+  /// Applies a page of journal frames tailed from a peer (the body of
+  /// its GET /v1/replication/segments response) under the service
+  /// mutex, through the server's idempotent apply path. Undecodable
+  /// frames are skipped exactly like recovery skips them.
+  ReplicationApply apply_replication_frames(
+      std::span<const std::byte> frames);
+
+  /// Wires the /readyz per-peer replication lag report (called by the
+  /// replication tailer once it exists; the provider must stay valid
+  /// until stop()).
+  void set_replication_lag_provider(ReplicationLagProvider provider) {
+    std::lock_guard<std::mutex> lock(lag_mu_);
+    lag_provider_ = std::move(provider);
+  }
+
+  /// Abandons the HTTP front-end without drain, final checkpoint or
+  /// reporter flush — the node stops answering as if the process died.
+  /// For in-process chaos tests (a real kill -9 is the e2e variant);
+  /// stop() remains the graceful path and stays idempotent after this.
+  void abort_http() noexcept {
+    if (http_ != nullptr) http_->stop();
+  }
+
  private:
   HttpResponse handle_scans(const HttpRequest& request);
   HttpResponse handle_trips(const HttpRequest& request);
@@ -138,6 +190,7 @@ class WiLocatorService {
   HttpResponse handle_position(const HttpRequest& request);
   HttpResponse handle_traffic_map(const HttpRequest& request);
   HttpResponse handle_metrics(const HttpRequest& request);
+  HttpResponse handle_replication(const HttpRequest& request);
   HttpResponse handle_readyz() const;
   void checkpoint_loop();
   double default_now() const;
@@ -177,6 +230,10 @@ class WiLocatorService {
   /// queries). Guarded by mu_.
   std::unordered_map<roadnet::TripId, roadnet::RouteId> trips_;
 
+  /// Guards lag_provider_ (set once by the tailer, read per /readyz).
+  mutable std::mutex lag_mu_;
+  ReplicationLagProvider lag_provider_;
+
   std::atomic<bool> ready_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> forced_degraded_{false};
@@ -209,6 +266,8 @@ class WiLocatorService {
   obs::Counter* cache_misses_ = nullptr;     ///< arrival_cache.misses
   obs::Counter* read_slow_path_ = nullptr;   ///< http.read_slow_path
   obs::Counter* degraded_evictions_ = nullptr;
+  obs::Counter* repl_pages_served_ = nullptr;  ///< service.repl_pages_served
+  obs::Counter* repl_records_served_ = nullptr;
   obs::Gauge* ready_gauge_ = nullptr;     ///< service.ready
   obs::Gauge* degraded_gauge_ = nullptr;  ///< service.degraded
   obs::Gauge* snapshot_age_ = nullptr;    ///< http.snapshot_age_s

@@ -171,13 +171,20 @@ ReplayStats replay(const std::string& path,
   }
   ::close(fd);
 
+  return scan_frames(data, on_frame);
+}
+
+ReplayStats scan_frames(std::span<const std::byte> data,
+                        const std::function<void(std::span<const std::byte>)>&
+                            on_frame) {
+  ReplayStats stats;
   std::size_t pos = 0;
   while (pos < data.size()) {
     if (data.size() - pos < 8) {  // incomplete header
       stats.torn_tail = true;
       break;
     }
-    BinReader header(std::span<const std::byte>(data).subspan(pos, 8));
+    BinReader header(data.subspan(pos, 8));
     const std::uint32_t len = header.get_u32();
     const std::uint32_t want_crc = header.get_u32();
     if (len > kMaxFrameBytes) {  // framing lost: unreadable from here on
@@ -188,7 +195,7 @@ ReplayStats replay(const std::string& path,
       stats.torn_tail = true;
       break;
     }
-    const auto payload = std::span<const std::byte>(data).subspan(pos + 8, len);
+    const auto payload = data.subspan(pos + 8, len);
     pos += 8 + len;
     if (crc32(payload) != want_crc) {
       // A corrupt *record* (framing intact): skip it, keep going.
@@ -200,6 +207,17 @@ ReplayStats replay(const std::string& path,
   }
   stats.bytes_scanned = pos;
   return stats;
+}
+
+void append_frame(std::vector<std::byte>& out,
+                  std::span<const std::byte> payload) {
+  WILOC_EXPECTS(payload.size() <= kMaxFrameBytes);
+  BinWriter header;
+  header.put_u32(static_cast<std::uint32_t>(payload.size()));
+  header.put_u32(crc32(payload));
+  const auto head = header.bytes();
+  out.insert(out.end(), head.begin(), head.end());
+  out.insert(out.end(), payload.begin(), payload.end());
 }
 
 // -- snapshot files --------------------------------------------------------

@@ -131,6 +131,21 @@ ReplayStats replay(const std::string& path,
                    const std::function<void(std::span<const std::byte>)>&
                        on_frame);
 
+/// The in-memory half of replay(): scans `data` as a sequence of
+/// [u32 len][u32 crc][payload] frames. Same corruption policy as
+/// replay; also the decoder for journal frames shipped over the wire
+/// (the replication protocol reuses this framing verbatim, so a peer
+/// validates tailed bytes with exactly the recovery-path logic).
+ReplayStats scan_frames(std::span<const std::byte> data,
+                        const std::function<void(std::span<const std::byte>)>&
+                            on_frame);
+
+/// Re-frames one payload exactly as Writer::append would lay it on
+/// disk ([u32 len][u32 crc][payload] appended to `out`) — used to build
+/// wire-format replication batches from decoded journal records.
+void append_frame(std::vector<std::byte>& out,
+                  std::span<const std::byte> payload);
+
 // -- atomic snapshot files -------------------------------------------------
 
 /// Writes `[magic][version][body_crc][body_len][body]` to `path + ".tmp"`,

@@ -1,0 +1,70 @@
+// Node-table parsing and the consecutive-failure health rule.
+#include "cluster/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace wiloc::cluster {
+namespace {
+
+TEST(NodeInfo, ParsesTheNodesFlagFormat) {
+  const auto nodes =
+      NodeInfo::parse_list("n1=127.0.0.1:8081,n2=10.0.0.7:8082,n3=[::1]:90");
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0].id, "n1");
+  EXPECT_EQ(nodes[0].host, "127.0.0.1");
+  EXPECT_EQ(nodes[0].port, 8081);
+  EXPECT_EQ(nodes[1].id, "n2");
+  EXPECT_EQ(nodes[1].host, "10.0.0.7");
+  EXPECT_EQ(nodes[1].port, 8082);
+  EXPECT_EQ(nodes[2].host, "[::1]");
+  EXPECT_EQ(nodes[2].port, 90);
+}
+
+TEST(NodeInfo, RejectsMalformedSpecs) {
+  EXPECT_THROW(NodeInfo::parse_list("n1"), InvalidArgument);
+  EXPECT_THROW(NodeInfo::parse_list("n1=host"), InvalidArgument);
+  EXPECT_THROW(NodeInfo::parse_list("=host:80"), InvalidArgument);
+  EXPECT_THROW(NodeInfo::parse_list("n1=host:"), InvalidArgument);
+  EXPECT_THROW(NodeInfo::parse_list("n1=host:notaport"), InvalidArgument);
+  EXPECT_THROW(NodeInfo::parse_list("n1=host:99999"), InvalidArgument);
+  EXPECT_THROW(NodeInfo::parse_list("n1=h:80,n1=h:81"), InvalidArgument);
+}
+
+TEST(NodeInfo, TolerantOfEmptyItemsButNeverInventsNodes) {
+  // An empty spec is an empty cluster (callers gate on that), and stray
+  // commas are skipped rather than rejected.
+  EXPECT_TRUE(NodeInfo::parse_list("").empty());
+  const auto nodes = NodeInfo::parse_list("n1=h:80,,n2=h:81,");
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[1].id, "n2");
+}
+
+TEST(Membership, ConsecutiveFailuresMarkDownAndOneSuccessResets) {
+  Membership members(NodeInfo::parse_list("a=h:1,b=h:2"),
+                     /*failure_threshold=*/3);
+  EXPECT_EQ(members.size(), 2u);
+  // Optimistic start: never-probed nodes are routable.
+  EXPECT_TRUE(members.healthy(0));
+  EXPECT_TRUE(members.healthy(1));
+  EXPECT_EQ(members.healthy_count(), 2u);
+
+  members.report_failure(0);
+  members.report_failure(0);
+  EXPECT_TRUE(members.healthy(0));  // below threshold
+  EXPECT_EQ(members.failures(0), 2);
+  members.report_failure(0);
+  EXPECT_FALSE(members.healthy(0));
+  EXPECT_EQ(members.healthy_count(), 1u);
+  // The other node is untouched by its neighbor's failures.
+  EXPECT_TRUE(members.healthy(1));
+
+  members.report_success(0);
+  EXPECT_TRUE(members.healthy(0));
+  EXPECT_EQ(members.failures(0), 0);
+  EXPECT_EQ(members.healthy_count(), 2u);
+}
+
+}  // namespace
+}  // namespace wiloc::cluster

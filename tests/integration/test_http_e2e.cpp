@@ -169,7 +169,15 @@ TEST(HttpE2E, ServeIngestPredictKillRecover) {
   EXPECT_EQ(parse_json(ingest.body)->get_number("submitted").value_or(0),
             static_cast<double>(batch.size()));
 
-  // Metrics advance through the HTTP edge.
+  // Metrics advance through the HTTP edge. ingest.submitted is bumped
+  // by the engine worker as it dequeues, so poll rather than race it —
+  // the POST only guarantees the batch was enqueued.
+  const auto submit_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (counter_of(client, "ingest.submitted") <
+             submitted_before + batch.size() &&
+         std::chrono::steady_clock::now() < submit_deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
   EXPECT_EQ(counter_of(client, "ingest.submitted"),
             submitted_before + batch.size());
   EXPECT_GE(counter_of(client, "service.scans_posted"), batch.size());

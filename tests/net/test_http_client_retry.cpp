@@ -1,0 +1,125 @@
+// HttpClient's handling of server-supplied Retry-After on 503/429
+// sheds: the server-requested delay replaces the guessy exponential
+// backoff, fractional seconds are honored, a confused server is capped,
+// and the header is ignored when malformed, when honoring is disabled,
+// or when the request is not idempotent (one shot, shed is final).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "net/http_client.hpp"
+#include "net/http_server.hpp"
+
+namespace wiloc::net {
+namespace {
+
+/// A loopback server that sheds the first `sheds` requests with the
+/// given Retry-After value, then answers 200.
+class SheddingServer {
+ public:
+  SheddingServer(int sheds, std::string retry_after)
+      : server_(
+            [this](const HttpRequest&) {
+              if (hits_.fetch_add(1) < sheds_) {
+                HttpResponse shed = HttpResponse::text(503, "shed");
+                if (!retry_after_.empty())
+                  shed.headers["Retry-After"] = retry_after_;
+                return shed;
+              }
+              return HttpResponse::text(200, "ok");
+            },
+            HttpServerOptions{}),
+        sheds_(sheds),
+        retry_after_(std::move(retry_after)) {
+    server_.start();
+  }
+
+  std::uint16_t port() const { return server_.port(); }
+  int hits() const { return hits_.load(); }
+
+ private:
+  HttpServer server_;
+  int sheds_;
+  std::string retry_after_;
+  std::atomic<int> hits_{0};
+};
+
+double timed_get(HttpClient& client, int expect_status = 200) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto response = client.get("/x");
+  EXPECT_EQ(response.status, expect_status) << response.body;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Local backoff tuned so fast that any server-requested delay
+/// dominates the measured wall time.
+HttpClientOptions tiny_backoff() {
+  HttpClientOptions o;
+  o.max_retries = 5;
+  o.backoff_base_s = 0.0005;
+  o.backoff_max_s = 0.001;
+  return o;
+}
+
+TEST(HttpClientRetryAfter, HonorsFractionalServerDelays) {
+  SheddingServer server(/*sheds=*/2, "0.2");
+  HttpClient client("127.0.0.1", server.port(), tiny_backoff());
+
+  // Two sheds at 0.2 s each: the wall time proves the client slept at
+  // the server-requested delay, not its ~0.5 ms local backoff.
+  const double elapsed = timed_get(client);
+  EXPECT_GE(elapsed, 0.35) << "client ignored the server-requested delay";
+  EXPECT_EQ(server.hits(), 3);
+  EXPECT_EQ(client.retries(), 2u);
+}
+
+TEST(HttpClientRetryAfter, CapsAConfusedServer) {
+  SheddingServer server(/*sheds=*/1, "60");
+  HttpClientOptions options = tiny_backoff();
+  options.retry_after_cap_s = 0.1;
+  HttpClient client("127.0.0.1", server.port(), options);
+
+  const double elapsed = timed_get(client);
+  EXPECT_GE(elapsed, 0.09);  // capped delay still applied...
+  EXPECT_LT(elapsed, 10.0);  // ...but nothing like the requested minute
+  EXPECT_EQ(server.hits(), 2);
+}
+
+TEST(HttpClientRetryAfter, DisabledHonoringFallsBackToLocalBackoff) {
+  SheddingServer server(/*sheds=*/1, "30");
+  HttpClientOptions options = tiny_backoff();
+  options.honor_retry_after = false;
+  HttpClient client("127.0.0.1", server.port(), options);
+
+  const double elapsed = timed_get(client);
+  EXPECT_LT(elapsed, 10.0) << "disabled honoring still slept 30 s";
+  EXPECT_EQ(server.hits(), 2);
+  EXPECT_EQ(client.retries(), 1u);
+}
+
+TEST(HttpClientRetryAfter, MalformedHeaderFallsBackToLocalBackoff) {
+  SheddingServer server(/*sheds=*/1, "soon");
+  HttpClient client("127.0.0.1", server.port(), tiny_backoff());
+
+  const double elapsed = timed_get(client);
+  EXPECT_LT(elapsed, 10.0);
+  EXPECT_EQ(server.hits(), 2);
+}
+
+TEST(HttpClientRetryAfter, ShedIsFinalForNonIdempotentPosts) {
+  SheddingServer server(/*sheds=*/1000, "0.01");
+  HttpClient client("127.0.0.1", server.port(), tiny_backoff());
+
+  const auto response = client.post("/x", "{}", "application/json",
+                                    /*idempotent=*/false);
+  EXPECT_EQ(response.status, 503);
+  EXPECT_EQ(server.hits(), 1);
+  EXPECT_EQ(client.retries(), 0u);
+}
+
+}  // namespace
+}  // namespace wiloc::net

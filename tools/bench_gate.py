@@ -14,7 +14,10 @@ Guarded metrics:
   BENCH_http.json        arrival_p99_us                     lower better
   BENCH_http.json        read_mix_arrival_p99_us            lower better
   BENCH_http.json        arrival_cache_hit_rate             higher better
-                         (skipped when either side lacks the file)
+  BENCH_cluster.json     replication_records_per_s          higher better
+  BENCH_cluster.json     failover_goodput_rps               higher better
+                         (BENCH_http / BENCH_cluster rows are skipped
+                         when either side lacks the file)
 
 Usage:
   bench_gate.py --bench-dir build [--baseline-dir bench/baselines]
@@ -59,6 +62,10 @@ METRICS = [
      lambda doc: doc.get("chaos_goodput_rps"), True, False),
     ("BENCH_http.json", "shed_p99_us",
      lambda doc: doc.get("shed_p99_us"), False, False),
+    ("BENCH_cluster.json", "replication_records_per_s",
+     lambda doc: doc.get("replication_records_per_s"), True, False),
+    ("BENCH_cluster.json", "failover_goodput_rps",
+     lambda doc: doc.get("failover_goodput_rps"), True, False),
 ]
 
 

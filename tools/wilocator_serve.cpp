@@ -27,6 +27,14 @@
 //   --rate-burst N         token bucket burst size (default 32)
 //   --arrival-coalesce S   min wall-seconds between arrival-snapshot
 //                          refreshes; 0 = refresh per batch (default 0.02)
+//
+// Cluster mode (see DESIGN.md §14): give every node the OTHER nodes as
+// --peers and it tails their journals into its own store, so predictions
+// over shared segments converge cluster-wide.
+//   --node-id ID           this node's name in logs/readyz (default "node")
+//   --peers LIST           peer nodes to tail, "id=host:port,..." (off
+//                          by default; requires the peers to persist)
+//   --replication-poll S   wall-seconds between tail passes (default 0.05)
 
 #include <atomic>
 #include <chrono>
@@ -34,9 +42,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 
+#include "cluster/replication.hpp"
 #include "common.hpp"
 #include "net/service.hpp"
 
@@ -54,7 +64,8 @@ void on_signal(int sig) { g_signal.store(sig); }
                " [--request-deadline S] [--stall-timeout S]"
                " [--shed-latency-us U] [--shed-inflight N]"
                " [--rate-limit RPS] [--rate-burst N]"
-               " [--arrival-coalesce S]\n";
+               " [--arrival-coalesce S] [--node-id ID] [--peers LIST]"
+               " [--replication-poll S]\n";
   std::exit(2);
 }
 
@@ -78,6 +89,9 @@ int main(int argc, char** argv) {
   double rate_limit_rps = 0.0;
   double rate_burst = 32.0;
   double arrival_coalesce_s = 0.02;
+  std::string node_id = "node";
+  std::string peers_spec;
+  double replication_poll_s = 0.05;
 
   for (int i = 1; i < argc; ++i) {
     const auto need = [&](const char* flag) -> const char* {
@@ -118,6 +132,12 @@ int main(int argc, char** argv) {
       rate_burst = std::atof(need("--rate-burst"));
     else if (std::strcmp(argv[i], "--arrival-coalesce") == 0)
       arrival_coalesce_s = std::atof(need("--arrival-coalesce"));
+    else if (std::strcmp(argv[i], "--node-id") == 0)
+      node_id = need("--node-id");
+    else if (std::strcmp(argv[i], "--peers") == 0)
+      peers_spec = need("--peers");
+    else if (std::strcmp(argv[i], "--replication-poll") == 0)
+      replication_poll_s = std::atof(need("--replication-poll"));
     else
       usage(argv[0]);
   }
@@ -166,6 +186,17 @@ int main(int argc, char** argv) {
   service.start();
   service.set_ready(true);
 
+  std::unique_ptr<cluster::ReplicationTailer> tailer;
+  if (!peers_spec.empty()) {
+    cluster::ReplicationOptions repl;
+    repl.poll_interval_s = replication_poll_s;
+    tailer = std::make_unique<cluster::ReplicationTailer>(
+        service, cluster::NodeInfo::parse_list(peers_spec), repl,
+        &server.metrics_registry());
+    tailer->start();
+    std::cerr << node_id << ": tailing " << peers_spec << "\n";
+  }
+
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
@@ -178,6 +209,7 @@ int main(int argc, char** argv) {
   }
 
   std::cerr << "shutting down (signal " << g_signal.load() << ")\n";
+  if (tailer != nullptr) tailer->stop();
   service.stop();
   return 0;
 }
