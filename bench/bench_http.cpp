@@ -8,7 +8,9 @@
 // (the CI bench gate watches scans_per_sec and arrival p99).
 //
 // Usage: bench_http [--smoke] [--connections N] [--batch N] [--workers N]
+//                   [--loops N]   (SO_REUSEPORT event loops, default 1)
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
   std::size_t connections = 2;
   std::size_t batch_size = 128;
   std::size_t workers = 2;
+  std::size_t http_loops = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
       smoke = true;
@@ -57,6 +60,8 @@ int main(int argc, char** argv) {
       batch_size = static_cast<std::size_t>(std::atoi(argv[++i]));
     else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc)
       workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--loops") == 0 && i + 1 < argc)
+      http_loops = std::max(1, std::atoi(argv[++i]));
   }
 
   print_banner(std::cout,
@@ -104,6 +109,7 @@ int main(int argc, char** argv) {
     server.begin_trip(trip.record.id, trip.record.route);
 
   net::ServiceOptions options;
+  options.http.loops = http_loops;
   options.checkpoint_poll_s = 0.05;  // checkpoint aggressively under load
   net::WiLocatorService service(server, options);
   service.start();
@@ -311,6 +317,7 @@ int main(int argc, char** argv) {
       << "  \"connections\": " << connections << ",\n"
       << "  \"batch_size\": " << batch_size << ",\n"
       << "  \"workers\": " << workers << ",\n"
+      << "  \"http_loops\": " << http_loops << ",\n"
       << "  \"scans_posted\": " << report.scans_posted << ",\n"
       << "  \"wall_s\": " << report.wall_s << ",\n"
       << "  \"scans_per_sec\": " << report.scans_per_sec << ",\n"

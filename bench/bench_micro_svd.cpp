@@ -9,6 +9,7 @@
 #include "sim/traffic_model.hpp"
 #include "svd/grid_svd.hpp"
 #include "svd/route_svd.hpp"
+#include "svd/signature.hpp"
 
 namespace {
 
@@ -120,6 +121,116 @@ void BM_LocateDegradedFullScan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LocateDegradedFullScan);
+
+// The rank_consistency inner loop in isolation: score every stored
+// signature against one real noisy full-scan ranking, exactly what the
+// posting-list fallback does per candidate (production observations are
+// the scan's whole heard-AP list, typically 10-40 APs). Scalar vs
+// dispatched rows give the before/after ns/op for the SIMD
+// position-lookup kernel.
+template <double (*Score)(const std::vector<rf::ApId>&,
+                          const svd::RankSignature&)>
+void rank_consistency_bench(benchmark::State& state) {
+  const sim::City& city = shared_city();
+  const auto& route = city.route_by_name("Rapid");
+  svd::RouteSvdParams params;
+  params.order = 3;
+  const svd::RouteSvd index(route, city.ap_snapshot(), *city.rf_model,
+                            params);
+
+  // Full heard-AP rankings from a simulated trip's noisy scans.
+  const sim::TrafficModel traffic(1);
+  Rng rng(3);
+  const auto trip =
+      sim::simulate_trip(roadnet::TripId(0), route,
+                         city.profile_of(route.id()), traffic,
+                         at_day_time(0, hms(9)), rng);
+  const rf::Scanner scanner;
+  const auto reports = sim::sense_trip(trip, route, city.aps,
+                                       *city.rf_model, scanner, rng);
+  std::vector<std::vector<rf::ApId>> observations;
+  double mean_len = 0.0;
+  for (const auto& report : reports) {
+    auto rankings = svd::expand_tied_rankings(report.scan, 0, 1);
+    if (rankings.empty() || rankings.front().empty()) continue;
+    mean_len += static_cast<double>(rankings.front().size());
+    observations.push_back(std::move(rankings.front()));
+  }
+  mean_len /= static_cast<double>(observations.size());
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const auto& interval : index.intervals())
+      sum += Score(observations[i], interval.signature);
+    benchmark::DoNotOptimize(sum);
+    i = (i + 1) % observations.size();
+  }
+  state.SetLabel(svd::rank_consistency_kernel());
+  state.counters["signatures"] =
+      static_cast<double>(index.intervals().size());
+  state.counters["observed_aps"] = mean_len;
+}
+
+void BM_RankConsistencyScalar(benchmark::State& state) {
+  rank_consistency_bench<&svd::rank_consistency_scalar>(state);
+}
+BENCHMARK(BM_RankConsistencyScalar);
+
+void BM_RankConsistencySimd(benchmark::State& state) {
+  rank_consistency_bench<&svd::rank_consistency>(state);
+}
+BENCHMARK(BM_RankConsistencySimd);
+
+// Dense-corridor variant: rankings of Arg(0) APs drawn from the route's
+// construction universe (urban deployments hear tens of APs per scan).
+// This is where the vector lanes engage; the sparse variant above mostly
+// routes through the adaptive scalar path.
+template <double (*Score)(const std::vector<rf::ApId>&,
+                          const svd::RankSignature&)>
+void rank_consistency_dense_bench(benchmark::State& state) {
+  const sim::City& city = shared_city();
+  const auto& route = city.route_by_name("Rapid");
+  svd::RouteSvdParams params;
+  params.order = 3;
+  const svd::RouteSvd index(route, city.ap_snapshot(), *city.rf_model,
+                            params);
+
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  std::vector<rf::ApId> universe;
+  for (const auto& ap : city.aps.aps()) universe.push_back(ap.id);
+  Rng rng(11);
+  std::vector<std::vector<rf::ApId>> observations;
+  for (int k = 0; k < 64; ++k) {
+    rng.shuffle(universe);
+    observations.emplace_back(
+        universe.begin(),
+        universe.begin() + static_cast<std::ptrdiff_t>(
+                               std::min(len, universe.size())));
+  }
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const auto& interval : index.intervals())
+      sum += Score(observations[i], interval.signature);
+    benchmark::DoNotOptimize(sum);
+    i = (i + 1) % observations.size();
+  }
+  state.SetLabel(svd::rank_consistency_kernel());
+  state.counters["signatures"] =
+      static_cast<double>(index.intervals().size());
+}
+
+void BM_RankConsistencyDenseScalar(benchmark::State& state) {
+  rank_consistency_dense_bench<&svd::rank_consistency_scalar>(state);
+}
+BENCHMARK(BM_RankConsistencyDenseScalar)->Arg(16)->Arg(32);
+
+void BM_RankConsistencyDenseSimd(benchmark::State& state) {
+  rank_consistency_dense_bench<&svd::rank_consistency>(state);
+}
+BENCHMARK(BM_RankConsistencyDenseSimd)->Arg(16)->Arg(32);
 
 void BM_LocateNoisyScan(benchmark::State& state) {
   const sim::City& city = shared_city();

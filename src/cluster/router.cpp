@@ -54,7 +54,9 @@ ClusterRouter::ClusterRouter(std::vector<NodeInfo> nodes,
       membership_(nodes_, options.probe_failures),
       ring_(nodes_.size(), options.ring_seed) {
   WILOC_EXPECTS(!nodes_.empty());
-  clients_.resize(nodes_.size());
+  client_pools_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    client_pools_.push_back(std::make_unique<NodePool>());
   acked_scans_.reserve(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i)
     acked_scans_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
@@ -255,6 +257,7 @@ net::HttpResponse ClusterRouter::handle_trips(
                                               true, trip, false, &served_by);
   if (ending) {
     if (response.status == 200 || response.status == 404) {
+      std::lock_guard<std::mutex> lock(routes_mu_);
       trip_routes_.erase(trip);
       trip_registered_.erase(trip);
     }
@@ -265,6 +268,7 @@ net::HttpResponse ClusterRouter::handle_trips(
       served_by < nodes_.size()) {
     // Remember the placement so scans/reads can lazily re-register the
     // trip on a failover target.
+    std::lock_guard<std::mutex> lock(routes_mu_);
     trip_routes_[trip] = static_cast<std::uint64_t>(
         static_cast<std::uint32_t>(*route_num));
     trip_registered_[trip].insert(served_by);
@@ -415,20 +419,32 @@ net::ClientResponse ClusterRouter::forward_to(
     std::size_t node, const std::string& target,
     const std::optional<std::string>& body, bool idempotent) {
   m_proxied_->inc();
-  net::HttpClient& client = client_for(node);
-  if (!body.has_value()) return client.get(target);
-  return client.post(target, *body, "application/json", idempotent);
+  // On a transport error the throw destroys the checked-out client —
+  // the suspect connection closes and the pool reconnects lazily.
+  std::unique_ptr<net::HttpClient> client = checkout_client(node);
+  net::ClientResponse response =
+      !body.has_value()
+          ? client->get(target)
+          : client->post(target, *body, "application/json", idempotent);
+  checkin_client(node, std::move(client));
+  return response;
 }
 
 bool ClusterRouter::ensure_registered(std::size_t node, std::uint64_t trip) {
-  auto& nodes_seen = trip_registered_[trip];
-  if (nodes_seen.count(node) != 0) return true;
-  const auto it = trip_routes_.find(trip);
-  // Unknown placement (router restarted, or the trip was never
-  // registered through us): forward anyway and let the node answer.
-  if (it == trip_routes_.end()) return true;
+  std::uint64_t route = 0;
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    const auto seen = trip_registered_.find(trip);
+    if (seen != trip_registered_.end() && seen->second.count(node) != 0)
+      return true;
+    const auto it = trip_routes_.find(trip);
+    // Unknown placement (router restarted, or the trip was never
+    // registered through us): forward anyway and let the node answer.
+    if (it == trip_routes_.end()) return true;
+    route = it->second;
+  }
   std::ostringstream body;
-  body << "{\"trip\":" << trip << ",\"route\":" << it->second << "}";
+  body << "{\"trip\":" << trip << ",\"route\":" << route << "}";
   net::ClientResponse response;
   try {
     response = forward_to(node, "/v1/trips", body.str(), true);
@@ -439,7 +455,13 @@ bool ClusterRouter::ensure_registered(std::size_t node, std::uint64_t trip) {
   }
   membership_.report_success(node);
   if (response.status != 200 && response.status != 409) return false;
-  nodes_seen.insert(node);
+  {
+    // The trip may have ended (and been erased) while we registered;
+    // only remember the node if the placement entry still exists.
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    const auto it = trip_routes_.find(trip);
+    if (it != trip_routes_.end()) trip_registered_[trip].insert(node);
+  }
   m_reregistrations_->inc();
   return true;
 }
@@ -480,11 +502,31 @@ void ClusterRouter::probe_loop() {
   }
 }
 
-net::HttpClient& ClusterRouter::client_for(std::size_t node) {
-  if (clients_[node] == nullptr)
-    clients_[node] = std::make_unique<net::HttpClient>(
-        nodes_[node].host, nodes_[node].port, options_.client);
-  return *clients_[node];
+std::unique_ptr<net::HttpClient> ClusterRouter::checkout_client(
+    std::size_t node) {
+  NodePool& pool = *client_pools_[node];
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    if (!pool.idle.empty()) {
+      std::unique_ptr<net::HttpClient> client =
+          std::move(pool.idle.back());
+      pool.idle.pop_back();
+      return client;
+    }
+  }
+  return std::make_unique<net::HttpClient>(nodes_[node].host,
+                                           nodes_[node].port,
+                                           options_.client);
+}
+
+void ClusterRouter::checkin_client(std::size_t node,
+                                   std::unique_ptr<net::HttpClient> client) {
+  // Bound the pool to the loop count: steady state never needs more
+  // than one connection per serving thread per node.
+  const std::size_t cap = std::max<std::size_t>(1, options_.http.loops);
+  NodePool& pool = *client_pools_[node];
+  std::lock_guard<std::mutex> lock(pool.mu);
+  if (pool.idle.size() < cap) pool.idle.push_back(std::move(client));
 }
 
 }  // namespace wiloc::cluster

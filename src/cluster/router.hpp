@@ -28,15 +28,19 @@
 // up, converged after.
 //
 // Deliberately thin: the proxy is a blocking HttpClient call on the
-// router's event-loop thread (one upstream round-trip per request, no
-// pipelining) — at WiLocator's fleet sizes the upstream handler, not
-// the router hop, is the budget. All routing state is loop-thread-only;
-// Membership is the only cross-thread structure.
+// serving thread (one upstream round-trip per request, no pipelining) —
+// at WiLocator's fleet sizes the upstream handler, not the router hop,
+// is the budget. The handler is thread-safe so the router can run the
+// HTTP front end with `--http-loops N` (SO_REUSEPORT multi-loop,
+// DESIGN.md §15): upstream connections live in per-node checkout pools,
+// the trip->route placement cache sits behind a mutex held only around
+// map operations, and Membership/ack counters were already atomic.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -82,7 +86,7 @@ class ClusterRouter {
   bool running() const { return http_ != nullptr && http_->running(); }
 
   /// Routes one request (also the in-process test entry point).
-  /// Loop-thread only (owns the upstream clients).
+  /// Thread-safe: callable from every HTTP loop concurrently.
   net::HttpResponse handle(const net::HttpRequest& request);
 
   const Membership& membership() const { return membership_; }
@@ -126,7 +130,12 @@ class ClusterRouter {
   bool ensure_registered(std::size_t node, std::uint64_t trip);
 
   void probe_loop();
-  net::HttpClient& client_for(std::size_t node);
+  /// Pops an idle upstream client for `node` (or connects a fresh one).
+  /// Pair with checkin_client so the connection is reused; dropping the
+  /// pointer instead just closes the connection.
+  std::unique_ptr<net::HttpClient> checkout_client(std::size_t node);
+  void checkin_client(std::size_t node,
+                      std::unique_ptr<net::HttpClient> client);
 
   std::vector<NodeInfo> nodes_;
   RouterOptions options_;
@@ -135,11 +144,21 @@ class ClusterRouter {
   obs::Registry registry_;
   std::unique_ptr<net::HttpServer> http_;
 
-  /// Loop-thread only: lazily-connected upstream clients.
-  std::vector<std::unique_ptr<net::HttpClient>> clients_;
-  /// Loop-thread only: trip -> route learned from registrations.
+  /// Per-node pool of idle upstream connections. An HttpClient owns one
+  /// connection and is not shareable, so concurrent loops check clients
+  /// out for the duration of a round trip and return them after.
+  struct NodePool {
+    std::mutex mu;
+    std::vector<std::unique_ptr<net::HttpClient>> idle;
+  };
+  std::vector<std::unique_ptr<NodePool>> client_pools_;
+
+  /// Guards the placement cache below; held only around map lookups and
+  /// mutations, never across an upstream round trip.
+  mutable std::mutex routes_mu_;
+  /// trip -> route learned from registrations.
   std::unordered_map<std::uint64_t, std::uint64_t> trip_routes_;
-  /// Loop-thread only: nodes each trip is known registered on.
+  /// Nodes each trip is known registered on.
   std::unordered_map<std::uint64_t, std::unordered_set<std::size_t>>
       trip_registered_;
 

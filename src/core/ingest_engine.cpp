@@ -205,6 +205,7 @@ void IngestEngine::flush_trip(roadnet::TripId trip) {
 
 void IngestEngine::worker_loop(Shard& shard) {
   std::vector<Job> batch;
+  const std::size_t max_batch = std::max<std::size_t>(1, params_.max_batch);
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(shard.queue_mu);
@@ -214,26 +215,38 @@ void IngestEngine::worker_loop(Shard& shard) {
         if (shard.stop) return;
         continue;
       }
+      // Drain up to max_batch jobs; the cap bounds how long one batch
+      // can hold the shard state lock (queries, sync submissions).
       batch.clear();
-      while (!shard.queue.empty()) {
+      while (!shard.queue.empty() && batch.size() < max_batch) {
         batch.push_back(std::move(shard.queue.front()));
         shard.queue.pop_front();
       }
-      if (shard.depth_gauge != nullptr) shard.depth_gauge->set(0.0);
+      if (shard.depth_gauge != nullptr)
+        shard.depth_gauge->set(static_cast<double>(shard.queue.size()));
       shard.frontier.store(batch.front().seq, std::memory_order_release);
       shard.cv_room.notify_all();
     }
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      process(shard, batch[i]);
-      // Advance the frontier past the finished job so its observations
-      // become publishable; the release store pairs with the acquire
-      // load in take_ready_observations.
-      if (i + 1 < batch.size())
-        shard.frontier.store(batch[i + 1].seq, std::memory_order_release);
-      if (batch[i].slot != nullptr) {
-        std::lock_guard<std::mutex> lock(shard.queue_mu);
-        batch[i].slot->done = true;
-        shard.cv_done.notify_all();
+    {
+      // One state-lock acquisition per batch: consecutive scans of the
+      // same shard share the guard/tracker cachelines and the
+      // thread-local locate scratch (posting-list stamps, candidate
+      // sets, memo) without re-locking per job. Lock order is
+      // state_mu -> queue_mu (sync-slot signaling); no other path takes
+      // them in the reverse order.
+      std::lock_guard<std::mutex> state_lock(shard.state_mu);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        process_locked(shard, batch[i]);
+        // Advance the frontier past the finished job so its observations
+        // become publishable; the release store pairs with the acquire
+        // load in take_ready_observations.
+        if (i + 1 < batch.size())
+          shard.frontier.store(batch[i + 1].seq, std::memory_order_release);
+        if (batch[i].slot != nullptr) {
+          std::lock_guard<std::mutex> lock(shard.queue_mu);
+          batch[i].slot->done = true;
+          shard.cv_done.notify_all();
+        }
       }
     }
     {
@@ -249,6 +262,10 @@ void IngestEngine::worker_loop(Shard& shard) {
 
 void IngestEngine::process(Shard& shard, Job& job) {
   std::lock_guard<std::mutex> lock(shard.state_mu);
+  process_locked(shard, job);
+}
+
+void IngestEngine::process_locked(Shard& shard, Job& job) {
   switch (job.kind) {
     case JobKind::scan: {
       const IngestResult result = process_scan(shard, job);

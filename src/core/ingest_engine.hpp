@@ -65,6 +65,12 @@ struct IngestEngineParams {
   std::size_t queue_capacity = 1024;  ///< waiting jobs per shard
   bool block_on_full = true;  ///< false: reject overflow (backpressure)
   bool record_latency = false;  ///< sample enqueue->processed latency
+  /// Jobs a worker drains and processes per shard-state lock acquisition.
+  /// Batching amortizes the state mutex and keeps the locate scratch
+  /// (posting-list stamps, candidate sets, result memo) hot across
+  /// consecutive scans; the cap bounds how long queries and sync
+  /// submissions can stall behind one batch. Ignored in serial mode.
+  std::size_t max_batch = 128;
 };
 
 /// Optional observability wiring. Both pointers may be null (the engine
@@ -230,6 +236,9 @@ class IngestEngine {
   void worker_loop(Shard& shard);
   /// Executes one job against the shard state (locks state_mu).
   void process(Shard& shard, Job& job);
+  /// Executes one job with state_mu already held — the batched worker
+  /// path locks once per drained batch instead of once per job.
+  void process_locked(Shard& shard, Job& job);
   IngestResult process_scan(Shard& shard, const Job& job);
   void harvest(Shard& shard, roadnet::TripId trip_id, TripRuntime& trip,
                std::uint64_t seq);

@@ -304,6 +304,7 @@ void WiLocatorServer::adopt_route(
   lm.fallback_hits = &registry_.counter("locate.fallback_hits");
   lm.misses = &registry_.counter("locate.misses");
   lm.candidates = &registry_.histogram("locate.candidates", 0.0, 16.0, 16);
+  lm.memo_hits = &registry_.counter("locate.memo_hits");
   rt.index->set_metrics(lm);
   rt.positioner =
       std::make_unique<SvdPositioner>(*rt.index, config_.positioner);

@@ -29,6 +29,7 @@ struct LocateMetrics {
   obs::Counter* fallback_hits = nullptr;   ///< scored (degraded) matches
   obs::Counter* misses = nullptr;          ///< locate returned nothing
   obs::HistogramMetric* candidates = nullptr;  ///< returned candidate count
+  obs::Counter* memo_hits = nullptr;  ///< batch memo replays (RouteSvd)
 };
 
 /// A positioning backend bound to one bus route.

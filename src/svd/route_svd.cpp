@@ -1,16 +1,22 @@
 #include "svd/route_svd.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "util/contracts.hpp"
 
 namespace wiloc::svd {
 
+namespace {
+std::atomic<std::uint64_t> next_build_id{1};
+}  // namespace
+
 RouteSvd::RouteSvd(const roadnet::BusRoute& route,
                    std::vector<rf::AccessPoint> aps,
                    const rf::LogDistanceModel& model, RouteSvdParams params)
-    : params_(params), length_(route.length()) {
+    : params_(params), length_(route.length()),
+      build_id_(next_build_id.fetch_add(1, std::memory_order_relaxed)) {
   WILOC_EXPECTS(params_.order >= 1);
   WILOC_EXPECTS(params_.sample_step_m > 0.0);
   WILOC_EXPECTS(params_.max_candidates >= 1);
@@ -114,6 +120,19 @@ struct LocateScratch {
   std::vector<std::uint64_t> stamp;
   std::uint64_t epoch = 0;
   std::vector<std::pair<double, std::uint32_t>> scored;
+
+  // One-entry memo over the previous call. Shard workers drain scans in
+  // batches, and consecutive scans of one trip frequently repeat the same
+  // filtered ranking; the index is immutable after construction, so the
+  // previous result (and its metric outcome) can be replayed verbatim.
+  // Keyed by (instance, build id, filtered ranking) — the build id guards
+  // against a freed index's address being reused.
+  enum class Outcome { kNone, kFast, kFallback, kMiss };
+  const void* memo_instance = nullptr;
+  std::uint64_t memo_build = 0;
+  std::vector<rf::ApId> memo_key;
+  std::vector<Candidate> memo_result;
+  Outcome memo_outcome = Outcome::kNone;
 };
 
 thread_local LocateScratch locate_scratch;
@@ -136,6 +155,34 @@ std::vector<Candidate> RouteSvd::locate(
     return {};
   }
 
+  // Memo replay: same index, same filtered ranking as the previous call
+  // on this thread. The outcome counters are re-incremented so totals stay
+  // identical to the unmemoized path; memo_hits records the saving.
+  using Outcome = LocateScratch::Outcome;
+  if (scratch.memo_instance == this && scratch.memo_build == build_id_ &&
+      scratch.memo_key == filtered) {
+    if (metrics_.memo_hits != nullptr) metrics_.memo_hits->inc();
+    if (scratch.memo_outcome == Outcome::kFast) {
+      if (metrics_.fast_path_hits != nullptr) metrics_.fast_path_hits->inc();
+    } else if (scratch.memo_outcome == Outcome::kFallback) {
+      if (metrics_.fallback_hits != nullptr) metrics_.fallback_hits->inc();
+    } else if (metrics_.misses != nullptr) {
+      metrics_.misses->inc();
+    }
+    if (metrics_.candidates != nullptr)
+      metrics_.candidates->record(
+          static_cast<double>(scratch.memo_result.size()));
+    return scratch.memo_result;
+  }
+  const auto remember = [&](Outcome outcome,
+                            const std::vector<Candidate>& result) {
+    scratch.memo_instance = this;
+    scratch.memo_build = build_id_;
+    scratch.memo_key = filtered;
+    scratch.memo_result = result;
+    scratch.memo_outcome = outcome;
+  };
+
   std::vector<Candidate> out;
 
   // Fast path: the observed top-k is a signature we have verbatim.
@@ -148,6 +195,7 @@ std::vector<Candidate> RouteSvd::locate(
     if (metrics_.fast_path_hits != nullptr) metrics_.fast_path_hits->inc();
     if (metrics_.candidates != nullptr)
       metrics_.candidates->record(static_cast<double>(out.size()));
+    remember(Outcome::kFast, out);
     return out;
   }
 
@@ -204,6 +252,7 @@ std::vector<Candidate> RouteSvd::locate(
   }
   if (metrics_.candidates != nullptr)
     metrics_.candidates->record(static_cast<double>(out.size()));
+  remember(out.empty() ? Outcome::kMiss : Outcome::kFallback, out);
   return out;
 }
 

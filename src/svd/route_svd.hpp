@@ -88,6 +88,9 @@ class RouteSvd final : public PositioningIndex {
   std::vector<bool> known_aps_;
   /// ap.index() -> interval ids (ascending) whose signature contains it.
   std::vector<std::vector<std::uint32_t>> postings_;
+  /// Monotone instance tag: lets the thread-local locate memo detect a
+  /// stale entry even if a new index reuses this object's address.
+  std::uint64_t build_id_ = 0;
 };
 
 }  // namespace wiloc::svd

@@ -1,6 +1,11 @@
 #include "svd/signature.hpp"
 
 #include <algorithm>
+#include <cstdint>
+
+#if defined(__AVX2__) || defined(__SSE2__)
+#include <immintrin.h>
+#endif
 
 #include "util/contracts.hpp"
 
@@ -59,29 +64,13 @@ std::size_t RankSignature::hash() const {
   return h;
 }
 
-double rank_consistency(const std::vector<rf::ApId>& observed,
-                        const RankSignature& signature) {
-  if (signature.empty() || observed.empty()) return 0.0;
+namespace {
 
-  // Position of each signature AP in the observed ranking (-1 = unheard).
-  // Signatures are short (order k); a stack buffer keeps the scorer
-  // allocation-free on the locate hot path, with a heap fallback for
-  // unusually long signatures.
-  constexpr std::size_t kStackOrder = 16;
-  std::ptrdiff_t stack_pos[kStackOrder];
-  std::vector<std::ptrdiff_t> heap_pos;
-  std::ptrdiff_t* obs_pos = stack_pos;
-  const std::size_t order = signature.order();
-  if (order > kStackOrder) {
-    heap_pos.resize(order);
-    obs_pos = heap_pos.data();
-  }
-  for (std::size_t i = 0; i < order; ++i) {
-    const auto it =
-        std::find(observed.begin(), observed.end(), signature.at(i));
-    obs_pos[i] = it != observed.end() ? it - observed.begin() : -1;
-  }
-
+// Scoring stage shared by the scalar and SIMD entry points. Both hand it
+// the same integer positions, so the floating-point result is bit-identical
+// regardless of which kernel found them.
+double score_positions(const std::ptrdiff_t* obs_pos, std::size_t order,
+                       bool top_match) {
   std::size_t heard = 0;
   for (std::size_t i = 0; i < order; ++i)
     if (obs_pos[i] >= 0) ++heard;
@@ -106,12 +95,119 @@ double rank_consistency(const std::vector<rf::ApId>& observed,
                  : static_cast<double>(concordant) /
                        static_cast<double>(pairs);
 
-  const double top_match =
-      (signature.strongest() == observed.front()) ? 1.0 : 0.0;
-
   // Weights chosen so that exact matches score 1.0 and a completely
   // reversed or unheard signature scores near 0.
-  return 0.45 * coverage + 0.40 * coverage * agreement + 0.15 * top_match;
+  return 0.45 * coverage + 0.40 * coverage * agreement +
+         0.15 * (top_match ? 1.0 : 0.0);
+}
+
+// First index of `needle` in data[0..n), or -1. The SIMD paths compare
+// 8 (AVX2) or 4 (SSE2) lanes per step and resolve the earliest match via
+// movemask + ctz; ties within a vector cannot reorder because the mask's
+// lowest set bit is the lowest index. ApId is a one-word wrapper whose
+// object representation is exactly its u32 value, and GCC/Clang define
+// __m128i/__m256i with the may_alias attribute, so the vector loads read
+// the ApId array in place — no unwrap copy on the hot path.
+std::ptrdiff_t find_first_ap(const rf::ApId* data, std::size_t n,
+                             rf::ApId needle) {
+  static_assert(sizeof(rf::ApId) == sizeof(std::uint32_t));
+  std::size_t i = 0;
+#if defined(__AVX2__)
+  const __m256i key =
+      _mm256_set1_epi32(static_cast<int>(needle.value()));
+  for (; i + 8 <= n; i += 8) {
+    const __m256i chunk = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(data + i));
+    const int mask = _mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(chunk, key)));
+    if (mask != 0)
+      return static_cast<std::ptrdiff_t>(
+          i + static_cast<std::size_t>(__builtin_ctz(
+                  static_cast<unsigned>(mask))));
+  }
+#elif defined(__SSE2__)
+  const __m128i key = _mm_set1_epi32(static_cast<int>(needle.value()));
+  for (; i + 4 <= n; i += 4) {
+    const __m128i chunk =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const int mask = _mm_movemask_ps(
+        _mm_castsi128_ps(_mm_cmpeq_epi32(chunk, key)));
+    if (mask != 0)
+      return static_cast<std::ptrdiff_t>(
+          i + static_cast<std::size_t>(__builtin_ctz(
+                  static_cast<unsigned>(mask))));
+  }
+#endif
+  for (; i < n; ++i)
+    if (data[i] == needle) return static_cast<std::ptrdiff_t>(i);
+  return -1;
+}
+
+// Signatures are short (order k); a stack position buffer keeps the
+// scorer allocation-free on the locate hot path, with a heap fallback
+// for unusually long signatures.
+constexpr std::size_t kStackOrder = 16;
+
+}  // namespace
+
+const char* rank_consistency_kernel() {
+#if defined(__AVX2__)
+  return "avx2";
+#elif defined(__SSE2__)
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+double rank_consistency_scalar(const std::vector<rf::ApId>& observed,
+                               const RankSignature& signature) {
+  if (signature.empty() || observed.empty()) return 0.0;
+
+  std::ptrdiff_t stack_pos[kStackOrder];
+  std::vector<std::ptrdiff_t> heap_pos;
+  std::ptrdiff_t* obs_pos = stack_pos;
+  const std::size_t order = signature.order();
+  if (order > kStackOrder) {
+    heap_pos.resize(order);
+    obs_pos = heap_pos.data();
+  }
+  for (std::size_t i = 0; i < order; ++i) {
+    const auto it =
+        std::find(observed.begin(), observed.end(), signature.at(i));
+    obs_pos[i] = it != observed.end() ? it - observed.begin() : -1;
+  }
+  return score_positions(obs_pos, order,
+                         signature.strongest() == observed.front());
+}
+
+double rank_consistency(const std::vector<rf::ApId>& observed,
+                        const RankSignature& signature) {
+  if (signature.empty() || observed.empty()) return 0.0;
+
+  const std::size_t n = observed.size();
+  // Length-adaptive dispatch: below two SSE2 vectors of lanes the
+  // unrolled scalar std::find wins (sparse-area scans hear ~5 APs), so
+  // short rankings take the reference path — which finds the same
+  // integer positions, keeping the result bit-identical either way.
+  constexpr std::size_t kSimdMinObserved = 8;
+  if (n < kSimdMinObserved)
+    return rank_consistency_scalar(observed, signature);
+
+  const std::size_t order = signature.order();
+  std::ptrdiff_t stack_pos[kStackOrder];
+  std::vector<std::ptrdiff_t> heap_pos;
+  std::ptrdiff_t* obs_pos = stack_pos;
+  if (order > kStackOrder) {
+    heap_pos.resize(order);
+    obs_pos = heap_pos.data();
+  }
+
+  for (std::size_t i = 0; i < order; ++i)
+    obs_pos[i] = find_first_ap(observed.data(), n, signature.at(i));
+
+  return score_positions(obs_pos, order,
+                         signature.strongest() == observed.front());
 }
 
 }  // namespace wiloc::svd

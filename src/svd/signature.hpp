@@ -71,7 +71,22 @@ struct RankSignatureHash {
 /// [0, 1]. Combines coverage (how many of the signature's APs were heard)
 /// with pairwise order agreement (Kendall-style) over the common APs, and
 /// rewards matching the strongest AP. Returns 0 when nothing matches.
+///
+/// Dispatches to a vectorized position-lookup kernel (AVX2/SSE2, chosen
+/// at compile time) and is bit-identical to rank_consistency_scalar():
+/// SIMD only changes how the integer AP positions are found, never the
+/// floating-point scoring that consumes them.
 double rank_consistency(const std::vector<rf::ApId>& observed,
                         const RankSignature& signature);
+
+/// Portable reference implementation (std::find inner loop). The parity
+/// suite asserts rank_consistency() == rank_consistency_scalar() bit for
+/// bit on randomized rankings.
+double rank_consistency_scalar(const std::vector<rf::ApId>& observed,
+                               const RankSignature& signature);
+
+/// Name of the compiled-in position-lookup kernel: "avx2", "sse2", or
+/// "scalar". Benches record it next to ns/op numbers.
+const char* rank_consistency_kernel();
 
 }  // namespace wiloc::svd

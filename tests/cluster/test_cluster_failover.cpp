@@ -161,6 +161,110 @@ std::uint64_t scans_posted(core::WiLocatorServer& server) {
   return server.metrics_registry().counter("service.scans_posted").value();
 }
 
+TEST(ClusterFailover, MultiLoopRouterServesConcurrentClients) {
+  // The router with --http-loops 2: its handler runs concurrently on
+  // two SO_REUSEPORT event loops while client threads register trips,
+  // post scans and read positions in parallel. The acked-scan ledger
+  // must still reconcile and the placement cache must stay coherent.
+  wiloc::testing::MiniCity city;
+  sim::TrafficModel traffic{41};
+  TempDir tmp;
+
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (int i = 0; i < 2; ++i) {
+    core::ServerConfig config;
+    config.persist.dir = tmp.sub("n" + std::to_string(i));
+    config.persist.snapshot_interval_s = 1e9;
+    config.persist.journal_trigger_bytes = 1ull << 40;
+    nodes.push_back(std::make_unique<Node>(city, config));
+  }
+  train(nodes[0]->server, city, traffic);
+  const std::string snap = tmp.path() + "/trained.snapshot";
+  nodes[0]->server.save_snapshot(snap);
+  ASSERT_TRUE(nodes[1]->server.restore_snapshot(snap));
+
+  std::vector<NodeInfo> infos;
+  for (int i = 0; i < 2; ++i) {
+    nodes[i]->service.start();
+    nodes[i]->service.set_ready();
+    infos.push_back({"n" + std::to_string(i), "127.0.0.1",
+                     nodes[i]->service.port()});
+  }
+
+  RouterOptions ropts;
+  ropts.http.loops = 2;
+  ropts.probe_interval_s = 0.05;
+  ClusterRouter router(infos, ropts);
+  router.start();
+
+  constexpr std::uint32_t kFirstTrip = 900;
+  constexpr int kClientThreads = 4;
+  constexpr int kTripsPerThread = 2;
+  std::vector<std::vector<sim::ScanReport>> reports;
+  for (int t = 0; t < kClientThreads * kTripsPerThread; ++t)
+    reports.push_back(live_reports(city, traffic,
+                                   kFirstTrip + static_cast<std::uint32_t>(t),
+                                   hms(8) + 180.0 * t, 170 + t));
+
+  std::atomic<std::uint64_t> scans_sent{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClientThreads; ++c) {
+    threads.emplace_back([&, c] {
+      net::HttpClient client("127.0.0.1", router.port());
+      for (int k = 0; k < kTripsPerThread; ++k) {
+        const int t = c * kTripsPerThread + k;
+        const std::uint32_t id =
+            kFirstTrip + static_cast<std::uint32_t>(t);
+        const auto reg = post_until_acked(
+            client, "/v1/trips",
+            "{\"trip\":" + std::to_string(id) + ",\"route\":0}");
+        if (reg.status != 200) {
+          failures.fetch_add(1);
+          continue;
+        }
+        constexpr std::size_t kBatch = 40;
+        for (std::size_t i = 0; i < reports[t].size(); i += kBatch) {
+          const auto resp = post_until_acked(
+              client, "/v1/scans",
+              batch_body(reports[t], i, i + kBatch));
+          if (resp.status != 200) {
+            failures.fetch_add(1);
+            break;
+          }
+          scans_sent.fetch_add(
+              std::min(i + kBatch, reports[t].size()) - i);
+        }
+        const auto pos = get_with_retry(
+            client, "/v1/position?trip=" + std::to_string(id));
+        if (pos.status != 200) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Both SO_REUSEPORT loops exist and their accepts cover the global
+  // counter (the kernel decides the spread; the sum is the invariant).
+  const obs::Snapshot snap_metrics = router.metrics_registry().snapshot();
+  EXPECT_EQ(snap_metrics.counter("http.loop0.connections_accepted") +
+                snap_metrics.counter("http.loop1.connections_accepted"),
+            snap_metrics.counter("http.connections_accepted"));
+
+  // Ledger reconciliation, same invariant as the chaos tests: no node
+  // was credited an ack it never ingested, and everything sent landed.
+  const auto acked = router.acked_scans_by_node();
+  std::uint64_t total_acked = 0;
+  for (std::size_t i = 0; i < acked.size(); ++i) {
+    EXPECT_LE(acked[i], scans_posted(nodes[i]->server)) << "node " << i;
+    total_acked += acked[i];
+  }
+  EXPECT_GE(total_acked, scans_sent.load());
+
+  router.stop();
+  for (auto& node : nodes) node->service.stop();
+}
+
 TEST(ClusterFailover, KillOneNodeMidLoadLosesNoAckedScans) {
   wiloc::testing::MiniCity city;
   sim::TrafficModel traffic{31};

@@ -317,5 +317,60 @@ TEST(IngestEngine, LiveQueriesDuringConcurrentIngestDoNotThrow) {
   EXPECT_TRUE(server.ingest_stats().accounted());
 }
 
+TEST(IngestEngine, BatchedWorkerDrainMatchesOneAtATime) {
+  // The worker's batched state-lock path (max_batch > 1, the default)
+  // must produce byte-identical fixes and stats to both the serial
+  // inline engine and a threaded engine forced to process one job per
+  // lock acquisition (max_batch = 1). Exercises the locate memo +
+  // shared-scratch reuse across a drained batch.
+  const Workload w;
+  const auto submissions = w.interleaved();
+
+  ServerConfig serial_cfg = engine_config(0);
+  ServerConfig one_at_a_time = engine_config(4, /*queue_capacity=*/32);
+  one_at_a_time.engine.max_batch = 1;
+  ServerConfig batched = engine_config(4, /*queue_capacity=*/32);
+  batched.engine.max_batch = 128;
+
+  WiLocatorServer serial({&w.city.route_a(), &w.city.route_b()},
+                         w.city.ap_snapshot(), w.city.model,
+                         DaySlots::paper_five_slots(), serial_cfg);
+  WiLocatorServer unbatched({&w.city.route_a(), &w.city.route_b()},
+                            w.city.ap_snapshot(), w.city.model,
+                            DaySlots::paper_five_slots(), one_at_a_time);
+  WiLocatorServer wide({&w.city.route_a(), &w.city.route_b()},
+                       w.city.ap_snapshot(), w.city.model,
+                       DaySlots::paper_five_slots(), batched);
+
+  for (auto* server : {&serial, &unbatched, &wide}) {
+    server->begin_trip(TripId(1), w.city.route_a().id());
+    server->begin_trip(TripId(2), w.city.route_b().id());
+  }
+  for (const auto& sub : submissions) serial.ingest(sub.trip, sub.scan);
+  for (auto* server : {&unbatched, &wide}) {
+    EXPECT_TRUE(server->ingest_batch(submissions).complete());
+    server->drain();
+  }
+
+  for (const TripId trip : {TripId(1), TripId(2)}) {
+    for (auto* server : {&serial, &unbatched, &wide}) server->end_trip(trip);
+    expect_same_stats(serial.trip_ingest_stats(trip),
+                      unbatched.trip_ingest_stats(trip));
+    expect_same_stats(serial.trip_ingest_stats(trip),
+                      wide.trip_ingest_stats(trip));
+    const auto& fs = serial.tracker(trip).fixes();
+    const auto& fu = unbatched.tracker(trip).fixes();
+    const auto& fw = wide.tracker(trip).fixes();
+    ASSERT_EQ(fs.size(), fu.size());
+    ASSERT_EQ(fs.size(), fw.size());
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      EXPECT_TRUE(same_fix(fs[i], fu[i])) << "unbatched fix " << i;
+      EXPECT_TRUE(same_fix(fs[i], fw[i])) << "batched fix " << i;
+    }
+  }
+  expect_same_stats(serial.ingest_stats(), unbatched.ingest_stats());
+  expect_same_stats(serial.ingest_stats(), wide.ingest_stats());
+}
+
 }  // namespace
 }  // namespace wiloc::core

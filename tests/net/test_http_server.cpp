@@ -112,6 +112,90 @@ TEST(HttpServer, StopIsIdempotentAndRestartable) {
   EXPECT_FALSE(server.running());
 }
 
+TEST(HttpServer, MultiLoopServesConcurrentClients) {
+  // loops=4: four SO_REUSEPORT listeners share one port; every client
+  // lands on some loop and gets served, the per-loop accept counters
+  // reconcile with the global one, and stop() drains all loops.
+  obs::Registry registry;
+  std::atomic<int> handled{0};
+  HttpServerOptions options = loopback_options(&registry);
+  options.loops = 4;
+  HttpServer server(
+      [&](const HttpRequest& req) {
+        handled.fetch_add(1, std::memory_order_relaxed);
+        return HttpResponse::text(200, req.path);
+      },
+      options);
+  server.start();
+  ASSERT_NE(server.port(), 0);
+
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 25;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      // Fresh connection per thread; requests ride keep-alive.
+      HttpClient client("127.0.0.1", server.port());
+      for (int i = 0; i < kRequests; ++i) {
+        const auto resp =
+            client.get("/t" + std::to_string(t) + "/" + std::to_string(i));
+        if (resp.status == 200) ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_EQ(ok.load(), kThreads * kRequests);
+  EXPECT_EQ(handled.load(), kThreads * kRequests);
+
+  const obs::Snapshot mid = registry.snapshot();
+  EXPECT_EQ(mid.counter("http.requests"),
+            static_cast<std::uint64_t>(kThreads * kRequests));
+  // The kernel spreads connections across the reuseport group; each
+  // loop's accepts are visible and they sum to the global counter.
+  std::uint64_t per_loop_sum = 0;
+  for (int k = 0; k < 4; ++k)
+    per_loop_sum += mid.counter("http.loop" + std::to_string(k) +
+                                ".connections_accepted");
+  EXPECT_EQ(per_loop_sum, mid.counter("http.connections_accepted"));
+  EXPECT_GE(per_loop_sum, static_cast<std::uint64_t>(kThreads));
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.open_connections(), 0u);
+}
+
+TEST(HttpServer, MultiLoopRequiresNoPortChange) {
+  // Restarting a multi-loop server on the same ephemeral port it
+  // resolved must work (the group tears down cleanly).
+  HttpServerOptions options = loopback_options();
+  options.loops = 2;
+  HttpServer server(
+      [](const HttpRequest&) { return HttpResponse::text(200, "ok"); },
+      options);
+  server.start();
+  const std::uint16_t port = server.port();
+  {
+    HttpClient client("127.0.0.1", port);
+    EXPECT_EQ(client.get("/").status, 200);
+  }
+  server.stop();
+
+  HttpServerOptions again = loopback_options();
+  again.loops = 2;
+  again.port = port;
+  HttpServer server2(
+      [](const HttpRequest&) { return HttpResponse::text(200, "ok"); },
+      again);
+  server2.start();
+  EXPECT_EQ(server2.port(), port);
+  {
+    HttpClient client("127.0.0.1", port);
+    EXPECT_EQ(client.get("/").status, 200);
+  }
+  server2.stop();
+}
+
 TEST(HttpServer, RecordsMetrics) {
   obs::Registry registry;
   HttpServer server(
